@@ -1,0 +1,275 @@
+(* fodb — command-line front end for the nowhere-enum library.
+
+   Graphs come either from a generator spec ("grid:30x30", "tree:1000",
+   "bdeg:5000:4", …) or from an edge-list file (one "u v" pair per
+   line, optional "c <color> <vertex>" lines).  Queries use the FO⁺
+   surface syntax of Nd_logic.Parse.
+
+   Examples:
+     fodb enumerate -g grid:20x20 -q "dist(x,y) <= 2" --limit 10
+     fodb test      -g tree:500   -q "E(x,y)" --tuple 3,4
+     fodb count     -g bdeg:2000:4 -q "C0(x) & dist(x,y) > 2" --colors 2
+     fodb cover     -g grid:50x50 -r 2
+     fodb splitter  -g clique:30 -r 1
+     fodb stats     -g subdiv:8 *)
+
+open Cmdliner
+open Nd_graph
+
+(* ---------------- graph loading ---------------- *)
+
+let parse_spec spec =
+  let fail () =
+    raise
+      (Invalid_argument
+         (Printf.sprintf
+            "unknown graph spec %S (try grid:WxH, tree:N, path:N, cycle:N, \
+             bdeg:N:D, planar:WxH, ktree:N:W, subdiv:Q, clique:N, star:N, \
+             gnp:N:P, or a file path)"
+            spec))
+  in
+  match String.split_on_char ':' spec with
+  | [ "grid"; wh ] | [ "planar"; wh ] -> (
+      match String.split_on_char 'x' wh with
+      | [ w; h ] ->
+          let w = int_of_string w and h = int_of_string h in
+          if String.length spec >= 6 && String.sub spec 0 6 = "planar" then
+            Gen.planar_grid ~seed:1 w h
+          else Gen.grid w h
+      | _ -> fail ())
+  | [ "tree"; n ] -> Gen.random_tree ~seed:1 (int_of_string n)
+  | [ "path"; n ] -> Gen.path (int_of_string n)
+  | [ "cycle"; n ] -> Gen.cycle (int_of_string n)
+  | [ "star"; n ] -> Gen.star (int_of_string n)
+  | [ "clique"; n ] -> Gen.complete (int_of_string n)
+  | [ "bdeg"; n; d ] ->
+      Gen.bounded_degree ~seed:1 (int_of_string n) ~max_degree:(int_of_string d)
+  | [ "ktree"; n; w ] ->
+      Gen.partial_ktree ~seed:1 (int_of_string n) ~width:(int_of_string w)
+        ~keep:0.6
+  | [ "subdiv"; q ] ->
+      let q = int_of_string q in
+      Gen.subdivided_clique ~q ~sub:q
+  | [ "gnp"; n; p ] ->
+      Gen.erdos_renyi ~seed:1 (int_of_string n) ~p:(float_of_string p)
+  | _ -> fail ()
+
+let load_file path =
+  let ic = open_in path in
+  let edges = ref [] and colors = ref [] and maxv = ref (-1) in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match String.split_on_char ' ' line with
+         | [ "c"; col; v ] ->
+             let v = int_of_string v in
+             maxv := max !maxv v;
+             colors := (int_of_string col, v) :: !colors
+         | [ u; v ] ->
+             let u = int_of_string u and v = int_of_string v in
+             maxv := max !maxv (max u v);
+             edges := (u, v) :: !edges
+         | _ -> failwith ("bad line: " ^ line)
+     done
+   with End_of_file -> close_in ic);
+  let n = !maxv + 1 in
+  let ncolors =
+    List.fold_left (fun acc (c, _) -> max acc (c + 1)) 0 !colors
+  in
+  let sets = Array.init ncolors (fun _ -> Nd_util.Bitset.create n) in
+  List.iter (fun (c, v) -> Nd_util.Bitset.add sets.(c) v) !colors;
+  Cgraph.create ~n ~colors:sets !edges
+
+let load spec ~colors ~seed =
+  let g = if Sys.file_exists spec then load_file spec else parse_spec spec in
+  if colors > 0 && Cgraph.color_count g = 0 then
+    Gen.randomly_color ~seed ~colors g
+  else g
+
+(* ---------------- common options ---------------- *)
+
+let graph_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "g"; "graph" ] ~docv:"SPEC" ~doc:"Graph spec or edge-list file.")
+
+let query_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"FO⁺ query.")
+
+let colors_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "colors" ]
+        ~doc:"Random colors to add when the graph has none (default 3).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed for coloring.")
+
+let radius_arg =
+  Arg.(value & opt int 2 & info [ "r"; "radius" ] ~doc:"Radius parameter.")
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let with_graph_query spec query colors seed f =
+  let g = load spec ~colors ~seed in
+  let phi = Nd_logic.Parse.formula query in
+  Printf.printf "graph: %d vertices, %d edges, %d colors\n" (Cgraph.n g)
+    (Cgraph.m g) (Cgraph.color_count g);
+  Printf.printf "query: %s (arity %d)\n" (Nd_logic.Fo.to_string phi)
+    (Nd_logic.Fo.arity phi);
+  (match Nd_core.Compile.compile phi with
+  | Nd_core.Compile.Compiled c ->
+      Printf.printf "compiled: radius %d, locality %d, %d disjuncts\n"
+        c.Nd_core.Compile.radius c.locality (List.length c.disjuncts)
+  | Nd_core.Compile.Fallback fb ->
+      Printf.printf "fallback evaluation (%s)\n" fb.reason);
+  f g phi
+
+(* ---------------- subcommands ---------------- *)
+
+let enumerate spec query colors seed limit =
+  with_graph_query spec query colors seed (fun g phi ->
+      let nx, prep = time (fun () -> Nd_core.Next.build g phi) in
+      Printf.printf "preprocessing: %.3fs\n" prep;
+      let printed = ref 0 in
+      let _, t =
+        time (fun () ->
+            Nd_core.Enumerate.iter ?limit
+              (fun sol ->
+                incr printed;
+                print_endline (Nd_util.Tuple.to_string sol))
+              nx)
+      in
+      Printf.printf "%d solutions in %.3fs\n" !printed t)
+
+let count spec query colors seed =
+  with_graph_query spec query colors seed (fun g phi ->
+      let r, t = time (fun () -> Nd_core.Count.count g phi) in
+      Printf.printf "count: %d (%.3fs, %s)\n" r.Nd_core.Count.count t
+        (match r.Nd_core.Count.method_ with
+        | Nd_core.Count.Exact_pseudolinear -> "pseudo-linear counting"
+        | Nd_core.Count.Via_enumeration -> "via enumeration"))
+
+let test spec query colors seed tuple =
+  with_graph_query spec query colors seed (fun g phi ->
+      let tup =
+        Array.of_list (List.map int_of_string (String.split_on_char ',' tuple))
+      in
+      let nx, prep = time (fun () -> Nd_core.Next.build g phi) in
+      let ans, t = time (fun () -> Nd_core.Next.test nx tup) in
+      Printf.printf "preprocessing: %.3fs\n%s ∈ q(G): %b  (%.6fs)\n" prep
+        (Nd_util.Tuple.to_string tup) ans t)
+
+let next spec query colors seed tuple =
+  with_graph_query spec query colors seed (fun g phi ->
+      let tup =
+        Array.of_list (List.map int_of_string (String.split_on_char ',' tuple))
+      in
+      let nx, prep = time (fun () -> Nd_core.Next.build g phi) in
+      let ans, t = time (fun () -> Nd_core.Next.next_solution nx tup) in
+      Printf.printf "preprocessing: %.3fs\n" prep;
+      (match ans with
+      | Some s ->
+          Printf.printf "smallest solution ≥ %s: %s  (%.6fs)\n"
+            (Nd_util.Tuple.to_string tup) (Nd_util.Tuple.to_string s) t
+      | None -> Printf.printf "no solution ≥ %s\n" (Nd_util.Tuple.to_string tup)))
+
+let cover spec colors seed r =
+  let g = load spec ~colors ~seed in
+  let c, t = time (fun () -> Nd_nowhere.Cover.compute g ~r) in
+  Printf.printf
+    "(%d,%d)-neighborhood cover of %d vertices: %d bags, degree %d, Σ|X| = %d \
+     (%.3fs)\n"
+    r (2 * r) (Cgraph.n g)
+    (Nd_nowhere.Cover.bag_count c)
+    (Nd_nowhere.Cover.degree c) (Nd_nowhere.Cover.weight c) t;
+  match Nd_nowhere.Cover.verify g c with
+  | Ok () -> print_endline "cover properties verified"
+  | Error e -> Printf.printf "INVALID COVER: %s\n" e
+
+let splitter spec colors seed r =
+  let g = load spec ~colors ~seed in
+  Printf.printf "(λ,%d)-splitter game on %d vertices: " r (Cgraph.n g);
+  match
+    Nd_nowhere.Splitter.measured_lambda g ~r ~max_rounds:64
+      ~splitter:Nd_nowhere.Splitter.splitter_center
+  with
+  | Some l -> Printf.printf "Splitter wins in %d rounds\n" l
+  | None -> print_endline "Splitter does not win within 64 rounds"
+
+let stats spec colors seed =
+  let g = load spec ~colors ~seed in
+  Printf.printf "vertices: %d\nedges: %d\ncolors: %d\n" (Cgraph.n g)
+    (Cgraph.m g) (Cgraph.color_count g);
+  let degs = Array.init (Cgraph.n g) (Cgraph.degree g) in
+  Array.sort compare degs;
+  let n = Array.length degs in
+  if n > 0 then
+    Printf.printf "degree: max %d, median %d\n" degs.(n - 1) degs.(n / 2);
+  List.iter
+    (fun r ->
+      let p = Nd_nowhere.Wcol.profile g ~r in
+      Printf.printf "weak %d-accessibility: max %d, mean %.2f\n" r
+        p.Nd_nowhere.Wcol.max p.Nd_nowhere.Wcol.mean)
+    [ 1; 2 ]
+
+(* ---------------- command wiring ---------------- *)
+
+let limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "limit" ] ~doc:"Stop after this many solutions.")
+
+let tuple_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "tuple" ] ~docv:"T" ~doc:"Comma-separated vertex tuple.")
+
+let cmd_enumerate =
+  Cmd.v (Cmd.info "enumerate" ~doc:"Enumerate all solutions in order")
+    Term.(const enumerate $ graph_arg $ query_arg $ colors_arg $ seed_arg $ limit_arg)
+
+let cmd_count =
+  Cmd.v (Cmd.info "count" ~doc:"Count solutions")
+    Term.(const count $ graph_arg $ query_arg $ colors_arg $ seed_arg)
+
+let cmd_test =
+  Cmd.v (Cmd.info "test" ~doc:"Test whether a tuple is a solution")
+    Term.(const test $ graph_arg $ query_arg $ colors_arg $ seed_arg $ tuple_arg)
+
+let cmd_next =
+  Cmd.v
+    (Cmd.info "next" ~doc:"Smallest solution ≥ a given tuple (Theorem 2.3)")
+    Term.(const next $ graph_arg $ query_arg $ colors_arg $ seed_arg $ tuple_arg)
+
+let cmd_cover =
+  Cmd.v (Cmd.info "cover" ~doc:"Compute and verify a neighborhood cover")
+    Term.(const cover $ graph_arg $ colors_arg $ seed_arg $ radius_arg)
+
+let cmd_splitter =
+  Cmd.v (Cmd.info "splitter" ~doc:"Play the splitter game")
+    Term.(const splitter $ graph_arg $ colors_arg $ seed_arg $ radius_arg)
+
+let cmd_stats =
+  Cmd.v (Cmd.info "stats" ~doc:"Graph sparsity statistics")
+    Term.(const stats $ graph_arg $ colors_arg $ seed_arg)
+
+let () =
+  let doc = "FO query enumeration over nowhere dense graphs" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "fodb" ~doc)
+          [
+            cmd_enumerate; cmd_count; cmd_test; cmd_next; cmd_cover;
+            cmd_splitter; cmd_stats;
+          ]))

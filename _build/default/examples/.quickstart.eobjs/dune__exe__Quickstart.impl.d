@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cgraph Fo Fun List Nd_core Nd_graph Nd_logic Nd_util Parse Printf

@@ -1,0 +1,1 @@
+examples/relational_db.ml: Array Cgraph List Nd_core Nd_eval Nd_graph Nd_logic Printf Rel

@@ -1,0 +1,1 @@
+examples/road_network.ml: Array Bitset Cgraph Fo Gen List Nd_core Nd_eval Nd_graph Nd_logic Nd_util Parse Printf Random Sys Unix

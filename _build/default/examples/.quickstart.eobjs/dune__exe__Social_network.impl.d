@@ -1,0 +1,1 @@
+examples/social_network.ml: Array Cgraph Fo Gen List Nd_core Nd_graph Nd_logic Parse Printf Random Sys Unix

@@ -1,0 +1,72 @@
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let time_per ~repeat f =
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to repeat do
+    f ()
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int (max 1 repeat)
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then nan
+  else begin
+    let s = Array.copy xs in
+    Array.sort compare s;
+    let idx = p /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (floor idx) and hi = int_of_float (ceil idx) in
+    let frac = idx -. floor idx in
+    (s.(lo) *. (1. -. frac)) +. (s.(min hi (n - 1)) *. frac)
+  end
+
+let fit_exponent pts =
+  let pts =
+    List.filter (fun (x, y) -> x > 0. && y > 0.) pts
+    |> List.map (fun (x, y) -> (log x, log y))
+  in
+  let n = float_of_int (List.length pts) in
+  if n < 2. then nan
+  else begin
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0. pts in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0. pts in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. pts in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. pts in
+    ((n *. sxy) -. (sx *. sy)) /. ((n *. sxx) -. (sx *. sx))
+  end
+
+let ns t =
+  if t < 1e-6 then Printf.sprintf "%.0fns" (t *. 1e9)
+  else if t < 1e-3 then Printf.sprintf "%.1fus" (t *. 1e6)
+  else if t < 1. then Printf.sprintf "%.2fms" (t *. 1e3)
+  else Printf.sprintf "%.2fs" t
+
+let print_table ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let line ch =
+    String.concat "-+-" (List.map (fun w -> String.make w ch) widths)
+  in
+  let render row =
+    String.concat " | "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           cell ^ String.make (w - String.length cell) ' ')
+         row)
+  in
+  Printf.printf "\n== %s ==\n%s\n%s\n" title (render header) (line '-');
+  List.iter (fun row -> print_endline (render row)) rows
+
+let note s = Printf.printf "   %s\n" s

@@ -1,0 +1,25 @@
+(** Measurement and reporting helpers for the experiment harness. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and wall-clock seconds. *)
+
+val time_per : repeat:int -> (unit -> unit) -> float
+(** Average seconds per call over [repeat] calls (wall clock). *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p ∈ [0,100]]; [nan] on empty input. *)
+
+val fit_exponent : (float * float) list -> float
+(** Least-squares slope of log(y) against log(x): the empirical
+    exponent [e] in [y ≈ c·x^e].  Used to check pseudo-linearity
+    claims ([e] close to 1). *)
+
+val ns : float -> string
+(** Human format for a duration in seconds: ["123ns"], ["4.5us"], … *)
+
+val print_table : title:string -> header:string list -> string list list -> unit
+(** Fixed-width ASCII table, in the style of the tables the paper's
+    evaluation section would have contained. *)
+
+val note : string -> unit
+(** Print an annotation line under a table. *)

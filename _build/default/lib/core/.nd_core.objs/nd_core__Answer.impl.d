@@ -1,0 +1,1 @@
+lib/core/answer.ml: Array Bfs Bitset Cgraph Compile Cover Dist_index Dtype Fo Hashtbl Kernel List Local Nd_eval Nd_graph Nd_logic Nd_nowhere Nd_util Skip Sorted

@@ -1,0 +1,1 @@
+lib/core/answer.mli: Compile Nd_graph

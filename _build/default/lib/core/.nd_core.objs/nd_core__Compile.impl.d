@@ -1,0 +1,1 @@
+lib/core/compile.ml: Array Dtype Fo Format Hashtbl List Nd_logic Printf String

@@ -1,0 +1,1 @@
+lib/core/count.ml: Array Bfs Cgraph Compile Cover Dtype Enumerate Fo List Local Nd_eval Nd_graph Nd_logic Nd_nowhere Next

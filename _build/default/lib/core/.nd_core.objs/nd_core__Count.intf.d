@@ -1,0 +1,1 @@
+lib/core/count.mli: Nd_graph Nd_logic

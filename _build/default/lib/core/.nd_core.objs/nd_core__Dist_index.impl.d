@@ -1,0 +1,1 @@
+lib/core/dist_index.ml: Array Bfs Cgraph Cover List Nd_graph Nd_nowhere Nd_util Sorted Splitter

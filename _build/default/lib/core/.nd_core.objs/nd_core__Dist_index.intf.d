@@ -1,0 +1,1 @@
+lib/core/dist_index.mli: Nd_graph

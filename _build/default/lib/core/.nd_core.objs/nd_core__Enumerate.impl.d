@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Array Cgraph List Nd_graph Nd_util Next Seq Unix

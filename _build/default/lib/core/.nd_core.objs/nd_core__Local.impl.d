@@ -1,0 +1,1 @@
+lib/core/local.ml: Array Cgraph Cover Fo Hashtbl List Nd_eval Nd_graph Nd_logic Nd_nowhere Printf

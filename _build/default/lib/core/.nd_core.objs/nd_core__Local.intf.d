@@ -1,0 +1,1 @@
+lib/core/local.mli: Nd_graph Nd_logic Nd_nowhere

@@ -1,0 +1,1 @@
+lib/core/next.ml: Answer Array Cgraph Compile Fo List Nd_graph Nd_logic Nd_util

@@ -1,0 +1,1 @@
+lib/core/next.mli: Answer Nd_graph Nd_logic

@@ -1,0 +1,1 @@
+lib/core/removal.ml: Array Bfs Bitset Cgraph Fo List Nd_graph Nd_logic Nd_util

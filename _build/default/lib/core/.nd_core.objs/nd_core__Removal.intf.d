@@ -1,0 +1,1 @@
+lib/core/removal.mli: Nd_graph Nd_logic

@@ -1,0 +1,1 @@
+lib/core/skip.ml: Array Hashtbl List Nd_util Queue Sorted

@@ -1,0 +1,1 @@
+lib/core/tester.ml: Answer Compile Fo Nd_eval Nd_logic

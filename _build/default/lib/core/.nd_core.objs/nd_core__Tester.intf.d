@@ -1,0 +1,1 @@
+lib/core/tester.mli: Nd_graph Nd_logic

@@ -1,0 +1,425 @@
+open Nd_util
+open Nd_graph
+open Nd_logic
+open Nd_nowhere
+
+type work = {
+  mutable scan_steps : int;
+  mutable skip_queries : int;
+  mutable dist_tests : int;
+  mutable local_sats : int;
+}
+
+(* per-disjunct data for the J = {k} case (Case I) *)
+type unary_data = {
+  l_sorted : int array;  (* the label set L, sorted *)
+  l_flag : Bitset.t;  (* O(1) membership *)
+  skip : Skip.t option;  (* None when k = 1 (no kernels needed) *)
+  mutable kernel_l : (int, int array) Hashtbl.t;
+      (* bag id -> sorted (K(X) ∩ L), materialized lazily *)
+}
+
+type disjunct_data = {
+  d : Compile.disjunct;
+  j : int list;  (* component of the last position *)
+  others : int list list;  (* remaining components *)
+  j_local : Fo.t;  (* local formula of J *)
+  unary : unary_data option;  (* present iff J is a singleton *)
+}
+
+type compiled_state = {
+  g : Cgraph.t;
+  c : Compile.compiled;
+  k : int;
+  dist : Dist_index.t option;  (* None when k = 1 *)
+  cover : Cover.t;
+  kernels : int array array option;  (* per bag, when Case I data exists *)
+  local : Local.t;
+  djs : disjunct_data array;
+  ball_cache : (int, int array) Hashtbl.t;
+      (* anchor vertex ↦ its sorted radius-r ball (Case II candidates) *)
+  searcher : Bfs.searcher;
+  w : work;
+  mutable skip_enabled : bool;
+}
+
+type fallback_state = {
+  fg : Cgraph.t;
+  fquery : Fo.t;
+  fvars : Fo.var array;
+  fctx : Nd_eval.Naive.ctx;
+  fw : work;
+}
+
+type state = C of compiled_state | F of fallback_state
+
+type t = { comp : Compile.t; state : state }
+
+let cover_radius (c : Compile.compiled) =
+  let k = Array.length c.vars in
+  let r = c.radius in
+  max (2 * r) (max (k * r) (((k - 1) * r) + c.locality))
+
+let kernel_radius c = cover_radius c - c.radius
+
+(* ---------------------------------------------------------------- *)
+
+let build_compiled g (c : Compile.compiled) =
+  let k = Array.length c.vars in
+  let w = { scan_steps = 0; skip_queries = 0; dist_tests = 0; local_sats = 0 } in
+  let dist = if k >= 2 then Some (Dist_index.build g ~r:c.radius) else None in
+  let cover = Cover.compute g ~r:(cover_radius c) in
+  let local = Local.make g cover in
+  (* Materialize every bag context now: this work belongs to the
+     preprocessing phase (the paper's Step 4), not to the first
+     answering calls that happen to touch a bag. *)
+  for bag = 0 to Array.length cover.Cover.bags - 1 do
+    ignore (Local.bag_graph local bag)
+  done;
+  (* Step 5: evaluate the sentence literals once, globally. *)
+  let sentence_vals =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (dj : Compile.disjunct) ->
+        List.iter
+          (fun (phi, _) ->
+            if not (Hashtbl.mem tbl phi) then
+              Hashtbl.replace tbl phi
+                (Nd_eval.Naive.model_check (Nd_eval.Naive.ctx g) phi))
+          dj.Compile.sentences)
+      c.disjuncts;
+    tbl
+  in
+  let live_disjuncts =
+    List.filter
+      (fun (dj : Compile.disjunct) ->
+        List.for_all
+          (fun (phi, pol) -> Hashtbl.find sentence_vals phi = pol)
+          dj.Compile.sentences)
+      c.disjuncts
+  in
+  let last = k - 1 in
+  let needs_case1 =
+    k >= 2
+    && List.exists
+         (fun (dj : Compile.disjunct) ->
+           Dtype.component_of dj.Compile.tau last = [ last ])
+         live_disjuncts
+  in
+  let kernels =
+    if needs_case1 then
+      Some
+        (Array.map
+           (fun bag -> Kernel.compute g ~bag ~p:(kernel_radius c))
+           cover.Cover.bags)
+    else None
+  in
+  let kernels_of v =
+    match kernels with
+    | None -> []
+    | Some ks ->
+        List.filter
+          (fun x -> Sorted.mem ks.(x) v)
+          (Array.to_list cover.Cover.bags_of.(v))
+  in
+  (* Step 12: label sets, shared between disjuncts with equal ψ. *)
+  let lsets = Hashtbl.create 8 in
+  let lset_of psi =
+    match Hashtbl.find_opt lsets psi with
+    | Some v -> v
+    | None ->
+        let n = Cgraph.n g in
+        let flag = Bitset.create n in
+        Array.iteri
+          (fun bag_id members ->
+            Array.iter
+              (fun v ->
+                if
+                  Local.sat local ~bag:bag_id psi
+                    (match Fo.free_vars psi with
+                    | [ x ] -> [ (x, v) ]
+                    | [] -> []
+                    | _ -> invalid_arg "Answer: non-unary label formula")
+                then Bitset.add flag v)
+              members)
+          cover.Cover.assigned_members;
+        let sorted = Array.of_list (Bitset.to_list flag) in
+        let skip =
+          match kernels with
+          | Some ks when k >= 2 ->
+              Some
+                (Skip.build ~kernels:ks ~kernels_of ~l:sorted ~n ~k:(k - 1))
+          | _ -> None
+        in
+        let v = { l_sorted = sorted; l_flag = flag; skip; kernel_l = Hashtbl.create 8 } in
+        Hashtbl.replace lsets psi v;
+        v
+  in
+  let djs =
+    Array.of_list
+      (List.map
+         (fun (dj : Compile.disjunct) ->
+           let j = Dtype.component_of dj.Compile.tau last in
+           let others =
+             List.filter
+               (fun comp -> not (List.mem last comp))
+               (Dtype.components dj.Compile.tau)
+           in
+           let j_local =
+             match List.assoc_opt j dj.Compile.locals with
+             | Some phi -> phi
+             | None -> Fo.True
+           in
+           let unary = if j = [ last ] then Some (lset_of j_local) else None in
+           { d = dj; j; others; j_local; unary })
+         live_disjuncts)
+  in
+  {
+    g;
+    c;
+    k;
+    dist;
+    cover;
+    kernels;
+    local;
+    djs;
+    ball_cache = Hashtbl.create 256;
+    searcher = Bfs.searcher g;
+    w;
+    skip_enabled = true;
+  }
+
+let build g comp =
+  match comp with
+  | Compile.Compiled c -> { comp; state = C (build_compiled g c) }
+  | Compile.Fallback f ->
+      {
+        comp;
+        state =
+          F
+            {
+              fg = g;
+              fquery = f.query;
+              fvars = f.vars;
+              fctx = Nd_eval.Naive.ctx g;
+              fw =
+                { scan_steps = 0; skip_queries = 0; dist_tests = 0; local_sats = 0 };
+            };
+      }
+
+let graph t = match t.state with C s -> s.g | F f -> f.fg
+let compiled t = t.comp
+let arity t = Compile.arity t.comp
+let work t = match t.state with C s -> s.w | F f -> f.fw
+
+let reset_work t =
+  let w = work t in
+  w.scan_steps <- 0;
+  w.skip_queries <- 0;
+  w.dist_tests <- 0;
+  w.local_sats <- 0
+
+let use_skip t b = match t.state with C s -> s.skip_enabled <- b | F _ -> ()
+
+(* ---------------------------------------------------------------- *)
+(* Answering phase. *)
+
+let dist_le s a b =
+  s.w.dist_tests <- s.w.dist_tests + 1;
+  match s.dist with
+  | Some idx -> Dist_index.test idx a b
+  | None -> assert false
+
+let local_sat s ~bag phi env =
+  s.w.local_sats <- s.w.local_sats + 1;
+  Local.sat s.local ~bag phi env
+
+(* env for a component: positions ↦ tuple values *)
+let comp_env s comp (values : int -> int) =
+  List.map (fun pos -> (s.c.Compile.vars.(pos), values pos)) comp
+
+(* check the components not containing the last position *)
+let others_hold s (dd : disjunct_data) prefix =
+  List.for_all
+    (fun comp ->
+      match List.assoc_opt comp dd.d.Compile.locals with
+      | None | Some Fo.True -> true
+      | Some phi ->
+          let anchor = prefix.(List.hd comp) in
+          let bag = s.cover.Cover.assigned.(anchor) in
+          local_sat s ~bag phi (comp_env s comp (fun p -> prefix.(p))))
+    dd.others
+
+(* Case I: J = {last}.  Solutions are the label-set members at distance
+   > r from every prefix value. *)
+let case1 s (dd : disjunct_data) prefix from =
+  let u = match dd.unary with Some u -> u | None -> assert false in
+  let far v =
+    Array.for_all (fun a -> not (dist_le s v a)) prefix
+  in
+  if s.k = 1 then Sorted.next_geq u.l_sorted from
+  else if not s.skip_enabled then begin
+    (* ablation: plain scan of L *)
+    let rec go i =
+      if i >= Array.length u.l_sorted then None
+      else begin
+        s.w.scan_steps <- s.w.scan_steps + 1;
+        let v = u.l_sorted.(i) in
+        if far v then Some v else go (i + 1)
+      end
+    in
+    go (Sorted.lower_bound u.l_sorted from)
+  end
+  else begin
+    let bags =
+      List.sort_uniq compare
+        (Array.to_list (Array.map (fun a -> s.cover.Cover.assigned.(a)) prefix))
+    in
+    (* skip candidate: not in any kernel of the prefix bags ⇒ far *)
+    s.w.skip_queries <- s.w.skip_queries + 1;
+    let skip = match u.skip with Some sk -> sk | None -> assert false in
+    let cand0 = Skip.skip skip ~b:from ~bags in
+    (* kernel candidates: scan K(X_κ) ∩ L in increasing order, checking
+       farness via the distance index.  The scan never needs to pass the
+       best candidate found so far — the SKIP result in particular —
+       which keeps hub-heavy instances from degenerating into a full
+       kernel walk. *)
+    let kernels = match s.kernels with Some ks -> ks | None -> assert false in
+    let best = ref cand0 in
+    let kernel_scan bag =
+      let kl =
+        match Hashtbl.find_opt u.kernel_l bag with
+        | Some a -> a
+        | None ->
+            let a = Sorted.inter kernels.(bag) u.l_sorted in
+            Hashtbl.replace u.kernel_l bag a;
+            a
+      in
+      let rec go i =
+        if i >= Array.length kl then ()
+        else begin
+          let v = kl.(i) in
+          match !best with
+          | Some b when v >= b -> ()
+          | _ ->
+              s.w.scan_steps <- s.w.scan_steps + 1;
+              if far v then best := Some v else go (i + 1)
+        end
+      in
+      go (Sorted.lower_bound kl from)
+    in
+    List.iter kernel_scan bags;
+    !best
+  end
+
+(* Case II: |J| ≥ 2.  Any solution is within distance r of some prefix
+   value at a τ-neighbor position of the last coordinate, so the
+   candidate set is that (sorted) r-ball — a constant-size set on
+   sparse graphs — intersected with the bag of the anchor, in which the
+   local formula is evaluated. *)
+let case2 s (dd : disjunct_data) prefix from =
+  let last = s.k - 1 in
+  let anchor_pos =
+    match
+      List.filter
+        (fun p -> p <> last && Dtype.mem dd.d.Compile.tau p last)
+        dd.j
+    with
+    | [] -> assert false (* J is τ-connected and contains last *)
+    | p :: _ -> p
+  in
+  let anchor = prefix.(anchor_pos) in
+  let bag_id = s.cover.Cover.assigned.(anchor) in
+  let candidates =
+    match Hashtbl.find_opt s.ball_cache anchor with
+    | Some b -> b
+    | None ->
+        let b = Bfs.sball s.searcher anchor ~radius:s.c.Compile.radius in
+        Hashtbl.replace s.ball_cache anchor b;
+        b
+  in
+  let type_ok v =
+    let ok = ref true in
+    for i = 0 to s.k - 2 do
+      if !ok then begin
+        let close = dist_le s v prefix.(i) in
+        let want = Dtype.mem dd.d.Compile.tau i last in
+        if close <> want then ok := false
+      end
+    done;
+    !ok
+  in
+  let rec go i =
+    if i >= Array.length candidates then None
+    else begin
+      s.w.scan_steps <- s.w.scan_steps + 1;
+      let v = candidates.(i) in
+      if
+        type_ok v
+        && (Fo.equal dd.j_local Fo.True
+           || local_sat s ~bag:bag_id dd.j_local
+                (comp_env s dd.j (fun p -> if p = last then v else prefix.(p))))
+      then Some v
+      else go (i + 1)
+    end
+  in
+  go (Sorted.lower_bound candidates from)
+
+let prefix_type s prefix =
+  Dtype.of_tuple ~dist_le:(fun a b -> dist_le s a b) prefix
+
+let next_in_last_compiled s ~prefix ~from =
+  if Array.length prefix <> s.k - 1 then
+    invalid_arg "Answer.next_in_last: prefix arity mismatch";
+  if from >= Cgraph.n s.g then None
+  else begin
+    let from = max 0 from in
+    let tau' = if s.k = 1 then Dtype.create 0 [] else prefix_type s prefix in
+    Array.fold_left
+      (fun acc dd ->
+        if not (Dtype.compatible tau' dd.d.Compile.tau) then acc
+        else if not (others_hold s dd prefix) then acc
+        else begin
+          let cand =
+            if dd.j = [ s.k - 1 ] then case1 s dd prefix from
+            else case2 s dd prefix from
+          in
+          match (acc, cand) with
+          | None, c -> c
+          | acc, None -> acc
+          | Some a, Some b -> Some (min a b)
+        end)
+      None s.djs
+  end
+
+let next_in_last_fallback f ~prefix ~from =
+  let k = Array.length f.fvars in
+  if Array.length prefix <> k - 1 then
+    invalid_arg "Answer.next_in_last: prefix arity mismatch";
+  let n = Cgraph.n f.fg in
+  let env v =
+    Array.to_list (Array.mapi (fun i a -> (f.fvars.(i), a)) prefix)
+    @ [ (f.fvars.(k - 1), v) ]
+  in
+  let rec go v =
+    if v >= n then None
+    else begin
+      f.fw.scan_steps <- f.fw.scan_steps + 1;
+      if Nd_eval.Naive.sat f.fctx ~env:(env v) f.fquery then Some v
+      else go (v + 1)
+    end
+  in
+  go (max 0 from)
+
+let next_in_last t ~prefix ~from =
+  match t.state with
+  | C s -> next_in_last_compiled s ~prefix ~from
+  | F f -> next_in_last_fallback f ~prefix ~from
+
+let holds t a =
+  let k = arity t in
+  if Array.length a <> k then invalid_arg "Answer.holds: arity mismatch";
+  let prefix = Array.sub a 0 (k - 1) in
+  match next_in_last t ~prefix ~from:a.(k - 1) with
+  | Some b -> b = a.(k - 1)
+  | None -> false

@@ -1,0 +1,55 @@
+(** The answering machinery of Lemma 5.2: after preprocessing a graph
+    for a k-ary query [φ(x̄, x_k)], upon input of a (k-1)-tuple [ā] and
+    a vertex [b], return the smallest [b' ≥ b] with [G ⊨ φ(ā, b')].
+
+    Preprocessing (mirroring Section 5.2.1):
+    + a {!Dist_index} with the compiled type threshold [r] (Step 2);
+    + a neighborhood cover of radius
+      [R = max(2r, k·r, (k-1)·r + L)] with kernels [K_{R-r}(X)]
+      (Steps 3–4; the kernel radius is chosen so that membership in a
+      kernel certifies distance ≤ r to the bag's assigned vertices,
+      and exclusion certifies distance > r);
+    + global evaluation of sentence literals (Step 5's [ξ] check);
+    + per disjunct whose last-position component is a singleton: the
+      label set [L = {v | G[X(v)] ⊨ ψ(v)}] (Step 12) and its skip
+      pointers over the kernels (Step 13);
+    + lazy bag-local contexts standing in for the per-bag λ-recursion
+      of Steps 8–11 (see DESIGN.md).
+
+    The answering phase follows Section 5.2.2: determine the prefix
+    type [τ'], and per compatible disjunct either search within the
+    anchor bag (Case II) or combine kernel-local scans with a SKIP
+    lookup (Case I); return the minimum over disjuncts. *)
+
+type t
+
+val build : Nd_graph.Cgraph.t -> Compile.t -> t
+
+val graph : t -> Nd_graph.Cgraph.t
+
+val compiled : t -> Compile.t
+
+val arity : t -> int
+
+val next_in_last : t -> prefix:int array -> from:int -> int option
+(** [prefix] has length k-1.  Returns the smallest [b' ≥ from] with
+    [G ⊨ φ(prefix, b')], or [None]. *)
+
+val holds : t -> int array -> bool
+(** Corollary 2.4 for this query: test a full k-tuple. *)
+
+type work = {
+  mutable scan_steps : int;  (** candidates examined in bag/kernel scans *)
+  mutable skip_queries : int;
+  mutable dist_tests : int;
+  mutable local_sats : int;
+}
+
+val work : t -> work
+(** Cumulative answering-phase work counters (for the benches). *)
+
+val reset_work : t -> unit
+
+val use_skip : t -> bool -> unit
+(** Ablation hook (experiment A1): with [false], Case I falls back to a
+    linear scan of the label set instead of the SKIP pointers. *)

@@ -1,0 +1,556 @@
+open Nd_logic
+
+type disjunct = {
+  tau : Dtype.t;
+  locals : (int list * Fo.t) list;
+  sentences : (Fo.t * bool) list;
+}
+
+type compiled = {
+  query : Fo.t;
+  vars : Fo.var array;
+  radius : int;
+  locality : int;
+  disjuncts : disjunct list;
+}
+
+type t =
+  | Compiled of compiled
+  | Fallback of { query : Fo.t; vars : Fo.var array; reason : string }
+
+exception Fail of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Fail s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Guardedness analysis.
+
+   A quantified block is {e guarded-local} when every ∃-variable is
+   linked to an outer variable by a positive distance/edge/equality
+   guard present in every disjunct of its body, and dually every
+   ∀-variable is released by a negative guard in every conjunct.  The
+   analysis returns β(v) bounds (how far each variable can range from
+   the block's free tuple) and the block locality L = β_max + D_max. *)
+
+let atom_weight = function
+  | Fo.Eq _ -> Some 0
+  | Fo.Edge _ -> Some 1
+  | Fo.Dist_le (_, _, d) -> Some d
+  | _ -> None
+
+let atom_vars = function
+  | Fo.Eq (x, y) | Fo.Edge (x, y) | Fo.Dist_le (x, y, _) -> Some (x, y)
+  | Fo.Color (_, x) -> Some (x, x)
+  | _ -> None
+
+(* smallest bound such that [phi ⟹ dist(z, known) ≤ bound]; None if no
+   syntactic guarantee.  [beta]: bounds for the known variables. *)
+let rec guard_bound phi z beta =
+  match phi with
+  | Fo.And ps ->
+      List.fold_left
+        (fun acc p ->
+          match (acc, guard_bound p z beta) with
+          | Some a, Some b -> Some (min a b)
+          | Some a, None -> Some a
+          | None, r -> r)
+        None ps
+  | Fo.Or ps ->
+      (* every disjunct must guard z *)
+      List.fold_left
+        (fun acc p ->
+          match (acc, guard_bound p z beta) with
+          | Some a, Some b -> Some (max a b)
+          | _ -> None)
+        (Some 0) ps
+      |> fun r -> if ps = [] then None else r
+  | Fo.Exists (_, p) | Fo.Forall (_, p) -> guard_bound p z beta
+  | (Fo.Eq _ | Fo.Edge _ | Fo.Dist_le _) as atom -> (
+      match (atom_vars atom, atom_weight atom) with
+      | Some (x, y), Some w ->
+          let other = if x = z then Some y else if y = z then Some x else None in
+          (match other with
+          | Some v when v <> z -> (
+              match List.assoc_opt v beta with
+              | Some bv -> Some (bv + w)
+              | None -> None)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* smallest bound such that [dist(z, known) > bound ⟹ phi]; used for
+   universal variables: far z must satisfy the body vacuously. *)
+let rec coguard_bound phi z beta =
+  match phi with
+  | Fo.Or ps ->
+      List.fold_left
+        (fun acc p ->
+          match (acc, coguard_bound p z beta) with
+          | Some a, Some b -> Some (min a b)
+          | Some a, None -> Some a
+          | None, r -> r)
+        None ps
+  | Fo.And ps ->
+      List.fold_left
+        (fun acc p ->
+          match (acc, coguard_bound p z beta) with
+          | Some a, Some b -> Some (max a b)
+          | _ -> None)
+        (Some 0) ps
+      |> fun r -> if ps = [] then None else r
+  | Fo.Forall (_, p) -> coguard_bound p z beta
+  | Fo.Not atom -> (
+      match (atom_vars atom, atom_weight atom) with
+      | Some (x, y), Some w ->
+          let other = if x = z then Some y else if y = z then Some x else None in
+          (match other with
+          | Some v when v <> z -> (
+              match List.assoc_opt v beta with
+              | Some bv -> Some (bv + w)
+              | None -> None)
+          | _ -> None)
+      | _ -> None)
+  | _ ->
+      (* an atom or block that does not mention z is not a co-guard by
+         itself; if it does mention z we cannot release it *)
+      None
+
+(* Check guarded locality of an NNF block whose free variables are
+   [fvs]; returns the locality L. *)
+let block_locality phi fvs =
+  let dmax = ref 1 in
+  let bmax = ref 0 in
+  let rec go phi beta =
+    match phi with
+    | Fo.True | Fo.False -> ()
+    | Fo.Eq _ | Fo.Edge _ | Fo.Dist_le _ | Fo.Color _ ->
+        (match atom_weight phi with Some w -> dmax := max !dmax w | None -> ());
+        (match atom_vars phi with
+        | Some (x, y) ->
+            List.iter
+              (fun v ->
+                if not (List.mem_assoc v beta) then
+                  fail "unbound variable %s in block" v)
+              [ x; y ]
+        | None -> ())
+    | Fo.Not p -> go p beta
+    | Fo.And ps | Fo.Or ps -> List.iter (fun p -> go p beta) ps
+    | Fo.Exists (z, p) -> (
+        let beta = List.remove_assoc z beta in
+        match guard_bound p z beta with
+        | Some b ->
+            bmax := max !bmax b;
+            go p ((z, b) :: beta)
+        | None -> fail "existential variable %s is unguarded" z)
+    | Fo.Forall (z, p) -> (
+        let beta = List.remove_assoc z beta in
+        match coguard_bound p z beta with
+        | Some b ->
+            bmax := max !bmax b;
+            go p ((z, b) :: beta)
+        | None -> fail "universal variable %s is not co-guarded" z)
+  in
+  go phi (List.map (fun v -> (v, 0)) fvs);
+  !bmax + !dmax
+
+(* ------------------------------------------------------------------ *)
+(* Link analysis: lower bounds forced between the free variables of a
+   block — [block ⟹ dist(x,y) ≤ link x y].  Conservative: collects
+   positive guards reachable through ∧ and ∃ only; ∨ takes the
+   pointwise maximum over branches. *)
+
+let link_inf = max_int / 4
+
+let link_matrix phi fvs =
+  let inf = link_inf in
+  let m = List.length fvs in
+  (* matrices over fvs ∪ bound vars would be cleaner; we instead run a
+     small all-pairs closure over all variables of the block *)
+  let allv = Fo.all_vars phi in
+  let nv = List.length allv in
+  let vidx v =
+    let rec go i = function
+      | [] -> assert false
+      | w :: _ when w = v -> i
+      | _ :: r -> go (i + 1) r
+    in
+    go 0 allv
+  in
+  let rec collect phi =
+    (* returns a nv×nv bound matrix *)
+    let base () = Array.make_matrix nv nv inf in
+    match phi with
+    | Fo.And ps | Fo.Exists (_, Fo.And ps) ->
+        let ms = List.map collect ps in
+        let m0 = base () in
+        List.iter
+          (fun mm ->
+            for i = 0 to nv - 1 do
+              for j = 0 to nv - 1 do
+                if mm.(i).(j) < m0.(i).(j) then m0.(i).(j) <- mm.(i).(j)
+              done
+            done)
+          ms;
+        m0
+    | Fo.Exists (_, p) -> collect p
+    | Fo.Or ps ->
+        let ms = List.map collect ps in
+        let m0 = base () in
+        (match ms with
+        | [] -> m0
+        | first :: rest ->
+            for i = 0 to nv - 1 do
+              for j = 0 to nv - 1 do
+                m0.(i).(j) <-
+                  List.fold_left
+                    (fun acc mm -> max acc mm.(i).(j))
+                    first.(i).(j) rest
+              done
+            done;
+            m0)
+    | Fo.Eq (x, y) ->
+        let m0 = base () in
+        m0.(vidx x).(vidx y) <- 0;
+        m0.(vidx y).(vidx x) <- 0;
+        m0
+    | Fo.Edge (x, y) ->
+        let m0 = base () in
+        m0.(vidx x).(vidx y) <- 1;
+        m0.(vidx y).(vidx x) <- 1;
+        m0
+    | Fo.Dist_le (x, y, d) ->
+        let m0 = base () in
+        m0.(vidx x).(vidx y) <- d;
+        m0.(vidx y).(vidx x) <- d;
+        m0
+    | _ -> base ()
+  in
+  let mat = collect phi in
+  (* Floyd–Warshall closure *)
+  for k = 0 to nv - 1 do
+    for i = 0 to nv - 1 do
+      for j = 0 to nv - 1 do
+        if mat.(i).(k) + mat.(k).(j) < mat.(i).(j) then
+          mat.(i).(j) <- mat.(i).(k) + mat.(k).(j)
+      done
+    done
+  done;
+  let res = Array.make_matrix m m inf in
+  List.iteri
+    (fun i v ->
+      List.iteri (fun j w -> res.(i).(j) <- mat.(vidx v).(vidx w)) fvs)
+    fvs;
+  res
+
+(* ------------------------------------------------------------------ *)
+(* Boolean skeleton over blocks. *)
+
+type bexpr =
+  | BTrue
+  | BFalse
+  | BLit of int * bool
+  | BAnd of bexpr list
+  | BOr of bexpr list
+
+let extract nnf =
+  let blocks = ref [] in
+  let count = ref 0 in
+  let get_id bphi =
+    let rec find = function
+      | [] ->
+          let id = !count in
+          incr count;
+          blocks := (bphi, id) :: !blocks;
+          id
+      | (p, id) :: _ when Fo.equal p bphi -> id
+      | _ :: rest -> find rest
+    in
+    find !blocks
+  in
+  let rec go = function
+    | Fo.True -> BTrue
+    | Fo.False -> BFalse
+    | Fo.And ps -> BAnd (List.map go ps)
+    | Fo.Or ps -> BOr (List.map go ps)
+    | Fo.Not atom -> BLit (get_id atom, false)
+    | (Fo.Eq _ | Fo.Edge _ | Fo.Color _ | Fo.Dist_le _) as a ->
+        BLit (get_id a, true)
+    | (Fo.Exists _ | Fo.Forall _) as q -> BLit (get_id q, true)
+  in
+  let e = go nnf in
+  let arr = Array.make !count Fo.True in
+  List.iter (fun (p, id) -> arr.(id) <- p) !blocks;
+  (e, arr)
+
+let rec peval det = function
+  | BTrue -> BTrue
+  | BFalse -> BFalse
+  | BLit (i, p) -> (
+      match det i with
+      | Some v -> if v = p then BTrue else BFalse
+      | None -> BLit (i, p))
+  | BAnd es ->
+      let es = List.map (peval det) es in
+      if List.mem BFalse es then BFalse
+      else begin
+        match List.filter (fun e -> e <> BTrue) es with
+        | [] -> BTrue
+        | [ e ] -> e
+        | es -> BAnd es
+      end
+  | BOr es ->
+      let es = List.map (peval det) es in
+      if List.mem BTrue es then BTrue
+      else begin
+        match List.filter (fun e -> e <> BFalse) es with
+        | [] -> BFalse
+        | [ e ] -> e
+        | es -> BOr es
+      end
+
+let dnf_cap = 256
+
+(* clauses as sorted (id, polarity) lists; None = contradictory clause *)
+let clause_add lit clause =
+  let rec go = function
+    | [] -> Some [ lit ]
+    | (i, p) :: rest when i = fst lit ->
+        if p = snd lit then Some ((i, p) :: rest) else None
+    | ((i, _) as hd) :: rest when i < fst lit -> (
+        match go rest with Some r -> Some (hd :: r) | None -> None)
+    | rest -> Some (lit :: rest)
+  in
+  go clause
+
+let dnf e =
+  let rec go = function
+    | BTrue -> [ [] ]
+    | BFalse -> []
+    | BLit (i, p) -> [ [ (i, p) ] ]
+    | BOr es -> List.concat_map go es
+    | BAnd es ->
+        List.fold_left
+          (fun acc e ->
+            let d = go e in
+            let prod =
+              List.concat_map
+                (fun clause ->
+                  List.filter_map
+                    (fun clause' ->
+                      List.fold_left
+                        (fun acc lit ->
+                          match acc with
+                          | None -> None
+                          | Some c -> clause_add lit c)
+                        (Some clause) clause')
+                    d)
+                acc
+            in
+            if List.length prod > dnf_cap then fail "DNF blow-up";
+            prod)
+          [ [] ] es
+  in
+  let clauses = go e in
+  List.sort_uniq compare clauses
+
+(* ------------------------------------------------------------------ *)
+
+let compile query =
+  let fvs = Fo.free_vars query in
+  let vars = Array.of_list fvs in
+  let fallback reason = Fallback { query; vars; reason } in
+  if fvs = [] then fallback "sentence: handled by direct model checking"
+  else if Array.length vars > 4 then
+    fallback "arity exceeds the distance-type enumeration limit (4)"
+  else begin
+    try
+      let k = Array.length vars in
+      let pos v =
+        let rec go i = if vars.(i) = v then i else go (i + 1) in
+        go 0
+      in
+      let nnf = Fo.miniscope (Fo.nnf (Fo.simplify query)) in
+      let bexpr, blocks = extract nnf in
+      let infos =
+        Array.map
+          (fun bphi ->
+            let bfvs = Fo.free_vars bphi in
+            let closed = bfvs = [] in
+            let locality = if closed then 0 else block_locality bphi bfvs in
+            (bfvs, closed, locality))
+          blocks
+      in
+      (* link matrices for open quantified blocks spanning ≥ 2 variables *)
+      let links =
+        Array.mapi
+          (fun i bphi ->
+            let bfvs, closed, _ = infos.(i) in
+            if closed || List.length bfvs < 2 then None
+            else
+              match bphi with
+              | Fo.Exists _ | Fo.Forall _ -> Some (link_matrix bphi bfvs)
+              | _ -> None)
+          blocks
+      in
+      (* The type threshold must dominate every distance atom between
+         free variables and every finite link bound a quantified block
+         forces between its free variables, so that cross-component
+         blocks are refutable. *)
+      let radius =
+        let r = ref (max 1 (Fo.max_dist query)) in
+        Array.iter
+          (function
+            | None -> ()
+            | Some m ->
+                Array.iter
+                  (Array.iter (fun d -> if d < link_inf then r := max !r d))
+                  m)
+          links;
+        !r
+      in
+      let locality =
+        Array.fold_left (fun acc (_, _, l) -> max acc l) radius infos
+      in
+      let disjuncts = ref [] in
+      List.iter
+        (fun tau ->
+          let comps = Dtype.components tau in
+          let comp_of = Array.make k (-1) in
+          List.iteri
+            (fun ci comp -> List.iter (fun p -> comp_of.(p) <- ci) comp)
+            comps;
+          let crosses bfvs =
+            let cs = List.sort_uniq compare
+                       (List.map (fun v -> comp_of.(pos v)) bfvs) in
+            List.length cs > 1
+          in
+          (* Determine cross-component blocks under this type.  A block
+             we cannot refute is kept as a literal and only causes a
+             fallback if it survives into some DNF clause — often the
+             clause dies through another determined literal first
+             (e.g. an edge atom forcing the components together). *)
+          let problematic : (int, string) Hashtbl.t = Hashtbl.create 4 in
+          let det i =
+            let bfvs, closed, _ = infos.(i) in
+            if closed then None
+            else begin
+              match blocks.(i) with
+              (* Atoms between two free positions are determined by the
+                 type wherever possible: a τ-edge certifies dist ≤ r,
+                 its absence certifies dist > r — in particular a local
+                 formula can never contradict its own type. *)
+              | (Fo.Eq (u, v) | Fo.Edge (u, v)) when u <> v ->
+                  if Dtype.mem tau (pos u) (pos v) then None else Some false
+              | Fo.Dist_le (u, v, d) when u <> v ->
+                  if Dtype.mem tau (pos u) (pos v) then
+                    if d >= radius then Some true else None
+                  else if d <= radius then Some false
+                  else begin
+                    if crosses bfvs then
+                      Hashtbl.replace problematic i
+                        "cross-component distance atom beyond radius";
+                    None
+                  end
+              | (Fo.Exists _ | Fo.Forall _) when crosses bfvs -> (
+                  match links.(i) with
+                  | None ->
+                      Hashtbl.replace problematic i
+                        "cross-component block without link bound";
+                      None
+                  | Some m ->
+                      let falsified = ref false in
+                      List.iteri
+                        (fun a va ->
+                          List.iteri
+                            (fun b vb ->
+                              if
+                                a < b
+                                && comp_of.(pos va) <> comp_of.(pos vb)
+                                && m.(a).(b) <= radius
+                              then falsified := true)
+                            bfvs)
+                        bfvs;
+                      if !falsified then Some false
+                      else begin
+                        Hashtbl.replace problematic i
+                          "cross-component block not refutable";
+                        None
+                      end)
+              | _ ->
+                  if crosses bfvs then
+                    Hashtbl.replace problematic i
+                      "unexpected cross-component block";
+                  None
+            end
+          in
+          let reduced = peval det bexpr in
+          let clauses = dnf reduced in
+          List.iter
+            (fun clause ->
+              List.iter
+                (fun (i, _) ->
+                  match Hashtbl.find_opt problematic i with
+                  | Some reason -> fail "%s" reason
+                  | None -> ())
+                clause)
+            clauses;
+          List.iter
+            (fun clause ->
+              let sentences =
+                List.filter_map
+                  (fun (i, p) ->
+                    let _, closed, _ = infos.(i) in
+                    if closed then Some (blocks.(i), p) else None)
+                  clause
+              in
+              let locals =
+                List.map
+                  (fun comp ->
+                    let lits =
+                      List.filter_map
+                        (fun (i, p) ->
+                          let bfvs, closed, _ = infos.(i) in
+                          if closed then None
+                          else if comp_of.(pos (List.hd bfvs))
+                                  = comp_of.(List.hd comp)
+                          then Some (if p then blocks.(i) else Fo.Not blocks.(i))
+                          else None)
+                        clause
+                    in
+                    (comp, Fo.conj lits))
+                  comps
+              in
+              disjuncts := { tau; locals; sentences } :: !disjuncts)
+            clauses)
+        (Dtype.all k);
+      Compiled
+        { query; vars; radius; locality; disjuncts = List.rev !disjuncts }
+    with Fail reason -> fallback reason
+  end
+
+let vars = function Compiled c -> c.vars | Fallback f -> f.vars
+
+let arity t = Array.length (vars t)
+
+let pp fmt = function
+  | Fallback f -> Format.fprintf fmt "fallback (%s): %a" f.reason Fo.pp f.query
+  | Compiled c ->
+      Format.fprintf fmt "@[<v>compiled r=%d L=%d, %d disjuncts@," c.radius
+        c.locality (List.length c.disjuncts);
+      List.iter
+        (fun d ->
+          Format.fprintf fmt "  %a:@," Dtype.pp d.tau;
+          List.iter
+            (fun (comp, phi) ->
+              Format.fprintf fmt "    comp %s: %a@,"
+                (String.concat "," (List.map string_of_int comp))
+                Fo.pp phi)
+            d.locals;
+          List.iter
+            (fun (phi, p) ->
+              Format.fprintf fmt "    sentence %s: %a@,"
+                (if p then "+" else "-")
+                Fo.pp phi)
+            d.sentences)
+        c.disjuncts;
+      Format.fprintf fmt "@]"

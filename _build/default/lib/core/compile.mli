@@ -1,0 +1,57 @@
+(** Query decomposition into distance types and local formulas — the
+    implementable counterpart of the Rank-Preserving Normal Form
+    (Theorem 5.4, due to Grohe–Schweikardt).
+
+    For a query [φ(x̄)] of arity k we produce, for every distance type
+    [τ] over the positions, a set of {e disjuncts}; each disjunct
+    carries one {e local formula} per connected component of [τ] plus a
+    set of {e sentence} literals (the analogue of the independence
+    sentences [ξ]).  Soundness: [G ⊨ φ(ā)] iff for [τ = τ_r(ā)] some
+    disjunct of [τ] has all its sentence literals true in G and all its
+    local formulas true on [ā_I] {e within any bag containing}
+    [N_L(ā_I)] — mirroring properties (a) and (c) of Theorem 5.4.
+
+    The construction is exact for the {e guarded-local fragment}:
+    boolean combinations of (i) atoms over free variables and (ii)
+    quantified blocks in which every existential variable is guarded by
+    a positive distance/edge/equality atom anchored in an outer
+    variable, and every universal variable is co-guarded by a negative
+    one.  Quantified blocks without free variables become sentence
+    literals.  Queries outside the fragment yield [Fallback] and are
+    answered by direct evaluation (and cross-checked in the tests).
+    The full normal form of [18] is non-elementary and not
+    implementable as stated; see DESIGN.md. *)
+
+type disjunct = {
+  tau : Nd_logic.Dtype.t;
+  locals : (int list * Nd_logic.Fo.t) list;
+      (** per connected component of [tau] (positions sorted): the local
+          formula, whose free variables are the component's variables. *)
+  sentences : (Nd_logic.Fo.t * bool) list;
+      (** closed blocks and required polarity, evaluated once per graph
+          during preprocessing. *)
+}
+
+type compiled = {
+  query : Nd_logic.Fo.t;
+  vars : Nd_logic.Fo.var array;  (** free variables = tuple positions. *)
+  radius : int;  (** [r], the distance-type threshold. *)
+  locality : int;
+      (** [L]: local formulas are exact in any bag containing
+          [N_L(ā_I)]. *)
+  disjuncts : disjunct list;
+}
+
+type t =
+  | Compiled of compiled
+  | Fallback of { query : Nd_logic.Fo.t; vars : Nd_logic.Fo.var array; reason : string }
+
+val compile : Nd_logic.Fo.t -> t
+(** Arity must be ≥ 1 (sentences are handled by direct model
+    checking). *)
+
+val vars : t -> Nd_logic.Fo.var array
+
+val arity : t -> int
+
+val pp : Format.formatter -> t -> unit

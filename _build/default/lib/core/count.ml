@@ -1,0 +1,176 @@
+open Nd_graph
+open Nd_logic
+open Nd_nowhere
+
+type method_ = Exact_pseudolinear | Via_enumeration
+
+type result = { count : int; method_ : method_ }
+
+let via_enumeration g phi =
+  { count = Enumerate.count (Next.build g phi); method_ = Via_enumeration }
+
+(* ------------------------------------------------------------------ *)
+
+let ie_cap = 6 (* inclusion–exclusion subset limit per distance type *)
+
+(* evaluate a local formula in the bag of its first bound vertex;
+   soundness is the usual cover-locality argument *)
+let local_holds local (cover : Cover.t) phi env =
+  match phi with
+  | Fo.True -> true
+  | Fo.False -> false
+  | _ -> (
+      let env =
+        List.filter (fun (x, _) -> List.mem x (Fo.free_vars phi)) env
+      in
+      match env with
+      | [] -> invalid_arg "Count: closed local formula"
+      | (_, v) :: _ ->
+          let bag = cover.Cover.assigned.(v) in
+          Local.sat local ~bag phi env)
+
+let exact_compiled g (c : Compile.compiled) =
+  let k = Array.length c.Compile.vars in
+  let r = c.Compile.radius in
+  let cover = Cover.compute g ~r:(max (2 * r) (r + c.Compile.locality)) in
+  let local = Local.make g cover in
+  let srch = Bfs.searcher g in
+  let n = Cgraph.n g in
+  let gctx = Nd_eval.Naive.ctx g in
+  let sentence_ok (dj : Compile.disjunct) =
+    List.for_all
+      (fun (phi, pol) -> Nd_eval.Naive.model_check gctx phi = pol)
+      dj.Compile.sentences
+  in
+  let live = List.filter sentence_ok c.Compile.disjuncts in
+  let vars = c.Compile.vars in
+  let sat_unary phi v = local_holds local cover phi [ (List.nth (Fo.free_vars phi) 0, v) ]
+  and sat_pair phi a b =
+    local_holds local cover phi [ (vars.(0), a); (vars.(1), b) ]
+  in
+  let sat_unary phi v =
+    match phi with Fo.True -> true | Fo.False -> false | _ -> sat_unary phi v
+  in
+  if k = 1 then begin
+    (* a vertex counts if any disjunct's unary formula holds at it *)
+    let formulas =
+      List.map
+        (fun (dj : Compile.disjunct) ->
+          match dj.Compile.locals with
+          | [ (_, phi) ] -> phi
+          | _ -> assert false)
+        live
+    in
+    let count = ref 0 in
+    for v = 0 to n - 1 do
+      if List.exists (fun phi -> sat_unary phi v) formulas then incr count
+    done;
+    Some { count = !count; method_ = Exact_pseudolinear }
+  end
+  else begin
+    (* k = 2: group clauses by distance type; the two types partition
+       the pairs, and clause overlaps within a type are handled by
+       inclusion–exclusion *)
+    let close_clauses = ref [] and far_clauses = ref [] in
+    List.iter
+      (fun (dj : Compile.disjunct) ->
+        if Dtype.mem dj.Compile.tau 0 1 then begin
+          match dj.Compile.locals with
+          | [ (_, phi) ] -> close_clauses := phi :: !close_clauses
+          | _ -> assert false
+        end
+        else begin
+          match dj.Compile.locals with
+          | [ ([ 0 ], px); ([ 1 ], py) ] ->
+              far_clauses := (px, py) :: !far_clauses
+          | [ ([ 1 ], py); ([ 0 ], px) ] ->
+              far_clauses := (px, py) :: !far_clauses
+          | _ -> assert false
+        end)
+      live;
+    if
+      List.length !close_clauses > ie_cap || List.length !far_clauses > ie_cap
+    then None
+    else begin
+      let subsets xs =
+        List.filter
+          (( <> ) [])
+          (List.fold_left
+             (fun acc x -> acc @ List.map (fun s -> x :: s) acc)
+             [ [] ] xs)
+      in
+      let sign s = if List.length s mod 2 = 1 then 1 else -1 in
+      (* close pairs: distance ≤ r (including a = b), O(Σ|N_r|) *)
+      let close_count conj_phis =
+        let phi = Fo.conj conj_phis in
+        match phi with
+        | Fo.False -> 0
+        | _ ->
+            let total = ref 0 in
+            for a = 0 to n - 1 do
+              let ball = Bfs.sball srch a ~radius:r in
+              Array.iter
+                (fun b ->
+                  if
+                    match phi with
+                    | Fo.True -> true
+                    | _ -> sat_pair phi a b
+                  then incr total)
+                ball
+            done;
+            !total
+      in
+      let close =
+        List.fold_left
+          (fun acc s -> acc + (sign s * close_count s))
+          0
+          (subsets !close_clauses)
+      in
+      (* far pairs: |A|·|B| minus the close (A,B) pairs *)
+      let far_count s =
+        let px = Fo.conj (List.map fst s) and py = Fo.conj (List.map snd s) in
+        let a_flag = Array.init n (fun v -> sat_unary px v) in
+        let b_flag = Array.init n (fun v -> sat_unary py v) in
+        let na =
+          Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a_flag
+        in
+        let nb =
+          Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 b_flag
+        in
+        let close_ab = ref 0 in
+        for a = 0 to n - 1 do
+          if a_flag.(a) then
+            Array.iter
+              (fun b -> if b_flag.(b) then incr close_ab)
+              (Bfs.sball srch a ~radius:r)
+        done;
+        (na * nb) - !close_ab
+      in
+      let far =
+        List.fold_left
+          (fun acc s -> acc + (sign s * far_count s))
+          0
+          (subsets !far_clauses)
+      in
+      Some { count = close + far; method_ = Exact_pseudolinear }
+    end
+  end
+
+let count g phi =
+  let fvs = Fo.free_vars phi in
+  if fvs = [] then
+    {
+      count =
+        (if Nd_eval.Naive.model_check (Nd_eval.Naive.ctx g) phi then 1 else 0);
+      method_ = Exact_pseudolinear;
+    }
+  else
+    match Compile.compile phi with
+    | Compile.Fallback _ -> via_enumeration g phi
+    | Compile.Compiled c ->
+        if Array.length c.Compile.vars > 2 then via_enumeration g phi
+        else begin
+          match exact_compiled g c with
+          | Some r -> r
+          | None -> via_enumeration g phi
+        end

@@ -1,0 +1,30 @@
+(** Counting query solutions without enumerating them.
+
+    The paper's introduction motivates enumeration by the observation
+    that [|q(G)|] can be far larger than [‖G‖], and cites
+    Grohe–Schweikardt (reference [18]) for the companion result that
+    {e counting} solutions over nowhere dense classes is possible in
+    pseudo-linear time.  This module realizes that companion result for
+    the compiled fragment at arities ≤ 2:
+
+    - arity 0/1: the sentence value / the label-set size;
+    - arity 2, per distance type (types are mutually exclusive, clause
+      overlaps within a type handled by inclusion–exclusion):
+      {ul
+      {- {e close} types ([dist(x,y) ≤ r]): direct summation over the
+         radius-r balls, [O(Σ|N_r(a)|)];}
+      {- {e far} types: [|A|·|B| − Σ_{a∈A} |N_r(a) ∩ B|], where A and B
+         are the per-position label sets — counting the quadratically
+         many far pairs in pseudo-linear time.}}
+
+    Queries of higher arity or outside the fragment are counted by
+    enumeration (reported in the result). *)
+
+type method_ =
+  | Exact_pseudolinear  (** counted without materializing solutions *)
+  | Via_enumeration
+
+type result = { count : int; method_ : method_ }
+
+val count : Nd_graph.Cgraph.t -> Nd_logic.Fo.t -> result
+(** Count [|q(G)|].  For a sentence the count is 0 or 1. *)

@@ -1,0 +1,200 @@
+open Nd_util
+open Nd_graph
+open Nd_nowhere
+
+type node =
+  | Base of int array array
+      (* per vertex: the sorted ball N_r(v) ∖ {v}; an explicit table *)
+  | Rec of { cover : Cover.t; per_bag : bag_data array }
+
+and bag_data = {
+  s : int;  (* s_X, a vertex of this level's graph *)
+  ring : int array;
+      (* per bag-member position: dist_{G[X]}(member, s_X), or -1 if > r *)
+  child_vertices : int array;  (* sorted; the bag minus s_X *)
+  child : node;  (* index over the graph induced by child_vertices *)
+}
+
+type t = {
+  r : int;
+  root : node;
+  mutable n_levels : int;
+  mutable n_bags : int;
+  mutable n_base_pairs : int;
+  mutable n_budget_hits : int;
+}
+
+type stats = { levels : int; bags : int; base_pairs : int; budget_hits : int }
+
+let build_base t g ~r =
+  let n = Cgraph.n g in
+  let srch = Bfs.searcher g in
+  let balls =
+    Array.init n (fun a ->
+        let ball = Bfs.sball srch a ~radius:r in
+        let without_self =
+          Array.of_list (List.filter (fun v -> v <> a) (Array.to_list ball))
+        in
+        t.n_base_pairs <- t.n_base_pairs + Array.length without_self;
+        without_self)
+  in
+  Base balls
+
+let rec build_node t g ~r ~threshold ~budget ~level ~hint =
+  t.n_levels <- max t.n_levels level;
+  if Cgraph.n g <= threshold || budget = 0 then begin
+    if budget = 0 && Cgraph.n g > threshold then
+      t.n_budget_hits <- t.n_budget_hits + 1;
+    build_base t g ~r
+  end
+  else if
+    (* Cost guards, from sampled ball sizes.  The explicit table costs
+       ~|N_r| registers per vertex and is the best choice whenever that
+       is moderate.  Recursing pays only when r-balls are large yet the
+       cover overlap (≈ |N_2r| / |N_r|, the bags-per-vertex ratio) is
+       small — the hub-dominated regime where Splitter's move dissolves
+       the neighborhood (stars, deep grids).  A large growth ratio
+       (expander-like regions, dense controls) means the recursion
+       would multiply total size per level; table instead. *)
+    let n = Cgraph.n g in
+    let probes =
+      (* evenly spaced ids, plus the inherited bag center, which is the
+         vertex most likely to have a graph-spanning ball *)
+      List.sort_uniq compare
+        ((match hint with Some h -> [ h ] | None -> [])
+        @ List.init 8 (fun i -> i * (n - 1) / 7))
+    in
+    let srch = Bfs.searcher g in
+    let sum_r = ref 0 and sum_2r = ref 0 in
+    let huge_r = ref false and huge_2r = ref false in
+    List.iter
+      (fun v ->
+        let br = Bfs.sball_size srch v ~radius:r in
+        let b2 = Bfs.sball_size srch v ~radius:(2 * r) in
+        sum_r := !sum_r + br;
+        sum_2r := !sum_2r + b2;
+        if 10 * br >= 9 * n then huge_r := true;
+        if 10 * b2 >= 9 * n then huge_2r := true)
+      probes;
+    let nprobes = List.length probes in
+    (* table whenever the per-vertex ball budget is moderate: recursion
+       only wins in hub regimes where r-balls grow with n *)
+    !sum_r <= max threshold (n / 32) * nprobes
+    || !sum_2r > 8 * !sum_r
+    || ((not !huge_r) && !huge_2r)
+  then build_base t g ~r
+  else begin
+    let cover = Cover.compute g ~r in
+    t.n_bags <- t.n_bags + Cover.bag_count cover;
+    let per_bag =
+      Array.mapi
+        (fun id bag ->
+          let center = cover.Cover.centers.(id) in
+          let sub, to_orig = Cgraph.induced g bag in
+          let c_local =
+            match Cgraph.local_of_orig bag center with
+            | Some i -> i
+            | None -> assert false
+          in
+          (* Splitter's answer when Connector plays the bag's center *)
+          let s_local =
+            Splitter.splitter_center
+              { Splitter.graph = sub; to_orig }
+              ~connector:c_local
+          in
+          let s = to_orig.(s_local) in
+          (* rings: distance to s_X inside G[X] *)
+          let ring = Bfs.dist_upto sub s_local ~radius:r in
+          let child_vertices =
+            Array.of_list (List.filter (fun v -> v <> s) (Array.to_list bag))
+          in
+          let child_graph, _ = Cgraph.induced g child_vertices in
+          let child =
+            (* second shrinkage guard, per bag: only recurse into a
+               child at most half the current graph, so the depth is
+               logarithmic and the per-level duplication cannot
+               compound (the regime beyond this is where the paper's
+               λ-bound hides non-elementary constants) — otherwise
+               table it *)
+            if 2 * Array.length child_vertices >= Cgraph.n g then
+              build_base t child_graph ~r
+            else begin
+              let hint =
+                if center = s then None
+                else
+                  let i = Sorted.lower_bound child_vertices center in
+                  if
+                    i < Array.length child_vertices
+                    && child_vertices.(i) = center
+                  then Some i
+                  else None
+              in
+              build_node t child_graph ~r ~threshold ~budget:(budget - 1)
+                ~level:(level + 1) ~hint
+            end
+          in
+          { s; ring; child_vertices; child })
+        cover.Cover.bags
+    in
+    Rec { cover; per_bag }
+  end
+
+let build ?(base_threshold = 256) ?(depth_budget = 20) g ~r =
+  if r < 0 then invalid_arg "Dist_index.build: negative radius";
+  let t =
+    {
+      r;
+      root = Base [||];
+      n_levels = 0;
+      n_bags = 0;
+      n_base_pairs = 0;
+      n_budget_hits = 0;
+    }
+  in
+  let root =
+    build_node t g ~r ~threshold:base_threshold ~budget:depth_budget ~level:0
+      ~hint:None
+  in
+  { t with root }
+
+let radius t = t.r
+
+let rec test_node node ~r a b =
+  if a = b then true
+  else
+    match node with
+    | Base balls -> Sorted.mem balls.(a) b
+    | Rec { cover; per_bag } ->
+        let bag_id = cover.Cover.assigned.(a) in
+        let bag = cover.Cover.bags.(bag_id) in
+        if not (Sorted.mem bag b) then false
+        else begin
+          let bd = per_bag.(bag_id) in
+          let pos v =
+            let i = Sorted.lower_bound bag v in
+            assert (i < Array.length bag && bag.(i) = v);
+            i
+          in
+          if a = bd.s then bd.ring.(pos b) >= 0
+          else if b = bd.s then bd.ring.(pos a) >= 0
+          else begin
+            let ra = bd.ring.(pos a) and rb = bd.ring.(pos b) in
+            if ra >= 0 && rb >= 0 && ra + rb <= r then true
+            else begin
+              (* path avoiding s_X: recurse into X' *)
+              let la = Sorted.lower_bound bd.child_vertices a in
+              let lb = Sorted.lower_bound bd.child_vertices b in
+              test_node bd.child ~r la lb
+            end
+          end
+        end
+
+let test t a b = test_node t.root ~r:t.r a b
+
+let stats t =
+  {
+    levels = t.n_levels;
+    bags = t.n_bags;
+    base_pairs = t.n_base_pairs;
+    budget_hits = t.n_budget_hits;
+  }

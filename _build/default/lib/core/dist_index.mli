@@ -1,0 +1,41 @@
+(** Constant-time distance testing (Proposition 4.2).
+
+    After a preprocessing of the graph, [test t a b] decides
+    [dist(a,b) ≤ r] in time independent of [|G|].
+
+    The construction follows Section 4.2 literally, by induction on the
+    number of rounds Splitter needs:
+
+    + compute an (r,2r)-neighborhood cover [𝒳];
+    + for every bag [X], compute Splitter's answer [s_X] to the center
+      [c_X], and the rings [R_i = {w ∈ X | dist_{G[X]}(w, s_X) ≤ i}];
+    + recurse on [X' = G[X ∖ {s_X}]] — one Splitter round fewer;
+    + [test a b]: [dist_G(a,b) ≤ r] iff [b ∈ 𝒳(a)] and, inside the bag,
+      either the path avoids [s_X] (recursive test in [X']) or passes
+      through it ([ring a + ring b ≤ r]), with the two degenerate
+      [a = s_X] / [b = s_X] cases.
+
+    The recursion bottoms out on small graphs, when a shrinkage guard
+    detects that the cover-and-recurse step has stalled (one vertex per
+    round — the regime outside the nowhere dense guarantee), or when
+    the depth budget is exhausted; the base case stores each vertex's
+    r-ball as a sorted table. *)
+
+type t
+
+val build : ?base_threshold:int -> ?depth_budget:int -> Nd_graph.Cgraph.t -> r:int -> t
+(** Defaults: [base_threshold = 256], [depth_budget = 20]. *)
+
+val radius : t -> int
+
+val test : t -> int -> int -> bool
+(** [test t a b]: is [dist_G(a,b) ≤ r]? *)
+
+type stats = {
+  levels : int;  (** maximum recursion depth reached *)
+  bags : int;  (** total bags over all levels *)
+  base_pairs : int;  (** pairs stored in base-case tables *)
+  budget_hits : int;  (** base cases forced by the depth budget *)
+}
+
+val stats : t -> stats

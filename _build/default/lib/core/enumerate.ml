@@ -1,0 +1,58 @@
+open Nd_graph
+
+let to_seq t =
+  let n = Cgraph.n (Next.graph t) in
+  let k = Next.arity t in
+  let rec from tup () =
+    match tup with
+    | None -> Seq.Nil
+    | Some tup -> (
+        match Next.next_solution t tup with
+        | None -> Seq.Nil
+        | Some sol -> Seq.Cons (sol, from (Nd_util.Tuple.succ ~n sol)))
+  in
+  if n = 0 then Seq.empty else from (Some (Nd_util.Tuple.min k))
+
+let iter ?limit f t =
+  let count = ref 0 in
+  let seq = to_seq t in
+  let rec go seq =
+    match limit with
+    | Some l when !count >= l -> ()
+    | _ -> (
+        match seq () with
+        | Seq.Nil -> ()
+        | Seq.Cons (sol, rest) ->
+            incr count;
+            f sol;
+            go rest)
+  in
+  go seq
+
+let to_list ?limit t =
+  let acc = ref [] in
+  iter ?limit (fun sol -> acc := sol :: !acc) t;
+  List.rev !acc
+
+let count t =
+  let c = ref 0 in
+  iter (fun _ -> incr c) t;
+  !c
+
+let delays t ~first f =
+  let ds = ref [] in
+  let t0 = Unix.gettimeofday () in
+  let last = ref t0 in
+  let saw_first = ref false in
+  iter
+    (fun sol ->
+      let now = Unix.gettimeofday () in
+      if not !saw_first then begin
+        first := now -. t0;
+        saw_first := true
+      end
+      else ds := (now -. !last) :: !ds;
+      last := now;
+      f sol)
+    t;
+  Array.of_list (List.rev !ds)

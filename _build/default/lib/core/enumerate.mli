@@ -1,0 +1,21 @@
+(** Constant-delay enumeration (Corollary 2.5).
+
+    Solutions are produced one by one, without repetition, in
+    increasing lexicographic order: after outputting [ā], the next
+    output is the smallest solution [≥ ā+1], obtained from the
+    Theorem 2.3 data structure in constant time. *)
+
+val to_seq : Next.t -> int array Seq.t
+(** Lazily enumerate all solutions in lexicographic order. *)
+
+val iter : ?limit:int -> (int array -> unit) -> Next.t -> unit
+
+val to_list : ?limit:int -> Next.t -> int array list
+
+val count : Next.t -> int
+
+val delays : Next.t -> first:float ref -> (int array -> unit) -> float array
+(** Instrumented enumeration: run the full enumeration, store the time
+    to the first solution in [first] (seconds), invoke the callback on
+    each solution and return the array of inter-solution delays in
+    seconds (the quantity Corollary 2.5 bounds). *)

@@ -1,0 +1,58 @@
+open Nd_graph
+open Nd_nowhere
+open Nd_logic
+
+type bag_ctx = { ctx : Nd_eval.Naive.ctx; to_orig : int array }
+
+type t = {
+  g : Cgraph.t;
+  cover : Cover.t;
+  ctxs : bag_ctx option array;
+  memo : (int * Fo.t * (Fo.var * int) list, bool) Hashtbl.t;
+  mutable materialized : int;
+}
+
+let make g cover =
+  {
+    g;
+    cover;
+    ctxs = Array.make (Array.length cover.Cover.bags) None;
+    memo = Hashtbl.create 4096;
+    materialized = 0;
+  }
+
+let force t bag =
+  match t.ctxs.(bag) with
+  | Some c -> c
+  | None ->
+      let sub, to_orig = Cgraph.induced t.g t.cover.Cover.bags.(bag) in
+      let c = { ctx = Nd_eval.Naive.ctx ~cache:true sub; to_orig } in
+      t.ctxs.(bag) <- Some c;
+      t.materialized <- t.materialized + 1;
+      c
+
+let bag_graph t bag =
+  let c = force t bag in
+  (Nd_eval.Naive.graph c.ctx, c.to_orig)
+
+let sat t ~bag phi env =
+  let key = (bag, phi, env) in
+  match Hashtbl.find_opt t.memo key with
+  | Some b -> b
+  | None ->
+      let c = force t bag in
+      let local_env =
+        List.map
+          (fun (x, v) ->
+            match Cgraph.local_of_orig c.to_orig v with
+            | Some l -> (x, l)
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "Local.sat: vertex %d not in bag %d" v bag))
+          env
+      in
+      let b = Nd_eval.Naive.sat c.ctx ~env:local_env phi in
+      Hashtbl.replace t.memo key b;
+      b
+
+let stats t = (t.materialized, Hashtbl.length t.memo)

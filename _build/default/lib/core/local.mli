@@ -1,0 +1,27 @@
+(** Bag-local evaluation contexts.
+
+    The answering phase repeatedly evaluates local formulas [ψ(ā_I)]
+    inside induced subgraphs [G★[X]] for bags [X] of a neighborhood
+    cover.  This module materializes the induced subgraphs lazily, keeps
+    a distance-cached {!Nd_eval.Naive} context per bag, and memoizes
+    satisfaction checks.
+
+    This is the implementation substitute for the paper's per-bag
+    λ-recursion (Steps 9–11 of the preprocessing) whose constants are
+    non-elementary; see DESIGN.md.  Correctness is identical — only the
+    per-bag oracle differs. *)
+
+type t
+
+val make : Nd_graph.Cgraph.t -> Nd_nowhere.Cover.t -> t
+
+val bag_graph : t -> int -> Nd_graph.Cgraph.t * int array
+(** The induced subgraph of the bag and its [to_orig] map. *)
+
+val sat : t -> bag:int -> Nd_logic.Fo.t -> (Nd_logic.Fo.var * int) list -> bool
+(** [sat t ~bag φ env]: does [G[X_bag] ⊨ φ(env)]?  Environment values
+    are original-graph vertices and must belong to the bag.  Memoized
+    on (bag, φ, env). *)
+
+val stats : t -> int * int
+(** (bags materialized, memo entries). *)

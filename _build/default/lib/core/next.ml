@@ -1,0 +1,106 @@
+open Nd_graph
+open Nd_logic
+
+type t = {
+  g : Cgraph.t;
+  k : int;
+  vars : Fo.var array;
+  queries : Fo.t array;  (* queries.(j-1) = φ_j, the arity-j projection *)
+  answers : Answer.t option array;  (* answers.(j-1); always Some at j = k *)
+}
+
+let build g phi =
+  let fvs = Fo.free_vars phi in
+  let k = List.length fvs in
+  if k = 0 then invalid_arg "Next.build: sentence (use Tester)";
+  let vars = Array.of_list fvs in
+  let queries = Array.make k phi in
+  for j = k - 1 downto 1 do
+    (* φ_j = ∃ x_{j+1} φ_{j+1} *)
+    queries.(j - 1) <- Fo.simplify (Fo.Exists (vars.(j), queries.(j)))
+  done;
+  let answers =
+    Array.init k (fun idx ->
+        let q = queries.(idx) in
+        let comp = Compile.compile q in
+        match comp with
+        | Compile.Compiled _ -> Some (Answer.build g comp)
+        | Compile.Fallback _ ->
+            if idx = k - 1 then Some (Answer.build g comp) else None)
+  in
+  { g; k; vars; queries; answers }
+
+let graph t = t.g
+let arity t = t.k
+let vars t = t.vars
+
+let top t =
+  match t.answers.(t.k - 1) with Some a -> a | None -> assert false
+
+let compiled_levels t =
+  Array.mapi
+    (fun idx a ->
+      match a with
+      | Some a -> (
+          match Answer.compiled a with
+          | Compile.Compiled _ -> true
+          | Compile.Fallback _ -> idx < t.k - 1)
+      | None -> false)
+    t.answers
+
+(* next value of coordinate j (1-based arity j) given its (j-1)-prefix *)
+let rec next_c t j prefix from =
+  let n = Cgraph.n t.g in
+  if from >= n then None
+  else
+    match t.answers.(j - 1) with
+    | Some a -> Answer.next_in_last a ~prefix ~from
+    | None ->
+        (* extendability scan through the level above *)
+        let rec go c =
+          if c >= n then None
+          else if extendable t j (Array.append prefix [| c |]) then Some c
+          else go (c + 1)
+        in
+        go (max 0 from)
+
+and extendable t j p = next_c t (j + 1) p 0 <> None
+
+(* smallest solution of φ_j that is ≥ t̄ (arity j) *)
+let rec next_full t j (tup : int array) =
+  let prefix = Array.sub tup 0 (j - 1) in
+  match next_c t j prefix tup.(j - 1) with
+  | Some b -> Some (Array.append prefix [| b |])
+  | None ->
+      if j = 1 then None
+      else begin
+        match Nd_util.Tuple.succ ~n:(Cgraph.n t.g) prefix with
+        | None -> None
+        | Some p1 -> (
+            match next_full t (j - 1) p1 with
+            | None -> None
+            | Some p' -> (
+                match next_c t j p' 0 with
+                | Some b -> Some (Array.append p' [| b |])
+                | None ->
+                    (* p' solves ∃x_j φ_j, so an extension must exist *)
+                    assert false))
+      end
+
+let next_solution t a =
+  if Array.length a <> t.k then invalid_arg "Next.next_solution: arity";
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= Cgraph.n t.g then
+        invalid_arg "Next.next_solution: vertex out of range")
+    a;
+  next_full t t.k a
+
+let first t =
+  if Cgraph.n t.g = 0 then None
+  else next_solution t (Nd_util.Tuple.min t.k)
+
+let test t a =
+  match next_solution t a with
+  | Some b -> Nd_util.Tuple.equal a b
+  | None -> false

@@ -1,0 +1,39 @@
+(** The main theorem's interface (Theorem 2.3 / Theorem 5.1): after
+    preprocessing, compute for any tuple [ā] the smallest solution
+    [ā' ≥ ā] in lexicographic order.
+
+    The construction is the nested induction of Section 5: arity-k
+    next-solution is assembled from (i) the Lemma 5.2 machinery
+    ({!Answer}) fixing the first k-1 coordinates, and (ii) next-solution
+    for the (k-1)-ary projection [∃x_k φ].  Projections that still lie
+    in the compiled fragment get their own {!Answer} preprocessing;
+    projections that fall out of it are answered by monotone
+    extendability scans through the level above (each dead prefix is
+    visited at most once per full enumeration — the pragmatic substitute
+    for re-normalizing the projected query, see DESIGN.md). *)
+
+type t
+
+val build : Nd_graph.Cgraph.t -> Nd_logic.Fo.t -> t
+(** The query must have arity ≥ 1. *)
+
+val graph : t -> Nd_graph.Cgraph.t
+
+val arity : t -> int
+
+val vars : t -> Nd_logic.Fo.var array
+
+val top : t -> Answer.t
+(** The arity-k {!Answer} structure (for stats / ablation hooks). *)
+
+val compiled_levels : t -> bool array
+(** Per arity level [1..k]: was that projection compiled (vs. scanned)? *)
+
+val next_solution : t -> int array -> int array option
+(** [next_solution t ā]: the smallest solution [≥ ā] (Theorem 2.3).
+    [ā] must have arity k with entries in [0, n). *)
+
+val first : t -> int array option
+
+val test : t -> int array -> bool
+(** Corollary 2.4. *)

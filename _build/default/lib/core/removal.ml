@@ -1,0 +1,101 @@
+open Nd_util
+open Nd_graph
+open Nd_logic
+
+type result = {
+  graph : Cgraph.t;
+  to_orig : int array;
+  query : Fo.t;
+  dist_color : int -> int;
+}
+
+let apply g ~s ~query ~pinned =
+  let fv = Fo.free_vars query in
+  List.iter
+    (fun y ->
+      if not (List.mem y fv) then
+        invalid_arg ("Removal.apply: pinned variable " ^ y ^ " is not free"))
+    pinned;
+  let dmax = max 1 (Fo.max_dist query) in
+  let base_colors = Cgraph.color_count g in
+  let dist_color i =
+    if i < 1 || i > dmax then invalid_arg "Removal.dist_color";
+    base_colors + i - 1
+  in
+  (* H: remove s, append D_1 … D_dmax *)
+  let h0, to_orig = Cgraph.remove_vertex g s in
+  let dist_s = Bfs.dist_upto g s ~radius:dmax in
+  let extra =
+    Array.init dmax (fun idx ->
+        let i = idx + 1 in
+        let bs = Bitset.create (Cgraph.n h0) in
+        Array.iteri
+          (fun local orig ->
+            if dist_s.(orig) >= 0 && dist_s.(orig) <= i then
+              Bitset.add bs local)
+          to_orig;
+        bs)
+  in
+  let graph = Cgraph.with_extra_colors h0 extra in
+  (* rewrite, tracking which variables denote s *)
+  let rec go pset phi =
+    let is_s x = List.mem x pset in
+    match phi with
+    | Fo.True -> Fo.True
+    | Fo.False -> Fo.False
+    | Fo.Eq (x, y) -> (
+        match (is_s x, is_s y) with
+        | true, true -> Fo.True
+        | false, false -> Fo.Eq (x, y)
+        | _ -> Fo.False (* a non-removed variable never denotes s *))
+    | Fo.Edge (x, y) -> (
+        match (is_s x, is_s y) with
+        | true, true -> Fo.False
+        | true, false -> Fo.Color (dist_color 1, y)
+        | false, true -> Fo.Color (dist_color 1, x)
+        | false, false -> Fo.Edge (x, y))
+    | Fo.Color (c, x) ->
+        if is_s x then
+          if c < Cgraph.color_count g && Cgraph.has_color g ~color:c s then
+            Fo.True
+          else Fo.False
+        else Fo.Color (c, x)
+    | Fo.Dist_le (x, y, d) -> (
+        match (is_s x, is_s y) with
+        | true, true -> Fo.True
+        | true, false ->
+            if d = 0 then Fo.False
+            else Fo.Color (dist_color (min d dmax), y)
+        | false, true ->
+            if d = 0 then Fo.False
+            else Fo.Color (dist_color (min d dmax), x)
+        | false, false ->
+            if x = y then Fo.True
+            else begin
+              (* a shortest path may pass through s *)
+              let via = ref [] in
+              for i = 1 to d - 1 do
+                let j = d - i in
+                if j >= 1 then
+                  via :=
+                    Fo.And
+                      [
+                        Fo.Color (dist_color i, x); Fo.Color (dist_color j, y);
+                      ]
+                    :: !via
+              done;
+              Fo.disj (Fo.Dist_le (x, y, d) :: List.rev !via)
+            end)
+    | Fo.Not p -> Fo.Not (go pset p)
+    | Fo.And ps -> Fo.And (List.map (go pset) ps)
+    | Fo.Or ps -> Fo.Or (List.map (go pset) ps)
+    | Fo.Exists (x, p) ->
+        (* a binder shadows any pinning of the same name *)
+        let pset' = List.filter (( <> ) x) pset in
+        Fo.disj [ Fo.Exists (x, go pset' p); go (x :: pset') p ]
+    | Fo.Forall (x, p) ->
+        let pset' = List.filter (( <> ) x) pset in
+        Fo.conj [ Fo.Forall (x, go pset' p); go (x :: pset') p ]
+  in
+  let query = Fo.simplify (go pinned query) in
+  { graph; to_orig; query; dist_color }

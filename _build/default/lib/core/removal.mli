@@ -1,0 +1,31 @@
+(** The Removal Lemma (Lemma 5.5).
+
+    Given a colored graph [G], a node [s], a query [φ(z̄)] and a subset
+    [ȳ ⊆ z̄] of its free variables, produce a recoloring [H] of
+    [G ∖ {s}] and a query [φ'(z̄ ∖ ȳ)] such that for every tuple [b̄]
+    whose [ȳ]-positions hold exactly [s]:
+
+    [G ⊨ φ(b̄)  ⟺  H ⊨ φ'(b̄ ∖ ȳ)].
+
+    The recoloring adds, for [1 ≤ i ≤ D] (the largest distance constant
+    of [φ], at least 1), the color [D_i = {w ≠ s | dist_G(w,s) ≤ i}].
+    The rewriting replaces atoms mentioning removed variables by color
+    atoms, repairs distance atoms whose witnessing paths may pass
+    through [s] ([dist_G(x,y) ≤ d  ⟺  dist_H(x,y) ≤ d ∨ ⋁_{i+j≤d}
+    D_i(x)∧D_j(y)]), and splits every quantifier into its [≠ s] and
+    [= s] branches.  The q-rank of [φ'] does not exceed that of [φ]. *)
+
+type result = {
+  graph : Nd_graph.Cgraph.t;  (** [H]: [G∖{s}] with the [D_i] colors appended. *)
+  to_orig : int array;  (** vertex map [H → G]. *)
+  query : Nd_logic.Fo.t;  (** [φ']. *)
+  dist_color : int -> int;  (** [i ↦] index of color [D_i], [1 ≤ i ≤ D]. *)
+}
+
+val apply :
+  Nd_graph.Cgraph.t ->
+  s:int ->
+  query:Nd_logic.Fo.t ->
+  pinned:Nd_logic.Fo.var list ->
+  result
+(** [pinned] must be a subset of the free variables of [query]. *)

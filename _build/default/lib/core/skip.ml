@@ -1,0 +1,129 @@
+open Nd_util
+
+type t = {
+  kernels : int array array;
+  l : int array;
+  n : int;
+  k : int;
+  next_geq : int array;  (* size n+1; next_geq.(v) = min L-elem ≥ v, -1 if none *)
+  sc : (int list, int option) Hashtbl.t array;
+}
+
+let in_kernel t v x = Sorted.mem t.kernels.(x) v
+let in_any t v s = List.exists (in_kernel t v) s
+let mem_l t v = Sorted.mem t.l v
+
+let next_l_gt t b = if b + 1 > t.n then None
+  else begin
+    let v = t.next_geq.(b + 1) in
+    if v = -1 then None else Some v
+  end
+
+(* subsets of [s] ordered by decreasing cardinality (each sorted) *)
+let subsets_desc s =
+  let arr = Array.of_list s in
+  let m = Array.length arr in
+  let all =
+    List.init (1 lsl m) (fun mask ->
+        let sub = ref [] in
+        for i = m - 1 downto 0 do
+          if mask land (1 lsl i) <> 0 then sub := arr.(i) :: !sub
+        done;
+        !sub)
+  in
+  List.sort (fun a b -> compare (List.length b) (List.length a)) all
+
+let max_subset_in_sc t c s =
+  let tbl = t.sc.(c) in
+  let rec go = function
+    | [] -> None
+    | sub :: rest -> (
+        match Hashtbl.find_opt tbl sub with
+        | Some v -> Some (sub, v)
+        | None -> go rest)
+  in
+  go (List.filter (fun sub -> sub <> []) (subsets_desc s))
+
+(* Claim 5.9: compute SKIP(b,S) from pointers at vertices > b. *)
+let compute_skip t b s =
+  if mem_l t b && not (in_any t b s) then Some b
+  else
+    match next_l_gt t b with
+    | None -> None
+    | Some c ->
+        if not (in_any t c s) then Some c
+        else begin
+          match max_subset_in_sc t c s with
+          | Some (_, v) -> v
+          | None ->
+              (* c lies in the kernel of some X ∈ S, so {X} ∈ SC(c) *)
+              assert false
+        end
+
+let build ~kernels ~kernels_of ~l ~n ~k =
+  if not (Sorted.is_sorted_strict l) then invalid_arg "Skip.build: L not sorted";
+  let next_geq = Array.make (n + 1) (-1) in
+  let cur = ref (-1) in
+  let lset = Hashtbl.create (Array.length l) in
+  Array.iter (fun v -> Hashtbl.replace lset v ()) l;
+  for v = n downto 0 do
+    if v < n && Hashtbl.mem lset v then cur := v;
+    next_geq.(v) <- !cur
+  done;
+  let t =
+    {
+      kernels;
+      l;
+      n;
+      k;
+      next_geq;
+      sc = Array.init n (fun _ -> Hashtbl.create 4);
+    }
+  in
+  for b = n - 1 downto 0 do
+    let worklist = Queue.create () in
+    List.iter (fun x -> Queue.push [ x ] worklist) (kernels_of b);
+    while not (Queue.is_empty worklist) do
+      let s = Queue.pop worklist in
+      if not (Hashtbl.mem t.sc.(b) s) then begin
+        let v = compute_skip t b s in
+        Hashtbl.replace t.sc.(b) s v;
+        if List.length s < k then
+          match v with
+          | None -> ()
+          | Some sv ->
+              List.iter
+                (fun x ->
+                  if not (List.mem x s) then
+                    Queue.push (List.sort compare (x :: s)) worklist)
+                (kernels_of sv)
+      end
+    done
+  done;
+  t
+
+let skip t ~b ~bags =
+  let s = List.sort_uniq compare bags in
+  if List.length s > t.k then invalid_arg "Skip.skip: too many bags";
+  if b < 0 || b >= t.n then invalid_arg "Skip.skip: vertex out of range";
+  if s = [] then begin
+    let v = t.next_geq.(b) in
+    if v = -1 then None else Some v
+  end
+  else compute_skip t b s
+
+let skip_naive t ~b ~bags =
+  let s = List.sort_uniq compare bags in
+  let i0 = Sorted.lower_bound t.l b in
+  let rec go i =
+    if i >= Array.length t.l then None
+    else if not (in_any t t.l.(i) s) then Some t.l.(i)
+    else go (i + 1)
+  in
+  go i0
+
+let table_size t =
+  Array.fold_left (fun acc tbl -> acc + Hashtbl.length tbl) 0 t.sc
+
+let max_sc t =
+  Array.fold_left (fun acc tbl -> max acc (Hashtbl.length tbl)) 0 t.sc

@@ -1,0 +1,41 @@
+(** Skip pointers (Lemma 5.8).
+
+    Given a neighborhood cover with kernels [K(X)], and a label set
+    [L ⊆ V], after an [O(|V|^{1+kε})] preprocessing one can compute in
+    constant time, for any vertex [b] and any set [S] of at most [k]
+    bags,
+
+    [SKIP(b,S) = min {b' ∈ L | b' ≥ b ∧ b' ∉ ⋃_{X∈S} K(X)}].
+
+    The preprocessing materializes [SKIP(b,S)] only for the inductively
+    defined family [SC(b)] of bag sets (Claim 5.10); arbitrary queries
+    are answered through at most one precomputed pointer (Claim 5.9). *)
+
+type t
+
+val build :
+  kernels:int array array ->
+  kernels_of:(int -> int list) ->
+  l:int array ->
+  n:int ->
+  k:int ->
+  t
+(** [kernels]: per bag id, the sorted kernel vertex set.
+    [kernels_of v]: ids of the bags whose kernel contains [v]
+    (pseudo-constant on covers of small degree).
+    [l]: the sorted label set [L].  [k]: the maximum size of query
+    sets [S]. *)
+
+val skip : t -> b:int -> bags:int list -> int option
+(** [SKIP(b, S)]; [S] may contain at most [k] bag ids (duplicates are
+    collapsed). *)
+
+val skip_naive : t -> b:int -> bags:int list -> int option
+(** Brute-force reference: scan [L] from [b].  For tests and the
+    ablation bench. *)
+
+val table_size : t -> int
+(** Number of precomputed pointers [Σ_b |SC(b)|]. *)
+
+val max_sc : t -> int
+(** [max_b |SC(b)|] — pseudo-constant on nowhere dense classes. *)

@@ -1,0 +1,21 @@
+open Nd_logic
+
+type t = Sentence of bool | Query of Answer.t
+
+let build g phi =
+  if Fo.is_sentence phi then
+    Sentence (Nd_eval.Naive.model_check (Nd_eval.Naive.ctx g) phi)
+  else Query (Answer.build g (Compile.compile phi))
+
+let arity = function Sentence _ -> 0 | Query a -> Answer.arity a
+
+let test t a =
+  match t with
+  | Sentence b ->
+      if a <> [||] then invalid_arg "Tester.test: sentence takes no tuple";
+      b
+  | Query ans -> Answer.holds ans a
+
+let holds_sentence = function
+  | Sentence b -> b
+  | Query _ -> invalid_arg "Tester.holds_sentence: not a sentence"

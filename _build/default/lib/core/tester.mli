@@ -1,0 +1,16 @@
+(** Constant-time testing of solutions (Corollary 2.4), including the
+    boolean case (arity 0), for which the preprocessing simply answers
+    the model checking problem — the role Theorem 5.3 plays in the
+    paper. *)
+
+type t
+
+val build : Nd_graph.Cgraph.t -> Nd_logic.Fo.t -> t
+
+val arity : t -> int
+
+val test : t -> int array -> bool
+(** For a sentence, pass [[||]]. *)
+
+val holds_sentence : t -> bool
+(** For arity-0 queries only. *)

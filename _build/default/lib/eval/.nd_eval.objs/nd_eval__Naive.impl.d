@@ -1,0 +1,1 @@
+lib/eval/naive.ml: Array Bfs Cgraph Fo Hashtbl List Nd_graph Nd_logic

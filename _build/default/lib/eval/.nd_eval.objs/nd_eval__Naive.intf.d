@@ -1,0 +1,1 @@
+lib/eval/naive.mli: Nd_graph Nd_logic

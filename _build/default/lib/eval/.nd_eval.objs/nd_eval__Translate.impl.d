@@ -1,0 +1,1 @@
+lib/eval/translate.ml: Array Fo List Nd_graph Nd_logic Printf

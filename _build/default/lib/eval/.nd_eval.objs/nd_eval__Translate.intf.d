@@ -1,0 +1,1 @@
+lib/eval/translate.mli: Nd_graph Nd_logic

@@ -1,0 +1,135 @@
+open Nd_graph
+open Nd_logic
+
+type ctx = {
+  g : Cgraph.t;
+  cache : (int, int * int array) Hashtbl.t option;
+      (* vertex -> (radius computed, bounded distance array) *)
+}
+
+let ctx ?(cache = false) g =
+  { g; cache = (if cache then Some (Hashtbl.create 64) else None) }
+
+let graph c = c.g
+
+let dist_le c u v d =
+  if d < 0 then false
+  else if u = v then true
+  else if d = 0 then false
+  else if d = 1 then Cgraph.has_edge c.g u v
+  else
+    match c.cache with
+    | None ->
+        let dist = Bfs.dist_upto c.g u ~radius:d in
+        dist.(v) >= 0
+    | Some tbl -> (
+        match Hashtbl.find_opt tbl u with
+        | Some (r, dist) when r >= d -> dist.(v) >= 0 && dist.(v) <= d
+        | _ ->
+            let dist = Bfs.dist_upto c.g u ~radius:d in
+            Hashtbl.replace tbl u (d, dist);
+            dist.(v) >= 0)
+
+(* Witness-set narrowing: a conjunctive guard atom linking the
+   quantified variable to an already-bound one restricts existential
+   witnesses to a neighborhood; dually, a negative guard in a
+   disjunction makes far universal witnesses vacuous.  Sound and
+   complete (the guard is implied by / implies the body); it makes
+   bag-local evaluation cost proportional to ball sizes instead of the
+   bag size. *)
+let rec guard_candidates c env z phi =
+  match phi with
+  | Fo.And ps -> List.find_map (guard_candidates c env z) ps
+  | Fo.Eq (x, y) when x = z && y <> z -> bound_to c env y (fun v -> [| v |])
+  | Fo.Eq (x, y) when y = z && x <> z -> bound_to c env x (fun v -> [| v |])
+  | Fo.Edge (x, y) when x = z && y <> z ->
+      bound_to c env y (fun v -> Cgraph.neighbors c.g v)
+  | Fo.Edge (x, y) when y = z && x <> z ->
+      bound_to c env x (fun v -> Cgraph.neighbors c.g v)
+  | Fo.Dist_le (x, y, d) when x = z && y <> z ->
+      bound_to c env y (fun v -> Bfs.ball c.g v ~radius:d)
+  | Fo.Dist_le (x, y, d) when y = z && x <> z ->
+      bound_to c env x (fun v -> Bfs.ball c.g v ~radius:d)
+  | _ -> None
+
+and coguard_candidates c env z phi =
+  match phi with
+  | Fo.Or ps -> List.find_map (coguard_candidates c env z) ps
+  | Fo.Not atom -> guard_candidates c env z atom
+  | _ -> None
+
+and bound_to c env y f =
+  ignore c;
+  match List.assoc_opt y env with Some v -> Some (f v) | None -> None
+
+and sat_rec c env phi =
+  match phi with
+  | Fo.True -> true
+  | Fo.False -> false
+  | Fo.Eq (x, y) -> lookup env x = lookup env y
+  | Fo.Edge (x, y) -> Cgraph.has_edge c.g (lookup env x) (lookup env y)
+  | Fo.Color (col, x) ->
+      let v = lookup env x in
+      col < Cgraph.color_count c.g && Cgraph.has_color c.g ~color:col v
+  | Fo.Dist_le (x, y, d) -> dist_le c (lookup env x) (lookup env y) d
+  | Fo.Not p -> not (sat_rec c env p)
+  | Fo.And ps -> List.for_all (sat_rec c env) ps
+  | Fo.Or ps -> List.exists (sat_rec c env) ps
+  | Fo.Exists (x, p) -> (
+      match guard_candidates c env x p with
+      | Some vs -> Array.exists (fun v -> sat_rec c ((x, v) :: env) p) vs
+      | None ->
+          let n = Cgraph.n c.g in
+          let rec go v = v < n && (sat_rec c ((x, v) :: env) p || go (v + 1)) in
+          go 0)
+  | Fo.Forall (x, p) -> (
+      match coguard_candidates c env x p with
+      | Some vs -> Array.for_all (fun v -> sat_rec c ((x, v) :: env) p) vs
+      | None ->
+          let n = Cgraph.n c.g in
+          let rec go v = v >= n || (sat_rec c ((x, v) :: env) p && go (v + 1)) in
+          go 0)
+
+and lookup env x =
+  match List.assoc_opt x env with
+  | Some v -> v
+  | None -> invalid_arg ("Naive.sat: unbound variable " ^ x)
+
+let sat c ~env phi = sat_rec c env phi
+
+let holds c phi a =
+  let fv = Fo.free_vars phi in
+  if List.length fv <> Array.length a then
+    invalid_arg "Naive.holds: arity mismatch";
+  sat c ~env:(List.mapi (fun i x -> (x, a.(i))) fv) phi
+
+let model_check c phi =
+  if not (Fo.is_sentence phi) then invalid_arg "Naive.model_check: not a sentence";
+  sat c ~env:[] phi
+
+let eval_all c ~vars phi =
+  let fv = Fo.free_vars phi in
+  List.iter
+    (fun x ->
+      if not (List.mem x vars) then
+        invalid_arg ("Naive.eval_all: free variable " ^ x ^ " not in vars"))
+    fv;
+  let n = Cgraph.n c.g in
+  let k = List.length vars in
+  let vars = Array.of_list vars in
+  let current = Array.make k 0 in
+  let out = ref [] in
+  let rec go i env =
+    if i = k then begin
+      if sat_rec c env phi then out := Array.copy current :: !out
+    end
+    else
+      for v = 0 to n - 1 do
+        current.(i) <- v;
+        go (i + 1) ((vars.(i), v) :: env)
+      done
+  in
+  go 0 [];
+  List.rev !out
+
+let count c ~vars phi = List.length (eval_all c ~vars phi)

@@ -1,0 +1,43 @@
+(** Direct semantic evaluation of FO⁺ queries.
+
+    This module plays three roles:
+    - the {e naive baseline} against which the paper's data structures
+      are benchmarked (per-tuple evaluation, [O(n^{arity+qrank})] total);
+    - the {e local oracle} applied inside the (small) bags of a
+      neighborhood cover by the core library — the role the
+      Grohe–Kreutzer–Siebertz model-checking theorem (Theorem 5.3) plays
+      in the paper, whose constants are non-elementary and hence not
+      implementable as stated (see DESIGN.md, substitution table);
+    - the reference model for differential testing.
+
+    A context caches bounded-radius distance computations when [cache]
+    is set; caching is appropriate for repeated evaluation inside a bag,
+    not for one-shot global queries on large graphs. *)
+
+type ctx
+
+val ctx : ?cache:bool -> Nd_graph.Cgraph.t -> ctx
+
+val graph : ctx -> Nd_graph.Cgraph.t
+
+val dist_le : ctx -> int -> int -> int -> bool
+(** [dist_le c u v d]: is [dist(u,v) ≤ d] in the graph? *)
+
+val sat : ctx -> env:(Nd_logic.Fo.var * int) list -> Nd_logic.Fo.t -> bool
+(** Tarski semantics; every free variable must be bound by [env].
+    @raise Invalid_argument on unbound variables. *)
+
+val holds : ctx -> Nd_logic.Fo.t -> int array -> bool
+(** [holds c φ ā]: bind the free variables of [φ] (in first-occurrence
+    order) to [ā] and evaluate. *)
+
+val model_check : ctx -> Nd_logic.Fo.t -> bool
+(** For sentences. *)
+
+val eval_all :
+  ctx -> vars:Nd_logic.Fo.var list -> Nd_logic.Fo.t -> int array list
+(** All solution tuples, components ordered as [vars], in increasing
+    lexicographic order.  [vars] must be a superset of the free
+    variables; extra variables range freely (cartesian semantics). *)
+
+val count : ctx -> vars:Nd_logic.Fo.var list -> Nd_logic.Fo.t -> int

@@ -1,0 +1,127 @@
+open Nd_logic
+
+type t =
+  | True
+  | False
+  | Eq of Fo.var * Fo.var
+  | Atom of string * Fo.var list
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Exists of Fo.var * t
+  | Forall of Fo.var * t
+
+let free_vars phi =
+  let rec go bound acc = function
+    | True | False -> acc
+    | Eq (x, y) -> add bound y (add bound x acc)
+    | Atom (_, xs) -> List.fold_left (fun acc x -> add bound x acc) acc xs
+    | Not p -> go bound acc p
+    | And ps | Or ps -> List.fold_left (go bound) acc ps
+    | Exists (x, p) | Forall (x, p) -> go (x :: bound) acc p
+  and add bound x acc =
+    if List.mem x bound || List.mem x acc then acc else x :: acc
+  in
+  List.rev (go [] [] phi)
+
+let translate schema phi =
+  let nrel = List.length schema in
+  let max_arity = List.fold_left (fun acc (_, a) -> max acc a) 1 schema in
+  let elem_color = nrel + max_arity in
+  let position_color i = nrel + i in
+  let relation_color name =
+    let rec idx i = function
+      | [] -> invalid_arg ("Translate: unknown relation " ^ name)
+      | (nm, _) :: _ when nm = name -> i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    idx 0 schema
+  in
+  let counter = ref 0 in
+  let fresh hint =
+    incr counter;
+    Printf.sprintf "_%s%d" hint !counter
+  in
+  let rec go = function
+    | True -> Fo.True
+    | False -> Fo.False
+    | Eq (x, y) -> Fo.Eq (x, y)
+    | Atom (name, xs) ->
+        let arity =
+          match List.assoc_opt name schema with
+          | Some a -> a
+          | None -> invalid_arg ("Translate: unknown relation " ^ name)
+        in
+        if List.length xs <> arity then
+          invalid_arg ("Translate: arity mismatch for " ^ name);
+        let t = fresh "t" in
+        Fo.Exists
+          ( t,
+            Fo.And
+              (Fo.Color (relation_color name, t)
+              :: List.mapi
+                   (fun i x ->
+                     let z = fresh "z" in
+                     Fo.Exists
+                       ( z,
+                         Fo.And
+                           [
+                             Fo.Color (position_color i, z);
+                             Fo.Edge (x, z);
+                             Fo.Edge (z, t);
+                           ] ))
+                   xs) )
+    | Not p -> Fo.Not (go p)
+    | And ps -> Fo.And (List.map go ps)
+    | Or ps -> Fo.Or (List.map go ps)
+    | Exists (x, p) -> Fo.Exists (x, Fo.And [ Fo.Color (elem_color, x); go p ])
+    | Forall (x, p) ->
+        Fo.Forall (x, Fo.Or [ Fo.Not (Fo.Color (elem_color, x)); go p ])
+  in
+  let body = go phi in
+  let guards = List.map (fun x -> Fo.Color (elem_color, x)) (free_vars phi) in
+  Fo.conj (guards @ [ body ])
+
+let rec holds_env db env = function
+  | True -> true
+  | False -> false
+  | Eq (x, y) -> List.assoc x env = List.assoc y env
+  | Atom (name, xs) ->
+      let t = Array.of_list (List.map (fun x -> List.assoc x env) xs) in
+      Nd_graph.Rel.mem_fact db name t
+  | Not p -> not (holds_env db env p)
+  | And ps -> List.for_all (holds_env db env) ps
+  | Or ps -> List.exists (holds_env db env) ps
+  | Exists (x, p) ->
+      let d = Nd_graph.Rel.domain_size db in
+      let rec go v = v < d && (holds_env db ((x, v) :: env) p || go (v + 1)) in
+      go 0
+  | Forall (x, p) ->
+      let d = Nd_graph.Rel.domain_size db in
+      let rec go v = v >= d || (holds_env db ((x, v) :: env) p && go (v + 1)) in
+      go 0
+
+let holds_db db phi a =
+  let fv = free_vars phi in
+  if List.length fv <> Array.length a then
+    invalid_arg "Translate.holds_db: arity mismatch";
+  holds_env db (List.mapi (fun i x -> (x, a.(i))) fv) phi
+
+let eval_all_db db phi =
+  let fv = Array.of_list (free_vars phi) in
+  let k = Array.length fv in
+  let d = Nd_graph.Rel.domain_size db in
+  let current = Array.make k 0 in
+  let out = ref [] in
+  let rec go i env =
+    if i = k then begin
+      if holds_env db env phi then out := Array.copy current :: !out
+    end
+    else
+      for v = 0 to d - 1 do
+        current.(i) <- v;
+        go (i + 1) ((fv.(i), v) :: env)
+      done
+  in
+  go 0 [];
+  List.rev !out

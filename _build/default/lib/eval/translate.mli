@@ -1,0 +1,38 @@
+(** Lemma 2.2: reduction of FO queries over relational databases to FO
+    queries over the colored graph [A'(D)].
+
+    A relational atom [R(x_1,…,x_j)] becomes
+
+    [∃t (P_R(t) ∧ ⋀_{i≤j} ∃z (C_i(z) ∧ E(x_i,z) ∧ E(z,t)))]
+
+    and — the standard guard the paper leaves implicit — every variable
+    is relativized to the element color of {!Nd_graph.Rel.encode}, so
+    that solutions range over database elements only.  Color indices
+    mirror [Rel.encode]'s layout and are cross-checked by the tests. *)
+
+type t =
+  | True
+  | False
+  | Eq of Nd_logic.Fo.var * Nd_logic.Fo.var
+  | Atom of string * Nd_logic.Fo.var list  (** [R(x̄)]. *)
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Exists of Nd_logic.Fo.var * t
+  | Forall of Nd_logic.Fo.var * t
+
+val free_vars : t -> Nd_logic.Fo.var list
+
+val translate : Nd_graph.Rel.schema -> t -> Nd_logic.Fo.t
+(** [translate σ φ] is the query ψ of Lemma 2.2: for every database [D]
+    over σ, [φ(D) = ψ(A'(D))] (element ids coincide with their vertex
+    ids in the encoding).
+    @raise Invalid_argument on atoms not matching the schema. *)
+
+val holds_db : Nd_graph.Rel.db -> t -> int array -> bool
+(** Direct evaluation over the database (no encoding) — the reference
+    semantics used to validate {!translate}. *)
+
+val eval_all_db : Nd_graph.Rel.db -> t -> int array list
+(** All solutions over the database domain, free variables in
+    first-occurrence order, lexicographic. *)

@@ -1,0 +1,1 @@
+lib/graph/cgraph.ml: Array Bitset Format Fun List Nd_util Sorted String

@@ -1,0 +1,1 @@
+lib/graph/cgraph.mli: Format Nd_util

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Bitset Cgraph Fun Hashtbl List Nd_util Random

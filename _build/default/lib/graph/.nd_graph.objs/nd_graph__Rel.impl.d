@@ -1,0 +1,1 @@
+lib/graph/rel.ml: Array Bitset Cgraph Fun Hashtbl List Nd_util

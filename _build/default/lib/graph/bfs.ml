@@ -1,0 +1,135 @@
+let multi_dist_from_depth g sources ~radius =
+  let n = Cgraph.n g in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  List.iter
+    (fun (v, d0) ->
+      if d0 <= radius && (dist.(v) = -1 || dist.(v) > d0) then begin
+        dist.(v) <- d0;
+        Queue.push v q
+      end)
+    sources;
+  (* Initial depths are 0 or 1 in all our uses, so a plain queue keeps
+     the monotonicity required for BFS correctness. *)
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    if dist.(v) < radius then
+      Array.iter
+        (fun w ->
+          if dist.(w) = -1 then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.push w q
+          end)
+        (Cgraph.neighbors g v)
+  done;
+  dist
+
+let multi_dist_upto g sources ~radius =
+  multi_dist_from_depth g (List.map (fun v -> (v, 0)) sources) ~radius
+
+let dist_upto g src ~radius = multi_dist_upto g [ src ] ~radius
+
+let ball g v ~radius =
+  let dist = dist_upto g v ~radius in
+  let acc = ref [] in
+  for u = Cgraph.n g - 1 downto 0 do
+    if dist.(u) >= 0 then acc := u :: !acc
+  done;
+  Array.of_list !acc
+
+let ball_of_set g vs ~radius =
+  let dist = multi_dist_upto g vs ~radius in
+  let acc = ref [] in
+  for u = Cgraph.n g - 1 downto 0 do
+    if dist.(u) >= 0 then acc := u :: !acc
+  done;
+  Array.of_list !acc
+
+let dist g u v =
+  let d = dist_upto g u ~radius:max_int in
+  if d.(v) = -1 then None else Some d.(v)
+
+type searcher = {
+  sg : Cgraph.t;
+  sdist : int array;
+  touched : int Queue.t;
+  frontier : int Queue.t;
+}
+
+let searcher g =
+  {
+    sg = g;
+    sdist = Array.make (Cgraph.n g) (-1);
+    touched = Queue.create ();
+    frontier = Queue.create ();
+  }
+
+let sball_run s src ~radius =
+  s.sdist.(src) <- 0;
+  Queue.push src s.touched;
+  Queue.push src s.frontier;
+  while not (Queue.is_empty s.frontier) do
+    let v = Queue.pop s.frontier in
+    if s.sdist.(v) < radius then
+      Array.iter
+        (fun w ->
+          if s.sdist.(w) = -1 then begin
+            s.sdist.(w) <- s.sdist.(v) + 1;
+            Queue.push w s.touched;
+            Queue.push w s.frontier
+          end)
+        (Cgraph.neighbors s.sg v)
+  done
+
+let sball s src ~radius =
+  sball_run s src ~radius;
+  let out = Array.make (Queue.length s.touched) 0 in
+  let i = ref 0 in
+  Queue.iter
+    (fun v ->
+      out.(!i) <- v;
+      incr i)
+    s.touched;
+  Queue.iter (fun v -> s.sdist.(v) <- -1) s.touched;
+  Queue.clear s.touched;
+  Array.sort compare out;
+  out
+
+let sball_size s src ~radius =
+  sball_run s src ~radius;
+  let size = Queue.length s.touched in
+  Queue.iter (fun v -> s.sdist.(v) <- -1) s.touched;
+  Queue.clear s.touched;
+  size
+
+let eccentricity_center g xs =
+  if Array.length xs = 0 then invalid_arg "Bfs.eccentricity_center: empty";
+  let sub, to_orig = Cgraph.induced g xs in
+  let far_from v =
+    let d = dist_upto sub v ~radius:max_int in
+    let best = ref v and bd = ref 0 in
+    Array.iteri
+      (fun u du ->
+        if du > !bd then begin
+          best := u;
+          bd := du
+        end)
+      d;
+    (!best, d)
+  in
+  let a, _ = far_from 0 in
+  let b, da = far_from a in
+  (* midpoint of a shortest a-b path approximates the center *)
+  let db = dist_upto sub b ~radius:max_int in
+  let target = (da.(b) + 1) / 2 in
+  let best = ref 0 and score = ref max_int in
+  for v = 0 to Cgraph.n sub - 1 do
+    if da.(v) >= 0 && db.(v) >= 0 && da.(v) + db.(v) = da.(b) then begin
+      let s = abs (da.(v) - target) in
+      if s < !score then begin
+        score := s;
+        best := v
+      end
+    end
+  done;
+  to_orig.(!best)

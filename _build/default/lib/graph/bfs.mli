@@ -1,0 +1,44 @@
+(** Breadth-first search utilities: distances, balls and neighborhoods.
+
+    Distance is taken in the Gaifman graph, which for colored graphs is
+    the graph itself (Section 2, "Distance and neighborhoods"). *)
+
+val dist_upto : Cgraph.t -> int -> radius:int -> int array
+(** [dist_upto g src ~radius] is the array of distances from [src],
+    with [-1] for vertices further than [radius].  O(‖ball‖ + n). *)
+
+val multi_dist_upto : Cgraph.t -> int list -> radius:int -> int array
+(** Multi-source variant; sources are at distance 0. *)
+
+val multi_dist_from_depth :
+  Cgraph.t -> (int * int) list -> radius:int -> int array
+(** Sources with initial depths (used for kernel computation, where
+    border vertices start at depth 1). *)
+
+val ball : Cgraph.t -> int -> radius:int -> int array
+(** [ball g v ~radius] is [N_r(v)] as a sorted vertex array (includes
+    [v] itself). *)
+
+val ball_of_set : Cgraph.t -> int list -> radius:int -> int array
+(** [N_r(ā)] for a set of centers. *)
+
+val dist : Cgraph.t -> int -> int -> int option
+(** Exact distance (unbounded BFS); [None] if disconnected. *)
+
+type searcher
+(** Reusable BFS state over a fixed graph: ball queries cost
+    [O(|ball| log |ball|)] instead of [O(n)] per call. *)
+
+val searcher : Cgraph.t -> searcher
+
+val sball : searcher -> int -> radius:int -> int array
+(** Like {!ball}, with scratch reuse.  Sorted, includes the center. *)
+
+val sball_size : searcher -> int -> radius:int -> int
+(** Ball cardinality without materializing it. *)
+
+val eccentricity_center : Cgraph.t -> int array -> int
+(** Among the sorted vertex set (assumed inducing a connected subgraph
+    of [g] — otherwise an arbitrary member is returned), a vertex of
+    small eccentricity within the induced subgraph, found by the
+    standard double-BFS heuristic.  Used by Splitter strategies. *)

@@ -1,0 +1,121 @@
+open Nd_util
+
+type t = { adj : int array array; colors : Bitset.t array; m : int }
+
+let create ~n ?(colors = [||]) edges =
+  if n < 0 then invalid_arg "Cgraph.create: negative n";
+  Array.iter
+    (fun b ->
+      if Bitset.capacity b <> n then
+        invalid_arg "Cgraph.create: color capacity mismatch")
+    colors;
+  let deg = Array.make n 0 in
+  let edges =
+    List.sort_uniq compare
+      (List.map
+         (fun (u, v) ->
+           if u = v then invalid_arg "Cgraph.create: self-loop";
+           if u < 0 || u >= n || v < 0 || v >= n then
+             invalid_arg "Cgraph.create: vertex out of range";
+           if u < v then (u, v) else (v, u))
+         edges)
+  in
+  List.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) 0) in
+  let fill = Array.make n 0 in
+  List.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  Array.iter (Array.sort compare) adj;
+  { adj; colors = Array.map Bitset.copy colors; m = List.length edges }
+
+let n g = Array.length g.adj
+let m g = g.m
+let size g = n g + g.m
+let color_count g = Array.length g.colors
+let neighbors g v = g.adj.(v)
+let degree g v = Array.length g.adj.(v)
+let has_edge g u v = Sorted.mem g.adj.(u) v
+let has_color g ~color v = Bitset.mem g.colors.(color) v
+
+let color_members g ~color =
+  Array.of_list (Bitset.to_list g.colors.(color))
+
+let fold_edges f g init =
+  let acc = ref init in
+  Array.iteri
+    (fun u nbrs -> Array.iter (fun v -> if u < v then acc := f u v !acc) nbrs)
+    g.adj;
+  !acc
+
+let local_of_orig to_orig v =
+  let i = Sorted.lower_bound to_orig v in
+  if i < Array.length to_orig && to_orig.(i) = v then Some i else None
+
+let induced g xs =
+  if not (Sorted.is_sorted_strict xs) then
+    invalid_arg "Cgraph.induced: vertex set must be sorted strictly";
+  let k = Array.length xs in
+  let adj =
+    Array.init k (fun i ->
+        let nbrs = g.adj.(xs.(i)) in
+        let local = ref [] in
+        Array.iter
+          (fun w ->
+            match local_of_orig xs w with
+            | Some j -> local := j :: !local
+            | None -> ())
+          nbrs;
+        let a = Array.of_list (List.rev !local) in
+        Array.sort compare a;
+        a)
+  in
+  let m = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
+  let colors =
+    Array.map
+      (fun b ->
+        let b' = Bitset.create k in
+        Array.iteri (fun i v -> if Bitset.mem b v then Bitset.add b' i) xs;
+        b')
+      g.colors
+  in
+  ({ adj; colors; m }, Array.copy xs)
+
+let with_extra_colors g extra =
+  Array.iter
+    (fun b ->
+      if Bitset.capacity b <> n g then
+        invalid_arg "Cgraph.with_extra_colors: capacity mismatch")
+    extra;
+  { g with colors = Array.append g.colors (Array.map Bitset.copy extra) }
+
+let remove_vertex g v =
+  let xs =
+    Array.of_list (List.filter (fun u -> u <> v) (List.init (n g) Fun.id))
+  in
+  induced g xs
+
+let equal a b =
+  a.adj = b.adj
+  && Array.length a.colors = Array.length b.colors
+  && Array.for_all2 Bitset.equal a.colors b.colors
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph: %d vertices, %d edges, %d colors@," (n g)
+    g.m (color_count g);
+  Array.iteri
+    (fun u nbrs ->
+      if Array.length nbrs > 0 then
+        Format.fprintf fmt "  %d -> %s@," u
+          (String.concat ","
+             (List.map string_of_int (Array.to_list nbrs))))
+    g.adj;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,65 @@
+(** Colored graphs — the structures the paper works over (Section 2).
+
+    A [c]-colored graph is a finite structure over the schema
+    [σ_c = {E, C_0, …, C_{c-1}}] with [E] a symmetric binary relation and
+    the [C_i] unary.  Vertices are [0 .. n-1]; the linear order on the
+    domain required by the paper is the natural order on vertex ids.
+
+    The representation is immutable: adjacency lists are sorted arrays
+    (so edge tests are O(log deg)) and each color is a bitset. *)
+
+type t
+
+val create : n:int -> ?colors:Nd_util.Bitset.t array -> (int * int) list -> t
+(** [create ~n ~colors edges] builds a graph on vertices [0..n-1].
+    Edges are undirected, deduplicated; self-loops are rejected.
+    Every color bitset must have capacity [n]. *)
+
+val n : t -> int
+(** Number of vertices, the paper's [|G|]. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val size : t -> int
+(** [n + m], the paper's [‖G‖]. *)
+
+val color_count : t -> int
+
+val neighbors : t -> int -> int array
+(** Sorted; do not mutate. *)
+
+val degree : t -> int -> int
+
+val has_edge : t -> int -> int -> bool
+
+val has_color : t -> color:int -> int -> bool
+
+val color_members : t -> color:int -> int array
+(** Sorted vertex ids carrying the color. *)
+
+val fold_edges : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Each undirected edge [{u,v}] visited once, with [u < v]. *)
+
+val induced : t -> int array -> t * int array
+(** [induced g xs] is the substructure [G[X]] induced by the sorted
+    vertex set [xs], together with the [to_orig] map: local vertex [i]
+    of the result is original vertex [to_orig.(i)].  Colors restrict.
+    Local ids preserve the original order, so lexicographic enumeration
+    in the subgraph is consistent with the parent order. *)
+
+val local_of_orig : int array -> int -> int option
+(** [local_of_orig to_orig v]: the local id of original vertex [v], if a
+    member.  O(log). *)
+
+val with_extra_colors : t -> Nd_util.Bitset.t array -> t
+(** σ'-expansion: append color relations (Section 2).  Capacities must
+    equal [n]. *)
+
+val remove_vertex : t -> int -> t * int array
+(** [remove_vertex g v] is [G[V∖{v}]] with its [to_orig] map — the
+    operation performed on a bag after Splitter's move. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

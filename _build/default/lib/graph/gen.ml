@@ -1,0 +1,250 @@
+open Nd_util
+
+let path n = Cgraph.create ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  Cgraph.create ~n ((n - 1, 0) :: List.init (n - 1) (fun i -> (i, i + 1)))
+
+let complete n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  Cgraph.create ~n !edges
+
+let star n =
+  if n < 1 then invalid_arg "Gen.star";
+  Cgraph.create ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let grid w h =
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then edges := (id x y, id (x + 1) y) :: !edges;
+      if y + 1 < h then edges := (id x y, id x (y + 1)) :: !edges
+    done
+  done;
+  Cgraph.create ~n:(w * h) !edges
+
+let planar_grid ?(seed = 0) w h =
+  let rng = Random.State.make [| seed; w; h |] in
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then edges := (id x y, id (x + 1) y) :: !edges;
+      if y + 1 < h then edges := (id x y, id x (y + 1)) :: !edges;
+      if x + 1 < w && y + 1 < h then
+        if Random.State.bool rng then
+          edges := (id x y, id (x + 1) (y + 1)) :: !edges
+        else edges := (id (x + 1) y, id x (y + 1)) :: !edges
+    done
+  done;
+  Cgraph.create ~n:(w * h) !edges
+
+let balanced_tree ~branching ~depth =
+  if branching < 1 then invalid_arg "Gen.balanced_tree";
+  let rec count d = if d = 0 then 1 else 1 + (branching * count (d - 1)) in
+  let n =
+    if branching = 1 then depth + 1
+    else
+      (int_of_float (float_of_int branching ** float_of_int (depth + 1)) - 1)
+      / (branching - 1)
+  in
+  ignore count;
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := ((v - 1) / branching, v) :: !edges
+  done;
+  Cgraph.create ~n !edges
+
+let random_tree ?(seed = 0) n =
+  let rng = Random.State.make [| seed; n |] in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (Random.State.int rng v, v) :: !edges
+  done;
+  Cgraph.create ~n !edges
+
+let caterpillar ?(seed = 0) n =
+  let rng = Random.State.make [| seed; n; 7 |] in
+  let spine = max 1 (n / 3) in
+  let edges = ref [] in
+  for v = 1 to spine - 1 do
+    edges := (v - 1, v) :: !edges
+  done;
+  for v = spine to n - 1 do
+    edges := (Random.State.int rng spine, v) :: !edges
+  done;
+  Cgraph.create ~n !edges
+
+let bounded_degree ?(seed = 0) n ~max_degree =
+  let rng = Random.State.make [| seed; n; max_degree |] in
+  let deg = Array.make n 0 in
+  let seen = Hashtbl.create (n * max_degree) in
+  let edges = ref [] in
+  let attempts = n * max_degree * 4 in
+  for _ = 1 to attempts do
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    let u, v = if u < v then (u, v) else (v, u) in
+    if u <> v && deg.(u) < max_degree && deg.(v) < max_degree
+       && not (Hashtbl.mem seen (u, v))
+    then begin
+      Hashtbl.add seen (u, v) ();
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1;
+      edges := (u, v) :: !edges
+    end
+  done;
+  Cgraph.create ~n !edges
+
+let partial_ktree ?(seed = 0) n ~width ~keep =
+  if width < 1 || n < width + 1 then invalid_arg "Gen.partial_ktree";
+  let rng = Random.State.make [| seed; n; width |] in
+  (* grow a k-tree: cliques.(i) is a (width+1)-clique id list *)
+  let cliques = ref [ List.init (width + 1) Fun.id ] in
+  let ncliques = ref 1 in
+  let edges = ref [] in
+  for i = 0 to width do
+    for j = i + 1 to width do
+      edges := (i, j) :: !edges
+    done
+  done;
+  for v = width + 1 to n - 1 do
+    let c = List.nth !cliques (Random.State.int rng !ncliques) in
+    (* drop one element of the clique, attach v to the rest *)
+    let drop = Random.State.int rng (width + 1) in
+    let kept = List.filteri (fun i _ -> i <> drop) c in
+    List.iter
+      (fun u ->
+        if Random.State.float rng 1.0 <= keep then edges := (u, v) :: !edges)
+      kept;
+    cliques := (v :: kept) :: !cliques;
+    incr ncliques
+  done;
+  Cgraph.create ~n !edges
+
+let subdivided_clique ~q ~sub =
+  if q < 2 || sub < 0 then invalid_arg "Gen.subdivided_clique";
+  let next = ref q in
+  let edges = ref [] in
+  for i = 0 to q - 1 do
+    for j = i + 1 to q - 1 do
+      if sub = 0 then edges := (i, j) :: !edges
+      else begin
+        let prev = ref i in
+        for _ = 1 to sub do
+          edges := (!prev, !next) :: !edges;
+          prev := !next;
+          incr next
+        done;
+        edges := (!prev, j) :: !edges
+      end
+    done
+  done;
+  Cgraph.create ~n:!next !edges
+
+let erdos_renyi ?(seed = 0) n ~p =
+  let rng = Random.State.make [| seed; n |] in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then edges := (i, j) :: !edges
+    done
+  done;
+  Cgraph.create ~n !edges
+
+let disjoint_union a b =
+  let na = Cgraph.n a in
+  let n = na + Cgraph.n b in
+  let edges =
+    Cgraph.fold_edges (fun u v acc -> (u, v) :: acc) a []
+    |> Cgraph.fold_edges (fun u v acc -> (u + na, v + na) :: acc) b
+  in
+  let colors =
+    let ca = Cgraph.color_count a and cb = Cgraph.color_count b in
+    Array.init (max ca cb) (fun c ->
+        let bs = Bitset.create n in
+        if c < ca then
+          Array.iter (fun v -> Bitset.add bs v) (Cgraph.color_members a ~color:c);
+        if c < cb then
+          Array.iter
+            (fun v -> Bitset.add bs (v + na))
+            (Cgraph.color_members b ~color:c);
+        bs)
+  in
+  Cgraph.create ~n ~colors edges
+
+let randomly_color ?(seed = 0) ~colors g =
+  let rng = Random.State.make [| seed; Cgraph.n g; colors |] in
+  let n = Cgraph.n g in
+  let sets =
+    Array.init colors (fun _ ->
+        let bs = Bitset.create n in
+        for v = 0 to n - 1 do
+          if Random.State.bool rng then Bitset.add bs v
+        done;
+        bs)
+  in
+  let plain =
+    Cgraph.create ~n (Cgraph.fold_edges (fun u v acc -> (u, v) :: acc) g [])
+  in
+  Cgraph.with_extra_colors plain sets
+
+type family = { name : string; build : int -> Cgraph.t; nowhere_dense : bool }
+
+let isqrt x = int_of_float (sqrt (float_of_int x))
+
+let families =
+  [
+    { name = "path"; build = path; nowhere_dense = true };
+    {
+      name = "random-tree";
+      build = (fun n -> random_tree ~seed:42 n);
+      nowhere_dense = true;
+    };
+    {
+      name = "grid";
+      build = (fun n -> grid (isqrt n) (isqrt n));
+      nowhere_dense = true;
+    };
+    {
+      name = "planar-grid";
+      build = (fun n -> planar_grid ~seed:42 (isqrt n) (isqrt n));
+      nowhere_dense = true;
+    };
+    {
+      name = "bounded-deg-4";
+      build = (fun n -> bounded_degree ~seed:42 n ~max_degree:4);
+      nowhere_dense = true;
+    };
+    {
+      name = "partial-3tree";
+      build = (fun n -> partial_ktree ~seed:42 n ~width:3 ~keep:0.6);
+      nowhere_dense = true;
+    };
+    {
+      name = "subdiv-clique";
+      build =
+        (fun n ->
+          (* K_q with q-subdivided edges has q + q*(q-1)/2*q vertices;
+             pick q so the size is close to n *)
+          let q = max 3 (int_of_float (float_of_int (2 * n) ** (1. /. 3.))) in
+          subdivided_clique ~q ~sub:q);
+      nowhere_dense = true;
+    };
+    {
+      name = "clique";
+      build = (fun n -> complete (max 3 (isqrt n)));
+      nowhere_dense = false;
+    };
+    {
+      name = "dense-gnp";
+      build = (fun n -> erdos_renyi ~seed:42 (max 8 (isqrt n * 2)) ~p:0.3);
+      nowhere_dense = false;
+    };
+  ]

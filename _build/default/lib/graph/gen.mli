@@ -1,0 +1,73 @@
+(** Graph generators: concrete representatives of the classes the paper
+    places on the sparsity ladder (Section 2), plus dense controls.
+
+    Nowhere dense families (in increasing generality):
+    - bounded degree: {!path}, {!cycle}, {!bounded_degree};
+    - bounded treewidth: {!balanced_tree}, {!random_tree}, {!caterpillar},
+      {!partial_ktree};
+    - planar / bounded expansion: {!grid}, {!planar_grid};
+    - nowhere dense but {e unbounded} expansion: {!subdivided_clique}
+      with subdivision length growing with the clique size.
+
+    Dense (somewhere dense) controls: {!complete}, {!erdos_renyi} with
+    constant edge probability.
+
+    All random generators are deterministic in their [seed]. *)
+
+val path : int -> Cgraph.t
+
+val cycle : int -> Cgraph.t
+
+val complete : int -> Cgraph.t
+
+val star : int -> Cgraph.t
+
+val grid : int -> int -> Cgraph.t
+(** [grid w h]: the w×h grid; vertex [(x,y)] has id [y*w + x]. *)
+
+val planar_grid : ?seed:int -> int -> int -> Cgraph.t
+(** [grid w h] plus one random diagonal per face — still planar, with a
+    less regular structure. *)
+
+val balanced_tree : branching:int -> depth:int -> Cgraph.t
+
+val random_tree : ?seed:int -> int -> Cgraph.t
+(** Uniform attachment: vertex [i] links to a uniformly random earlier
+    vertex. *)
+
+val caterpillar : ?seed:int -> int -> Cgraph.t
+(** A spine path with random legs. *)
+
+val bounded_degree : ?seed:int -> int -> max_degree:int -> Cgraph.t
+(** Random graph where no vertex exceeds [max_degree]; edge count is
+    pushed close to [n·max_degree/2]. *)
+
+val partial_ktree : ?seed:int -> int -> width:int -> keep:float -> Cgraph.t
+(** Random k-tree on [n] vertices of the given [width], each non-skeleton
+    edge kept with probability [keep]; treewidth ≤ [width]. *)
+
+val subdivided_clique : q:int -> sub:int -> Cgraph.t
+(** The clique [K_q] with every edge subdivided [sub] times (i.e.
+    replaced by a path with [sub] inner vertices).  With [sub ≥ q] these
+    graphs have no short dense shallow minors; the family
+    [{subdivided_clique ~q ~sub:q}] is nowhere dense yet has unbounded
+    expansion. *)
+
+val erdos_renyi : ?seed:int -> int -> p:float -> Cgraph.t
+
+val disjoint_union : Cgraph.t -> Cgraph.t -> Cgraph.t
+
+val randomly_color : ?seed:int -> colors:int -> Cgraph.t -> Cgraph.t
+(** Give each vertex each color independently with probability 1/2
+    (replacing any existing colors).  With [colors = c] the result is a
+    c-colored graph in the paper's sense. *)
+
+type family = {
+  name : string;
+  build : int -> Cgraph.t;  (** approximate target size -> graph *)
+  nowhere_dense : bool;
+}
+
+val families : family list
+(** The benchmark zoo: every family above instantiated at natural
+    parameters, sized by vertex-count target. *)

@@ -1,0 +1,106 @@
+open Nd_util
+
+type schema = (string * int) list
+
+type db = { schema : schema; domain : int; facts : (string, int array list) Hashtbl.t }
+
+let create_db schema ~domain facts =
+  let names = List.map fst schema in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Rel.create_db: duplicate relation names";
+  List.iter
+    (fun (_, ar) -> if ar < 1 then invalid_arg "Rel.create_db: arity < 1")
+    schema;
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (name, _) -> Hashtbl.replace tbl name []) schema;
+  List.iter
+    (fun (name, tuples) ->
+      let arity =
+        match List.assoc_opt name schema with
+        | Some a -> a
+        | None -> invalid_arg ("Rel.create_db: unknown relation " ^ name)
+      in
+      List.iter
+        (fun t ->
+          if Array.length t <> arity then
+            invalid_arg ("Rel.create_db: arity mismatch in " ^ name);
+          Array.iter
+            (fun x ->
+              if x < 0 || x >= domain then
+                invalid_arg "Rel.create_db: element out of domain")
+            t)
+        tuples;
+      let existing = try Hashtbl.find tbl name with Not_found -> [] in
+      Hashtbl.replace tbl name
+        (List.sort_uniq compare (existing @ List.map Array.copy tuples)))
+    facts;
+  { schema; domain; facts = tbl }
+
+let schema db = db.schema
+let domain_size db = db.domain
+let tuples db name = try Hashtbl.find db.facts name with Not_found -> []
+
+let mem_fact db name t = List.exists (fun u -> u = t) (tuples db name)
+
+type encoded = {
+  graph : Cgraph.t;
+  element_node : int -> int;
+  position_color : int -> int;
+  relation_color : string -> int;
+  element_color : int;
+}
+
+let encode db =
+  let max_arity =
+    List.fold_left (fun acc (_, a) -> max acc a) 1 db.schema
+  in
+  (* vertex ids: elements 0..domain-1, then per fact a tuple node, then
+     per (fact, position) a subdivision node colored C_i *)
+  let next = ref db.domain in
+  let edges = ref [] in
+  let pos_members = Array.make max_arity [] in
+  let rel_members = List.map (fun (name, _) -> (name, ref [])) db.schema in
+  List.iter
+    (fun (name, _) ->
+      let members = List.assoc name rel_members in
+      List.iter
+        (fun t ->
+          let tuple_node = !next in
+          incr next;
+          members := tuple_node :: !members;
+          Array.iteri
+            (fun i a ->
+              let sub_node = !next in
+              incr next;
+              pos_members.(i) <- sub_node :: pos_members.(i);
+              edges := (a, sub_node) :: (sub_node, tuple_node) :: !edges)
+            t)
+        (tuples db name))
+    db.schema;
+  let n = !next in
+  let colors =
+    Array.concat
+      [
+        Array.map
+          (fun members -> Bitset.of_list n members)
+          (Array.of_list (List.map (fun (_, r) -> !r) rel_members));
+        Array.map (fun ms -> Bitset.of_list n ms) pos_members;
+        [| Bitset.of_list n (List.init db.domain Fun.id) |];
+      ]
+  in
+  let graph = Cgraph.create ~n ~colors !edges in
+  let nrel = List.length db.schema in
+  {
+    graph;
+    element_node = (fun e -> e);
+    element_color = nrel + max_arity;
+    position_color = (fun i -> nrel + i);
+    relation_color =
+      (fun name ->
+        let rec idx i = function
+          | [] -> invalid_arg ("Rel.relation_color: " ^ name)
+          | (nm, _) :: _ when nm = name -> i
+          | _ :: rest -> idx (i + 1) rest
+        in
+        idx 0 db.schema);
+  }

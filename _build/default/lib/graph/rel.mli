@@ -1,0 +1,50 @@
+(** Relational structures and their reduction to colored graphs
+    (Section 2, "From databases to colored graphs").
+
+    A database [D] over a schema [σ = {R_1,…,R_m}] with maximum arity [k]
+    is turned into the colored graph [A'(D)]:
+
+    - domain: the elements of [D], plus one node per tuple occurrence,
+      plus one node per (element, position, tuple) incidence — the
+      1-subdivision of the adjacency graph [A(D)];
+    - colors: [C_0 … C_{k-1}] marking position nodes, and one color
+      [P_R] per relation marking tuple nodes.
+
+    Lemma 2.2 (the accompanying query translation) lives in
+    [Nd_eval.Translate], next to the evaluator that exercises it. *)
+
+type schema = (string * int) list
+(** Relation name and arity; names must be distinct, arities ≥ 1. *)
+
+type db
+
+val create_db : schema -> domain:int -> (string * int array list) list -> db
+(** [create_db schema ~domain facts]: [facts] lists, per relation name,
+    the tuples it contains.  Tuple arities must match the schema and
+    entries lie in [0, domain). *)
+
+val schema : db -> schema
+
+val domain_size : db -> int
+
+val tuples : db -> string -> int array list
+
+val mem_fact : db -> string -> int array -> bool
+
+(** Result of the [A'(D)] encoding. *)
+type encoded = {
+  graph : Cgraph.t;
+  element_node : int -> int;  (** database element ↦ vertex of [A'(D)] *)
+  position_color : int -> int;  (** position [i] (0-based) ↦ color [C_i] *)
+  relation_color : string -> int;  (** relation ↦ color [P_R] *)
+  element_color : int;
+      (** extra color marking the nodes that are database elements.  The
+          paper's Lemma 2.2 leaves variables implicitly ranging over
+          elements; making the guard explicit (a standard fix) keeps the
+          translated query's answers exactly [φ(D)]. *)
+}
+
+val encode : db -> encoded
+(** Build the colored graph [A'(D)].  Elements keep their ids ([0..d-1]),
+    so a tuple of elements is a tuple of vertices and query answers
+    translate back verbatim. *)

@@ -1,0 +1,1 @@
+lib/logic/dtype.ml: Array Fo Format List Printf String

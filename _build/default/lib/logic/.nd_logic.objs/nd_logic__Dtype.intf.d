@@ -1,0 +1,1 @@
+lib/logic/dtype.mli: Fo Format

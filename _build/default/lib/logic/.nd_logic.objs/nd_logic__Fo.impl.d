@@ -1,0 +1,1 @@
+lib/logic/fo.ml: Format List Printf

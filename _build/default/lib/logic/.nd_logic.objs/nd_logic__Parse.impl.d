@@ -1,0 +1,1 @@
+lib/logic/parse.ml: Fo List Printf String

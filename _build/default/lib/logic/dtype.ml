@@ -1,0 +1,100 @@
+type t = { k : int; adj : bool array array }
+
+let k t = t.k
+
+let create k edges =
+  if k < 0 then invalid_arg "Dtype.create";
+  let adj = Array.make_matrix k k false in
+  List.iter
+    (fun (i, j) ->
+      if i = j || i < 0 || j < 0 || i >= k || j >= k then
+        invalid_arg "Dtype.create: bad edge";
+      adj.(i).(j) <- true;
+      adj.(j).(i) <- true)
+    edges;
+  { k; adj }
+
+let mem t i j = t.adj.(i).(j)
+
+let edges t =
+  let acc = ref [] in
+  for i = t.k - 1 downto 0 do
+    for j = t.k - 1 downto i + 1 do
+      if t.adj.(i).(j) then acc := (i, j) :: !acc
+    done
+  done;
+  !acc
+
+let all k =
+  let pairs = ref [] in
+  for i = k - 1 downto 0 do
+    for j = k - 1 downto i + 1 do
+      pairs := (i, j) :: !pairs
+    done
+  done;
+  let pairs = Array.of_list !pairs in
+  let np = Array.length pairs in
+  List.init (1 lsl np) (fun mask ->
+      let es = ref [] in
+      for b = 0 to np - 1 do
+        if mask land (1 lsl b) <> 0 then es := pairs.(b) :: !es
+      done;
+      create k !es)
+
+let of_tuple ~dist_le a =
+  let k = Array.length a in
+  let es = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      if dist_le a.(i) a.(j) then es := (i, j) :: !es
+    done
+  done;
+  create k !es
+
+let components t =
+  let seen = Array.make t.k false in
+  let comps = ref [] in
+  for i = 0 to t.k - 1 do
+    if not seen.(i) then begin
+      let comp = ref [] in
+      let rec dfs v =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          comp := v :: !comp;
+          for w = 0 to t.k - 1 do
+            if t.adj.(v).(w) then dfs w
+          done
+        end
+      in
+      dfs i;
+      comps := List.sort compare !comp :: !comps
+    end
+  done;
+  List.rev !comps
+
+let component_of t i = List.find (List.mem i) (components t)
+
+let restrict t k' =
+  if k' > t.k then invalid_arg "Dtype.restrict";
+  let es = List.filter (fun (_, j) -> j < k') (edges t) in
+  create k' es
+
+let compatible t' t = restrict t t'.k = t'
+
+let rho t ~radius ~vars =
+  if Array.length vars <> t.k then invalid_arg "Dtype.rho: arity mismatch";
+  let conjuncts = ref [] in
+  for i = 0 to t.k - 1 do
+    for j = i + 1 to t.k - 1 do
+      let atom = Fo.Dist_le (vars.(i), vars.(j), radius) in
+      conjuncts := (if t.adj.(i).(j) then atom else Fo.Not atom) :: !conjuncts
+    done
+  done;
+  Fo.conj (List.rev !conjuncts)
+
+let equal (a : t) (b : t) = a.k = b.k && a.adj = b.adj
+
+let pp fmt t =
+  Format.fprintf fmt "τ[k=%d;%s]" t.k
+    (String.concat ","
+       (List.map (fun (i, j) -> Printf.sprintf "%d-%d" i j) (edges t)))

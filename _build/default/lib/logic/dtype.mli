@@ -1,0 +1,49 @@
+(** Distance types (Section 5.1.2).
+
+    For a radius [r] and a k-tuple [ā], the {e r-distance type}
+    [τ_r(ā)] is the undirected graph on positions [{0,…,k-1}] with an
+    edge [{i,j}] iff [dist(a_i, a_j) ≤ r].  The normal form of
+    Theorem 5.4 decomposes a query per distance type and per connected
+    component of the type. *)
+
+type t
+
+val k : t -> int
+
+val create : int -> (int * int) list -> t
+(** [create k edges]: type on [k] positions with the given edges. *)
+
+val mem : t -> int -> int -> bool
+
+val edges : t -> (int * int) list
+(** With [i < j], sorted. *)
+
+val all : int -> t list
+(** All [2^(k(k-1)/2)] distance types on [k] positions, in a fixed
+    order.  Intended for small [k] (the query arity). *)
+
+val of_tuple : dist_le:(int -> int -> bool) -> int array -> t
+(** [of_tuple ~dist_le ā]: the type of [ā] under the given distance
+    predicate (the [≤ r] oracle). *)
+
+val components : t -> int list list
+(** Connected components, each sorted, ordered by smallest element. *)
+
+val component_of : t -> int -> int list
+(** The component containing the given position. *)
+
+val restrict : t -> int -> t
+(** [restrict τ k']: the induced subtype on positions [0..k'-1] (the
+    paper's [τ'], the type induced on the first k−1 positions). *)
+
+val compatible : t -> t -> bool
+(** [compatible τ' τ]: τ restricted to [k τ'] positions equals τ'. *)
+
+val rho : t -> radius:int -> vars:Fo.var array -> Fo.t
+(** The query [ρ_τ] of Step 2 of the preprocessing (Section 5.2.1):
+    [⋀_{ij ∈ τ} dist(x_i,x_j) ≤ r  ∧  ⋀_{ij ∉ τ} ¬ dist(x_i,x_j) ≤ r].
+    Satisfied by exactly the tuples of type τ. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,281 @@
+type var = string
+
+type t =
+  | True
+  | False
+  | Eq of var * var
+  | Edge of var * var
+  | Color of int * var
+  | Dist_le of var * var * int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Exists of var * t
+  | Forall of var * t
+
+let rec fold_vars ~bound f acc = function
+  | True | False -> acc
+  | Eq (x, y) | Edge (x, y) | Dist_le (x, y, _) -> f (f acc x bound) y bound
+  | Color (_, x) -> f acc x bound
+  | Not p -> fold_vars ~bound f acc p
+  | And ps | Or ps -> List.fold_left (fold_vars ~bound f) acc ps
+  | Exists (x, p) | Forall (x, p) ->
+      fold_vars ~bound:(x :: bound) f (f acc x (x :: bound)) p
+
+let free_vars phi =
+  let acc =
+    fold_vars ~bound:[]
+      (fun acc x bound -> if List.mem x bound then acc else x :: acc)
+      [] phi
+  in
+  List.rev
+    (List.fold_left (fun seen x -> if List.mem x seen then seen else x :: seen)
+       []
+       (List.rev acc))
+
+let all_vars phi =
+  let acc = fold_vars ~bound:[] (fun acc x _ -> x :: acc) [] phi in
+  List.rev
+    (List.fold_left (fun seen x -> if List.mem x seen then seen else x :: seen)
+       []
+       (List.rev acc))
+
+let arity phi = List.length (free_vars phi)
+let is_sentence phi = free_vars phi = []
+
+let rec size = function
+  | True | False | Eq _ | Edge _ | Color _ | Dist_le _ -> 1
+  | Not p -> 1 + size p
+  | And ps | Or ps -> List.fold_left (fun acc p -> acc + size p) 1 ps
+  | Exists (_, p) | Forall (_, p) -> 1 + size p
+
+let rec qrank = function
+  | True | False | Eq _ | Edge _ | Color _ | Dist_le _ -> 0
+  | Not p -> qrank p
+  | And ps | Or ps -> List.fold_left (fun acc p -> max acc (qrank p)) 0 ps
+  | Exists (_, p) | Forall (_, p) -> 1 + qrank p
+
+let rec max_dist = function
+  | Dist_le (_, _, d) -> d
+  | True | False | Eq _ | Edge _ | Color _ -> 0
+  | Not p -> max_dist p
+  | And ps | Or ps -> List.fold_left (fun acc p -> max acc (max_dist p)) 0 ps
+  | Exists (_, p) | Forall (_, p) -> max_dist p
+
+let f_q ~q l = float_of_int (4 * q) ** float_of_int (q + l)
+
+let has_qrank_at_most ~q ~l phi =
+  let rec go depth = function
+    | Dist_le (_, _, d) -> float_of_int d <= f_q ~q (l - depth)
+    | True | False | Eq _ | Edge _ | Color _ -> true
+    | Not p -> go depth p
+    | And ps | Or ps -> List.for_all (go depth) ps
+    | Exists (_, p) | Forall (_, p) -> go (depth + 1) p
+  in
+  qrank phi <= l && go 0 phi
+
+let rec rename f = function
+  | True -> True
+  | False -> False
+  | Eq (x, y) -> Eq (f x, f y)
+  | Edge (x, y) -> Edge (f x, f y)
+  | Color (c, x) -> Color (c, f x)
+  | Dist_le (x, y, d) -> Dist_le (f x, f y, d)
+  | Not p -> Not (rename f p)
+  | And ps -> And (List.map (rename f) ps)
+  | Or ps -> Or (List.map (rename f) ps)
+  | Exists (x, p) -> Exists (f x, rename f p)
+  | Forall (x, p) -> Forall (f x, rename f p)
+
+let subst_var ~old ~by phi =
+  let rec go = function
+    | True -> True
+    | False -> False
+    | Eq (x, y) -> Eq (sub x, sub y)
+    | Edge (x, y) -> Edge (sub x, sub y)
+    | Color (c, x) -> Color (c, sub x)
+    | Dist_le (x, y, d) -> Dist_le (sub x, sub y, d)
+    | Not p -> Not (go p)
+    | And ps -> And (List.map go ps)
+    | Or ps -> Or (List.map go ps)
+    | Exists (x, p) ->
+        if x = old then Exists (x, p)
+        else if x = by then
+          invalid_arg "Fo.subst_var: capture"
+        else Exists (x, go p)
+    | Forall (x, p) ->
+        if x = old then Forall (x, p)
+        else if x = by then invalid_arg "Fo.subst_var: capture"
+        else Forall (x, go p)
+  and sub x = if x = old then by else x in
+  go phi
+
+let rec nnf = function
+  | Not (Not p) -> nnf p
+  | Not (And ps) -> Or (List.map (fun p -> nnf (Not p)) ps)
+  | Not (Or ps) -> And (List.map (fun p -> nnf (Not p)) ps)
+  | Not (Exists (x, p)) -> Forall (x, nnf (Not p))
+  | Not (Forall (x, p)) -> Exists (x, nnf (Not p))
+  | Not True -> False
+  | Not False -> True
+  | Not atom -> Not atom
+  | And ps -> And (List.map nnf ps)
+  | Or ps -> Or (List.map nnf ps)
+  | Exists (x, p) -> Exists (x, nnf p)
+  | Forall (x, p) -> Forall (x, nnf p)
+  | atom -> atom
+
+let rec simplify phi =
+  match phi with
+  | And ps ->
+      let ps =
+        List.concat_map
+          (fun p -> match simplify p with And qs -> qs | True -> [] | q -> [ q ])
+          ps
+      in
+      let ps =
+        List.fold_left (fun acc p -> if List.mem p acc then acc else p :: acc)
+          [] ps
+        |> List.rev
+      in
+      if List.mem False ps then False
+      else begin
+        match ps with [] -> True | [ p ] -> p | _ -> And ps
+      end
+  | Or ps ->
+      let ps =
+        List.concat_map
+          (fun p -> match simplify p with Or qs -> qs | False -> [] | q -> [ q ])
+          ps
+      in
+      let ps =
+        List.fold_left (fun acc p -> if List.mem p acc then acc else p :: acc)
+          [] ps
+        |> List.rev
+      in
+      if List.mem True ps then True
+      else begin
+        match ps with [] -> False | [ p ] -> p | _ -> Or ps
+      end
+  | Not p -> (
+      match simplify p with
+      | True -> False
+      | False -> True
+      | Not q -> q
+      | q -> Not q)
+  | Exists (x, p) -> (
+      match simplify p with
+      | False -> False
+      | q -> Exists (x, q))
+  | Forall (x, p) -> (
+      match simplify p with
+      | True -> True
+      | q -> Forall (x, q))
+  | Eq (x, y) when x = y -> True
+  | Dist_le (x, y, _) when x = y -> True
+  | atom -> atom
+
+let mentions z phi = List.mem z (free_vars phi)
+
+let rec miniscope phi =
+  match phi with
+  | True | False | Eq _ | Edge _ | Color _ | Dist_le _ | Not _ -> phi
+  | And ps -> And (List.map miniscope ps)
+  | Or ps -> Or (List.map miniscope ps)
+  | Exists (z, p) -> push_exists z (miniscope p)
+  | Forall (z, p) -> push_forall z (miniscope p)
+
+and push_exists z p =
+  if not (mentions z p) then p
+  else
+    match p with
+    | Or ps -> Or (List.map (push_exists z) ps)
+    | And ps ->
+        let dep, indep = List.partition (mentions z) ps in
+        if indep = [] then Exists (z, p)
+        else begin
+          let inner =
+            match dep with
+            | [] -> True
+            | [ q ] -> push_exists z q
+            | qs -> Exists (z, And qs)
+          in
+          And (indep @ [ inner ])
+        end
+    | _ -> Exists (z, p)
+
+and push_forall z p =
+  if not (mentions z p) then p
+  else
+    match p with
+    | And ps -> And (List.map (push_forall z) ps)
+    | Or ps ->
+        let dep, indep = List.partition (mentions z) ps in
+        if indep = [] then Forall (z, p)
+        else begin
+          let inner =
+            match dep with
+            | [] -> False
+            | [ q ] -> push_forall z q
+            | qs -> Forall (z, Or qs)
+          in
+          Or (indep @ [ inner ])
+        end
+    | _ -> Forall (z, p)
+
+let conj ps = simplify (And ps)
+let disj ps = simplify (Or ps)
+
+(* Definition 4.1.  dist_{≤0}(x,y) := x=y;
+   dist_{≤r+1}(x,y) := x=y ∨ ∃z (E(x,z) ∧ dist_{≤r}(z,y)). *)
+let dist_formula r x y =
+  let rec go r x =
+    if r = 0 then Eq (x, y)
+    else
+      let z = Printf.sprintf "_d%d" r in
+      Or [ Eq (x, y); Exists (z, And [ Edge (x, z); go (r - 1) z ]) ]
+  in
+  go r x
+
+let equal (a : t) (b : t) = a = b
+
+let prec = function
+  | Or _ -> 1
+  | And _ -> 2
+  | Not _ | Exists _ | Forall _ -> 3
+  | _ -> 4
+
+let rec pp_prec level fmt phi =
+  let p = prec phi in
+  if p < level then Format.fprintf fmt "(%a)" (pp_prec 0) phi
+  else
+    match phi with
+    | True -> Format.pp_print_string fmt "true"
+    | False -> Format.pp_print_string fmt "false"
+    | Eq (x, y) -> Format.fprintf fmt "%s = %s" x y
+    | Edge (x, y) -> Format.fprintf fmt "E(%s,%s)" x y
+    | Color (c, x) -> Format.fprintf fmt "C%d(%s)" c x
+    | Dist_le (x, y, d) -> Format.fprintf fmt "dist(%s,%s) <= %d" x y d
+    | Not q -> Format.fprintf fmt "~%a" (pp_prec 4) q
+    | And ps ->
+        Format.pp_print_list
+          ~pp_sep:(fun fmt () -> Format.fprintf fmt " & ")
+          (pp_prec 3) fmt ps
+    | Or ps ->
+        Format.pp_print_list
+          ~pp_sep:(fun fmt () -> Format.fprintf fmt " | ")
+          (pp_prec 2) fmt ps
+    | Exists (x, q) -> Format.fprintf fmt "exists %s. %a" x (pp_prec 3) q
+    | Forall (x, q) -> Format.fprintf fmt "forall %s. %a" x (pp_prec 3) q
+
+let pp fmt phi = pp_prec 0 fmt phi
+let to_string phi = Format.asprintf "%a" pp phi
+
+let fresh_var ~used hint =
+  if not (List.mem hint used) then hint
+  else
+    let rec go i =
+      let v = Printf.sprintf "%s%d" hint i in
+      if List.mem v used then go (i + 1) else v
+    in
+    go 0

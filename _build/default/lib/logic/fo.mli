@@ -1,0 +1,84 @@
+(** First-order queries over colored graphs, in the logic FO⁺
+    (Sections 2 and 5.1.2): first-order logic over the schema
+    [σ_c = {E, C_0, …}] extended with distance atoms [dist(x,y) ≤ d].
+
+    Distance atoms do not add expressive power (see {!dist_formula}) but
+    are central to the paper's normal form: they allow controlling the
+    quantifier rank of local formulas ({e q-rank}). *)
+
+type var = string
+
+type t =
+  | True
+  | False
+  | Eq of var * var
+  | Edge of var * var  (** [E(x,y)]; symmetric. *)
+  | Color of int * var  (** [C_i(x)]. *)
+  | Dist_le of var * var * int  (** [dist(x,y) ≤ d] with [d ≥ 0]. *)
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Exists of var * t
+  | Forall of var * t
+
+val free_vars : t -> var list
+(** In order of first occurrence, without duplicates. *)
+
+val all_vars : t -> var list
+
+val arity : t -> int
+
+val is_sentence : t -> bool
+
+val size : t -> int
+(** Number of AST nodes, the paper's [|q|] up to a constant. *)
+
+val qrank : t -> int
+(** Quantifier rank.  Distance atoms count as quantifier-free. *)
+
+val max_dist : t -> int
+(** The largest [d] of any [dist ≤ d] atom ([0] if none). *)
+
+val f_q : q:int -> int -> float
+(** [f_q ~q ℓ = (4q)^(q+ℓ)], the locality radius of Section 5.1.2. *)
+
+val has_qrank_at_most : q:int -> l:int -> t -> bool
+(** The paper's {e q-rank ≤ ℓ} check: quantifier rank ≤ ℓ and every
+    distance atom [dist ≤ d] within scope of [i] quantifiers satisfies
+    [d ≤ (4q)^(q+ℓ-i)]. *)
+
+val rename : (var -> var) -> t -> t
+(** Apply a renaming to every variable occurrence, free and bound.
+    The renaming must be injective on the variables involved. *)
+
+val subst_var : old:var -> by:var -> t -> t
+(** Replace free occurrences of [old] by [by].  @raise Invalid_argument
+    when [by] would be captured. *)
+
+val nnf : t -> t
+(** Negation normal form: negations pushed onto atoms. *)
+
+val miniscope : t -> t
+(** Minimize quantifier scopes on an NNF formula: push ∃ through ∨ and
+    factor out conjuncts not mentioning the variable (dually for ∀).
+    Shrinks the free-variable sets of quantified blocks, widening the
+    compilable guarded-local fragment. *)
+
+val simplify : t -> t
+(** Constant folding, flattening of nested ∧/∨, deduplication. *)
+
+val conj : t list -> t
+
+val disj : t list -> t
+
+val dist_formula : int -> var -> var -> t
+(** Definition 4.1: the pure-FO formula expressing [dist(x,y) ≤ r]. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val fresh_var : used:var list -> string -> var
+(** A variable named after the hint, distinct from [used]. *)

@@ -1,0 +1,280 @@
+exception Syntax_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Syntax_error s)) fmt
+
+type token =
+  | IDENT of string
+  | INT of int
+  | LPAR
+  | RPAR
+  | COMMA
+  | DOT
+  | EQ
+  | NEQ
+  | LE
+  | LT
+  | GE
+  | GT
+  | TILDE
+  | AMP
+  | BAR
+  | ARROW
+  | IFF
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '(' ->
+        push LPAR;
+        incr i
+    | ')' ->
+        push RPAR;
+        incr i
+    | ',' ->
+        push COMMA;
+        incr i
+    | '.' ->
+        push DOT;
+        incr i
+    | '=' ->
+        push EQ;
+        incr i
+    | '~' ->
+        push TILDE;
+        incr i
+    | '&' ->
+        push AMP;
+        incr i
+    | '|' ->
+        push BAR;
+        incr i
+    | '!' ->
+        if !i + 1 < n && s.[!i + 1] = '=' then begin
+          push NEQ;
+          i := !i + 2
+        end
+        else fail "stray '!' at offset %d" !i
+    | '<' ->
+        if !i + 2 < n && s.[!i + 1] = '-' && s.[!i + 2] = '>' then begin
+          push IFF;
+          i := !i + 3
+        end
+        else if !i + 1 < n && s.[!i + 1] = '=' then begin
+          push LE;
+          i := !i + 2
+        end
+        else begin
+          push LT;
+          incr i
+        end
+    | '>' ->
+        if !i + 1 < n && s.[!i + 1] = '=' then begin
+          push GE;
+          i := !i + 2
+        end
+        else begin
+          push GT;
+          incr i
+        end
+    | '-' ->
+        if !i + 1 < n && s.[!i + 1] = '>' then begin
+          push ARROW;
+          i := !i + 2
+        end
+        else fail "stray '-' at offset %d" !i
+    | '0' .. '9' ->
+        let j = ref !i in
+        while !j < n && match s.[!j] with '0' .. '9' -> true | _ -> false do
+          incr j
+        done;
+        push (INT (int_of_string (String.sub s !i (!j - !i))));
+        i := !j
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let j = ref !i in
+        while
+          !j < n
+          && match s.[!j] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+             | _ -> false
+        do
+          incr j
+        done;
+        push (IDENT (String.sub s !i (!j - !i)));
+        i := !j
+    | c -> fail "unexpected character %C at offset %d" c !i);
+    ()
+  done;
+  List.rev !toks
+
+(* recursive descent over a mutable token stream *)
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.toks with [] -> fail "unexpected end of input" | _ :: r -> st.toks <- r
+
+let expect st t what =
+  match st.toks with
+  | x :: r when x = t -> st.toks <- r
+  | _ -> fail "expected %s" what
+
+let formula ?(colors = []) input =
+  let st = { toks = tokenize input } in
+  let rec parse_iff () =
+    let lhs = parse_implies () in
+    match peek st with
+    | Some IFF ->
+        advance st;
+        let rhs = parse_iff () in
+        Fo.And [ Fo.Or [ Fo.Not lhs; rhs ]; Fo.Or [ Fo.Not rhs; lhs ] ]
+    | _ -> lhs
+  and parse_implies () =
+    let lhs = parse_or () in
+    match peek st with
+    | Some ARROW ->
+        advance st;
+        let rhs = parse_implies () in
+        Fo.Or [ Fo.Not lhs; rhs ]
+    | _ -> lhs
+  and parse_or () =
+    let first = parse_and () in
+    let rec more acc =
+      match peek st with
+      | Some BAR ->
+          advance st;
+          more (parse_and () :: acc)
+      | _ -> List.rev acc
+    in
+    match more [ first ] with [ p ] -> p | ps -> Fo.Or ps
+  and parse_and () =
+    let first = parse_unary () in
+    let rec more acc =
+      match peek st with
+      | Some AMP ->
+          advance st;
+          more (parse_unary () :: acc)
+      | _ -> List.rev acc
+    in
+    match more [ first ] with [ p ] -> p | ps -> Fo.And ps
+  and parse_unary () =
+    match peek st with
+    | Some TILDE ->
+        advance st;
+        Fo.Not (parse_unary ())
+    | Some (IDENT ("exists" | "forall")) -> parse_quant ()
+    | _ -> parse_atom ()
+  and parse_quant () =
+    let kind = match peek st with Some (IDENT k) -> k | _ -> assert false in
+    advance st;
+    let rec vars acc =
+      match peek st with
+      | Some (IDENT v) when v <> "exists" && v <> "forall" ->
+          advance st;
+          vars (v :: acc)
+      | Some DOT ->
+          advance st;
+          List.rev acc
+      | _ -> fail "expected variable or '.' after %s" kind
+    in
+    let vs = vars [] in
+    if vs = [] then fail "%s needs at least one variable" kind;
+    let body = parse_iff () in
+    List.fold_right
+      (fun v acc ->
+        if kind = "exists" then Fo.Exists (v, acc) else Fo.Forall (v, acc))
+      vs body
+  and parse_atom () =
+    match peek st with
+    | Some LPAR ->
+        advance st;
+        let p = parse_iff () in
+        expect st RPAR "')'";
+        p
+    | Some (IDENT "true") ->
+        advance st;
+        Fo.True
+    | Some (IDENT "false") ->
+        advance st;
+        Fo.False
+    | Some (IDENT "dist") ->
+        advance st;
+        expect st LPAR "'(' after dist";
+        let x = ident () in
+        expect st COMMA "','";
+        let y = ident () in
+        expect st RPAR "')'";
+        let cmp = match peek st with
+          | Some ((LE | LT | GE | GT) as t) ->
+              advance st;
+              t
+          | _ -> fail "expected comparison after dist(...)"
+        in
+        let d = match peek st with
+          | Some (INT d) ->
+              advance st;
+              d
+          | _ -> fail "expected integer distance bound"
+        in
+        (match cmp with
+        | LE -> Fo.Dist_le (x, y, d)
+        | LT ->
+            if d <= 0 then Fo.False else Fo.Dist_le (x, y, d - 1)
+        | GE ->
+            if d <= 0 then Fo.True else Fo.Not (Fo.Dist_le (x, y, d - 1))
+        | GT -> Fo.Not (Fo.Dist_le (x, y, d))
+        | _ -> assert false)
+    | Some (IDENT "E") ->
+        advance st;
+        expect st LPAR "'(' after E";
+        let x = ident () in
+        expect st COMMA "','";
+        let y = ident () in
+        expect st RPAR "')'";
+        Fo.Edge (x, y)
+    | Some (IDENT name) -> (
+        (* C<int>(x), a named color, or a bare variable in an equality *)
+        advance st;
+        match peek st with
+        | Some LPAR ->
+            advance st;
+            let x = ident () in
+            expect st RPAR "')'";
+            let color =
+              match List.assoc_opt name colors with
+              | Some c -> c
+              | None ->
+                  if String.length name >= 2 && name.[0] = 'C' then
+                    match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+                    | Some c -> c
+                    | None -> fail "unknown color %s" name
+                  else fail "unknown color %s" name
+            in
+            Fo.Color (color, x)
+        | Some EQ ->
+            advance st;
+            let y = ident () in
+            Fo.Eq (name, y)
+        | Some NEQ ->
+            advance st;
+            let y = ident () in
+            Fo.Not (Fo.Eq (name, y))
+        | _ -> fail "expected '=', '!=' or '(' after %s" name)
+    | Some _ -> fail "unexpected token"
+    | None -> fail "unexpected end of input"
+  and ident () =
+    match peek st with
+    | Some (IDENT v) ->
+        advance st;
+        v
+    | _ -> fail "expected identifier"
+  in
+  let p = parse_iff () in
+  if st.toks <> [] then fail "trailing input";
+  p

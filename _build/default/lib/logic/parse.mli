@@ -1,0 +1,22 @@
+(** A small surface syntax for FO⁺ queries.
+
+    Grammar (precedence low → high; quantifier scope is maximal):
+    {v
+      φ ::= φ '<->' φ | φ '->' φ | φ '|' φ | φ '&' φ
+          | '~' φ | 'exists' x … x '.' φ | 'forall' x … x '.' φ
+          | 'true' | 'false' | '(' φ ')'
+          | x '=' y | x '!=' y
+          | 'E' '(' x ',' y ')'
+          | 'C'<int> '(' x ')'          e.g.  C0(x)
+          | <Name> '(' x ')'            named color, resolved via ~colors
+          | 'dist' '(' x ',' y ')' ('<=' | '<' | '>' | '>=') <int>
+    v}
+
+    Examples:
+    - ["exists z. E(x,z) & E(z,y)"]
+    - ["dist(x,y) > 2 & Blue(y)"] with [~colors:["Blue", 1]]. *)
+
+exception Syntax_error of string
+
+val formula : ?colors:(string * int) list -> string -> Fo.t
+(** @raise Syntax_error on malformed input. *)

@@ -1,0 +1,1 @@
+lib/nowhere/cover.ml: Array Bfs Cgraph List Nd_graph Nd_util Printf Sorted

@@ -1,0 +1,1 @@
+lib/nowhere/cover.mli: Nd_graph

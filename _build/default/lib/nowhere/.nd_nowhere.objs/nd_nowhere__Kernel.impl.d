@@ -1,0 +1,1 @@
+lib/nowhere/kernel.ml: Array Bfs Cgraph Nd_graph Nd_util Printf Sorted

@@ -1,0 +1,1 @@
+lib/nowhere/kernel.mli: Nd_graph

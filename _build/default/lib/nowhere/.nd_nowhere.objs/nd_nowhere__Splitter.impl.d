@@ -1,0 +1,1 @@
+lib/nowhere/splitter.ml: Array Bfs Cgraph Fun List Nd_graph Random

@@ -1,0 +1,1 @@
+lib/nowhere/splitter.mli: Nd_graph

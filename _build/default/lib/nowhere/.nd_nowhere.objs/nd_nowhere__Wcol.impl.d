@@ -1,0 +1,1 @@
+lib/nowhere/wcol.ml: Array Cgraph List Nd_graph Queue

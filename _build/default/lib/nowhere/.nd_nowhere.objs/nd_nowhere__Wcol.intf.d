@@ -1,0 +1,1 @@
+lib/nowhere/wcol.mli: Nd_graph

@@ -1,0 +1,140 @@
+open Nd_util
+open Nd_graph
+
+type t = {
+  r : int;
+  bags : int array array;
+  centers : int array;
+  radii : int array;
+  assigned : int array;
+  bags_of : int array array;
+  assigned_members : int array array;
+}
+
+let compute g ~r =
+  if r < 0 then invalid_arg "Cover.compute: negative radius";
+  let n = Cgraph.n g in
+  let srch = Bfs.searcher g in
+  let assigned = Array.make n (-1) in
+  let bags = ref [] and centers = ref [] and radii = ref [] in
+  let nbags = ref 0 in
+  for a = 0 to n - 1 do
+    if assigned.(a) = -1 then begin
+      (* Grow the bag from N_2r(a), extending its radius until the
+         yet-uncovered part of its r-kernel pays for its size (≥ 1/8) or
+         it stops growing (spans the component).  Every vertex of the
+         kernel has its whole r-ball inside the bag, so assigning the
+         kernel preserves the cover property, and the efficiency
+         threshold bounds Σ|X| ≤ 9n on every input.  On nowhere dense
+         families the first attempt (the paper's s = 2r) almost always
+         wins; adversarial inputs trade bag radius for cover weight. *)
+      let rec grow radius prev_size attempts =
+        let bag = Bfs.sball srch a ~radius in
+        let sub, to_orig = Cgraph.induced g bag in
+        let border = ref [] in
+        Array.iteri
+          (fun i v ->
+            if
+              Array.exists
+                (fun w -> not (Nd_util.Sorted.mem bag w))
+                (Cgraph.neighbors g v)
+            then border := (i, 1) :: !border)
+          to_orig;
+        let d = Bfs.multi_dist_from_depth sub !border ~radius:r in
+        let fresh = ref 0 in
+        Array.iteri
+          (fun i v -> if d.(i) = -1 && assigned.(v) = -1 then incr fresh)
+          to_orig
+        |> ignore;
+        if
+          8 * !fresh >= Array.length bag
+          || Array.length bag = prev_size
+          || attempts >= 4
+        then (bag, to_orig, d, radius)
+        else grow (radius + max 1 r) (Array.length bag) (attempts + 1)
+      in
+      let bag, to_orig, d, radius = grow (2 * r) (-1) 0 in
+      let id = !nbags in
+      incr nbags;
+      bags := bag :: !bags;
+      centers := a :: !centers;
+      radii := radius :: !radii;
+      Array.iteri
+        (fun i v -> if d.(i) = -1 && assigned.(v) = -1 then assigned.(v) <- id)
+        to_orig
+    end
+  done;
+  let bags = Array.of_list (List.rev !bags) in
+  let centers = Array.of_list (List.rev !centers) in
+  let radii = Array.of_list (List.rev !radii) in
+  (* invert: bags containing each vertex, and vertices assigned per bag *)
+  let count = Array.make n 0 in
+  Array.iter (Array.iter (fun v -> count.(v) <- count.(v) + 1)) bags;
+  let bags_of = Array.init n (fun v -> Array.make count.(v) 0) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun id bag ->
+      Array.iter
+        (fun v ->
+          bags_of.(v).(fill.(v)) <- id;
+          fill.(v) <- fill.(v) + 1)
+        bag)
+    bags;
+  (* bag ids arrive in increasing order per vertex: already sorted *)
+  let members_count = Array.make (Array.length bags) 0 in
+  Array.iter
+    (fun id -> members_count.(id) <- members_count.(id) + 1)
+    assigned;
+  let assigned_members =
+    Array.init (Array.length bags) (fun id -> Array.make members_count.(id) 0)
+  in
+  let mfill = Array.make (Array.length bags) 0 in
+  Array.iteri
+    (fun v id ->
+      assigned_members.(id).(mfill.(id)) <- v;
+      mfill.(id) <- mfill.(id) + 1)
+    assigned;
+  { r; bags; centers; radii; assigned; bags_of; assigned_members }
+
+let bag_count t = Array.length t.bags
+
+let degree t =
+  Array.fold_left (fun acc bs -> max acc (Array.length bs)) 0 t.bags_of
+
+let weight t =
+  Array.fold_left (fun acc bag -> acc + Array.length bag) 0 t.bags
+
+let mem_bag t ~bag v = Sorted.mem t.bags.(bag) v
+
+let verify g t =
+  let n = Cgraph.n g in
+  let rec check_vertex a =
+    if a >= n then Ok ()
+    else begin
+      let bag = t.assigned.(a) in
+      if bag < 0 || bag >= Array.length t.bags then
+        Error (Printf.sprintf "vertex %d has no assigned bag" a)
+      else begin
+        let ball = Bfs.ball g a ~radius:t.r in
+        if Array.exists (fun b -> not (mem_bag t ~bag b)) ball then
+          Error (Printf.sprintf "N_r(%d) not inside bag %d" a bag)
+        else check_vertex (a + 1)
+      end
+    end
+  in
+  let rec check_bag id =
+    if id >= Array.length t.bags then Ok ()
+    else begin
+      let c = t.centers.(id) in
+      let ball = Bfs.ball g c ~radius:t.radii.(id) in
+      let inside v = Sorted.mem ball v in
+      if t.radii.(id) < 2 * t.r then
+        Error (Printf.sprintf "bag %d has radius below 2r" id)
+      else if Array.exists (fun v -> not (inside v)) t.bags.(id) then
+        Error
+          (Printf.sprintf "bag %d not inside N_s of its center (s=%d)" id
+             t.radii.(id))
+      else check_bag (id + 1)
+    end
+  in
+  match check_vertex 0 with Error e -> Error e | Ok () -> check_bag 0

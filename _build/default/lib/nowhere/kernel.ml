@@ -1,0 +1,44 @@
+open Nd_util
+open Nd_graph
+
+let compute g ~bag ~p =
+  if p < 0 then invalid_arg "Kernel.compute: negative p";
+  let sub, to_orig = Cgraph.induced g bag in
+  (* local border vertices: members with a neighbor outside the bag *)
+  let border = ref [] in
+  Array.iteri
+    (fun i v ->
+      if
+        Array.exists
+          (fun w -> not (Sorted.mem bag w))
+          (Cgraph.neighbors g v)
+      then border := (i, 1) :: !border)
+    to_orig;
+  (* D(a) = distance from a to the outside; a ∈ K_p iff D(a) > p *)
+  let d = Bfs.multi_dist_from_depth sub !border ~radius:p in
+  let acc = ref [] in
+  for i = Array.length to_orig - 1 downto 0 do
+    if d.(i) = -1 then acc := to_orig.(i) :: !acc
+  done;
+  Array.of_list !acc
+
+let verify g ~bag ~p kernel =
+  let n = Cgraph.n g in
+  let rec go a =
+    if a >= n then Ok ()
+    else begin
+      let in_kernel = Sorted.mem kernel a in
+      let expected =
+        Sorted.mem bag a
+        && Array.for_all
+             (fun b -> Sorted.mem bag b)
+             (Bfs.ball g a ~radius:p)
+      in
+      if in_kernel <> expected then
+        Error
+          (Printf.sprintf "kernel mismatch at vertex %d: stored %b, real %b" a
+             in_kernel expected)
+      else go (a + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,13 @@
+(** Kernels of bags (Definition 5.6, Lemma 5.7).
+
+    For a bag [X] of an r-neighborhood cover and [p ≤ r], the p-kernel
+    is [K_p(X) = {a | N_p(a) ⊆ X}].  Computed in [O(p·‖G[X]‖)] by a
+    multi-source BFS from the border of the bag. *)
+
+val compute : Nd_graph.Cgraph.t -> bag:int array -> p:int -> int array
+(** [compute g ~bag ~p]: the p-kernel of the sorted vertex set [bag],
+    as a sorted vertex array. *)
+
+val verify :
+  Nd_graph.Cgraph.t -> bag:int array -> p:int -> int array -> (unit, string) result
+(** Check [a ∈ K_p(X) ⇔ N_p(a) ⊆ X] extensionally. *)

@@ -1,0 +1,122 @@
+open Nd_graph
+
+type arena = { graph : Cgraph.t; to_orig : int array }
+
+type strategy = arena -> connector:int -> int
+
+let splitter_echo _arena ~connector = connector
+
+let splitter_center arena ~connector =
+  let n = Cgraph.n arena.graph in
+  if n = 0 then invalid_arg "splitter_center: empty arena";
+  (* center of the connected component of the connector *)
+  let comp =
+    let d = Bfs.dist_upto arena.graph connector ~radius:max_int in
+    let acc = ref [] in
+    for v = n - 1 downto 0 do
+      if d.(v) >= 0 then acc := v :: !acc
+    done;
+    Array.of_list !acc
+  in
+  Bfs.eccentricity_center arena.graph comp
+
+let splitter_max_degree arena ~connector =
+  let n = Cgraph.n arena.graph in
+  let best = ref connector and bd = ref (-1) in
+  for v = 0 to n - 1 do
+    let d = Cgraph.degree arena.graph v in
+    if d > !bd then begin
+      bd := d;
+      best := v
+    end
+  done;
+  !best
+
+type connector = arena -> r:int -> int
+
+let ball_size g v r = Array.length (Bfs.ball g v ~radius:r)
+
+let connector_max_ball arena ~r =
+  let n = Cgraph.n arena.graph in
+  let candidates =
+    if n <= 64 then List.init n Fun.id
+    else
+      (* sample vertices deterministically to keep the adversary cheap *)
+      List.init 64 (fun i -> i * n / 64)
+  in
+  let best = ref 0 and bs = ref (-1) in
+  List.iter
+    (fun v ->
+      let s = ball_size arena.graph v r in
+      if s > !bs then begin
+        bs := s;
+        best := v
+      end)
+    candidates;
+  !best
+
+let connector_random ~seed =
+  let rng = Random.State.make [| seed |] in
+  fun arena ~r ->
+    ignore r;
+    Random.State.int rng (Cgraph.n arena.graph)
+
+type outcome = { rounds : int; splitter_won : bool }
+
+let shrink arena c r s =
+  (* next arena: N_r^{arena}(c) minus s (local ids); relabel *)
+  let ball = Bfs.ball arena.graph c ~radius:r in
+  let keep = Array.of_list (List.filter (fun v -> v <> s) (Array.to_list ball)) in
+  let sub, local_to_orig = Cgraph.induced arena.graph keep in
+  { graph = sub; to_orig = Array.map (fun i -> arena.to_orig.(i)) local_to_orig }
+
+let play g ~r ~max_rounds ~splitter ~connector =
+  let arena = ref { graph = g; to_orig = Array.init (Cgraph.n g) Fun.id } in
+  let rec go round =
+    if Cgraph.n !arena.graph = 0 then { rounds = round; splitter_won = true }
+    else if round >= max_rounds then { rounds = round; splitter_won = false }
+    else begin
+      let c = connector !arena ~r in
+      let ball = Bfs.ball !arena.graph c ~radius:r in
+      let restricted, to_orig_local = Cgraph.induced !arena.graph ball in
+      let restricted_arena =
+        {
+          graph = restricted;
+          to_orig = Array.map (fun i -> !arena.to_orig.(i)) to_orig_local;
+        }
+      in
+      let c_local =
+        match Cgraph.local_of_orig ball c with Some i -> i | None -> assert false
+      in
+      let s = splitter restricted_arena ~connector:c_local in
+      let keep =
+        Array.of_list
+          (List.filter (fun v -> v <> s)
+             (List.init (Cgraph.n restricted) Fun.id))
+      in
+      let next_graph, next_map = Cgraph.induced restricted keep in
+      arena :=
+        {
+          graph = next_graph;
+          to_orig = Array.map (fun i -> restricted_arena.to_orig.(i)) next_map;
+        };
+      go (round + 1)
+    end
+  in
+  ignore shrink;
+  go 0
+
+let measured_lambda g ~r ~max_rounds ~splitter =
+  let o = play g ~r ~max_rounds ~splitter ~connector:connector_max_ball in
+  if o.splitter_won then Some o.rounds else None
+
+let move g ~bag ~center =
+  let sub, to_orig = Cgraph.induced g bag in
+  let c_local =
+    match Cgraph.local_of_orig bag center with
+    | Some i -> i
+    | None -> invalid_arg "Splitter.move: center not in bag"
+  in
+  let arena = { graph = sub; to_orig } in
+  let s = splitter_center arena ~connector:c_local in
+  to_orig.(s)

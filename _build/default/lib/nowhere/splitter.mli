@@ -1,0 +1,61 @@
+(** The splitter game (Definition 4.5, Theorem 4.6).
+
+    The (λ,r)-splitter game on G: in each round Connector picks a vertex
+    [c] of the current arena, the arena shrinks to [N_r(c)], Splitter
+    removes one vertex of it.  Splitter wins when the arena empties.
+    A class is nowhere dense iff for every r some λ(r) rounds suffice on
+    all of its members — this is the induction parameter of both
+    Proposition 4.2 and the main algorithm.
+
+    The paper assumes Splitter's winning strategy is given with the
+    class (Remark 4.7); here we provide concrete heuristic strategies
+    and a harness measuring how many rounds they need ({e measured λ},
+    experiment E4). *)
+
+type arena = {
+  graph : Nd_graph.Cgraph.t;  (** current arena, relabeled. *)
+  to_orig : int array;  (** local id → vertex of the original graph. *)
+}
+
+type strategy = arena -> connector:int -> int
+(** Given the arena [N_r(c)] {e after} restriction, with [connector]
+    the local id of Connector's vertex, return the local id of the
+    vertex Splitter removes. *)
+
+val splitter_echo : strategy
+(** Remove Connector's own vertex. *)
+
+val splitter_center : strategy
+(** Remove an approximate eccentricity center of the arena (good on
+    trees and grid-like graphs). *)
+
+val splitter_max_degree : strategy
+
+type connector = arena -> r:int -> int
+(** Adversary: pick the next Connector vertex in the current arena. *)
+
+val connector_max_ball : connector
+(** Greedy adversary: maximize the size of the next arena (sampled on
+    large arenas to stay near-linear). *)
+
+val connector_random : seed:int -> connector
+
+type outcome = { rounds : int; splitter_won : bool }
+
+val play :
+  Nd_graph.Cgraph.t ->
+  r:int ->
+  max_rounds:int ->
+  splitter:strategy ->
+  connector:connector ->
+  outcome
+
+val measured_lambda :
+  Nd_graph.Cgraph.t -> r:int -> max_rounds:int -> splitter:strategy -> int option
+(** Rounds the given splitter strategy needs against {!connector_max_ball};
+    [None] if it fails to win within [max_rounds]. *)
+
+val move : Nd_graph.Cgraph.t -> bag:int array -> center:int -> int
+(** Splitter's opening answer for a bag: the vertex [s_X] she removes
+    when Connector plays the bag's center (preprocessing Step 3 / 8).
+    Returns an original-graph vertex belonging to [bag]. *)

@@ -1,0 +1,79 @@
+open Nd_graph
+
+let degeneracy_order g =
+  let n = Cgraph.n g in
+  let deg = Array.init n (Cgraph.degree g) in
+  let removed = Array.make n false in
+  let order = Array.make n 0 in
+  (* bucket queue over degrees *)
+  let buckets = Array.make (n + 1) [] in
+  Array.iteri (fun v d -> buckets.(d) <- v :: buckets.(d)) deg;
+  let next_rank = ref 0 in
+  let cursor = ref 0 in
+  while !next_rank < n do
+    while !cursor <= n && buckets.(!cursor) = [] do
+      incr cursor
+    done;
+    if !cursor > n then assert false;
+    match buckets.(!cursor) with
+    | [] -> assert false
+    | v :: rest ->
+        buckets.(!cursor) <- rest;
+        if (not removed.(v)) && deg.(v) = !cursor then begin
+          removed.(v) <- true;
+          order.(v) <- !next_rank;
+          incr next_rank;
+          Array.iter
+            (fun w ->
+              if not removed.(w) then begin
+                deg.(w) <- deg.(w) - 1;
+                buckets.(deg.(w)) <- w :: buckets.(deg.(w));
+                if deg.(w) < !cursor then cursor := deg.(w)
+              end)
+            (Cgraph.neighbors g v)
+        end
+  done;
+  order
+
+let wreach_counts g ~r ~order =
+  let n = Cgraph.n g in
+  let counts = Array.make n 0 in
+  let dist = Array.make n (-1) in
+  let touched = ref [] in
+  for b = 0 to n - 1 do
+    (* BFS from b through vertices of larger rank only *)
+    let q = Queue.create () in
+    dist.(b) <- 0;
+    touched := b :: !touched;
+    Queue.push b q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      if dist.(v) < r then
+        Array.iter
+          (fun w ->
+            if dist.(w) = -1 && order.(w) > order.(b) then begin
+              dist.(w) <- dist.(v) + 1;
+              touched := w :: !touched;
+              counts.(w) <- counts.(w) + 1;
+              Queue.push w q
+            end)
+          (Cgraph.neighbors g v)
+    done;
+    List.iter (fun v -> dist.(v) <- -1) !touched;
+    touched := []
+  done;
+  counts
+
+type profile = { max : int; mean : float }
+
+let profile g ~r =
+  let order = degeneracy_order g in
+  let counts = wreach_counts g ~r ~order in
+  let n = Array.length counts in
+  if n = 0 then { max = 0; mean = 0. }
+  else
+    {
+      max = Array.fold_left max 0 counts;
+      mean =
+        float_of_int (Array.fold_left ( + ) 0 counts) /. float_of_int n;
+    }

@@ -1,0 +1,22 @@
+(** Weak r-accessibility (Section 2's order-based characterization of
+    nowhere denseness).
+
+    Under a linear order on V, vertex [b] is weakly r-accessible from
+    [a] if some path of length ≤ r connects them and [b] is smaller
+    than every other vertex on the path.  A class is nowhere dense iff
+    orders exist keeping [|WReach_r(a)| ≤ n^ε] for all a; with constant
+    bounds the class has bounded expansion.  Experiment E10 profiles
+    these counts across the generator zoo. *)
+
+val degeneracy_order : Nd_graph.Cgraph.t -> int array
+(** [order.(v)] = rank of v under iterated minimum-degree removal —
+    a good generic order for sparse graphs. *)
+
+val wreach_counts : Nd_graph.Cgraph.t -> r:int -> order:int array -> int array
+(** [|WReach_r(a)|] per vertex [a], ranks taken from [order]
+    (a permutation of [0..n-1]). *)
+
+type profile = { max : int; mean : float }
+
+val profile : Nd_graph.Cgraph.t -> r:int -> profile
+(** Counts under the degeneracy order. *)

@@ -1,0 +1,1 @@
+lib/ram/ref_store.ml: Array Map Nd_util Store Tuple

@@ -1,0 +1,1 @@
+lib/ram/ref_store.mli: Nd_util Store

@@ -1,0 +1,1 @@
+lib/ram/store.ml: Array Buffer Format Hashtbl List Nd_util Option Printf Queue Tuple

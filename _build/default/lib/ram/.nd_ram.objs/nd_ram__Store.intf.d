@@ -1,0 +1,1 @@
+lib/ram/store.mli: Format Nd_util

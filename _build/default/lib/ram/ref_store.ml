@@ -1,0 +1,42 @@
+open Nd_util
+
+type key = Tuple.t
+
+module M = Map.Make (struct
+  type t = key
+
+  let compare = Tuple.compare
+end)
+
+type 'v t = { n : int; k : int; map : 'v M.t }
+
+let empty ~n ~k =
+  if n < 1 || k < 1 then invalid_arg "Ref_store.empty";
+  { n; k; map = M.empty }
+
+let check t (a : key) =
+  if Array.length a <> t.k then invalid_arg "Ref_store: arity mismatch";
+  Array.iter
+    (fun x -> if x < 0 || x >= t.n then invalid_arg "Ref_store: out of range")
+    a
+
+let add t a v =
+  check t a;
+  { t with map = M.add (Array.copy a) v t.map }
+
+let remove t a =
+  check t a;
+  { t with map = M.remove a t.map }
+
+let find t a : 'v Store.lookup =
+  check t a;
+  match M.find_opt a t.map with
+  | Some v -> Store.Value v
+  | None -> (
+      match M.find_first_opt (fun k -> Tuple.compare k a > 0) t.map with
+      | Some (k, _) -> Store.Next k
+      | None -> Store.Null)
+
+let cardinal t = M.cardinal t.map
+
+let to_list t = M.bindings t.map

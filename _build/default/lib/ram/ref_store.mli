@@ -1,0 +1,21 @@
+(** Purely functional reference model of {!Store}, used for differential
+    testing and as a readable specification of the Storing Theorem's
+    interface.  Every operation is O(log |Dom|) or worse — this module is
+    a correctness oracle, not a performance substrate. *)
+
+type 'v t
+
+type key = Nd_util.Tuple.t
+
+val empty : n:int -> k:int -> 'v t
+
+val add : 'v t -> key -> 'v -> 'v t
+
+val remove : 'v t -> key -> 'v t
+
+val find : 'v t -> key -> 'v Store.lookup
+
+val cardinal : 'v t -> int
+
+val to_list : 'v t -> (key * 'v) list
+(** Bindings in increasing key order. *)

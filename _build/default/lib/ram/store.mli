@@ -1,0 +1,114 @@
+(** The Storing Theorem data structure (Theorem 3.1 of Schweikardt,
+    Segoufin & Vigny, and its appendix, Section 7).
+
+    A [t] stores a partial k-ary function [f : [n]^k ⇀ 'v] with
+
+    - initialization by repeated insertion, [O(n^ε)] per key,
+    - update (add / remove) in [O(n^ε)],
+    - {b lookup in constant time} with successor semantics: given any
+      [ā ∈ [n]^k], lookup answers [f(ā)] when [ā ∈ Dom(f)], and otherwise
+      the smallest key of [Dom(f)] larger than [ā] (or [Null]),
+    - space [O(|Dom(f)| · n^ε)] at all times.
+
+    The structure is the paper's register-level trie: every coordinate is
+    decomposed in base [d = ⌈n^ε⌉] into [h = ⌈1/ε⌉] digits (most
+    significant first), so a key is a string of [k·h] digits.  The trie
+    [T(f)] has degree [d]; each inner node occupies [d+1] consecutive
+    registers — one per child plus a final back-pointer register [(-1, R)]
+    to the register of the parent that points at the node.  A child
+    register contains [(1, R')] when the child is an inner node starting
+    at register [R'], [(1, f(ā))] when it is a leaf of a stored key [ā],
+    and [(0, b̄)] when no key lives below it, where [b̄] is the smallest
+    key of [Dom(f)] whose digit string exceeds the register's prefix
+    ([(0, Null)] when none exists).  Register 0 plays the role of the
+    paper's [R_0], the next free register.
+
+    Two deliberate deviations from the paper's pseudo-code, both fixes:
+    - Algorithm 12 ({e Cut}) relocates the last allocated node block into
+      the freed slot but only re-points the {e parent} of the moved block;
+      the {e children} of the moved block keep back-pointers into the old
+      location.  We re-point them as well.
+    - The caption of Figure 1 numbers some registers inconsistently with
+      the formal description of Section 3.1 (e.g. it calls [R_8] "the
+      last register representing the root" although the root occupies
+      [d+1 = 4] registers).  We follow the formal description; see
+      {!dump} and the [figure1] bench. *)
+
+type 'v t
+
+type key = Nd_util.Tuple.t
+
+(** Result of a register-level search (Algorithm 2). *)
+type 'v lookup =
+  | Value of 'v  (** [ā ∈ Dom(f)], with its image. *)
+  | Next of key  (** [ā ∉ Dom(f)]; the smallest key [> ā]. *)
+  | Null  (** [ā ∉ Dom(f)] and no key [> ā] exists. *)
+
+val create : n:int -> k:int -> epsilon:float -> 'v t
+(** [create ~n ~k ~epsilon] is the empty structure over keys in [[0,n)^k].
+    @raise Invalid_argument if [n < 1], [k < 1] or [epsilon <= 0]. *)
+
+val n : 'v t -> int
+
+val arity : 'v t -> int
+
+val degree : 'v t -> int
+(** The branching factor [d = ⌈n^ε⌉]. *)
+
+val depth : 'v t -> int
+(** The trie depth [k·h]. *)
+
+val cardinal : 'v t -> int
+(** [|Dom(f)|]. *)
+
+val space : 'v t -> int
+(** Number of registers currently in use (the paper's [R_0 - 1]). *)
+
+val find : 'v t -> key -> 'v lookup
+(** Constant-time lookup (Algorithm 2). *)
+
+val get_opt : 'v t -> key -> 'v option
+
+val mem : 'v t -> key -> bool
+
+val succ_geq : 'v t -> key -> (key * 'v) option
+(** [succ_geq t ā] is the smallest [(x̄, f(x̄))] with [x̄ ≥ ā]. *)
+
+val succ_gt : 'v t -> key -> (key * 'v) option
+(** [succ_gt t ā] is the smallest [(x̄, f(x̄))] with [x̄ > ā]. *)
+
+val pred_lt : 'v t -> key -> key option
+(** [pred_lt t ā] is the largest key [< ā], by direct trie descent
+    (the paper suggests a dual structure; a walk is equivalent and does
+    not double the space).  [O(d·k·h)], i.e. [O(n^ε)]. *)
+
+val min_key : 'v t -> (key * 'v) option
+
+val add : 'v t -> key -> 'v -> unit
+(** Insert or overwrite a binding (Algorithms 4–9).  [O(n^ε)]. *)
+
+val remove : 'v t -> key -> unit
+(** Remove a binding if present (Algorithms 10–12 with the child
+    back-pointer fix).  [O(n^ε)]. *)
+
+val iter : (key -> 'v -> unit) -> 'v t -> unit
+(** Iterate over bindings in increasing key order. *)
+
+val to_list : 'v t -> (key * 'v) list
+
+val canonicalize : 'v t -> 'v t
+(** A fresh, equivalent structure whose node blocks are laid out in BFS
+    (level) order of the trie — the layout used by the paper's Figure 1.
+    Insertion allocates depth-first, so two structures holding the same
+    function can differ in register numbering; canonicalizing makes the
+    layout a function of the stored set only. *)
+
+val dump : pp_value:(Format.formatter -> 'v -> unit) -> 'v t -> string
+(** Render the register file in the style of Figure 1, one register per
+    line: ["R_5: (1, 9)"], ["R_2: (0, (19))"], ["R_4: (-1, Null)"], … *)
+
+val check_invariants : 'v t -> (unit, string) result
+(** Validate the internal representation: node block layout, parent
+    back-pointers, [(0,·)] cells pointing at the correct successor keys,
+    absence of all-empty non-root nodes, and the space accounting.
+    Used by the test-suite after every mutation. *)

@@ -1,0 +1,73 @@
+type t = { mutable words : int array; cap : int; mutable card : int }
+
+let words_for n = (n + 62) / 63
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { words = Array.make (max 1 (words_for n)) 0; cap = n; card = 0 }
+
+let capacity t = t.cap
+
+let check t i =
+  if i < 0 || i >= t.cap then
+    invalid_arg (Printf.sprintf "Bitset: index %d out of [0,%d)" i t.cap)
+
+let mem t i =
+  check t i;
+  t.words.(i / 63) land (1 lsl (i mod 63)) <> 0
+
+let add t i =
+  check t i;
+  let w = i / 63 and b = 1 lsl (i mod 63) in
+  if t.words.(w) land b = 0 then begin
+    t.words.(w) <- t.words.(w) lor b;
+    t.card <- t.card + 1
+  end
+
+let remove t i =
+  check t i;
+  let w = i / 63 and b = 1 lsl (i mod 63) in
+  if t.words.(w) land b <> 0 then begin
+    t.words.(w) <- t.words.(w) land lnot b;
+    t.card <- t.card - 1
+  end
+
+let clear t =
+  Array.fill t.words 0 (Array.length t.words) 0;
+  t.card <- 0
+
+let cardinal t = t.card
+
+let copy t = { words = Array.copy t.words; cap = t.cap; card = t.card }
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = t.words.(w) in
+    if word <> 0 then
+      for b = 0 to 62 do
+        if word land (1 lsl b) <> 0 then f ((w * 63) + b)
+      done
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n xs =
+  let t = create n in
+  List.iter (add t) xs;
+  t
+
+let equal a b =
+  a.cap = b.cap && a.card = b.card && a.words = b.words
+
+let subset a b =
+  if a.cap <> b.cap then invalid_arg "Bitset.subset: capacity mismatch";
+  let ok = ref true in
+  for w = 0 to Array.length a.words - 1 do
+    if a.words.(w) land lnot b.words.(w) <> 0 then ok := false
+  done;
+  !ok

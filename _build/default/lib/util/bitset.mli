@@ -1,0 +1,43 @@
+(** Fixed-capacity bitsets over [0, capacity).
+
+    Used for color membership, visited marks in BFS, bag membership tests,
+    and kernel sets.  All operations besides {!create}, {!copy} and
+    {!clear} are O(1). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty bitset with capacity [n] (members in [0, n)). *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val clear : t -> unit
+(** Remove every member.  O(capacity/63). *)
+
+val cardinal : t -> int
+(** Number of members.  Maintained incrementally; O(1). *)
+
+val copy : t -> t
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list n xs] is the bitset of capacity [n] containing [xs]. *)
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every member of [a] is a member of [b].
+    Capacities must agree. *)

@@ -1,0 +1,76 @@
+let lower_bound a x =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if a.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let next_geq a x =
+  let i = lower_bound a x in
+  if i < Array.length a then Some a.(i) else None
+
+let next_gt a x = next_geq a (x + 1)
+
+let mem a x =
+  let i = lower_bound a x in
+  i < Array.length a && a.(i) = x
+
+let of_list xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then a
+  else begin
+    let out = ref [ a.(0) ] and count = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(i - 1) then begin
+        out := a.(i) :: !out;
+        incr count
+      end
+    done;
+    let res = Array.make !count 0 in
+    List.iteri (fun i x -> res.(!count - 1 - i) <- x) !out;
+    res
+  end
+
+let inter a b =
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length a && !j < Array.length b do
+    if a.(!i) < b.(!j) then incr i
+    else if a.(!i) > b.(!j) then incr j
+    else begin
+      out := a.(!i) :: !out;
+      incr i;
+      incr j
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let union a b =
+  let out = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < Array.length a || !j < Array.length b do
+    if !j >= Array.length b || (!i < Array.length a && a.(!i) < b.(!j)) then begin
+      out := a.(!i) :: !out;
+      incr i
+    end
+    else if !i >= Array.length a || a.(!i) > b.(!j) then begin
+      out := b.(!j) :: !out;
+      incr j
+    end
+    else begin
+      out := a.(!i) :: !out;
+      incr i;
+      incr j
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let is_sorted_strict a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i - 1) >= a.(i) then ok := false
+  done;
+  !ok

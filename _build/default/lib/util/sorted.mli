@@ -1,0 +1,26 @@
+(** Operations on strictly increasing [int array]s.
+
+    The preprocessing phases store many vertex sets (bag contents, label
+    sets [L], query results) as sorted arrays; the answering phases then
+    locate "the smallest element ≥ b" by binary search. *)
+
+val lower_bound : int array -> int -> int
+(** [lower_bound a x] is the index of the first element [>= x], or
+    [Array.length a] if none.  [a] must be sorted increasing. *)
+
+val next_geq : int array -> int -> int option
+(** [next_geq a x] is the smallest element of [a] that is [>= x]. *)
+
+val next_gt : int array -> int -> int option
+(** [next_gt a x] is the smallest element of [a] that is [> x]. *)
+
+val mem : int array -> int -> bool
+
+val of_list : int list -> int array
+(** Sort and deduplicate. *)
+
+val inter : int array -> int array -> int array
+
+val union : int array -> int array -> int array
+
+val is_sorted_strict : int array -> bool

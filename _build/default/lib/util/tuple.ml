@@ -1,0 +1,64 @@
+type t = int array
+
+let compare (a : t) (b : t) =
+  let ka = Array.length a and kb = Array.length b in
+  if ka <> kb then invalid_arg "Tuple.compare: arity mismatch";
+  let rec go i =
+    if i = ka then 0
+    else if a.(i) < b.(i) then -1
+    else if a.(i) > b.(i) then 1
+    else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let min k = Array.make k 0
+
+let max ~n k = Array.make k (n - 1)
+
+let succ ~n (a : t) =
+  let k = Array.length a in
+  let b = Array.copy a in
+  let rec go i =
+    if i < 0 then None
+    else if b.(i) + 1 < n then begin
+      b.(i) <- b.(i) + 1;
+      Some b
+    end
+    else begin
+      b.(i) <- 0;
+      go (i - 1)
+    end
+  in
+  go (k - 1)
+
+let pred ~n (a : t) =
+  let k = Array.length a in
+  let b = Array.copy a in
+  let rec go i =
+    if i < 0 then None
+    else if b.(i) > 0 then begin
+      b.(i) <- b.(i) - 1;
+      Some b
+    end
+    else begin
+      b.(i) <- n - 1;
+      go (i - 1)
+    end
+  in
+  go (k - 1)
+
+let to_string (a : t) =
+  "(" ^ String.concat "," (List.map string_of_int (Array.to_list a)) ^ ")"
+
+let hash (a : t) =
+  Array.fold_left (fun h x -> (h * 1000003) lxor x) 5381 a
+
+let lower_bound key arr x =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if compare (key arr.(mid)) x < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo

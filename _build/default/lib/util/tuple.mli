@@ -1,0 +1,37 @@
+(** Tuples of vertices as immutable [int array]s, ordered lexicographically.
+
+    The paper assumes a linear order on the domain of the structure; tuples
+    over the domain are then ordered lexicographically ([Section 2]).  The
+    main theorem (Theorem 2.3) and the storing structure (Theorem 3.1)
+    both navigate this order, in particular via the successor operation
+    [ā+1]. *)
+
+type t = int array
+
+val compare : t -> t -> int
+(** Lexicographic order.  Tuples must have equal arity. *)
+
+val equal : t -> t -> bool
+
+val min : int -> t
+(** [min k] is the smallest k-tuple, i.e. all zeroes. *)
+
+val max : n:int -> int -> t
+(** [max ~n k] is the largest k-tuple over domain [0,n). *)
+
+val succ : n:int -> t -> t option
+(** [succ ~n ā] is the tuple immediately following [ā] in the
+    lexicographic order over [0,n)^k, or [None] if [ā] is the largest. *)
+
+val pred : n:int -> t -> t option
+(** Inverse of {!succ}. *)
+
+val to_string : t -> string
+(** E.g. ["(3,0,7)"]. *)
+
+val hash : t -> int
+
+val lower_bound : ('a -> t) -> 'a array -> t -> int
+(** [lower_bound key arr x]: index of the first element of [arr] (sorted
+    by [key] in lexicographic order) whose key is [>= x]; [Array.length
+    arr] if none. *)

@@ -1,0 +1,77 @@
+type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+let create ?(capacity = 8) ~dummy () =
+  { data = Array.make (max 1 capacity) dummy; len = 0; dummy }
+
+let length v = v.len
+
+let check v i =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec: index %d out of [0,%d)" i v.len)
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let grow_to v cap =
+  if cap > Array.length v.data then begin
+    let cap' = max cap (2 * Array.length v.data) in
+    let data' = Array.make cap' v.dummy in
+    Array.blit v.data 0 data' 0 v.len;
+    v.data <- data'
+  end
+
+let push v x =
+  grow_to v (v.len + 1);
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  let x = v.data.(v.len) in
+  v.data.(v.len) <- v.dummy;
+  x
+
+let last v =
+  if v.len = 0 then invalid_arg "Vec.last: empty";
+  v.data.(v.len - 1)
+
+let clear v =
+  Array.fill v.data 0 v.len v.dummy;
+  v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let to_array v = Array.sub v.data 0 v.len
+
+let to_list v = Array.to_list (to_array v)
+
+let of_list ~dummy xs =
+  let v = create ~capacity:(max 1 (List.length xs)) ~dummy () in
+  List.iter (push v) xs;
+  v
+
+let sort cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.len
+
+let ensure v n =
+  grow_to v n;
+  if n > v.len then begin
+    Array.fill v.data v.len (n - v.len) v.dummy;
+    v.len <- n
+  end

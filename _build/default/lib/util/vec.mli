@@ -1,0 +1,40 @@
+(** Growable arrays.
+
+    A [Vec.t] amortizes appends in O(1) and supports O(1) random access.
+    Creation requires a [dummy] element used to fill unused capacity;
+    the dummy is never observable through the API. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Remove and return the last element.  @raise Invalid_argument if empty. *)
+
+val last : 'a t -> 'a
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val to_array : 'a t -> 'a array
+
+val to_list : 'a t -> 'a list
+
+val of_list : dummy:'a -> 'a list -> 'a t
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+
+val ensure : 'a t -> int -> unit
+(** [ensure v n] grows the backing store and logical length of [v] so
+    that indices [0..n-1] are valid, filling new slots with the dummy. *)

@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Array Bfs Cgraph Dtype Fo Gen List Nd_core Nd_eval Nd_graph Nd_logic Parse QCheck QCheck_alcotest Random

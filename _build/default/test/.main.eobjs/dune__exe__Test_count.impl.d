@@ -1,0 +1,1 @@
+test/test_count.ml: Alcotest Fo Gen List Nd_core Nd_eval Nd_graph Nd_logic Parse QCheck QCheck_alcotest

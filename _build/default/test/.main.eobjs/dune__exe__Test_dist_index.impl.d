@@ -1,0 +1,1 @@
+test/test_dist_index.ml: Alcotest Array Bfs Cgraph Gen List Nd_core Nd_graph QCheck QCheck_alcotest

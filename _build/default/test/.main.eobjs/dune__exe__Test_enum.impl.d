@@ -1,0 +1,1 @@
+test/test_enum.ml: Alcotest Array Cgraph Fo Gen List Nd_core Nd_eval Nd_graph Nd_logic Nd_util Parse QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Cgraph Gen List Nd_eval Nd_graph Nd_logic Nd_util Parse QCheck QCheck_alcotest Random Rel

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bfs Bitset Cgraph Fun Gen List Nd_graph Nd_util QCheck QCheck_alcotest Random Rel

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Dtype Fo List Nd_eval Nd_graph Nd_logic Parse Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_nowhere.ml: Alcotest Array Cgraph Cover Gen Kernel List Nd_graph Nd_nowhere Nd_util Splitter Wcol

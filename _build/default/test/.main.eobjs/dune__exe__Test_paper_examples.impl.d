@@ -1,0 +1,1 @@
+test/test_paper_examples.ml: Alcotest Array Cgraph Fo Fun Gen List Nd_core Nd_eval Nd_graph Nd_logic Nd_nowhere Nd_util Parse Random

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Gen List Nd_core Nd_eval Nd_graph Nd_logic Random Rel

@@ -1,0 +1,1 @@
+test/test_random_queries.ml: Alcotest Array Fo Gen List Nd_core Nd_eval Nd_graph Nd_logic Nd_util Parse Printf QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_removal.ml: Alcotest Array Cgraph Fo Gen Hashtbl List Nd_core Nd_eval Nd_graph Nd_logic Parse Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_skip.ml: Alcotest Array Cover Fun Gen Kernel List Nd_core Nd_graph Nd_nowhere Nd_util Random String

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Format Gen List Nd_ram Nd_util Option Printf QCheck QCheck_alcotest Random String Tuple

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Gen Hashtbl List Nd_util QCheck QCheck_alcotest Sorted Tuple Vec

@@ -1,0 +1,19 @@
+let () =
+  Alcotest.run "nowhere-enum"
+    [
+      ("util", Test_util.suite);
+      ("store (Theorem 3.1)", Test_store.suite);
+      ("graph", Test_graph.suite);
+      ("logic", Test_logic.suite);
+      ("eval + Lemma 2.2", Test_eval.suite);
+      ("nowhere-dense toolbox", Test_nowhere.suite);
+      ("distance index (Prop 4.2)", Test_dist_index.suite);
+      ("removal lemma (Lemma 5.5)", Test_removal.suite);
+      ("skip pointers (Lemma 5.8)", Test_skip.suite);
+      ("compiler (Theorem 5.4 surrogate)", Test_compile.suite);
+      ("enumeration (Thm 2.3, Cor 2.4/2.5)", Test_enum.suite);
+      ("integration", Test_pipeline.suite);
+      ("random query fuzzing", Test_random_queries.suite);
+      ("paper examples", Test_paper_examples.suite);
+      ("counting (GS companion result)", Test_count.suite);
+    ]

@@ -1,0 +1,145 @@
+(* Tests for the normal-form compiler: fragment coverage and semantic
+   faithfulness of the (τ, locals, sentences) decomposition. *)
+
+open Nd_graph
+open Nd_logic
+module C = Nd_core.Compile
+
+let is_compiled q =
+  match C.compile (Parse.formula q) with C.Compiled _ -> true | _ -> false
+
+let test_fragment_membership () =
+  List.iter
+    (fun q ->
+      Alcotest.(check bool) (q ^ " compiles") true (is_compiled q))
+    [
+      "E(x,y)";
+      "dist(x,y) <= 2";
+      "dist(x,y) > 2 & C1(y)";
+      "exists z. E(x,z) & E(z,y)";
+      "exists z. dist(x,z) <= 2 & dist(z,y) <= 2 & C0(z)";
+      "forall z. dist(x,z) > 1 | C0(z)";
+      "C0(x) & C1(y) & C2(z)";
+      "E(x,y) & E(y,z) & ~E(x,z)";
+      "C0(x)";
+      "exists z w. E(x,z) & E(z,w) & C0(w)";
+      (* miniscoping splits the unguarded ∃ into a closed sentence block *)
+      "exists z. C0(z) & C1(x)";
+    ]
+
+let test_fallback_cases () =
+  (* genuinely non-local pieces must fall back, not mis-compile *)
+  List.iter
+    (fun q ->
+      match C.compile (Parse.formula q) with
+      | C.Compiled _ -> Alcotest.failf "%s should not compile" q
+      | C.Fallback _ -> ())
+    [
+      (* the existential witness is only constrained on one branch *)
+      "exists z. C0(z) & (E(x,z) | C1(x))";
+      (* unguarded universal *)
+      "forall z. C0(z) | E(x,z)";
+    ]
+
+let test_sentence_blocks () =
+  (* closed blocks become sentence literals, not local formulas *)
+  match C.compile (Parse.formula "C1(x) & (exists z w. E(z,w))") with
+  | C.Compiled c ->
+      List.iter
+        (fun d ->
+          Alcotest.(check int) "one sentence literal" 1
+            (List.length d.C.sentences))
+        c.C.disjuncts
+  | C.Fallback f -> Alcotest.failf "fell back: %s" f.reason
+
+let test_radius_accounts_links () =
+  match C.compile (Parse.formula "exists z. E(x,z) & E(z,y)") with
+  | C.Compiled c ->
+      Alcotest.(check bool) "radius ≥ 2 via link bound" true (c.C.radius >= 2)
+  | C.Fallback f -> Alcotest.failf "fell back: %s" f.reason
+
+(* Semantic faithfulness: evaluate the decomposition by hand and compare
+   against direct evaluation.  This mirrors property (a) of Theorem 5.4:
+   G ⊨ φ(ā) iff for τ = τ_r(ā) some disjunct has all sentences true and
+   all locals true on bags covering the components. *)
+let eval_decomposition g (c : C.compiled) a =
+  let ctx = Nd_eval.Naive.ctx ~cache:true g in
+  let k = Array.length c.C.vars in
+  let dist_le u v = Nd_eval.Naive.dist_le ctx u v c.C.radius in
+  let tau = Dtype.of_tuple ~dist_le a in
+  (* evaluate locals inside an L-ball around the component — any bag
+     containing N_L(ā_I) must give the same verdict *)
+  let cover_r = ((k - 1) * c.C.radius) + c.C.locality in
+  List.exists
+    (fun (d : C.disjunct) ->
+      Dtype.equal d.C.tau tau
+      && List.for_all
+           (fun (phi, pol) -> Nd_eval.Naive.model_check ctx phi = pol)
+           d.C.sentences
+      && List.for_all
+           (fun (comp, phi) ->
+             if Fo.equal phi Fo.True then true
+             else begin
+               let centers = List.map (fun p -> a.(p)) comp in
+               let ball = Bfs.ball_of_set g centers ~radius:cover_r in
+               let sub, to_orig = Cgraph.induced g ball in
+               let subctx = Nd_eval.Naive.ctx ~cache:true sub in
+               let env =
+                 List.map
+                   (fun p ->
+                     match Cgraph.local_of_orig to_orig a.(p) with
+                     | Some l -> (c.C.vars.(p), l)
+                     | None -> assert false)
+                   comp
+               in
+               Nd_eval.Naive.sat subctx ~env phi
+             end)
+           d.C.locals)
+    c.C.disjuncts
+
+let decomposition_queries =
+  [
+    "dist(x,y) <= 2";
+    "dist(x,y) > 2 & C1(y)";
+    "exists z. E(x,z) & E(z,y)";
+    "E(x,y) | (C0(x) & C1(y))";
+    "forall z. dist(x,z) > 1 | C0(z)";
+    "dist(x,z) > 2 & dist(y,z) > 2 & C1(z)";
+    "C1(x) & (exists z w. E(z,w) & C0(z))";
+  ]
+
+let prop_decomposition_semantics =
+  QCheck.Test.make ~name:"decomposition ≡ direct evaluation" ~count:12
+    QCheck.(pair (int_bound 10000) (int_range 10 20))
+    (fun (seed, n) ->
+      let g =
+        Gen.randomly_color ~seed ~colors:2
+          (Gen.bounded_degree ~seed n ~max_degree:3)
+      in
+      let ctx = Nd_eval.Naive.ctx g in
+      List.for_all
+        (fun q ->
+          let phi = Parse.formula q in
+          match C.compile phi with
+          | C.Fallback f -> Alcotest.failf "%s fell back: %s" q f.reason
+          | C.Compiled c ->
+              let k = Array.length c.C.vars in
+              let rng = Random.State.make [| seed; 13 |] in
+              let ok = ref true in
+              for _ = 1 to 40 do
+                let a = Array.init k (fun _ -> Random.State.int rng n) in
+                let direct = Nd_eval.Naive.holds ctx phi a in
+                let dec = eval_decomposition g c a in
+                if direct <> dec then ok := false
+              done;
+              !ok)
+        decomposition_queries)
+
+let suite =
+  [
+    Alcotest.test_case "fragment membership" `Quick test_fragment_membership;
+    Alcotest.test_case "fallback cases" `Quick test_fallback_cases;
+    Alcotest.test_case "sentence blocks" `Quick test_sentence_blocks;
+    Alcotest.test_case "radius covers link bounds" `Quick test_radius_accounts_links;
+    QCheck_alcotest.to_alcotest prop_decomposition_semantics;
+  ]

@@ -1,0 +1,93 @@
+(* Proposition 4.2: the distance index answers dist(a,b) ≤ r exactly. *)
+
+open Nd_graph
+
+let exhaustive name g r =
+  let idx = Nd_core.Dist_index.build g ~r in
+  let n = Cgraph.n g in
+  for a = 0 to n - 1 do
+    let d = Bfs.dist_upto g a ~radius:r in
+    for b = 0 to n - 1 do
+      if (d.(b) >= 0) <> Nd_core.Dist_index.test idx a b then
+        Alcotest.failf "%s r=%d: mismatch at (%d,%d)" name r a b
+    done
+  done
+
+let test_families () =
+  List.iter
+    (fun (name, g, r) -> exhaustive name g r)
+    [
+      ("grid", Gen.grid 12 12, 2);
+      ("grid-r4", Gen.grid 10 10, 4);
+      ("tree", Gen.random_tree ~seed:1 150, 3);
+      ("bdeg", Gen.bounded_degree ~seed:1 120 ~max_degree:4, 2);
+      ("subdiv", Gen.subdivided_clique ~q:5 ~sub:5, 3);
+      ("clique", Gen.complete 40, 2);
+      ("star", Gen.star 50, 2);
+      ("caterpillar", Gen.caterpillar ~seed:2 100, 3);
+      ("disconnected", Gen.disjoint_union (Gen.path 30) (Gen.cycle 30), 5);
+    ]
+
+let test_r_zero_and_one () =
+  let g = Gen.cycle 10 in
+  let idx0 = Nd_core.Dist_index.build g ~r:0 in
+  Alcotest.(check bool) "r=0 self" true (Nd_core.Dist_index.test idx0 3 3);
+  Alcotest.(check bool) "r=0 neighbor" false (Nd_core.Dist_index.test idx0 3 4);
+  let idx1 = Nd_core.Dist_index.build g ~r:1 in
+  Alcotest.(check bool) "r=1 neighbor" true (Nd_core.Dist_index.test idx1 3 4);
+  Alcotest.(check bool) "r=1 wrap" true (Nd_core.Dist_index.test idx1 0 9);
+  Alcotest.(check bool) "r=1 far" false (Nd_core.Dist_index.test idx1 0 5)
+
+let test_forces_recursion () =
+  (* tiny base threshold forces several λ-levels; correctness must hold *)
+  let g = Gen.grid 14 14 in
+  let idx = Nd_core.Dist_index.build ~base_threshold:8 g ~r:2 in
+  let s = Nd_core.Dist_index.stats idx in
+  Alcotest.(check bool) "recursed" true (s.Nd_core.Dist_index.levels >= 1);
+  let n = Cgraph.n g in
+  for a = 0 to n - 1 do
+    let d = Bfs.dist_upto g a ~radius:2 in
+    for b = 0 to n - 1 do
+      if (d.(b) >= 0) <> Nd_core.Dist_index.test idx a b then
+        Alcotest.failf "deep recursion mismatch at (%d,%d)" a b
+    done
+  done
+
+let test_budget_fallback () =
+  (* depth budget 0 degenerates into the all-pairs table; still exact *)
+  let g = Gen.grid 18 18 in
+  let idx = Nd_core.Dist_index.build ~base_threshold:8 ~depth_budget:0 g ~r:3 in
+  let s = Nd_core.Dist_index.stats idx in
+  Alcotest.(check bool) "budget hit" true (s.Nd_core.Dist_index.budget_hits >= 1);
+  let n = Cgraph.n g in
+  for a = 0 to n - 1 do
+    let d = Bfs.dist_upto g a ~radius:3 in
+    for b = 0 to n - 1 do
+      if (d.(b) >= 0) <> Nd_core.Dist_index.test idx a b then
+        Alcotest.failf "budget fallback mismatch at (%d,%d)" a b
+    done
+  done
+
+let prop_random_graphs =
+  QCheck.Test.make ~name:"dist index on random sparse graphs" ~count:25
+    QCheck.(triple (int_bound 10000) (int_range 10 60) (int_range 1 4))
+    (fun (seed, n, r) ->
+      let g = Gen.bounded_degree ~seed n ~max_degree:3 in
+      let idx = Nd_core.Dist_index.build g ~r in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        let d = Bfs.dist_upto g a ~radius:r in
+        for b = 0 to n - 1 do
+          if (d.(b) >= 0) <> Nd_core.Dist_index.test idx a b then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "exact on all families" `Slow test_families;
+    Alcotest.test_case "radius 0 and 1" `Quick test_r_zero_and_one;
+    Alcotest.test_case "deep λ-recursion" `Slow test_forces_recursion;
+    Alcotest.test_case "depth-budget fallback" `Quick test_budget_fallback;
+    QCheck_alcotest.to_alcotest prop_random_graphs;
+  ]

@@ -1,0 +1,209 @@
+(* End-to-end tests for the main results: Theorem 2.3 (next solution),
+   Corollary 2.4 (testing), Corollary 2.5 (ordered constant-delay
+   enumeration) — differential against the naive evaluator. *)
+
+open Nd_graph
+open Nd_logic
+
+let queries =
+  [
+    "dist(x,y) <= 2";
+    "E(x,y)";
+    "dist(x,y) > 2 & C1(y)";
+    "exists z. E(x,z) & E(z,y)";
+    "C0(x) & C1(y) & dist(x,y) > 1";
+    "E(x,y) | (C0(x) & C1(y))";
+    "C0(x)";
+    "exists z. E(x,z) & C0(z)";
+    "forall z. dist(x,z) > 1 | C0(z)";
+    "dist(x,z) > 2 & dist(y,z) > 2 & C1(z)";
+    "E(x,y) & E(y,z) & ~E(x,z) & x != z";
+    "dist(x,y) <= 2 & dist(y,z) <= 2 & C0(x) & C2(z)";
+    "x = y";
+    "x != y & dist(x,y) > 1";
+  ]
+
+let check_graph_queries ?(queries = queries) g =
+  let ctx = Nd_eval.Naive.ctx g in
+  List.iter
+    (fun qs ->
+      let phi = Parse.formula qs in
+      let fvs = Fo.free_vars phi in
+      let expected = Nd_eval.Naive.eval_all ctx ~vars:fvs phi in
+      let nx = Nd_core.Next.build g phi in
+      let got = Nd_core.Enumerate.to_list nx in
+      if got <> expected then
+        Alcotest.failf "%s: expected %d solutions, got %d (or wrong order)" qs
+          (List.length expected) (List.length got);
+      (* random membership tests *)
+      let k = List.length fvs in
+      let n = Cgraph.n g in
+      let rng = Random.State.make [| 7; n |] in
+      for _ = 1 to 40 do
+        let tup = Array.init k (fun _ -> Random.State.int rng n) in
+        if Nd_eval.Naive.holds ctx phi tup <> Nd_core.Next.test nx tup then
+          Alcotest.failf "%s: test() disagrees on %s" qs
+            (Nd_util.Tuple.to_string tup)
+      done;
+      (* next_solution from random starting points *)
+      for _ = 1 to 25 do
+        let tup = Array.init k (fun _ -> Random.State.int rng n) in
+        let expect =
+          List.find_opt (fun s -> Nd_util.Tuple.compare s tup >= 0) expected
+        in
+        let got = Nd_core.Next.next_solution nx tup in
+        if got <> expect then
+          Alcotest.failf "%s: next_solution(%s) wrong" qs
+            (Nd_util.Tuple.to_string tup)
+      done)
+    queries
+
+let test_grid () =
+  check_graph_queries (Gen.randomly_color ~seed:5 ~colors:3 (Gen.grid 7 7))
+
+let test_tree () =
+  check_graph_queries
+    (Gen.randomly_color ~seed:6 ~colors:3 (Gen.random_tree ~seed:2 60))
+
+let test_bounded_degree () =
+  check_graph_queries
+    (Gen.randomly_color ~seed:7 ~colors:3
+       (Gen.bounded_degree ~seed:3 50 ~max_degree:3))
+
+let test_dense_control () =
+  check_graph_queries
+    (Gen.randomly_color ~seed:8 ~colors:3 (Gen.erdos_renyi ~seed:4 25 ~p:0.25))
+
+let test_subdivided_clique () =
+  check_graph_queries
+    (Gen.randomly_color ~seed:9 ~colors:3 (Gen.subdivided_clique ~q:5 ~sub:5))
+
+let test_disconnected () =
+  check_graph_queries
+    (Gen.randomly_color ~seed:10 ~colors:3
+       (Gen.disjoint_union (Gen.path 20) (Gen.cycle 20)))
+
+let test_enumeration_is_strictly_increasing () =
+  let g = Gen.randomly_color ~seed:11 ~colors:2 (Gen.grid 8 8) in
+  let nx = Nd_core.Next.build g (Parse.formula "dist(x,y) <= 2") in
+  let prev = ref None in
+  Nd_core.Enumerate.iter
+    (fun sol ->
+      (match !prev with
+      | Some p ->
+          if Nd_util.Tuple.compare p sol >= 0 then
+            Alcotest.fail "not strictly increasing"
+      | None -> ());
+      prev := Some (Array.copy sol))
+    nx
+
+let test_limit_and_first () =
+  let g = Gen.randomly_color ~seed:12 ~colors:2 (Gen.grid 8 8) in
+  let nx = Nd_core.Next.build g (Parse.formula "E(x,y)") in
+  let three = Nd_core.Enumerate.to_list ~limit:3 nx in
+  Alcotest.(check int) "limit" 3 (List.length three);
+  Alcotest.(check bool) "first = head of enumeration" true
+    (Nd_core.Next.first nx = Some (List.hd three))
+
+let test_empty_result () =
+  let g = Gen.path 30 in
+  (* no colors at all: C5 is empty *)
+  let nx = Nd_core.Next.build g (Parse.formula "C5(x) & E(x,y)") in
+  Alcotest.(check int) "no solutions" 0 (Nd_core.Enumerate.count nx);
+  Alcotest.(check bool) "first none" true (Nd_core.Next.first nx = None)
+
+let test_full_relation () =
+  let g = Gen.path 5 in
+  let nx = Nd_core.Next.build g (Parse.formula "x = x & y = y") in
+  Alcotest.(check int) "all pairs" 25 (Nd_core.Enumerate.count nx)
+
+let test_delays_instrumentation () =
+  let g = Gen.randomly_color ~seed:16 ~colors:2 (Gen.grid 6 6) in
+  let nx = Nd_core.Next.build g (Parse.formula "dist(x,y) <= 2") in
+  let first = ref nan in
+  let seen = ref 0 in
+  let ds = Nd_core.Enumerate.delays nx ~first (fun _ -> incr seen) in
+  Alcotest.(check int) "delays count = solutions - 1"
+    (max 0 (!seen - 1))
+    (Array.length ds);
+  Alcotest.(check bool) "first recorded" true (!first >= 0.);
+  Alcotest.(check bool) "delays non-negative" true
+    (Array.for_all (fun d -> d >= 0.) ds)
+
+let test_tester_sentences () =
+  let g = Gen.randomly_color ~seed:13 ~colors:2 (Gen.cycle 12) in
+  let t1 = Nd_core.Tester.build g (Parse.formula "exists x y. E(x,y)") in
+  Alcotest.(check bool) "true sentence" true (Nd_core.Tester.holds_sentence t1);
+  let t2 = Nd_core.Tester.build g (Parse.formula "exists x. C0(x) & C1(x) & ~ x = x") in
+  Alcotest.(check bool) "false sentence" false (Nd_core.Tester.holds_sentence t2);
+  let t3 = Nd_core.Tester.build g (Parse.formula "E(x,y)") in
+  Alcotest.(check bool) "binary test" true
+    (Nd_core.Tester.test t3 [| 0; 1 |] && not (Nd_core.Tester.test t3 [| 0; 2 |]))
+
+let test_ablation_no_skip_same_answers () =
+  let g = Gen.randomly_color ~seed:14 ~colors:2 (Gen.grid 7 7) in
+  let phi = Parse.formula "dist(x,y) > 2 & C1(y)" in
+  let nx = Nd_core.Next.build g phi in
+  let with_skip = Nd_core.Enumerate.to_list nx in
+  Nd_core.Answer.use_skip (Nd_core.Next.top nx) false;
+  let without = Nd_core.Enumerate.to_list nx in
+  Alcotest.(check bool) "skip ablation changes nothing semantically" true
+    (with_skip = without)
+
+let test_fallback_queries () =
+  (* out-of-fragment queries still answered correctly via fallback *)
+  let g = Gen.randomly_color ~seed:15 ~colors:2 (Gen.random_tree ~seed:5 25) in
+  let ctx = Nd_eval.Naive.ctx g in
+  List.iter
+    (fun qs ->
+      let phi = Parse.formula qs in
+      (match Nd_core.Compile.compile phi with
+      | Nd_core.Compile.Compiled _ -> Alcotest.failf "%s should fall back" qs
+      | Nd_core.Compile.Fallback _ -> ());
+      let nx = Nd_core.Next.build g phi in
+      let got = Nd_core.Enumerate.to_list nx in
+      let expected =
+        Nd_eval.Naive.eval_all ctx ~vars:(Fo.free_vars phi) phi
+      in
+      if got <> expected then Alcotest.failf "%s: fallback wrong" qs)
+    [ "exists z. C0(z) & (E(x,z) | C1(x))"; "forall z. C0(z) | E(x,z)" ]
+
+let prop_random_differential =
+  QCheck.Test.make ~name:"enumeration ≡ naive on random graphs" ~count:15
+    QCheck.(pair (int_bound 100000) (int_range 12 40))
+    (fun (seed, n) ->
+      let g =
+        Gen.randomly_color ~seed ~colors:3
+          (Gen.bounded_degree ~seed n ~max_degree:3)
+      in
+      check_graph_queries
+        ~queries:
+          [
+            "dist(x,y) <= 2";
+            "dist(x,y) > 2 & C1(y)";
+            "exists z. E(x,z) & E(z,y)";
+            "E(x,y) | (C0(x) & C1(y))";
+          ]
+        g;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "grid" `Slow test_grid;
+    Alcotest.test_case "tree" `Slow test_tree;
+    Alcotest.test_case "bounded degree" `Slow test_bounded_degree;
+    Alcotest.test_case "dense control" `Slow test_dense_control;
+    Alcotest.test_case "subdivided clique" `Slow test_subdivided_clique;
+    Alcotest.test_case "disconnected graph" `Slow test_disconnected;
+    Alcotest.test_case "strictly increasing order" `Quick
+      test_enumeration_is_strictly_increasing;
+    Alcotest.test_case "limit and first" `Quick test_limit_and_first;
+    Alcotest.test_case "empty result" `Quick test_empty_result;
+    Alcotest.test_case "full relation" `Quick test_full_relation;
+    Alcotest.test_case "delay instrumentation" `Quick test_delays_instrumentation;
+    Alcotest.test_case "tester on sentences" `Quick test_tester_sentences;
+    Alcotest.test_case "skip ablation equivalence" `Quick
+      test_ablation_no_skip_same_answers;
+    Alcotest.test_case "fallback queries" `Quick test_fallback_queries;
+    QCheck_alcotest.to_alcotest prop_random_differential;
+  ]

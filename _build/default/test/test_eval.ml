@@ -1,0 +1,129 @@
+(* Tests for the naive evaluator and the Lemma 2.2 translation. *)
+
+open Nd_graph
+open Nd_logic
+
+let path_colored =
+  (* path 0-1-2-3-4, C0 = {0,4}, C1 = {2} *)
+  Cgraph.create ~n:5
+    ~colors:
+      [| Nd_util.Bitset.of_list 5 [ 0; 4 ]; Nd_util.Bitset.of_list 5 [ 2 ] |]
+    [ (0, 1); (1, 2); (2, 3); (3, 4) ]
+
+let test_sat () =
+  let ctx = Nd_eval.Naive.ctx path_colored in
+  let check name q env expected =
+    Alcotest.(check bool) name expected
+      (Nd_eval.Naive.sat ctx ~env (Parse.formula q))
+  in
+  check "edge" "E(x,y)" [ ("x", 0); ("y", 1) ] true;
+  check "no edge" "E(x,y)" [ ("x", 0); ("y", 2) ] false;
+  check "dist" "dist(x,y) <= 2" [ ("x", 0); ("y", 2) ] true;
+  check "dist far" "dist(x,y) <= 2" [ ("x", 0); ("y", 3) ] false;
+  check "dist self" "dist(x,y) <= 0" [ ("x", 3); ("y", 3) ] true;
+  check "color" "C1(x)" [ ("x", 2) ] true;
+  check "exists" "exists z. E(x,z) & C1(z)" [ ("x", 1) ] true;
+  check "forall" "forall z. dist(x,z) <= 4" [ ("x", 2) ] true;
+  check "forall fails" "forall z. dist(x,z) <= 2" [ ("x", 0) ] false
+
+let test_model_check () =
+  let ctx = Nd_eval.Naive.ctx path_colored in
+  Alcotest.(check bool) "sentence true" true
+    (Nd_eval.Naive.model_check ctx (Parse.formula "exists x y. E(x,y)"));
+  Alcotest.(check bool) "sentence false" false
+    (Nd_eval.Naive.model_check ctx
+       (Parse.formula "exists x. C0(x) & C1(x)"))
+
+let test_eval_all () =
+  let ctx = Nd_eval.Naive.ctx path_colored in
+  let sols =
+    Nd_eval.Naive.eval_all ctx ~vars:[ "x"; "y" ] (Parse.formula "E(x,y)")
+  in
+  Alcotest.(check int) "edge count doubled" 8 (List.length sols);
+  Alcotest.(check bool) "lex sorted" true
+    (List.sort Nd_util.Tuple.compare sols = sols);
+  let c0 = Nd_eval.Naive.eval_all ctx ~vars:[ "x" ] (Parse.formula "C0(x)") in
+  Alcotest.(check bool) "unary" true (c0 = [ [| 0 |]; [| 4 |] ]);
+  Alcotest.(check int) "count" 2
+    (Nd_eval.Naive.count ctx ~vars:[ "x" ] (Parse.formula "C0(x)"))
+
+let test_cache_consistency () =
+  let g = Gen.randomly_color ~seed:1 ~colors:2 (Gen.grid 6 6) in
+  let plain = Nd_eval.Naive.ctx g in
+  let cached = Nd_eval.Naive.ctx ~cache:true g in
+  for u = 0 to 35 do
+    for v = 0 to 35 do
+      for d = 0 to 4 do
+        if Nd_eval.Naive.dist_le plain u v d <> Nd_eval.Naive.dist_le cached u v d
+        then Alcotest.failf "cache mismatch at (%d,%d,%d)" u v d
+      done
+    done
+  done
+
+(* Lemma 2.2: query over D ≡ translated query over A'(D). *)
+let family_db seed =
+  let rng = Random.State.make [| seed |] in
+  let domain = 8 in
+  let facts rel arity count =
+    ( rel,
+      List.init count (fun _ ->
+          Array.init arity (fun _ -> Random.State.int rng domain)) )
+  in
+  Rel.create_db
+    [ ("R", 2); ("S", 1) ]
+    ~domain
+    [ facts "R" 2 10; facts "S" 1 3 ]
+
+let translate_queries =
+  let open Nd_eval.Translate in
+  [
+    ("R(x,y)", Atom ("R", [ "x"; "y" ]));
+    ("S(x) & R(x,y)", And [ Atom ("S", [ "x" ]); Atom ("R", [ "x"; "y" ]) ]);
+    ( "exists z. R(x,z) & R(z,y)",
+      Exists ("z", And [ Atom ("R", [ "x"; "z" ]); Atom ("R", [ "z"; "y" ]) ])
+    );
+    ("~R(x,y) & x != y", And [ Not (Atom ("R", [ "x"; "y" ])); Not (Eq ("x", "y")) ]);
+    ( "forall z. R(x,z) -> S(z)",
+      Forall ("z", Or [ Not (Atom ("R", [ "x"; "z" ])); Atom ("S", [ "z" ]) ])
+    );
+  ]
+
+let prop_lemma22 =
+  QCheck.Test.make ~name:"Lemma 2.2: φ(D) = ψ(A'(D))" ~count:15
+    QCheck.(int_bound 10000)
+    (fun seed ->
+      let db = family_db seed in
+      let e = Rel.encode db in
+      let ctx = Nd_eval.Naive.ctx e.Rel.graph in
+      List.for_all
+        (fun (_, rq) ->
+          let direct = Nd_eval.Translate.eval_all_db db rq in
+          let psi = Nd_eval.Translate.translate (Rel.schema db) rq in
+          let vars = Nd_eval.Translate.free_vars rq in
+          let via_graph = Nd_eval.Naive.eval_all ctx ~vars psi in
+          (* element ids coincide with vertex ids *)
+          direct = via_graph)
+        translate_queries)
+
+let test_translate_guard () =
+  (* the element guard keeps tuple nodes out of the answers *)
+  let db = Rel.create_db [ ("R", 2) ] ~domain:3 [ ("R", [ [| 0; 1 |] ]) ] in
+  let e = Rel.encode db in
+  let psi =
+    Nd_eval.Translate.translate (Rel.schema db)
+      (Nd_eval.Translate.Exists
+         ("y", Nd_eval.Translate.Atom ("R", [ "x"; "y" ])))
+  in
+  let ctx = Nd_eval.Naive.ctx e.Rel.graph in
+  let sols = Nd_eval.Naive.eval_all ctx ~vars:[ "x" ] psi in
+  Alcotest.(check bool) "only element 0 answers" true (sols = [ [| 0 |] ])
+
+let suite =
+  [
+    Alcotest.test_case "satisfaction" `Quick test_sat;
+    Alcotest.test_case "model checking" `Quick test_model_check;
+    Alcotest.test_case "eval_all" `Quick test_eval_all;
+    Alcotest.test_case "distance cache" `Quick test_cache_consistency;
+    Alcotest.test_case "translation element guard" `Quick test_translate_guard;
+    QCheck_alcotest.to_alcotest prop_lemma22;
+  ]

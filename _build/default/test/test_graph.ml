@@ -1,0 +1,155 @@
+(* Tests for colored graphs, BFS, generators and the A'(D) encoding. *)
+
+open Nd_util
+open Nd_graph
+
+let test_cgraph_basic () =
+  let g =
+    Cgraph.create ~n:5
+      ~colors:[| Bitset.of_list 5 [ 0; 2 ]; Bitset.of_list 5 [ 4 ] |]
+      [ (0, 1); (1, 2); (1, 0); (3, 4) ]
+  in
+  Alcotest.(check int) "n" 5 (Cgraph.n g);
+  Alcotest.(check int) "m dedups" 3 (Cgraph.m g);
+  Alcotest.(check int) "size" 8 (Cgraph.size g);
+  Alcotest.(check bool) "edge sym" true
+    (Cgraph.has_edge g 0 1 && Cgraph.has_edge g 1 0);
+  Alcotest.(check bool) "no edge" false (Cgraph.has_edge g 0 3);
+  Alcotest.(check int) "degree" 2 (Cgraph.degree g 1);
+  Alcotest.(check bool) "color" true (Cgraph.has_color g ~color:0 2);
+  Alcotest.(check bool) "no color" false (Cgraph.has_color g ~color:1 2);
+  Alcotest.(check (list int)) "members" [ 0; 2 ]
+    (Array.to_list (Cgraph.color_members g ~color:0));
+  Alcotest.check_raises "self loop" (Invalid_argument "Cgraph.create: self-loop")
+    (fun () -> ignore (Cgraph.create ~n:3 [ (1, 1) ]))
+
+let test_induced () =
+  let g =
+    Cgraph.create ~n:6
+      ~colors:[| Bitset.of_list 6 [ 1; 3; 5 ] |]
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0); (1, 3) ]
+  in
+  let sub, to_orig = Cgraph.induced g [| 1; 2; 3; 5 |] in
+  Alcotest.(check int) "sub n" 4 (Cgraph.n sub);
+  Alcotest.(check int) "sub m" 3 (Cgraph.m sub) (* 1-2, 2-3, 1-3 *);
+  Alcotest.(check bool) "edge kept" true (Cgraph.has_edge sub 0 1);
+  Alcotest.(check bool) "edge 1-3 kept" true (Cgraph.has_edge sub 0 2);
+  Alcotest.(check bool) "5 isolated" true (Cgraph.degree sub 3 = 0);
+  Alcotest.(check (list int)) "to_orig" [ 1; 2; 3; 5 ] (Array.to_list to_orig);
+  Alcotest.(check bool) "colors restrict" true
+    (Cgraph.has_color sub ~color:0 0 && not (Cgraph.has_color sub ~color:0 1));
+  Alcotest.(check (option int)) "local_of_orig" (Some 2)
+    (Cgraph.local_of_orig to_orig 3);
+  Alcotest.(check (option int)) "local_of_orig missing" None
+    (Cgraph.local_of_orig to_orig 4)
+
+let test_bfs () =
+  let g = Gen.path 10 in
+  let d = Bfs.dist_upto g 3 ~radius:4 in
+  Alcotest.(check int) "dist 0" 0 d.(3);
+  Alcotest.(check int) "dist 4" 4 d.(7);
+  Alcotest.(check int) "beyond radius" (-1) d.(8);
+  Alcotest.(check (list int)) "ball" [ 1; 2; 3; 4; 5 ]
+    (Array.to_list (Bfs.ball g 3 ~radius:2));
+  Alcotest.(check (option int)) "exact dist" (Some 6) (Bfs.dist g 0 6);
+  let g2 = Gen.disjoint_union (Gen.path 3) (Gen.path 3) in
+  Alcotest.(check (option int)) "disconnected" None (Bfs.dist g2 0 4)
+
+let test_generators () =
+  Alcotest.(check int) "path edges" 9 (Cgraph.m (Gen.path 10));
+  Alcotest.(check int) "cycle edges" 10 (Cgraph.m (Gen.cycle 10));
+  Alcotest.(check int) "complete edges" 45 (Cgraph.m (Gen.complete 10));
+  Alcotest.(check int) "star edges" 9 (Cgraph.m (Gen.star 10));
+  let g = Gen.grid 4 5 in
+  Alcotest.(check int) "grid n" 20 (Cgraph.n g);
+  Alcotest.(check int) "grid m" 31 (Cgraph.m g);
+  let t = Gen.random_tree ~seed:3 100 in
+  Alcotest.(check int) "tree m = n-1" 99 (Cgraph.m t);
+  let bd = Gen.bounded_degree ~seed:3 200 ~max_degree:4 in
+  let maxdeg = ref 0 in
+  for v = 0 to 199 do
+    maxdeg := max !maxdeg (Cgraph.degree bd v)
+  done;
+  Alcotest.(check bool) "degree bound respected" true (!maxdeg <= 4);
+  let sc = Gen.subdivided_clique ~q:4 ~sub:2 in
+  (* 4 + 6 edges × 2 inner vertices; every original edge becomes a path *)
+  Alcotest.(check int) "subdiv n" 16 (Cgraph.n sc);
+  Alcotest.(check int) "subdiv m" 18 (Cgraph.m sc);
+  Alcotest.(check (option int)) "subdiv distance" (Some 3) (Bfs.dist sc 0 1);
+  let det1 = Gen.bounded_degree ~seed:9 100 ~max_degree:3 in
+  let det2 = Gen.bounded_degree ~seed:9 100 ~max_degree:3 in
+  Alcotest.(check bool) "generators deterministic" true (Cgraph.equal det1 det2)
+
+let test_balanced_tree () =
+  let t = Gen.balanced_tree ~branching:2 ~depth:3 in
+  Alcotest.(check int) "nodes" 15 (Cgraph.n t);
+  Alcotest.(check int) "edges" 14 (Cgraph.m t);
+  Alcotest.(check (option int)) "leaf depth" (Some 3) (Bfs.dist t 0 14)
+
+let test_remove_vertex () =
+  let g = Gen.cycle 5 in
+  let h, to_orig = Cgraph.remove_vertex g 2 in
+  Alcotest.(check int) "n" 4 (Cgraph.n h);
+  Alcotest.(check int) "m" 3 (Cgraph.m h);
+  Alcotest.(check (list int)) "map" [ 0; 1; 3; 4 ] (Array.to_list to_orig)
+
+let test_rel_encode () =
+  (* R binary, S unary over domain {0..3} *)
+  let db =
+    Rel.create_db
+      [ ("R", 2); ("S", 1) ]
+      ~domain:4
+      [ ("R", [ [| 0; 1 |]; [| 1; 2 |] ]); ("S", [ [| 3 |] ]) ]
+  in
+  Alcotest.(check bool) "mem_fact" true (Rel.mem_fact db "R" [| 0; 1 |]);
+  Alcotest.(check bool) "not mem_fact" false (Rel.mem_fact db "R" [| 1; 0 |]);
+  let e = Rel.encode db in
+  let g = e.Rel.graph in
+  (* domain 4 + 3 tuple nodes + (2+2+1) subdivision nodes *)
+  Alcotest.(check int) "encoded size" 12 (Cgraph.n g);
+  (* element 0 at distance 2 from its tuple node *)
+  let tuple_nodes = Cgraph.color_members g ~color:(e.Rel.relation_color "R") in
+  Alcotest.(check int) "two R-tuples" 2 (Array.length tuple_nodes);
+  Alcotest.(check (option int)) "element-to-tuple distance" (Some 2)
+    (Bfs.dist g 0 tuple_nodes.(0));
+  (* elements marked *)
+  Alcotest.(check int) "element color" 4
+    (Array.length (Cgraph.color_members g ~color:e.Rel.element_color));
+  (* adjacency graph is bipartite-ish: elements at even distance from
+     each other *)
+  Alcotest.(check (option int)) "dist 0-1 via tuple" (Some 4) (Bfs.dist g 0 1)
+
+let prop_induced_consistent =
+  QCheck.Test.make ~name:"induced subgraph = filtered edges" ~count:100
+    QCheck.(pair small_int (list (pair (int_bound 19) (int_bound 19))))
+    (fun (seed, pairs) ->
+      let edges = List.filter (fun (u, v) -> u <> v) pairs in
+      let g = Cgraph.create ~n:20 edges in
+      let rng = Random.State.make [| seed |] in
+      let xs =
+        Array.of_list
+          (List.filter (fun _ -> Random.State.bool rng) (List.init 20 Fun.id))
+      in
+      let sub, to_orig = Cgraph.induced g xs in
+      let ok = ref true in
+      for i = 0 to Cgraph.n sub - 1 do
+        for j = 0 to Cgraph.n sub - 1 do
+          if i <> j then
+            if Cgraph.has_edge sub i j
+               <> Cgraph.has_edge g to_orig.(i) to_orig.(j)
+            then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "cgraph basics" `Quick test_cgraph_basic;
+    Alcotest.test_case "induced subgraphs" `Quick test_induced;
+    Alcotest.test_case "bfs" `Quick test_bfs;
+    Alcotest.test_case "generators" `Quick test_generators;
+    Alcotest.test_case "balanced tree" `Quick test_balanced_tree;
+    Alcotest.test_case "remove vertex" `Quick test_remove_vertex;
+    Alcotest.test_case "relational encoding A'(D)" `Quick test_rel_encode;
+    QCheck_alcotest.to_alcotest prop_induced_consistent;
+  ]

@@ -1,0 +1,216 @@
+(* Tests for the FO⁺ front end: AST utilities, parser, distance types. *)
+
+open Nd_logic
+module F = Fo
+
+let parse = Parse.formula
+
+let test_parser () =
+  let cases =
+    [
+      ("E(x,y)", F.Edge ("x", "y"));
+      ("x = y", F.Eq ("x", "y"));
+      ("x != y", F.Not (F.Eq ("x", "y")));
+      ("C2(x)", F.Color (2, "x"));
+      ("dist(x,y) <= 3", F.Dist_le ("x", "y", 3));
+      ("dist(x,y) < 3", F.Dist_le ("x", "y", 2));
+      ("dist(x,y) > 3", F.Not (F.Dist_le ("x", "y", 3)));
+      ("dist(x,y) >= 3", F.Not (F.Dist_le ("x", "y", 2)));
+      ("~E(x,y)", F.Not (F.Edge ("x", "y")));
+      ("E(x,y) & E(y,z)", F.And [ F.Edge ("x", "y"); F.Edge ("y", "z") ]);
+      ("E(x,y) | E(y,z)", F.Or [ F.Edge ("x", "y"); F.Edge ("y", "z") ]);
+      ( "E(x,y) -> E(y,x)",
+        F.Or [ F.Not (F.Edge ("x", "y")); F.Edge ("y", "x") ] );
+      ("exists z. E(x,z)", F.Exists ("z", F.Edge ("x", "z")));
+      ( "forall z w. E(z,w)",
+        F.Forall ("z", F.Forall ("w", F.Edge ("z", "w"))) );
+      ("true & false", F.And [ F.True; F.False ]);
+      ( "exists z. E(x,z) & E(z,y)",
+        F.Exists ("z", F.And [ F.Edge ("x", "z"); F.Edge ("z", "y") ]) );
+      ( "(exists z. E(x,z)) & C0(x)",
+        F.And [ F.Exists ("z", F.Edge ("x", "z")); F.Color (0, "x") ] );
+    ]
+  in
+  List.iter
+    (fun (s, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parse %S" s)
+        true
+        (F.equal (parse s) expected))
+    cases
+
+let test_parser_named_colors () =
+  let phi = Parse.formula ~colors:[ ("Blue", 1); ("Red", 0) ] "Blue(x) & Red(y)" in
+  Alcotest.(check bool) "named colors" true
+    (F.equal phi (F.And [ F.Color (1, "x"); F.Color (0, "y") ]))
+
+let test_parser_errors () =
+  List.iter
+    (fun s ->
+      match parse s with
+      | exception Parse.Syntax_error _ -> ()
+      | _ -> Alcotest.failf "expected syntax error for %S" s)
+    [ "E(x"; "dist(x,y)"; "exists . E(x,y)"; "E(x,y) &"; "x ="; "Foo(x)"; "" ]
+
+let test_roundtrip () =
+  List.iter
+    (fun s ->
+      let phi = parse s in
+      let phi' = parse (F.to_string phi) in
+      Alcotest.(check bool)
+        (Printf.sprintf "roundtrip %S" s)
+        true (F.equal phi phi'))
+    [
+      "E(x,y) & (C0(x) | C1(y))";
+      "exists z. (E(x,z) & dist(z,y) <= 4)";
+      "forall z. (dist(x,z) > 2 | C0(z))";
+      "~(E(x,y) | E(y,x)) & x != y";
+    ]
+
+let test_free_vars () =
+  Alcotest.(check (list string)) "order of occurrence" [ "x"; "y" ]
+    (F.free_vars (parse "E(x,y) & C0(y)"));
+  Alcotest.(check (list string)) "bound not free" [ "x" ]
+    (F.free_vars (parse "exists y. E(x,y)"));
+  Alcotest.(check (list string)) "sentence" []
+    (F.free_vars (parse "exists x y. E(x,y)"));
+  Alcotest.(check int) "arity" 3 (F.arity (parse "E(x,y) & E(y,z)"))
+
+let test_qrank () =
+  Alcotest.(check int) "qf" 0 (F.qrank (parse "E(x,y) & C0(x)"));
+  Alcotest.(check int) "nested" 2 (F.qrank (parse "exists z. E(x,z) & (exists w. E(z,w))"));
+  Alcotest.(check int) "parallel" 1
+    (F.qrank (parse "(exists z. E(x,z)) & (exists w. E(x,w))"));
+  Alcotest.(check int) "max_dist" 7 (F.max_dist (parse "dist(x,y) <= 7 | dist(x,y) <= 2"))
+
+let test_qrank_plus () =
+  (* q-rank: dist atoms under quantifiers must obey the f_q budget *)
+  let phi = parse "exists z. dist(x,z) <= 3" in
+  Alcotest.(check bool) "within budget" true (F.has_qrank_at_most ~q:2 ~l:1 phi);
+  let deep = parse "exists z. dist(x,z) <= 1000000" in
+  Alcotest.(check bool) "beyond budget" false
+    (F.has_qrank_at_most ~q:2 ~l:1 deep)
+
+let test_nnf () =
+  let phi = parse "~(E(x,y) & (exists z. C0(z)))" in
+  let n = F.nnf phi in
+  let rec no_bad_not = function
+    | F.Not (F.And _ | F.Or _ | F.Exists _ | F.Forall _ | F.Not _) -> false
+    | F.Not _ -> true
+    | F.And ps | F.Or ps -> List.for_all no_bad_not ps
+    | F.Exists (_, p) | F.Forall (_, p) -> no_bad_not p
+    | _ -> true
+  in
+  Alcotest.(check bool) "negations on atoms only" true (no_bad_not n)
+
+let test_simplify () =
+  Alcotest.(check bool) "true & φ" true
+    (F.equal (F.simplify (parse "true & E(x,y)")) (F.Edge ("x", "y")));
+  Alcotest.(check bool) "false & φ" true
+    (F.equal (F.simplify (parse "false & E(x,y)")) F.False);
+  Alcotest.(check bool) "x = x" true (F.equal (F.simplify (parse "x = x")) F.True);
+  Alcotest.(check bool) "exists over false" true
+    (F.equal (F.simplify (F.Exists ("z", F.False))) F.False)
+
+let test_miniscope () =
+  let phi = F.Exists ("z", F.And [ F.Edge ("x", "z"); F.Color (0, "y") ]) in
+  let ms = F.miniscope phi in
+  (* C0(y) does not mention z: must be pulled out *)
+  (match ms with
+  | F.And parts ->
+      Alcotest.(check bool) "factored out" true
+        (List.exists (F.equal (F.Color (0, "y"))) parts)
+  | _ -> Alcotest.fail "expected a conjunction");
+  let phi2 = F.Exists ("z", F.Or [ F.Edge ("x", "z"); F.Edge ("y", "z") ]) in
+  (match F.miniscope phi2 with
+  | F.Or [ F.Exists _; F.Exists _ ] -> ()
+  | _ -> Alcotest.fail "expected ∃ pushed through ∨")
+
+let test_dist_formula_def () =
+  (* Definition 4.1 expands to pure FO with the right quantifier count *)
+  let f2 = F.dist_formula 2 "x" "y" in
+  Alcotest.(check int) "qrank = r" 2 (F.qrank f2);
+  Alcotest.(check (list string)) "free vars" [ "x"; "y" ] (F.free_vars f2)
+
+let test_dtype () =
+  let taus = Dtype.all 3 in
+  Alcotest.(check int) "2^3 types for k=3" 8 (List.length taus);
+  let t = Dtype.create 4 [ (0, 1); (2, 3) ] in
+  Alcotest.(check bool) "mem sym" true (Dtype.mem t 1 0);
+  Alcotest.(check (list (list int))) "components" [ [ 0; 1 ]; [ 2; 3 ] ]
+    (Dtype.components t);
+  Alcotest.(check (list int)) "component_of" [ 2; 3 ] (Dtype.component_of t 2);
+  let t' = Dtype.restrict t 3 in
+  Alcotest.(check (list (list int))) "restrict" [ [ 0; 1 ]; [ 2 ] ]
+    (Dtype.components t');
+  Alcotest.(check bool) "compatible" true (Dtype.compatible t' t);
+  Alcotest.(check bool) "incompatible" false
+    (Dtype.compatible (Dtype.create 3 [ (0, 2) ]) t)
+
+let test_dtype_of_tuple () =
+  let dist_le a b = abs (a - b) <= 2 in
+  let t = Dtype.of_tuple ~dist_le [| 0; 1; 10 |] in
+  Alcotest.(check bool) "0-1 close" true (Dtype.mem t 0 1);
+  Alcotest.(check bool) "0-2 far" false (Dtype.mem t 0 2)
+
+(* semantic checks of transformations on random graphs *)
+let semantically_equal g phi psi =
+  let ctx = Nd_eval.Naive.ctx g in
+  let vars = F.free_vars phi in
+  Nd_eval.Naive.eval_all ctx ~vars phi = Nd_eval.Naive.eval_all ctx ~vars psi
+
+let random_formula_queries =
+  [
+    "dist(x,y) <= 2 & ~(C0(x) | C1(y))";
+    "exists z. (E(x,z) & (C0(z) | dist(z,y) <= 1))";
+    "forall z. (dist(x,z) > 1 | C0(z) | z = y)";
+    "~(exists z. E(x,z) & E(z,y))";
+  ]
+
+let prop_nnf_miniscope_semantics =
+  QCheck.Test.make ~name:"nnf/miniscope/simplify preserve semantics" ~count:20
+    QCheck.(pair (int_bound 1000) (int_range 8 16))
+    (fun (seed, n) ->
+      let g =
+        Nd_graph.Gen.randomly_color ~seed ~colors:2
+          (Nd_graph.Gen.bounded_degree ~seed
+             n ~max_degree:3)
+      in
+      List.for_all
+        (fun q ->
+          let phi = parse q in
+          semantically_equal g phi (F.nnf phi)
+          && semantically_equal g phi (F.miniscope (F.nnf phi))
+          && semantically_equal g phi (F.simplify phi))
+        random_formula_queries)
+
+let prop_dist_formula =
+  QCheck.Test.make ~name:"Definition 4.1 dist formula = native atom" ~count:20
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let g = Nd_graph.Gen.random_tree ~seed 12 in
+      List.for_all
+        (fun r ->
+          semantically_equal g
+            (F.Dist_le ("x", "y", r))
+            (F.dist_formula r "x" "y"))
+        [ 0; 1; 2; 3 ])
+
+let suite =
+  [
+    Alcotest.test_case "parser" `Quick test_parser;
+    Alcotest.test_case "parser named colors" `Quick test_parser_named_colors;
+    Alcotest.test_case "parser errors" `Quick test_parser_errors;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "free vars" `Quick test_free_vars;
+    Alcotest.test_case "quantifier rank" `Quick test_qrank;
+    Alcotest.test_case "q-rank budget" `Quick test_qrank_plus;
+    Alcotest.test_case "nnf" `Quick test_nnf;
+    Alcotest.test_case "simplify" `Quick test_simplify;
+    Alcotest.test_case "miniscope" `Quick test_miniscope;
+    Alcotest.test_case "Definition 4.1 structure" `Quick test_dist_formula_def;
+    Alcotest.test_case "distance types" `Quick test_dtype;
+    Alcotest.test_case "type of a tuple" `Quick test_dtype_of_tuple;
+    QCheck_alcotest.to_alcotest prop_nnf_miniscope_semantics;
+    QCheck_alcotest.to_alcotest prop_dist_formula;
+  ]

@@ -1,0 +1,182 @@
+(* Tests for neighborhood covers, kernels, the splitter game and weak
+   coloring numbers. *)
+
+open Nd_graph
+open Nd_nowhere
+
+let graphs =
+  [
+    ("path", Gen.path 80);
+    ("cycle", Gen.cycle 60);
+    ("grid", Gen.grid 9 9);
+    ("tree", Gen.random_tree ~seed:4 100);
+    ("bdeg", Gen.bounded_degree ~seed:4 80 ~max_degree:4);
+    ("subdiv", Gen.subdivided_clique ~q:5 ~sub:5);
+    ("clique", Gen.complete 20);
+    ("star", Gen.star 40);
+  ]
+
+let test_cover_certified () =
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun r ->
+          let c = Cover.compute g ~r in
+          match Cover.verify g c with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s (r=%d): %s" name r e)
+        [ 0; 1; 2; 3 ])
+    graphs
+
+let test_cover_shape () =
+  let g = Gen.grid 20 20 in
+  let c = Cover.compute g ~r:2 in
+  Alcotest.(check bool) "several bags" true (Cover.bag_count c > 10);
+  Alcotest.(check bool) "small degree on a grid" true (Cover.degree c <= 16);
+  (* every vertex has an assigned bag containing it *)
+  for v = 0 to Cgraph.n g - 1 do
+    let bag = c.Cover.assigned.(v) in
+    if not (Cover.mem_bag c ~bag v) then
+      Alcotest.failf "vertex %d not in its assigned bag" v
+  done;
+  (* assigned_members is the inverse of assigned *)
+  Array.iteri
+    (fun id members ->
+      Array.iter
+        (fun v ->
+          if c.Cover.assigned.(v) <> id then
+            Alcotest.failf "assigned_members mismatch at %d" v)
+        members)
+    c.Cover.assigned_members;
+  Alcotest.(check int) "members total" (Cgraph.n g)
+    (Array.fold_left (fun a m -> a + Array.length m) 0 c.Cover.assigned_members)
+
+let test_cover_weight_bound () =
+  let g = Gen.grid 20 20 in
+  let c = Cover.compute g ~r:2 in
+  Alcotest.(check bool) "Σ|X| ≤ degree·n" true
+    (Cover.weight c <= Cover.degree c * Cgraph.n g)
+
+let test_kernel_certified () =
+  List.iter
+    (fun (name, g) ->
+      let c = Cover.compute g ~r:2 in
+      Array.iteri
+        (fun id bag ->
+          if id mod 7 = 0 then
+            List.iter
+              (fun p ->
+                let k = Kernel.compute g ~bag ~p in
+                match Kernel.verify g ~bag ~p k with
+                | Ok () -> ()
+                | Error e -> Alcotest.failf "%s bag %d p=%d: %s" name id p e)
+              [ 0; 1; 2 ])
+        c.Cover.bags)
+    graphs
+
+let test_kernel_nesting () =
+  let g = Gen.grid 12 12 in
+  let bag = Nd_graph.Bfs.ball g 40 ~radius:4 in
+  let k1 = Kernel.compute g ~bag ~p:1 in
+  let k2 = Kernel.compute g ~bag ~p:2 in
+  (* K_2 ⊆ K_1 ⊆ X *)
+  Array.iter
+    (fun v ->
+      if not (Nd_util.Sorted.mem k1 v) then
+        Alcotest.failf "kernel not nested at %d" v)
+    k2;
+  Array.iter
+    (fun v ->
+      if not (Nd_util.Sorted.mem bag v) then
+        Alcotest.failf "kernel outside bag at %d" v)
+    k1
+
+let test_kernel_p0 () =
+  let g = Gen.path 10 in
+  let bag = [| 2; 3; 4 |] in
+  let k0 = Kernel.compute g ~bag ~p:0 in
+  Alcotest.(check (list int)) "K_0 = X" [ 2; 3; 4 ] (Array.to_list k0)
+
+let test_splitter_wins_sparse () =
+  List.iter
+    (fun (name, target) ->
+      let fam = List.find (fun f -> f.Gen.name = name) Gen.families in
+      let g = fam.Gen.build 300 in
+      match
+        Splitter.measured_lambda g ~r:2 ~max_rounds:25
+          ~splitter:Splitter.splitter_center
+      with
+      | Some l ->
+          if l > target then
+            Alcotest.failf "%s: needed %d rounds (expected ≤ %d)" name l target
+      | None -> Alcotest.failf "%s: splitter lost" name)
+    [ ("path", 4); ("random-tree", 6); ("grid", 8); ("bounded-deg-4", 8) ]
+
+let test_splitter_loses_dense () =
+  (* on a clique, splitter needs ~n rounds: the game certifies
+     somewhere-density *)
+  let g = Gen.complete 30 in
+  match
+    Splitter.measured_lambda g ~r:1 ~max_rounds:10
+      ~splitter:Splitter.splitter_center
+  with
+  | Some l -> Alcotest.failf "clique: unexpectedly won in %d" l
+  | None -> ()
+
+let test_splitter_move_in_bag () =
+  let g = Gen.grid 10 10 in
+  let c = Cover.compute g ~r:2 in
+  Array.iteri
+    (fun id bag ->
+      let s = Splitter.move g ~bag ~center:c.Cover.centers.(id) in
+      if not (Nd_util.Sorted.mem bag s) then
+        Alcotest.failf "splitter move %d outside bag %d" s id)
+    c.Cover.bags
+
+let test_wcol_path_small () =
+  let p = Wcol.profile (Gen.path 200) ~r:2 in
+  Alcotest.(check bool) "path wcol_2 tiny" true (p.Wcol.max <= 2)
+
+let test_wcol_separates () =
+  let sparse = Wcol.profile (Gen.grid 18 18) ~r:2 in
+  let dense = Wcol.profile (Gen.complete 40) ~r:2 in
+  Alcotest.(check bool) "grid far below clique" true
+    (sparse.Wcol.max * 3 < dense.Wcol.max)
+
+let test_degeneracy_order_is_permutation () =
+  let g = Gen.bounded_degree ~seed:5 60 ~max_degree:5 in
+  let ord = Wcol.degeneracy_order g in
+  let seen = Array.make 60 false in
+  Array.iter
+    (fun r ->
+      if r < 0 || r >= 60 || seen.(r) then Alcotest.fail "not a permutation";
+      seen.(r) <- true)
+    ord
+
+let test_wcol_monotone_in_r () =
+  let g = Gen.random_tree ~seed:8 120 in
+  let ord = Wcol.degeneracy_order g in
+  let c1 = Wcol.wreach_counts g ~r:1 ~order:ord in
+  let c2 = Wcol.wreach_counts g ~r:2 ~order:ord in
+  Array.iteri
+    (fun v x ->
+      if c2.(v) < x then Alcotest.failf "wreach shrank at %d" v)
+    c1
+
+let suite =
+  [
+    Alcotest.test_case "covers certified on all families" `Quick test_cover_certified;
+    Alcotest.test_case "cover shape on a grid" `Quick test_cover_shape;
+    Alcotest.test_case "cover weight bound" `Quick test_cover_weight_bound;
+    Alcotest.test_case "kernels certified" `Quick test_kernel_certified;
+    Alcotest.test_case "kernel nesting" `Quick test_kernel_nesting;
+    Alcotest.test_case "kernel p=0" `Quick test_kernel_p0;
+    Alcotest.test_case "splitter wins on sparse families" `Quick test_splitter_wins_sparse;
+    Alcotest.test_case "splitter loses on cliques" `Quick test_splitter_loses_dense;
+    Alcotest.test_case "splitter moves stay in bag" `Quick test_splitter_move_in_bag;
+    Alcotest.test_case "wcol on paths" `Quick test_wcol_path_small;
+    Alcotest.test_case "wcol separates sparse from dense" `Quick test_wcol_separates;
+    Alcotest.test_case "degeneracy order is a permutation" `Quick
+      test_degeneracy_order_is_permutation;
+    Alcotest.test_case "wreach monotone in r" `Quick test_wcol_monotone_in_r;
+  ]

@@ -1,0 +1,163 @@
+(* Differential fuzzing: random formulas of the guarded-local fragment
+   (and beyond), random sparse graphs, enumeration and testing compared
+   against the naive evaluator.  This is the broadest net over the
+   compiler + answering pipeline. *)
+
+open Nd_graph
+open Nd_logic
+
+(* --- random formula generation ------------------------------------- *)
+
+let colors = 3
+
+let atom_over rng vars =
+  let v () = List.nth vars (Random.State.int rng (List.length vars)) in
+  match Random.State.int rng 5 with
+  | 0 -> Fo.Edge (v (), v ())
+  | 1 -> Fo.Eq (v (), v ())
+  | 2 -> Fo.Color (Random.State.int rng colors, v ())
+  | 3 -> Fo.Dist_le (v (), v (), 1 + Random.State.int rng 2)
+  | _ -> Fo.Not (Fo.Dist_le (v (), v (), 1 + Random.State.int rng 2))
+
+let guard rng z vars =
+  let anchor = List.nth vars (Random.State.int rng (List.length vars)) in
+  match Random.State.int rng 2 with
+  | 0 -> Fo.Edge (z, anchor)
+  | _ -> Fo.Dist_le (z, anchor, 1 + Random.State.int rng 2)
+
+(* depth-bounded random formula over [vars]; quantified variables are
+   always guarded, so the result lies in the compiled fragment unless
+   simplification degenerates it *)
+let rec formula rng depth vars =
+  if depth = 0 || Random.State.int rng 3 = 0 then atom_over rng vars
+  else
+    match Random.State.int rng 5 with
+    | 0 ->
+        Fo.And [ formula rng (depth - 1) vars; formula rng (depth - 1) vars ]
+    | 1 -> Fo.Or [ formula rng (depth - 1) vars; formula rng (depth - 1) vars ]
+    | 2 -> Fo.Not (atom_over rng vars)
+    | 3 ->
+        let z = Printf.sprintf "q%d" depth in
+        Fo.Exists
+          (z, Fo.And [ guard rng z vars; formula rng (depth - 1) (z :: vars) ])
+    | _ ->
+        let z = Printf.sprintf "u%d" depth in
+        Fo.Forall
+          ( z,
+            Fo.Or
+              [
+                Fo.Not (guard rng z vars); formula rng (depth - 1) (z :: vars);
+              ] )
+
+let check_one rng seed =
+  let n = 12 + Random.State.int rng 18 in
+  let g =
+    Gen.randomly_color ~seed ~colors
+      (Gen.bounded_degree ~seed n ~max_degree:3)
+  in
+  let ctx = Nd_eval.Naive.ctx g in
+  let arity = 1 + Random.State.int rng 2 in
+  let vars = List.filteri (fun i _ -> i < arity) [ "x"; "y" ] in
+  let phi =
+    (* make sure every intended variable occurs freely *)
+    Fo.And
+      (formula rng 3 vars
+      :: List.map (fun v -> Fo.Dist_le (v, v, 0)) vars)
+  in
+  let fvs = Fo.free_vars phi in
+  let expected = Nd_eval.Naive.eval_all ctx ~vars:fvs phi in
+  let nx = Nd_core.Next.build g phi in
+  let got = Nd_core.Enumerate.to_list nx in
+  if got <> expected then begin
+    QCheck.Test.fail_reportf
+      "mismatch on %s (compiled: %b): naive %d sols, pipeline %d"
+      (Fo.to_string phi)
+      (match Nd_core.Compile.compile phi with
+      | Nd_core.Compile.Compiled _ -> true
+      | _ -> false)
+      (List.length expected) (List.length got)
+  end;
+  (* spot-check next_solution from random tuples *)
+  let k = List.length fvs in
+  for _ = 1 to 10 do
+    let t = Array.init k (fun _ -> Random.State.int rng n) in
+    let expect =
+      List.find_opt (fun s -> Nd_util.Tuple.compare s t >= 0) expected
+    in
+    if Nd_core.Next.next_solution nx t <> expect then
+      QCheck.Test.fail_reportf "next_solution wrong on %s"
+        (Fo.to_string phi)
+  done;
+  true
+
+let prop_fuzz =
+  QCheck.Test.make ~name:"random guarded formulas: pipeline = naive" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 31337 |] in
+      check_one rng seed)
+
+(* --- fixed higher-arity cases -------------------------------------- *)
+
+let test_quaternary () =
+  let g = Gen.randomly_color ~seed:17 ~colors:2 (Gen.cycle 11) in
+  let ctx = Nd_eval.Naive.ctx g in
+  List.iter
+    (fun q ->
+      let phi = Parse.formula q in
+      let expected =
+        Nd_eval.Naive.eval_all ctx ~vars:(Fo.free_vars phi) phi
+      in
+      let nx = Nd_core.Next.build g phi in
+      let got = Nd_core.Enumerate.to_list nx in
+      if got <> expected then
+        Alcotest.failf "%s: %d vs %d" q (List.length expected)
+          (List.length got))
+    [
+      "E(w,x) & E(x,y) & E(y,z)";
+      "E(w,x) & dist(x,y) > 2 & E(y,z)";
+      "dist(w,x) <= 1 & dist(x,y) <= 1 & dist(y,z) <= 1 & C0(z)";
+    ]
+
+let test_unary_queries () =
+  let g = Gen.randomly_color ~seed:18 ~colors:2 (Gen.grid 9 9) in
+  let ctx = Nd_eval.Naive.ctx g in
+  List.iter
+    (fun q ->
+      let phi = Parse.formula q in
+      let expected =
+        Nd_eval.Naive.eval_all ctx ~vars:(Fo.free_vars phi) phi
+      in
+      let nx = Nd_core.Next.build g phi in
+      Alcotest.(check bool)
+        (q ^ " matches")
+        true
+        (Nd_core.Enumerate.to_list nx = expected))
+    [
+      "C0(x)";
+      "exists y. E(x,y) & C1(y)";
+      "forall y. dist(x,y) > 1 | ~C0(y)";
+      "exists y z. E(x,y) & E(y,z) & C0(z)";
+      "C0(x) & (exists y. dist(x,y) <= 2 & C1(y))";
+    ]
+
+let test_arity_five_falls_back_but_works () =
+  let g = Gen.randomly_color ~seed:19 ~colors:2 (Gen.path 7) in
+  let phi = Parse.formula "E(v,w) & E(w,x) & E(x,y) & E(y,z)" in
+  (match Nd_core.Compile.compile phi with
+  | Nd_core.Compile.Fallback _ -> ()
+  | _ -> Alcotest.fail "arity 5 should fall back");
+  let ctx = Nd_eval.Naive.ctx g in
+  let expected = Nd_eval.Naive.eval_all ctx ~vars:(Fo.free_vars phi) phi in
+  let nx = Nd_core.Next.build g phi in
+  Alcotest.(check bool) "fallback exact" true
+    (Nd_core.Enumerate.to_list nx = expected)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_fuzz;
+    Alcotest.test_case "quaternary queries" `Slow test_quaternary;
+    Alcotest.test_case "unary queries" `Quick test_unary_queries;
+    Alcotest.test_case "arity-5 fallback" `Quick
+      test_arity_five_falls_back_but_works;
+  ]

@@ -1,0 +1,122 @@
+(* Lemma 5.5 (Removal Lemma): G ⊨ φ(b̄) ⟺ H ⊨ φ'(b̄ ∖ ȳ) when the
+   pinned positions hold exactly the removed node s. *)
+
+open Nd_graph
+open Nd_logic
+
+let check_removal g s query pinned =
+  let res = Nd_core.Removal.apply g ~s ~query ~pinned in
+  let gctx = Nd_eval.Naive.ctx g in
+  let hctx = Nd_eval.Naive.ctx res.Nd_core.Removal.graph in
+  let fvs = Fo.free_vars query in
+  let kept = List.filter (fun v -> not (List.mem v pinned)) fvs in
+  let fvs' = Fo.free_vars res.Nd_core.Removal.query in
+  (* φ' speaks about the kept variables only *)
+  List.iter
+    (fun v ->
+      if not (List.mem v kept) then
+        Alcotest.failf "pinned variable %s survived in φ'" v)
+    fvs';
+  let n = Cgraph.n g in
+  let h_of_g = Hashtbl.create n in
+  Array.iteri
+    (fun local orig -> Hashtbl.replace h_of_g orig local)
+    res.Nd_core.Removal.to_orig;
+  (* enumerate all assignments of the kept variables over V∖{s} *)
+  let kept_arr = Array.of_list kept in
+  let rec go i env =
+    if i = Array.length kept_arr then begin
+      let genv = env @ List.map (fun v -> (v, s)) pinned in
+      let lhs = Nd_eval.Naive.sat gctx ~env:genv query in
+      let henv =
+        List.map (fun (v, x) -> (v, Hashtbl.find h_of_g x)) env
+      in
+      let rhs =
+        Nd_eval.Naive.sat hctx ~env:henv res.Nd_core.Removal.query
+      in
+      if lhs <> rhs then
+        Alcotest.failf "mismatch for %s at s=%d env=[%s]: G:%b H:%b"
+          (Fo.to_string query) s
+          (String.concat ";"
+             (List.map (fun (v, x) -> Printf.sprintf "%s=%d" v x) env))
+          lhs rhs
+    end
+    else
+      for x = 0 to n - 1 do
+        if x <> s then go (i + 1) ((kept_arr.(i), x) :: env)
+      done
+  in
+  go 0 []
+
+let queries_no_pin =
+  [
+    "E(x,y)";
+    "dist(x,y) <= 2";
+    "dist(x,y) <= 3 & ~E(x,y)";
+    "exists z. E(x,z) & E(z,y)";
+    "forall z. dist(z,x) > 1 | dist(z,y) <= 2";
+    "C0(x) | dist(x,y) > 2";
+  ]
+
+let test_no_pin () =
+  let g = Gen.randomly_color ~seed:3 ~colors:2 (Gen.grid 4 4) in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun s -> check_removal g s (Parse.formula q) [])
+        [ 0; 5; 15 ])
+    queries_no_pin
+
+let test_pinned () =
+  let g = Gen.randomly_color ~seed:4 ~colors:2 (Gen.cycle 9) in
+  (* pin y := s *)
+  List.iter
+    (fun q ->
+      List.iter
+        (fun s -> check_removal g s (Parse.formula q) [ "y" ])
+        [ 0; 4; 8 ])
+    [ "E(x,y)"; "dist(x,y) <= 2"; "C1(y) & dist(x,y) <= 3"; "x = y" ];
+  (* pin both *)
+  check_removal g 3 (Parse.formula "dist(x,y) <= 2") [ "x"; "y" ];
+  check_removal g 3 (Parse.formula "E(x,y)") [ "x"; "y" ]
+
+let test_colors_added () =
+  let g = Gen.path 6 in
+  let res =
+    Nd_core.Removal.apply g ~s:3 ~query:(Parse.formula "dist(x,y) <= 2") ~pinned:[]
+  in
+  let h = res.Nd_core.Removal.graph in
+  Alcotest.(check int) "H has n-1 vertices" 5 (Cgraph.n h);
+  (* D_1 = old neighbors of 3 = {2,4}; D_2 adds {1,5} *)
+  let c1 = res.Nd_core.Removal.dist_color 1 in
+  let c2 = res.Nd_core.Removal.dist_color 2 in
+  let members c =
+    Array.to_list
+      (Array.map
+         (fun l -> res.Nd_core.Removal.to_orig.(l))
+         (Cgraph.color_members h ~color:c))
+  in
+  Alcotest.(check (list int)) "D_1" [ 2; 4 ] (members c1);
+  Alcotest.(check (list int)) "D_2" [ 1; 2; 4; 5 ] (members c2)
+
+let prop_random =
+  QCheck.Test.make ~name:"removal lemma on random graphs" ~count:20
+    QCheck.(pair (int_bound 10000) (int_range 6 12))
+    (fun (seed, n) ->
+      let g =
+        Gen.randomly_color ~seed ~colors:2
+          (Gen.bounded_degree ~seed n ~max_degree:3)
+      in
+      let s = seed mod n in
+      List.iter
+        (fun q -> check_removal g s (Parse.formula q) [])
+        [ "dist(x,y) <= 2"; "exists z. E(x,z) & E(z,y)" ];
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "no pinned variables" `Slow test_no_pin;
+    Alcotest.test_case "pinned variables" `Quick test_pinned;
+    Alcotest.test_case "distance colors" `Quick test_colors_added;
+    QCheck_alcotest.to_alcotest prop_random;
+  ]

@@ -1,0 +1,89 @@
+(* Lemma 5.8: SKIP pointers agree with the brute-force definition. *)
+
+open Nd_graph
+open Nd_nowhere
+
+let build_env seed n =
+  let g = Gen.bounded_degree ~seed n ~max_degree:4 in
+  let cover = Cover.compute g ~r:2 in
+  let kernels =
+    Array.map (fun bag -> Kernel.compute g ~bag ~p:2) cover.Cover.bags
+  in
+  let kernels_of v =
+    List.filter
+      (fun x -> Nd_util.Sorted.mem kernels.(x) v)
+      (Array.to_list cover.Cover.bags_of.(v))
+  in
+  let rng = Random.State.make [| seed; 77 |] in
+  let l =
+    Nd_util.Sorted.of_list
+      (List.filter (fun _ -> Random.State.bool rng) (List.init n Fun.id))
+  in
+  let t = Nd_core.Skip.build ~kernels ~kernels_of ~l ~n ~k:3 in
+  (g, cover, t, rng)
+
+let test_differential () =
+  List.iter
+    (fun seed ->
+      let n = 120 in
+      let g, cover, t, rng = build_env seed n in
+      ignore g;
+      let nbags = Array.length cover.Cover.bags in
+      for _ = 1 to 400 do
+        let b = Random.State.int rng n in
+        let bags =
+          List.init
+            (Random.State.int rng 4)
+            (fun _ -> Random.State.int rng nbags)
+        in
+        let fast = Nd_core.Skip.skip t ~b ~bags in
+        let slow = Nd_core.Skip.skip_naive t ~b ~bags in
+        if fast <> slow then
+          Alcotest.failf "seed %d: SKIP(%d,{%s}) fast=%s slow=%s" seed b
+            (String.concat "," (List.map string_of_int bags))
+            (match fast with Some v -> string_of_int v | None -> "∅")
+            (match slow with Some v -> string_of_int v | None -> "∅")
+      done)
+    [ 1; 2; 3 ]
+
+let test_empty_bagset () =
+  let _, _, t, _ = build_env 9 60 in
+  (* with no bags, SKIP(b, ∅) is just the next label ≥ b *)
+  for b = 0 to 59 do
+    if Nd_core.Skip.skip t ~b ~bags:[] <> Nd_core.Skip.skip_naive t ~b ~bags:[]
+    then Alcotest.failf "empty bag set mismatch at %d" b
+  done
+
+let test_empty_label_set () =
+  let n = 30 in
+  let g = Gen.path n in
+  let cover = Cover.compute g ~r:1 in
+  let kernels =
+    Array.map (fun bag -> Kernel.compute g ~bag ~p:1) cover.Cover.bags
+  in
+  let kernels_of v =
+    List.filter
+      (fun x -> Nd_util.Sorted.mem kernels.(x) v)
+      (Array.to_list cover.Cover.bags_of.(v))
+  in
+  let t = Nd_core.Skip.build ~kernels ~kernels_of ~l:[||] ~n ~k:2 in
+  Alcotest.(check bool) "always none" true
+    (List.for_all
+       (fun b -> Nd_core.Skip.skip t ~b ~bags:[ 0 ] = None)
+       [ 0; 10; 29 ])
+
+let test_sc_bounded () =
+  let _, _, t, _ = build_env 5 200 in
+  (* pseudo-constant SC sets on a sparse graph: far below the
+     combinatorial worst case (every subset of bags at every vertex) *)
+  Alcotest.(check bool) "max |SC(b)| small" true (Nd_core.Skip.max_sc t <= 128);
+  Alcotest.(check bool) "table near-linear" true
+    (Nd_core.Skip.table_size t <= 128 * 200)
+
+let suite =
+  [
+    Alcotest.test_case "fast = naive on random queries" `Quick test_differential;
+    Alcotest.test_case "empty bag set" `Quick test_empty_bagset;
+    Alcotest.test_case "empty label set" `Quick test_empty_label_set;
+    Alcotest.test_case "SC sets stay small" `Quick test_sc_bounded;
+  ]

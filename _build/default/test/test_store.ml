@@ -1,0 +1,191 @@
+(* Tests for the Storing Theorem structure (Theorem 3.1, Figure 1). *)
+
+open Nd_util
+module S = Nd_ram.Store
+module R = Nd_ram.Ref_store
+
+let fig1 () =
+  let t = S.create ~n:27 ~k:1 ~epsilon:(1. /. 3.) in
+  List.iter (fun x -> S.add t [| x |] x) [ 2; 4; 5; 19; 24; 25 ];
+  t
+
+(* The register contents asserted in the caption of Figure 1, under the
+   BFS (level-order) node layout the figure uses. *)
+let test_figure1_caption () =
+  let t = S.canonicalize (fig1 ()) in
+  let dump = S.dump ~pp_value:Format.pp_print_int t in
+  let lines = String.split_on_char '\n' dump in
+  let line i =
+    List.find (fun l -> String.length l > 0 &&
+                        String.starts_with ~prefix:(Printf.sprintf "R_%d:" i) l)
+      lines
+  in
+  Alcotest.(check string) "R_1 = (1,5): first child of root starts at R_5"
+    "R_1: (1, 5)" (line 1);
+  Alcotest.(check string) "R_2 = (0,19): second subtree empty, next key 19"
+    "R_2: (0, (19))" (line 2);
+  Alcotest.(check string) "R_8 = (-1,1): back-pointer to R_1" "R_8: (-1, 1)"
+    (line 8);
+  Alcotest.(check string) "R_19 = (1, f(5)) = (1,5)" "R_19: (1, 5)" (line 19);
+  Alcotest.(check string) "R_0: 29 registers in use"
+    "R_0: 29 (next free register)" (line 0)
+
+let test_figure1_semantics () =
+  let t = fig1 () in
+  Alcotest.(check int) "cardinal" 6 (S.cardinal t);
+  Alcotest.(check bool) "find 5" true (S.find t [| 5 |] = S.Value 5);
+  Alcotest.(check bool) "find 6 -> next 19" true (S.find t [| 6 |] = S.Next [| 19 |]);
+  Alcotest.(check bool) "find 0 -> next 2" true (S.find t [| 0 |] = S.Next [| 2 |]);
+  Alcotest.(check bool) "find 26 -> null" true (S.find t [| 26 |] = S.Null);
+  Alcotest.(check bool) "pred_lt 19 = 5" true (S.pred_lt t [| 19 |] = Some [| 5 |]);
+  Alcotest.(check bool) "pred_lt 2 = none" true (S.pred_lt t [| 2 |] = None);
+  (match S.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariants: %s" e);
+  (* removal example from Section 7.3: remove 19 *)
+  S.remove t [| 19 |];
+  Alcotest.(check bool) "after remove, find 6 -> 24" true
+    (S.find t [| 6 |] = S.Next [| 24 |]);
+  (match S.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariants after remove: %s" e)
+
+let test_epsilon_one () =
+  (* ε = 1 degenerates into the flat O(n^k) cube *)
+  let t = S.create ~n:10 ~k:1 ~epsilon:1.0 in
+  Alcotest.(check int) "degree = n" 10 (S.degree t);
+  Alcotest.(check int) "depth = 1" 1 (S.depth t);
+  S.add t [| 3 |] 33;
+  S.add t [| 7 |] 77;
+  Alcotest.(check bool) "lookup" true (S.find t [| 3 |] = S.Value 33);
+  Alcotest.(check bool) "next" true (S.find t [| 4 |] = S.Next [| 7 |]);
+  match S.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariants: %s" e
+
+let test_single_element_universe () =
+  let t = S.create ~n:1 ~k:2 ~epsilon:0.5 in
+  Alcotest.(check bool) "empty" true (S.find t [| 0; 0 |] = S.Null);
+  S.add t [| 0; 0 |] "x";
+  Alcotest.(check bool) "found" true (S.find t [| 0; 0 |] = S.Value "x");
+  S.remove t [| 0; 0 |];
+  Alcotest.(check bool) "removed" true (S.find t [| 0; 0 |] = S.Null)
+
+let test_overwrite () =
+  let t = S.create ~n:100 ~k:1 ~epsilon:0.4 in
+  S.add t [| 42 |] "a";
+  S.add t [| 42 |] "b";
+  Alcotest.(check int) "no duplicate" 1 (S.cardinal t);
+  Alcotest.(check bool) "overwritten" true (S.find t [| 42 |] = S.Value "b")
+
+let test_iter_order () =
+  let t = S.create ~n:50 ~k:2 ~epsilon:0.5 in
+  let keys = [ [| 3; 9 |]; [| 0; 1 |]; [| 3; 8 |]; [| 49; 49 |]; [| 0; 0 |] ] in
+  List.iteri (fun i k -> S.add t k i) keys;
+  let got = List.map fst (S.to_list t) in
+  let expected = List.sort Tuple.compare keys in
+  Alcotest.(check bool) "iteration in lexicographic order" true
+    (got = expected)
+
+let test_space_bound () =
+  (* Theorem 3.1: space ≤ c · |Dom(f)| · n^ε at all times *)
+  let n = 4096 in
+  let eps = 0.25 in
+  let t = S.create ~n ~k:1 ~epsilon:eps in
+  let rng = Random.State.make [| 11 |] in
+  let inserted = ref [] in
+  for i = 0 to 499 do
+    let v = Random.State.int rng n in
+    S.add t [| v |] i;
+    if not (List.mem v !inserted) then inserted := v :: !inserted;
+    let bound =
+      (* each key contributes at most depth·(d+1) registers + root *)
+      ((S.depth t * (S.degree t + 1)) * List.length !inserted) + S.degree t + 2
+    in
+    if S.space t > bound then
+      Alcotest.failf "space %d exceeds bound %d after %d inserts" (S.space t)
+        bound (i + 1)
+  done;
+  (* removals release space *)
+  let before = S.space t in
+  List.iter (fun v -> S.remove t [| v |]) !inserted;
+  Alcotest.(check int) "empty again" 0 (S.cardinal t);
+  Alcotest.(check bool) "space shrank to the bare root" true
+    (S.space t < before && S.space t = S.degree t + 1)
+
+(* Differential test against the functional model, with invariant checks. *)
+let prop_differential k n epsilon =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "store(k=%d,n=%d,eps=%.2f) = model" k n epsilon)
+    ~count:60
+    QCheck.(
+      list
+        (pair (int_bound 5)
+           (list_of_size (Gen.return k) (int_bound (n - 1)))))
+    (fun ops ->
+      let t = S.create ~n ~k ~epsilon in
+      let r = ref (R.empty ~n ~k) in
+      let step = ref 0 in
+      List.iter
+        (fun (op, key) ->
+          incr step;
+          let key = Array.of_list key in
+          match op with
+          | 0 | 1 | 2 -> (
+              S.add t key !step;
+              r := R.add !r key !step)
+          | 3 -> (
+              S.remove t key;
+              r := R.remove !r key)
+          | _ ->
+              if S.find t key <> R.find !r key then
+                QCheck.Test.fail_report "lookup mismatch")
+        ops;
+      (match S.check_invariants t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report ("invariants: " ^ e));
+      S.to_list t = R.to_list !r)
+
+let prop_canonicalize_preserves =
+  QCheck.Test.make ~name:"canonicalize preserves contents" ~count:50
+    QCheck.(list (int_bound 63))
+    (fun keys ->
+      let t = S.create ~n:64 ~k:1 ~epsilon:0.34 in
+      List.iter (fun v -> S.add t [| v |] (v * 2)) keys;
+      let c = S.canonicalize t in
+      (match S.check_invariants c with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report ("canon invariants: " ^ e));
+      S.to_list c = S.to_list t && S.space c = S.space t)
+
+let prop_succ_pred =
+  QCheck.Test.make ~name:"succ_geq/succ_gt/pred_lt against model" ~count:100
+    QCheck.(pair (list (int_bound 80)) (int_bound 80))
+    (fun (keys, probe) ->
+      let t = S.create ~n:81 ~k:1 ~epsilon:0.3 in
+      List.iter (fun v -> S.add t [| v |] v) keys;
+      let sorted = List.sort_uniq compare keys in
+      let geq = List.find_opt (fun v -> v >= probe) sorted in
+      let gt = List.find_opt (fun v -> v > probe) sorted in
+      let lt = List.rev (List.filter (fun v -> v < probe) sorted) in
+      S.succ_geq t [| probe |] = Option.map (fun v -> ([| v |], v)) geq
+      && S.succ_gt t [| probe |] = Option.map (fun v -> ([| v |], v)) gt
+      && S.pred_lt t [| probe |]
+         = (match lt with [] -> None | v :: _ -> Some [| v |]))
+
+let suite =
+  [
+    Alcotest.test_case "figure 1 caption registers" `Quick test_figure1_caption;
+    Alcotest.test_case "figure 1 semantics + removal" `Quick test_figure1_semantics;
+    Alcotest.test_case "epsilon = 1 (flat cube)" `Quick test_epsilon_one;
+    Alcotest.test_case "n = 1 universe" `Quick test_single_element_universe;
+    Alcotest.test_case "overwrite" `Quick test_overwrite;
+    Alcotest.test_case "iteration order" `Quick test_iter_order;
+    Alcotest.test_case "space bound (Theorem 3.1)" `Quick test_space_bound;
+    QCheck_alcotest.to_alcotest (prop_differential 1 27 0.34);
+    QCheck_alcotest.to_alcotest (prop_differential 2 16 0.5);
+    QCheck_alcotest.to_alcotest (prop_differential 3 8 0.4);
+    QCheck_alcotest.to_alcotest (prop_differential 2 100 0.25);
+    QCheck_alcotest.to_alcotest prop_canonicalize_preserves;
+    QCheck_alcotest.to_alcotest prop_succ_pred;
+  ]

@@ -1,0 +1,142 @@
+(* Unit and property tests for the nd_util substrate. *)
+
+open Nd_util
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check int) "empty" 0 (Bitset.cardinal b);
+  Bitset.add b 0;
+  Bitset.add b 63;
+  Bitset.add b 64;
+  Bitset.add b 99;
+  Bitset.add b 63;
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal b);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem b 63);
+  Alcotest.(check bool) "mem 62" false (Bitset.mem b 62);
+  Bitset.remove b 63;
+  Alcotest.(check bool) "removed" false (Bitset.mem b 63);
+  Alcotest.(check int) "cardinal after remove" 3 (Bitset.cardinal b);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 64; 99 ] (Bitset.to_list b);
+  let c = Bitset.copy b in
+  Bitset.add c 7;
+  Alcotest.(check bool) "copy independent" false (Bitset.mem b 7);
+  Bitset.clear b;
+  Alcotest.(check int) "cleared" 0 (Bitset.cardinal b)
+
+let test_bitset_subset () =
+  let a = Bitset.of_list 50 [ 1; 2; 30 ] in
+  let b = Bitset.of_list 50 [ 1; 2; 3; 30; 45 ] in
+  Alcotest.(check bool) "a ⊆ b" true (Bitset.subset a b);
+  Alcotest.(check bool) "b ⊄ a" false (Bitset.subset b a);
+  Alcotest.(check bool) "a ⊆ a" true (Bitset.subset a a)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index -1 out of [0,10)")
+    (fun () -> Bitset.add b (-1));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitset: index 10 out of [0,10)")
+    (fun () -> ignore (Bitset.mem b 10))
+
+let prop_bitset_model =
+  QCheck.Test.make ~name:"bitset agrees with a set model" ~count:200
+    QCheck.(list (pair (int_bound 2) (int_bound 62)))
+    (fun ops ->
+      let b = Bitset.create 63 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (op, v) ->
+          match op with
+          | 0 -> (
+              Bitset.add b v;
+              Hashtbl.replace model v ())
+          | 1 -> (
+              Bitset.remove b v;
+              Hashtbl.remove model v)
+          | _ ->
+              if Bitset.mem b v <> Hashtbl.mem model v then
+                QCheck.Test.fail_report "mem mismatch")
+        ops;
+      Bitset.cardinal b = Hashtbl.length model
+      && Bitset.to_list b = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) model []))
+
+let test_vec () =
+  let v = Vec.create ~dummy:(-1) () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 57 (Vec.get v 57);
+  Vec.set v 57 1000;
+  Alcotest.(check int) "set" 1000 (Vec.get v 57);
+  Alcotest.(check int) "pop" 99 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Vec.length v);
+  Alcotest.(check int) "last" 98 (Vec.last v);
+  Vec.ensure v 200;
+  Alcotest.(check int) "ensure grows" 200 (Vec.length v);
+  Alcotest.(check int) "ensure fills dummy" (-1) (Vec.get v 150);
+  Vec.sort compare v;
+  Alcotest.(check int) "sorted first" (-1) (Vec.get v 0);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v)
+
+let test_tuple_order () =
+  Alcotest.(check int) "lex lt" (-1) (Tuple.compare [| 1; 2 |] [| 1; 3 |]);
+  Alcotest.(check int) "lex gt" 1 (Tuple.compare [| 2; 0 |] [| 1; 9 |]);
+  Alcotest.(check int) "eq" 0 (Tuple.compare [| 4; 4 |] [| 4; 4 |]);
+  Alcotest.(check bool) "succ" true
+    (Tuple.succ ~n:3 [| 0; 2 |] = Some [| 1; 0 |]);
+  Alcotest.(check bool) "succ overflow" true (Tuple.succ ~n:3 [| 2; 2 |] = None);
+  Alcotest.(check bool) "pred" true
+    (Tuple.pred ~n:3 [| 1; 0 |] = Some [| 0; 2 |]);
+  Alcotest.(check bool) "pred underflow" true (Tuple.pred ~n:3 [| 0; 0 |] = None);
+  Alcotest.(check string) "to_string" "(3,0,7)" (Tuple.to_string [| 3; 0; 7 |])
+
+let prop_tuple_succ_pred =
+  QCheck.Test.make ~name:"tuple pred ∘ succ = id" ~count:500
+    QCheck.(pair (int_range 1 5) (list_of_size (Gen.return 3) (int_bound 4)))
+    (fun (n, xs) ->
+      let t = Array.of_list (List.map (fun x -> x mod n) xs) in
+      match Tuple.succ ~n t with
+      | None -> Tuple.equal t (Tuple.max ~n 3)
+      | Some s -> (
+          Tuple.compare s t > 0
+          && match Tuple.pred ~n s with
+             | Some p -> Tuple.equal p t
+             | None -> false))
+
+let test_sorted () =
+  let a = Sorted.of_list [ 5; 1; 9; 1; 5; 3 ] in
+  Alcotest.(check (list int)) "of_list dedup" [ 1; 3; 5; 9 ] (Array.to_list a);
+  Alcotest.(check (option int)) "next_geq" (Some 5) (Sorted.next_geq a 4);
+  Alcotest.(check (option int)) "next_geq exact" (Some 5) (Sorted.next_geq a 5);
+  Alcotest.(check (option int)) "next_gt" (Some 9) (Sorted.next_gt a 5);
+  Alcotest.(check (option int)) "next_gt none" None (Sorted.next_gt a 9);
+  Alcotest.(check bool) "mem" true (Sorted.mem a 3);
+  Alcotest.(check bool) "not mem" false (Sorted.mem a 4);
+  Alcotest.(check (list int)) "inter" [ 3; 5 ]
+    (Array.to_list (Sorted.inter a (Sorted.of_list [ 2; 3; 4; 5 ])));
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4; 5; 9 ]
+    (Array.to_list (Sorted.union a (Sorted.of_list [ 2; 4; 5 ])))
+
+let prop_sorted_ops =
+  QCheck.Test.make ~name:"sorted inter/union vs list model" ~count:300
+    QCheck.(pair (list (int_bound 30)) (list (int_bound 30)))
+    (fun (xs, ys) ->
+      let a = Sorted.of_list xs and b = Sorted.of_list ys in
+      let sa = List.sort_uniq compare xs and sb = List.sort_uniq compare ys in
+      Array.to_list (Sorted.inter a b)
+      = List.filter (fun x -> List.mem x sb) sa
+      && Array.to_list (Sorted.union a b) = List.sort_uniq compare (sa @ sb))
+
+let suite =
+  [
+    Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset subset" `Quick test_bitset_subset;
+    Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+    QCheck_alcotest.to_alcotest prop_bitset_model;
+    Alcotest.test_case "vec" `Quick test_vec;
+    Alcotest.test_case "tuple order" `Quick test_tuple_order;
+    QCheck_alcotest.to_alcotest prop_tuple_succ_pred;
+    Alcotest.test_case "sorted arrays" `Quick test_sorted;
+    QCheck_alcotest.to_alcotest prop_sorted_ops;
+  ]
