@@ -1,0 +1,24 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-smoke clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Full experiment suite (slow); `--quick` via BENCH_ARGS="--quick".
+bench:
+	dune exec bench/main.exe -- $(BENCH_ARGS)
+
+# Minimal engine benchmark: writes BENCH_engine.json and validates it
+# against the nd-engine-bench/1 schema.  Used by CI.
+bench-smoke:
+	dune exec bench/main.exe -- --smoke
+	dune exec bench/check_schema.exe BENCH_engine.json
+
+clean:
+	dune clean

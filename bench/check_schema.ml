@@ -1,0 +1,286 @@
+(* Validate BENCH_engine.json against the nd-engine-bench/1 schema.
+
+   Used by `make bench-smoke` and CI.  The repo deliberately has no
+   JSON dependency, so this carries a minimal recursive-descent parser
+   sufficient for the subset the bench emits (objects, arrays, strings
+   with simple escapes, numbers, booleans, null).
+
+   Usage:  check_schema.exe [BENCH_engine.json]
+   Exits 0 when the file parses and satisfies the schema, 1 otherwise. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let pos = ref 0 in
+  let len = String.length s in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char b '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char b '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char b '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 'u' ->
+              (* keep the escape verbatim; fidelity is irrelevant here *)
+              advance ();
+              for _ = 1 to 4 do
+                (match peek () with Some _ -> advance () | None -> fail "bad \\u")
+              done;
+              Buffer.add_char b '?';
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let literal word v =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+(* ---------------- schema checks ---------------- *)
+
+let errors = ref []
+let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt
+
+let field path obj name =
+  match obj with
+  | Obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> Some v
+      | None ->
+          err "%s: missing field %S" path name;
+          None)
+  | _ ->
+      err "%s: expected an object" path;
+      None
+
+let get_num path obj name =
+  match field path obj name with
+  | Some (Num f) -> Some f
+  | Some _ ->
+      err "%s.%s: expected a number" path name;
+      None
+  | None -> None
+
+let get_str path obj name =
+  match field path obj name with
+  | Some (Str s) -> Some s
+  | Some _ ->
+      err "%s.%s: expected a string" path name;
+      None
+  | None -> None
+
+let check_hist path h =
+  List.iter
+    (fun f -> ignore (get_num path h f))
+    [ "count"; "max"; "mean"; "p50"; "p95"; "p99" ];
+  match get_num path h "count" with
+  | Some c when c <= 0. -> err "%s: empty histogram" path
+  | _ -> ()
+
+let check_engine_point i p =
+  let path = Printf.sprintf "engine[%d]" i in
+  ignore (get_str path p "spec");
+  ignore (get_num path p "prepare_s");
+  ignore (get_num path p "solutions");
+  match field path p "stats" with
+  | Some stats -> (
+      (match get_str path stats "schema" with
+      | Some "nd-engine-stats/1" -> ()
+      | Some other -> err "%s.stats: unexpected schema %S" path other
+      | None -> ());
+      (match field path stats "graph" with
+      | Some g -> ignore (get_num (path ^ ".stats.graph") g "n")
+      | None -> ());
+      ignore (get_num path stats "ops");
+      (match field path stats "enumeration" with
+      | Some e ->
+          ignore (get_num (path ^ ".stats.enumeration") e "solutions_emitted");
+          ignore (get_num (path ^ ".stats.enumeration") e "max_delay_ops")
+      | None -> ());
+      (match field path stats "hists" with
+      | Some hists -> (
+          match field (path ^ ".stats.hists") hists "enum.delay_ops" with
+          | Some h -> check_hist (path ^ ".stats.hists.enum.delay_ops") h
+          | None -> ())
+      | None -> ());
+      match field path stats "counters" with
+      | Some (Obj kvs) ->
+          let touched name =
+            match List.assoc_opt name kvs with
+            | Some (Num f) -> f > 0.
+            | _ -> false
+          in
+          if not (touched "store.reg_reads" || touched "store.reg_writes")
+          then err "%s: no store register touches recorded" path
+      | Some _ -> err "%s.stats.counters: expected an object" path
+      | None -> ())
+  | None -> ()
+
+let check_store_point i p =
+  let path = Printf.sprintf "store[%d]" i in
+  ignore (get_num path p "n");
+  ignore (get_num path p "epsilon");
+  ignore (get_num path p "keys");
+  (match field path p "lookup_touches" with
+  | Some h -> check_hist (path ^ ".lookup_touches") h
+  | None -> ());
+  match field path p "update_touches" with
+  | Some h -> check_hist (path ^ ".update_touches") h
+  | None -> ()
+
+let () =
+  let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_engine.json" in
+  let doc =
+    try
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error e ->
+      Printf.eprintf "cannot read %s: %s\n" file e;
+      exit 1
+  in
+  let j =
+    try parse doc
+    with Parse_error e ->
+      Printf.eprintf "%s: JSON parse error: %s\n" file e;
+      exit 1
+  in
+  (match get_str "$" j "schema" with
+  | Some "nd-engine-bench/1" -> ()
+  | Some other -> err "$.schema: expected \"nd-engine-bench/1\", got %S" other
+  | None -> ());
+  ignore (get_str "$" j "mode");
+  ignore (get_str "$" j "query");
+  (match field "$" j "engine" with
+  | Some (Arr []) -> err "$.engine: empty"
+  | Some (Arr pts) -> List.iteri check_engine_point pts
+  | Some _ -> err "$.engine: expected an array"
+  | None -> ());
+  (match field "$" j "store" with
+  | Some (Arr []) -> err "$.store: empty"
+  | Some (Arr pts) ->
+      List.iteri check_store_point pts;
+      if List.length pts < 4 then
+        err "$.store: expected the n in {10^2..10^5} trajectory (4 points)"
+  | Some _ -> err "$.store: expected an array"
+  | None -> ());
+  match !errors with
+  | [] ->
+      Printf.printf "%s: schema nd-engine-bench/1 OK\n" file;
+      exit 0
+  | es ->
+      List.iter (fun e -> Printf.eprintf "SCHEMA ERROR: %s\n" e) (List.rev es);
+      exit 1

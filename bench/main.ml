@@ -10,7 +10,13 @@
      dune exec bench/main.exe                 -- full run
      dune exec bench/main.exe -- --quick      -- smaller sizes
      dune exec bench/main.exe -- --only E5 E9 -- selected experiments
-     dune exec bench/main.exe -- --micro      -- include Bechamel micro rows *)
+     dune exec bench/main.exe -- --micro      -- include Bechamel micro rows
+     dune exec bench/main.exe -- --smoke      -- tiny EE run (BENCH_engine.json)
+
+   Pipeline-shaped experiments (E7, E9, E11, A1, EE, micro) run through
+   the Nd_engine façade; experiments benchmarking a sub-structure in
+   isolation (E1/E2 store, E3 cover, E5 distance index, E6 skip) keep
+   direct layer access on purpose. *)
 
 open Nd_graph
 open Nd_bench_util
@@ -18,6 +24,7 @@ open Nd_bench_util
 let quick = ref false
 let only : string list ref = ref []
 let micro = ref false
+let smoke = ref false
 
 let f1 = Printf.sprintf "%.1f"
 let f2 = Printf.sprintf "%.2f"
@@ -380,7 +387,10 @@ let e7_next_and_test () =
                 Gen.randomly_color ~seed:7 ~colors:2 (fam.Gen.build target)
               in
               let n = Cgraph.n g in
-              let nx, t_prep = time (fun () -> Nd_core.Next.build g phi) in
+              (* cache off: measure the live Theorem 2.3 path itself *)
+              let eng, t_prep =
+                time (fun () -> Nd_engine.prepare ~cache_limit:0 g phi)
+              in
               let calls = if !quick then 2_000 else 5_000 in
               let tuples =
                 Array.init calls (fun _ ->
@@ -389,13 +399,13 @@ let e7_next_and_test () =
               let i = ref 0 in
               let t_next =
                 time_per ~repeat:calls (fun () ->
-                    ignore (Nd_core.Next.next_solution nx tuples.(!i));
+                    ignore (Nd_engine.next eng tuples.(!i));
                     incr i)
               in
               let i = ref 0 in
               let t_test =
                 time_per ~repeat:calls (fun () ->
-                    ignore (Nd_core.Next.test nx tuples.(!i));
+                    ignore (Nd_engine.test eng tuples.(!i));
                     incr i)
               in
               prep_pts := (float_of_int n, t_prep) :: !prep_pts;
@@ -433,21 +443,30 @@ let e9_enumeration () =
             Gen.randomly_color ~seed:9 ~colors:2 (Gen.grid side side)
           in
           let n = Cgraph.n g in
-          let nx, t_prep = time (fun () -> Nd_core.Next.build g phi) in
+          (* metrics on (for the ops-delay histogram), cache off (wall
+             delays must measure the pipeline, not store upkeep) *)
+          Nd_engine.reset_metrics ();
+          let eng, t_prep =
+            time (fun () ->
+                Nd_engine.prepare ~metrics:true ~cache_limit:0 g phi)
+          in
           let cap = 50_000 in
           let delays = ref [] and count = ref 0 in
           let last = ref (Unix.gettimeofday ()) in
           let t_first = ref 0. in
           let t0 = Unix.gettimeofday () in
-          Nd_core.Enumerate.iter ~limit:cap
+          Nd_engine.enumerate ~limit:cap
             (fun _ ->
               let now = Unix.gettimeofday () in
               if !count = 0 then t_first := now -. t0
               else delays := (now -. !last) :: !delays;
               last := now;
               incr count)
-            nx;
+            eng;
           let d = Array.of_list !delays in
+          let max_delay_ops =
+            (Nd_engine.stats eng).Nd_engine.Stats.max_delay_ops
+          in
           let naive =
             if n <= 1_100 then begin
               let ctx = Nd_eval.Naive.ctx g in
@@ -465,7 +484,7 @@ let e9_enumeration () =
             [
               si n; ns t_prep; si !count; ns !t_first;
               ns (percentile d 50.); ns (percentile d 95.);
-              ns (percentile d 99.9); naive;
+              ns (percentile d 99.9); si max_delay_ops; naive;
             ]
             :: !rows)
         sizes;
@@ -478,9 +497,10 @@ let e9_enumeration () =
         ~header:
           [
             "n"; "preprocess"; "solutions"; "first"; "delay p50"; "delay p95";
-            "delay p99.9"; "naive total";
+            "delay p99.9"; "max ops"; "naive total";
           ]
-        (List.rev !rows))
+        (List.rev !rows);
+      Nd_util.Metrics.disable ())
     [ ("close-pair", "dist(x,y) <= 2"); ("far-color", "dist(x,y) > 2 & C1(y)") ]
 
 (* ------------------------------------------------------------------ *)
@@ -500,12 +520,12 @@ let e11_counting () =
       let side = int_of_float (sqrt (float_of_int target)) in
       let g = Gen.randomly_color ~seed:21 ~colors:2 (Gen.grid side side) in
       let n = Cgraph.n g in
-      let r, t_count = time (fun () -> Nd_core.Count.count g phi) in
+      let eng = Nd_engine.prepare ~cache_limit:0 g phi in
+      let r, t_count = time (fun () -> Nd_engine.count eng) in
       assert (r.Nd_core.Count.method_ = Nd_core.Count.Exact_pseudolinear);
       let enum_time =
         if n <= 4_100 then begin
-          let nx = Nd_core.Next.build g phi in
-          let c, t = time (fun () -> Nd_core.Enumerate.count nx) in
+          let c, t = time (fun () -> Nd_engine.count_enumerated eng) in
           assert (c = r.Nd_core.Count.count);
           ns t
         end
@@ -583,8 +603,10 @@ let a1_ablation_skip () =
   in
   let n = Cgraph.n g in
   let phi = Nd_logic.Parse.formula "dist(x,y) > 2 & C1(y)" in
-  let nx = Nd_core.Next.build g phi in
-  let top = Nd_core.Next.top nx in
+  (* metrics for the scan-step counts; cache off so repeated tuples
+     keep exercising the live Case I machinery *)
+  Nd_engine.reset_metrics ();
+  let eng = Nd_engine.prepare ~metrics:true ~cache_limit:0 g phi in
   let calls = 3_000 in
   (* two regimes: queries whose answer lies beyond the prefix's kernel
      (SKIP jumps over it in O(1); a label scan must far-test its way
@@ -596,22 +618,28 @@ let a1_ablation_skip () =
   let worst_tuples = Array.init calls (fun _ -> [| 0; 0 |]) in
   let run tuples =
     let i = ref 0 in
-    Nd_core.Answer.reset_work top;
+    Nd_engine.reset_metrics ();
     let t =
       time_per ~repeat:calls (fun () ->
-          ignore (Nd_core.Next.next_solution nx tuples.(!i mod calls));
+          ignore (Nd_engine.next eng tuples.(!i mod calls));
           incr i)
     in
-    let w = Nd_core.Answer.work top in
-    (t, float_of_int w.Nd_core.Answer.scan_steps /. float_of_int calls)
+    let st = Nd_engine.stats eng in
+    let scans =
+      match List.assoc_opt "answer.scan_steps" st.Nd_engine.Stats.counters with
+      | Some v -> v
+      | None -> 0
+    in
+    (t, float_of_int scans /. float_of_int calls)
   in
-  Nd_core.Answer.use_skip top true;
+  Nd_engine.use_skip eng true;
   let t_jump_skip, s_jump_skip = run jump_tuples in
   let t_worst_skip, s_worst_skip = run worst_tuples in
-  Nd_core.Answer.use_skip top false;
+  Nd_engine.use_skip eng false;
   let t_jump_scan, s_jump_scan = run jump_tuples in
   let t_worst_scan, s_worst_scan = run worst_tuples in
-  Nd_core.Answer.use_skip top true;
+  Nd_engine.use_skip eng true;
+  Nd_util.Metrics.disable ();
   print_table
     ~title:
       "A1 / ablation: Case I with skip pointers vs linear label scan on a \
@@ -685,7 +713,7 @@ let micro_rows () =
   let gn = Cgraph.n g in
   let idx = Nd_core.Dist_index.build g ~r:2 in
   let phi = Nd_logic.Parse.formula "dist(x,y) > 2 & C1(y)" in
-  let nx = Nd_core.Next.build g phi in
+  let eng = Nd_engine.prepare ~cache_limit:0 g phi in
   let tests =
     Test.make_grouped ~name:"micro" ~fmt:"%s %s"
       [
@@ -700,12 +728,11 @@ let micro_rows () =
         Test.make ~name:"next_solution (Thm 2.3)"
           (Staged.stage (fun () ->
                ignore
-                 (Nd_core.Next.next_solution nx
-                    [| rand_vertex gn; rand_vertex gn |])));
+                 (Nd_engine.next eng [| rand_vertex gn; rand_vertex gn |])));
         Test.make ~name:"test tuple (Cor 2.4)"
           (Staged.stage (fun () ->
                ignore
-                 (Nd_core.Next.test nx [| rand_vertex gn; rand_vertex gn |])));
+                 (Nd_engine.test eng [| rand_vertex gn; rand_vertex gn |])));
       ]
   in
   let instances = Instance.[ monotonic_clock ] in
@@ -727,6 +754,100 @@ let micro_rows () =
     (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* EE — engine trajectories: run the whole pipeline through the
+   Nd_engine façade with metrics on, and serialize the cost-model
+   numbers (delay/op-count trajectories, store register-touch
+   histograms across n) to BENCH_engine.json.  `make bench-smoke`
+   gates CI on this file's schema. *)
+
+let json_hist (h : Nd_util.Metrics.hist_stats) =
+  Printf.sprintf
+    "{\"count\":%d,\"max\":%d,\"mean\":%.9g,\"p50\":%d,\"p95\":%d,\"p99\":%d}"
+    h.Nd_util.Metrics.count h.Nd_util.Metrics.max h.Nd_util.Metrics.mean
+    h.Nd_util.Metrics.p50 h.Nd_util.Metrics.p95 h.Nd_util.Metrics.p99
+
+(* One storing-structure point of the Theorem 3.1 trajectory: random
+   inserts then random lookups, with the per-call register-touch
+   histograms the property test (test_metrics.ml) asserts about —
+   lookup touches flat in n, update touches O(n^ε). *)
+let ee_store_point n =
+  let module S = Nd_ram.Store in
+  Nd_util.Metrics.reset ();
+  Nd_util.Metrics.enable ();
+  let eps = 0.5 in
+  let t = S.create ~n ~k:2 ~epsilon:eps in
+  let inserts = min n 4_096 in
+  for _ = 1 to inserts do
+    S.add t [| rand_vertex n; rand_vertex n |] 1
+  done;
+  for _ = 1 to 2_000 do
+    ignore (S.find t [| rand_vertex n; rand_vertex n |])
+  done;
+  let hs = Nd_util.Metrics.hists () in
+  let h name =
+    match List.assoc_opt name hs with
+    | Some h -> json_hist h
+    | None -> "null"
+  in
+  Printf.sprintf
+    "{\"n\":%d,\"k\":2,\"epsilon\":%.9g,\"degree\":%d,\"keys\":%d,\
+     \"lookup_touches\":%s,\"update_touches\":%s}"
+    n eps (S.degree t) (S.cardinal t)
+    (h "store.lookup_touches")
+    (h "store.update_touches")
+
+let ee_engine_json () =
+  let qtext = "dist(x,y) <= 2" in
+  let phi = Nd_logic.Parse.formula qtext in
+  let sides =
+    if !smoke then [ 8; 12 ]
+    else if !quick then [ 10; 18; 32 ]
+    else [ 10; 18; 32; 56; 100 ]
+  in
+  let engine_points =
+    List.map
+      (fun side ->
+        Nd_engine.reset_metrics ();
+        let g = Gen.randomly_color ~seed:5 ~colors:2 (Gen.grid side side) in
+        let eng, prep =
+          time (fun () -> Nd_engine.prepare ~metrics:true g phi)
+        in
+        let sols = Nd_engine.count_enumerated eng in
+        let st = Nd_engine.stats eng in
+        Printf.printf
+          "  grid:%dx%d  n=%d  solutions=%d  max delay=%d ops  prep=%s\n%!"
+          side side (Cgraph.n g) sols st.Nd_engine.Stats.max_delay_ops
+          (ns prep);
+        Printf.sprintf
+          "{\"spec\":\"grid:%dx%d\",\"prepare_s\":%.9g,\"solutions\":%d,\
+           \"stats\":%s}"
+          side side prep sols
+          (Nd_engine.Stats.to_json st))
+      sides
+  in
+  (* the full n ∈ {10^2..10^5} store trajectory is cheap; keep it in
+     every mode so the property-test numbers are always on record *)
+  let store_points =
+    List.map ee_store_point [ 100; 1_000; 10_000; 100_000 ]
+  in
+  Nd_util.Metrics.disable ();
+  let mode = if !smoke then "smoke" else if !quick then "quick" else "full" in
+  let doc =
+    Printf.sprintf
+      "{\"schema\":\"nd-engine-bench/1\",\"mode\":\"%s\",\"query\":\"%s\",\
+       \"engine\":[%s],\"store\":[%s]}"
+      mode qtext
+      (String.concat "," engine_points)
+      (String.concat "," store_points)
+  in
+  let path = "BENCH_engine.json" in
+  let oc = open_out path in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  note (Printf.sprintf "wrote %s (%d bytes)" path (String.length doc))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -742,6 +863,7 @@ let experiments =
     ("E11", "pseudo-linear counting", e11_counting);
     ("A1", "ablation: skip pointers", a1_ablation_skip);
     ("A2", "ablation: index space", a2_ablation_dist);
+    ("EE", "engine cost-model trajectories", ee_engine_json);
   ]
 
 let () =
@@ -753,12 +875,16 @@ let () =
     | "--micro" :: rest ->
         micro := true;
         parse rest
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
     | "--only" :: rest -> only := rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n" arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !smoke && !only = [] then only := [ "EE" ];
   let selected =
     if !only = [] then experiments
     else List.filter (fun (id, _, _) -> List.mem id !only) experiments
@@ -766,7 +892,7 @@ let () =
   Printf.printf
     "nowhere-enum experiment harness (%s mode) — see DESIGN.md section 3 and \
      EXPERIMENTS.md\n"
-    (if !quick then "quick" else "full");
+    (if !smoke then "smoke" else if !quick then "quick" else "full");
   List.iter
     (fun (id, descr, fn) ->
       Printf.printf "\n########## %s — %s ##########\n%!" id descr;

@@ -3,10 +3,13 @@
    Graphs come either from a generator spec ("grid:30x30", "tree:1000",
    "bdeg:5000:4", …) or from an edge-list file (one "u v" pair per
    line, optional "c <color> <vertex>" lines).  Queries use the FO⁺
-   surface syntax of Nd_logic.Parse.
+   surface syntax of Nd_logic.Parse.  All query subcommands run through
+   the Nd_engine façade; --stats / --stats-json report its cost-model
+   instrumentation.
 
    Examples:
      fodb enumerate -g grid:20x20 -q "dist(x,y) <= 2" --limit 10
+     fodb enumerate -g grid:30x30 -q "dist(x,y) <= 2" --stats-json
      fodb test      -g tree:500   -q "E(x,y)" --tuple 3,4
      fodb count     -g bdeg:2000:4 -q "C0(x) & dist(x,y) > 2" --colors 2
      fodb cover     -g grid:50x50 -r 2
@@ -17,42 +20,6 @@ open Cmdliner
 open Nd_graph
 
 (* ---------------- graph loading ---------------- *)
-
-let parse_spec spec =
-  let fail () =
-    raise
-      (Invalid_argument
-         (Printf.sprintf
-            "unknown graph spec %S (try grid:WxH, tree:N, path:N, cycle:N, \
-             bdeg:N:D, planar:WxH, ktree:N:W, subdiv:Q, clique:N, star:N, \
-             gnp:N:P, or a file path)"
-            spec))
-  in
-  match String.split_on_char ':' spec with
-  | [ "grid"; wh ] | [ "planar"; wh ] -> (
-      match String.split_on_char 'x' wh with
-      | [ w; h ] ->
-          let w = int_of_string w and h = int_of_string h in
-          if String.length spec >= 6 && String.sub spec 0 6 = "planar" then
-            Gen.planar_grid ~seed:1 w h
-          else Gen.grid w h
-      | _ -> fail ())
-  | [ "tree"; n ] -> Gen.random_tree ~seed:1 (int_of_string n)
-  | [ "path"; n ] -> Gen.path (int_of_string n)
-  | [ "cycle"; n ] -> Gen.cycle (int_of_string n)
-  | [ "star"; n ] -> Gen.star (int_of_string n)
-  | [ "clique"; n ] -> Gen.complete (int_of_string n)
-  | [ "bdeg"; n; d ] ->
-      Gen.bounded_degree ~seed:1 (int_of_string n) ~max_degree:(int_of_string d)
-  | [ "ktree"; n; w ] ->
-      Gen.partial_ktree ~seed:1 (int_of_string n) ~width:(int_of_string w)
-        ~keep:0.6
-  | [ "subdiv"; q ] ->
-      let q = int_of_string q in
-      Gen.subdivided_clique ~q ~sub:q
-  | [ "gnp"; n; p ] ->
-      Gen.erdos_renyi ~seed:1 (int_of_string n) ~p:(float_of_string p)
-  | _ -> fail ()
 
 let load_file path =
   let ic = open_in path in
@@ -82,7 +49,9 @@ let load_file path =
   Cgraph.create ~n ~colors:sets !edges
 
 let load spec ~colors ~seed =
-  let g = if Sys.file_exists spec then load_file spec else parse_spec spec in
+  let g =
+    if Sys.file_exists spec then load_file spec else Gen.of_spec ~seed:1 spec
+  in
   if colors > 0 && Cgraph.color_count g = 0 then
     Gen.randomly_color ~seed ~colors g
   else g
@@ -113,113 +82,167 @@ let seed_arg =
 let radius_arg =
   Arg.(value & opt int 2 & info [ "r"; "radius" ] ~doc:"Radius parameter.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Enable cost-model instrumentation and print a human-readable \
+           report (phase timings, operation counters, delay histograms).")
+
+let stats_json_arg =
+  Arg.(
+    value & flag
+    & info [ "stats-json" ]
+        ~doc:"Like $(b,--stats) but emit a single-line JSON object.")
+
+let epsilon_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "epsilon" ]
+        ~doc:"Storing-structure exponent (register trie degree n^ε).")
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-let with_graph_query spec query colors seed f =
+(* User-facing failures (unknown graph spec, unparsable query,
+   malformed tuple, arity mismatch) exit with a plain message rather
+   than cmdliner's internal-error banner. *)
+let run f =
+  let user_error msg =
+    flush stdout;
+    prerr_endline ("fodb: " ^ msg);
+    exit 2
+  in
+  try f () with
+  | Invalid_argument msg | Failure msg -> user_error msg
+  | Nd_logic.Parse.Syntax_error msg ->
+      user_error ("syntax error in query: " ^ msg)
+
+(* Build the engine handle; every query subcommand funnels through
+   here.  Returns the handle plus an [emit] closure printing the
+   requested stats report after the command body ran. *)
+let with_engine spec query colors seed epsilon stats stats_json f =
+ run @@ fun () ->
   let g = load spec ~colors ~seed in
   let phi = Nd_logic.Parse.formula query in
-  Printf.printf "graph: %d vertices, %d edges, %d colors\n" (Cgraph.n g)
-    (Cgraph.m g) (Cgraph.color_count g);
-  Printf.printf "query: %s (arity %d)\n" (Nd_logic.Fo.to_string phi)
-    (Nd_logic.Fo.arity phi);
-  (match Nd_core.Compile.compile phi with
-  | Nd_core.Compile.Compiled c ->
-      Printf.printf "compiled: radius %d, locality %d, %d disjuncts\n"
-        c.Nd_core.Compile.radius c.locality (List.length c.disjuncts)
-  | Nd_core.Compile.Fallback fb ->
-      Printf.printf "fallback evaluation (%s)\n" fb.reason);
-  f g phi
+  let metrics = stats || stats_json in
+  if metrics then Nd_engine.reset_metrics ();
+  let eng, prep =
+    time (fun () -> Nd_engine.prepare ~epsilon ~metrics g phi)
+  in
+  if not stats_json then begin
+    Printf.printf "graph: %d vertices, %d edges, %d colors\n" (Cgraph.n g)
+      (Cgraph.m g) (Cgraph.color_count g);
+    Printf.printf "query: %s (arity %d, %s)\n"
+      (Nd_logic.Fo.to_string phi)
+      (Nd_engine.arity eng)
+      (if Nd_engine.compiled eng then "compiled" else "fallback");
+    Printf.printf "preprocessing: %.3fs\n" prep
+  end;
+  f eng;
+  if stats_json then
+    print_endline (Nd_engine.Stats.to_json (Nd_engine.stats eng))
+  else if stats then
+    Format.printf "%a" Nd_engine.Stats.pp (Nd_engine.stats eng)
 
 (* ---------------- subcommands ---------------- *)
 
-let enumerate spec query colors seed limit =
-  with_graph_query spec query colors seed (fun g phi ->
-      let nx, prep = time (fun () -> Nd_core.Next.build g phi) in
-      Printf.printf "preprocessing: %.3fs\n" prep;
+let enumerate spec query colors seed epsilon stats stats_json limit =
+  with_engine spec query colors seed epsilon stats stats_json (fun eng ->
+      let quiet = stats_json in
       let printed = ref 0 in
       let _, t =
         time (fun () ->
-            Nd_core.Enumerate.iter ?limit
+            Nd_engine.enumerate ?limit
               (fun sol ->
                 incr printed;
-                print_endline (Nd_util.Tuple.to_string sol))
-              nx)
+                if not quiet then
+                  print_endline (Nd_util.Tuple.to_string sol))
+              eng)
       in
-      Printf.printf "%d solutions in %.3fs\n" !printed t)
+      if not quiet then
+        Printf.printf "%d solutions in %.3fs\n" !printed t)
 
-let count spec query colors seed =
-  with_graph_query spec query colors seed (fun g phi ->
-      let r, t = time (fun () -> Nd_core.Count.count g phi) in
-      Printf.printf "count: %d (%.3fs, %s)\n" r.Nd_core.Count.count t
-        (match r.Nd_core.Count.method_ with
-        | Nd_core.Count.Exact_pseudolinear -> "pseudo-linear counting"
-        | Nd_core.Count.Via_enumeration -> "via enumeration"))
+let count spec query colors seed epsilon stats stats_json =
+  with_engine spec query colors seed epsilon stats stats_json (fun eng ->
+      let r, t = time (fun () -> Nd_engine.count eng) in
+      if not stats_json then
+        Printf.printf "count: %d (%.3fs, %s)\n" r.Nd_core.Count.count t
+          (match r.Nd_core.Count.method_ with
+          | Nd_core.Count.Exact_pseudolinear -> "pseudo-linear counting"
+          | Nd_core.Count.Via_enumeration -> "via enumeration"))
 
-let test spec query colors seed tuple =
-  with_graph_query spec query colors seed (fun g phi ->
-      let tup =
-        Array.of_list (List.map int_of_string (String.split_on_char ',' tuple))
-      in
-      let nx, prep = time (fun () -> Nd_core.Next.build g phi) in
-      let ans, t = time (fun () -> Nd_core.Next.test nx tup) in
-      Printf.printf "preprocessing: %.3fs\n%s ∈ q(G): %b  (%.6fs)\n" prep
-        (Nd_util.Tuple.to_string tup) ans t)
+let parse_tuple tuple =
+  Array.of_list
+    (List.map
+       (fun s ->
+         match int_of_string_opt (String.trim s) with
+         | Some v -> v
+         | None ->
+             invalid_arg
+               (Printf.sprintf "bad tuple %S (expected comma-separated ints)"
+                  tuple))
+       (String.split_on_char ',' tuple))
 
-let next spec query colors seed tuple =
-  with_graph_query spec query colors seed (fun g phi ->
-      let tup =
-        Array.of_list (List.map int_of_string (String.split_on_char ',' tuple))
-      in
-      let nx, prep = time (fun () -> Nd_core.Next.build g phi) in
-      let ans, t = time (fun () -> Nd_core.Next.next_solution nx tup) in
-      Printf.printf "preprocessing: %.3fs\n" prep;
-      (match ans with
-      | Some s ->
-          Printf.printf "smallest solution ≥ %s: %s  (%.6fs)\n"
-            (Nd_util.Tuple.to_string tup) (Nd_util.Tuple.to_string s) t
-      | None -> Printf.printf "no solution ≥ %s\n" (Nd_util.Tuple.to_string tup)))
+let test spec query colors seed epsilon stats stats_json tuple =
+  with_engine spec query colors seed epsilon stats stats_json (fun eng ->
+      let tup = parse_tuple tuple in
+      let ans, t = time (fun () -> Nd_engine.test eng tup) in
+      if not stats_json then
+        Printf.printf "%s ∈ q(G): %b  (%.6fs)\n"
+          (Nd_util.Tuple.to_string tup) ans t)
+
+let next spec query colors seed epsilon stats stats_json tuple =
+  with_engine spec query colors seed epsilon stats stats_json (fun eng ->
+      let tup = parse_tuple tuple in
+      let ans, t = time (fun () -> Nd_engine.next eng tup) in
+      if not stats_json then
+        match ans with
+        | Some s ->
+            Printf.printf "smallest solution ≥ %s: %s  (%.6fs)\n"
+              (Nd_util.Tuple.to_string tup) (Nd_util.Tuple.to_string s) t
+        | None ->
+            Printf.printf "no solution ≥ %s\n" (Nd_util.Tuple.to_string tup))
 
 let cover spec colors seed r =
+ run @@ fun () ->
   let g = load spec ~colors ~seed in
-  let c, t = time (fun () -> Nd_nowhere.Cover.compute g ~r) in
+  let rep, t = time (fun () -> Nd_engine.Inspect.cover g ~r) in
   Printf.printf
     "(%d,%d)-neighborhood cover of %d vertices: %d bags, degree %d, Σ|X| = %d \
      (%.3fs)\n"
-    r (2 * r) (Cgraph.n g)
-    (Nd_nowhere.Cover.bag_count c)
-    (Nd_nowhere.Cover.degree c) (Nd_nowhere.Cover.weight c) t;
-  match Nd_nowhere.Cover.verify g c with
+    r (2 * r) (Cgraph.n g) rep.Nd_engine.Inspect.bags
+    rep.Nd_engine.Inspect.degree rep.Nd_engine.Inspect.weight t;
+  match rep.Nd_engine.Inspect.verified with
   | Ok () -> print_endline "cover properties verified"
   | Error e -> Printf.printf "INVALID COVER: %s\n" e
 
 let splitter spec colors seed r =
+ run @@ fun () ->
   let g = load spec ~colors ~seed in
   Printf.printf "(λ,%d)-splitter game on %d vertices: " r (Cgraph.n g);
-  match
-    Nd_nowhere.Splitter.measured_lambda g ~r ~max_rounds:64
-      ~splitter:Nd_nowhere.Splitter.splitter_center
-  with
+  match Nd_engine.Inspect.splitter_rounds ~max_rounds:64 g ~r with
   | Some l -> Printf.printf "Splitter wins in %d rounds\n" l
   | None -> print_endline "Splitter does not win within 64 rounds"
 
 let stats spec colors seed =
+ run @@ fun () ->
   let g = load spec ~colors ~seed in
-  Printf.printf "vertices: %d\nedges: %d\ncolors: %d\n" (Cgraph.n g)
-    (Cgraph.m g) (Cgraph.color_count g);
-  let degs = Array.init (Cgraph.n g) (Cgraph.degree g) in
-  Array.sort compare degs;
-  let n = Array.length degs in
-  if n > 0 then
-    Printf.printf "degree: max %d, median %d\n" degs.(n - 1) degs.(n / 2);
+  let rep = Nd_engine.Inspect.graph_stats g in
+  Printf.printf "vertices: %d\nedges: %d\ncolors: %d\n"
+    rep.Nd_engine.Inspect.gn rep.Nd_engine.Inspect.gm
+    rep.Nd_engine.Inspect.gcolors;
+  if rep.Nd_engine.Inspect.gn > 0 then
+    Printf.printf "degree: max %d, median %d\n"
+      rep.Nd_engine.Inspect.degree_max rep.Nd_engine.Inspect.degree_median;
   List.iter
-    (fun r ->
-      let p = Nd_nowhere.Wcol.profile g ~r in
+    (fun (r, p) ->
       Printf.printf "weak %d-accessibility: max %d, mean %.2f\n" r
         p.Nd_nowhere.Wcol.max p.Nd_nowhere.Wcol.mean)
-    [ 1; 2 ]
+    rep.Nd_engine.Inspect.wcol
 
 (* ---------------- command wiring ---------------- *)
 
@@ -235,22 +258,27 @@ let tuple_arg =
     & opt (some string) None
     & info [ "tuple" ] ~docv:"T" ~doc:"Comma-separated vertex tuple.")
 
+let query_args term =
+  Term.(
+    term $ graph_arg $ query_arg $ colors_arg $ seed_arg $ epsilon_arg
+    $ stats_arg $ stats_json_arg)
+
 let cmd_enumerate =
   Cmd.v (Cmd.info "enumerate" ~doc:"Enumerate all solutions in order")
-    Term.(const enumerate $ graph_arg $ query_arg $ colors_arg $ seed_arg $ limit_arg)
+    Term.(query_args (const enumerate) $ limit_arg)
 
 let cmd_count =
   Cmd.v (Cmd.info "count" ~doc:"Count solutions")
-    Term.(const count $ graph_arg $ query_arg $ colors_arg $ seed_arg)
+    (query_args Term.(const count))
 
 let cmd_test =
   Cmd.v (Cmd.info "test" ~doc:"Test whether a tuple is a solution")
-    Term.(const test $ graph_arg $ query_arg $ colors_arg $ seed_arg $ tuple_arg)
+    Term.(query_args (const test) $ tuple_arg)
 
 let cmd_next =
   Cmd.v
     (Cmd.info "next" ~doc:"Smallest solution ≥ a given tuple (Theorem 2.3)")
-    Term.(const next $ graph_arg $ query_arg $ colors_arg $ seed_arg $ tuple_arg)
+    Term.(query_args (const next) $ tuple_arg)
 
 let cmd_cover =
   Cmd.v (Cmd.info "cover" ~doc:"Compute and verify a neighborhood cover")

@@ -1,5 +1,6 @@
-(* Quickstart: build a colored graph, write an FO⁺ query, enumerate its
-   answers with constant delay, and test tuples in constant time.
+(* Quickstart: build a colored graph, write an FO⁺ query, prepare the
+   engine once, then enumerate answers with constant delay, test tuples
+   in constant time, and read the cost-model instrumentation.
 
    Run with:  dune exec examples/quickstart.exe *)
 
@@ -22,24 +23,36 @@ let () =
   let query = Parse.formula ~colors:[ ("Blue", 0) ] "dist(x,y) > 2 & Blue(y)" in
   Printf.printf "query: %s\n\n" (Fo.to_string query);
 
-  (* Preprocessing (Theorem 2.3): pseudo-linear in |G|. *)
-  let nx = Nd_core.Next.build g query in
+  (* One preparation call runs the whole pipeline of Theorem 2.3
+     (pseudo-linear in |G|); ~metrics:true turns the cost-model
+     probes on. *)
+  let eng = Nd_engine.prepare ~metrics:true g query in
 
   (* Enumeration (Corollary 2.5): constant delay, lexicographic order. *)
   print_endline "all solutions, in order:";
-  Nd_core.Enumerate.iter
+  Nd_engine.enumerate
     (fun sol -> Printf.printf "  (x=%d, y=%d)\n" sol.(0) sol.(1))
-    nx;
+    eng;
 
   (* Testing (Corollary 2.4): constant time per tuple. *)
-  Printf.printf "\nis (0,5) a solution? %b\n" (Nd_core.Next.test nx [| 0; 5 |]);
-  Printf.printf "is (0,2) a solution? %b\n" (Nd_core.Next.test nx [| 0; 2 |]);
+  Printf.printf "\nis (0,5) a solution? %b\n" (Nd_engine.test eng [| 0; 5 |]);
+  Printf.printf "is (0,2) a solution? %b\n" (Nd_engine.test eng [| 0; 2 |]);
 
   (* Theorem 2.3 proper: the smallest solution ≥ a given tuple. *)
-  (match Nd_core.Next.next_solution nx [| 4; 0 |] with
+  (match Nd_engine.next eng [| 4; 0 |] with
   | Some sol ->
       Printf.printf "smallest solution ≥ (4,0): (%d,%d)\n" sol.(0) sol.(1)
   | None -> print_endline "no solution ≥ (4,0)");
 
   (* Count without materializing. *)
-  Printf.printf "total solutions: %d\n" (Nd_core.Enumerate.count nx)
+  Printf.printf "total solutions: %d\n"
+    (Nd_engine.count eng).Nd_core.Count.count;
+
+  (* The instrumentation the engine gathered along the way. *)
+  let st = Nd_engine.stats eng in
+  Printf.printf
+    "\nobserved: %d solutions emitted, max enumeration delay %d ops,\n\
+    \  solution cache %d keys%s\n"
+    st.Nd_engine.Stats.solutions_emitted st.Nd_engine.Stats.max_delay_ops
+    st.Nd_engine.Stats.cache_size
+    (if st.Nd_engine.Stats.cache_complete then " (complete)" else "")

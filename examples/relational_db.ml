@@ -49,15 +49,15 @@ let () =
   let psi = T.translate (Rel.schema db) one_stop in
   Printf.printf "Lemma 2.2 translation has %d AST nodes (q-rank %d)\n"
     (Nd_logic.Fo.size psi) (Nd_logic.Fo.qrank psi);
-  let nx = Nd_core.Next.build e.Rel.graph psi in
+  let eng = Nd_engine.prepare e.Rel.graph psi in
   print_endline "one-stop-only connections:";
-  Nd_core.Enumerate.iter
+  Nd_engine.enumerate
     (fun s -> Printf.printf "  %s -> %s\n" airports.(s.(0)) airports.(s.(1)))
-    nx;
+    eng;
 
   (* Cross-check against direct evaluation over the database. *)
   let direct = T.eval_all_db db one_stop in
-  let via_graph = Nd_core.Enumerate.to_list nx in
+  let via_graph = Nd_engine.to_list eng in
   Printf.printf "\ndirect db evaluation agrees: %b\n" (direct = via_graph);
 
   (* A query mixing both relations. *)
@@ -68,10 +68,10 @@ let () =
         T.Atom ("Hub", [ "y" ]);
       ]
   in
-  let nx2 =
-    Nd_core.Next.build e.Rel.graph (T.translate (Rel.schema db) reachable_hub)
+  let eng2 =
+    Nd_engine.prepare e.Rel.graph (T.translate (Rel.schema db) reachable_hub)
   in
   print_endline "\ndirect flights into a hub:";
-  Nd_core.Enumerate.iter
+  Nd_engine.enumerate
     (fun s -> Printf.printf "  %s -> %s\n" airports.(s.(0)) airports.(s.(1)))
-    nx2
+    eng2

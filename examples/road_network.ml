@@ -43,8 +43,8 @@ let () =
     Parse.formula ~colors "Home(x) & Hospital(y) & dist(x,y) <= 4"
   in
   Printf.printf "query: %s\n" (Fo.to_string covered);
-  let nx, prep = time (fun () -> Nd_core.Next.build g covered) in
-  let count, t_enum = time (fun () -> Nd_core.Enumerate.count nx) in
+  let eng, prep = time (fun () -> Nd_engine.prepare g covered) in
+  let count, t_enum = time (fun () -> Nd_engine.count_enumerated eng) in
   Printf.printf "preprocessing %.3fs; %d (home,hospital) pairs enumerated in %.3fs\n\n"
     prep count t_enum;
 
@@ -54,8 +54,8 @@ let () =
     Parse.formula ~colors "Home(x) & (forall y. dist(x,y) > 3 | ~Fuel(y))"
   in
   Printf.printf "query: %s\n" (Fo.to_string desert);
-  let nx2, prep2 = time (fun () -> Nd_core.Next.build g desert) in
-  let deserts, t2 = time (fun () -> Nd_core.Enumerate.count nx2) in
+  let eng2, prep2 = time (fun () -> Nd_engine.prepare g desert) in
+  let deserts, t2 = time (fun () -> Nd_engine.count_enumerated eng2) in
   Printf.printf "preprocessing %.3fs; %d fuel deserts found in %.3fs\n\n" prep2
     deserts t2;
 

@@ -35,39 +35,45 @@ let () =
       "(exists z. E(x,z) & E(z,y)) & ~E(x,y) & x != y & Chess(x) & Chess(y)"
   in
   Printf.printf "query: %s\n" (Fo.to_string reco);
-  let nx, prep = time (fun () -> Nd_core.Next.build g reco) in
+  let eng, prep = time (fun () -> Nd_engine.prepare ~metrics:true g reco) in
   Printf.printf "preprocessing: %.3fs\n" prep;
-  let sols, t_first10 =
-    time (fun () -> Nd_core.Enumerate.to_list ~limit:10 nx)
-  in
+  let sols, t_first10 = time (fun () -> Nd_engine.to_list ~limit:10 eng) in
   Printf.printf "first 10 recommendations (%.6fs):\n" t_first10;
   List.iter (fun s -> Printf.printf "  %d -> %d\n" s.(0) s.(1)) sols;
 
   (* Testing: constant-time membership checks. *)
   let rng = Random.State.make [| 42 |] in
-  let probes = List.init 5 (fun _ -> [| Random.State.int rng n; Random.State.int rng n |]) in
+  let probes =
+    List.init 5 (fun _ -> [| Random.State.int rng n; Random.State.int rng n |])
+  in
   let _, t_tests =
-    time (fun () -> List.iter (fun p -> ignore (Nd_core.Next.test nx p)) probes)
+    time (fun () -> List.iter (fun p -> ignore (Nd_engine.test eng p)) probes)
   in
   Printf.printf "\n5 membership tests took %.6fs total\n" t_tests;
 
   (* A "far-away" query exercising the skip-pointer machinery (Case I):
      verified OCaml speakers outside x's 2-neighborhood. *)
-  let far =
-    Parse.formula ~colors "dist(x,y) > 2 & Ocaml(y) & Verified(y)"
-  in
+  let far = Parse.formula ~colors "dist(x,y) > 2 & Ocaml(y) & Verified(y)" in
   Printf.printf "\nquery: %s\n" (Fo.to_string far);
-  let nx2, prep2 = time (fun () -> Nd_core.Next.build g far) in
+  Nd_engine.reset_metrics ();
+  let eng2, prep2 = time (fun () -> Nd_engine.prepare ~metrics:true g far) in
   Printf.printf "preprocessing: %.3fs\n" prep2;
   (* stream a few answers for a handful of specific members *)
   List.iter
     (fun x ->
-      match Nd_core.Next.next_solution nx2 [| x; 0 |] with
+      match Nd_engine.next eng2 [| x; 0 |] with
       | Some s when s.(0) = x ->
           Printf.printf "  first match for member %d: %d\n" x s.(1)
       | _ -> Printf.printf "  member %d: no match\n" x)
     [ 0; 1; 2; 3 ];
-  let w = Nd_core.Answer.work (Nd_core.Next.top nx2) in
+  let st = Nd_engine.stats eng2 in
+  let counter name =
+    match List.assoc_opt name st.Nd_engine.Stats.counters with
+    | Some v -> v
+    | None -> 0
+  in
   Printf.printf
     "answer-phase work: %d scan steps, %d skip queries, %d distance tests\n"
-    w.Nd_core.Answer.scan_steps w.skip_queries w.dist_tests
+    (counter "answer.scan_steps")
+    (counter "answer.skip_queries")
+    (counter "dist.tests")

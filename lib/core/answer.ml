@@ -10,6 +10,14 @@ type work = {
   mutable local_sats : int;
 }
 
+(* The per-structure [work] counters above feed the ablation benches;
+   the global Metrics mirrors below feed the cost-model clock
+   ({!Nd_util.Metrics.ops}) that the engine measures enumeration delay
+   in.  Distance tests are counted inside {!Dist_index} itself. *)
+let m_scan = Metrics.counter ~ops:true "answer.scan_steps"
+let m_skip = Metrics.counter ~ops:true "answer.skip_queries"
+let m_local = Metrics.counter ~ops:true "answer.local_sats"
+
 (* per-disjunct data for the J = {k} case (Case I) *)
 type unary_data = {
   l_sorted : int array;  (* the label set L, sorted *)
@@ -73,11 +81,13 @@ let build_compiled g (c : Compile.compiled) =
   (* Materialize every bag context now: this work belongs to the
      preprocessing phase (the paper's Step 4), not to the first
      answering calls that happen to touch a bag. *)
-  for bag = 0 to Array.length cover.Cover.bags - 1 do
-    ignore (Local.bag_graph local bag)
-  done;
+  Metrics.phase "answer.local_eval" (fun () ->
+      for bag = 0 to Array.length cover.Cover.bags - 1 do
+        ignore (Local.bag_graph local bag)
+      done);
   (* Step 5: evaluate the sentence literals once, globally. *)
   let sentence_vals =
+    Metrics.phase "answer.sentences" @@ fun () ->
     let tbl = Hashtbl.create 8 in
     List.iter
       (fun (dj : Compile.disjunct) ->
@@ -108,6 +118,7 @@ let build_compiled g (c : Compile.compiled) =
   in
   let kernels =
     if needs_case1 then
+      Metrics.phase "answer.kernels" @@ fun () ->
       Some
         (Array.map
            (fun bag -> Kernel.compute g ~bag ~p:(kernel_radius c))
@@ -130,25 +141,27 @@ let build_compiled g (c : Compile.compiled) =
     | None ->
         let n = Cgraph.n g in
         let flag = Bitset.create n in
-        Array.iteri
-          (fun bag_id members ->
-            Array.iter
-              (fun v ->
-                if
-                  Local.sat local ~bag:bag_id psi
-                    (match Fo.free_vars psi with
-                    | [ x ] -> [ (x, v) ]
-                    | [] -> []
-                    | _ -> invalid_arg "Answer: non-unary label formula")
-                then Bitset.add flag v)
-              members)
-          cover.Cover.assigned_members;
+        Metrics.phase "answer.labels" (fun () ->
+            Array.iteri
+              (fun bag_id members ->
+                Array.iter
+                  (fun v ->
+                    if
+                      Local.sat local ~bag:bag_id psi
+                        (match Fo.free_vars psi with
+                        | [ x ] -> [ (x, v) ]
+                        | [] -> []
+                        | _ -> invalid_arg "Answer: non-unary label formula")
+                    then Bitset.add flag v)
+                  members)
+              cover.Cover.assigned_members);
         let sorted = Array.of_list (Bitset.to_list flag) in
         let skip =
           match kernels with
           | Some ks when k >= 2 ->
-              Some
-                (Skip.build ~kernels:ks ~kernels_of ~l:sorted ~n ~k:(k - 1))
+              Metrics.phase "skip.build" (fun () ->
+                  Some
+                    (Skip.build ~kernels:ks ~kernels_of ~l:sorted ~n ~k:(k - 1)))
           | _ -> None
         in
         let v = { l_sorted = sorted; l_flag = flag; skip; kernel_l = Hashtbl.create 8 } in
@@ -232,6 +245,7 @@ let dist_le s a b =
 
 let local_sat s ~bag phi env =
   s.w.local_sats <- s.w.local_sats + 1;
+  Metrics.incr m_local;
   Local.sat s.local ~bag phi env
 
 (* env for a component: positions ↦ tuple values *)
@@ -264,6 +278,7 @@ let case1 s (dd : disjunct_data) prefix from =
       if i >= Array.length u.l_sorted then None
       else begin
         s.w.scan_steps <- s.w.scan_steps + 1;
+        Metrics.incr m_scan;
         let v = u.l_sorted.(i) in
         if far v then Some v else go (i + 1)
       end
@@ -277,6 +292,7 @@ let case1 s (dd : disjunct_data) prefix from =
     in
     (* skip candidate: not in any kernel of the prefix bags ⇒ far *)
     s.w.skip_queries <- s.w.skip_queries + 1;
+    Metrics.incr m_skip;
     let skip = match u.skip with Some sk -> sk | None -> assert false in
     let cand0 = Skip.skip skip ~b:from ~bags in
     (* kernel candidates: scan K(X_κ) ∩ L in increasing order, checking
@@ -303,6 +319,7 @@ let case1 s (dd : disjunct_data) prefix from =
           | Some b when v >= b -> ()
           | _ ->
               s.w.scan_steps <- s.w.scan_steps + 1;
+        Metrics.incr m_scan;
               if far v then best := Some v else go (i + 1)
         end
       in
@@ -353,6 +370,7 @@ let case2 s (dd : disjunct_data) prefix from =
     if i >= Array.length candidates then None
     else begin
       s.w.scan_steps <- s.w.scan_steps + 1;
+        Metrics.incr m_scan;
       let v = candidates.(i) in
       if
         type_ok v
@@ -405,6 +423,7 @@ let next_in_last_fallback f ~prefix ~from =
     if v >= n then None
     else begin
       f.fw.scan_steps <- f.fw.scan_steps + 1;
+      Metrics.incr m_scan;
       if Nd_eval.Naive.sat f.fctx ~env:(env v) f.fquery then Some v
       else go (v + 1)
     end

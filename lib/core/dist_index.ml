@@ -139,8 +139,13 @@ let rec build_node t g ~r ~threshold ~budget ~level ~hint =
     Rec { cover; per_bag }
   end
 
+let m_base_pairs = Metrics.counter "dist.base_pairs"
+let m_levels = Metrics.counter "dist.levels"
+let m_tests = Metrics.counter ~ops:true "dist.tests"
+
 let build ?(base_threshold = 256) ?(depth_budget = 20) g ~r =
   if r < 0 then invalid_arg "Dist_index.build: negative radius";
+  Metrics.phase "dist_index.build" @@ fun () ->
   let t =
     {
       r;
@@ -155,6 +160,8 @@ let build ?(base_threshold = 256) ?(depth_budget = 20) g ~r =
     build_node t g ~r ~threshold:base_threshold ~budget:depth_budget ~level:0
       ~hint:None
   in
+  Metrics.add m_base_pairs t.n_base_pairs;
+  Metrics.add m_levels t.n_levels;
   { t with root }
 
 let radius t = t.r
@@ -189,7 +196,9 @@ let rec test_node node ~r a b =
           end
         end
 
-let test t a b = test_node t.root ~r:t.r a b
+let test t a b =
+  Metrics.incr m_tests;
+  test_node t.root ~r:t.r a b
 
 let stats t =
   {

@@ -1,17 +1,33 @@
+open Nd_util
 open Nd_graph
 
-let to_seq t =
+(* Observed delay, in cost-model operations ({!Nd_util.Metrics.ops}),
+   between consecutive outputs — the quantity Corollary 2.5 bounds by a
+   constant independent of [n]. *)
+let h_delay = Metrics.hist "enum.delay_ops"
+
+let[@inline] timed_next t tup =
+  if Metrics.enabled () then begin
+    let before = Metrics.ops () in
+    let r = Next.next_solution t tup in
+    Metrics.observe h_delay (Metrics.ops () - before);
+    r
+  end
+  else Next.next_solution t tup
+
+let to_seq_from t start =
   let n = Cgraph.n (Next.graph t) in
-  let k = Next.arity t in
   let rec from tup () =
     match tup with
     | None -> Seq.Nil
     | Some tup -> (
-        match Next.next_solution t tup with
+        match timed_next t tup with
         | None -> Seq.Nil
         | Some sol -> Seq.Cons (sol, from (Nd_util.Tuple.succ ~n sol)))
   in
-  if n = 0 then Seq.empty else from (Some (Nd_util.Tuple.min k))
+  if n = 0 then Seq.empty else from (Some start)
+
+let to_seq t = to_seq_from t (Nd_util.Tuple.min (Next.arity t))
 
 let iter ?limit f t =
   let count = ref 0 in

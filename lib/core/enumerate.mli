@@ -8,6 +8,13 @@
 val to_seq : Next.t -> int array Seq.t
 (** Lazily enumerate all solutions in lexicographic order. *)
 
+val to_seq_from : Next.t -> int array -> int array Seq.t
+(** [to_seq_from t start] enumerates the solutions [≥ start] in
+    lexicographic order.  [to_seq t] is [to_seq_from t (Tuple.min k)].
+    When metrics are enabled, each underlying [next_solution] call is
+    wrapped with an operation-count delta observed into the
+    ["enum.delay_ops"] histogram. *)
+
 val iter : ?limit:int -> (int array -> unit) -> Next.t -> unit
 
 val to_list : ?limit:int -> Next.t -> int array list

@@ -1,5 +1,9 @@
+open Nd_util
 open Nd_graph
 open Nd_logic
+
+let m_next_calls = Metrics.counter "next.calls"
+let m_test_calls = Metrics.counter "test.calls"
 
 type t = {
   g : Cgraph.t;
@@ -22,11 +26,13 @@ let build g phi =
   let answers =
     Array.init k (fun idx ->
         let q = queries.(idx) in
-        let comp = Compile.compile q in
+        let comp = Metrics.phase "compile" (fun () -> Compile.compile q) in
+        let build () =
+          Metrics.phase "answer.build" (fun () -> Answer.build g comp)
+        in
         match comp with
-        | Compile.Compiled _ -> Some (Answer.build g comp)
-        | Compile.Fallback _ ->
-            if idx = k - 1 then Some (Answer.build g comp) else None)
+        | Compile.Compiled _ -> Some (build ())
+        | Compile.Fallback _ -> if idx = k - 1 then Some (build ()) else None)
   in
   { g; k; vars; queries; answers }
 
@@ -94,6 +100,7 @@ let next_solution t a =
       if x < 0 || x >= Cgraph.n t.g then
         invalid_arg "Next.next_solution: vertex out of range")
     a;
+  Metrics.incr m_next_calls;
   next_full t t.k a
 
 let first t =
@@ -101,6 +108,7 @@ let first t =
   else next_solution t (Nd_util.Tuple.min t.k)
 
 let test t a =
+  Metrics.incr m_test_calls;
   match next_solution t a with
   | Some b -> Nd_util.Tuple.equal a b
   | None -> false

@@ -1,0 +1,473 @@
+open Nd_util
+open Nd_graph
+open Nd_logic
+module Store = Nd_ram.Store
+
+(* Same histogram the direct Enumerate path observes into; the engine
+   measures its own next-calls (cache-served or live) so both entry
+   points report delay in the same unit. *)
+let h_delay = Metrics.hist "enum.delay_ops"
+let m_cache_hits = Metrics.counter "engine.cache_hits"
+let m_cache_inserts = Metrics.counter "engine.cache_inserts"
+
+type cache = {
+  store : unit Store.t;
+  limit : int;
+  mutable frontier : Tuple.t option;
+      (* invariant: every solution ≤ frontier is stored *)
+  mutable full : bool;  (* limit reached: stop inserting, freeze frontier *)
+  mutable complete : bool;  (* every solution is stored *)
+}
+
+type query_state = { nx : Nd_core.Next.t; cache : cache option }
+type kind = Sentence of Nd_core.Tester.t | Query of query_state
+
+type t = {
+  g : Cgraph.t;
+  phi : Fo.t;
+  k : int;
+  epsilon : float;
+  cache_limit : int;
+  kind : kind;
+  mutable emitted : int;
+}
+
+let default_cache_limit = 100_000
+
+let prepare ?(epsilon = 0.5) ?(metrics = false) ?(cache_limit = default_cache_limit)
+    g phi =
+  if metrics then Metrics.enable ();
+  if cache_limit < 0 then invalid_arg "Nd_engine.prepare: negative cache_limit";
+  let k = Fo.arity phi in
+  let kind =
+    Metrics.phase "engine.prepare" @@ fun () ->
+    if k = 0 then Sentence (Nd_core.Tester.build g phi)
+    else
+      let nx = Nd_core.Next.build g phi in
+      let cache =
+        if cache_limit > 0 && Cgraph.n g > 0 then
+          Some
+            {
+              store = Store.create ~n:(Cgraph.n g) ~k ~epsilon;
+              limit = cache_limit;
+              frontier = None;
+              full = false;
+              complete = false;
+            }
+        else None
+      in
+      Query { nx; cache }
+  in
+  { g; phi; k; epsilon; cache_limit; kind; emitted = 0 }
+
+let graph t = t.g
+let query t = t.phi
+let arity t = t.k
+let epsilon t = t.epsilon
+
+let compiled_levels t =
+  match t.kind with
+  | Sentence _ -> [||]
+  | Query q -> Nd_core.Next.compiled_levels q.nx
+
+let compiled t =
+  match t.kind with
+  | Sentence _ -> false
+  | Query q ->
+      let lv = Nd_core.Next.compiled_levels q.nx in
+      Array.length lv > 0 && lv.(Array.length lv - 1)
+
+(* ---------------------------------------------------------------- *)
+(* The solution cache.
+
+   Soundness hinges on the frontier invariant: every solution ≤ the
+   frontier is in the store.  A live answer at query point [ā] may be
+   inserted exactly when the invariant guarantees no uncached solution
+   precedes it, i.e. when [ā ≤ frontier+1]: the result [s̄] is then the
+   smallest solution ≥ ā, and every solution < ā is ≤ frontier, so
+   after inserting [s̄] every solution ≤ s̄ is cached and the frontier
+   advances to [s̄].  Sequential enumeration from the minimum tuple
+   satisfies this at every step; random-access [next] calls benefit
+   opportunistically. *)
+
+let cmp = Tuple.compare
+
+let within_frontier c a =
+  c.complete || (match c.frontier with Some f -> cmp a f <= 0 | None -> false)
+
+let contiguous t c a =
+  (not c.full) && (not c.complete)
+  &&
+  match c.frontier with
+  | None -> cmp a (Tuple.min t.k) = 0
+  | Some f -> (
+      cmp a f <= 0
+      ||
+      match Tuple.succ ~n:(Cgraph.n t.g) f with
+      | Some sf -> cmp a sf <= 0
+      | None -> false)
+
+(* Record a live answer obtained at query point [a] (which must satisfy
+   [contiguous]).  Runs outside the measured delay window: cache
+   maintenance is O(n^ε) bookkeeping, not answering cost. *)
+let cache_record t c a r =
+  if contiguous t c a then
+    match r with
+    | Some sol ->
+        Store.add c.store sol ();
+        Metrics.incr m_cache_inserts;
+        (match c.frontier with
+        | Some f when cmp sol f <= 0 -> ()
+        | _ ->
+            c.frontier <- Some sol;
+            (* a frontier at the maximum tuple covers the whole domain *)
+            if Tuple.succ ~n:(Cgraph.n t.g) sol = None then c.complete <- true);
+        if Store.cardinal c.store >= c.limit then c.full <- true
+    | None -> c.complete <- true
+
+(* Returns the answer plus the live query point, when the live pipeline
+   was consulted (for cache recording by the caller). *)
+let next_query t q a =
+  match q.cache with
+  | Some c when within_frontier c a -> (
+      match Store.succ_geq c.store a with
+      | Some (key, ()) when c.complete || cmp key (Option.get c.frontier) <= 0
+        ->
+          Metrics.incr m_cache_hits;
+          (Some key, None)
+      | _ ->
+          if c.complete then (None, None)
+          else (
+            (* no cached solution in [a, frontier]: resume live past it *)
+            match Tuple.succ ~n:(Cgraph.n t.g) (Option.get c.frontier) with
+            | None -> (None, None)
+            | Some sf -> (Nd_core.Next.next_solution q.nx sf, Some sf)))
+  | _ -> (Nd_core.Next.next_solution q.nx a, Some a)
+
+let check_tuple t a =
+  if Array.length a <> t.k then invalid_arg "Nd_engine: tuple arity mismatch";
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= Cgraph.n t.g then
+        invalid_arg "Nd_engine: vertex out of range")
+    a
+
+let next t a =
+  match t.kind with
+  | Sentence ts ->
+      if Array.length a <> 0 then invalid_arg "Nd_engine: tuple arity mismatch";
+      if Nd_core.Tester.holds_sentence ts then Some [||] else None
+  | Query q ->
+      check_tuple t a;
+      let observe = Metrics.enabled () in
+      let before = if observe then Metrics.ops () else 0 in
+      let r, live_at = next_query t q a in
+      if observe then Metrics.observe h_delay (Metrics.ops () - before);
+      (match (q.cache, live_at) with
+      | Some c, Some qp -> cache_record t c qp r
+      | _ -> ());
+      (match r with Some _ -> t.emitted <- t.emitted + 1 | None -> ());
+      r
+
+let test t a =
+  match t.kind with
+  | Sentence ts ->
+      if Array.length a <> 0 then invalid_arg "Nd_engine: tuple arity mismatch";
+      Nd_core.Tester.holds_sentence ts
+  | Query q -> (
+      check_tuple t a;
+      match q.cache with
+      | Some c when within_frontier c a ->
+          Metrics.incr m_cache_hits;
+          Store.mem c.store a
+      | _ -> Nd_core.Next.test q.nx a)
+
+let first t =
+  match t.kind with
+  | Sentence _ -> next t [||]
+  | Query _ -> if Cgraph.n t.g = 0 then None else next t (Tuple.min t.k)
+
+let holds t = first t <> None
+
+let seq t =
+  match t.kind with
+  | Sentence _ ->
+      fun () ->
+        if holds t then Seq.Cons ([||], fun () -> Seq.Nil) else Seq.Nil
+  | Query _ ->
+      let n = Cgraph.n t.g in
+      if n = 0 then Seq.empty
+      else
+        let rec from tup () =
+          match tup with
+          | None -> Seq.Nil
+          | Some tup -> (
+              match next t tup with
+              | None -> Seq.Nil
+              | Some sol -> Seq.Cons (sol, from (Tuple.succ ~n sol)))
+        in
+        from (Some (Tuple.min t.k))
+
+let enumerate ?limit f t =
+  let count = ref 0 in
+  let rec go s =
+    match limit with
+    | Some l when !count >= l -> ()
+    | _ -> (
+        match s () with
+        | Seq.Nil -> ()
+        | Seq.Cons (sol, rest) ->
+            incr count;
+            f sol;
+            go rest)
+  in
+  go (seq t)
+
+let to_list ?limit t =
+  let acc = ref [] in
+  enumerate ?limit (fun sol -> acc := sol :: !acc) t;
+  List.rev !acc
+
+let count t = Nd_core.Count.count t.g t.phi
+
+let count_enumerated t =
+  let c = ref 0 in
+  enumerate (fun _ -> incr c) t;
+  !c
+
+let use_skip t b =
+  match t.kind with
+  | Sentence _ -> ()
+  | Query q -> Nd_core.Answer.use_skip (Nd_core.Next.top q.nx) b
+
+let cache_size t =
+  match t.kind with
+  | Query { cache = Some c; _ } -> Store.cardinal c.store
+  | _ -> 0
+
+let cache_complete t =
+  match t.kind with
+  | Query { cache = Some c; _ } -> c.complete
+  | _ -> false
+
+let reset_metrics () = Metrics.reset ()
+
+(* ---------------------------------------------------------------- *)
+
+module Stats = struct
+  type t = {
+    n : int;
+    m : int;
+    colors : int;
+    query : string;
+    arity : int;
+    compiled : bool;
+    compiled_levels : bool list;
+    epsilon : float;
+    metrics_enabled : bool;
+    phases : (string * float) list;
+    counters : (string * int) list;
+    ops : int;
+    hists : (string * Metrics.hist_stats) list;
+    solutions_emitted : int;
+    max_delay_ops : int;
+    cache_size : int;
+    cache_limit : int;
+    cache_complete : bool;
+  }
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun ch ->
+        match ch with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let jfloat f = Printf.sprintf "%.9g" f
+  let jbool b = if b then "true" else "false"
+
+  let jobj fields =
+    "{" ^ String.concat "," (List.map (fun (k, v) -> "\"" ^ escape k ^ "\":" ^ v) fields)
+    ^ "}"
+
+  let jarr vs = "[" ^ String.concat "," vs ^ "]"
+
+  let hist_json (h : Metrics.hist_stats) =
+    jobj
+      [
+        ("count", string_of_int h.Metrics.count);
+        ("max", string_of_int h.Metrics.max);
+        ("mean", jfloat h.Metrics.mean);
+        ("p50", string_of_int h.Metrics.p50);
+        ("p95", string_of_int h.Metrics.p95);
+        ("p99", string_of_int h.Metrics.p99);
+      ]
+
+  let to_json t =
+    jobj
+      [
+        ("schema", "\"nd-engine-stats/1\"");
+        ( "graph",
+          jobj
+            [
+              ("n", string_of_int t.n);
+              ("m", string_of_int t.m);
+              ("colors", string_of_int t.colors);
+            ] );
+        ( "query",
+          jobj
+            [
+              ("text", "\"" ^ escape t.query ^ "\"");
+              ("arity", string_of_int t.arity);
+              ("compiled", jbool t.compiled);
+              ("levels", jarr (List.map jbool t.compiled_levels));
+            ] );
+        ("epsilon", jfloat t.epsilon);
+        ("metrics_enabled", jbool t.metrics_enabled);
+        ("phases_s", jobj (List.map (fun (k, v) -> (k, jfloat v)) t.phases));
+        ( "counters",
+          jobj (List.map (fun (k, v) -> (k, string_of_int v)) t.counters) );
+        ("ops", string_of_int t.ops);
+        ("hists", jobj (List.map (fun (k, h) -> (k, hist_json h)) t.hists));
+        ( "enumeration",
+          jobj
+            [
+              ("solutions_emitted", string_of_int t.solutions_emitted);
+              ("max_delay_ops", string_of_int t.max_delay_ops);
+            ] );
+        ( "cache",
+          jobj
+            [
+              ("size", string_of_int t.cache_size);
+              ("limit", string_of_int t.cache_limit);
+              ("complete", jbool t.cache_complete);
+            ] );
+      ]
+
+  let pp ppf t =
+    let open Format in
+    fprintf ppf "graph: n=%d m=%d colors=%d@." t.n t.m t.colors;
+    fprintf ppf "query: %s (arity %d, %s)@." t.query t.arity
+      (if t.compiled then "compiled" else "fallback/sentence");
+    fprintf ppf "epsilon: %g@." t.epsilon;
+    if not t.metrics_enabled then
+      fprintf ppf "metrics: disabled (pass ~metrics:true / --stats)@."
+    else begin
+      if t.phases <> [] then begin
+        fprintf ppf "phases:@.";
+        List.iter
+          (fun (name, s) -> fprintf ppf "  %-24s %8.4fs@." name s)
+          t.phases
+      end;
+      if t.counters <> [] then begin
+        fprintf ppf "counters:@.";
+        List.iter
+          (fun (name, v) -> fprintf ppf "  %-24s %10d@." name v)
+          t.counters
+      end;
+      fprintf ppf "ops total: %d@." t.ops;
+      if t.hists <> [] then begin
+        fprintf ppf "histograms (per call):@.";
+        List.iter
+          (fun (name, (h : Metrics.hist_stats)) ->
+            fprintf ppf
+              "  %-24s count=%d max=%d mean=%.1f p50=%d p95=%d p99=%d@." name
+              h.Metrics.count h.Metrics.max h.Metrics.mean h.Metrics.p50
+              h.Metrics.p95 h.Metrics.p99)
+          t.hists
+      end;
+      fprintf ppf "enumeration: %d solutions emitted, max delay %d ops@."
+        t.solutions_emitted t.max_delay_ops
+    end;
+    fprintf ppf "solution cache: %d keys%s (limit %d)@." t.cache_size
+      (if t.cache_complete then ", complete" else "")
+      t.cache_limit
+end
+
+let stats t : Stats.t =
+  let hists = Metrics.hists () in
+  let max_delay =
+    match List.assoc_opt "enum.delay_ops" hists with
+    | Some h -> h.Metrics.max
+    | None -> 0
+  in
+  {
+    Stats.n = Cgraph.n t.g;
+    m = Cgraph.m t.g;
+    colors = Cgraph.color_count t.g;
+    query = Fo.to_string t.phi;
+    arity = t.k;
+    compiled = compiled t;
+    compiled_levels = Array.to_list (compiled_levels t);
+    epsilon = t.epsilon;
+    metrics_enabled = Metrics.enabled ();
+    phases = Metrics.phases ();
+    counters = Metrics.counters ();
+    ops = Metrics.ops ();
+    hists;
+    solutions_emitted = t.emitted;
+    max_delay_ops = max_delay;
+    cache_size = cache_size t;
+    cache_limit = t.cache_limit;
+    cache_complete = cache_complete t;
+  }
+
+(* ---------------------------------------------------------------- *)
+
+module Inspect = struct
+  module Cover = Nd_nowhere.Cover
+  module Splitter = Nd_nowhere.Splitter
+  module Wcol = Nd_nowhere.Wcol
+
+  type cover_report = {
+    r : int;
+    bags : int;
+    degree : int;
+    weight : int;
+    verified : (unit, string) result;
+  }
+
+  let cover g ~r =
+    let c = Cover.compute g ~r in
+    {
+      r;
+      bags = Cover.bag_count c;
+      degree = Cover.degree c;
+      weight = Cover.weight c;
+      verified = Cover.verify g c;
+    }
+
+  let splitter_rounds ?(max_rounds = 64) g ~r =
+    Splitter.measured_lambda g ~r ~max_rounds
+      ~splitter:Splitter.splitter_center
+
+  type graph_report = {
+    gn : int;
+    gm : int;
+    gcolors : int;
+    degree_max : int;
+    degree_median : int;
+    wcol : (int * Wcol.profile) list;
+  }
+
+  let graph_stats ?(wcol_radii = [ 1; 2 ]) g =
+    let n = Cgraph.n g in
+    let degs = Array.init n (Cgraph.degree g) in
+    Array.sort compare degs;
+    {
+      gn = n;
+      gm = Cgraph.m g;
+      gcolors = Cgraph.color_count g;
+      degree_max = (if n = 0 then 0 else degs.(n - 1));
+      degree_median = (if n = 0 then 0 else degs.(n / 2));
+      wcol = List.map (fun r -> (r, Wcol.profile g ~r)) wcol_radii;
+    }
+end

@@ -1,0 +1,190 @@
+(** The query-engine façade: one handle owning the full paper pipeline.
+
+    [prepare] runs the preprocessing of Theorem 2.3 — compilation into
+    distance types, sentence evaluation, neighborhood cover and kernels,
+    distance index, skip pointers — and returns a handle answering the
+    paper's three query modes:
+
+    - {!next}: smallest solution [≥ ā] (Theorem 2.3);
+    - {!test}: membership of a tuple in [q(G)] (Corollary 2.4);
+    - {!seq} / {!enumerate}: constant-delay enumeration in
+      lexicographic order (Corollary 2.5).
+
+    The handle also owns a Theorem 3.1 {!Nd_ram.Store} acting as a
+    solution cache: solutions discovered by sequential enumeration (and
+    by [next] calls contiguous with the cached region) are inserted
+    into the store, and later [next] / [test] calls that fall inside
+    the cached region are served from it — [find] in constant time,
+    [succ_geq] likewise — instead of re-running the live pipeline.
+    The cache maintains a lexicographic {e frontier}: every solution
+    [≤ frontier] is stored, so store answers inside the frontier are
+    exact.  [cache_limit] caps insertions (the store costs
+    [O(n^ε)] registers per key).
+
+    With [~metrics:true], {!Nd_util.Metrics} is enabled and the
+    pipeline's cost-model probes (register touches, scan steps,
+    distance tests, phase timers, delay histograms) become observable
+    through {!stats}. *)
+
+type t
+
+val prepare :
+  ?epsilon:float ->
+  ?metrics:bool ->
+  ?cache_limit:int ->
+  Nd_graph.Cgraph.t ->
+  Nd_logic.Fo.t ->
+  t
+(** [prepare g phi] preprocesses [g] for [phi] (any arity; sentences
+    are handled by model checking, as in Theorem 5.3).
+
+    [epsilon] (default 0.5) sizes the solution store ([d = ⌈n^ε⌉]).
+    [metrics] (default false) enables the global {!Nd_util.Metrics}
+    registry before preprocessing (it is never disabled here; the
+    registry is shared and cumulative — call {!reset_metrics} first
+    for a clean slate).  [cache_limit] (default 100_000) bounds the
+    number of cached solutions; [0] disables the cache. *)
+
+(** {1 Handle accessors} *)
+
+val graph : t -> Nd_graph.Cgraph.t
+val query : t -> Nd_logic.Fo.t
+val arity : t -> int
+val epsilon : t -> float
+
+val compiled : t -> bool
+(** Whether the top-level query lies in the compiled (guarded-local)
+    fragment.  [false] for sentences and fallback queries — answers
+    are still exact, via direct evaluation. *)
+
+val compiled_levels : t -> bool array
+(** Per arity level [1..k] of the projection tower (empty for
+    sentences). *)
+
+(** {1 Query modes} *)
+
+val next : t -> int array -> int array option
+(** [next t ā]: the smallest solution [≥ ā] (Theorem 2.3).  For a
+    sentence pass [[||]].
+    @raise Invalid_argument on arity mismatch or out-of-range vertex. *)
+
+val test : t -> int array -> bool
+(** Corollary 2.4: is [ā ∈ q(G)]? *)
+
+val first : t -> int array option
+
+val holds : t -> bool
+(** [q(G) ≠ ∅]; for a sentence, its truth value. *)
+
+val seq : t -> int array Seq.t
+(** Corollary 2.5: all solutions, lazily, in lexicographic order,
+    without repetition.  A sentence yields [ [||] ] once iff it
+    holds. *)
+
+val enumerate : ?limit:int -> (int array -> unit) -> t -> unit
+
+val to_list : ?limit:int -> t -> int array list
+
+val count : t -> Nd_core.Count.result
+(** [|q(G)|] without materializing solutions when the query's shape
+    allows pseudo-linear counting (see {!Nd_core.Count}). *)
+
+val count_enumerated : t -> int
+(** [|q(G)|] by full enumeration (warms the solution cache). *)
+
+val use_skip : t -> bool -> unit
+(** Ablation hook: with [false], Case I answering falls back to linear
+    label-set scans instead of SKIP pointers.  No-op for sentences and
+    fallback queries. *)
+
+(** {1 Solution cache} *)
+
+val cache_size : t -> int
+(** Number of solutions currently held by the Theorem 3.1 store. *)
+
+val cache_complete : t -> bool
+(** The cache holds {e every} solution (a full enumeration finished
+    within [cache_limit]); all further queries are served from it. *)
+
+(** {1 Instrumentation} *)
+
+val reset_metrics : unit -> unit
+(** Zero the global {!Nd_util.Metrics} registry (counters, phase
+    timers, histograms).  Affects all handles. *)
+
+module Stats : sig
+  type t = {
+    n : int;
+    m : int;
+    colors : int;
+    query : string;
+    arity : int;
+    compiled : bool;
+    compiled_levels : bool list;
+    epsilon : float;
+    metrics_enabled : bool;
+    phases : (string * float) list;  (** cumulative seconds per phase *)
+    counters : (string * int) list;
+    ops : int;  (** the cost-model operation total, {!Nd_util.Metrics.ops} *)
+    hists : (string * Nd_util.Metrics.hist_stats) list;
+    solutions_emitted : int;
+    max_delay_ops : int;
+        (** largest observed ops-delta between consecutive outputs —
+            the quantity Corollary 2.5 bounds (0 when metrics are
+            off or nothing was enumerated) *)
+    cache_size : int;
+    cache_limit : int;
+    cache_complete : bool;
+  }
+
+  val to_json : t -> string
+  (** Single-line JSON object, schema ["nd-engine-stats/1"].
+      Hand-rolled (no JSON dependency); strings are escaped. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val stats : t -> Stats.t
+(** Snapshot of the handle plus the {e global} metrics registry.
+    Counter/phase/histogram sections reflect everything since the last
+    {!reset_metrics}, and are empty when metrics were never enabled. *)
+
+(** {1 Structure inspection}
+
+    Read-only reports over the sub-structures the engine is built
+    from, for the CLI's [cover] / [splitter] / [stats] commands and
+    diagnostics.  These run independently of any {!t} handle. *)
+
+module Inspect : sig
+  type cover_report = {
+    r : int;
+    bags : int;
+    degree : int;  (** max bags meeting at one vertex *)
+    weight : int;  (** [Σ|X|] *)
+    verified : (unit, string) result;
+  }
+
+  val cover : Nd_graph.Cgraph.t -> r:int -> cover_report
+  (** Compute and certify an (r,2r)-neighborhood cover
+      (Theorem 4.4). *)
+
+  val splitter_rounds :
+    ?max_rounds:int -> Nd_graph.Cgraph.t -> r:int -> int option
+  (** Measured λ of the (λ,r)-splitter game (Definition 4.5) with the
+      center strategy against the greedy adversary; [None] if Splitter
+      does not win within [max_rounds] (default 64). *)
+
+  type graph_report = {
+    gn : int;
+    gm : int;
+    gcolors : int;
+    degree_max : int;
+    degree_median : int;
+    wcol : (int * Nd_nowhere.Wcol.profile) list;
+        (** weak r-accessibility profiles per radius *)
+  }
+
+  val graph_stats :
+    ?wcol_radii:int list -> Nd_graph.Cgraph.t -> graph_report
+  (** Sparsity statistics ([wcol_radii] defaults to [[1; 2]]). *)
+end

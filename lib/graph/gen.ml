@@ -248,3 +248,47 @@ let families =
       nowhere_dense = false;
     };
   ]
+
+(* ---------------------------------------------------------------- *)
+(* Generator specs ("grid:30x30", "bdeg:5000:4", …), the CLI / bench
+   surface syntax.  Dispatch is on the head token up to the first ':',
+   so specs sharing a prefix ("planar" vs "planar-grid"-style additions)
+   cannot shadow each other. *)
+
+let spec_grammar =
+  "grid:WxH, planar:WxH, tree:N, path:N, cycle:N, star:N, clique:N, \
+   bdeg:N:D, ktree:N:W, subdiv:Q, gnp:N:P"
+
+let of_spec ?(seed = 1) spec =
+  let fail () =
+    invalid_arg
+      (Printf.sprintf "unknown graph spec %S (try %s)" spec spec_grammar)
+  in
+  let int s = match int_of_string_opt s with Some v -> v | None -> fail () in
+  let float_ s =
+    match float_of_string_opt s with Some v -> v | None -> fail ()
+  in
+  let dims wh =
+    match String.split_on_char 'x' wh with
+    | [ w; h ] -> (int w, int h)
+    | _ -> fail ()
+  in
+  match String.split_on_char ':' spec with
+  | [ "grid"; wh ] ->
+      let w, h = dims wh in
+      grid w h
+  | [ "planar"; wh ] ->
+      let w, h = dims wh in
+      planar_grid ~seed w h
+  | [ "tree"; n ] -> random_tree ~seed (int n)
+  | [ "path"; n ] -> path (int n)
+  | [ "cycle"; n ] -> cycle (int n)
+  | [ "star"; n ] -> star (int n)
+  | [ "clique"; n ] -> complete (int n)
+  | [ "bdeg"; n; d ] -> bounded_degree ~seed (int n) ~max_degree:(int d)
+  | [ "ktree"; n; w ] -> partial_ktree ~seed (int n) ~width:(int w) ~keep:0.6
+  | [ "subdiv"; q ] ->
+      let q = int q in
+      subdivided_clique ~q ~sub:q
+  | [ "gnp"; n; p ] -> erdos_renyi ~seed (int n) ~p:(float_ p)
+  | _ -> fail ()

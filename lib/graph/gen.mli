@@ -71,3 +71,14 @@ type family = {
 val families : family list
 (** The benchmark zoo: every family above instantiated at natural
     parameters, sized by vertex-count target. *)
+
+val spec_grammar : string
+(** Human-readable list of the accepted generator specs, for error
+    messages and [--help] texts. *)
+
+val of_spec : ?seed:int -> string -> Cgraph.t
+(** Build a graph from a generator spec such as ["grid:30x30"],
+    ["tree:1000"] or ["bdeg:5000:4"].  Dispatch is on the token before
+    the first [':'].  Accepted forms: {!spec_grammar}.
+    @raise Invalid_argument on an unknown head token or malformed
+    numeric field. *)

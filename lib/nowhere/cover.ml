@@ -11,8 +11,12 @@ type t = {
   assigned_members : int array array;
 }
 
+let m_bags = Metrics.counter "cover.bags"
+let m_weight = Metrics.counter "cover.weight"
+
 let compute g ~r =
   if r < 0 then invalid_arg "Cover.compute: negative radius";
+  Metrics.phase "cover.compute" @@ fun () ->
   let n = Cgraph.n g in
   let srch = Bfs.searcher g in
   let assigned = Array.make n (-1) in
@@ -94,7 +98,11 @@ let compute g ~r =
       assigned_members.(id).(mfill.(id)) <- v;
       mfill.(id) <- mfill.(id) + 1)
     assigned;
-  { r; bags; centers; radii; assigned; bags_of; assigned_members }
+  let t = { r; bags; centers; radii; assigned; bags_of; assigned_members } in
+  Metrics.add m_bags (Array.length bags);
+  Metrics.add m_weight
+    (Array.fold_left (fun acc bag -> acc + Array.length bag) 0 bags);
+  t
 
 let bag_count t = Array.length t.bags
 

@@ -34,6 +34,29 @@ type 'v t = {
 
 let root = 1
 
+(* Cost-model probes (Theorem 3.1 is a statement about register
+   touches): every register read/write on the operational paths goes
+   through [rd]/[wr], so [store.reg_reads]/[store.reg_writes] count
+   exactly the RAM-model work of lookups and updates.  The per-call
+   histograms witness the bounds: lookup touches are a function of
+   (k, ε) only, update touches are O(n^ε). *)
+let m_reads = Metrics.counter ~ops:true "store.reg_reads"
+let m_writes = Metrics.counter ~ops:true "store.reg_writes"
+let m_lookups = Metrics.counter "store.lookups"
+let m_updates = Metrics.counter "store.updates"
+let h_lookup = Metrics.hist "store.lookup_touches"
+let h_update = Metrics.hist "store.update_touches"
+
+let[@inline] rd t i =
+  Metrics.incr m_reads;
+  t.regs.(i)
+
+let[@inline] wr t i c =
+  Metrics.incr m_writes;
+  t.regs.(i) <- c
+
+let touches () = Metrics.value m_reads + Metrics.value m_writes
+
 let create ~n ~k ~epsilon =
   if n < 1 then invalid_arg "Store.create: n must be >= 1";
   if k < 1 then invalid_arg "Store.create: k must be >= 1";
@@ -63,9 +86,9 @@ let create ~n ~k ~epsilon =
   in
   (* Algorithm 3 (Init): build the root, everything pointing to Null. *)
   for j = 0 to d - 1 do
-    t.regs.(root + j) <- CNextNull
+    wr t (root + j) CNextNull
   done;
-  t.regs.(root + d) <- CParent (-1);
+  wr t (root + d) (CParent (-1));
   t.free <- root + d + 1;
   t
 
@@ -102,10 +125,10 @@ let key_of_digits t (s : int array) : key =
   a
 
 (* Algorithm 2 (Access). *)
-let find t a =
+let find_raw t a =
   let s = digits t a in
   let rec go l i =
-    match t.regs.(l + s.(i)) with
+    match rd t (l + s.(i)) with
     | CChild l' -> go l' (i + 1)
     | CValue v -> Value v
     | CNext b -> Next (Array.copy b)
@@ -113,6 +136,16 @@ let find t a =
     | CFree | CParent _ -> assert false
   in
   go root 0
+
+let find t a =
+  if Metrics.enabled () then begin
+    Metrics.incr m_lookups;
+    let t0 = touches () in
+    let r = find_raw t a in
+    Metrics.observe h_lookup (touches () - t0);
+    r
+  end
+  else find_raw t a
 
 let get_opt t a = match find t a with Value v -> Some v | Next _ | Null -> None
 let mem t a = match find t a with Value _ -> true | Next _ | Null -> false
@@ -142,12 +175,12 @@ let pred_lt t a =
     let j = ref (s.(i) - 1) in
     let found = ref (-1) in
     while !found < 0 && !j >= 0 do
-      if nonempty_cell t.regs.(l + !j) then found := !j;
+      if nonempty_cell (rd t (l + !j)) then found := !j;
       decr j
     done;
     if !found >= 0 then best := Some (l, !found, i);
     if i < t.kh - 1 then
-      match t.regs.(l + s.(i)) with CChild l' -> walk l' (i + 1) | _ -> ()
+      match rd t (l + s.(i)) with CChild l' -> walk l' (i + 1) | _ -> ()
   in
   walk root 0;
   match !best with
@@ -160,17 +193,17 @@ let pred_lt t a =
       let rec desc l i =
         if i < t.kh then begin
           let j = ref (t.d - 1) in
-          while not (nonempty_cell t.regs.(l + !j)) do
+          while not (nonempty_cell (rd t (l + !j))) do
             decr j
           done;
           prefix.(i) <- !j;
-          match t.regs.(l + !j) with
+          match rd t (l + !j) with
           | CChild l' -> desc l' (i + 1)
           | CValue _ -> ()
           | _ -> assert false
         end
       in
-      (match t.regs.(l + j) with
+      (match rd t (l + j) with
       | CValue _ -> ()
       | CChild l' -> desc l' (i + 1)
       | _ -> assert false);
@@ -180,8 +213,8 @@ let pred_lt t a =
    between two search paths. --- *)
 
 let set_empty t reg repl =
-  match t.regs.(reg) with
-  | CNext _ | CNextNull -> t.regs.(reg) <- repl
+  match rd t reg with
+  | CNext _ | CNextNull -> wr t reg repl
   | CChild _ | CValue _ | CFree | CParent _ ->
       assert false (* Clean only ever visits empty slots; see Section 7.3 *)
 
@@ -192,7 +225,7 @@ let rec fill_right t node i sL repl =
     set_empty t (node + j) repl
   done;
   if i < t.kh - 1 then
-    match t.regs.(node + sL.(i)) with
+    match rd t (node + sL.(i)) with
     | CChild l' -> fill_right t l' (i + 1) sL repl
     | _ -> assert false
 
@@ -202,7 +235,7 @@ let rec fill_left t node i sR repl =
     set_empty t (node + j) repl
   done;
   if i < t.kh - 1 then
-    match t.regs.(node + sR.(i)) with
+    match rd t (node + sR.(i)) with
     | CChild l' -> fill_left t l' (i + 1) sR repl
     | _ -> assert false
 
@@ -219,7 +252,7 @@ let fill_between t left right repl =
   | Some sL, Some sR ->
       let rec go node i =
         if sL.(i) = sR.(i) then
-          match t.regs.(node + sL.(i)) with
+          match rd t (node + sL.(i)) with
           | CChild l' -> go l' (i + 1)
           | _ -> assert false (* distinct keys diverge before the leaves *)
         else begin
@@ -227,10 +260,10 @@ let fill_between t left right repl =
             set_empty t (node + j) repl
           done;
           if i < t.kh - 1 then begin
-            (match t.regs.(node + sL.(i)) with
+            (match rd t (node + sL.(i)) with
             | CChild l' -> fill_right t l' (i + 1) sL repl
             | _ -> assert false);
-            match t.regs.(node + sR.(i)) with
+            match rd t (node + sR.(i)) with
             | CChild l' -> fill_left t l' (i + 1) sR repl
             | _ -> assert false
           end
@@ -254,21 +287,23 @@ let alloc_node t parent_reg =
   grow_to t (t.free + t.d + 1);
   let l = t.free in
   for j = 0 to t.d - 1 do
-    t.regs.(l + j) <- CNextNull
+    wr t (l + j) CNextNull
   done;
-  t.regs.(l + t.d) <- CParent parent_reg;
+  wr t (l + t.d) (CParent parent_reg);
   t.free <- t.free + t.d + 1;
   l
 
-let add t a v =
-  match find t a with
+(* updates use [find_raw] internally: their register touches belong to
+   the surrounding update window, not to the lookup histogram *)
+let add_raw t a v =
+  match find_raw t a with
   | Value _ ->
       (* already present: overwrite the image in place *)
       let s = digits t a in
       let rec go l i =
-        match t.regs.(l + s.(i)) with
+        match rd t (l + s.(i)) with
         | CChild l' -> go l' (i + 1)
-        | CValue _ -> t.regs.(l + s.(i)) <- CValue v
+        | CValue _ -> wr t (l + s.(i)) (CValue v)
         | _ -> assert false
       in
       go root 0
@@ -279,13 +314,13 @@ let add t a v =
       let s = digits t a in
       (* Insert (Algorithm 5): create the search path top-down. *)
       let rec go l i =
-        if i = t.kh - 1 then t.regs.(l + s.(i)) <- CValue v
+        if i = t.kh - 1 then wr t (l + s.(i)) (CValue v)
         else
-          match t.regs.(l + s.(i)) with
+          match rd t (l + s.(i)) with
           | CChild l' -> go l' (i + 1)
           | CNext _ | CNextNull ->
               let l' = alloc_node t (l + s.(i)) in
-              t.regs.(l + s.(i)) <- CChild l';
+              wr t (l + s.(i)) (CChild l');
               go l' (i + 1)
           | _ -> assert false
       in
@@ -296,12 +331,21 @@ let add t a v =
         (match next with Some b -> CNext b | None -> CNextNull);
       t.card <- t.card + 1
 
+let add t a v =
+  if Metrics.enabled () then begin
+    Metrics.incr m_updates;
+    let t0 = touches () in
+    add_raw t a v;
+    Metrics.observe h_update (touches () - t0)
+  end
+  else add_raw t a v
+
 (* --- Removal (Algorithms 10-12). --- *)
 
 let node_is_empty t node =
   let empty = ref true in
   for j = 0 to t.d - 1 do
-    if nonempty_cell t.regs.(node + j) then empty := false
+    if nonempty_cell (rd t (node + j)) then empty := false
   done;
   !empty
 
@@ -314,12 +358,14 @@ let free_node t node path =
   let src = t.free - (t.d + 1) in
   if src <> node then begin
     Array.blit t.regs src t.regs node (t.d + 1);
-    (match t.regs.(node + t.d) with
-    | CParent q -> t.regs.(q) <- CChild node
+    Metrics.add m_reads (t.d + 1);
+    Metrics.add m_writes (t.d + 1);
+    (match rd t (node + t.d) with
+    | CParent q -> wr t q (CChild node)
     | _ -> assert false);
     for j = 0 to t.d - 1 do
-      match t.regs.(node + j) with
-      | CChild c -> t.regs.(c + t.d) <- CParent (node + j)
+      match rd t (node + j) with
+      | CChild c -> wr t (c + t.d) (CParent (node + j))
       | _ -> ()
     done;
     for i = 0 to Array.length path - 1 do
@@ -329,8 +375,8 @@ let free_node t node path =
   Array.fill t.regs (t.free - (t.d + 1)) (t.d + 1) CFree;
   t.free <- t.free - (t.d + 1)
 
-let remove t a =
-  match find t a with
+let remove_raw t a =
+  match find_raw t a with
   | Next _ | Null -> ()
   | Value _ ->
       let prev = pred_lt t a in
@@ -338,7 +384,7 @@ let remove t a =
         match Tuple.succ ~n:t.n a with
         | None -> None
         | Some a1 -> (
-            match find t a1 with
+            match find_raw t a1 with
             | Value _ -> Some a1
             | Next b -> Some b
             | Null -> None)
@@ -349,23 +395,23 @@ let remove t a =
       for i = 0 to t.kh - 1 do
         path.(i) <- !l;
         if i < t.kh - 1 then
-          match t.regs.(!l + s.(i)) with
+          match rd t (!l + s.(i)) with
           | CChild l' -> l := l'
           | _ -> assert false
       done;
       let placeholder =
         match next with Some b -> CNext b | None -> CNextNull
       in
-      t.regs.(path.(t.kh - 1) + s.(t.kh - 1)) <- placeholder;
+      wr t (path.(t.kh - 1) + s.(t.kh - 1)) placeholder;
       (* Cut: free now-empty nodes bottom-up (never the root). *)
       let rec cut i =
         if i >= 1 && node_is_empty t path.(i) then begin
           let parent_reg =
-            match t.regs.(path.(i) + t.d) with
+            match rd t (path.(i) + t.d) with
             | CParent q -> q
             | _ -> assert false
           in
-          t.regs.(parent_reg) <- placeholder;
+          wr t parent_reg placeholder;
           free_node t path.(i) path;
           cut (i - 1)
         end
@@ -376,6 +422,15 @@ let remove t a =
         (Option.map (digits t) next)
         placeholder;
       t.card <- t.card - 1
+
+let remove t a =
+  if Metrics.enabled () then begin
+    Metrics.incr m_updates;
+    let t0 = touches () in
+    remove_raw t a;
+    Metrics.observe h_update (touches () - t0)
+  end
+  else remove_raw t a
 
 let iter f t =
   let rec go = function

@@ -1,0 +1,155 @@
+let on = ref false
+
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+(* ---------------- counters ---------------- *)
+
+type counter = { cname : string; mutable v : int; cops : bool }
+
+let all_counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let counter ?(ops = false) name =
+  match Hashtbl.find_opt all_counters name with
+  | Some c -> c
+  | None ->
+      let c = { cname = name; v = 0; cops = ops } in
+      Hashtbl.replace all_counters name c;
+      c
+
+let[@inline] incr c = if !on then c.v <- c.v + 1
+let[@inline] add c k = if !on then c.v <- c.v + k
+let value c = c.v
+
+let ops () =
+  Hashtbl.fold (fun _ c acc -> if c.cops then acc + c.v else acc) all_counters 0
+
+let counters () =
+  Hashtbl.fold (fun _ c acc -> if c.v <> 0 then (c.cname, c.v) :: acc else acc)
+    all_counters []
+  |> List.sort compare
+
+(* ---------------- phase timers ---------------- *)
+
+let all_phases : (string, float ref) Hashtbl.t = Hashtbl.create 16
+
+let phase name f =
+  if not !on then f ()
+  else begin
+    let cell =
+      match Hashtbl.find_opt all_phases name with
+      | Some r -> r
+      | None ->
+          let r = ref 0. in
+          Hashtbl.replace all_phases name r;
+          r
+    in
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> cell := !cell +. Unix.gettimeofday () -. t0) f
+  end
+
+let phases () =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) all_phases []
+  |> List.sort compare
+
+(* ---------------- histograms ---------------- *)
+
+(* Bucket-per-value up to [clamp]; larger observations land in the last
+   bucket (max and mean stay exact, high percentiles saturate at clamp —
+   fine for the "is the delay bounded by a constant" question). *)
+let clamp = 1 lsl 16
+
+type hist = {
+  hname : string;
+  mutable buckets : int array;
+  mutable hcount : int;
+  mutable hsum : int;
+  mutable hmax : int;
+}
+
+let all_hists : (string, hist) Hashtbl.t = Hashtbl.create 16
+
+let hist name =
+  match Hashtbl.find_opt all_hists name with
+  | Some h -> h
+  | None ->
+      let h =
+        { hname = name; buckets = Array.make 64 0; hcount = 0; hsum = 0; hmax = 0 }
+      in
+      Hashtbl.replace all_hists name h;
+      h
+
+let observe h x =
+  if !on then begin
+    let x = max 0 x in
+    let b = min x (clamp - 1) in
+    if b >= Array.length h.buckets then begin
+      let cap = ref (2 * Array.length h.buckets) in
+      while b >= !cap do
+        cap := 2 * !cap
+      done;
+      let bs = Array.make !cap 0 in
+      Array.blit h.buckets 0 bs 0 (Array.length h.buckets);
+      h.buckets <- bs
+    end;
+    h.buckets.(b) <- h.buckets.(b) + 1;
+    h.hcount <- h.hcount + 1;
+    h.hsum <- h.hsum + x;
+    if x > h.hmax then h.hmax <- x
+  end
+
+type hist_stats = {
+  count : int;
+  max : int;
+  mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+}
+
+let percentile_of h p =
+  if h.hcount = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int h.hcount)) in
+    let rank = Stdlib.max 1 (Stdlib.min h.hcount rank) in
+    let seen = ref 0 and res = ref 0 and i = ref 0 in
+    let nb = Array.length h.buckets in
+    while !seen < rank && !i < nb do
+      if h.buckets.(!i) > 0 then begin
+        seen := !seen + h.buckets.(!i);
+        res := !i
+      end;
+      Stdlib.incr i
+    done;
+    !res
+  end
+
+let hist_stats h =
+  {
+    count = h.hcount;
+    max = h.hmax;
+    mean = (if h.hcount = 0 then 0. else float_of_int h.hsum /. float_of_int h.hcount);
+    p50 = percentile_of h 50.;
+    p95 = percentile_of h 95.;
+    p99 = percentile_of h 99.;
+  }
+
+let hists () =
+  Hashtbl.fold
+    (fun name h acc -> if h.hcount > 0 then (name, hist_stats h) :: acc else acc)
+    all_hists []
+  |> List.sort compare
+
+(* ---------------- reset ---------------- *)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.v <- 0) all_counters;
+  Hashtbl.iter (fun _ r -> r := 0.) all_phases;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 (Array.length h.buckets) 0;
+      h.hcount <- 0;
+      h.hsum <- 0;
+      h.hmax <- 0)
+    all_hists

@@ -1,0 +1,84 @@
+(** Cross-cutting cost-model instrumentation.
+
+    The paper's headline claims are resource bounds — constant-time
+    lookup (Theorem 3.1), constant enumeration delay (Corollary 2.5),
+    pseudo-linear preprocessing (Theorem 2.3).  This module provides the
+    cheap, globally registered probes the hot paths use to make those
+    bounds empirically observable:
+
+    - {e counters}: monotonic event counts (register touches, scan
+      steps, distance tests, …).  Counters flagged [~ops] contribute to
+      the machine-operation total {!ops}, the unit in which enumeration
+      delay is measured.
+    - {e phase timers}: cumulative wall-clock per named preprocessing
+      phase (cover construction, distance index, skip pointers, …).
+    - {e histograms}: per-call operation counts (register touches per
+      lookup / per update, ops per emitted solution).
+
+    Instrumentation is disabled by default; every probe is a single
+    load-and-branch when disabled, so the hot paths pay essentially
+    nothing.  Enabling is global (the probes live inside shared library
+    code), which is the right granularity for the CLI / bench / test
+    consumers; concurrent measured engines would share the registry. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero every counter, timer and histogram (registrations survive). *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : ?ops:bool -> string -> counter
+(** Find-or-create the counter registered under this name.  With
+    [~ops:true] (set by whichever registration comes first), the counter
+    counts as machine work in {!ops}. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val ops : unit -> int
+(** Sum of all [~ops] counters — the instrumented machine-operation
+    clock.  Deltas of [ops ()] around a call measure its cost in the
+    cost model (and are what "observed delay in ops" means). *)
+
+val counters : unit -> (string * int) list
+(** All registered counters with non-zero value, sorted by name. *)
+
+(** {1 Phase timers} *)
+
+val phase : string -> (unit -> 'a) -> 'a
+(** [phase name f] runs [f], accumulating its wall-clock duration under
+    [name].  Re-entrant and exception-safe; nested phases each record
+    their own full span (an umbrella phase therefore includes its
+    sub-phases — consumers report them as a tree-less flat list). *)
+
+val phases : unit -> (string * float) list
+(** Cumulative seconds per phase, sorted by name. *)
+
+(** {1 Histograms} *)
+
+type hist
+
+val hist : string -> hist
+(** Find-or-create the histogram registered under this name. *)
+
+val observe : hist -> int -> unit
+
+type hist_stats = {
+  count : int;
+  max : int;
+  mean : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+}
+
+val hist_stats : hist -> hist_stats
+val hists : unit -> (string * hist_stats) list
+(** All histograms that observed at least one value, sorted by name. *)

@@ -16,4 +16,7 @@ let () =
       ("random query fuzzing", Test_random_queries.suite);
       ("paper examples", Test_paper_examples.suite);
       ("counting (GS companion result)", Test_count.suite);
+      ("engine facade", Test_engine.suite);
+      ("metrics + cost model", Test_metrics.suite);
+      ("graph spec parsing", Test_gen_spec.suite);
     ]

@@ -1,0 +1,169 @@
+(* The Nd_engine façade: differential checks against the naive
+   evaluator across all three query modes, solution-cache soundness
+   (answers served from the Theorem 3.1 store must agree with the live
+   pipeline), sentence handling, and stats sanity. *)
+
+open Nd_graph
+open Nd_logic
+
+let queries =
+  [
+    "dist(x,y) <= 2";
+    "E(x,y) & C0(y)";
+    "dist(x,y) > 2 & C1(y)";
+    "C0(x) & (exists z. E(x,z) & C1(z))";
+    "E(x,y) & dist(y,z) <= 1 & C0(z)";
+  ]
+
+let graph () = Gen.randomly_color ~seed:11 ~colors:2 (Gen.planar_grid ~seed:4 5 5)
+
+let test_matches_naive () =
+  let g = graph () in
+  let ctx = Nd_eval.Naive.ctx g in
+  List.iter
+    (fun q ->
+      let phi = Parse.formula q in
+      let expected = Nd_eval.Naive.eval_all ctx ~vars:(Fo.free_vars phi) phi in
+      let eng = Nd_engine.prepare g phi in
+      Alcotest.(check bool) (q ^ " to_list") true
+        (Nd_engine.to_list eng = expected);
+      Alcotest.(check int)
+        (q ^ " count_enumerated")
+        (List.length expected)
+        (Nd_engine.count_enumerated eng);
+      Alcotest.(check bool) (q ^ " holds") (expected <> [])
+        (Nd_engine.holds eng))
+    queries
+
+(* After a full enumeration the cache is complete; [next] and [test]
+   are then served by Store.succ_geq / Store.find.  They must agree
+   with a cache-less engine over every input tuple. *)
+let test_cache_agrees_with_live () =
+  let g = graph () in
+  let n = Cgraph.n g in
+  List.iter
+    (fun q ->
+      let phi = Parse.formula q in
+      let cached = Nd_engine.prepare g phi in
+      let live = Nd_engine.prepare ~cache_limit:0 g phi in
+      let total = Nd_engine.count_enumerated cached in
+      Alcotest.(check bool) (q ^ " cache complete") true
+        (Nd_engine.cache_complete cached);
+      Alcotest.(check int) (q ^ " cache size") total
+        (Nd_engine.cache_size cached);
+      Alcotest.(check int) (q ^ " live cache stays empty") 0
+        (Nd_engine.cache_size live);
+      let k = Nd_engine.arity cached in
+      let rng = Random.State.make [| 42 |] in
+      for _ = 1 to 200 do
+        let t = Array.init k (fun _ -> Random.State.int rng n) in
+        if Nd_engine.next cached t <> Nd_engine.next live t then
+          Alcotest.failf "%s: cached next diverges on input" q;
+        if Nd_engine.test cached t <> Nd_engine.test live t then
+          Alcotest.failf "%s: cached test diverges on input" q
+      done)
+    [ "dist(x,y) <= 2"; "E(x,y) & C0(y)"; "dist(x,y) > 2 & C1(y)" ]
+
+(* Partial enumeration advances the frontier; queries beyond it must
+   transparently fall through to the live pipeline. *)
+let test_partial_frontier () =
+  let g = graph () in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let eng = Nd_engine.prepare g phi in
+  let live = Nd_engine.prepare ~cache_limit:0 g phi in
+  let all = Nd_engine.to_list live in
+  let prefix = Nd_engine.to_list ~limit:7 eng in
+  Alcotest.(check int) "prefix length" 7 (List.length prefix);
+  Alcotest.(check bool) "not complete yet" false (Nd_engine.cache_complete eng);
+  (* full agreement from every prior solution onward, cached or not *)
+  List.iter
+    (fun s ->
+      if Nd_engine.next eng s <> Nd_engine.next live s then
+        Alcotest.fail "partial cache diverges")
+    all;
+  Alcotest.(check bool) "full seq agrees" true (Nd_engine.to_list eng = all)
+
+let test_cache_limit_respected () =
+  let g = graph () in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let eng = Nd_engine.prepare ~cache_limit:5 g phi in
+  let total = Nd_engine.count_enumerated eng in
+  Alcotest.(check bool) "has more solutions than limit" true (total > 5);
+  Alcotest.(check bool) "cache capped" true (Nd_engine.cache_size eng <= 5);
+  Alcotest.(check bool) "capped cache never complete" false
+    (Nd_engine.cache_complete eng)
+
+let test_sentences () =
+  let g = graph () in
+  let yes = Parse.formula "exists x y. E(x,y) & dist(x,y) <= 1" in
+  let no = Parse.formula "exists x. E(x,x)" in
+  let ey = Nd_engine.prepare g yes and en = Nd_engine.prepare g no in
+  Alcotest.(check int) "sentence arity" 0 (Nd_engine.arity ey);
+  Alcotest.(check bool) "true sentence holds" true (Nd_engine.holds ey);
+  Alcotest.(check bool) "false sentence fails" false (Nd_engine.holds en);
+  Alcotest.(check int) "true sentence: one empty tuple" 1
+    (List.length (Nd_engine.to_list ey));
+  Alcotest.(check int) "false sentence: no tuples" 0
+    (List.length (Nd_engine.to_list en));
+  Alcotest.(check bool) "test [||]" true (Nd_engine.test ey [||]);
+  Alcotest.(check bool) "next [||]" true (Nd_engine.next ey [||] = Some [||])
+
+let test_input_validation () =
+  let g = graph () in
+  let eng = Nd_engine.prepare g (Parse.formula "E(x,y)") in
+  (match Nd_engine.next eng [| 0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch accepted");
+  match Nd_engine.next eng [| 0; Cgraph.n g |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range vertex accepted"
+
+let test_stats_sanity () =
+  Nd_engine.reset_metrics ();
+  let g = graph () in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let eng = Nd_engine.prepare ~metrics:true g phi in
+  let total = Nd_engine.count_enumerated eng in
+  let s = Nd_engine.stats eng in
+  Nd_util.Metrics.disable ();
+  Alcotest.(check int) "stats.n" (Cgraph.n g) s.Nd_engine.Stats.n;
+  Alcotest.(check int) "stats.m" (Cgraph.m g) s.Nd_engine.Stats.m;
+  Alcotest.(check int) "solutions_emitted" total
+    s.Nd_engine.Stats.solutions_emitted;
+  Alcotest.(check bool) "metrics on" true s.Nd_engine.Stats.metrics_enabled;
+  Alcotest.(check bool) "ops recorded" true (s.Nd_engine.Stats.ops > 0);
+  Alcotest.(check bool) "max delay observed" true
+    (s.Nd_engine.Stats.max_delay_ops > 0);
+  Alcotest.(check bool) "phases recorded" true
+    (List.mem_assoc "engine.prepare" s.Nd_engine.Stats.phases);
+  Alcotest.(check bool) "delay histogram present" true
+    (List.mem_assoc "enum.delay_ops" s.Nd_engine.Stats.hists);
+  (* the JSON emitter must at least produce the schema marker and
+     balanced braces for downstream tooling *)
+  let js = Nd_engine.Stats.to_json s in
+  Alcotest.(check bool) "json has schema tag" true
+    (let sub = "\"schema\":\"nd-engine-stats/1\"" in
+     let rec find i =
+       i + String.length sub <= String.length js
+       && (String.sub js i (String.length sub) = sub || find (i + 1))
+     in
+     find 0);
+  let depth = ref 0 in
+  String.iter
+    (fun c -> if c = '{' then incr depth else if c = '}' then decr depth)
+    js;
+  Alcotest.(check int) "json braces balanced" 0 !depth
+
+let suite =
+  [
+    Alcotest.test_case "engine = naive on all modes" `Quick test_matches_naive;
+    Alcotest.test_case "cache agrees with live pipeline" `Quick
+      test_cache_agrees_with_live;
+    Alcotest.test_case "partial frontier falls through" `Quick
+      test_partial_frontier;
+    Alcotest.test_case "cache limit respected" `Quick
+      test_cache_limit_respected;
+    Alcotest.test_case "sentences" `Quick test_sentences;
+    Alcotest.test_case "input validation" `Quick test_input_validation;
+    Alcotest.test_case "stats sanity + json" `Quick test_stats_sanity;
+  ]

@@ -1,0 +1,89 @@
+(* Gen.of_spec: the textual graph-spec dispatch used by the CLI and
+   bench.  One case per documented form of [Gen.spec_grammar], plus the
+   malformed-spec behavior the CLI relies on (Invalid_argument carrying
+   the grammar). *)
+
+open Nd_graph
+
+let max_degree g =
+  let d = ref 0 in
+  for v = 0 to Cgraph.n g - 1 do
+    d := max !d (Cgraph.degree g v)
+  done;
+  !d
+
+let test_documented_specs () =
+  let check name spec ~n ?m ?max_deg () =
+    let g = Gen.of_spec ~seed:1 spec in
+    Alcotest.(check int) (name ^ " n") n (Cgraph.n g);
+    (match m with
+    | Some m -> Alcotest.(check int) (name ^ " m") m (Cgraph.m g)
+    | None ->
+        Alcotest.(check bool) (name ^ " has edges") true (Cgraph.m g > 0));
+    match max_deg with
+    | Some d ->
+        Alcotest.(check bool)
+          (name ^ " degree bound")
+          true
+          (max_degree g <= d)
+    | None -> ()
+  in
+  check "grid" "grid:4x3" ~n:12 ~m:17 ();
+  check "planar" "planar:4x4" ~n:16 ();
+  check "tree" "tree:20" ~n:20 ~m:19 ();
+  check "path" "path:9" ~n:9 ~m:8 ();
+  check "cycle" "cycle:10" ~n:10 ~m:10 ();
+  check "star" "star:8" ~n:8 ~m:7 ();
+  check "clique" "clique:6" ~n:6 ~m:15 ();
+  check "bdeg" "bdeg:30:3" ~n:30 ~max_deg:3 ();
+  check "ktree" "ktree:20:3" ~n:20 ();
+  (* subdivided clique on q vertices with q extra vertices per edge *)
+  check "subdiv" "subdiv:3" ~n:12 ~m:12 ();
+  check "gnp" "gnp:30:0.1" ~n:30 ()
+
+let test_seed_determinism () =
+  List.iter
+    (fun spec ->
+      let g1 = Gen.of_spec ~seed:5 spec in
+      let g2 = Gen.of_spec ~seed:5 spec in
+      Alcotest.(check bool) (spec ^ " deterministic") true (Cgraph.equal g1 g2))
+    [ "tree:25"; "bdeg:40:3"; "gnp:25:0.15"; "planar:5x5"; "ktree:25:3" ]
+
+let test_invalid_specs () =
+  List.iter
+    (fun spec ->
+      match Gen.of_spec spec with
+      | _ -> Alcotest.failf "spec %S should be rejected" spec
+      | exception Invalid_argument msg ->
+          (* the error must carry the grammar so CLI users see the menu *)
+          let mentions_grammar =
+            let sub = "grid:WxH" in
+            let rec find i =
+              i + String.length sub <= String.length msg
+              && (String.sub msg i (String.length sub) = sub || find (i + 1))
+            in
+            find 0
+          in
+          Alcotest.(check bool) (spec ^ " error lists grammar") true
+            mentions_grammar)
+    [
+      "";
+      "grid";
+      "grid:4";
+      "grid:4x";
+      "grid:ax b";
+      "wat:3";
+      "tree:x";
+      "bdeg:10";
+      "gnp:10:notafloat";
+      "clique:6:9";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "every documented spec form" `Quick
+      test_documented_specs;
+    Alcotest.test_case "seeded specs are deterministic" `Quick
+      test_seed_determinism;
+    Alcotest.test_case "malformed specs rejected" `Quick test_invalid_specs;
+  ]

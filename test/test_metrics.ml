@@ -1,0 +1,120 @@
+(* The Metrics layer itself, plus the PR's headline property test:
+   Theorem 3.1's resource bounds made empirical.  Store lookups must
+   touch a register count that does NOT grow with n (constant-time
+   lookup), while updates may touch O(n^eps) registers.  We measure
+   register touches through the store's instrumentation histograms
+   across n in {10^2, 10^3, 10^4, 10^5}. *)
+
+open Nd_util
+open Nd_ram
+
+(* --- the metrics registry itself ----------------------------------- *)
+
+let test_registry_basics () =
+  Metrics.reset ();
+  Metrics.disable ();
+  let c = Metrics.counter "t.plain" in
+  let cops = Metrics.counter ~ops:true "t.ops" in
+  Metrics.incr c;
+  Metrics.add cops 5;
+  Alcotest.(check int) "disabled counters stay 0" 0 (Metrics.value c);
+  Alcotest.(check int) "disabled ops stay 0" 0 (Metrics.ops ());
+  Metrics.enable ();
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add cops 5;
+  Alcotest.(check int) "counter counts" 2 (Metrics.value c);
+  Alcotest.(check int) "only ~ops counters feed ops" 5 (Metrics.ops ());
+  (* find-or-create: same name, same cell *)
+  Metrics.incr (Metrics.counter "t.plain");
+  Alcotest.(check int) "shared by name" 3 (Metrics.value c);
+  let h = Metrics.hist "t.h" in
+  List.iter (Metrics.observe h) [ 1; 2; 3; 4; 100 ];
+  let s = Metrics.hist_stats h in
+  Alcotest.(check int) "hist count" 5 s.Metrics.count;
+  Alcotest.(check int) "hist max" 100 s.Metrics.max;
+  Alcotest.(check int) "hist p50" 3 s.Metrics.p50;
+  let r = Metrics.phase "t.phase" (fun () -> 41 + 1) in
+  Alcotest.(check int) "phase passes result through" 42 r;
+  Alcotest.(check bool) "phase recorded" true
+    (List.mem_assoc "t.phase" (Metrics.phases ()));
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes counters" 0 (Metrics.value c);
+  Alcotest.(check int) "reset zeroes ops" 0 (Metrics.ops ());
+  Alcotest.(check bool) "reset zeroes hists" true
+    (not (List.mem_assoc "t.h" (Metrics.hists ())));
+  Metrics.disable ()
+
+(* --- Theorem 3.1 property test ------------------------------------- *)
+
+type touch_point = {
+  tn : int;
+  lookup_max : int;
+  update_max : int;
+}
+
+(* Exercise a k=2 store over [n]^2 and report the per-call register
+   touch maxima from the instrumentation histograms. *)
+let store_touches n =
+  Metrics.reset ();
+  Metrics.enable ();
+  let epsilon = 0.5 in
+  let s : int Store.t = Store.create ~n ~k:2 ~epsilon in
+  let rng = Random.State.make [| n; 7 |] in
+  let inserts = min n 2048 in
+  for i = 1 to inserts do
+    Store.add s [| Random.State.int rng n; Random.State.int rng n |] i
+  done;
+  for _ = 1 to 1000 do
+    ignore (Store.find s [| Random.State.int rng n; Random.State.int rng n |])
+  done;
+  let hists = Metrics.hists () in
+  Metrics.disable ();
+  let stat name =
+    match List.assoc_opt name hists with
+    | Some st -> st
+    | None -> Alcotest.failf "histogram %s missing at n=%d" name n
+  in
+  let lookup = stat "store.lookup_touches" in
+  let update = stat "store.update_touches" in
+  Alcotest.(check int) "every find observed" 1000 lookup.Metrics.count;
+  Alcotest.(check int) "every add observed" inserts update.Metrics.count;
+  { tn = n; lookup_max = lookup.Metrics.max; update_max = update.Metrics.max }
+
+let test_store_touch_scaling () =
+  let points = List.map store_touches [ 100; 1_000; 10_000; 100_000 ] in
+  let small = List.hd points in
+  List.iter
+    (fun p ->
+      (* Theorem 3.1(1): lookup cost is independent of n.  The trie
+         depth is k·h with h = ceil(1/eps) fixed, so the worst-case
+         register touches per lookup must not grow from n=100 to
+         n=100000. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "lookup touches flat at n=%d (%d vs %d)" p.tn
+           p.lookup_max small.lookup_max)
+        true
+        (p.lookup_max <= small.lookup_max);
+      (* Theorem 3.1(2): update cost is O(n^eps).  Each of the k·h
+         nodes on the path has d+1 = ceil(n^eps)+1 registers; allow a
+         small constant factor over that envelope. *)
+      let d = int_of_float (ceil (float_of_int p.tn ** 0.5)) in
+      let envelope = 6 * (d + 1) * (2 * 2 + 1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "update touches within O(n^eps) at n=%d (%d <= %d)"
+           p.tn p.update_max envelope)
+        true
+        (p.update_max <= envelope))
+    points;
+  (* and the bound is genuinely sublinear: at n=10^5 an update must
+     touch far fewer than n registers *)
+  let big = List.nth points 3 in
+  Alcotest.(check bool) "update touches sublinear" true
+    (big.update_max < big.tn / 10)
+
+let suite =
+  [
+    Alcotest.test_case "registry basics" `Quick test_registry_basics;
+    Alcotest.test_case "Theorem 3.1 register-touch scaling" `Slow
+      test_store_touch_scaling;
+  ]

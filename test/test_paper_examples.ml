@@ -17,9 +17,9 @@ let test_example_1a () =
     (Nd_eval.Naive.eval_all ctx ~vars unfolded
     = Nd_eval.Naive.eval_all ctx ~vars atom);
   (* and through the full pipeline *)
-  let nx = Nd_core.Next.build g atom in
+  let eng = Nd_engine.prepare g atom in
   Alcotest.(check bool) "pipeline agrees" true
-    (Nd_core.Enumerate.to_list nx = Nd_eval.Naive.eval_all ctx ~vars atom)
+    (Nd_engine.to_list eng = Nd_eval.Naive.eval_all ctx ~vars atom)
 
 (* Example 1-B: with a (2,4)-neighborhood cover,
    G ⊨ q(a,b) ⟺ b ∈ X(a) ∧ G[X(a)] ⊨ q(a,b). *)
@@ -58,9 +58,9 @@ let test_example_2 () =
       | Nd_core.Compile.Compiled _ -> ()
       | Nd_core.Compile.Fallback f ->
           Alcotest.failf "Example 2 query %s fell back: %s" q f.reason);
-      let nx = Nd_core.Next.build g phi in
+      let eng = Nd_engine.prepare g phi in
       Alcotest.(check bool) (q ^ " matches naive") true
-        (Nd_core.Enumerate.to_list nx
+        (Nd_engine.to_list eng
         = Nd_eval.Naive.eval_all ctx ~vars:(Fo.free_vars phi) phi))
     [
       "dist(x,y) > 2 & B(y)";
@@ -74,14 +74,14 @@ let test_theorem_23_statement () =
   let phi = Parse.formula "E(x,y) & C0(y)" in
   let ctx = Nd_eval.Naive.ctx g in
   let sols = Nd_eval.Naive.eval_all ctx ~vars:[ "x"; "y" ] phi in
-  let nx = Nd_core.Next.build g phi in
+  let eng = Nd_engine.prepare g phi in
   for a = 0 to 14 do
     for b = 0 to 14 do
       let input = [| a; b |] in
       let expect =
         List.find_opt (fun s -> Nd_util.Tuple.compare s input >= 0) sols
       in
-      if Nd_core.Next.next_solution nx input <> expect then
+      if Nd_engine.next eng input <> expect then
         Alcotest.failf "Theorem 2.3 statement fails at (%d,%d)" a b
     done
   done
@@ -114,8 +114,8 @@ let test_relabeling_invariance () =
   List.iter
     (fun q ->
       let phi = Parse.formula q in
-      let c0 = Nd_core.Enumerate.count (Nd_core.Next.build g0 phi) in
-      let c1 = Nd_core.Enumerate.count (Nd_core.Next.build g1 phi) in
+      let c0 = Nd_engine.count_enumerated (Nd_engine.prepare g0 phi) in
+      let c1 = Nd_engine.count_enumerated (Nd_engine.prepare g1 phi) in
       Alcotest.(check int) (q ^ " count invariant") c0 c1)
     [ "dist(x,y) <= 2"; "dist(x,y) > 2 & C1(y)"; "exists z. E(x,z) & E(z,y)" ]
 

@@ -56,8 +56,8 @@ let test_rel_pipeline () =
     (fun (name, rq) ->
       let expected = T.eval_all_db biblio rq in
       let psi = T.translate schema rq in
-      let nx = Nd_core.Next.build e.Rel.graph psi in
-      let got = Nd_core.Enumerate.to_list nx in
+      let eng = Nd_engine.prepare e.Rel.graph psi in
+      let got = Nd_engine.to_list eng in
       (* answers over A'(D) use vertex ids = element ids *)
       if got <> expected then
         Alcotest.failf "%s: db gives %d tuples, pipeline %d (or order)" name
@@ -87,8 +87,8 @@ let test_rel_pipeline_random () =
       in
       let expected = T.eval_all_db db rq in
       let psi = T.translate (Rel.schema db) rq in
-      let nx = Nd_core.Next.build e.Rel.graph psi in
-      let got = Nd_core.Enumerate.to_list nx in
+      let eng = Nd_engine.prepare e.Rel.graph psi in
+      let got = Nd_engine.to_list eng in
       if got <> expected then Alcotest.failf "seed %d: composition query wrong" seed)
     [ 1; 2; 3; 4; 5 ]
 
@@ -104,8 +104,8 @@ let test_ternary_integration () =
   in
   let ctx = Nd_eval.Naive.ctx g in
   let expected = Nd_eval.Naive.eval_all ctx ~vars:(Nd_logic.Fo.free_vars phi) phi in
-  let nx = Nd_core.Next.build g phi in
-  let got = Nd_core.Enumerate.to_list nx in
+  let eng = Nd_engine.prepare g phi in
+  let got = Nd_engine.to_list eng in
   Alcotest.(check int) "count" (List.length expected) (List.length got);
   Alcotest.(check bool) "exact" true (got = expected)
 

@@ -66,8 +66,8 @@ let check_one rng seed =
   in
   let fvs = Fo.free_vars phi in
   let expected = Nd_eval.Naive.eval_all ctx ~vars:fvs phi in
-  let nx = Nd_core.Next.build g phi in
-  let got = Nd_core.Enumerate.to_list nx in
+  let eng = Nd_engine.prepare g phi in
+  let got = Nd_engine.to_list eng in
   if got <> expected then begin
     QCheck.Test.fail_reportf
       "mismatch on %s (compiled: %b): naive %d sols, pipeline %d"
@@ -84,7 +84,7 @@ let check_one rng seed =
     let expect =
       List.find_opt (fun s -> Nd_util.Tuple.compare s t >= 0) expected
     in
-    if Nd_core.Next.next_solution nx t <> expect then
+    if Nd_engine.next eng t <> expect then
       QCheck.Test.fail_reportf "next_solution wrong on %s"
         (Fo.to_string phi)
   done;
@@ -108,8 +108,8 @@ let test_quaternary () =
       let expected =
         Nd_eval.Naive.eval_all ctx ~vars:(Fo.free_vars phi) phi
       in
-      let nx = Nd_core.Next.build g phi in
-      let got = Nd_core.Enumerate.to_list nx in
+      let eng = Nd_engine.prepare g phi in
+      let got = Nd_engine.to_list eng in
       if got <> expected then
         Alcotest.failf "%s: %d vs %d" q (List.length expected)
           (List.length got))
@@ -128,11 +128,11 @@ let test_unary_queries () =
       let expected =
         Nd_eval.Naive.eval_all ctx ~vars:(Fo.free_vars phi) phi
       in
-      let nx = Nd_core.Next.build g phi in
+      let eng = Nd_engine.prepare g phi in
       Alcotest.(check bool)
         (q ^ " matches")
         true
-        (Nd_core.Enumerate.to_list nx = expected))
+        (Nd_engine.to_list eng = expected))
     [
       "C0(x)";
       "exists y. E(x,y) & C1(y)";
@@ -149,9 +149,9 @@ let test_arity_five_falls_back_but_works () =
   | _ -> Alcotest.fail "arity 5 should fall back");
   let ctx = Nd_eval.Naive.ctx g in
   let expected = Nd_eval.Naive.eval_all ctx ~vars:(Fo.free_vars phi) phi in
-  let nx = Nd_core.Next.build g phi in
+  let eng = Nd_engine.prepare g phi in
   Alcotest.(check bool) "fallback exact" true
-    (Nd_core.Enumerate.to_list nx = expected)
+    (Nd_engine.to_list eng = expected)
 
 let suite =
   [
