@@ -214,6 +214,28 @@ let check_engine_point i p =
           | Some h -> check_hist (path ^ ".stats.hists.enum.delay_ops") h
           | None -> ())
       | None -> ());
+      (match field path stats "degradation" with
+      | Some d -> (
+          match get_str (path ^ ".stats.degradation") d "mode" with
+          | Some ("none" | "fallback") -> ()
+          | Some other ->
+              err "%s.stats.degradation.mode: unexpected %S" path other
+          | None -> ())
+      | None -> ());
+      (match field path stats "paranoid" with
+      | Some p -> (
+          match field (path ^ ".stats.paranoid") p "enabled" with
+          | Some (Bool _) -> ()
+          | Some _ -> err "%s.stats.paranoid.enabled: expected a bool" path
+          | None -> ())
+      | None -> ());
+      (match field path stats "budget" with
+      | Some b -> (
+          match field (path ^ ".stats.budget") b "exhausted" with
+          | Some (Bool _) -> ()
+          | Some _ -> err "%s.stats.budget.exhausted: expected a bool" path
+          | None -> ())
+      | None -> ());
       match field path stats "counters" with
       | Some (Obj kvs) ->
           let touched name =
@@ -226,6 +248,23 @@ let check_engine_point i p =
       | Some _ -> err "%s.stats.counters: expected an object" path
       | None -> ())
   | None -> ()
+
+(* the robustness gate: budget probes on the hot paths must be free on
+   the deterministic ops cost model (ticks never advance a counter) *)
+let check_budget_point i p =
+  let path = Printf.sprintf "budget_overhead[%d]" i in
+  ignore (get_str path p "spec");
+  ignore (get_num path p "n");
+  (match get_num path p "ops_plain" with
+  | Some f when f <= 0. -> err "%s.ops_plain: workload recorded no ops" path
+  | _ -> ());
+  ignore (get_num path p "ops_budget");
+  ignore (get_num path p "wall_plain_s");
+  ignore (get_num path p "wall_budget_s");
+  match get_num path p "ops_delta_pct" with
+  | Some d when Float.abs d > 2.0 ->
+      err "%s.ops_delta_pct: |%g| exceeds the 2%% probe-overhead budget" path d
+  | _ -> ()
 
 let check_store_point i p =
   let path = Printf.sprintf "store[%d]" i in
@@ -276,6 +315,11 @@ let () =
       if List.length pts < 4 then
         err "$.store: expected the n in {10^2..10^5} trajectory (4 points)"
   | Some _ -> err "$.store: expected an array"
+  | None -> ());
+  (match field "$" j "budget_overhead" with
+  | Some (Arr []) -> err "$.budget_overhead: empty"
+  | Some (Arr pts) -> List.iteri check_budget_point pts
+  | Some _ -> err "$.budget_overhead: expected an array"
   | None -> ());
   match !errors with
   | [] ->

@@ -699,7 +699,104 @@ let a2_ablation_dist () =
     (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel micro-benchmarks.                                           *)
+(* ER — robustness: budget-probe overhead on the E7/E9 hot paths.
+   The budget probes are a single load-and-branch when nothing is
+   installed, and ticks never advance an ops counter, so the cost-model
+   delta between a plain run and a run under a generous installed
+   budget must be ~0 (check_schema enforces <= 2%).  Wall-clock deltas
+   are reported for context but not gated (noise dominates).            *)
+
+type er_row = {
+  er_spec : string;
+  er_n : int;
+  er_ops_plain : int;
+  er_ops_budget : int;
+  er_delta_pct : float;
+  er_wall_plain : float;
+  er_wall_budget : float;
+}
+
+let er_point side =
+  let phi = Nd_logic.Parse.formula "dist(x,y) <= 2" in
+  let g = Gen.randomly_color ~seed:5 ~colors:2 (Gen.grid side side) in
+  let n = Cgraph.n g in
+  Nd_engine.reset_metrics ();
+  let eng = Nd_engine.prepare ~metrics:true ~cache_limit:0 g phi in
+  let calls = if !smoke then 500 else 2_000 in
+  (* deterministic tuples: both runs must do bit-identical work *)
+  let tuples =
+    Array.init calls (fun i -> [| i * 17 mod n; i * 31 mod n |])
+  in
+  let workload () =
+    for i = 0 to calls - 1 do
+      ignore (Nd_engine.next eng tuples.(i));
+      ignore (Nd_engine.test eng tuples.(i))
+    done;
+    Nd_engine.enumerate (fun _ -> ()) eng
+  in
+  let measure f =
+    Nd_util.Metrics.reset ();
+    Nd_util.Metrics.enable ();
+    let o0 = Nd_util.Metrics.ops () in
+    let (), t = time f in
+    (Nd_util.Metrics.ops () - o0, t)
+  in
+  (* warm once: lazily-built index nodes make the first pass more
+     expensive; the comparison needs the steady state on both sides *)
+  workload ();
+  let ops_plain, wall_plain = measure workload in
+  let b = Nd_util.Budget.create ~max_ops:max_int ~timeout_ms:3_600_000 () in
+  let ops_budget, wall_budget =
+    measure (fun () -> Nd_util.Budget.with_installed b workload)
+  in
+  Nd_util.Metrics.disable ();
+  let delta_pct =
+    if ops_plain = 0 then 0.
+    else
+      float_of_int (ops_budget - ops_plain)
+      /. float_of_int ops_plain *. 100.
+  in
+  {
+    er_spec = Printf.sprintf "grid:%dx%d" side side;
+    er_n = n;
+    er_ops_plain = ops_plain;
+    er_ops_budget = ops_budget;
+    er_delta_pct = delta_pct;
+    er_wall_plain = wall_plain;
+    er_wall_budget = wall_budget;
+  }
+
+let er_json r =
+  Printf.sprintf
+    "{\"spec\":%S,\"n\":%d,\"ops_plain\":%d,\"ops_budget\":%d,\
+     \"ops_delta_pct\":%.9g,\"wall_plain_s\":%.9g,\"wall_budget_s\":%.9g}"
+    r.er_spec r.er_n r.er_ops_plain r.er_ops_budget r.er_delta_pct
+    r.er_wall_plain r.er_wall_budget
+
+let er_sides () =
+  if !smoke then [ 8; 12 ] else if !quick then [ 12; 20 ] else [ 16; 32; 64 ]
+
+let er_budget_overhead () =
+  let rows =
+    List.map
+      (fun side ->
+        let r = er_point side in
+        [
+          r.er_spec; si r.er_n; si r.er_ops_plain; si r.er_ops_budget;
+          f2 r.er_delta_pct;
+          f2
+            ((r.er_wall_budget -. r.er_wall_plain)
+            /. r.er_wall_plain *. 100.);
+        ])
+      (er_sides ())
+  in
+  print_table
+    ~title:
+      "ER / robustness: budget-probe overhead on the next/test/enumerate \
+       hot paths (ops delta must be ~0; gated at 2% by check_schema)"
+    ~header:
+      [ "graph"; "n"; "ops plain"; "ops budgeted"; "ops delta %"; "wall delta %" ]
+    rows
 
 let micro_rows () =
   let open Bechamel in
@@ -830,15 +927,19 @@ let ee_engine_json () =
   let store_points =
     List.map ee_store_point [ 100; 1_000; 10_000; 100_000 ]
   in
+  (* ER rows ride along in every mode: the robustness gate needs them
+     on record even in CI's smoke run *)
+  let budget_points = List.map (fun s -> er_json (er_point s)) (er_sides ()) in
   Nd_util.Metrics.disable ();
   let mode = if !smoke then "smoke" else if !quick then "quick" else "full" in
   let doc =
     Printf.sprintf
       "{\"schema\":\"nd-engine-bench/1\",\"mode\":\"%s\",\"query\":\"%s\",\
-       \"engine\":[%s],\"store\":[%s]}"
+       \"engine\":[%s],\"store\":[%s],\"budget_overhead\":[%s]}"
       mode qtext
       (String.concat "," engine_points)
       (String.concat "," store_points)
+      (String.concat "," budget_points)
   in
   let path = "BENCH_engine.json" in
   let oc = open_out path in
@@ -863,6 +964,7 @@ let experiments =
     ("E11", "pseudo-linear counting", e11_counting);
     ("A1", "ablation: skip pointers", a1_ablation_skip);
     ("A2", "ablation: index space", a2_ablation_dist);
+    ("ER", "robustness: budget-probe overhead", er_budget_overhead);
     ("EE", "engine cost-model trajectories", ee_engine_json);
   ]
 

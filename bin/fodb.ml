@@ -102,36 +102,69 @@ let epsilon_arg =
     & info [ "epsilon" ]
         ~doc:"Storing-structure exponent (register trie degree n^ε).")
 
+let budget_ops_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-ops" ] ~docv:"N"
+        ~doc:
+          "Cost-model operation budget.  Preprocessing that exhausts it \
+           degrades to an exact naive-evaluation handle; answering that \
+           exhausts it aborts with exit code 3.")
+
+let timeout_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"N"
+        ~doc:
+          "Wall-clock budget in milliseconds, with the same degradation \
+           and exit semantics as $(b,--budget-ops).")
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-(* User-facing failures (unknown graph spec, unparsable query,
-   malformed tuple, arity mismatch) exit with a plain message rather
-   than cmdliner's internal-error banner. *)
+(* Structured exit codes (documented in every subcommand's man page):
+   2 — user error (unknown graph spec, unparsable query, malformed
+       tuple, arity mismatch, out-of-range vertex);
+   3 — a resource budget was exhausted;
+   4 — an internal invariant violation (paranoid-mode disagreement,
+       store corruption).  Plain messages, never cmdliner's
+       internal-error banner. *)
 let run f =
-  let user_error msg =
+  let fail code msg =
     flush stdout;
     prerr_endline ("fodb: " ^ msg);
-    exit 2
+    exit code
   in
   try f () with
-  | Invalid_argument msg | Failure msg -> user_error msg
+  | Invalid_argument msg | Failure msg | Nd_error.User_error msg ->
+      fail 2 msg
   | Nd_logic.Parse.Syntax_error msg ->
-      user_error ("syntax error in query: " ^ msg)
+      fail 2 ("syntax error in query: " ^ msg)
+  | Nd_error.Budget_exceeded info ->
+      fail 3 ("budget exceeded: " ^ Nd_error.describe_budget info)
+  | Nd_error.Internal_invariant msg ->
+      fail 4 ("internal invariant violation: " ^ msg)
 
 (* Build the engine handle; every query subcommand funnels through
    here.  Returns the handle plus an [emit] closure printing the
    requested stats report after the command body ran. *)
-let with_engine spec query colors seed epsilon stats stats_json f =
+let with_engine spec query colors seed epsilon stats stats_json budget_ops
+    timeout_ms f =
  run @@ fun () ->
   let g = load spec ~colors ~seed in
   let phi = Nd_logic.Parse.formula query in
   let metrics = stats || stats_json in
   if metrics then Nd_engine.reset_metrics ();
+  let budget =
+    if budget_ops = None && timeout_ms = None then None
+    else Some (Nd_util.Budget.create ?max_ops:budget_ops ?timeout_ms ())
+  in
   let eng, prep =
-    time (fun () -> Nd_engine.prepare ~epsilon ~metrics g phi)
+    time (fun () -> Nd_engine.prepare ~epsilon ~metrics ?budget g phi)
   in
   if not stats_json then begin
     Printf.printf "graph: %d vertices, %d edges, %d colors\n" (Cgraph.n g)
@@ -139,19 +172,46 @@ let with_engine spec query colors seed epsilon stats stats_json f =
     Printf.printf "query: %s (arity %d, %s)\n"
       (Nd_logic.Fo.to_string phi)
       (Nd_engine.arity eng)
-      (if Nd_engine.compiled eng then "compiled" else "fallback");
+      (if Nd_engine.compiled eng then "compiled"
+       else if Nd_engine.degraded eng then "degraded"
+       else "fallback");
+    (match Nd_engine.degradation eng with
+    | `Fallback reason -> Printf.printf "degraded: %s\n" reason
+    | `None -> ());
     Printf.printf "preprocessing: %.3fs\n" prep
   end;
-  f eng;
-  if stats_json then
-    print_endline (Nd_engine.Stats.to_json (Nd_engine.stats eng))
-  else if stats then
-    Format.printf "%a" Nd_engine.Stats.pp (Nd_engine.stats eng)
+  let emit () =
+    if stats_json then
+      print_endline (Nd_engine.Stats.to_json (Nd_engine.stats eng))
+    else if stats then
+      Format.printf "%a" Nd_engine.Stats.pp (Nd_engine.stats eng)
+  in
+  (* The same budget that governed preprocessing governs the command
+     body: if preprocessing already exhausted it, the degraded handle is
+     reported (stats record and all) and the first answering probe
+     aborts with exit 3. *)
+  let body () =
+    match budget with
+    | None -> f eng
+    | Some b ->
+        Nd_util.Budget.with_installed b (fun () ->
+            Nd_util.Budget.enter "answer";
+            f eng)
+  in
+  match body () with
+  | () -> emit ()
+  | exception Nd_error.Budget_exceeded info ->
+      (* stats first — the JSON record names the exhausted phase — then
+         the diagnostic and exit code, via [run]. *)
+      emit ();
+      raise (Nd_error.Budget_exceeded info)
 
 (* ---------------- subcommands ---------------- *)
 
-let enumerate spec query colors seed epsilon stats stats_json limit =
-  with_engine spec query colors seed epsilon stats stats_json (fun eng ->
+let enumerate spec query colors seed epsilon stats stats_json budget_ops
+    timeout_ms limit =
+  with_engine spec query colors seed epsilon stats stats_json budget_ops
+    timeout_ms (fun eng ->
       let quiet = stats_json in
       let printed = ref 0 in
       let _, t =
@@ -166,8 +226,10 @@ let enumerate spec query colors seed epsilon stats stats_json limit =
       if not quiet then
         Printf.printf "%d solutions in %.3fs\n" !printed t)
 
-let count spec query colors seed epsilon stats stats_json =
-  with_engine spec query colors seed epsilon stats stats_json (fun eng ->
+let count spec query colors seed epsilon stats stats_json budget_ops
+    timeout_ms =
+  with_engine spec query colors seed epsilon stats stats_json budget_ops
+    timeout_ms (fun eng ->
       let r, t = time (fun () -> Nd_engine.count eng) in
       if not stats_json then
         Printf.printf "count: %d (%.3fs, %s)\n" r.Nd_core.Count.count t
@@ -187,16 +249,20 @@ let parse_tuple tuple =
                   tuple))
        (String.split_on_char ',' tuple))
 
-let test spec query colors seed epsilon stats stats_json tuple =
-  with_engine spec query colors seed epsilon stats stats_json (fun eng ->
+let test spec query colors seed epsilon stats stats_json budget_ops
+    timeout_ms tuple =
+  with_engine spec query colors seed epsilon stats stats_json budget_ops
+    timeout_ms (fun eng ->
       let tup = parse_tuple tuple in
       let ans, t = time (fun () -> Nd_engine.test eng tup) in
       if not stats_json then
         Printf.printf "%s ∈ q(G): %b  (%.6fs)\n"
           (Nd_util.Tuple.to_string tup) ans t)
 
-let next spec query colors seed epsilon stats stats_json tuple =
-  with_engine spec query colors seed epsilon stats stats_json (fun eng ->
+let next spec query colors seed epsilon stats stats_json budget_ops
+    timeout_ms tuple =
+  with_engine spec query colors seed epsilon stats stats_json budget_ops
+    timeout_ms (fun eng ->
       let tup = parse_tuple tuple in
       let ans, t = time (fun () -> Nd_engine.next eng tup) in
       if not stats_json then
@@ -261,23 +327,29 @@ let tuple_arg =
 let query_args term =
   Term.(
     term $ graph_arg $ query_arg $ colors_arg $ seed_arg $ epsilon_arg
-    $ stats_arg $ stats_json_arg)
+    $ stats_arg $ stats_json_arg $ budget_ops_arg $ timeout_ms_arg)
+
+let exits =
+  Cmd.Exit.info 2 ~doc:"on user errors (bad graph, query or tuple)."
+  :: Cmd.Exit.info 3 ~doc:"when a resource budget was exhausted."
+  :: Cmd.Exit.info 4 ~doc:"on an internal invariant violation."
+  :: Cmd.Exit.defaults
 
 let cmd_enumerate =
-  Cmd.v (Cmd.info "enumerate" ~doc:"Enumerate all solutions in order")
+  Cmd.v (Cmd.info "enumerate" ~exits ~doc:"Enumerate all solutions in order")
     Term.(query_args (const enumerate) $ limit_arg)
 
 let cmd_count =
-  Cmd.v (Cmd.info "count" ~doc:"Count solutions")
+  Cmd.v (Cmd.info "count" ~exits ~doc:"Count solutions")
     (query_args Term.(const count))
 
 let cmd_test =
-  Cmd.v (Cmd.info "test" ~doc:"Test whether a tuple is a solution")
+  Cmd.v (Cmd.info "test" ~exits ~doc:"Test whether a tuple is a solution")
     Term.(query_args (const test) $ tuple_arg)
 
 let cmd_next =
   Cmd.v
-    (Cmd.info "next" ~doc:"Smallest solution ≥ a given tuple (Theorem 2.3)")
+    (Cmd.info "next" ~exits ~doc:"Smallest solution ≥ a given tuple (Theorem 2.3)")
     Term.(query_args (const next) $ tuple_arg)
 
 let cmd_cover =

@@ -82,12 +82,15 @@ let build_compiled g (c : Compile.compiled) =
      preprocessing phase (the paper's Step 4), not to the first
      answering calls that happen to touch a bag. *)
   Metrics.phase "answer.local_eval" (fun () ->
+      Budget.enter "local_eval";
       for bag = 0 to Array.length cover.Cover.bags - 1 do
+        Budget.poll ();
         ignore (Local.bag_graph local bag)
       done);
   (* Step 5: evaluate the sentence literals once, globally. *)
   let sentence_vals =
     Metrics.phase "answer.sentences" @@ fun () ->
+    Budget.enter "sentences";
     let tbl = Hashtbl.create 8 in
     List.iter
       (fun (dj : Compile.disjunct) ->
@@ -119,6 +122,7 @@ let build_compiled g (c : Compile.compiled) =
   let kernels =
     if needs_case1 then
       Metrics.phase "answer.kernels" @@ fun () ->
+      Budget.enter "kernels";
       Some
         (Array.map
            (fun bag -> Kernel.compute g ~bag ~p:(kernel_radius c))
@@ -142,8 +146,10 @@ let build_compiled g (c : Compile.compiled) =
         let n = Cgraph.n g in
         let flag = Bitset.create n in
         Metrics.phase "answer.labels" (fun () ->
+            Budget.enter "labels";
             Array.iteri
               (fun bag_id members ->
+                Budget.poll ();
                 Array.iter
                   (fun v ->
                     if
@@ -431,6 +437,7 @@ let next_in_last_fallback f ~prefix ~from =
   go (max 0 from)
 
 let next_in_last t ~prefix ~from =
+  Budget.tick ();
   match t.state with
   | C s -> next_in_last_compiled s ~prefix ~from
   | F f -> next_in_last_fallback f ~prefix ~from

@@ -41,6 +41,7 @@ let build_base t g ~r =
   Base balls
 
 let rec build_node t g ~r ~threshold ~budget ~level ~hint =
+  Budget.poll ();
   t.n_levels <- max t.n_levels level;
   if Cgraph.n g <= threshold || budget = 0 then begin
     if budget = 0 && Cgraph.n g > threshold then
@@ -146,6 +147,7 @@ let m_tests = Metrics.counter ~ops:true "dist.tests"
 let build ?(base_threshold = 256) ?(depth_budget = 20) g ~r =
   if r < 0 then invalid_arg "Dist_index.build: negative radius";
   Metrics.phase "dist_index.build" @@ fun () ->
+  Budget.enter "dist_index";
   let t =
     {
       r;
@@ -197,6 +199,7 @@ let rec test_node node ~r a b =
         end
 
 let test t a b =
+  Budget.tick ();
   Metrics.incr m_tests;
   test_node t.root ~r:t.r a b
 

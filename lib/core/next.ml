@@ -13,7 +13,7 @@ type t = {
   answers : Answer.t option array;  (* answers.(j-1); always Some at j = k *)
 }
 
-let build g phi =
+let skeleton g phi =
   let fvs = Fo.free_vars phi in
   let k = List.length fvs in
   if k = 0 then invalid_arg "Next.build: sentence (use Tester)";
@@ -23,6 +23,10 @@ let build g phi =
     (* φ_j = ∃ x_{j+1} φ_{j+1} *)
     queries.(j - 1) <- Fo.simplify (Fo.Exists (vars.(j), queries.(j)))
   done;
+  (g, k, vars, queries)
+
+let build g phi =
+  let g, k, vars, queries = skeleton g phi in
   let answers =
     Array.init k (fun idx ->
         let q = queries.(idx) in
@@ -33,6 +37,21 @@ let build g phi =
         match comp with
         | Compile.Compiled _ -> Some (build ())
         | Compile.Fallback _ -> if idx = k - 1 then Some (build ()) else None)
+  in
+  { g; k; vars; queries; answers }
+
+let build_fallback g phi ~reason =
+  let g, k, vars, queries = skeleton g phi in
+  (* Only the top level carries an Answer; the lower projections are
+     handled by the extendability scans of [next_c], which need nothing
+     but the level above.  Construction is O(1) beyond the skeleton —
+     that is the point: this is the degraded handle a budget-exhausted
+     prepare falls back to. *)
+  let answers =
+    Array.init k (fun idx ->
+        if idx = k - 1 then
+          Some (Answer.build g (Compile.Fallback { query = phi; vars; reason }))
+        else None)
   in
   { g; k; vars; queries; answers }
 
@@ -64,6 +83,7 @@ let rec next_c t j prefix from =
     | None ->
         (* extendability scan through the level above *)
         let rec go c =
+          Budget.tick ();
           if c >= n then None
           else if extendable t j (Array.append prefix [| c |]) then Some c
           else go (c + 1)

@@ -17,6 +17,12 @@ type t
 val build : Nd_graph.Cgraph.t -> Nd_logic.Fo.t -> t
 (** The query must have arity ≥ 1. *)
 
+val build_fallback : Nd_graph.Cgraph.t -> Nd_logic.Fo.t -> reason:string -> t
+(** A handle over the same interface that skips all preprocessing and
+    answers every call through the naive-evaluator fallback — exact but
+    without delay guarantees.  O(1) construction; this is what a
+    budget-exhausted [Nd_engine.prepare] degrades to. *)
+
 val graph : t -> Nd_graph.Cgraph.t
 
 val arity : t -> int

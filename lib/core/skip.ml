@@ -80,7 +80,9 @@ let build ~kernels ~kernels_of ~l ~n ~k =
       sc = Array.init n (fun _ -> Hashtbl.create 4);
     }
   in
+  Budget.enter "skip";
   for b = n - 1 downto 0 do
+    Budget.tick ();
     let worklist = Queue.create () in
     List.iter (fun x -> Queue.push [ x ] worklist) (kernels_of b);
     while not (Queue.is_empty worklist) do

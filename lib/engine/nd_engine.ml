@@ -20,7 +20,14 @@ type cache = {
 }
 
 type query_state = { nx : Nd_core.Next.t; cache : cache option }
-type kind = Sentence of Nd_core.Tester.t | Query of query_state
+
+type kind =
+  | Sentence of Nd_core.Tester.t
+  | Lazy_sentence of bool Lazy.t
+      (* degraded k = 0 handle: model checking deferred to first use *)
+  | Query of query_state
+
+type degradation = [ `None | `Fallback of string ]
 
 type t = {
   g : Cgraph.t;
@@ -29,50 +36,99 @@ type t = {
   epsilon : float;
   cache_limit : int;
   kind : kind;
+  degradation : degradation;
+  budget : Budget.t option;
+  paranoid : bool;
   mutable emitted : int;
+  mutable paranoid_checks : int;
 }
 
 let default_cache_limit = 100_000
 
+(* Run [f] with the ambient budget masked: paranoid cross-checks and
+   degraded-handle construction are correctness machinery, not work the
+   caller's budget should account (or abort). *)
+let unbudgeted f =
+  let prev = Budget.installed () in
+  Budget.install None;
+  Fun.protect ~finally:(fun () -> Budget.install prev) f
+
+let make_cache ~cache_limit ~epsilon g k =
+  if cache_limit > 0 && Cgraph.n g > 0 then
+    Some
+      {
+        store = Store.create ~n:(Cgraph.n g) ~k ~epsilon;
+        limit = cache_limit;
+        frontier = None;
+        full = false;
+        complete = false;
+      }
+  else None
+
 let prepare ?(epsilon = 0.5) ?(metrics = false) ?(cache_limit = default_cache_limit)
-    g phi =
+    ?budget ?(paranoid = false) g phi =
   if metrics then Metrics.enable ();
   if cache_limit < 0 then invalid_arg "Nd_engine.prepare: negative cache_limit";
   let k = Fo.arity phi in
-  let kind =
+  let full_prepare () =
     Metrics.phase "engine.prepare" @@ fun () ->
     if k = 0 then Sentence (Nd_core.Tester.build g phi)
     else
       let nx = Nd_core.Next.build g phi in
-      let cache =
-        if cache_limit > 0 && Cgraph.n g > 0 then
-          Some
-            {
-              store = Store.create ~n:(Cgraph.n g) ~k ~epsilon;
-              limit = cache_limit;
-              frontier = None;
-              full = false;
-              complete = false;
-            }
-        else None
-      in
-      Query { nx; cache }
+      Query { nx; cache = make_cache ~cache_limit ~epsilon g k }
   in
-  { g; phi; k; epsilon; cache_limit; kind; emitted = 0 }
+  let kind, degradation =
+    match budget with
+    | None -> (full_prepare (), `None)
+    | Some b -> (
+        try (Budget.with_installed b full_prepare, `None)
+        with Nd_error.Budget_exceeded info ->
+          (* Preprocessing ran out of resources: degrade to an exact
+             handle with no delay guarantees instead of failing.  The
+             degraded construction is O(1) and runs unbudgeted. *)
+          let reason = Nd_error.describe_budget info in
+          let kind =
+            unbudgeted @@ fun () ->
+            if k = 0 then
+              Lazy_sentence
+                (lazy (Nd_eval.Naive.model_check (Nd_eval.Naive.ctx g) phi))
+            else
+              let nx = Nd_core.Next.build_fallback g phi ~reason in
+              Query { nx; cache = make_cache ~cache_limit ~epsilon g k }
+          in
+          (kind, `Fallback reason))
+  in
+  {
+    g;
+    phi;
+    k;
+    epsilon;
+    cache_limit;
+    kind;
+    degradation;
+    budget;
+    paranoid;
+    emitted = 0;
+    paranoid_checks = 0;
+  }
 
 let graph t = t.g
 let query t = t.phi
 let arity t = t.k
 let epsilon t = t.epsilon
 
+let degradation t = t.degradation
+
+let degraded t = match t.degradation with `None -> false | `Fallback _ -> true
+
 let compiled_levels t =
   match t.kind with
-  | Sentence _ -> [||]
+  | Sentence _ | Lazy_sentence _ -> [||]
   | Query q -> Nd_core.Next.compiled_levels q.nx
 
 let compiled t =
   match t.kind with
-  | Sentence _ -> false
+  | Sentence _ | Lazy_sentence _ -> false
   | Query q ->
       let lv = Nd_core.Next.compiled_levels q.nx in
       Array.length lv > 0 && lv.(Array.length lv - 1)
@@ -144,19 +200,48 @@ let next_query t q a =
             | Some sf -> (Nd_core.Next.next_solution q.nx sf, Some sf)))
   | _ -> (Nd_core.Next.next_solution q.nx a, Some a)
 
+(* Every tuple entering the engine is validated here — identically for
+   sentences, compiled queries and fallback/degraded handles — and a bad
+   tuple is a caller mistake, not an internal failure: User_error. *)
 let check_tuple t a =
-  if Array.length a <> t.k then invalid_arg "Nd_engine: tuple arity mismatch";
+  if Array.length a <> t.k then
+    Nd_error.user_errorf "Nd_engine: tuple arity mismatch (query arity %d, got %d)"
+      t.k (Array.length a);
   Array.iter
     (fun x ->
       if x < 0 || x >= Cgraph.n t.g then
-        invalid_arg "Nd_engine: vertex out of range")
+        Nd_error.user_errorf "Nd_engine: vertex %d out of range [0, %d)" x
+          (Cgraph.n t.g))
     a
+
+(* Paranoid mode: differentially re-check a sample of emitted solutions
+   against the naive evaluator.  A disagreement means the compiled
+   pipeline (or a corrupted store) produced a wrong answer — an
+   internal invariant violation, never a user error. *)
+let paranoid_sample t sol =
+  if t.paranoid then begin
+    let i = t.emitted in
+    if i < 4 || i land (i - 1) = 0 (* first few, then powers of two *) then begin
+      t.paranoid_checks <- t.paranoid_checks + 1;
+      let ok =
+        unbudgeted @@ fun () ->
+        Nd_eval.Naive.holds (Nd_eval.Naive.ctx t.g) t.phi sol
+      in
+      if not ok then
+        Nd_error.invariantf
+          "Nd_engine(paranoid): emitted tuple %s is not a solution of %s"
+          (Tuple.to_string sol) (Fo.to_string t.phi)
+    end
+  end
 
 let next t a =
   match t.kind with
   | Sentence ts ->
-      if Array.length a <> 0 then invalid_arg "Nd_engine: tuple arity mismatch";
+      check_tuple t a;
       if Nd_core.Tester.holds_sentence ts then Some [||] else None
+  | Lazy_sentence v ->
+      check_tuple t a;
+      if Lazy.force v then Some [||] else None
   | Query q ->
       check_tuple t a;
       let observe = Metrics.enabled () in
@@ -166,14 +251,21 @@ let next t a =
       (match (q.cache, live_at) with
       | Some c, Some qp -> cache_record t c qp r
       | _ -> ());
-      (match r with Some _ -> t.emitted <- t.emitted + 1 | None -> ());
+      (match r with
+      | Some sol ->
+          paranoid_sample t sol;
+          t.emitted <- t.emitted + 1
+      | None -> ());
       r
 
 let test t a =
   match t.kind with
   | Sentence ts ->
-      if Array.length a <> 0 then invalid_arg "Nd_engine: tuple arity mismatch";
+      check_tuple t a;
       Nd_core.Tester.holds_sentence ts
+  | Lazy_sentence v ->
+      check_tuple t a;
+      Lazy.force v
   | Query q -> (
       check_tuple t a;
       match q.cache with
@@ -184,14 +276,14 @@ let test t a =
 
 let first t =
   match t.kind with
-  | Sentence _ -> next t [||]
+  | Sentence _ | Lazy_sentence _ -> next t [||]
   | Query _ -> if Cgraph.n t.g = 0 then None else next t (Tuple.min t.k)
 
 let holds t = first t <> None
 
 let seq t =
   match t.kind with
-  | Sentence _ ->
+  | Sentence _ | Lazy_sentence _ ->
       fun () ->
         if holds t then Seq.Cons ([||], fun () -> Seq.Nil) else Seq.Nil
   | Query _ ->
@@ -237,7 +329,7 @@ let count_enumerated t =
 
 let use_skip t b =
   match t.kind with
-  | Sentence _ -> ()
+  | Sentence _ | Lazy_sentence _ -> ()
   | Query q -> Nd_core.Answer.use_skip (Nd_core.Next.top q.nx) b
 
 let cache_size t =
@@ -274,6 +366,11 @@ module Stats = struct
     cache_size : int;
     cache_limit : int;
     cache_complete : bool;
+    degraded : bool;
+    degradation_reason : string option;
+    paranoid : bool;
+    paranoid_checks : int;
+    budget_exhausted : Nd_error.budget_info option;
   }
 
   let escape s =
@@ -350,6 +447,32 @@ module Stats = struct
               ("limit", string_of_int t.cache_limit);
               ("complete", jbool t.cache_complete);
             ] );
+        ( "degradation",
+          jobj
+            (("mode", if t.degraded then "\"fallback\"" else "\"none\"")
+            ::
+            (match t.degradation_reason with
+            | Some r -> [ ("reason", "\"" ^ escape r ^ "\"") ]
+            | None -> [])) );
+        ( "paranoid",
+          jobj
+            [
+              ("enabled", jbool t.paranoid);
+              ("checks", string_of_int t.paranoid_checks);
+            ] );
+        ( "budget",
+          match t.budget_exhausted with
+          | None -> jobj [ ("exhausted", jbool false) ]
+          | Some info ->
+              jobj
+                [
+                  ("exhausted", jbool true);
+                  ("phase", "\"" ^ escape info.Nd_error.phase ^ "\"");
+                  ( "resource",
+                    "\"" ^ Nd_error.resource_name info.Nd_error.resource ^ "\"" );
+                  ("limit", string_of_int info.Nd_error.limit);
+                  ("used", string_of_int info.Nd_error.used);
+                ] );
       ]
 
   let pp ppf t =
@@ -389,7 +512,15 @@ module Stats = struct
     end;
     fprintf ppf "solution cache: %d keys%s (limit %d)@." t.cache_size
       (if t.cache_complete then ", complete" else "")
-      t.cache_limit
+      t.cache_limit;
+    (match t.degradation_reason with
+    | Some r -> fprintf ppf "degradation: fallback (%s)@." r
+    | None -> ());
+    if t.paranoid then
+      fprintf ppf "paranoid: %d differential checks passed@." t.paranoid_checks;
+    match t.budget_exhausted with
+    | Some info -> fprintf ppf "budget: %s@." (Nd_error.describe_budget info)
+    | None -> ()
 end
 
 let stats t : Stats.t =
@@ -418,6 +549,12 @@ let stats t : Stats.t =
     cache_size = cache_size t;
     cache_limit = t.cache_limit;
     cache_complete = cache_complete t;
+    degraded = degraded t;
+    degradation_reason =
+      (match t.degradation with `None -> None | `Fallback r -> Some r);
+    paranoid = t.paranoid;
+    paranoid_checks = t.paranoid_checks;
+    budget_exhausted = Option.bind t.budget Budget.exhausted;
   }
 
 (* ---------------------------------------------------------------- *)

@@ -28,10 +28,19 @@
 
 type t
 
+type degradation = [ `None | `Fallback of string ]
+(** How the handle was built: [`None] means the full Theorem 2.3
+    pipeline ran to completion; [`Fallback reason] means preprocessing
+    exhausted its resource budget and the handle answers through the
+    naive evaluator — {e still exact}, but without the constant-delay
+    guarantee. *)
+
 val prepare :
   ?epsilon:float ->
   ?metrics:bool ->
   ?cache_limit:int ->
+  ?budget:Nd_util.Budget.t ->
+  ?paranoid:bool ->
   Nd_graph.Cgraph.t ->
   Nd_logic.Fo.t ->
   t
@@ -43,7 +52,27 @@ val prepare :
     registry before preprocessing (it is never disabled here; the
     registry is shared and cumulative — call {!reset_metrics} first
     for a clean slate).  [cache_limit] (default 100_000) bounds the
-    number of cached solutions; [0] disables the cache. *)
+    number of cached solutions; [0] disables the cache.
+
+    [budget] governs {e preprocessing only}: it is installed as the
+    ambient {!Nd_util.Budget} for the duration of the build, and if any
+    ceiling trips, [prepare] does {e not} fail — it degrades to an
+    exact fallback handle (see {!degradation}) whose construction is
+    O(1).  The budget object records the exhausted phase
+    ({!Nd_util.Budget.exhausted}), which {!stats} surfaces.  To bound
+    the {e answering} phases as well, install a budget around the query
+    calls ({!Nd_util.Budget.with_installed}); exhaustion there raises
+    {!Nd_error.Budget_exceeded}.
+
+    [paranoid] (default false) differentially re-checks a sample of
+    emitted solutions (the first few, then every power-of-two-th)
+    against the naive evaluator, raising
+    {!Nd_error.Internal_invariant} on any disagreement.  The checks run
+    outside any installed budget. *)
+
+val degradation : t -> degradation
+
+val degraded : t -> bool
 
 (** {1 Handle accessors} *)
 
@@ -66,7 +95,9 @@ val compiled_levels : t -> bool array
 val next : t -> int array -> int array option
 (** [next t ā]: the smallest solution [≥ ā] (Theorem 2.3).  For a
     sentence pass [[||]].
-    @raise Invalid_argument on arity mismatch or out-of-range vertex. *)
+    @raise Nd_error.User_error on arity mismatch or out-of-range
+    vertex — uniformly, whatever the handle's kind (sentence, compiled,
+    fallback, degraded). *)
 
 val test : t -> int array -> bool
 (** Corollary 2.4: is [ā ∈ q(G)]? *)
@@ -135,6 +166,14 @@ module Stats : sig
     cache_size : int;
     cache_limit : int;
     cache_complete : bool;
+    degraded : bool;
+    degradation_reason : string option;
+    paranoid : bool;
+    paranoid_checks : int;  (** differential re-checks performed so far *)
+    budget_exhausted : Nd_error.budget_info option;
+        (** the first ceiling the handle's budget crossed, naming the
+            phase — [None] when no budget was given or it never
+            tripped *)
   }
 
   val to_json : t -> string

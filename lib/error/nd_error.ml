@@ -1,0 +1,43 @@
+type budget_resource = Ops | Time | Memory
+
+type budget_info = {
+  phase : string;
+  resource : budget_resource;
+  limit : int;
+  used : int;
+}
+
+exception User_error of string
+exception Budget_exceeded of budget_info
+exception Internal_invariant of string
+
+let user_errorf fmt = Printf.ksprintf (fun s -> raise (User_error s)) fmt
+let invariantf fmt = Printf.ksprintf (fun s -> raise (Internal_invariant s)) fmt
+
+let resource_name = function
+  | Ops -> "ops"
+  | Time -> "time_ms"
+  | Memory -> "memory_words"
+
+let describe_budget i =
+  Printf.sprintf "budget exceeded in phase %s: %s used %d > limit %d" i.phase
+    (resource_name i.resource) i.used i.limit
+
+let message = function
+  | User_error m -> Some m
+  | Budget_exceeded i -> Some (describe_budget i)
+  | Internal_invariant m -> Some ("internal invariant violated: " ^ m)
+  | _ -> None
+
+let exit_code = function
+  | User_error _ -> Some 2
+  | Budget_exceeded _ -> Some 3
+  | Internal_invariant _ -> Some 4
+  | _ -> None
+
+let () =
+  Printexc.register_printer (fun e ->
+      match e with
+      | User_error _ | Budget_exceeded _ | Internal_invariant _ ->
+          Option.map (fun m -> "Nd_error: " ^ m) (message e)
+      | _ -> None)

@@ -1,0 +1,55 @@
+(** Structured error taxonomy for the whole pipeline.
+
+    A production engine built on Theorem 2.3 distinguishes three ways a
+    call can fail, and they must stay distinguishable all the way to the
+    process boundary (the [fodb] CLI maps them to exit codes):
+
+    - {!User_error} (exit 2): the caller handed us something malformed —
+      wrong tuple arity, out-of-range vertex, unparsable query, unknown
+      graph spec.  Always the caller's fault; retrying with fixed input
+      succeeds.
+    - {!Budget_exceeded} (exit 3): a resource ceiling installed through
+      {!Nd_util.Budget} was crossed.  The computation was abandoned
+      cooperatively; the payload names the phase and the consumed
+      totals.  Nothing is wrong with the input — retry with a larger
+      budget, or accept the degraded (naive-backed, still exact) answers
+      {!Nd_engine.prepare} falls back to.
+    - {!Internal_invariant} (exit 4): the library caught itself lying —
+      a data-structure invariant walker failed, or paranoid-mode
+      differential checking found a solution the naive evaluator
+      rejects.  Always a bug (or injected fault); never retry.
+
+    The exceptions live in a dependency-free library so every layer
+    (util → ram → core → engine → CLI) can raise and match them. *)
+
+type budget_resource = Ops | Time | Memory
+
+type budget_info = {
+  phase : string;  (** innermost phase label active when the ceiling broke *)
+  resource : budget_resource;
+  limit : int;  (** the ceiling: ops, milliseconds, or heap words *)
+  used : int;  (** consumed total at the failing check, same unit *)
+}
+
+exception User_error of string
+exception Budget_exceeded of budget_info
+exception Internal_invariant of string
+
+val user_errorf : ('a, unit, string, 'b) format4 -> 'a
+(** [user_errorf fmt ...] raises {!User_error} with a formatted message. *)
+
+val invariantf : ('a, unit, string, 'b) format4 -> 'a
+(** [invariantf fmt ...] raises {!Internal_invariant}. *)
+
+val resource_name : budget_resource -> string
+(** ["ops"], ["time_ms"], ["memory_words"] — stable, used in JSON. *)
+
+val describe_budget : budget_info -> string
+(** One-line human rendering, e.g.
+    ["budget exceeded in phase cover.compute: ops used 4812 > limit 1"]. *)
+
+val message : exn -> string option
+(** Human message for the three taxonomy exceptions, [None] otherwise. *)
+
+val exit_code : exn -> int option
+(** [Some 2] / [Some 3] / [Some 4] for the taxonomy, [None] otherwise. *)

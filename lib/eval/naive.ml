@@ -63,6 +63,7 @@ and bound_to c env y f =
   match List.assoc_opt y env with Some v -> Some (f v) | None -> None
 
 and sat_rec c env phi =
+  Nd_util.Budget.tick ();
   match phi with
   | Fo.True -> true
   | Fo.False -> false
@@ -125,6 +126,7 @@ let eval_all c ~vars phi =
     end
     else
       for v = 0 to n - 1 do
+        Nd_util.Budget.tick ();
         current.(i) <- v;
         go (i + 1) ((vars.(i), v) :: env)
       done

@@ -1,3 +1,9 @@
+(* BFS queue pops are the machine-op unit of all neighborhood
+   exploration (cover growth, kernels, distance-index bases, ball
+   materialization), so they belong on the cost-model ops clock — this
+   is also what lets an ops budget meter the preprocessing phases. *)
+let m_expansions = Nd_util.Metrics.counter ~ops:true "bfs.expansions"
+
 let multi_dist_from_depth g sources ~radius =
   let n = Cgraph.n g in
   let dist = Array.make n (-1) in
@@ -12,6 +18,8 @@ let multi_dist_from_depth g sources ~radius =
   (* Initial depths are 0 or 1 in all our uses, so a plain queue keeps
      the monotonicity required for BFS correctness. *)
   while not (Queue.is_empty q) do
+    Nd_util.Metrics.incr m_expansions;
+    Nd_util.Budget.tick ();
     let v = Queue.pop q in
     if dist.(v) < radius then
       Array.iter
@@ -69,6 +77,8 @@ let sball_run s src ~radius =
   Queue.push src s.touched;
   Queue.push src s.frontier;
   while not (Queue.is_empty s.frontier) do
+    Nd_util.Metrics.incr m_expansions;
+    Nd_util.Budget.tick ();
     let v = Queue.pop s.frontier in
     if s.sdist.(v) < radius then
       Array.iter

@@ -17,12 +17,14 @@ let m_weight = Metrics.counter "cover.weight"
 let compute g ~r =
   if r < 0 then invalid_arg "Cover.compute: negative radius";
   Metrics.phase "cover.compute" @@ fun () ->
+  Budget.enter "cover";
   let n = Cgraph.n g in
   let srch = Bfs.searcher g in
   let assigned = Array.make n (-1) in
   let bags = ref [] and centers = ref [] and radii = ref [] in
   let nbags = ref 0 in
   for a = 0 to n - 1 do
+    Budget.tick ();
     if assigned.(a) = -1 then begin
       (* Grow the bag from N_2r(a), extending its radius until the
          yet-uncovered part of its r-kernel pays for its size (≥ 1/8) or

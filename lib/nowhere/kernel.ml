@@ -3,6 +3,7 @@ open Nd_graph
 
 let compute g ~bag ~p =
   if p < 0 then invalid_arg "Kernel.compute: negative p";
+  Budget.poll ();
   let sub, to_orig = Cgraph.induced g bag in
   (* local border vertices: members with a neighbor outside the bag *)
   let border = ref [] in

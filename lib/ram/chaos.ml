@@ -1,0 +1,133 @@
+type fault =
+  | Dropped_add
+  | Dropped_remove
+  | Clear_cell
+  | Corrupt_next
+  | Redirect_child
+  | Break_parent
+  | Skew_cardinal
+
+let fault_name = function
+  | Dropped_add -> "dropped-add"
+  | Dropped_remove -> "dropped-remove"
+  | Clear_cell -> "clear-cell"
+  | Corrupt_next -> "corrupt-next"
+  | Redirect_child -> "redirect-child"
+  | Break_parent -> "break-parent"
+  | Skew_cardinal -> "skew-cardinal"
+
+let structural_faults =
+  [ Clear_cell; Corrupt_next; Redirect_child; Break_parent; Skew_cardinal ]
+
+type 'v t = {
+  store : 'v Store.t;
+  rng : Random.State.t;
+  p_drop : float;
+  p_corrupt : float;
+  mutable log : (fault * string) list;  (* newest first *)
+  mutable n_dropped : int;
+  mutable n_corrupted : int;
+}
+
+let create ?(p_drop = 0.) ?(p_corrupt = 0.) ~seed store =
+  let prob name p =
+    if p < 0. || p > 1. then
+      invalid_arg (Printf.sprintf "Chaos.create: %s outside [0,1]" name)
+  in
+  prob "p_drop" p_drop;
+  prob "p_corrupt" p_corrupt;
+  {
+    store;
+    rng = Random.State.make [| seed; 0x5eed |];
+    p_drop;
+    p_corrupt;
+    log = [];
+    n_dropped = 0;
+    n_corrupted = 0;
+  }
+
+let store c = c.store
+
+let record c f what =
+  c.log <- (f, what) :: c.log;
+  match f with
+  | Dropped_add | Dropped_remove -> c.n_dropped <- c.n_dropped + 1
+  | _ -> c.n_corrupted <- c.n_corrupted + 1
+
+(* Pick a random used register whose cell the predicate accepts. *)
+let pick_register c ok =
+  let top = Store.Fault.registers c.store in
+  let candidates = ref [] in
+  for i = 1 to top do
+    if ok (Store.Fault.cell_kind c.store i) then candidates := i :: !candidates
+  done;
+  match !candidates with
+  | [] -> None
+  | cs ->
+      let cs = Array.of_list cs in
+      Some cs.(Random.State.int c.rng (Array.length cs))
+
+let inject c f =
+  let at apply ok =
+    match pick_register c ok with
+    | None -> false
+    | Some i ->
+        let applied = apply c.store i in
+        if applied then
+          record c f (Printf.sprintf "%s @ R_%d" (fault_name f) i);
+        applied
+  in
+  match f with
+  | Dropped_add | Dropped_remove -> false
+  | Clear_cell -> at Store.Fault.clear_register (fun _ -> true)
+  | Corrupt_next ->
+      at Store.Fault.corrupt_next (function
+        | `Next | `Next_null -> true
+        | _ -> false)
+  | Redirect_child ->
+      at Store.Fault.redirect_child (function `Child -> true | _ -> false)
+  | Break_parent ->
+      at Store.Fault.break_parent (function `Parent -> true | _ -> false)
+  | Skew_cardinal ->
+      Store.Fault.skew_cardinal c.store 1;
+      record c f "cardinal +1";
+      true
+
+let flip c p = p > 0. && Random.State.float c.rng 1. < p
+
+let maybe_corrupt c =
+  if flip c c.p_corrupt then begin
+    let classes = Array.of_list structural_faults in
+    (* retry until some class applies; Skew_cardinal always does *)
+    let rec go attempts =
+      if attempts < 8 then
+        if not (inject c classes.(Random.State.int c.rng (Array.length classes)))
+        then go (attempts + 1)
+    in
+    go 0
+  end
+
+let add c k v =
+  if flip c c.p_drop then
+    record c Dropped_add
+      (Printf.sprintf "dropped add %s" (Nd_util.Tuple.to_string k))
+  else begin
+    Store.add c.store k v;
+    maybe_corrupt c
+  end
+
+let remove c k =
+  if flip c c.p_drop then
+    record c Dropped_remove
+      (Printf.sprintf "dropped remove %s" (Nd_util.Tuple.to_string k))
+  else begin
+    Store.remove c.store k;
+    maybe_corrupt c
+  end
+
+let find c k = Store.find c.store k
+let mem c k = Store.mem c.store k
+
+let injected c = List.rev c.log
+let dropped c = c.n_dropped
+let corrupted c = c.n_corrupted

@@ -1,0 +1,70 @@
+(** Fault-injection harness around the Theorem 3.1 store.
+
+    Robustness claims are only as good as their failure detection: a
+    store that silently absorbs a corrupted register is worse than one
+    that crashes.  [Chaos] wraps a {!Store.t} with seeded, probabilistic
+    fault injection so the test-suite can {e prove} that every fault
+    class is caught:
+
+    - {e structural} faults (register corruption through the
+      {!Store.Fault} hooks) must make {!Store.validate} fail;
+    - {e behavioral} faults (dropped updates) leave the structure valid
+      but semantically wrong — detected differentially against the
+      {!Ref_store} oracle.
+
+    Determinism: all randomness flows from the creation seed, so a
+    failing schedule replays exactly. *)
+
+type fault =
+  | Dropped_add  (** [add] silently not applied *)
+  | Dropped_remove  (** [remove] silently not applied *)
+  | Clear_cell  (** a random used register overwritten with the free marker *)
+  | Corrupt_next  (** a [(0,·)] successor pointer re-aimed at a wrong key *)
+  | Redirect_child  (** an inner-child pointer re-aimed at the root block *)
+  | Break_parent  (** a node back-pointer shifted by one *)
+  | Skew_cardinal  (** the stored cardinality incremented *)
+
+val fault_name : fault -> string
+
+val structural_faults : fault list
+(** The classes injectable via {!inject} and detected by
+    {!Store.validate}: everything but the dropped updates. *)
+
+type 'v t
+
+val create : ?p_drop:float -> ?p_corrupt:float -> seed:int -> 'v Store.t -> 'v t
+(** Wrap [store].  [p_drop] (default 0) is the probability that an
+    {!add} / {!remove} is silently discarded; [p_corrupt] (default 0)
+    the probability that a random structural fault is injected after a
+    (non-dropped) update.
+    @raise Invalid_argument when a probability is outside [[0,1]]. *)
+
+val store : 'v t -> 'v Store.t
+(** The underlying (possibly corrupted) structure. *)
+
+(** {1 Instrumented operations} *)
+
+val add : 'v t -> Store.key -> 'v -> unit
+val remove : 'v t -> Store.key -> unit
+val find : 'v t -> Store.key -> 'v Store.lookup
+val mem : 'v t -> Store.key -> bool
+
+(** {1 Deterministic injection} *)
+
+val inject : 'v t -> fault -> bool
+(** Force one fault of the given class now (target register chosen
+    with the seeded RNG).  [false] when no applicable target exists —
+    e.g. {!Redirect_child} on a trie with no inner nodes — or for the
+    dropped-update classes, which only occur probabilistically. *)
+
+(** {1 Accounting} *)
+
+val injected : 'v t -> (fault * string) list
+(** Every fault injected so far, oldest first, with a description of
+    the target. *)
+
+val dropped : 'v t -> int
+(** Number of dropped updates so far. *)
+
+val corrupted : 'v t -> int
+(** Number of structural faults injected so far. *)

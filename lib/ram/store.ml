@@ -138,6 +138,7 @@ let find_raw t a =
   go root 0
 
 let find t a =
+  Budget.tick ();
   if Metrics.enabled () then begin
     Metrics.incr m_lookups;
     let t0 = touches () in
@@ -332,6 +333,7 @@ let add_raw t a v =
       t.card <- t.card + 1
 
 let add t a v =
+  Budget.tick ();
   if Metrics.enabled () then begin
     Metrics.incr m_updates;
     let t0 = touches () in
@@ -424,6 +426,7 @@ let remove_raw t a =
       t.card <- t.card - 1
 
 let remove t a =
+  Budget.tick ();
   if Metrics.enabled () then begin
     Metrics.incr m_updates;
     let t0 = touches () in
@@ -616,3 +619,94 @@ let check_invariants t =
     dfs2 root 0;
     Ok ()
   with Bad msg -> err "%s" msg
+
+(* The operational half of validation: walking the structure through
+   its own successor pointers must visit exactly the stored keys in
+   strictly increasing order.  Run only after [check_invariants]
+   passed, so the walk cannot hit malformed cells; the step bound
+   still guards against pointer cycles. *)
+let check_successor_walk t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec walk prev seen cur =
+    if seen > t.card then err "successor walk visits more keys than stored"
+    else
+      match cur with
+      | None ->
+          if seen = t.card then Ok ()
+          else err "successor walk found %d keys, cardinal says %d" seen t.card
+      | Some (key, _) -> (
+          match prev with
+          | Some p when Tuple.compare p key >= 0 ->
+              err "successor walk not strictly increasing at %s"
+                (Tuple.to_string key)
+          | _ -> walk (Some key) (seen + 1) (succ_gt t key))
+  in
+  walk None 0 (min_key t)
+
+let validate t =
+  match check_invariants t with
+  | Error _ as e -> e
+  | Ok () -> check_successor_walk t
+
+(* --- Fault injection hooks (Chaos harness; see the .mli warning). --- *)
+
+module Fault = struct
+  let registers t = space t
+
+  let in_range t i = i >= 1 && i < t.free
+
+  let cell_kind t i =
+    if not (in_range t i) then `Free
+    else
+      match t.regs.(i) with
+      | CFree -> `Free
+      | CChild _ -> `Child
+      | CValue _ -> `Value
+      | CNext _ -> `Next
+      | CNextNull -> `Next_null
+      | CParent _ -> `Parent
+
+  let clear_register t i =
+    in_range t i
+    && begin
+         t.regs.(i) <- CFree;
+         true
+       end
+
+  let corrupt_next t i =
+    in_range t i
+    &&
+    match t.regs.(i) with
+    | CNext b ->
+        let wrong =
+          if Tuple.compare b (Tuple.max ~n:t.n t.k) = 0 then Tuple.min t.k
+          else Tuple.max ~n:t.n t.k
+        in
+        t.regs.(i) <- CNext wrong;
+        true
+    | CNextNull ->
+        (* phantom successor where the structure promised none *)
+        t.regs.(i) <- CNext (Tuple.max ~n:t.n t.k);
+        true
+    | _ -> false
+
+  let redirect_child t i =
+    in_range t i
+    &&
+    match t.regs.(i) with
+    | CChild _ ->
+        t.regs.(i) <- CChild root;
+        true
+    | _ -> false
+
+  let break_parent t i =
+    in_range t i
+    &&
+    match t.regs.(i) with
+    | CParent q ->
+        t.regs.(i) <- CParent (q + 1);
+        true
+    | _ -> false
+
+  let skew_cardinal t delta = t.card <- t.card + delta
+end

@@ -107,8 +107,62 @@ val dump : pp_value:(Format.formatter -> 'v -> unit) -> 'v t -> string
 (** Render the register file in the style of Figure 1, one register per
     line: ["R_5: (1, 9)"], ["R_2: (0, (19))"], ["R_4: (-1, Null)"], … *)
 
+val validate : 'v t -> (unit, string) result
+(** Full invariant walker, designed to {e detect} corruption rather
+    than crash on it:
+
+    - representational: node block layout and bounds, parent
+      back-pointers, [(0,·)] cells pointing at the correct successor
+      keys, absence of all-empty non-root nodes, register-count (space)
+      accounting, and the cardinality matching the keys actually
+      reachable;
+    - operational: a full [min_key]/[succ_gt] walk must visit exactly
+      the stored keys, in strictly increasing order (successor
+      monotonicity).
+
+    Every fault class {!Chaos} can inject into a valid structure is
+    caught by this walker (proven by the test-suite).  [O(S·|Dom|)]
+    where [S] is the register count — a debugging/chaos-harness tool,
+    not an answering-path check. *)
+
 val check_invariants : 'v t -> (unit, string) result
-(** Validate the internal representation: node block layout, parent
-    back-pointers, [(0,·)] cells pointing at the correct successor keys,
-    absence of all-empty non-root nodes, and the space accounting.
-    Used by the test-suite after every mutation. *)
+(** The representational half of {!validate} (historical name, used by
+    the store test-suite after every mutation). *)
+
+(** {1 Fault injection hooks}
+
+    Deliberate corruption primitives for the {!Chaos} harness and the
+    robustness test-suite: each targets one invariant class that
+    {!validate} must detect.  All assume the structure is currently
+    valid; on a valid structure every successful injection (returning
+    [true]) is guaranteed to make {!validate} fail.  Never call these
+    outside a fault-injection harness. *)
+module Fault : sig
+  val registers : 'v t -> int
+  (** Number of registers in use (= {!space}); valid targets are
+      [1 .. registers]. *)
+
+  val cell_kind :
+    'v t -> int -> [ `Child | `Value | `Next | `Next_null | `Parent | `Free ]
+  (** What register [i] currently holds (for picking a target). *)
+
+  val clear_register : 'v t -> int -> bool
+  (** Overwrite register [i] with the free-cell marker.  [false] if
+      [i] is out of the used range. *)
+
+  val corrupt_next : 'v t -> int -> bool
+  (** If register [i] holds a [(0,·)] cell, replace its successor key
+      with a wrong one ([(0, Null)] becomes a phantom successor).
+      [false] when [i] holds something else. *)
+
+  val redirect_child : 'v t -> int -> bool
+  (** If register [i] holds an inner-child pointer, re-point it at the
+      root block (creating a bogus cycle / depth violation). *)
+
+  val break_parent : 'v t -> int -> bool
+  (** If register [i] is a node's back-pointer register, shift it by
+      one. *)
+
+  val skew_cardinal : 'v t -> int -> unit
+  (** Add [delta] to the stored cardinality without touching keys. *)
+end

@@ -1,0 +1,126 @@
+type t = {
+  b_max_ops : int option;
+  b_timeout_ms : int option;
+  b_max_memory_words : int option;
+  mutable ops0 : int;  (* Metrics.ops at creation / renew *)
+  mutable t0 : float;
+  mutable phase : string;
+  mutable exhausted : Nd_error.budget_info option;
+}
+
+let create ?max_ops ?timeout_ms ?max_memory_words () =
+  let pos name = function
+    | Some v when v <= 0 ->
+        invalid_arg (Printf.sprintf "Budget.create: %s must be positive" name)
+    | _ -> ()
+  in
+  pos "max_ops" max_ops;
+  pos "timeout_ms" timeout_ms;
+  pos "max_memory_words" max_memory_words;
+  (* the ops clock only advances while Metrics is enabled *)
+  if max_ops <> None then Metrics.enable ();
+  {
+    b_max_ops = max_ops;
+    b_timeout_ms = timeout_ms;
+    b_max_memory_words = max_memory_words;
+    ops0 = (if max_ops = None then 0 else Metrics.ops ());
+    t0 = Unix.gettimeofday ();
+    phase = "";
+    exhausted = None;
+  }
+
+let limited b =
+  b.b_max_ops <> None || b.b_timeout_ms <> None || b.b_max_memory_words <> None
+
+let max_ops b = b.b_max_ops
+let timeout_ms b = b.b_timeout_ms
+let max_memory_words b = b.b_max_memory_words
+
+let ops_used b = if b.b_max_ops = None then 0 else Metrics.ops () - b.ops0
+
+let elapsed_ms b =
+  int_of_float ((Unix.gettimeofday () -. b.t0) *. 1000.)
+
+let exhausted b = b.exhausted
+
+let renew b =
+  b.ops0 <- (if b.b_max_ops = None then 0 else Metrics.ops ());
+  b.t0 <- Unix.gettimeofday ();
+  b.exhausted <- None
+
+let set_phase b p = b.phase <- p
+
+let with_phase b p f =
+  let prev = b.phase in
+  b.phase <- p;
+  Fun.protect ~finally:(fun () -> b.phase <- prev) f
+
+let fail b resource limit used =
+  let info =
+    {
+      Nd_error.phase = (if b.phase = "" then "unknown" else b.phase);
+      resource;
+      limit;
+      used;
+    }
+  in
+  if b.exhausted = None then b.exhausted <- Some info;
+  (* re-raising reports the *first* exhaustion: once a budget trips it
+     stays tripped until renewed, and the phase that broke it first is
+     the one worth naming *)
+  raise (Nd_error.Budget_exceeded (Option.value b.exhausted ~default:info))
+
+let check b =
+  (match b.b_max_ops with
+  | Some lim ->
+      let used = Metrics.ops () - b.ops0 in
+      if used > lim then fail b Nd_error.Ops lim used
+  | None -> ());
+  (match b.b_timeout_ms with
+  | Some lim ->
+      let used = elapsed_ms b in
+      if used > lim then fail b Nd_error.Time lim used
+  | None -> ());
+  match b.b_max_memory_words with
+  | Some lim ->
+      let used = (Gc.quick_stat ()).Gc.heap_words in
+      if used > lim then fail b Nd_error.Memory lim used
+  | None -> ()
+
+(* ---------------- the installed ambient budget ---------------- *)
+
+let slot : t option ref = ref None
+
+let install b = slot := b
+
+let installed () = !slot
+
+let with_installed b f =
+  let prev = !slot in
+  slot := Some b;
+  Fun.protect ~finally:(fun () -> slot := prev) f
+
+let poll () = match !slot with None -> () | Some b -> check b
+
+let enter p =
+  match !slot with
+  | None -> ()
+  | Some b ->
+      b.phase <- p;
+      check b
+
+let probe_period = 32
+
+let ticks = ref 0
+
+let tick () =
+  match !slot with
+  | None -> ()
+  | Some b ->
+      (* a budget that already tripped fails fast on every probe —
+         after exhaustion no cooperative work may proceed *)
+      if b.exhausted <> None then check b
+      else begin
+        incr ticks;
+        if !ticks land (probe_period - 1) = 0 then check b
+      end

@@ -1,0 +1,102 @@
+(** Cooperative resource budgets for preprocessing and answering.
+
+    Theorem 2.3's preprocessing is pseudo-linear in [|G|], but the
+    constant [f(q, ε)] is non-elementary in the query — a pathological
+    [prepare] must never be allowed to wedge the process.  A {!t}
+    bundles up to three ceilings:
+
+    - {e ops}: a limit on machine operations consumed, measured on the
+      deterministic {!Metrics.ops} clock (register touches, scan steps,
+      distance tests).  Portable and reproducible — the same
+      computation always costs the same ops.  Creating a budget with an
+      ops ceiling enables {!Metrics} (the clock does not advance
+      otherwise).
+    - {e wall-clock}: a deadline in milliseconds from creation (or the
+      last {!renew}).
+    - {e memory}: a limit on the OCaml heap size in words
+      ([Gc.quick_stat]).
+
+    Enforcement is {e cooperative}: library hot paths call the cheap
+    probes {!tick} (amortized) and {!poll} (direct) against the
+    {e installed} ambient budget, and phase boundaries call {!check}
+    directly.  A crossed ceiling raises
+    {!Nd_error.Budget_exceeded} carrying the active phase label and the
+    consumed totals.  The first exhaustion is also recorded on the
+    budget itself ({!exhausted}) so reports can name the failing phase
+    after the exception was caught — in particular by
+    [Nd_engine.prepare], which catches it to degrade gracefully.
+
+    Probes are a single load-and-branch when no budget is installed;
+    instrumented code pays essentially nothing in the common case. *)
+
+type t
+
+val create : ?max_ops:int -> ?timeout_ms:int -> ?max_memory_words:int -> unit -> t
+(** At least one ceiling should be given (a ceiling-less budget never
+    trips).  [max_ops] enables the global {!Metrics} registry and
+    baselines the clock at the current {!Metrics.ops}.
+    @raise Invalid_argument on a non-positive ceiling. *)
+
+val limited : t -> bool
+(** Does any ceiling exist? *)
+
+val max_ops : t -> int option
+val timeout_ms : t -> int option
+val max_memory_words : t -> int option
+
+val ops_used : t -> int
+(** Ops consumed since creation / the last {!renew} (0 without an ops
+    ceiling). *)
+
+val elapsed_ms : t -> int
+
+val exhausted : t -> Nd_error.budget_info option
+(** The first recorded exhaustion, if any. *)
+
+val renew : t -> unit
+(** Re-baseline the ops and wall-clock meters and clear {!exhausted};
+    ceilings are kept.  Turns one budget into a per-phase allowance. *)
+
+val set_phase : t -> string -> unit
+(** Label subsequent exhaustions; {!with_phase} is the scoped form. *)
+
+val with_phase : t -> string -> (unit -> 'a) -> 'a
+
+val check : t -> unit
+(** Probe every ceiling now.
+    @raise Nd_error.Budget_exceeded on the first crossed one. *)
+
+(** {1 The installed (ambient) budget}
+
+    Threading a budget value through every cover / kernel / index /
+    scan loop would contaminate every signature in the library.
+    Instead one budget is {e installed} for a dynamic extent and the
+    loops probe it blindly. *)
+
+val install : t option -> unit
+
+val installed : unit -> t option
+
+val with_installed : t -> (unit -> 'a) -> 'a
+(** Install for the duration of the callback (exception-safe,
+    restoring the previous ambient budget). *)
+
+val poll : unit -> unit
+(** Direct {!check} of the installed budget, if any.  For coarse
+    checkpoints: per cover bag, per index node, per preprocessing
+    item. *)
+
+val enter : string -> unit
+(** [enter phase] labels the installed budget (if any) with [phase]
+    and runs a direct {!check} — call at the start of each
+    preprocessing stage / answering mode so later amortized {!tick}
+    failures are attributed to the right phase. *)
+
+val tick : unit -> unit
+(** Amortized probe for hot paths (store operations, scan steps,
+    evaluator recursion): only every {!probe_period}-th tick runs a
+    full {!check} — except on an already-exhausted budget, which fails
+    fast on every probe. *)
+
+val probe_period : int
+(** The tick amortization factor (power of two). *)

@@ -19,4 +19,6 @@ let () =
       ("engine facade", Test_engine.suite);
       ("metrics + cost model", Test_metrics.suite);
       ("graph spec parsing", Test_gen_spec.suite);
+      ("budget", Test_budget.suite);
+      ("chaos", Test_chaos.suite);
     ]

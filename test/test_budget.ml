@@ -1,0 +1,216 @@
+(* Resource budgets, graceful degradation, and the structured error
+   taxonomy: a budget-exhausted prepare must yield a degraded but
+   *exact* handle (differentially checked against the naive evaluator),
+   and exhaustion during answering must raise the typed error naming
+   the right phase. *)
+
+open Nd_graph
+open Nd_logic
+module Budget = Nd_util.Budget
+
+let graph () =
+  Gen.randomly_color ~seed:17 ~colors:3 (Gen.bounded_degree ~seed:17 300 ~max_degree:3)
+
+let naive_solutions g phi =
+  Nd_eval.Naive.eval_all (Nd_eval.Naive.ctx g) ~vars:(Fo.free_vars phi) phi
+
+let test_one_op_budget_degrades_but_stays_exact () =
+  let g = graph () in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let b = Budget.create ~max_ops:1 () in
+  let eng = Nd_engine.prepare ~budget:b g phi in
+  Alcotest.(check bool) "degraded" true (Nd_engine.degraded eng);
+  (match Nd_engine.degradation eng with
+  | `Fallback reason ->
+      Alcotest.(check bool) "reason names a phase" true
+        (String.length reason > 0)
+  | `None -> Alcotest.fail "degradation accessor says `None");
+  (match Budget.exhausted b with
+  | Some info ->
+      Alcotest.(check bool) "exhausted phase recorded" true
+        (info.Nd_error.phase <> "" && info.Nd_error.phase <> "unknown");
+      Alcotest.(check bool) "resource is ops" true
+        (info.Nd_error.resource = Nd_error.Ops)
+  | None -> Alcotest.fail "budget not marked exhausted");
+  (* degraded ≡ naive: the fallback handle answers exactly *)
+  let got = Nd_engine.to_list eng in
+  let expected = naive_solutions g phi in
+  Alcotest.(check bool) "solutions non-trivial" true (expected <> []);
+  Alcotest.(check bool) "degraded enumeration ≡ naive" true (got = expected);
+  (* and test/next behave on the degraded handle too *)
+  let sol = List.hd expected in
+  Alcotest.(check bool) "degraded test" true (Nd_engine.test eng sol);
+  Alcotest.(check bool) "degraded next" true
+    (Nd_engine.next eng sol = Some sol)
+
+let test_degraded_matches_full_pipeline () =
+  let g = graph () in
+  let phi = Parse.formula "dist(x,y) > 2 & C1(y)" in
+  let full = Nd_engine.prepare g phi in
+  let degraded =
+    Nd_engine.prepare ~budget:(Budget.create ~max_ops:1 ()) g phi
+  in
+  Alcotest.(check bool) "full not degraded" false (Nd_engine.degraded full);
+  Alcotest.(check bool) "handle degraded" true (Nd_engine.degraded degraded);
+  Alcotest.(check bool) "same solutions" true
+    (Nd_engine.to_list full = Nd_engine.to_list degraded)
+
+let test_degraded_sentence () =
+  let g = graph () in
+  (* pre-exhaust the budget (sentences over pure edge atoms may not
+     advance the ops clock themselves, but an exhausted budget fails
+     fast on every cooperative probe) *)
+  let exhaust () =
+    let b = Budget.create ~max_ops:1 () in
+    (try
+       Budget.with_installed b (fun () ->
+           ignore (Nd_engine.prepare g (Parse.formula "dist(x,y) <= 2")))
+     with Nd_error.Budget_exceeded _ -> ());
+    Alcotest.(check bool) "pre-exhausted" true (Budget.exhausted b <> None);
+    b
+  in
+  let phi = Parse.formula "exists x y. E(x,y)" in
+  let eng = Nd_engine.prepare ~budget:(exhaust ()) g phi in
+  Alcotest.(check bool) "sentence degraded" true (Nd_engine.degraded eng);
+  (* still model-checks exactly, on first use *)
+  Alcotest.(check bool) "degraded sentence holds" true (Nd_engine.holds eng);
+  let no = Parse.formula "exists x. E(x,x)" in
+  let eng_no = Nd_engine.prepare ~budget:(exhaust ()) g no in
+  Alcotest.(check bool) "sentence degraded (false case)" true
+    (Nd_engine.degraded eng_no);
+  Alcotest.(check bool) "degraded false sentence" false (Nd_engine.holds eng_no)
+
+let test_timeout_budget () =
+  let g = Gen.randomly_color ~seed:3 ~colors:3 (Gen.grid 40 40) in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let b = Budget.create ~timeout_ms:1 () in
+  let eng = Nd_engine.prepare ~budget:b g phi in
+  Alcotest.(check bool) "wall-clock budget degrades" true
+    (Nd_engine.degraded eng);
+  match Budget.exhausted b with
+  | Some info ->
+      Alcotest.(check bool) "resource is time" true
+        (info.Nd_error.resource = Nd_error.Time)
+  | None -> Alcotest.fail "budget not marked exhausted"
+
+let test_generous_budget_is_invisible () =
+  let g = graph () in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let b = Budget.create ~max_ops:max_int ~timeout_ms:3_600_000 () in
+  let eng = Nd_engine.prepare ~budget:b g phi in
+  Alcotest.(check bool) "not degraded" false (Nd_engine.degraded eng);
+  Alcotest.(check bool) "compiled as usual" true (Nd_engine.compiled eng);
+  let got = Budget.with_installed b (fun () -> Nd_engine.to_list eng) in
+  Alcotest.(check bool) "same solutions under generous budget" true
+    (got = naive_solutions g phi)
+
+let test_answering_exhaustion_raises () =
+  let g = graph () in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let eng = Nd_engine.prepare g phi in
+  let b = Budget.create ~max_ops:1 () in
+  match
+    Budget.with_installed b (fun () ->
+        Budget.enter "answer";
+        Nd_engine.to_list eng)
+  with
+  | exception Nd_error.Budget_exceeded info ->
+      Alcotest.(check string) "phase" "answer" info.Nd_error.phase;
+      Alcotest.(check bool) "used > limit" true
+        (info.Nd_error.used > info.Nd_error.limit)
+  | _ -> Alcotest.fail "enumeration under a 1-op budget did not trip"
+
+let test_renew_and_stickiness () =
+  let b = Budget.create ~max_ops:1 () in
+  (* no ?budget argument: the ambient installed budget raises raw *)
+  (match
+     Budget.with_installed b (fun () ->
+         ignore (Nd_engine.prepare (graph ()) (Parse.formula "dist(x,y) <= 2")))
+   with
+  | exception Nd_error.Budget_exceeded _ -> ()
+  | _ -> Alcotest.fail "preprocessing under 1 op did not trip");
+  Alcotest.(check bool) "exhaustion sticky" true (Budget.exhausted b <> None);
+  Budget.renew b;
+  Alcotest.(check bool) "renew clears" true (Budget.exhausted b = None);
+  Budget.check b (* a renewed budget passes a direct check *)
+
+let test_stats_surface_degradation () =
+  let g = graph () in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let b = Budget.create ~max_ops:1 () in
+  let eng = Nd_engine.prepare ~budget:b g phi in
+  let s = Nd_engine.stats eng in
+  Alcotest.(check bool) "stats.degraded" true s.Nd_engine.Stats.degraded;
+  Alcotest.(check bool) "stats reason present" true
+    (s.Nd_engine.Stats.degradation_reason <> None);
+  (match s.Nd_engine.Stats.budget_exhausted with
+  | Some info -> Alcotest.(check bool) "phase named" true (info.Nd_error.phase <> "")
+  | None -> Alcotest.fail "stats.budget_exhausted empty");
+  let js = Nd_engine.Stats.to_json s in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json degradation mode" true
+    (contains "\"mode\":\"fallback\"" js);
+  Alcotest.(check bool) "json budget exhausted" true
+    (contains "\"exhausted\":true" js)
+
+let test_paranoid_mode () =
+  let g = graph () in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let eng = Nd_engine.prepare ~paranoid:true g phi in
+  let sols = Nd_engine.to_list eng in
+  Alcotest.(check bool) "solutions found" true (sols <> []);
+  let s = Nd_engine.stats eng in
+  Alcotest.(check bool) "differential checks ran" true
+    (s.Nd_engine.Stats.paranoid_checks > 0);
+  (* paranoid re-checks must not consume an installed budget *)
+  let b = Budget.create ~timeout_ms:3_600_000 () in
+  let eng2 = Nd_engine.prepare ~paranoid:true ~budget:b g phi in
+  Alcotest.(check bool) "paranoid under budget" true
+    (Nd_engine.to_list eng2 = sols)
+
+let test_error_taxonomy () =
+  let info =
+    { Nd_error.phase = "cover"; resource = Nd_error.Ops; limit = 1; used = 2 }
+  in
+  Alcotest.(check (option int)) "user error -> 2" (Some 2)
+    (Nd_error.exit_code (Nd_error.User_error "x"));
+  Alcotest.(check (option int)) "budget -> 3" (Some 3)
+    (Nd_error.exit_code (Nd_error.Budget_exceeded info));
+  Alcotest.(check (option int)) "invariant -> 4" (Some 4)
+    (Nd_error.exit_code (Nd_error.Internal_invariant "x"));
+  Alcotest.(check (option int)) "other -> none" None
+    (Nd_error.exit_code Not_found);
+  Alcotest.(check bool) "describe names phase" true
+    (Nd_error.message (Nd_error.Budget_exceeded info) <> None);
+  (match Budget.create ~max_ops:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-positive ceiling accepted");
+  let b = Budget.create ~max_ops:5 () in
+  Alcotest.(check bool) "limited" true (Budget.limited b);
+  Alcotest.(check (option int)) "max_ops accessor" (Some 5) (Budget.max_ops b)
+
+let suite =
+  [
+    Alcotest.test_case "1-op budget: degraded but exact" `Slow
+      test_one_op_budget_degrades_but_stays_exact;
+    Alcotest.test_case "degraded ≡ full pipeline" `Slow
+      test_degraded_matches_full_pipeline;
+    Alcotest.test_case "degraded sentence" `Quick test_degraded_sentence;
+    Alcotest.test_case "wall-clock budget" `Quick test_timeout_budget;
+    Alcotest.test_case "generous budget invisible" `Slow
+      test_generous_budget_is_invisible;
+    Alcotest.test_case "answering exhaustion raises" `Quick
+      test_answering_exhaustion_raises;
+    Alcotest.test_case "renew clears stickiness" `Quick
+      test_renew_and_stickiness;
+    Alcotest.test_case "stats surface degradation" `Quick
+      test_stats_surface_degradation;
+    Alcotest.test_case "paranoid differential sampling" `Slow
+      test_paranoid_mode;
+    Alcotest.test_case "error taxonomy and exit codes" `Quick
+      test_error_taxonomy;
+  ]

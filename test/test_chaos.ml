@@ -1,0 +1,171 @@
+(* The fault-injection harness (Nd_ram.Chaos) against the invariant
+   walker (Store.validate): structural corruption must be *detected*,
+   never silently absorbed, and dropped updates must be visible
+   differentially against the Ref_store oracle. *)
+
+module S = Nd_ram.Store
+module C = Nd_ram.Chaos
+module R = Nd_ram.Ref_store
+
+let n = 64
+let k = 2
+
+let random_key st = [| Random.State.int st n; Random.State.int st n |]
+
+(* a non-trivial valid store: deep enough (d=8, h=2, depth 4) that every
+   register kind — inner children, (0,·) cells, back-pointers — exists *)
+let populated_store seed =
+  let st = Random.State.make [| seed |] in
+  let t = S.create ~n ~k ~epsilon:0.5 in
+  for i = 0 to 15 + Random.State.int st 16 do
+    S.add t (random_key st) i
+  done;
+  t
+
+let check_valid what t =
+  match S.validate t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+(* -------- validate on healthy stores -------- *)
+
+let test_validate_random_schedules () =
+  (* 1000 random update/lookup operations, cross-checked against the
+     functional oracle and validated along the way *)
+  let st = Random.State.make [| 0xbeef |] in
+  let t = S.create ~n ~k ~epsilon:0.5 in
+  let r = ref (R.empty ~n ~k) in
+  for i = 1 to 1000 do
+    let key = random_key st in
+    (match Random.State.int st 4 with
+    | 0 -> S.remove t key; r := R.remove !r key
+    | _ -> S.add t key i; r := R.add !r key i);
+    let probe = random_key st in
+    if S.find t probe <> R.find !r probe then
+      Alcotest.failf "lookup diverges from oracle at op %d" i;
+    if i mod 100 = 0 then check_valid (Printf.sprintf "after op %d" i) t
+  done;
+  check_valid "final" t;
+  Alcotest.(check int) "cardinal agrees" (R.cardinal !r) (S.cardinal t)
+
+(* -------- every structural fault class is caught -------- *)
+
+let assert_fault_detected seed fault =
+  let t = populated_store seed in
+  check_valid "pre-injection" t;
+  let c = C.create ~seed t in
+  if not (C.inject c fault) then
+    Alcotest.failf "%s: no injectable target in a populated store"
+      (C.fault_name fault);
+  match S.validate t with
+  | Error _ -> ()
+  | Ok () ->
+      Alcotest.failf "%s: injected fault passed validate (%s)"
+        (C.fault_name fault)
+        (String.concat "; " (List.map snd (C.injected c)))
+
+let test_each_fault_class_detected () =
+  List.iter
+    (fun fault -> List.iter (fun s -> assert_fault_detected s fault) [ 1; 7; 42 ])
+    C.structural_faults
+
+let prop_faults_detected =
+  QCheck.Test.make ~name:"every injected corruption is caught by validate"
+    ~count:60
+    QCheck.(
+      pair (int_bound 100000)
+        (int_bound (List.length C.structural_faults - 1)))
+    (fun (seed, fi) ->
+      assert_fault_detected seed (List.nth C.structural_faults fi);
+      true)
+
+let test_probabilistic_corruption_detected () =
+  (* p_corrupt = 1: the very first non-dropped update corrupts *)
+  let t = S.create ~n ~k ~epsilon:0.5 in
+  S.add t [| 1; 2 |] 0;
+  let c = C.create ~p_corrupt:1.0 ~seed:5 t in
+  C.add c [| 3; 4 |] 1;
+  Alcotest.(check bool) "corruption logged" true (C.corrupted c > 0);
+  match S.validate (C.store c) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "probabilistic corruption passed validate"
+
+(* -------- dropped updates: structurally valid, semantically wrong -------- *)
+
+let test_dropped_updates_diverge_from_oracle () =
+  let t = S.create ~n ~k ~epsilon:0.5 in
+  let c = C.create ~p_drop:0.25 ~seed:11 t in
+  let r = ref (R.empty ~n ~k) in
+  (* distinct keys only, adds only: any drop is a guaranteed divergence *)
+  for i = 0 to 59 do
+    let key = [| i mod n; (i * 7) mod n |] in
+    C.add c key i;
+    r := R.add !r key i
+  done;
+  Alcotest.(check bool) "some updates dropped" true (C.dropped c > 0);
+  Alcotest.(check int) "drops are logged" (C.dropped c)
+    (List.length
+       (List.filter
+          (fun (f, _) -> f = C.Dropped_add || f = C.Dropped_remove)
+          (C.injected c)));
+  (* the corrupted-by-omission store still looks healthy... *)
+  check_valid "dropped updates keep the structure valid" t;
+  (* ...and only the oracle exposes the lie *)
+  Alcotest.(check bool) "cardinal diverges" true
+    (S.cardinal t < R.cardinal !r);
+  let missing =
+    List.filter (fun (key, _) -> not (S.mem t key)) (R.to_list !r)
+  in
+  Alcotest.(check int) "every dropped add is missing" (C.dropped c)
+    (List.length missing)
+
+(* -------- harness plumbing -------- *)
+
+let test_chaos_passthrough_and_validation () =
+  let t = S.create ~n ~k ~epsilon:0.5 in
+  let c = C.create ~seed:3 t in
+  (* zero probabilities: a transparent wrapper *)
+  for i = 0 to 19 do
+    C.add c [| i; i |] i
+  done;
+  Alcotest.(check int) "no faults" 0 (List.length (C.injected c));
+  Alcotest.(check bool) "find through wrapper" true
+    (C.find c [| 7; 7 |] = S.Value 7);
+  Alcotest.(check bool) "mem through wrapper" true (C.mem c [| 8; 8 |]);
+  C.remove c [| 7; 7 |];
+  Alcotest.(check bool) "remove applied" false (C.mem c [| 7; 7 |]);
+  check_valid "transparent wrapper" t;
+  (match C.create ~p_drop:1.5 ~seed:0 t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p_drop > 1 accepted");
+  (* injection on a fresh 1-key store: dropped classes are never
+     injectable on demand *)
+  Alcotest.(check bool) "inject Dropped_add = false" false
+    (C.inject c C.Dropped_add)
+
+let test_cardinal_skew_detected () =
+  let t = populated_store 9 in
+  let card = S.cardinal t in
+  let c = C.create ~seed:9 t in
+  Alcotest.(check bool) "skew injects" true (C.inject c C.Skew_cardinal);
+  Alcotest.(check int) "cardinal visibly skewed" (card + 1) (S.cardinal t);
+  match S.validate t with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "cardinality skew passed validate"
+
+let suite =
+  [
+    Alcotest.test_case "validate on 1k random update/lookup schedule" `Quick
+      test_validate_random_schedules;
+    Alcotest.test_case "each structural fault class detected" `Quick
+      test_each_fault_class_detected;
+    QCheck_alcotest.to_alcotest prop_faults_detected;
+    Alcotest.test_case "probabilistic corruption detected" `Quick
+      test_probabilistic_corruption_detected;
+    Alcotest.test_case "dropped updates diverge from oracle" `Quick
+      test_dropped_updates_diverge_from_oracle;
+    Alcotest.test_case "transparent wrapper + bad probabilities" `Quick
+      test_chaos_passthrough_and_validation;
+    Alcotest.test_case "cardinality skew detected" `Quick
+      test_cardinal_skew_detected;
+  ]

@@ -112,11 +112,19 @@ let test_input_validation () =
   let g = graph () in
   let eng = Nd_engine.prepare g (Parse.formula "E(x,y)") in
   (match Nd_engine.next eng [| 0 |] with
-  | exception Invalid_argument _ -> ()
+  | exception Nd_error.User_error _ -> ()
   | _ -> Alcotest.fail "arity mismatch accepted");
-  match Nd_engine.next eng [| 0; Cgraph.n g |] with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "out-of-range vertex accepted"
+  (match Nd_engine.next eng [| 0; Cgraph.n g |] with
+  | exception Nd_error.User_error _ -> ()
+  | _ -> Alcotest.fail "out-of-range vertex accepted");
+  (match Nd_engine.test eng [| 0; -1 |] with
+  | exception Nd_error.User_error _ -> ()
+  | _ -> Alcotest.fail "negative vertex accepted by test");
+  (* sentences validate through the same taxonomy as queries *)
+  let sent = Nd_engine.prepare g (Parse.formula "exists x y. E(x,y)") in
+  match Nd_engine.next sent [| 0 |] with
+  | exception Nd_error.User_error _ -> ()
+  | _ -> Alcotest.fail "sentence accepted a non-empty tuple"
 
 let test_stats_sanity () =
   Nd_engine.reset_metrics ();
