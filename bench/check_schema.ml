@@ -266,6 +266,27 @@ let check_budget_point i p =
       err "%s.ops_delta_pct: |%g| exceeds the 2%% probe-overhead budget" path d
   | _ -> ()
 
+(* the persistence gate: reviving a snapshot must beat redoing the
+   Theorem 2.3 preprocessing, or the subsystem has no reason to exist *)
+let check_snapshot_point i p =
+  let path = Printf.sprintf "snapshot[%d]" i in
+  ignore (get_str path p "spec");
+  (match get_num path p "prepare_s" with
+  | Some f when f <= 0. -> err "%s.prepare_s: non-positive" path
+  | _ -> ());
+  ignore (get_num path p "save_s");
+  (match get_num path p "load_s" with
+  | Some f when f <= 0. -> err "%s.load_s: non-positive" path
+  | _ -> ());
+  (match get_num path p "bytes" with
+  | Some f when f <= 0. -> err "%s.bytes: empty snapshot" path
+  | _ -> ());
+  match get_num path p "speedup" with
+  | Some s when s <= 1.0 ->
+      err "%s.speedup: %g — snapshot load is not faster than cold prepare"
+        path s
+  | _ -> ()
+
 let check_store_point i p =
   let path = Printf.sprintf "store[%d]" i in
   ignore (get_num path p "n");
@@ -320,6 +341,11 @@ let () =
   | Some (Arr []) -> err "$.budget_overhead: empty"
   | Some (Arr pts) -> List.iteri check_budget_point pts
   | Some _ -> err "$.budget_overhead: expected an array"
+  | None -> ());
+  (match field "$" j "snapshot" with
+  | Some (Arr []) -> err "$.snapshot: empty"
+  | Some (Arr pts) -> List.iteri check_snapshot_point pts
+  | Some _ -> err "$.snapshot: expected an array"
   | None -> ());
   match !errors with
   | [] ->

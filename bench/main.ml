@@ -893,6 +893,39 @@ let ee_store_point n =
     (h "store.lookup_touches")
     (h "store.update_touches")
 
+(* One SN row: cold prepare vs snapshot save + load on the same
+   instance.  The load side skips the whole Theorem 2.3 preprocessing,
+   so the speedup is the case for persisting it; check_schema gates
+   speedup > 1. *)
+let ee_snapshot_point spec =
+  let phi = Nd_logic.Parse.formula "dist(x,y) <= 2" in
+  let g = Gen.randomly_color ~seed:5 ~colors:2 (Gen.of_spec ~seed:5 spec) in
+  let eng, prepare_s = time (fun () -> Nd_engine.prepare g phi) in
+  let path = Filename.temp_file "nd_bench" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let bytes, save_s = time (fun () -> Nd_snapshot.save ~path eng) in
+  let loaded, load_s =
+    time (fun () ->
+        match Nd_snapshot.load ~path g phi with
+        | Ok e -> e
+        | Error c -> failwith ("snapshot rejected: " ^ Nd_snapshot.describe c))
+  in
+  ignore loaded;
+  let speedup = prepare_s /. Float.max load_s 1e-9 in
+  Printf.printf "  %s  prepare=%s  save=%s  load=%s  speedup=%.1fx  %d bytes\n%!"
+    spec (ns prepare_s) (ns save_s) (ns load_s) speedup bytes;
+  Printf.sprintf
+    "{\"spec\":%S,\"prepare_s\":%.9g,\"save_s\":%.9g,\"load_s\":%.9g,\
+     \"bytes\":%d,\"speedup\":%.9g}"
+    spec prepare_s save_s load_s bytes speedup
+
+let ee_snapshot_specs () =
+  if !smoke then [ "grid:20x20" ]
+  else if !quick then [ "grid:30x30" ]
+  else [ "grid:30x30"; "grid:56x56" ]
+
 let ee_engine_json () =
   let qtext = "dist(x,y) <= 2" in
   let phi = Nd_logic.Parse.formula qtext in
@@ -931,15 +964,20 @@ let ee_engine_json () =
      on record even in CI's smoke run *)
   let budget_points = List.map (fun s -> er_json (er_point s)) (er_sides ()) in
   Nd_util.Metrics.disable ();
+  (* SN rows: snapshot persistence, measured without instrumentation so
+     the prepare-vs-load comparison is what production sees *)
+  let snapshot_points = List.map ee_snapshot_point (ee_snapshot_specs ()) in
   let mode = if !smoke then "smoke" else if !quick then "quick" else "full" in
   let doc =
     Printf.sprintf
       "{\"schema\":\"nd-engine-bench/1\",\"mode\":\"%s\",\"query\":\"%s\",\
-       \"engine\":[%s],\"store\":[%s],\"budget_overhead\":[%s]}"
+       \"engine\":[%s],\"store\":[%s],\"budget_overhead\":[%s],\
+       \"snapshot\":[%s]}"
       mode qtext
       (String.concat "," engine_points)
       (String.concat "," store_points)
       (String.concat "," budget_points)
+      (String.concat "," snapshot_points)
   in
   let path = "BENCH_engine.json" in
   let oc = open_out path in

@@ -200,11 +200,12 @@ let with_engine spec query colors seed epsilon stats stats_json budget_ops
   in
   match body () with
   | () -> emit ()
-  | exception Nd_error.Budget_exceeded info ->
-      (* stats first — the JSON record names the exhausted phase — then
-         the diagnostic and exit code, via [run]. *)
+  | exception e ->
+      (* stats first, on every abnormal exit (user error, budget, or
+         internal invariant alike — the record is the post-mortem),
+         then the diagnostic and exit code, via [run]. *)
       emit ();
-      raise (Nd_error.Budget_exceeded info)
+      raise e
 
 (* ---------------- subcommands ---------------- *)
 
@@ -310,6 +311,122 @@ let stats spec colors seed =
         p.Nd_nowhere.Wcol.max p.Nd_nowhere.Wcol.mean)
     rep.Nd_engine.Inspect.wcol
 
+(* ---------------- snapshot persistence ---------------- *)
+
+let make_budget budget_ops timeout_ms =
+  if budget_ops = None && timeout_ms = None then None
+  else Some (Nd_util.Budget.create ?max_ops:budget_ops ?timeout_ms ())
+
+let snapshot_save spec query colors seed epsilon budget_ops timeout_ms warm
+    file =
+ run @@ fun () ->
+  let g = load spec ~colors ~seed in
+  let phi = Nd_logic.Parse.formula query in
+  let budget = make_budget budget_ops timeout_ms in
+  let eng, prep =
+    time (fun () -> Nd_engine.prepare ~epsilon ?budget g phi)
+  in
+  if warm > 0 then Nd_engine.enumerate ~limit:warm (fun _ -> ()) eng;
+  let bytes, t = time (fun () -> Nd_snapshot.save ~path:file eng) in
+  Printf.printf
+    "snapshot: %d bytes to %s (prepare %.3fs, save %.3fs, %d cached \
+     solutions)\n"
+    bytes file prep t
+    (Nd_engine.cache_size eng)
+
+let snapshot_load spec query colors seed epsilon strict file =
+ run @@ fun () ->
+  let g = load spec ~colors ~seed in
+  let phi = Nd_logic.Parse.formula query in
+  let eng, t =
+    if strict then
+      match time (fun () -> Nd_snapshot.load ~path:file g phi) with
+      | Ok eng, t ->
+          Printf.printf "loaded %s in %.3fs\n" file t;
+          (eng, t)
+      | Error c, _ ->
+          Nd_error.user_errorf "snapshot rejected: %s" (Nd_snapshot.describe c)
+    else
+      let (eng, outcome), t =
+        time (fun () -> Nd_snapshot.load_or_rebuild ~epsilon ~path:file g phi)
+      in
+      (match outcome with
+      | Nd_snapshot.Loaded -> Printf.printf "loaded %s in %.3fs\n" file t
+      | Nd_snapshot.Rebuilt c ->
+          Printf.printf "snapshot rejected (%s); rebuilt in %.3fs\n"
+            (Nd_snapshot.describe c) t);
+      (eng, t)
+  in
+  ignore t;
+  Printf.printf "cache: %d solutions%s\n"
+    (Nd_engine.cache_size eng)
+    (if Nd_engine.cache_complete eng then " (complete)" else "");
+  match Nd_engine.first eng with
+  | Some s -> Printf.printf "first solution: %s\n" (Nd_util.Tuple.to_string s)
+  | None -> print_endline "no solutions"
+
+let snapshot_info file =
+ run @@ fun () ->
+  match Nd_snapshot.info ~path:file with
+  | Error c ->
+      Nd_error.user_errorf "%s: %s" file (Nd_snapshot.describe c)
+  | Ok i ->
+      Printf.printf "format version: %d (built by OCaml %s)\n"
+        i.Nd_snapshot.version i.Nd_snapshot.ocaml_version;
+      Printf.printf "query: %s (arity %d, hash %08x)\n" i.Nd_snapshot.query
+        i.Nd_snapshot.arity i.Nd_snapshot.query_hash;
+      Printf.printf "graph: %d vertices, %d edges, %d colors (fingerprint \
+                     %08x)\n"
+        i.Nd_snapshot.graph_n i.Nd_snapshot.graph_m i.Nd_snapshot.graph_colors
+        i.Nd_snapshot.graph_fingerprint;
+      Printf.printf "epsilon: %g\ncached solutions: %d\n" i.Nd_snapshot.epsilon
+        i.Nd_snapshot.cached_solutions;
+      List.iter
+        (fun s ->
+          Printf.printf "section %s: %d bytes at offset %d, crc %08x\n"
+            s.Nd_snapshot.tag s.Nd_snapshot.len s.Nd_snapshot.off
+            s.Nd_snapshot.crc)
+        i.Nd_snapshot.sections
+
+(* ---------------- serve ---------------- *)
+
+let serve spec query colors seed epsilon snapshot_file socket
+    request_budget_ops request_timeout_ms max_enumerate chaos =
+ run @@ fun () ->
+  let g = load spec ~colors ~seed in
+  let phi = Nd_logic.Parse.formula query in
+  (* diagnostics go to stderr; stdout carries only protocol replies *)
+  let eng =
+    match snapshot_file with
+    | Some path ->
+        let eng, outcome = Nd_snapshot.load_or_rebuild ~epsilon ~path g phi in
+        (match outcome with
+        | Nd_snapshot.Loaded ->
+            Printf.eprintf "fodb serve: loaded snapshot %s\n%!" path
+        | Nd_snapshot.Rebuilt c ->
+            Printf.eprintf "fodb serve: snapshot rejected (%s); rebuilt\n%!"
+              (Nd_snapshot.describe c));
+        eng
+    | None -> Nd_engine.prepare ~epsilon g phi
+  in
+  let config =
+    { Nd_server.request_budget_ops; request_timeout_ms; max_enumerate; chaos }
+  in
+  let srv = Nd_server.create ~config eng in
+  (try
+     let stop _ = Nd_server.request_stop srv in
+     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+   with Invalid_argument _ | Sys_error _ -> ());
+  (match socket with
+  | Some path -> Nd_server.serve_socket srv ~path
+  | None -> Nd_server.serve srv stdin stdout);
+  let c = Nd_server.counts srv in
+  Printf.eprintf
+    "fodb serve: %d requests (%d ok, %d user, %d budget, %d internal)\n%!"
+    c.Nd_server.requests c.Nd_server.ok c.Nd_server.user_errors
+    c.Nd_server.budget_errors c.Nd_server.internal_errors
+
 (* ---------------- command wiring ---------------- *)
 
 let limit_arg =
@@ -364,6 +481,115 @@ let cmd_stats =
   Cmd.v (Cmd.info "stats" ~doc:"Graph sparsity statistics")
     Term.(const stats $ graph_arg $ colors_arg $ seed_arg)
 
+let file_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Snapshot file.")
+
+let warm_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "warm" ] ~docv:"N"
+        ~doc:
+          "Enumerate this many solutions into the cache before saving, so \
+           the snapshot revives a warm store.")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Fail (exit 2) when the snapshot is rejected instead of rebuilding \
+           from scratch.")
+
+let cmd_snapshot =
+  let save =
+    Cmd.v
+      (Cmd.info "save" ~exits
+         ~doc:"Prepare a handle and persist it to a snapshot file")
+      Term.(
+        const snapshot_save $ graph_arg $ query_arg $ colors_arg $ seed_arg
+        $ epsilon_arg $ budget_ops_arg $ timeout_ms_arg $ warm_arg $ file_arg)
+  in
+  let load =
+    Cmd.v
+      (Cmd.info "load" ~exits
+         ~doc:
+           "Verify and revive a snapshot (falling back to a rebuild on any \
+            corruption unless $(b,--strict))")
+      Term.(
+        const snapshot_load $ graph_arg $ query_arg $ colors_arg $ seed_arg
+        $ epsilon_arg $ strict_arg $ file_arg)
+  in
+  let info_cmd =
+    Cmd.v
+      (Cmd.info "info" ~exits
+         ~doc:"Verify a snapshot's checksums and print its metadata")
+      Term.(const snapshot_info $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "snapshot" ~exits
+       ~doc:"Crash-safe persistence of prepared handles")
+    [ save; load; info_cmd ]
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Serve over a Unix-domain socket instead of stdin/stdout.")
+
+let request_budget_ops_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "request-budget-ops" ] ~docv:"N"
+        ~doc:
+          "Cost-model operation ceiling installed around every single \
+           request; exhaustion yields an $(b,err budget) reply, never a \
+           dead loop.")
+
+let request_timeout_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "request-timeout-ms" ] ~docv:"N"
+        ~doc:"Per-request wall-clock deadline in milliseconds.")
+
+let max_enumerate_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "max-enumerate" ] ~docv:"N"
+        ~doc:"Page-size cap (and default) for the enumerate command.")
+
+let chaos_arg =
+  Arg.(
+    value & flag
+    & info [ "chaos" ]
+        ~doc:
+          "Accept the $(b,inject) fault command (test/CI use: prove the \
+           loop survives internal failures).")
+
+let cmd_serve =
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Answer next/test/enumerate requests over a line protocol with \
+          per-request budgets and full request isolation")
+    Term.(
+      const serve $ graph_arg $ query_arg $ colors_arg $ seed_arg
+      $ epsilon_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "snapshot" ] ~docv:"FILE"
+              ~doc:
+                "Load the prepared handle from this snapshot (rebuilding on \
+                 any corruption) instead of preparing from scratch.")
+      $ socket_arg $ request_budget_ops_arg $ request_timeout_ms_arg
+      $ max_enumerate_arg $ chaos_arg)
+
 let () =
   let doc = "FO query enumeration over nowhere dense graphs" in
   exit
@@ -371,5 +597,5 @@ let () =
        (Cmd.group (Cmd.info "fodb" ~doc)
           [
             cmd_enumerate; cmd_count; cmd_test; cmd_next; cmd_cover;
-            cmd_splitter; cmd_stats;
+            cmd_splitter; cmd_stats; cmd_snapshot; cmd_serve;
           ]))

@@ -81,22 +81,23 @@ let prepare ?(epsilon = 0.5) ?(metrics = false) ?(cache_limit = default_cache_li
     match budget with
     | None -> (full_prepare (), `None)
     | Some b -> (
-        try (Budget.with_installed b full_prepare, `None)
-        with Nd_error.Budget_exceeded info ->
-          (* Preprocessing ran out of resources: degrade to an exact
-             handle with no delay guarantees instead of failing.  The
-             degraded construction is O(1) and runs unbudgeted. *)
-          let reason = Nd_error.describe_budget info in
-          let kind =
-            unbudgeted @@ fun () ->
-            if k = 0 then
-              Lazy_sentence
-                (lazy (Nd_eval.Naive.model_check (Nd_eval.Naive.ctx g) phi))
-            else
-              let nx = Nd_core.Next.build_fallback g phi ~reason in
-              Query { nx; cache = make_cache ~cache_limit ~epsilon g k }
-          in
-          (kind, `Fallback reason))
+        match Budget.with_budget b full_prepare with
+        | Ok kind -> (kind, `None)
+        | Error info ->
+            (* Preprocessing ran out of resources: degrade to an exact
+               handle with no delay guarantees instead of failing.  The
+               degraded construction is O(1) and runs unbudgeted. *)
+            let reason = Nd_error.describe_budget info in
+            let kind =
+              unbudgeted @@ fun () ->
+              if k = 0 then
+                Lazy_sentence
+                  (lazy (Nd_eval.Naive.model_check (Nd_eval.Naive.ctx g) phi))
+              else
+                let nx = Nd_core.Next.build_fallback g phi ~reason in
+                Query { nx; cache = make_cache ~cache_limit ~epsilon g k }
+            in
+            (kind, `Fallback reason))
   in
   {
     g;
@@ -607,4 +608,160 @@ module Inspect = struct
       degree_median = (if n = 0 then 0 else degs.(n / 2));
       wcol = List.map (fun r -> (r, Wcol.profile g ~r)) wcol_radii;
     }
+end
+
+(* ---------------------------------------------------------------- *)
+(* Persistence boundary.
+
+   The snapshot codec (Nd_snapshot) must not see the engine's
+   internals, and the engine must not know about files, checksums or
+   corruption; [Persist] is the seam between them.  A payload is the
+   closure-free preprocessing product (Next/Tester pipeline, which by
+   marshal sharing carries the graph exactly once) plus the query;
+   the solution cache travels separately as a plain key list so a
+   loaded handle rebuilds its Theorem 3.1 store through the ordinary
+   [Store.add] path instead of trusting serialized registers. *)
+
+module Persist = struct
+  type core = P_sentence of Nd_core.Tester.t | P_query of Nd_core.Next.t
+
+  type payload = {
+    p_g : Cgraph.t;
+    p_phi : Fo.t;
+    p_k : int;
+    p_epsilon : float;
+    p_cache_limit : int;
+    p_core : core;
+  }
+
+  type cache_payload = {
+    c_keys : Tuple.t array;  (* increasing; replayed through Store.add *)
+    c_frontier : Tuple.t option;
+    c_full : bool;
+    c_complete : bool;
+  }
+
+  let cache_entries cp = Array.length cp.c_keys
+
+  let export t =
+    (match t.degradation with
+    | `Fallback r ->
+        Nd_error.user_errorf
+          "Nd_engine.Persist.export: refusing to snapshot a degraded handle \
+           (%s); it holds no preprocessing product worth persisting"
+          r
+    | `None -> ());
+    let core, cache =
+      match t.kind with
+      | Sentence ts -> (P_sentence ts, None)
+      | Lazy_sentence _ ->
+          (* lazy sentences are only ever built on the degraded path,
+             which the check above already rejected *)
+          assert false
+      | Query q ->
+          let cache =
+            Option.map
+              (fun c ->
+                let keys = ref [] in
+                Store.iter (fun key () -> keys := key :: !keys) c.store;
+                {
+                  c_keys = Array.of_list (List.rev !keys);
+                  c_frontier = c.frontier;
+                  c_full = c.full;
+                  c_complete = c.complete;
+                })
+              q.cache
+          in
+          (P_query q.nx, cache)
+    in
+    ( {
+        p_g = t.g;
+        p_phi = t.phi;
+        p_k = t.k;
+        p_epsilon = t.epsilon;
+        p_cache_limit = t.cache_limit;
+        p_core = core;
+      },
+      cache )
+
+  (* Cheap cross-checks between a decoded payload and what the caller
+     asked for.  The per-section CRCs already reject random corruption;
+     these reject *coherent* wrong data — a section transplanted from a
+     different (internally valid) snapshot, or a snapshot presented
+     with the wrong graph or query. *)
+  let import ~graph ~query p cache_p =
+    let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    if Fo.to_string p.p_phi <> Fo.to_string query then
+      err "payload query %s does not match requested %s"
+        (Fo.to_string p.p_phi) (Fo.to_string query)
+    else if p.p_k <> Fo.arity p.p_phi then
+      err "payload arity %d inconsistent with its query" p.p_k
+    else if not (Cgraph.equal p.p_g graph) then
+      err "payload graph (n=%d, m=%d) differs from the graph presented at load"
+        (Cgraph.n p.p_g) (Cgraph.m p.p_g)
+    else if p.p_cache_limit < 0 || p.p_epsilon <= 0. then
+      err "payload carries nonsensical parameters"
+    else if
+      (* cache keys are replayed through the live Store.add below, so
+         they must be vetted first: a key of the wrong arity or with an
+         out-of-range vertex (a cache section transplanted from another
+         instance) must yield Error, not an exception mid-replay *)
+      match cache_p with
+      | None -> false
+      | Some cp ->
+          let n = Cgraph.n p.p_g in
+          let bad key =
+            Array.length key <> p.p_k
+            || Array.exists (fun v -> v < 0 || v >= n) key
+          in
+          Array.exists bad cp.c_keys
+          || match cp.c_frontier with Some f -> bad f | None -> false
+    then err "cache payload carries keys outside the graph's vertex range"
+    else
+      let mk_cache cp =
+        match
+          make_cache ~cache_limit:p.p_cache_limit ~epsilon:p.p_epsilon p.p_g
+            p.p_k
+        with
+        | None -> None
+        | Some c ->
+            Array.iter (fun key -> Store.add c.store key ()) cp.c_keys;
+            c.frontier <- cp.c_frontier;
+            c.full <- cp.c_full;
+            c.complete <- cp.c_complete;
+            Some c
+      in
+      match (p.p_core, p.p_k) with
+      | P_sentence ts, 0 ->
+          Ok
+            {
+              g = p.p_g;
+              phi = p.p_phi;
+              k = 0;
+              epsilon = p.p_epsilon;
+              cache_limit = p.p_cache_limit;
+              kind = Sentence ts;
+              degradation = `None;
+              budget = None;
+              paranoid = false;
+              emitted = 0;
+              paranoid_checks = 0;
+            }
+      | P_query nx, k when k > 0 ->
+          let cache = Option.bind cache_p mk_cache in
+          Ok
+            {
+              g = p.p_g;
+              phi = p.p_phi;
+              k;
+              epsilon = p.p_epsilon;
+              cache_limit = p.p_cache_limit;
+              kind = Query { nx; cache };
+              degradation = `None;
+              budget = None;
+              paranoid = false;
+              emitted = 0;
+              paranoid_checks = 0;
+            }
+      | _ -> err "payload core does not match its arity"
 end

@@ -227,3 +227,47 @@ module Inspect : sig
     ?wcol_radii:int list -> Nd_graph.Cgraph.t -> graph_report
   (** Sparsity statistics ([wcol_radii] defaults to [[1; 2]]). *)
 end
+
+(** {1 Persistence boundary}
+
+    The seam between the engine and the on-disk snapshot codec
+    ([Nd_snapshot]): {!Persist.export} detaches the preprocessing
+    product of Theorem 2.3 from a live handle as an opaque, closure-free
+    value the codec can marshal, and {!Persist.import} reattaches it —
+    after cross-checking it against the graph and query the caller
+    expects, so a payload transplanted from a different snapshot (or
+    presented with the wrong inputs) is rejected instead of silently
+    answering for the wrong instance.  The engine knows nothing of
+    files, versions or checksums; the codec knows nothing of the
+    engine's internals. *)
+
+module Persist : sig
+  type payload
+  (** The preprocessing product: the Next/Tester pipeline (carrying the
+      graph once, by sharing) plus the query and build parameters.
+      Pure data — marshal-safe by construction. *)
+
+  type cache_payload
+  (** The solution cache as a plain ordered key list plus its frontier
+      state.  Kept separate so a loaded handle re-inserts every key
+      through the ordinary [Store.add] path — serialized registers are
+      never trusted as a live Theorem 3.1 structure. *)
+
+  val export : t -> payload * cache_payload option
+  (** @raise Nd_error.User_error on a degraded handle: it holds no
+      preprocessing product, only the naive fallback, so persisting it
+      would snapshot nothing of value. *)
+
+  val import :
+    graph:Nd_graph.Cgraph.t ->
+    query:Nd_logic.Fo.t ->
+    payload ->
+    cache_payload option ->
+    (t, string) result
+  (** Rebuild a live handle.  [Error] (never an exception) when the
+      payload is internally inconsistent or does not belong to
+      [graph]/[query].  The result has no budget and paranoid mode off;
+      install either around subsequent calls as usual. *)
+
+  val cache_entries : cache_payload -> int
+end

@@ -131,3 +131,74 @@ let mem c k = Store.mem c.store k
 let injected c = List.rev c.log
 let dropped c = c.n_dropped
 let corrupted c = c.n_corrupted
+
+(* ---------------- on-disk fault injection ---------------- *)
+
+module Disk = struct
+  let read path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  let write path s =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc s)
+
+  let size path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> in_channel_length ic)
+
+  let truncate_at path k =
+    let s = read path in
+    if k < 0 || k > String.length s then
+      invalid_arg
+        (Printf.sprintf "Chaos.Disk.truncate_at: %d outside [0,%d]" k
+           (String.length s));
+    write path (String.sub s 0 k)
+
+  let flip_bit path ~byte ~bit =
+    let s = read path in
+    if byte < 0 || byte >= String.length s then
+      invalid_arg
+        (Printf.sprintf "Chaos.Disk.flip_bit: byte %d outside [0,%d)" byte
+           (String.length s));
+    if bit < 0 || bit > 7 then
+      invalid_arg (Printf.sprintf "Chaos.Disk.flip_bit: bit %d outside 0..7" bit);
+    let b = Bytes.of_string s in
+    Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+    write path (Bytes.to_string b)
+
+  let patch path ~pos p =
+    let s = read path in
+    if pos < 0 || pos + String.length p > String.length s then
+      invalid_arg
+        (Printf.sprintf "Chaos.Disk.patch: range (%d,%d) overruns %d bytes" pos
+           (String.length p) (String.length s));
+    let b = Bytes.of_string s in
+    Bytes.blit_string p 0 b pos (String.length p);
+    write path (Bytes.to_string b)
+
+  let swap_ranges path (o1, l1) (o2, l2) =
+    let s = read path in
+    let len = String.length s in
+    let bad =
+      o1 < 0 || l1 < 0 || o2 < 0 || l2 < 0 || o1 + l1 > len || o2 + l2 > len
+    in
+    if bad then invalid_arg "Chaos.Disk.swap_ranges: range overruns the file";
+    (* order the ranges, then refuse overlap *)
+    let (a, la), (b, lb) = if o1 <= o2 then ((o1, l1), (o2, l2)) else ((o2, l2), (o1, l1)) in
+    if a + la > b then invalid_arg "Chaos.Disk.swap_ranges: overlapping ranges";
+    let out =
+      String.sub s 0 a
+      ^ String.sub s b lb            (* second range, moved first *)
+      ^ String.sub s (a + la) (b - (a + la))  (* the gap between them *)
+      ^ String.sub s a la            (* first range, moved second *)
+      ^ String.sub s (b + lb) (len - (b + lb))
+    in
+    write path out
+end

@@ -68,3 +68,44 @@ val dropped : 'v t -> int
 
 val corrupted : 'v t -> int
 (** Number of structural faults injected so far. *)
+
+(** {1 On-disk fault injection}
+
+    Byte surgery on snapshot files (or any file), for proving that the
+    [Nd_snapshot] codec detects every on-disk corruption class before
+    deserializing anything into a live handle.  The primitives are
+    deliberately low-level — truncate at byte [k], flip one bit, patch
+    a byte range, swap two ranges — and deterministic in their
+    arguments; the test-suite picks targets (section boundaries, the
+    version field, payload interiors) from the snapshot's
+    [layout] and a seeded RNG, so every failing schedule replays.
+
+    All operations edit the file in place and raise [Sys_error] on I/O
+    failure.  Never point them at a file you cannot regenerate. *)
+module Disk : sig
+  val size : string -> int
+
+  val read : string -> string
+  (** Whole-file contents (snapshot files are small enough). *)
+
+  val write : string -> string -> unit
+  (** Overwrite the file with exactly these bytes. *)
+
+  val truncate_at : string -> int -> unit
+  (** [truncate_at path k] keeps only the first [k] bytes.
+      @raise Invalid_argument when [k] is negative or past the end. *)
+
+  val flip_bit : string -> byte:int -> bit:int -> unit
+  (** Complement bit [bit] (0..7) of byte [byte].
+      @raise Invalid_argument when out of range. *)
+
+  val patch : string -> pos:int -> string -> unit
+  (** Overwrite bytes starting at [pos] (no resize).
+      @raise Invalid_argument when the patch overruns the file. *)
+
+  val swap_ranges : string -> int * int -> int * int -> unit
+  (** [swap_ranges path (o1, l1) (o2, l2)] exchanges two
+      non-overlapping byte ranges (the file keeps its length; the
+      ranges may differ in length).
+      @raise Invalid_argument on overlap or overrun. *)
+end

@@ -1,0 +1,389 @@
+open Nd_util
+
+(* Mirror counters for the Metrics registry (observable via `stats`);
+   the authoritative per-session counts live on [t] so `health` works
+   with instrumentation off. *)
+let m_requests = Metrics.counter "server.requests"
+let m_ok = Metrics.counter "server.replies_ok"
+let m_err_user = Metrics.counter "server.errors.user"
+let m_err_budget = Metrics.counter "server.errors.budget"
+let m_err_internal = Metrics.counter "server.errors.internal"
+let h_latency = Metrics.hist "server.request_us"
+
+type config = {
+  request_budget_ops : int option;
+  request_timeout_ms : int option;
+  max_enumerate : int;
+  chaos : bool;
+}
+
+let default_config =
+  {
+    request_budget_ops = None;
+    request_timeout_ms = None;
+    max_enumerate = 1000;
+    chaos = false;
+  }
+
+type cursor = Unstarted | At of int array | Exhausted
+
+type counts = {
+  requests : int;
+  ok : int;
+  user_errors : int;
+  budget_errors : int;
+  internal_errors : int;
+}
+
+type t = {
+  eng : Nd_engine.t;
+  config : config;
+  mutable cursor : cursor;
+  mutable quit : bool;
+  mutable stop : bool;
+  mutable c_requests : int;
+  mutable c_ok : int;
+  mutable c_user : int;
+  mutable c_budget : int;
+  mutable c_internal : int;
+}
+
+let create ?(config = default_config) eng =
+  if config.max_enumerate <= 0 then
+    invalid_arg "Nd_server.create: max_enumerate must be positive";
+  {
+    eng;
+    config;
+    cursor = Unstarted;
+    quit = false;
+    stop = false;
+    c_requests = 0;
+    c_ok = 0;
+    c_user = 0;
+    c_budget = 0;
+    c_internal = 0;
+  }
+
+let counts t =
+  {
+    requests = t.c_requests;
+    ok = t.c_ok;
+    user_errors = t.c_user;
+    budget_errors = t.c_budget;
+    internal_errors = t.c_internal;
+  }
+
+let quitting t = t.quit
+
+let request_stop t = t.stop <- true
+
+(* ---------------- request parsing / formatting ---------------- *)
+
+let fmt_tuple a =
+  String.concat "," (Array.to_list (Array.map string_of_int a))
+
+let parse_tuple s =
+  if String.trim s = "" then [||]
+  else
+    Array.of_list
+      (List.map
+         (fun field ->
+           match int_of_string_opt (String.trim field) with
+           | Some v -> v
+           | None ->
+               Nd_error.user_errorf
+                 "bad tuple %S (expected comma-separated integers)" s)
+         (String.split_on_char ',' s))
+
+let split_command line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+(* ---------------- per-request resource governance ---------------- *)
+
+let with_request_budget t f =
+  match (t.config.request_budget_ops, t.config.request_timeout_ms) with
+  | None, None -> f ()
+  | ops, tmo -> (
+      let b = Budget.create ?max_ops:ops ?timeout_ms:tmo () in
+      match
+        Budget.with_budget b (fun () ->
+            Budget.enter "serve";
+            f ())
+      with
+      | Ok v -> v
+      | Error info -> raise (Nd_error.Budget_exceeded info))
+
+(* ---------------- commands ---------------- *)
+
+(* The enumeration cursor: each page continues from where the last one
+   ended, but the cursor is only advanced once the whole page has been
+   produced — a page that dies on a budget error can be retried
+   verbatim with no solution lost or duplicated. *)
+let page t k =
+  let eng = t.eng in
+  let arity = Nd_engine.arity eng in
+  if arity = 0 then (
+    match t.cursor with
+    | Exhausted -> ([], true)
+    | Unstarted | At _ ->
+        let sols = if Nd_engine.holds eng then [ [||] ] else [] in
+        t.cursor <- Exhausted;
+        (sols, true))
+  else
+    let n = Nd_graph.Cgraph.n (Nd_engine.graph eng) in
+    let start =
+      match t.cursor with
+      | Unstarted -> if n = 0 then None else Some (Tuple.min arity)
+      | At a -> Some a
+      | Exhausted -> None
+    in
+    let acc = ref [] in
+    let count = ref 0 in
+    let rec go start =
+      match start with
+      | None -> (Exhausted, true)
+      | Some a when !count >= k -> (At a, false)
+      | Some a -> (
+          match Nd_engine.next eng a with
+          | None -> (Exhausted, true)
+          | Some sol ->
+              acc := sol :: !acc;
+              incr count;
+              go (Tuple.succ ~n sol))
+    in
+    let final, exhausted = go start in
+    t.cursor <- final;
+    (List.rev !acc, exhausted)
+
+let cmd_enumerate t arg =
+  let k =
+    if arg = "" then t.config.max_enumerate
+    else
+      match int_of_string_opt arg with
+      | Some k when k > 0 -> min k t.config.max_enumerate
+      | _ -> Nd_error.user_errorf "enumerate: bad page size %S" arg
+  in
+  let sols, exhausted = with_request_budget t (fun () -> page t k) in
+  List.map (fun s -> "sol " ^ fmt_tuple s) sols
+  @ [
+      Printf.sprintf "end %d%s" (List.length sols)
+        (if exhausted then " complete" else "");
+    ]
+
+let cmd_health t =
+  let c = counts t in
+  [
+    Printf.sprintf
+      "health ok requests=%d ok=%d user=%d budget=%d internal=%d degraded=%b \
+       cache=%d"
+      c.requests c.ok c.user_errors c.budget_errors c.internal_errors
+      (Nd_engine.degraded t.eng)
+      (Nd_engine.cache_size t.eng);
+  ]
+
+let dispatch t line =
+  let cmd, arg = split_command line in
+  match cmd with
+  | "quit" ->
+      t.quit <- true;
+      `Bye
+  | "next" ->
+      let tup = parse_tuple arg in
+      let r = with_request_budget t (fun () -> Nd_engine.next t.eng tup) in
+      `Ok
+        [
+          (match r with Some sol -> "sol " ^ fmt_tuple sol | None -> "none");
+        ]
+  | "test" ->
+      let tup = parse_tuple arg in
+      let r = with_request_budget t (fun () -> Nd_engine.test t.eng tup) in
+      `Ok [ string_of_bool r ]
+  | "enumerate" -> `Ok (cmd_enumerate t arg)
+  | "reset" ->
+      t.cursor <- Unstarted;
+      `Ok []
+  | "stats" -> `Ok [ Nd_engine.Stats.to_json (Nd_engine.stats t.eng) ]
+  | "health" -> `Ok (cmd_health t)
+  | "inject" when t.config.chaos -> (
+      (* deliberate fault injection, for proving request isolation:
+         the raise happens *inside* the handler, exactly where a real
+         bug would fire *)
+      match arg with
+      | "internal" -> Nd_error.invariantf "injected internal fault (chaos)"
+      | "user" -> Nd_error.user_errorf "injected user fault (chaos)"
+      | "crash" -> raise Not_found (* an untyped failure, for the catch-all *)
+      | other -> Nd_error.user_errorf "inject: unknown fault class %S" other)
+  | _ ->
+      Nd_error.user_errorf "unknown command %S (try next/test/enumerate/reset/stats/health/quit)"
+        cmd
+
+let handle t line =
+  let line = String.trim line in
+  if line = "" then []
+  else begin
+    t.c_requests <- t.c_requests + 1;
+    Metrics.incr m_requests;
+    let t0 = Unix.gettimeofday () in
+    let reply =
+      (* Request isolation: every failure class an answering call can
+         produce becomes a structured terminator line.  The final
+         catch-all exists because an unexpected exception must degrade
+         to an error reply, never to a dead loop. *)
+      match dispatch t line with
+      | `Ok lines ->
+          t.c_ok <- t.c_ok + 1;
+          Metrics.incr m_ok;
+          lines @ [ "ok" ]
+      | `Bye -> [ "bye" ]
+      | exception (Nd_error.User_error m | Invalid_argument m | Failure m) ->
+          t.c_user <- t.c_user + 1;
+          Metrics.incr m_err_user;
+          [ "err user " ^ m ]
+      | exception Nd_error.Budget_exceeded info ->
+          t.c_budget <- t.c_budget + 1;
+          Metrics.incr m_err_budget;
+          [ "err budget " ^ Nd_error.describe_budget info ]
+      | exception Nd_error.Internal_invariant m ->
+          t.c_internal <- t.c_internal + 1;
+          Metrics.incr m_err_internal;
+          [ "err internal " ^ m ]
+      | exception Stack_overflow ->
+          t.c_internal <- t.c_internal + 1;
+          Metrics.incr m_err_internal;
+          [ "err internal stack overflow in request handler" ]
+      | exception e ->
+          t.c_internal <- t.c_internal + 1;
+          Metrics.incr m_err_internal;
+          [ "err internal uncaught exception: " ^ Printexc.to_string e ]
+    in
+    Metrics.observe h_latency
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+    reply
+  end
+
+(* ---------------- the loop ---------------- *)
+
+let serve t ic oc =
+  let emit lines =
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      lines;
+    flush oc
+  in
+  let rec loop () =
+    if t.stop then emit [ "bye" ]
+    else
+      match input_line ic with
+      | exception End_of_file -> ()
+      | line ->
+          (* the reply is written and flushed in full before the stop
+             flag is consulted: that is the drain guarantee *)
+          emit (handle t line);
+          if t.quit then () else if t.stop then emit [ "bye" ] else loop ()
+  in
+  loop ()
+
+let serve_socket t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  @@ fun () ->
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let rec accept_loop () =
+    if t.stop || t.quit then ()
+    else
+      match Unix.accept sock with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | fd, _ ->
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          (try serve t ic oc with Sys_error _ -> ());
+          (try flush oc with Sys_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          accept_loop ()
+  in
+  accept_loop ()
+
+(* ---------------- client ---------------- *)
+
+module Client = struct
+  type transport = string -> string list
+
+  type policy = {
+    retries : int;
+    backoff_ms : int;
+    multiplier : float;
+    sleep_ms : int -> unit;
+  }
+
+  let default_policy =
+    {
+      retries = 3;
+      backoff_ms = 50;
+      multiplier = 2.0;
+      sleep_ms = (fun ms -> ignore (Unix.select [] [] [] (float ms /. 1000.)));
+    }
+
+  type status = Ok_reply | Err_reply of string * string | Closed
+
+  let starts_with prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+
+  let status_of_reply reply =
+    match List.rev reply with
+    | [] -> Closed
+    | last :: _ ->
+        if last = "ok" then Ok_reply
+        else if last = "bye" then Closed
+        else if starts_with "err " last then
+          let rest = String.sub last 4 (String.length last - 4) in
+          match String.index_opt rest ' ' with
+          | None -> Err_reply (rest, "")
+          | Some i ->
+              Err_reply
+                ( String.sub rest 0 i,
+                  String.sub rest (i + 1) (String.length rest - i - 1) )
+        else Err_reply ("protocol", "unterminated reply: " ^ last)
+
+  type result = { reply : string list; attempts : int; status : status }
+
+  let call ?(policy = default_policy) transport req =
+    let rec go attempt delay =
+      let reply = transport req in
+      match status_of_reply reply with
+      | Err_reply ("budget", _) when attempt <= policy.retries ->
+          (* transient: the budget may pass on a quieter machine (wall
+             deadlines) or after the client simplifies; bounded
+             exponential backoff, then give up with the last reply *)
+          policy.sleep_ms delay;
+          go (attempt + 1)
+            (int_of_float (float delay *. policy.multiplier))
+      | status -> { reply; attempts = attempt; status }
+    in
+    go 1 policy.backoff_ms
+
+  let channel_transport ic oc req =
+    output_string oc req;
+    output_char oc '\n';
+    flush oc;
+    let rec read acc =
+      match input_line ic with
+      | exception End_of_file -> List.rev acc
+      | l ->
+          let acc = l :: acc in
+          if l = "ok" || l = "bye" || starts_with "err " l then List.rev acc
+          else read acc
+    in
+    read []
+end

@@ -1,0 +1,135 @@
+(** Fault-isolated request loop over a prepared engine handle.
+
+    The ROADMAP's production posture demands that one prepared handle
+    answer many requests from untrusted clients without a malformed
+    request, a pathological workload, or an internal bug taking the
+    process down.  [Nd_server] wraps an {!Nd_engine.t} in a line
+    protocol with {e per-request} budgets and deadlines and {e total}
+    request isolation: every failure an answering call can produce is
+    mapped through the {!Nd_error} taxonomy to a structured error
+    reply, and the loop carries on.
+
+    {2 Protocol}
+
+    One request per line; every reply is zero or more data lines
+    followed by exactly one terminator line — [ok], [err <class>
+    <message>], or [bye] — so clients always know where a reply ends.
+
+    {v
+    next [T]          -> sol T' | none                 then ok
+    test [T]          -> true | false                  then ok
+    enumerate [k]     -> sol T (xk) , end N [complete] then ok
+    reset             -> (rewind the enumeration cursor) ok
+    stats             -> the nd-engine-stats/1 JSON line, then ok
+    health            -> health <summary line>,        then ok
+    inject <class>    -> (chaos builds only) raise inside the handler
+    quit              -> bye
+    v}
+
+    [T] is a comma-separated vertex tuple ([next 3,0]); omitted for
+    sentences.  [enumerate] is a {e cursor}: each call returns the next
+    [k] solutions (default and cap from {!config}), [end N complete]
+    marks exhaustion, and [reset] rewinds.  The cursor only advances
+    when a page is fully produced, so a client whose page died on a
+    budget error can retry it verbatim without losing solutions.
+
+    Error classes mirror the taxonomy: [err user …] (malformed request,
+    bad tuple — fix and resend), [err budget …] (the per-request budget
+    tripped — transient, retry or simplify), [err internal …] (the
+    engine caught itself lying; never retry).  The session survives all
+    three. *)
+
+type config = {
+  request_budget_ops : int option;
+      (** ops ceiling installed around every single request *)
+  request_timeout_ms : int option;  (** per-request deadline *)
+  max_enumerate : int;
+      (** page-size cap (and default) for [enumerate] (default 1000) *)
+  chaos : bool;
+      (** accept the [inject] fault command — test/CI builds only *)
+}
+
+val default_config : config
+
+type t
+(** A serving session: engine handle + config + counters + cursor. *)
+
+val create : ?config:config -> Nd_engine.t -> t
+
+val handle : t -> string -> string list
+(** Process one request line; never raises.  Empty/blank lines yield
+    [[]] (no reply).  The terminator of a non-empty reply is always
+    [ok], [err …] or [bye]. *)
+
+type counts = {
+  requests : int;
+  ok : int;
+  user_errors : int;
+  budget_errors : int;
+  internal_errors : int;
+}
+
+val counts : t -> counts
+(** Served-request accounting (independent of {!Nd_util.Metrics}, which
+    mirrors these as counters plus a latency histogram when enabled). *)
+
+val quitting : t -> bool
+(** A [quit] was served (the loop should end after its reply). *)
+
+val request_stop : t -> unit
+(** Ask the loop to stop gracefully: the in-flight request finishes and
+    its reply is fully written (the drain guarantee), then the loop
+    closes with [bye] instead of reading further requests.  Safe to
+    call from a signal handler. *)
+
+val serve : t -> in_channel -> out_channel -> unit
+(** Run the loop until [quit], EOF, or {!request_stop}.  Replies are
+    flushed after every request. *)
+
+val serve_socket : t -> path:string -> unit
+(** Serve over a Unix-domain socket (clients sequentially, one at a
+    time).  [quit] or {!request_stop} ends the server; the socket file
+    is removed on the way out. *)
+
+(** {1 Client harness}
+
+    The retrying client used by the integration tests and CI: a
+    {!Client.transport} abstracts {e how} a request line reaches a
+    server (direct {!handle} call in-process, or channels over a pipe /
+    socket), and {!Client.call} layers bounded retries with exponential
+    backoff on top — transient ([err budget]) replies are retried,
+    anything else is returned as-is. *)
+module Client : sig
+  type transport = string -> string list
+  (** Send one request line, return the full reply (data lines +
+      terminator). *)
+
+  type policy = {
+    retries : int;  (** extra attempts after the first *)
+    backoff_ms : int;  (** delay before the first retry *)
+    multiplier : float;  (** backoff growth per retry *)
+    sleep_ms : int -> unit;  (** injectable for tests *)
+  }
+
+  val default_policy : policy
+  (** 3 retries, 50ms initial backoff, doubling, real sleep. *)
+
+  type status =
+    | Ok_reply
+    | Err_reply of string * string  (** class, message *)
+    | Closed  (** terminator was [bye] (or the reply was empty) *)
+
+  val status_of_reply : string list -> status
+
+  type result = {
+    reply : string list;  (** the final attempt's reply *)
+    attempts : int;
+    status : status;
+  }
+
+  val call : ?policy:policy -> transport -> string -> result
+
+  val channel_transport : in_channel -> out_channel -> transport
+  (** Write the request, read lines until a terminator.  EOF mid-reply
+      yields what was read (its status will be [Closed]). *)
+end

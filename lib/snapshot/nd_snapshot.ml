@@ -1,0 +1,392 @@
+open Nd_util
+open Nd_graph
+open Nd_logic
+
+let magic = "FODBSNAP"
+let format_version = 1
+let tags = [ "META"; "ENGN"; "CACH" ]
+
+let m_loads = Metrics.counter "snapshot.loads"
+let m_fallbacks = Metrics.counter "snapshot.load_fallbacks"
+let m_bytes = Metrics.counter "snapshot.bytes_written"
+
+type corruption =
+  | Truncated of { expected : int; actual : int }
+  | Bad_magic
+  | Version_skew of { found : string; expected : string }
+  | Bad_layout of string
+  | Checksum of { section : string }
+  | Mismatch of string
+  | Decode of string
+
+let describe = function
+  | Truncated { expected; actual } ->
+      Printf.sprintf "truncated: structure needs %d bytes, file has %d"
+        expected actual
+  | Bad_magic -> "not a snapshot file (bad magic)"
+  | Version_skew { found; expected } ->
+      Printf.sprintf "version skew: snapshot has %s, this build expects %s"
+        found expected
+  | Bad_layout m -> "malformed layout: " ^ m
+  | Checksum { section } ->
+      Printf.sprintf "checksum mismatch in section %s" section
+  | Mismatch m -> "instance mismatch: " ^ m
+  | Decode m -> "decode failure: " ^ m
+
+exception C of corruption
+
+let corrupt c = raise (C c)
+
+(* ---------------- graph fingerprint ---------------- *)
+
+(* Order-insensitive: per-element hashes summed mod 2^32, so logically
+   equal graphs fingerprint equal no matter the edge iteration order. *)
+let fingerprint g =
+  let acc = ref 0 in
+  let add x = acc := (!acc + x) land 0xFFFFFFFF in
+  add (Hashtbl.hash (`N (Cgraph.n g)));
+  add (Hashtbl.hash (`M (Cgraph.m g)));
+  add (Hashtbl.hash (`C (Cgraph.color_count g)));
+  Cgraph.fold_edges
+    (fun u v () -> add (Hashtbl.hash (`E (min u v, max u v))))
+    g ();
+  for c = 0 to Cgraph.color_count g - 1 do
+    Array.iter
+      (fun v -> add (Hashtbl.hash (`Col (c, v))))
+      (Cgraph.color_members g ~color:c)
+  done;
+  !acc
+
+(* ---------------- little-endian primitives ---------------- *)
+
+let put_u32 b v =
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_f64 b f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF))
+  done
+
+type cursor = { cs : string; mutable pos : int; stop : int }
+
+let need cur n what =
+  if cur.pos + n > cur.stop then corrupt (Decode (what ^ ": short section"))
+
+let get_u32 cur what =
+  need cur 4 what;
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := !v lor (Char.code cur.cs.[cur.pos + i] lsl (8 * i))
+  done;
+  cur.pos <- cur.pos + 4;
+  !v
+
+let get_str cur what =
+  let n = get_u32 cur what in
+  need cur n what;
+  let s = String.sub cur.cs cur.pos n in
+  cur.pos <- cur.pos + n;
+  s
+
+let get_f64 cur what =
+  need cur 8 what;
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor !bits
+        (Int64.shift_left (Int64.of_int (Char.code cur.cs.[cur.pos + i])) (8 * i))
+  done;
+  cur.pos <- cur.pos + 8;
+  Int64.float_of_bits !bits
+
+(* ---------------- structure ---------------- *)
+
+type section = { tag : string; off : int; len : int; crc : int }
+
+type info = {
+  version : int;
+  ocaml_version : string;
+  query : string;
+  query_hash : int;
+  arity : int;
+  epsilon : float;
+  graph_n : int;
+  graph_m : int;
+  graph_colors : int;
+  graph_fingerprint : int;
+  cached_solutions : int;
+  created : float;
+  sections : section list;
+}
+
+(* a bare u32 read during structural parsing — header overruns are
+   Truncated, not Decode, because nothing has been verified yet *)
+let hdr_u32 s pos total =
+  if pos + 4 > total then corrupt (Truncated { expected = pos + 4; actual = total });
+  let v = ref 0 in
+  for i = 0 to 3 do
+    v := !v lor (Char.code s.[pos + i] lsl (8 * i))
+  done;
+  !v
+
+let parse_structure s =
+  let total = String.length s in
+  if total < 16 then corrupt (Truncated { expected = 16; actual = total });
+  if String.sub s 0 8 <> magic then corrupt Bad_magic;
+  let v = hdr_u32 s 8 total in
+  if v <> format_version then
+    corrupt
+      (Version_skew
+         {
+           found = "format " ^ string_of_int v;
+           expected = "format " ^ string_of_int format_version;
+         });
+  let nsect = hdr_u32 s 12 total in
+  if nsect <> List.length tags then
+    corrupt
+      (Bad_layout
+         (Printf.sprintf "header declares %d sections, format has %d" nsect
+            (List.length tags)));
+  let pos = ref 16 in
+  let sections =
+    List.map
+      (fun want ->
+        if !pos + 12 > total then
+          corrupt (Truncated { expected = !pos + 12; actual = total });
+        let tag = String.sub s !pos 4 in
+        let len = hdr_u32 s (!pos + 4) total in
+        let crc = hdr_u32 s (!pos + 8) total in
+        if tag <> want then
+          corrupt
+            (Bad_layout
+               (Printf.sprintf "found section %S where %S belongs" tag want));
+        let off = !pos + 12 in
+        if off + len > total then
+          corrupt (Truncated { expected = off + len; actual = total });
+        pos := off + len;
+        { tag; off; len; crc })
+      tags
+  in
+  if !pos <> total then
+    corrupt (Bad_layout (Printf.sprintf "%d trailing bytes" (total - !pos)));
+  sections
+
+let verify_crcs s sections =
+  List.iter
+    (fun sec ->
+      if Crc32.string ~off:sec.off ~len:sec.len s <> sec.crc then
+        corrupt (Checksum { section = sec.tag }))
+    sections
+
+let find_section sections tag = List.find (fun s -> s.tag = tag) sections
+
+(* ---------------- META codec ---------------- *)
+
+let encode_meta eng =
+  let g = Nd_engine.graph eng in
+  let qtext = Fo.to_string (Nd_engine.query eng) in
+  let b = Buffer.create 128 in
+  put_str b Sys.ocaml_version;
+  put_str b qtext;
+  put_u32 b (Crc32.string qtext);
+  put_u32 b (Nd_engine.arity eng);
+  put_f64 b (Nd_engine.epsilon eng);
+  put_u32 b (Cgraph.n g);
+  put_u32 b (Cgraph.m g);
+  put_u32 b (Cgraph.color_count g);
+  put_u32 b (fingerprint g);
+  put_f64 b (Unix.gettimeofday ());
+  put_u32 b (Nd_engine.cache_size eng);
+  Buffer.contents b
+
+let decode_meta s sec ~version ~sections =
+  let cur = { cs = s; pos = sec.off; stop = sec.off + sec.len } in
+  let ocaml_version = get_str cur "meta" in
+  let query = get_str cur "meta" in
+  let query_hash = get_u32 cur "meta" in
+  let arity = get_u32 cur "meta" in
+  let epsilon = get_f64 cur "meta" in
+  let graph_n = get_u32 cur "meta" in
+  let graph_m = get_u32 cur "meta" in
+  let graph_colors = get_u32 cur "meta" in
+  let graph_fingerprint = get_u32 cur "meta" in
+  let created = get_f64 cur "meta" in
+  let cached_solutions = get_u32 cur "meta" in
+  if cur.pos <> cur.stop then corrupt (Decode "meta: trailing bytes in section");
+  if query_hash <> Crc32.string query then
+    corrupt (Decode "meta: query hash inconsistent with query text");
+  {
+    version;
+    ocaml_version;
+    query;
+    query_hash;
+    arity;
+    epsilon;
+    graph_n;
+    graph_m;
+    graph_colors;
+    graph_fingerprint;
+    cached_solutions;
+    created;
+    sections;
+  }
+
+let check_meta meta ~graph ~query =
+  if meta.ocaml_version <> Sys.ocaml_version then
+    corrupt
+      (Version_skew
+         {
+           found = "ocaml " ^ meta.ocaml_version;
+           expected = "ocaml " ^ Sys.ocaml_version;
+         });
+  let qtext = Fo.to_string query in
+  if meta.query <> qtext then
+    corrupt
+      (Mismatch
+         (Printf.sprintf "snapshot is for query %s, load requested %s"
+            meta.query qtext));
+  if
+    meta.graph_n <> Cgraph.n graph
+    || meta.graph_m <> Cgraph.m graph
+    || meta.graph_colors <> Cgraph.color_count graph
+    || meta.graph_fingerprint <> fingerprint graph
+  then
+    corrupt
+      (Mismatch
+         (Printf.sprintf
+            "snapshot graph (n=%d, m=%d, fp=%08x) is not the presented graph \
+             (n=%d, m=%d, fp=%08x)"
+            meta.graph_n meta.graph_m meta.graph_fingerprint (Cgraph.n graph)
+            (Cgraph.m graph) (fingerprint graph)))
+
+(* ---------------- file I/O ---------------- *)
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error _ -> corrupt (Truncated { expected = 16; actual = 0 })
+
+(* ---------------- save ---------------- *)
+
+let save ~path eng =
+  Metrics.phase "snapshot.save" @@ fun () ->
+  let payload, cache = Nd_engine.Persist.export eng in
+  let marshal what v =
+    try Marshal.to_string v []
+    with Invalid_argument m ->
+      Nd_error.invariantf
+        "Nd_snapshot.save: %s payload is not marshal-safe (%s) — a closure \
+         leaked into the preprocessing product" what m
+  in
+  let engn = marshal "engine" payload in
+  let cach = marshal "cache" cache in
+  let meta = encode_meta eng in
+  let b =
+    Buffer.create (String.length engn + String.length cach + String.length meta + 64)
+  in
+  Buffer.add_string b magic;
+  put_u32 b format_version;
+  put_u32 b (List.length tags);
+  List.iter
+    (fun (tag, payload) ->
+      Buffer.add_string b tag;
+      put_u32 b (String.length payload);
+      put_u32 b (Crc32.string payload);
+      Buffer.add_string b payload)
+    [ ("META", meta); ("ENGN", engn); ("CACH", cach) ];
+  let doc = Buffer.contents b in
+  (* atomic publish: a crash mid-write leaves the old snapshot (or
+     nothing) at [path], never a torn file *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc doc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  Metrics.add m_bytes (String.length doc);
+  String.length doc
+
+(* ---------------- load ---------------- *)
+
+let layout ~path =
+  match parse_structure (read_file path) with
+  | sections -> Ok sections
+  | exception C c -> Error c
+
+let info ~path =
+  match
+    let s = read_file path in
+    let sections = parse_structure s in
+    verify_crcs s sections;
+    decode_meta s (find_section sections "META") ~version:format_version
+      ~sections
+  with
+  | i -> Ok i
+  | exception C c -> Error c
+
+let load ~path graph query =
+  Metrics.phase "snapshot.load" @@ fun () ->
+  match
+    let s = read_file path in
+    let sections = parse_structure s in
+    verify_crcs s sections;
+    let meta =
+      decode_meta s (find_section sections "META") ~version:format_version
+        ~sections
+    in
+    check_meta meta ~graph ~query;
+    (* All checksums and cross-checks stand: only now touch Marshal.
+       Everything it reads was produced by [save] in a build with the
+       same format and OCaml version. *)
+    let unmarshal : 'a. section -> 'a =
+     fun sec ->
+      try Marshal.from_string s sec.off
+      with e ->
+        corrupt
+          (Decode
+             (Printf.sprintf "section %s failed to deserialize (%s)" sec.tag
+                (Printexc.to_string e)))
+    in
+    let payload : Nd_engine.Persist.payload =
+      unmarshal (find_section sections "ENGN")
+    in
+    let cache : Nd_engine.Persist.cache_payload option =
+      unmarshal (find_section sections "CACH")
+    in
+    match Nd_engine.Persist.import ~graph ~query payload cache with
+    | Ok eng ->
+        Metrics.incr m_loads;
+        eng
+    | Error m -> corrupt (Decode ("import rejected payload: " ^ m))
+  with
+  | eng -> Ok eng
+  | exception C c -> Error c
+
+type outcome = Loaded | Rebuilt of corruption
+
+let load_or_rebuild ?epsilon ?metrics ?cache_limit ?budget ?paranoid ~path
+    graph query =
+  match load ~path graph query with
+  | Ok eng -> (eng, Loaded)
+  | Error c ->
+      Metrics.incr m_fallbacks;
+      let eng =
+        Nd_engine.prepare ?epsilon ?metrics ?cache_limit ?budget ?paranoid
+          graph query
+      in
+      (eng, Rebuilt c)

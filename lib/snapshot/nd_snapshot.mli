@@ -1,0 +1,141 @@
+(** Crash-safe snapshot persistence for prepared engine handles.
+
+    Theorem 2.3's preprocessing is pseudo-linear in [|G|] with a
+    non-elementary constant in the query — far too expensive to redo on
+    every process start.  A snapshot persists the whole preprocessing
+    product of a prepared {!Nd_engine.t} (the Theorem 3.1 register-trie
+    solution cache, cover/kernel structures, distance index and skip
+    pointers, via {!Nd_engine.Persist}) in a versioned, checksummed
+    binary file, so a fresh process {!load}s in milliseconds what
+    {!Nd_engine.prepare} computes in seconds.
+
+    {2 File format (version 1)}
+
+    {v
+    +----------------------+
+    | magic    "FODBSNAP"  |  8 bytes
+    | version  u32 LE      |  4 bytes  (= 1)
+    | sections u32 LE      |  4 bytes  (= 3)
+    +----------------------+
+    | tag "META" | len u32 | crc32 u32 | payload …
+    | tag "ENGN" | len u32 | crc32 u32 | payload …
+    | tag "CACH" | len u32 | crc32 u32 | payload …
+    +----------------------+  exact EOF — trailing bytes are corruption
+    v}
+
+    [META] is a hand-rolled, version-stable record: builder OCaml
+    version, query text + hash, arity, epsilon, graph fingerprint
+    (n, m, colors, order-insensitive edge/color hash), creation time,
+    cached-solution count.  [ENGN] and [CACH] are marshaled
+    {!Nd_engine.Persist} values.
+
+    {2 The corruption → fallback ladder}
+
+    Loading trusts nothing: magic, version and section layout are
+    checked first, then every section's CRC-32, then META is decoded
+    and cross-checked against the graph and query the caller presents,
+    and only then — with all checksums standing — are the marshaled
+    sections deserialized, and the decoded payload is cross-checked
+    {e again} against graph and query ({!Nd_engine.Persist.import}),
+    which catches coherent-but-wrong data such as a section
+    transplanted from a different valid snapshot.  Every failure is a
+    {!corruption} value, never an exception and never a live handle;
+    {!load_or_rebuild} turns any of them into a budgeted
+    {!Nd_engine.prepare} so corrupt disks degrade service, never deny
+    it. *)
+
+type corruption =
+  | Truncated of { expected : int; actual : int }
+      (** The file ends before its declared structure does. *)
+  | Bad_magic  (** Not a snapshot file (or a damaged leader). *)
+  | Version_skew of { found : string; expected : string }
+      (** Format version or builder OCaml version differs; marshaled
+          sections are only trusted byte-compatible within a version. *)
+  | Bad_layout of string
+      (** Section tags missing, out of order, or trailing bytes. *)
+  | Checksum of { section : string }  (** A section failed its CRC-32. *)
+  | Mismatch of string
+      (** Valid snapshot of the {e wrong instance}: graph fingerprint
+          or query differs from what the caller presented. *)
+  | Decode of string
+      (** A checksummed section failed to decode or cross-check. *)
+
+val describe : corruption -> string
+
+val fingerprint : Nd_graph.Cgraph.t -> int
+(** Order-insensitive structural hash over vertices, edges and colors
+    (32-bit).  Cheap pre-filter; {!load} additionally performs an exact
+    graph comparison before returning a handle. *)
+
+val save : path:string -> Nd_engine.t -> int
+(** Serialize a prepared handle; returns the bytes written.  The write
+    is atomic (temp file + rename), so a crash mid-save leaves either
+    the old snapshot or none — never a torn file at [path].
+    @raise Nd_error.User_error on a degraded handle ({!Nd_engine.Persist.export}).
+    @raise Sys_error on I/O failure. *)
+
+val load :
+  path:string ->
+  Nd_graph.Cgraph.t ->
+  Nd_logic.Fo.t ->
+  (Nd_engine.t, corruption) result
+(** Verify and revive a snapshot for exactly this graph and query.  On
+    [Error], nothing was deserialized into a live handle.  [Sys_error]
+    (unreadable file) is folded into [Truncated]. *)
+
+type outcome =
+  | Loaded  (** The snapshot verified end-to-end. *)
+  | Rebuilt of corruption
+      (** The snapshot was rejected (why) and the handle was rebuilt
+          from scratch with {!Nd_engine.prepare}. *)
+
+val load_or_rebuild :
+  ?epsilon:float ->
+  ?metrics:bool ->
+  ?cache_limit:int ->
+  ?budget:Nd_util.Budget.t ->
+  ?paranoid:bool ->
+  path:string ->
+  Nd_graph.Cgraph.t ->
+  Nd_logic.Fo.t ->
+  Nd_engine.t * outcome
+(** The graceful-degradation entry point: {!load}, falling back on any
+    corruption to a fresh budgeted {!Nd_engine.prepare} (which itself
+    degrades further to the naive-backed handle if the budget trips).
+    The optional parameters govern only the rebuild path; a successful
+    load keeps the snapshot's own epsilon and cache. *)
+
+(** {1 Introspection} *)
+
+type section = {
+  tag : string;
+  off : int;  (** payload offset in the file *)
+  len : int;
+  crc : int;
+}
+
+type info = {
+  version : int;
+  ocaml_version : string;
+  query : string;
+  query_hash : int;
+  arity : int;
+  epsilon : float;
+  graph_n : int;
+  graph_m : int;
+  graph_colors : int;
+  graph_fingerprint : int;
+  cached_solutions : int;
+  created : float;  (** unix time at save *)
+  sections : section list;
+}
+
+val layout : path:string -> (section list, corruption) result
+(** Structural parse only (magic, version, section table) — no CRC
+    verification, no decoding.  What the fault-injection suite uses to
+    aim {!Nd_ram.Chaos.Disk} at specific fields. *)
+
+val info : path:string -> (info, corruption) result
+(** Full verification of header + all CRCs + META decode, without
+    deserializing the engine sections.  What [fodb snapshot info]
+    prints. *)

@@ -124,3 +124,24 @@ let tick () =
         incr ticks;
         if !ticks land (probe_period - 1) = 0 then check b
       end
+
+let with_budget b f =
+  let prev = !slot in
+  slot := Some b;
+  let restore () =
+    slot := prev;
+    (* the scope may have died anywhere in the amortization window;
+       realign so the next scope's first probe_period ticks are not
+       silently inherited from this one *)
+    ticks := 0
+  in
+  match f () with
+  | v ->
+      restore ();
+      Ok v
+  | exception Nd_error.Budget_exceeded info ->
+      restore ();
+      Error info
+  | exception e ->
+      restore ();
+      raise e

@@ -81,6 +81,18 @@ val with_installed : t -> (unit -> 'a) -> 'a
 (** Install for the duration of the callback (exception-safe,
     restoring the previous ambient budget). *)
 
+val with_budget : t -> (unit -> 'a) -> ('a, Nd_error.budget_info) result
+(** The scoped form for callers that treat exhaustion as an outcome
+    rather than a failure: install [b], run the callback, and fold a
+    {!Nd_error.Budget_exceeded} raised inside it into [Error info].
+
+    Whatever happens — normal return, exhaustion, or any other
+    exception (re-raised) — the previous ambient budget is restored
+    {e and the amortized tick phase is reset}, so a scope that died
+    mid-probe-period cannot leave the next scope's first
+    {!probe_period} ticks unchecked.  [Nd_engine.prepare] uses this to
+    degrade gracefully without hand-rolled cleanup. *)
+
 val poll : unit -> unit
 (** Direct {!check} of the installed budget, if any.  For coarse
     checkpoints: per cover bag, per index node, per preprocessing

@@ -1,0 +1,36 @@
+(* Table-driven CRC-32 (reflected 0xEDB88320).  The table is computed
+   once at module initialization; updates are one load, one xor, one
+   shift per byte. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref i in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let mask32 = 0xFFFFFFFF
+
+let run get off len =
+  let t = Lazy.force table in
+  let crc = ref mask32 in
+  for i = off to off + len - 1 do
+    crc := t.((!crc lxor get i) land 0xFF) lxor (!crc lsr 8)
+  done;
+  !crc lxor mask32 land mask32
+
+let check name total off len =
+  if off < 0 || len < 0 || off + len > total then
+    invalid_arg (Printf.sprintf "Crc32.%s: range (%d,%d) out of bounds" name off len)
+
+let string ?(off = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  check "string" (String.length s) off len;
+  run (fun i -> Char.code (String.unsafe_get s i)) off len
+
+let bytes ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  check "bytes" (Bytes.length b) off len;
+  run (fun i -> Char.code (Bytes.unsafe_get b i)) off len

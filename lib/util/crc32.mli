@@ -1,0 +1,18 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected), the checksum
+    guarding every section of the on-disk snapshot format.
+
+    A cyclic redundancy check is the right tool for the snapshot
+    codec's threat model — truncation, single bit-flips, and small
+    burst errors from a bad disk or an interrupted write — and is cheap
+    enough to run over multi-megabyte marshaled sections at load time.
+    It is {e not} cryptographic: it detects accidents, not attackers.
+
+    Checksums are returned as non-negative [int]s in [0, 2^32)
+    (OCaml's 63-bit native ints hold them exactly). *)
+
+val string : ?off:int -> ?len:int -> string -> int
+(** CRC-32 of a substring (default: the whole string).
+    @raise Invalid_argument when the range is out of bounds. *)
+
+val bytes : ?off:int -> ?len:int -> bytes -> int
+(** Same over [bytes]. *)

@@ -21,4 +21,6 @@ let () =
       ("graph spec parsing", Test_gen_spec.suite);
       ("budget", Test_budget.suite);
       ("chaos", Test_chaos.suite);
+      ("snapshot persistence", Test_snapshot.suite);
+      ("serve loop", Test_server.suite);
     ]

@@ -172,6 +172,50 @@ let test_paranoid_mode () =
   Alcotest.(check bool) "paranoid under budget" true
     (Nd_engine.to_list eng2 = sols)
 
+let test_with_budget_scoped () =
+  (* normal return: Ok, and the previous ambient budget is restored *)
+  Budget.install None;
+  let b = Budget.create ~max_ops:max_int () in
+  (match Budget.with_budget b (fun () -> Budget.installed ()) with
+  | Ok (Some inner) -> Alcotest.(check bool) "installed inside" true (inner == b)
+  | Ok None -> Alcotest.fail "no budget installed inside the scope"
+  | Error _ -> Alcotest.fail "generous budget tripped");
+  Alcotest.(check bool) "restored to none" true (Budget.installed () = None);
+  (* exhaustion: folded into Error, previous ambient restored *)
+  let outer = Budget.create ~max_ops:max_int () in
+  let result =
+    Budget.with_installed outer (fun () ->
+        let tiny = Budget.create ~max_ops:1 () in
+        (* ticks only *probe*; the ops clock itself advances through
+           Metrics ops counters, so drive one explicitly *)
+        let work = Nd_util.Metrics.counter ~ops:true "test.with_budget" in
+        let r =
+          Budget.with_budget tiny (fun () ->
+              Budget.enter "scope";
+              for _ = 1 to 1000 do
+                Nd_util.Metrics.incr work;
+                Budget.tick ()
+              done;
+              `Unreachable)
+        in
+        Alcotest.(check bool) "outer re-installed after Error" true
+          (match Budget.installed () with Some o -> o == outer | None -> false);
+        r)
+  in
+  (match result with
+  | Error info ->
+      Alcotest.(check string) "phase recorded" "scope" info.Nd_error.phase
+  | Ok _ -> Alcotest.fail "1-op budget did not trip");
+  (* a foreign exception passes through, still restoring *)
+  (match
+     Budget.with_budget (Budget.create ~max_ops:max_int ()) (fun () ->
+         raise Exit)
+   with
+  | exception Exit -> ()
+  | _ -> Alcotest.fail "foreign exception swallowed");
+  Alcotest.(check bool) "restored after foreign exception" true
+    (Budget.installed () = None)
+
 let test_error_taxonomy () =
   let info =
     { Nd_error.phase = "cover"; resource = Nd_error.Ops; limit = 1; used = 2 }
@@ -211,6 +255,8 @@ let suite =
       test_stats_surface_degradation;
     Alcotest.test_case "paranoid differential sampling" `Slow
       test_paranoid_mode;
+    Alcotest.test_case "with_budget scoped install" `Quick
+      test_with_budget_scoped;
     Alcotest.test_case "error taxonomy and exit codes" `Quick
       test_error_taxonomy;
   ]

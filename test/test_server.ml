@@ -1,0 +1,417 @@
+(* The fault-isolated serve loop: a session must survive malformed
+   requests, budget-exhausted requests, and injected internal errors —
+   answering correctly afterwards every time — and the retrying client
+   must back off exponentially on transient errors only. *)
+
+open Nd_graph
+open Nd_logic
+module Server = Nd_server
+module Client = Nd_server.Client
+
+let graph () = Gen.randomly_color ~seed:5 ~colors:3 (Gen.grid 5 5)
+
+let make ?config () =
+  let g = graph () in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let eng = Nd_engine.prepare g phi in
+  (Server.create ?config eng, eng)
+
+let terminator reply =
+  match List.rev reply with
+  | last :: _ -> last
+  | [] -> Alcotest.fail "empty reply"
+
+let check_ok what reply = Alcotest.(check string) what "ok" (terminator reply)
+
+let check_err what cls reply =
+  match Client.status_of_reply reply with
+  | Client.Err_reply (c, _) -> Alcotest.(check string) what cls c
+  | _ -> Alcotest.failf "%s: expected err %s, got %s" what cls (terminator reply)
+
+(* ---------------- request handling ---------------- *)
+
+let test_basic_protocol () =
+  let srv, eng = make () in
+  check_ok "next" (Server.handle srv "next 0,0");
+  Alcotest.(check (list string)) "next payload" [ "sol 0,0"; "ok" ]
+    (Server.handle srv "next 0,0");
+  Alcotest.(check (list string)) "test true" [ "true"; "ok" ]
+    (Server.handle srv "test 0,1");
+  Alcotest.(check (list string)) "test false" [ "false"; "ok" ]
+    (Server.handle srv "test 0,24");
+  Alcotest.(check (list string)) "blank line ignored" [] (Server.handle srv "  ");
+  (* stats reply is the engine's JSON record *)
+  (match Server.handle srv "stats" with
+  | [ json; "ok" ] ->
+      Alcotest.(check bool) "stats is json" true
+        (String.length json > 2 && json.[0] = '{')
+  | r -> Alcotest.failf "stats reply: %s" (String.concat "|" r));
+  ignore eng
+
+let test_enumerate_cursor () =
+  let srv, eng = make () in
+  let expected = Nd_engine.to_list (Nd_engine.prepare (graph ()) (Nd_engine.query eng)) in
+  let collected = ref [] in
+  let complete = ref false in
+  while not !complete do
+    match Server.handle srv "enumerate 7" with
+    | reply ->
+        check_ok "page" reply;
+        List.iter
+          (fun line ->
+            if String.length line > 4 && String.sub line 0 4 = "sol " then
+              collected :=
+                Array.of_list
+                  (List.map int_of_string
+                     (String.split_on_char ','
+                        (String.sub line 4 (String.length line - 4))))
+                :: !collected
+            else if
+              String.length line >= 3 && String.sub line 0 3 = "end"
+            then
+              complete :=
+                String.length line > 9
+                && String.sub line (String.length line - 8) 8 = "complete")
+          reply
+  done;
+  Alcotest.(check bool) "paged enumeration = full enumeration" true
+    (List.rev !collected = expected);
+  (* a further page reports 0 complete; reset rewinds *)
+  (match Server.handle srv "enumerate 7" with
+  | [ "end 0 complete"; "ok" ] -> ()
+  | r -> Alcotest.failf "post-exhaustion page: %s" (String.concat "|" r));
+  check_ok "reset" (Server.handle srv "reset");
+  match Server.handle srv "enumerate 3" with
+  | [ _; _; _; "end 3"; "ok" ] -> ()
+  | r -> Alcotest.failf "page after reset: %s" (String.concat "|" r)
+
+let test_malformed_requests_survive () =
+  let srv, _ = make () in
+  check_err "unknown" "user" (Server.handle srv "frobnicate");
+  check_err "bad tuple" "user" (Server.handle srv "next 0,banana");
+  check_err "arity" "user" (Server.handle srv "next 0,1,2");
+  check_err "range" "user" (Server.handle srv "test 0,9999");
+  check_err "bad page" "user" (Server.handle srv "enumerate nope");
+  check_err "inject off" "user" (Server.handle srv "inject internal");
+  (* after six failures the session still answers *)
+  Alcotest.(check (list string)) "still alive" [ "true"; "ok" ]
+    (Server.handle srv "test 0,1");
+  let c = Server.counts srv in
+  Alcotest.(check int) "user errors counted" 6 c.Server.user_errors;
+  Alcotest.(check int) "internal errors zero" 0 c.Server.internal_errors
+
+let test_budget_exhaustion_survives () =
+  let config =
+    { Server.default_config with Server.request_budget_ops = Some 1 }
+  in
+  let srv, _ = make ~config () in
+  (* pages big enough that the amortized probe (every 32nd tick) is
+     guaranteed to run against the 1-op ceiling *)
+  check_err "budget trips" "budget" (Server.handle srv "enumerate 100");
+  check_err "budget trips again" "budget" (Server.handle srv "enumerate 100");
+  let c = Server.counts srv in
+  Alcotest.(check int) "budget errors counted" 2 c.Server.budget_errors;
+  (* the ceiling is per-request config, not process state: a generous
+     session on the same engine still answers *)
+  let srv2, _ = make () in
+  check_ok "fresh session fine" (Server.handle srv2 "next 0,0")
+
+let test_injected_internal_error_survives () =
+  let config = { Server.default_config with Server.chaos = true } in
+  let srv, _ = make ~config () in
+  check_err "injected invariant" "internal" (Server.handle srv "inject internal");
+  check_err "injected crash" "internal" (Server.handle srv "inject crash");
+  check_err "injected user" "user" (Server.handle srv "inject user");
+  Alcotest.(check (list string)) "loop survived all three" [ "true"; "ok" ]
+    (Server.handle srv "test 0,1");
+  let c = Server.counts srv in
+  Alcotest.(check int) "internal errors counted" 2 c.Server.internal_errors;
+  Alcotest.(check int) "requests counted" 4 c.Server.requests
+
+let test_health_and_quit () =
+  let srv, _ = make () in
+  ignore (Server.handle srv "test 0,1");
+  ignore (Server.handle srv "frobnicate");
+  (match Server.handle srv "health" with
+  | [ line; "ok" ] ->
+      Alcotest.(check bool) "health summarises" true
+        (String.length line > 10
+        && String.sub line 0 9 = "health ok")
+  | r -> Alcotest.failf "health reply: %s" (String.concat "|" r));
+  Alcotest.(check bool) "not quitting" false (Server.quitting srv);
+  Alcotest.(check (list string)) "quit" [ "bye" ] (Server.handle srv "quit");
+  Alcotest.(check bool) "quitting" true (Server.quitting srv)
+
+(* ---------------- the loop over real channels ---------------- *)
+
+let run_session requests =
+  (* drive serve over OS pipes, like the CLI does over stdin/stdout *)
+  let r0, w0 = Unix.pipe () and r1, w1 = Unix.pipe () in
+  let srv, _ = make ~config:{ Server.default_config with Server.chaos = true } () in
+  let to_srv = Unix.out_channel_of_descr w0 in
+  let from_srv = Unix.in_channel_of_descr r1 in
+  let srv_in = Unix.in_channel_of_descr r0 in
+  let srv_out = Unix.out_channel_of_descr w1 in
+  List.iter
+    (fun req ->
+      output_string to_srv req;
+      output_char to_srv '\n')
+    requests;
+  close_out to_srv;
+  Server.serve srv srv_in srv_out;
+  close_out srv_out;
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line from_srv :: !lines
+     done
+   with End_of_file -> ());
+  close_in from_srv;
+  close_in srv_in;
+  (try Unix.close r0 with Unix.Unix_error _ -> ());
+  (srv, List.rev !lines)
+
+let test_serve_loop_channels () =
+  let srv, lines =
+    run_session
+      [ "test 0,1"; "garbage in"; "inject crash"; "test 0,1"; "quit"; "test 0,0" ]
+  in
+  (* the reply stream: ok, err user, err internal, ok, bye — and
+     nothing served after quit *)
+  (match lines with
+  | [ "true"; "ok"; e1; e2; "true"; "ok"; "bye" ] ->
+      Alcotest.(check bool) "err user" true
+        (String.length e1 > 8 && String.sub e1 0 8 = "err user");
+      Alcotest.(check bool) "err internal" true
+        (String.length e2 > 12 && String.sub e2 0 12 = "err internal")
+  | _ -> Alcotest.failf "unexpected stream: %s" (String.concat "|" lines));
+  let c = Server.counts srv in
+  Alcotest.(check int) "post-quit request not served" 5 c.Server.requests
+
+let test_graceful_stop_drains () =
+  (* request_stop before serve: the already-submitted request is still
+     answered in full (the drain), then the loop says bye *)
+  let r0, w0 = Unix.pipe () and r1, w1 = Unix.pipe () in
+  let srv, _ = make () in
+  let to_srv = Unix.out_channel_of_descr w0 in
+  output_string to_srv "enumerate 5\nnever answered\n";
+  close_out to_srv;
+  Server.request_stop srv;
+  let srv_in = Unix.in_channel_of_descr r0 in
+  let srv_out = Unix.out_channel_of_descr w1 in
+  Server.serve srv srv_in srv_out;
+  close_out srv_out;
+  let from_srv = Unix.in_channel_of_descr r1 in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line from_srv :: !lines
+     done
+   with End_of_file -> ());
+  close_in from_srv;
+  close_in srv_in;
+  match List.rev !lines with
+  | [ "bye" ] ->
+      Alcotest.(check int) "nothing served" 0 (Server.counts srv).Server.requests
+  | lines ->
+      (* stop landed before any read: bye only.  (The in-flight case is
+         exercised through handle+stop below.) *)
+      Alcotest.failf "unexpected stream: %s" (String.concat "|" lines)
+
+let test_stop_after_inflight_request () =
+  let r0, w0 = Unix.pipe () and r1, w1 = Unix.pipe () in
+  let srv, _ = make () in
+  let to_srv = Unix.out_channel_of_descr w0 in
+  output_string to_srv "test 0,1\nnever answered\n";
+  close_out to_srv;
+  let srv_in = Unix.in_channel_of_descr r0 in
+  let srv_out = Unix.out_channel_of_descr w1 in
+  (* emulate a signal landing mid-request: the in-flight request is
+     answered in full, then the loop must bye out without reading the
+     next one *)
+  let reply = Server.handle srv "test 0,1" in
+  Alcotest.(check (list string)) "in-flight reply complete" [ "true"; "ok" ]
+    reply;
+  Server.request_stop srv;
+  Server.serve srv srv_in srv_out;
+  close_out srv_out;
+  let from_srv = Unix.in_channel_of_descr r1 in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line from_srv :: !lines
+     done
+   with End_of_file -> ());
+  close_in from_srv;
+  close_in srv_in;
+  Alcotest.(check (list string)) "drained then bye" [ "bye" ] (List.rev !lines);
+  Alcotest.(check int) "only the drained request served" 1
+    (Server.counts srv).Server.requests
+
+let test_serve_socket () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nd_server_test_%d.sock" (Unix.getpid ()))
+  in
+  match Unix.fork () with
+  | 0 ->
+      (* child: serve until quit *)
+      let srv, _ = make () in
+      (try Server.serve_socket srv ~path with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          try Sys.remove path with Sys_error _ -> ())
+      @@ fun () ->
+      (* wait for the socket to appear *)
+      let rec wait tries =
+        if Sys.file_exists path then ()
+        else if tries = 0 then Alcotest.fail "server socket never appeared"
+        else begin
+          Unix.sleepf 0.05;
+          wait (tries - 1)
+        end
+      in
+      wait 100;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let transport = Client.channel_transport ic oc in
+      let r = Client.call transport "test 0,1" in
+      Alcotest.(check bool) "socket round-trip ok" true
+        (r.Client.status = Client.Ok_reply);
+      Alcotest.(check (list string)) "socket reply" [ "true"; "ok" ]
+        r.Client.reply;
+      let r = Client.call transport "frobnicate" in
+      (match r.Client.status with
+      | Client.Err_reply ("user", _) -> ()
+      | _ -> Alcotest.fail "socket error reply");
+      Alcotest.(check (list string)) "quit over socket" [ "bye" ]
+        (transport "quit");
+      Unix.close fd
+
+(* ---------------- the retrying client ---------------- *)
+
+let test_client_retries_transient_only () =
+  (* a transport that fails with a budget error twice, then succeeds *)
+  let calls = ref 0 in
+  let sleeps = ref [] in
+  let transport _req =
+    incr calls;
+    if !calls <= 2 then [ "err budget ops exhausted (phase answer)" ]
+    else [ "true"; "ok" ]
+  in
+  let policy =
+    {
+      Client.retries = 3;
+      backoff_ms = 10;
+      multiplier = 2.0;
+      sleep_ms = (fun ms -> sleeps := ms :: !sleeps);
+    }
+  in
+  let r = Client.call ~policy transport "test 0,1" in
+  Alcotest.(check int) "three attempts" 3 r.Client.attempts;
+  Alcotest.(check bool) "final ok" true (r.Client.status = Client.Ok_reply);
+  Alcotest.(check (list int)) "exponential backoff" [ 10; 20 ]
+    (List.rev !sleeps);
+  (* user errors are not transient: no retry *)
+  calls := 0;
+  sleeps := [];
+  let transport _req =
+    incr calls;
+    [ "err user bad tuple" ]
+  in
+  let r = Client.call ~policy transport "next banana" in
+  Alcotest.(check int) "no retry on user error" 1 r.Client.attempts;
+  Alcotest.(check (list int)) "no sleeps" [] !sleeps;
+  (match r.Client.status with
+  | Client.Err_reply ("user", _) -> ()
+  | _ -> Alcotest.fail "status should be the user error")
+
+let test_client_gives_up_after_bounded_retries () =
+  let calls = ref 0 in
+  let sleeps = ref [] in
+  let transport _req =
+    incr calls;
+    [ "err budget still exhausted" ]
+  in
+  let policy =
+    {
+      Client.retries = 3;
+      backoff_ms = 5;
+      multiplier = 3.0;
+      sleep_ms = (fun ms -> sleeps := ms :: !sleeps);
+    }
+  in
+  let r = Client.call ~policy transport "enumerate 100" in
+  Alcotest.(check int) "initial + 3 retries" 4 r.Client.attempts;
+  Alcotest.(check int) "4 transport calls" 4 !calls;
+  Alcotest.(check (list int)) "growing backoff" [ 5; 15; 45 ]
+    (List.rev !sleeps);
+  match r.Client.status with
+  | Client.Err_reply ("budget", _) -> ()
+  | _ -> Alcotest.fail "final status is the transient error"
+
+let test_client_end_to_end_in_process () =
+  (* the real composition used by CI: client harness over a direct
+     in-process transport to a budget-limited server *)
+  let tight =
+    { Server.default_config with Server.request_budget_ops = Some 1 }
+  in
+  let srv_tight, _ = make ~config:tight () in
+  let sleeps = ref [] in
+  let policy =
+    { Client.default_policy with Client.sleep_ms = (fun ms -> sleeps := ms :: !sleeps) }
+  in
+  let r = Client.call ~policy (Server.handle srv_tight) "enumerate 100" in
+  Alcotest.(check int) "exhausted all retries" 4 r.Client.attempts;
+  (match r.Client.status with
+  | Client.Err_reply ("budget", _) -> ()
+  | _ -> Alcotest.fail "tight server must exhaust budget");
+  let srv, _ = make () in
+  let r = Client.call ~policy (Server.handle srv) "test 0,1" in
+  Alcotest.(check int) "one attempt suffices" 1 r.Client.attempts;
+  Alcotest.(check bool) "ok" true (r.Client.status = Client.Ok_reply)
+
+let test_status_of_reply () =
+  Alcotest.(check bool) "ok" true
+    (Client.status_of_reply [ "sol 1,2"; "ok" ] = Client.Ok_reply);
+  Alcotest.(check bool) "bye" true
+    (Client.status_of_reply [ "bye" ] = Client.Closed);
+  Alcotest.(check bool) "empty" true (Client.status_of_reply [] = Client.Closed);
+  match Client.status_of_reply [ "err budget ops exhausted" ] with
+  | Client.Err_reply ("budget", msg) ->
+      Alcotest.(check string) "message" "ops exhausted" msg
+  | _ -> Alcotest.fail "err parse"
+
+let suite =
+  [
+    Alcotest.test_case "basic protocol" `Quick test_basic_protocol;
+    Alcotest.test_case "enumerate cursor pages exactly" `Quick
+      test_enumerate_cursor;
+    Alcotest.test_case "malformed requests survive" `Quick
+      test_malformed_requests_survive;
+    Alcotest.test_case "budget exhaustion survives" `Quick
+      test_budget_exhaustion_survives;
+    Alcotest.test_case "injected internal errors survive" `Quick
+      test_injected_internal_error_survives;
+    Alcotest.test_case "health + quit" `Quick test_health_and_quit;
+    Alcotest.test_case "serve loop over pipes" `Quick
+      test_serve_loop_channels;
+    Alcotest.test_case "graceful stop before any request" `Quick
+      test_graceful_stop_drains;
+    Alcotest.test_case "graceful stop drains in-flight request" `Quick
+      test_stop_after_inflight_request;
+    Alcotest.test_case "serve over a unix socket" `Quick test_serve_socket;
+    Alcotest.test_case "client retries transient errors only" `Quick
+      test_client_retries_transient_only;
+    Alcotest.test_case "client bounded retries + backoff" `Quick
+      test_client_gives_up_after_bounded_retries;
+    Alcotest.test_case "client end-to-end in process" `Quick
+      test_client_end_to_end_in_process;
+    Alcotest.test_case "status_of_reply" `Quick test_status_of_reply;
+  ]

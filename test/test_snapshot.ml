@@ -1,0 +1,410 @@
+(* Snapshot persistence: round-trips across the generator zoo must be
+   answer-identical to a fresh prepare, and every on-disk corruption
+   class (truncation, bit flips, stale versions, swapped or
+   transplanted sections, wrong graph/query) must be *detected* at load
+   — never deserialized into a live handle — with load_or_rebuild
+   degrading to a budgeted rebuild. *)
+
+open Nd_graph
+open Nd_logic
+module Snap = Nd_snapshot
+module Disk = Nd_ram.Chaos.Disk
+
+let tmp_counter = ref 0
+
+let tmp_path () =
+  incr tmp_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "nd_snapshot_test_%d_%d.snap" (Unix.getpid ())
+       !tmp_counter)
+
+let with_tmp f =
+  let path = tmp_path () in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let graph_of spec = Gen.randomly_color ~seed:7 ~colors:3 (Gen.of_spec ~seed:7 spec)
+
+let probe_tuples g k =
+  let n = Cgraph.n g in
+  if k = 0 then [ [||] ]
+  else
+    [
+      Array.make k 0;
+      Array.init k (fun i -> (i * 3) mod n);
+      Array.make k (n - 1);
+      Array.init k (fun i -> (n - 1 - i) mod n);
+    ]
+
+(* save → load → the loaded handle answers next/test/enumerate exactly
+   like a freshly prepared one *)
+let differential_roundtrip spec query =
+  with_tmp @@ fun path ->
+  let g = graph_of spec in
+  let phi = Parse.formula query in
+  let fresh = Nd_engine.prepare g phi in
+  (* warm part of the cache so the snapshot carries a non-trivial store *)
+  Nd_engine.enumerate ~limit:25 (fun _ -> ()) fresh;
+  let bytes = Snap.save ~path fresh in
+  Alcotest.(check bool)
+    (spec ^ ": snapshot non-empty") true (bytes > 0 && Disk.size path = bytes);
+  let loaded =
+    match Snap.load ~path g phi with
+    | Ok eng -> eng
+    | Error c -> Alcotest.failf "%s: clean snapshot rejected: %s" spec (Snap.describe c)
+  in
+  Alcotest.(check bool)
+    (spec ^ ": cache revived") true
+    (Nd_engine.cache_size loaded = Nd_engine.cache_size fresh);
+  let reference = Nd_engine.prepare g phi in
+  if Nd_engine.arity reference = 0 then
+    Alcotest.(check bool)
+      (spec ^ ": sentence verdict") (Nd_engine.holds reference)
+      (Nd_engine.holds loaded)
+  else begin
+    Alcotest.(check bool)
+      (spec ^ ": enumeration identical") true
+      (Nd_engine.to_list loaded = Nd_engine.to_list reference);
+    List.iter
+      (fun t ->
+        Alcotest.(check bool)
+          (spec ^ ": next agrees") true
+          (Nd_engine.next loaded t = Nd_engine.next reference t);
+        Alcotest.(check bool)
+          (spec ^ ": test agrees") true
+          (Nd_engine.test loaded t = Nd_engine.test reference t))
+      (probe_tuples g (Nd_engine.arity reference))
+  end
+
+let zoo =
+  [
+    "grid:6x6"; "planar:5x5"; "tree:40"; "path:30"; "cycle:30"; "star:20";
+    "clique:8"; "bdeg:60:3"; "ktree:40:3"; "subdiv:4"; "gnp:40:0.08";
+  ]
+
+let test_zoo_roundtrips () =
+  List.iter (fun spec -> differential_roundtrip spec "dist(x,y) <= 2") zoo
+
+let test_roundtrip_other_queries () =
+  differential_roundtrip "grid:6x6" "C0(x) & dist(x,y) > 2";
+  differential_roundtrip "tree:40" "E(x,y)";
+  (* sentences persist the Tester *)
+  differential_roundtrip "grid:6x6" "exists x y. E(x,y)"
+
+let test_warm_cache_roundtrip () =
+  (* a *complete* cache must revive as complete and keep serving *)
+  with_tmp @@ fun path ->
+  let g = graph_of "grid:5x5" in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let fresh = Nd_engine.prepare g phi in
+  let all = Nd_engine.to_list fresh in
+  Alcotest.(check bool) "cache complete" true (Nd_engine.cache_complete fresh);
+  ignore (Snap.save ~path fresh);
+  match Snap.load ~path g phi with
+  | Error c -> Alcotest.failf "rejected: %s" (Snap.describe c)
+  | Ok loaded ->
+      Alcotest.(check bool) "completeness revived" true
+        (Nd_engine.cache_complete loaded);
+      Alcotest.(check bool) "answers from revived store" true
+        (Nd_engine.to_list loaded = all)
+
+(* ---------------- corruption classes ---------------- *)
+
+(* one small reference snapshot everything below corrupts copies of *)
+let make_reference () =
+  let g = graph_of "grid:5x5" in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let eng = Nd_engine.prepare g phi in
+  Nd_engine.enumerate ~limit:10 (fun _ -> ()) eng;
+  (g, phi, eng)
+
+let expect_rejected what path g phi =
+  match Snap.load ~path g phi with
+  | Ok _ -> Alcotest.failf "%s: corrupted snapshot produced a live handle" what
+  | Error c ->
+      Alcotest.(check bool)
+        (what ^ ": describable") true
+        (String.length (Snap.describe c) > 0);
+      c
+
+let test_truncation_detected () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  let bytes = Snap.save ~path eng in
+  let original = Disk.read path in
+  (* deterministic cut points: empty file, inside magic, at each header
+     field boundary, inside each section, one byte short *)
+  let cuts =
+    [ 0; 1; 7; 8; 11; 12; 15; 16; 20; 40; bytes / 2; bytes - 1 ]
+    |> List.sort_uniq compare
+    |> List.filter (fun k -> k >= 0 && k < bytes)
+  in
+  List.iter
+    (fun k ->
+      Disk.write path original;
+      Disk.truncate_at path k;
+      ignore (expect_rejected (Printf.sprintf "truncate@%d" k) path g phi))
+    cuts
+
+let test_truncation_random () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  let bytes = Snap.save ~path eng in
+  let original = Disk.read path in
+  let st = Random.State.make [| 0xdead |] in
+  for _ = 1 to 50 do
+    let k = Random.State.int st bytes in
+    Disk.write path original;
+    Disk.truncate_at path k;
+    ignore (expect_rejected (Printf.sprintf "truncate@%d" k) path g phi)
+  done
+
+let test_bitflip_detected () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  let bytes = Snap.save ~path eng in
+  let original = Disk.read path in
+  let st = Random.State.make [| 0xf11b |] in
+  for _ = 1 to 100 do
+    let byte = Random.State.int st bytes in
+    let bit = Random.State.int st 8 in
+    Disk.write path original;
+    Disk.flip_bit path ~byte ~bit;
+    ignore
+      (expect_rejected (Printf.sprintf "flip %d.%d" byte bit) path g phi)
+  done
+
+let test_stale_version_detected () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  ignore (Snap.save ~path eng);
+  (* the u32 LE format version lives right after the 8-byte magic *)
+  Disk.patch path ~pos:8 "\x63\x00\x00\x00";
+  match expect_rejected "stale version" path g phi with
+  | Snap.Version_skew _ -> ()
+  | c -> Alcotest.failf "expected Version_skew, got %s" (Snap.describe c)
+
+let test_swapped_sections_detected () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  ignore (Snap.save ~path eng);
+  let sections =
+    match Snap.layout ~path with
+    | Ok s -> s
+    | Error c -> Alcotest.failf "layout of clean file: %s" (Snap.describe c)
+  in
+  let whole s = (s.Snap.off - 12, s.Snap.len + 12) in
+  (match sections with
+  | meta :: engn :: _ ->
+      (* swap the entire META and ENGN sections (headers included):
+         both survive byte-for-byte, but in the wrong order *)
+      Disk.swap_ranges path (whole meta) (whole engn);
+      (match expect_rejected "swapped sections" path g phi with
+      | Snap.Bad_layout _ | Snap.Truncated _ -> ()
+      | c -> Alcotest.failf "expected layout error, got %s" (Snap.describe c))
+  | _ -> Alcotest.fail "fewer than two sections");
+  (* payload-only swap: tags stay in place, contents exchanged *)
+  let original_eng = Nd_engine.prepare g phi in
+  Nd_engine.enumerate ~limit:10 (fun _ -> ()) original_eng;
+  ignore (Snap.save ~path original_eng);
+  (match Snap.layout ~path with
+  | Ok (meta :: engn :: _) ->
+      let l = min meta.Snap.len engn.Snap.len in
+      Disk.swap_ranges path (meta.Snap.off, l) (engn.Snap.off, l);
+      (match expect_rejected "swapped payloads" path g phi with
+      | Snap.Checksum _ -> ()
+      | c -> Alcotest.failf "expected Checksum, got %s" (Snap.describe c))
+  | Ok _ -> Alcotest.fail "fewer than two sections"
+  | Error c -> Alcotest.failf "layout: %s" (Snap.describe c))
+
+let test_trailing_garbage_detected () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  ignore (Snap.save ~path eng);
+  Disk.write path (Disk.read path ^ "JUNK");
+  match expect_rejected "trailing garbage" path g phi with
+  | Snap.Bad_layout _ -> ()
+  | c -> Alcotest.failf "expected Bad_layout, got %s" (Snap.describe c)
+
+let test_wrong_instance_detected () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  ignore (Snap.save ~path eng);
+  (* same spec, different coloring: a different graph *)
+  let g' = Gen.randomly_color ~seed:99 ~colors:3 (Gen.of_spec ~seed:7 "grid:5x5") in
+  (match Snap.load ~path g' phi with
+  | Ok _ -> Alcotest.fail "snapshot accepted for a different graph"
+  | Error (Snap.Mismatch _) -> ()
+  | Error c -> Alcotest.failf "expected Mismatch, got %s" (Snap.describe c));
+  (* different query *)
+  let phi' = Parse.formula "dist(x,y) <= 1" in
+  (match Snap.load ~path g phi' with
+  | Ok _ -> Alcotest.fail "snapshot accepted for a different query"
+  | Error (Snap.Mismatch _) -> ()
+  | Error c -> Alcotest.failf "expected Mismatch, got %s" (Snap.describe c));
+  (* and the right instance still loads after all those rejections *)
+  match Snap.load ~path g phi with
+  | Ok _ -> ()
+  | Error c -> Alcotest.failf "clean load after rejections: %s" (Snap.describe c)
+
+let test_transplanted_section_detected () =
+  (* the deep check: sections with *valid* CRCs transplanted from a
+     different, internally consistent snapshot must still be rejected
+     by the decoded-payload cross-checks *)
+  with_tmp @@ fun path_a ->
+  with_tmp @@ fun path_b ->
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let ga = graph_of "grid:5x5" in
+  let gb = graph_of "cycle:25" in
+  let ea = Nd_engine.prepare ga phi and eb = Nd_engine.prepare gb phi in
+  Nd_engine.enumerate ~limit:10 (fun _ -> ()) ea;
+  Nd_engine.enumerate ~limit:10 (fun _ -> ()) eb;
+  ignore (Snap.save ~path:path_a ea);
+  ignore (Snap.save ~path:path_b eb);
+  let lay p =
+    match Snap.layout ~path:p with
+    | Ok s -> s
+    | Error c -> Alcotest.failf "layout: %s" (Snap.describe c)
+  in
+  let la = lay path_a and lb = lay path_b in
+  let a = Disk.read path_a and b = Disk.read path_b in
+  let whole s bytes = String.sub bytes (s.Snap.off - 12) (s.Snap.len + 12) in
+  let sec name l = List.find (fun s -> s.Snap.tag = name) l in
+  (* splice B's ENGN section (valid tag, len, crc) into A's file *)
+  let sa = sec "ENGN" la and sb = sec "ENGN" lb in
+  let spliced =
+    String.sub a 0 (sa.Snap.off - 12)
+    ^ whole sb b
+    ^ String.sub a
+        (sa.Snap.off + sa.Snap.len)
+        (String.length a - sa.Snap.off - sa.Snap.len)
+  in
+  Disk.write path_a spliced;
+  match Snap.load ~path:path_a ga phi with
+  | Ok _ -> Alcotest.fail "transplanted ENGN section produced a live handle"
+  | Error (Snap.Decode _ | Snap.Mismatch _) -> ()
+  | Error c ->
+      Alcotest.failf "expected Decode/Mismatch, got %s" (Snap.describe c)
+
+let test_load_or_rebuild_fallback () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  let expected = Nd_engine.to_list eng in
+  ignore (Snap.save ~path eng);
+  (* clean file: loads *)
+  let _, outcome = Snap.load_or_rebuild ~path g phi in
+  Alcotest.(check bool) "clean loads" true (outcome = Snap.Loaded);
+  (* corrupted file: rebuilds, and the rebuilt handle is exact *)
+  Disk.flip_bit path ~byte:(Disk.size path / 2) ~bit:3;
+  let rebuilt, outcome = Snap.load_or_rebuild ~path g phi in
+  (match outcome with
+  | Snap.Rebuilt c ->
+      Alcotest.(check bool) "reason recorded" true
+        (String.length (Snap.describe c) > 0)
+  | Snap.Loaded -> Alcotest.fail "corrupted snapshot loaded");
+  Alcotest.(check bool) "rebuilt handle exact" true
+    (Nd_engine.to_list rebuilt = expected);
+  (* missing file: also a rebuild, not an exception *)
+  Sys.remove path;
+  let rebuilt2, outcome2 = Snap.load_or_rebuild ~path g phi in
+  (match outcome2 with
+  | Snap.Rebuilt _ -> ()
+  | Snap.Loaded -> Alcotest.fail "missing file loaded");
+  Alcotest.(check bool) "rebuild after missing file exact" true
+    (Nd_engine.to_list rebuilt2 = expected)
+
+let test_degraded_handle_refused () =
+  with_tmp @@ fun path ->
+  let g = graph_of "bdeg:60:3" in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let eng =
+    Nd_engine.prepare ~budget:(Nd_util.Budget.create ~max_ops:1 ()) g phi
+  in
+  Alcotest.(check bool) "degraded" true (Nd_engine.degraded eng);
+  match Snap.save ~path eng with
+  | exception Nd_error.User_error _ -> ()
+  | _ -> Alcotest.fail "degraded handle was snapshotted"
+
+let test_info_and_layout () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  let bytes = Snap.save ~path eng in
+  (match Snap.layout ~path with
+  | Ok sections ->
+      Alcotest.(check (list string)) "section order"
+        [ "META"; "ENGN"; "CACH" ]
+        (List.map (fun s -> s.Snap.tag) sections);
+      let last = List.nth sections 2 in
+      Alcotest.(check int) "sections tile the file" bytes
+        (last.Snap.off + last.Snap.len)
+  | Error c -> Alcotest.failf "layout: %s" (Snap.describe c));
+  match Snap.info ~path with
+  | Error c -> Alcotest.failf "info: %s" (Snap.describe c)
+  | Ok i ->
+      Alcotest.(check int) "version" 1 i.Snap.version;
+      Alcotest.(check string) "query text" (Nd_logic.Fo.to_string phi) i.Snap.query;
+      Alcotest.(check int) "graph n" (Cgraph.n g) i.Snap.graph_n;
+      Alcotest.(check int) "graph fingerprint" (Snap.fingerprint g)
+        i.Snap.graph_fingerprint;
+      Alcotest.(check int) "cached count" (Nd_engine.cache_size eng)
+        i.Snap.cached_solutions
+
+let test_atomic_overwrite () =
+  (* saving over an existing snapshot must leave a valid file (temp +
+     rename), and fingerprints are order-insensitive *)
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  ignore (Snap.save ~path eng);
+  ignore (Snap.save ~path eng);
+  (match Snap.load ~path g phi with
+  | Ok _ -> ()
+  | Error c -> Alcotest.failf "overwritten snapshot invalid: %s" (Snap.describe c));
+  let edges g = Cgraph.fold_edges (fun u v acc -> (u, v) :: acc) g [] in
+  let g_rev =
+    Cgraph.create ~n:(Cgraph.n g)
+      ~colors:
+        (Array.init (Cgraph.color_count g) (fun c ->
+             let s = Nd_util.Bitset.create (Cgraph.n g) in
+             Array.iter
+               (fun v -> Nd_util.Bitset.add s v)
+               (Cgraph.color_members g ~color:c);
+             s))
+      (List.rev (edges g))
+  in
+  Alcotest.(check int) "fingerprint ignores edge order" (Snap.fingerprint g)
+    (Snap.fingerprint g_rev)
+
+let suite =
+  [
+    Alcotest.test_case "zoo round-trips (differential)" `Slow
+      test_zoo_roundtrips;
+    Alcotest.test_case "round-trips: colors, edges, sentences" `Slow
+      test_roundtrip_other_queries;
+    Alcotest.test_case "complete cache revives" `Quick
+      test_warm_cache_roundtrip;
+    Alcotest.test_case "truncation detected (boundaries)" `Quick
+      test_truncation_detected;
+    Alcotest.test_case "truncation detected (random)" `Slow
+      test_truncation_random;
+    Alcotest.test_case "bit flips detected (random)" `Slow
+      test_bitflip_detected;
+    Alcotest.test_case "stale version detected" `Quick
+      test_stale_version_detected;
+    Alcotest.test_case "swapped sections detected" `Quick
+      test_swapped_sections_detected;
+    Alcotest.test_case "trailing garbage detected" `Quick
+      test_trailing_garbage_detected;
+    Alcotest.test_case "wrong graph / query detected" `Quick
+      test_wrong_instance_detected;
+    Alcotest.test_case "transplanted section detected" `Quick
+      test_transplanted_section_detected;
+    Alcotest.test_case "load_or_rebuild degrades gracefully" `Quick
+      test_load_or_rebuild_fallback;
+    Alcotest.test_case "degraded handle refused" `Quick
+      test_degraded_handle_refused;
+    Alcotest.test_case "info + layout introspection" `Quick
+      test_info_and_layout;
+    Alcotest.test_case "atomic overwrite + fingerprint" `Quick
+      test_atomic_overwrite;
+  ]
