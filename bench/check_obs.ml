@@ -1,0 +1,54 @@
+(* Validate observability artifacts with the library's own validators.
+
+   Usage:
+     check_obs.exe trace   FILE    Chrome trace-event JSON (--trace output)
+     check_obs.exe prom    FILE    Prometheus text exposition
+     check_obs.exe profile FILE    nd-profile/1 JSON (fodb profile --json)
+
+   Exits 0 when the artifact is well-formed (and, for profile, the
+   delay-invariance verdict holds), 1 otherwise.  CI runs all three. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("check_obs: " ^ m); exit 1) fmt
+
+let check_trace file =
+  match Nd_trace.validate_chrome (read_file file) with
+  | Ok n -> Printf.printf "%s: valid Chrome trace, %d events\n" file n
+  | Error e -> fail "%s: invalid trace: %s" file e
+
+let check_prom file =
+  match Nd_trace.Prometheus.validate (read_file file) with
+  | Ok n -> Printf.printf "%s: valid Prometheus exposition, %d families\n" file n
+  | Error e -> fail "%s: invalid exposition: %s" file e
+
+let check_profile file =
+  match Nd_trace.Json.parse (read_file file) with
+  | Error e -> fail "%s: not valid JSON: %s" file e
+  | Ok doc -> (
+      (match Nd_trace.Json.member "schema" doc with
+      | Some (Nd_trace.Json.Str "nd-profile/1") -> ()
+      | _ -> fail "%s: missing or wrong schema (want nd-profile/1)" file);
+      (match Nd_trace.Json.member "points" doc with
+      | Some (Nd_trace.Json.Arr (_ :: _)) -> ()
+      | _ -> fail "%s: no profile points" file);
+      match Nd_trace.Json.member "delay_invariant" doc with
+      | Some (Nd_trace.Json.Bool true) ->
+          Printf.printf "%s: delay-invariant: true\n" file
+      | Some (Nd_trace.Json.Bool false) ->
+          fail "%s: delay-invariance verdict is FALSE — constant-delay \
+                contract regressed" file
+      | _ -> fail "%s: missing delay_invariant verdict" file)
+
+let () =
+  match Sys.argv with
+  | [| _; "trace"; file |] -> check_trace file
+  | [| _; "prom"; file |] -> check_prom file
+  | [| _; "profile"; file |] -> check_profile file
+  | _ ->
+      prerr_endline "usage: check_obs (trace|prom|profile) FILE";
+      exit 2

@@ -266,6 +266,27 @@ let check_budget_point i p =
       err "%s.ops_delta_pct: |%g| exceeds the 2%% probe-overhead budget" path d
   | _ -> ()
 
+(* the observability gate: span tracing on the hot paths must be free
+   on the deterministic ops cost model (span bookkeeping never advances
+   a counter), and the traced arm must have actually recorded spans *)
+let check_trace_point i p =
+  let path = Printf.sprintf "trace_overhead[%d]" i in
+  ignore (get_str path p "spec");
+  ignore (get_num path p "n");
+  (match get_num path p "ops_off" with
+  | Some f when f <= 0. -> err "%s.ops_off: workload recorded no ops" path
+  | _ -> ());
+  ignore (get_num path p "ops_on");
+  ignore (get_num path p "wall_off_s");
+  ignore (get_num path p "wall_on_s");
+  (match get_num path p "spans" with
+  | Some s when s < 1. -> err "%s.spans: traced arm recorded no spans" path
+  | _ -> ());
+  match get_num path p "ops_delta_pct" with
+  | Some d when Float.abs d > 2.0 ->
+      err "%s.ops_delta_pct: |%g| exceeds the 2%% tracer-overhead budget" path d
+  | _ -> ()
+
 (* the persistence gate: reviving a snapshot must beat redoing the
    Theorem 2.3 preprocessing, or the subsystem has no reason to exist *)
 let check_snapshot_point i p =
@@ -341,6 +362,11 @@ let () =
   | Some (Arr []) -> err "$.budget_overhead: empty"
   | Some (Arr pts) -> List.iteri check_budget_point pts
   | Some _ -> err "$.budget_overhead: expected an array"
+  | None -> ());
+  (match field "$" j "trace_overhead" with
+  | Some (Arr []) -> err "$.trace_overhead: empty"
+  | Some (Arr pts) -> List.iteri check_trace_point pts
+  | Some _ -> err "$.trace_overhead: expected an array"
   | None -> ());
   (match field "$" j "snapshot" with
   | Some (Arr []) -> err "$.snapshot: empty"

@@ -798,6 +798,105 @@ let er_budget_overhead () =
       [ "graph"; "n"; "ops plain"; "ops budgeted"; "ops delta %"; "wall delta %" ]
     rows
 
+(* ------------------------------------------------------------------ *)
+(* TR — observability: span-tracer overhead on the same deterministic
+   workload as ER.  The tracer's bookkeeping (ids, clock reads, ring
+   writes) never advances an ops counter, so the cost-model delta
+   between a tracing-off and a tracing-on run must be ~0 (check_schema
+   enforces <= 2%, mirroring the ER budget-probe gate).  Span counts
+   are recorded so the gate also proves the traced arm actually
+   traced.                                                              *)
+
+type tr_row = {
+  tr_spec : string;
+  tr_n : int;
+  tr_ops_off : int;
+  tr_ops_on : int;
+  tr_delta_pct : float;
+  tr_wall_off : float;
+  tr_wall_on : float;
+  tr_spans : int;
+}
+
+let tr_point side =
+  let phi = Nd_logic.Parse.formula "dist(x,y) <= 2" in
+  let g = Gen.randomly_color ~seed:5 ~colors:2 (Gen.grid side side) in
+  let n = Cgraph.n g in
+  Nd_engine.reset_metrics ();
+  let eng = Nd_engine.prepare ~metrics:true ~cache_limit:0 g phi in
+  let calls = if !smoke then 500 else 2_000 in
+  let tuples =
+    Array.init calls (fun i -> [| i * 17 mod n; i * 31 mod n |])
+  in
+  let workload () =
+    for i = 0 to calls - 1 do
+      ignore (Nd_engine.next eng tuples.(i));
+      ignore (Nd_engine.test eng tuples.(i))
+    done;
+    Nd_engine.enumerate (fun _ -> ()) eng
+  in
+  let measure f =
+    Nd_util.Metrics.reset ();
+    Nd_util.Metrics.enable ();
+    let o0 = Nd_util.Metrics.ops () in
+    let (), t = time f in
+    (Nd_util.Metrics.ops () - o0, t)
+  in
+  workload ();
+  Nd_trace.disable ();
+  let ops_off, wall_off = measure workload in
+  Nd_trace.enable ();
+  Nd_trace.clear ();
+  let ops_on, wall_on = measure workload in
+  let spans = List.length (Nd_trace.spans ()) + Nd_trace.dropped () in
+  Nd_trace.disable ();
+  Nd_trace.clear ();
+  Nd_util.Metrics.disable ();
+  let delta_pct =
+    if ops_off = 0 then 0.
+    else float_of_int (ops_on - ops_off) /. float_of_int ops_off *. 100.
+  in
+  {
+    tr_spec = Printf.sprintf "grid:%dx%d" side side;
+    tr_n = n;
+    tr_ops_off = ops_off;
+    tr_ops_on = ops_on;
+    tr_delta_pct = delta_pct;
+    tr_wall_off = wall_off;
+    tr_wall_on = wall_on;
+    tr_spans = spans;
+  }
+
+let tr_json r =
+  Printf.sprintf
+    "{\"spec\":%S,\"n\":%d,\"ops_off\":%d,\"ops_on\":%d,\
+     \"ops_delta_pct\":%.9g,\"wall_off_s\":%.9g,\"wall_on_s\":%.9g,\
+     \"spans\":%d}"
+    r.tr_spec r.tr_n r.tr_ops_off r.tr_ops_on r.tr_delta_pct r.tr_wall_off
+    r.tr_wall_on r.tr_spans
+
+let tr_trace_overhead () =
+  let rows =
+    List.map
+      (fun side ->
+        let r = tr_point side in
+        [
+          r.tr_spec; si r.tr_n; si r.tr_ops_off; si r.tr_ops_on;
+          f2 r.tr_delta_pct;
+          f2 ((r.tr_wall_on -. r.tr_wall_off) /. r.tr_wall_off *. 100.);
+          si r.tr_spans;
+        ])
+      (er_sides ())
+  in
+  print_table
+    ~title:
+      "TR / observability: span-tracer overhead on the next/test/enumerate \
+       hot paths (ops delta must be ~0; gated at 2% by check_schema)"
+    ~header:
+      [ "graph"; "n"; "ops off"; "ops on"; "ops delta %"; "wall delta %";
+        "spans" ]
+    rows
+
 let micro_rows () =
   let open Bechamel in
   let open Toolkit in
@@ -963,6 +1062,9 @@ let ee_engine_json () =
   (* ER rows ride along in every mode: the robustness gate needs them
      on record even in CI's smoke run *)
   let budget_points = List.map (fun s -> er_json (er_point s)) (er_sides ()) in
+  (* TR rows ride along for the same reason: the tracing-off overhead
+     gate must be on record in every mode *)
+  let trace_points = List.map (fun s -> tr_json (tr_point s)) (er_sides ()) in
   Nd_util.Metrics.disable ();
   (* SN rows: snapshot persistence, measured without instrumentation so
      the prepare-vs-load comparison is what production sees *)
@@ -972,11 +1074,12 @@ let ee_engine_json () =
     Printf.sprintf
       "{\"schema\":\"nd-engine-bench/1\",\"mode\":\"%s\",\"query\":\"%s\",\
        \"engine\":[%s],\"store\":[%s],\"budget_overhead\":[%s],\
-       \"snapshot\":[%s]}"
+       \"trace_overhead\":[%s],\"snapshot\":[%s]}"
       mode qtext
       (String.concat "," engine_points)
       (String.concat "," store_points)
       (String.concat "," budget_points)
+      (String.concat "," trace_points)
       (String.concat "," snapshot_points)
   in
   let path = "BENCH_engine.json" in
@@ -1003,6 +1106,7 @@ let experiments =
     ("A1", "ablation: skip pointers", a1_ablation_skip);
     ("A2", "ablation: index space", a2_ablation_dist);
     ("ER", "robustness: budget-probe overhead", er_budget_overhead);
+    ("TR", "observability: span-tracer overhead", tr_trace_overhead);
     ("EE", "engine cost-model trajectories", ee_engine_json);
   ]
 

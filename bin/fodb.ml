@@ -96,6 +96,25 @@ let stats_json_arg =
     & info [ "stats-json" ]
         ~doc:"Like $(b,--stats) but emit a single-line JSON object.")
 
+let prometheus_arg =
+  Arg.(
+    value & flag
+    & info [ "prometheus" ]
+        ~doc:
+          "Enable cost-model instrumentation and print the whole metrics \
+           registry in the Prometheus text exposition format (suppresses the \
+           human-readable output).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record spans (preprocessing phases, per-answer next calls, store \
+           updates) and write a Chrome trace-event JSON file loadable in \
+           Perfetto or chrome://tracing.")
+
 let epsilon_arg =
   Arg.(
     value & opt float 0.5
@@ -152,13 +171,14 @@ let run f =
 (* Build the engine handle; every query subcommand funnels through
    here.  Returns the handle plus an [emit] closure printing the
    requested stats report after the command body ran. *)
-let with_engine spec query colors seed epsilon stats stats_json budget_ops
-    timeout_ms f =
+let with_engine spec query colors seed epsilon stats stats_json prometheus
+    trace budget_ops timeout_ms f =
  run @@ fun () ->
   let g = load spec ~colors ~seed in
   let phi = Nd_logic.Parse.formula query in
-  let metrics = stats || stats_json in
+  let metrics = stats || stats_json || prometheus in
   if metrics then Nd_engine.reset_metrics ();
+  (match trace with Some _ -> Nd_trace.enable () | None -> ());
   let budget =
     if budget_ops = None && timeout_ms = None then None
     else Some (Nd_util.Budget.create ?max_ops:budget_ops ?timeout_ms ())
@@ -166,7 +186,7 @@ let with_engine spec query colors seed epsilon stats stats_json budget_ops
   let eng, prep =
     time (fun () -> Nd_engine.prepare ~epsilon ~metrics ?budget g phi)
   in
-  if not stats_json then begin
+  if not (stats_json || prometheus) then begin
     Printf.printf "graph: %d vertices, %d edges, %d colors\n" (Cgraph.n g)
       (Cgraph.m g) (Cgraph.color_count g);
     Printf.printf "query: %s (arity %d, %s)\n"
@@ -184,7 +204,13 @@ let with_engine spec query colors seed epsilon stats stats_json budget_ops
     if stats_json then
       print_endline (Nd_engine.Stats.to_json (Nd_engine.stats eng))
     else if stats then
-      Format.printf "%a" Nd_engine.Stats.pp (Nd_engine.stats eng)
+      Format.printf "%a" Nd_engine.Stats.pp (Nd_engine.stats eng);
+    if prometheus then print_string (Nd_trace.Prometheus.render_current ());
+    (* the trace flushes on abnormal exits too: the spans recorded up to
+       the failure are the post-mortem *)
+    match trace with
+    | Some path -> ignore (Nd_trace.save_chrome ~path)
+    | None -> ()
   in
   (* The same budget that governed preprocessing governs the command
      body: if preprocessing already exhausted it, the degraded handle is
@@ -209,11 +235,11 @@ let with_engine spec query colors seed epsilon stats stats_json budget_ops
 
 (* ---------------- subcommands ---------------- *)
 
-let enumerate spec query colors seed epsilon stats stats_json budget_ops
-    timeout_ms limit =
-  with_engine spec query colors seed epsilon stats stats_json budget_ops
-    timeout_ms (fun eng ->
-      let quiet = stats_json in
+let enumerate spec query colors seed epsilon stats stats_json prometheus trace
+    budget_ops timeout_ms limit =
+  with_engine spec query colors seed epsilon stats stats_json prometheus trace
+    budget_ops timeout_ms (fun eng ->
+      let quiet = stats_json || prometheus in
       let printed = ref 0 in
       let _, t =
         time (fun () ->
@@ -227,12 +253,12 @@ let enumerate spec query colors seed epsilon stats stats_json budget_ops
       if not quiet then
         Printf.printf "%d solutions in %.3fs\n" !printed t)
 
-let count spec query colors seed epsilon stats stats_json budget_ops
-    timeout_ms =
-  with_engine spec query colors seed epsilon stats stats_json budget_ops
-    timeout_ms (fun eng ->
+let count spec query colors seed epsilon stats stats_json prometheus trace
+    budget_ops timeout_ms =
+  with_engine spec query colors seed epsilon stats stats_json prometheus trace
+    budget_ops timeout_ms (fun eng ->
       let r, t = time (fun () -> Nd_engine.count eng) in
-      if not stats_json then
+      if not (stats_json || prometheus) then
         Printf.printf "count: %d (%.3fs, %s)\n" r.Nd_core.Count.count t
           (match r.Nd_core.Count.method_ with
           | Nd_core.Count.Exact_pseudolinear -> "pseudo-linear counting"
@@ -250,23 +276,23 @@ let parse_tuple tuple =
                   tuple))
        (String.split_on_char ',' tuple))
 
-let test spec query colors seed epsilon stats stats_json budget_ops
-    timeout_ms tuple =
-  with_engine spec query colors seed epsilon stats stats_json budget_ops
-    timeout_ms (fun eng ->
+let test spec query colors seed epsilon stats stats_json prometheus trace
+    budget_ops timeout_ms tuple =
+  with_engine spec query colors seed epsilon stats stats_json prometheus trace
+    budget_ops timeout_ms (fun eng ->
       let tup = parse_tuple tuple in
       let ans, t = time (fun () -> Nd_engine.test eng tup) in
-      if not stats_json then
+      if not (stats_json || prometheus) then
         Printf.printf "%s ∈ q(G): %b  (%.6fs)\n"
           (Nd_util.Tuple.to_string tup) ans t)
 
-let next spec query colors seed epsilon stats stats_json budget_ops
-    timeout_ms tuple =
-  with_engine spec query colors seed epsilon stats stats_json budget_ops
-    timeout_ms (fun eng ->
+let next spec query colors seed epsilon stats stats_json prometheus trace
+    budget_ops timeout_ms tuple =
+  with_engine spec query colors seed epsilon stats stats_json prometheus trace
+    budget_ops timeout_ms (fun eng ->
       let tup = parse_tuple tuple in
       let ans, t = time (fun () -> Nd_engine.next eng tup) in
-      if not stats_json then
+      if not (stats_json || prometheus) then
         match ans with
         | Some s ->
             Printf.printf "smallest solution ≥ %s: %s  (%.6fs)\n"
@@ -295,21 +321,48 @@ let splitter spec colors seed r =
   | Some l -> Printf.printf "Splitter wins in %d rounds\n" l
   | None -> print_endline "Splitter does not win within 64 rounds"
 
-let stats spec colors seed =
+let stats spec colors seed prometheus =
  run @@ fun () ->
+  if prometheus then begin
+    Nd_util.Metrics.reset ();
+    Nd_util.Metrics.enable ()
+  end;
   let g = load spec ~colors ~seed in
   let rep = Nd_engine.Inspect.graph_stats g in
-  Printf.printf "vertices: %d\nedges: %d\ncolors: %d\n"
-    rep.Nd_engine.Inspect.gn rep.Nd_engine.Inspect.gm
-    rep.Nd_engine.Inspect.gcolors;
-  if rep.Nd_engine.Inspect.gn > 0 then
-    Printf.printf "degree: max %d, median %d\n"
-      rep.Nd_engine.Inspect.degree_max rep.Nd_engine.Inspect.degree_median;
-  List.iter
-    (fun (r, p) ->
-      Printf.printf "weak %d-accessibility: max %d, mean %.2f\n" r
-        p.Nd_nowhere.Wcol.max p.Nd_nowhere.Wcol.mean)
-    rep.Nd_engine.Inspect.wcol
+  if prometheus then print_string (Nd_trace.Prometheus.render_current ())
+  else begin
+    Printf.printf "vertices: %d\nedges: %d\ncolors: %d\n"
+      rep.Nd_engine.Inspect.gn rep.Nd_engine.Inspect.gm
+      rep.Nd_engine.Inspect.gcolors;
+    if rep.Nd_engine.Inspect.gn > 0 then
+      Printf.printf "degree: max %d, median %d\n"
+        rep.Nd_engine.Inspect.degree_max rep.Nd_engine.Inspect.degree_median;
+    List.iter
+      (fun (r, p) ->
+        Printf.printf "weak %d-accessibility: max %d, mean %.2f\n" r
+          p.Nd_nowhere.Wcol.max p.Nd_nowhere.Wcol.mean)
+      rep.Nd_engine.Inspect.wcol
+  end
+
+(* ---------------- profile ---------------- *)
+
+let profile spec sizes query colors seed limit tolerance json =
+ run @@ fun () ->
+  let sizes =
+    List.map
+      (fun s ->
+        match int_of_string_opt (String.trim s) with
+        | Some n when n > 0 -> n
+        | _ -> invalid_arg (Printf.sprintf "profile: bad size %S" s))
+      (String.split_on_char ',' sizes)
+  in
+  let r =
+    Nd_profile.run ~query ~colors ~seed ?limit ~tolerance ~spec ~sizes ()
+  in
+  if json then print_endline (Nd_profile.to_json r) else Nd_profile.print r;
+  (* a regression of the constant-delay contract is an error exit, so CI
+     can gate on the command alone *)
+  if not r.Nd_profile.delay_invariant then exit 1
 
 (* ---------------- snapshot persistence ---------------- *)
 
@@ -326,7 +379,9 @@ let snapshot_save spec query colors seed epsilon budget_ops timeout_ms warm
   let eng, prep =
     time (fun () -> Nd_engine.prepare ~epsilon ?budget g phi)
   in
-  if warm > 0 then Nd_engine.enumerate ~limit:warm (fun _ -> ()) eng;
+  if warm > 0 then
+    Nd_trace.with_span "engine.cache_warm" (fun () ->
+        Nd_engine.enumerate ~limit:warm (fun _ -> ()) eng);
   let bytes, t = time (fun () -> Nd_snapshot.save ~path:file eng) in
   Printf.printf
     "snapshot: %d bytes to %s (prepare %.3fs, save %.3fs, %d cached \
@@ -391,8 +446,13 @@ let snapshot_info file =
 (* ---------------- serve ---------------- *)
 
 let serve spec query colors seed epsilon snapshot_file socket
-    request_budget_ops request_timeout_ms max_enumerate chaos =
+    request_budget_ops request_timeout_ms max_enumerate chaos event_log_file
+    no_metrics trace =
  run @@ fun () ->
+  (* metrics default ON in serve so the `metrics` scrape verb has
+     something to report over a long session *)
+  if not no_metrics then Nd_util.Metrics.enable ();
+  (match trace with Some _ -> Nd_trace.enable () | None -> ());
   let g = load spec ~colors ~seed in
   let phi = Nd_logic.Parse.formula query in
   (* diagnostics go to stderr; stdout carries only protocol replies *)
@@ -409,8 +469,27 @@ let serve spec query colors seed epsilon snapshot_file socket
         eng
     | None -> Nd_engine.prepare ~epsilon g phi
   in
+  let event_log_oc =
+    Option.map
+      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      event_log_file
+  in
+  let event_log =
+    Option.map
+      (fun oc line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+      event_log_oc
+  in
   let config =
-    { Nd_server.request_budget_ops; request_timeout_ms; max_enumerate; chaos }
+    {
+      Nd_server.request_budget_ops;
+      request_timeout_ms;
+      max_enumerate;
+      chaos;
+      event_log;
+    }
   in
   let srv = Nd_server.create ~config eng in
   (try
@@ -421,6 +500,12 @@ let serve spec query colors seed epsilon snapshot_file socket
   (match socket with
   | Some path -> Nd_server.serve_socket srv ~path
   | None -> Nd_server.serve srv stdin stdout);
+  Option.iter close_out_noerr event_log_oc;
+  (match trace with
+  | Some path ->
+      let n = Nd_trace.save_chrome ~path in
+      Printf.eprintf "fodb serve: wrote %d spans to %s\n%!" n path
+  | None -> ());
   let c = Nd_server.counts srv in
   Printf.eprintf
     "fodb serve: %d requests (%d ok, %d user, %d budget, %d internal)\n%!"
@@ -444,7 +529,8 @@ let tuple_arg =
 let query_args term =
   Term.(
     term $ graph_arg $ query_arg $ colors_arg $ seed_arg $ epsilon_arg
-    $ stats_arg $ stats_json_arg $ budget_ops_arg $ timeout_ms_arg)
+    $ stats_arg $ stats_json_arg $ prometheus_arg $ trace_arg $ budget_ops_arg
+    $ timeout_ms_arg)
 
 let exits =
   Cmd.Exit.info 2 ~doc:"on user errors (bad graph, query or tuple)."
@@ -479,7 +565,49 @@ let cmd_splitter =
 
 let cmd_stats =
   Cmd.v (Cmd.info "stats" ~doc:"Graph sparsity statistics")
-    Term.(const stats $ graph_arg $ colors_arg $ seed_arg)
+    Term.(const stats $ graph_arg $ colors_arg $ seed_arg $ prometheus_arg)
+
+let cmd_profile =
+  Cmd.v
+    (Cmd.info "profile" ~exits
+       ~doc:
+         "Empirically check the constant-delay contract (Corollary 2.5): \
+          enumerate one zoo family at several sizes and report per-answer \
+          delay percentiles in cost-model ops and wall time, with a \
+          machine-checkable size-invariance verdict (non-invariant exits 1).")
+    Term.(
+      const profile
+      $ Arg.(
+          required
+          & opt (some string) None
+          & info [ "spec" ] ~docv:"FAMILY"
+              ~doc:"Zoo family name (e.g. grid, path, random-tree).")
+      $ Arg.(
+          value & opt string "200,400,800"
+          & info [ "sizes" ] ~docv:"N,N,..."
+              ~doc:"Comma-separated instance sizes.")
+      $ Arg.(
+          value & opt string "dist(x,y) <= 2"
+          & info [ "q"; "query" ] ~docv:"QUERY" ~doc:"FO⁺ query to profile.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "colors" ]
+              ~doc:"Random colors to add (default 0: none needed).")
+      $ Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Coloring seed.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "limit" ] ~docv:"N"
+              ~doc:"Answers enumerated per size (default 20000).")
+      $ Arg.(
+          value & opt float 1.2
+          & info [ "tolerance" ] ~docv:"R"
+              ~doc:
+                "Verdict ratio: max ops-per-answer may vary across sizes by \
+                 at most this factor.")
+      $ Arg.(
+          value & flag
+          & info [ "json" ] ~doc:"Emit the nd-profile/1 JSON document only."))
 
 let file_arg =
   Arg.(
@@ -588,7 +716,21 @@ let cmd_serve =
                 "Load the prepared handle from this snapshot (rebuilding on \
                  any corruption) instead of preparing from scratch.")
       $ socket_arg $ request_budget_ops_arg $ request_timeout_ms_arg
-      $ max_enumerate_arg $ chaos_arg)
+      $ max_enumerate_arg $ chaos_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "event-log" ] ~docv:"FILE"
+              ~doc:
+                "Append one structured JSON line per handled request \
+                 (request id, span id, verb, status, latency).")
+      $ Arg.(
+          value & flag
+          & info [ "no-metrics" ]
+              ~doc:
+                "Do not enable cost-model instrumentation (the `metrics` \
+                 verb then reports zeros).")
+      $ trace_arg)
 
 let () =
   let doc = "FO query enumeration over nowhere dense graphs" in
@@ -597,5 +739,5 @@ let () =
        (Cmd.group (Cmd.info "fodb" ~doc)
           [
             cmd_enumerate; cmd_count; cmd_test; cmd_next; cmd_cover;
-            cmd_splitter; cmd_stats; cmd_snapshot; cmd_serve;
+            cmd_splitter; cmd_stats; cmd_profile; cmd_snapshot; cmd_serve;
           ]))

@@ -81,7 +81,7 @@ let build_compiled g (c : Compile.compiled) =
   (* Materialize every bag context now: this work belongs to the
      preprocessing phase (the paper's Step 4), not to the first
      answering calls that happen to touch a bag. *)
-  Metrics.phase "answer.local_eval" (fun () ->
+  Nd_trace.phase "answer.local_eval" (fun () ->
       Budget.enter "local_eval";
       for bag = 0 to Array.length cover.Cover.bags - 1 do
         Budget.poll ();
@@ -89,7 +89,7 @@ let build_compiled g (c : Compile.compiled) =
       done);
   (* Step 5: evaluate the sentence literals once, globally. *)
   let sentence_vals =
-    Metrics.phase "answer.sentences" @@ fun () ->
+    Nd_trace.phase "answer.sentences" @@ fun () ->
     Budget.enter "sentences";
     let tbl = Hashtbl.create 8 in
     List.iter
@@ -121,7 +121,7 @@ let build_compiled g (c : Compile.compiled) =
   in
   let kernels =
     if needs_case1 then
-      Metrics.phase "answer.kernels" @@ fun () ->
+      Nd_trace.phase "answer.kernels" @@ fun () ->
       Budget.enter "kernels";
       Some
         (Array.map
@@ -145,7 +145,7 @@ let build_compiled g (c : Compile.compiled) =
     | None ->
         let n = Cgraph.n g in
         let flag = Bitset.create n in
-        Metrics.phase "answer.labels" (fun () ->
+        Nd_trace.phase "answer.labels" (fun () ->
             Budget.enter "labels";
             Array.iteri
               (fun bag_id members ->
@@ -165,7 +165,7 @@ let build_compiled g (c : Compile.compiled) =
         let skip =
           match kernels with
           | Some ks when k >= 2 ->
-              Metrics.phase "skip.build" (fun () ->
+              Nd_trace.phase "skip.build" (fun () ->
                   Some
                     (Skip.build ~kernels:ks ~kernels_of ~l:sorted ~n ~k:(k - 1)))
           | _ -> None

@@ -146,7 +146,7 @@ let m_tests = Metrics.counter ~ops:true "dist.tests"
 
 let build ?(base_threshold = 256) ?(depth_budget = 20) g ~r =
   if r < 0 then invalid_arg "Dist_index.build: negative radius";
-  Metrics.phase "dist_index.build" @@ fun () ->
+  Nd_trace.phase "dist_index.build" @@ fun () ->
   Budget.enter "dist_index";
   let t =
     {

@@ -7,6 +7,7 @@ open Nd_graph
 let h_delay = Metrics.hist "enum.delay_ops"
 
 let[@inline] timed_next t tup =
+  Nd_trace.with_span "enum.next" @@ fun () ->
   if Metrics.enabled () then begin
     let before = Metrics.ops () in
     let r = Next.next_solution t tup in

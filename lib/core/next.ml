@@ -30,9 +30,9 @@ let build g phi =
   let answers =
     Array.init k (fun idx ->
         let q = queries.(idx) in
-        let comp = Metrics.phase "compile" (fun () -> Compile.compile q) in
+        let comp = Nd_trace.phase "compile" (fun () -> Compile.compile q) in
         let build () =
-          Metrics.phase "answer.build" (fun () -> Answer.build g comp)
+          Nd_trace.phase "answer.build" (fun () -> Answer.build g comp)
         in
         match comp with
         | Compile.Compiled _ -> Some (build ())

@@ -71,7 +71,7 @@ let prepare ?(epsilon = 0.5) ?(metrics = false) ?(cache_limit = default_cache_li
   if cache_limit < 0 then invalid_arg "Nd_engine.prepare: negative cache_limit";
   let k = Fo.arity phi in
   let full_prepare () =
-    Metrics.phase "engine.prepare" @@ fun () ->
+    Nd_trace.phase "engine.prepare" @@ fun () ->
     if k = 0 then Sentence (Nd_core.Tester.build g phi)
     else
       let nx = Nd_core.Next.build g phi in
@@ -247,7 +247,9 @@ let next t a =
       check_tuple t a;
       let observe = Metrics.enabled () in
       let before = if observe then Metrics.ops () else 0 in
-      let r, live_at = next_query t q a in
+      let r, live_at =
+        Nd_trace.with_span "engine.next" (fun () -> next_query t q a)
+      in
       if observe then Metrics.observe h_delay (Metrics.ops () - before);
       (match (q.cache, live_at) with
       | Some c, Some qp -> cache_record t c qp r

@@ -16,7 +16,7 @@ let m_weight = Metrics.counter "cover.weight"
 
 let compute g ~r =
   if r < 0 then invalid_arg "Cover.compute: negative radius";
-  Metrics.phase "cover.compute" @@ fun () ->
+  Nd_trace.phase "cover.compute" @@ fun () ->
   Budget.enter "cover";
   let n = Cgraph.n g in
   let srch = Bfs.searcher g in

@@ -1,0 +1,68 @@
+(** Empirical constant-delay profiler — the measurable face of
+    Corollary 2.5.
+
+    [run] enumerates one query over one zoo family at several sizes,
+    with the cost-model instrumentation on, and reports per-answer
+    delay — in machine ops (the unit the paper's bound is stated in)
+    and in wall time — as percentiles per size.  The verdict
+    [delay_invariant] is the machine-checkable claim: the {e max}
+    per-answer op count does not grow with the instance, i.e. observed
+    delay is a constant independent of |G|.
+
+    Wall-time percentiles are reported for the curious but are {e not}
+    part of the verdict: wall clocks share the machine with the
+    allocator and the OS, while op counts are deterministic. *)
+
+type point = {
+  n_target : int;  (** requested size (the [--sizes] entry) *)
+  n_actual : int;  (** vertex count actually built *)
+  answers : int;  (** solutions enumerated (after [limit]) *)
+  prepare_s : float;
+  ops_p50 : int;
+  ops_p95 : int;
+  ops_p99 : int;
+  ops_max : int;  (** the number the verdict quantifies over *)
+  wall_us_p50 : float;
+  wall_us_p95 : float;
+  wall_us_p99 : float;
+  wall_us_max : float;
+}
+
+type report = {
+  spec : string;  (** zoo family name, e.g. ["grid"] *)
+  query : string;
+  tolerance : float;
+  points : point list;  (** one per size, ascending *)
+  delay_invariant : bool;
+}
+
+val delay_invariant : tolerance:float -> int list -> bool
+(** [delay_invariant ~tolerance maxes]: do the per-size max delays look
+    size-invariant?  True iff [max ≤ tolerance × min + 0.5] over the
+    non-empty list (the +0.5 absorbs off-by-one measurement jitter at
+    tiny op counts).  [tolerance] is a ratio ≥ 1. *)
+
+val run :
+  ?query:string ->
+  ?colors:int ->
+  ?seed:int ->
+  ?limit:int ->
+  ?tolerance:float ->
+  spec:string ->
+  sizes:int list ->
+  unit ->
+  report
+(** Profile [spec] (a {!Nd_graph.Gen.families} name) at each size.
+    Defaults: query ["dist(x,y) <= 2"], colors 0, seed 7, limit 20000
+    answers per size, tolerance 1.2.  Enables {!Nd_util.Metrics}
+    (restoring its previous state afterwards) and resets it between
+    sizes; the solution cache is disabled so every answer is produced
+    live.
+    @raise Invalid_argument on an unknown family or empty sizes. *)
+
+val to_json : report -> string
+(** One-line JSON document, schema [nd-profile/1]. *)
+
+val print : report -> unit
+(** Human-readable table on stdout, ending with the machine-greppable
+    verdict line [delay-invariant: true|false]. *)

@@ -334,6 +334,7 @@ let add_raw t a v =
 
 let add t a v =
   Budget.tick ();
+  Nd_trace.with_span "store.add" @@ fun () ->
   if Metrics.enabled () then begin
     Metrics.incr m_updates;
     let t0 = touches () in
@@ -427,6 +428,7 @@ let remove_raw t a =
 
 let remove t a =
   Budget.tick ();
+  Nd_trace.with_span "store.remove" @@ fun () ->
   if Metrics.enabled () then begin
     Metrics.incr m_updates;
     let t0 = touches () in

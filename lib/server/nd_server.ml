@@ -15,6 +15,7 @@ type config = {
   request_timeout_ms : int option;
   max_enumerate : int;
   chaos : bool;
+  event_log : (string -> unit) option;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     request_timeout_ms = None;
     max_enumerate = 1000;
     chaos = false;
+    event_log = None;
   }
 
 type cursor = Unstarted | At of int array | Exhausted
@@ -207,6 +209,15 @@ let dispatch t line =
       t.cursor <- Unstarted;
       `Ok []
   | "stats" -> `Ok [ Nd_engine.Stats.to_json (Nd_engine.stats t.eng) ]
+  | "metrics" ->
+      (* Prometheus text exposition of the whole registry; rendered from
+         an atomic snapshot, so a concurrent reset cannot tear it.  No
+         exposition line can collide with a terminator (they all start
+         with '#' or "nd_"). *)
+      `Ok
+        (List.filter
+           (fun l -> l <> "")
+           (String.split_on_char '\n' (Nd_trace.Prometheus.render_current ())))
   | "health" -> `Ok (cmd_health t)
   | "inject" when t.config.chaos -> (
       (* deliberate fault injection, for proving request isolation:
@@ -218,8 +229,22 @@ let dispatch t line =
       | "crash" -> raise Not_found (* an untyped failure, for the catch-all *)
       | other -> Nd_error.user_errorf "inject: unknown fault class %S" other)
   | _ ->
-      Nd_error.user_errorf "unknown command %S (try next/test/enumerate/reset/stats/health/quit)"
+      Nd_error.user_errorf "unknown command %S (try next/test/enumerate/reset/stats/metrics/health/quit)"
         cmd
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
 
 let handle t line =
   let line = String.trim line in
@@ -227,8 +252,23 @@ let handle t line =
   else begin
     t.c_requests <- t.c_requests + 1;
     Metrics.incr m_requests;
+    let rid = t.c_requests in
+    let cmd, _ = split_command line in
+    (* span = the tracer's id for this request (0 with tracing off);
+       stamped with rid into every error terminator and event-log line
+       so a failing request joins to its trace. *)
+    let span = ref 0 in
+    let status = ref "ok" in
+    let err cls m =
+      status := cls;
+      Printf.sprintf "err %s rid=%d span=%d %s" cls rid !span m
+    in
     let t0 = Unix.gettimeofday () in
     let reply =
+      Nd_trace.with_span "server.request"
+        ~attrs:[ ("rid", string_of_int rid); ("cmd", cmd) ]
+      @@ fun () ->
+      span := Nd_trace.current_span_id ();
       (* Request isolation: every failure class an answering call can
          produce becomes a structured terminator line.  The final
          catch-all exists because an unexpected exception must degrade
@@ -238,30 +278,40 @@ let handle t line =
           t.c_ok <- t.c_ok + 1;
           Metrics.incr m_ok;
           lines @ [ "ok" ]
-      | `Bye -> [ "bye" ]
+      | `Bye ->
+          status := "bye";
+          [ "bye" ]
       | exception (Nd_error.User_error m | Invalid_argument m | Failure m) ->
           t.c_user <- t.c_user + 1;
           Metrics.incr m_err_user;
-          [ "err user " ^ m ]
+          [ err "user" m ]
       | exception Nd_error.Budget_exceeded info ->
           t.c_budget <- t.c_budget + 1;
           Metrics.incr m_err_budget;
-          [ "err budget " ^ Nd_error.describe_budget info ]
+          [ err "budget" (Nd_error.describe_budget info) ]
       | exception Nd_error.Internal_invariant m ->
           t.c_internal <- t.c_internal + 1;
           Metrics.incr m_err_internal;
-          [ "err internal " ^ m ]
+          [ err "internal" m ]
       | exception Stack_overflow ->
           t.c_internal <- t.c_internal + 1;
           Metrics.incr m_err_internal;
-          [ "err internal stack overflow in request handler" ]
+          [ err "internal" "stack overflow in request handler" ]
       | exception e ->
           t.c_internal <- t.c_internal + 1;
           Metrics.incr m_err_internal;
-          [ "err internal uncaught exception: " ^ Printexc.to_string e ]
+          [ err "internal" ("uncaught exception: " ^ Printexc.to_string e) ]
     in
-    Metrics.observe h_latency
-      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+    let latency_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+    Metrics.observe h_latency latency_us;
+    (match t.config.event_log with
+    | None -> ()
+    | Some sink ->
+        sink
+          (Printf.sprintf
+             "{\"ts\":%.6f,\"rid\":%d,\"span\":%d,\"cmd\":\"%s\",\"status\":\"%s\",\"latency_us\":%d,\"lines\":%d}"
+             t0 rid !span (json_escape cmd) !status latency_us
+             (List.length reply)));
     reply
   end
 

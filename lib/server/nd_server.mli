@@ -13,7 +13,8 @@
 
     One request per line; every reply is zero or more data lines
     followed by exactly one terminator line — [ok], [err <class>
-    <message>], or [bye] — so clients always know where a reply ends.
+    rid=<n> span=<n> <message>], or [bye] — so clients always know
+    where a reply ends.
 
     {v
     next [T]          -> sol T' | none                 then ok
@@ -21,6 +22,7 @@
     enumerate [k]     -> sol T (xk) , end N [complete] then ok
     reset             -> (rewind the enumeration cursor) ok
     stats             -> the nd-engine-stats/1 JSON line, then ok
+    metrics           -> Prometheus text exposition lines, then ok
     health            -> health <summary line>,        then ok
     inject <class>    -> (chaos builds only) raise inside the handler
     quit              -> bye
@@ -37,7 +39,36 @@
     bad tuple — fix and resend), [err budget …] (the per-request budget
     tripped — transient, retry or simplify), [err internal …] (the
     engine caught itself lying; never retry).  The session survives all
-    three. *)
+    three.
+
+    {2 Error-reply grammar and the event log}
+
+    Error terminators carry two join keys between the class and the
+    message:
+
+    {v
+    err <class> rid=<RID> span=<SPAN> <message>
+    v}
+
+    [RID] is the request's 1-based sequence number in this session;
+    [SPAN] is the id of its [server.request] span in {!Nd_trace} ([0]
+    when tracing is off).  {!Client.status_of_reply} still parses the
+    class as the first word after [err ], so existing clients keep
+    working — the keys simply prefix the human message.
+
+    When {!config.event_log} is set, every handled request additionally
+    appends one JSON line to the sink (the structured event log):
+
+    {v
+    {"ts":<epoch seconds>,"rid":N,"span":N,"cmd":"<verb>",
+     "status":"ok|bye|user|budget|internal","latency_us":N,"lines":N}
+    v}
+
+    [metrics] replies with the whole {!Nd_util.Metrics} registry in the
+    Prometheus text format (rendered from an atomic
+    {!Nd_util.Metrics.snapshot}, so a concurrent reset can never tear
+    the scrape); exposition lines all start with [#] or [nd_] and so
+    can never collide with a terminator. *)
 
 type config = {
   request_budget_ops : int option;
@@ -47,6 +78,9 @@ type config = {
       (** page-size cap (and default) for [enumerate] (default 1000) *)
   chaos : bool;
       (** accept the [inject] fault command — test/CI builds only *)
+  event_log : (string -> unit) option;
+      (** sink for the per-request JSONL event log (one line per handled
+          request, see the grammar above); [None] disables it *)
 }
 
 val default_config : config

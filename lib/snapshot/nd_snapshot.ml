@@ -280,7 +280,7 @@ let read_file path =
 (* ---------------- save ---------------- *)
 
 let save ~path eng =
-  Metrics.phase "snapshot.save" @@ fun () ->
+  Nd_trace.phase "snapshot.save" @@ fun () ->
   let payload, cache = Nd_engine.Persist.export eng in
   let marshal what v =
     try Marshal.to_string v []
@@ -289,8 +289,10 @@ let save ~path eng =
         "Nd_snapshot.save: %s payload is not marshal-safe (%s) — a closure \
          leaked into the preprocessing product" what m
   in
-  let engn = marshal "engine" payload in
-  let cach = marshal "cache" cache in
+  let engn, cach =
+    Nd_trace.with_span "snapshot.marshal" @@ fun () ->
+    (marshal "engine" payload, marshal "cache" cache)
+  in
   let meta = encode_meta eng in
   let b =
     Buffer.create (String.length engn + String.length cach + String.length meta + 64)
@@ -308,16 +310,17 @@ let save ~path eng =
   let doc = Buffer.contents b in
   (* atomic publish: a crash mid-write leaves the old snapshot (or
      nothing) at [path], never a torn file *)
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  (try
-     output_string oc doc;
-     close_out oc
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  Sys.rename tmp path;
+  Nd_trace.with_span "snapshot.write" (fun () ->
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc doc;
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      Sys.rename tmp path);
   Metrics.add m_bytes (String.length doc);
   String.length doc
 
@@ -340,11 +343,15 @@ let info ~path =
   | exception C c -> Error c
 
 let load ~path graph query =
-  Metrics.phase "snapshot.load" @@ fun () ->
+  Nd_trace.phase "snapshot.load" @@ fun () ->
   match
     let s = read_file path in
-    let sections = parse_structure s in
-    verify_crcs s sections;
+    let sections =
+      Nd_trace.with_span "snapshot.verify" @@ fun () ->
+      let sections = parse_structure s in
+      verify_crcs s sections;
+      sections
+    in
     let meta =
       decode_meta s (find_section sections "META") ~version:format_version
         ~sections
@@ -363,12 +370,17 @@ let load ~path graph query =
                 (Printexc.to_string e)))
     in
     let payload : Nd_engine.Persist.payload =
-      unmarshal (find_section sections "ENGN")
+      Nd_trace.with_span "snapshot.unmarshal" (fun () ->
+          unmarshal (find_section sections "ENGN"))
     in
     let cache : Nd_engine.Persist.cache_payload option =
-      unmarshal (find_section sections "CACH")
+      Nd_trace.with_span "snapshot.unmarshal" (fun () ->
+          unmarshal (find_section sections "CACH"))
     in
-    match Nd_engine.Persist.import ~graph ~query payload cache with
+    match
+      Nd_trace.with_span "snapshot.import" (fun () ->
+          Nd_engine.Persist.import ~graph ~query payload cache)
+    with
     | Ok eng ->
         Metrics.incr m_loads;
         eng

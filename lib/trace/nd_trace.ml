@@ -1,0 +1,727 @@
+module Metrics = Nd_util.Metrics
+
+type span = {
+  sid : int;
+  parent : int;
+  name : string;
+  attrs : (string * string) list;
+  ts_us : int;
+  dur_us : int;
+  ops : int;
+}
+
+(* ---------------- state ---------------- *)
+
+let default_capacity = 4096
+
+let on = ref false
+
+(* Ring of completed spans: [ring.(head)] is the oldest slot when full;
+   [count] <= capacity, [head] is the next write position. *)
+let ring : span array ref = ref [||]
+let head = ref 0
+let count = ref 0
+let dropped_n = ref 0
+
+let next_sid = ref 0
+
+(* Open-span stack (innermost first). *)
+type open_span = {
+  o_sid : int;
+  o_parent : int;
+  o_name : string;
+  o_attrs : (string * string) list;
+  o_ts : int;
+  o_ops0 : int;
+}
+
+let stack : open_span list ref = ref []
+
+(* Losses are mirrored into the shared registry so a scrape sees them;
+   the counter never carries ~ops (tracer bookkeeping is not machine
+   work in the cost model). *)
+let c_dropped = Metrics.counter "trace.dropped"
+
+(* ---------------- monotonic microsecond clock ---------------- *)
+
+(* No monotonic clock in the stdlib/unix we link against; clamp wall
+   time so ts never steps backwards (trace viewers require it). *)
+let last_us = ref 0
+
+let now_us () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e6) in
+  let t = if t < !last_us then !last_us else t in
+  last_us := t;
+  t
+
+(* ---------------- lifecycle ---------------- *)
+
+let reset_ring cap =
+  ring := Array.make cap { sid = 0; parent = 0; name = ""; attrs = [];
+                           ts_us = 0; dur_us = 0; ops = 0 };
+  head := 0;
+  count := 0;
+  dropped_n := 0
+
+let enable ?(capacity = default_capacity) () =
+  if capacity <= 0 then invalid_arg "Nd_trace.enable: capacity must be positive";
+  if Array.length !ring <> capacity then reset_ring capacity;
+  on := true
+
+let disable () =
+  on := false;
+  stack := []
+
+let enabled () = !on
+
+let clear () =
+  let cap =
+    if Array.length !ring = 0 then default_capacity else Array.length !ring
+  in
+  reset_ring cap;
+  stack := []
+
+let dropped () = !dropped_n
+
+let record sp =
+  let cap = Array.length !ring in
+  if cap = 0 then ()
+  else begin
+    !ring.(!head) <- sp;
+    head := (!head + 1) mod cap;
+    if !count < cap then incr count
+    else begin
+      incr dropped_n;
+      Metrics.incr c_dropped
+    end
+  end
+
+let spans () =
+  let n = !count in
+  if n = 0 then []
+  else begin
+    let cap = Array.length !ring in
+    let first = ((!head - n) mod cap + cap) mod cap in
+    List.init n (fun i -> !ring.((first + i) mod cap))
+  end
+
+(* ---------------- spans ---------------- *)
+
+let current_span_id () =
+  match !stack with [] -> 0 | o :: _ -> o.o_sid
+
+let with_span name ?(attrs = []) f =
+  if not !on then f ()
+  else begin
+    incr next_sid;
+    let o =
+      {
+        o_sid = !next_sid;
+        o_parent = current_span_id ();
+        o_name = name;
+        o_attrs = attrs;
+        o_ts = now_us ();
+        o_ops0 = Metrics.ops ();
+      }
+    in
+    stack := o :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        (match !stack with
+        | top :: rest when top.o_sid = o.o_sid -> stack := rest
+        | s -> stack := List.filter (fun x -> x.o_sid <> o.o_sid) s);
+        if !on then
+          let t1 = now_us () in
+          record
+            {
+              sid = o.o_sid;
+              parent = o.o_parent;
+              name = o.o_name;
+              attrs = o.o_attrs;
+              ts_us = o.o_ts;
+              dur_us = max 0 (t1 - o.o_ts);
+              ops = max 0 (Metrics.ops () - o.o_ops0);
+            })
+      f
+  end
+
+let phase name ?attrs f = with_span name ?attrs (fun () -> Metrics.phase name f)
+
+(* ---------------- JSON writing helpers ---------------- *)
+
+let buf_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* ---------------- Chrome trace-event export ---------------- *)
+
+let export_chrome () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i sp ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"name\":\"";
+      buf_escape b sp.name;
+      Buffer.add_string b "\",\"cat\":\"fodb\",\"ph\":\"X\",\"pid\":1,\"tid\":1";
+      Buffer.add_string b (Printf.sprintf ",\"ts\":%d,\"dur\":%d" sp.ts_us sp.dur_us);
+      Buffer.add_string b
+        (Printf.sprintf ",\"args\":{\"sid\":%d,\"parent\":%d,\"ops\":%d" sp.sid
+           sp.parent sp.ops);
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string b ",\"";
+          buf_escape b k;
+          Buffer.add_string b "\":\"";
+          buf_escape b v;
+          Buffer.add_string b "\"")
+        sp.attrs;
+      Buffer.add_string b "}}")
+    (spans ());
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let save_chrome ~path =
+  let n = !count in
+  let doc = export_chrome () in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc doc);
+  Sys.rename tmp path;
+  n
+
+(* ---------------- minimal JSON reader ---------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of int * string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let fail msg = raise (Bad (!pos, msg)) in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected %c" c)
+    in
+    let lit word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+              incr pos;
+              if !pos >= n then fail "bad escape"
+              else begin
+                (match s.[!pos] with
+                | '"' -> Buffer.add_char b '"'
+                | '\\' -> Buffer.add_char b '\\'
+                | '/' -> Buffer.add_char b '/'
+                | 'b' -> Buffer.add_char b '\b'
+                | 'f' -> Buffer.add_char b '\012'
+                | 'n' -> Buffer.add_char b '\n'
+                | 'r' -> Buffer.add_char b '\r'
+                | 't' -> Buffer.add_char b '\t'
+                | 'u' ->
+                    if !pos + 4 >= n then fail "bad \\u escape";
+                    let hex = String.sub s (!pos + 1) 4 in
+                    let code =
+                      try int_of_string ("0x" ^ hex)
+                      with _ -> fail "bad \\u escape"
+                    in
+                    (* Good enough for ASCII control chars; multi-byte
+                       code points round-trip as '?' in this minimal
+                       reader. *)
+                    if code < 0x80 then Buffer.add_char b (Char.chr code)
+                    else Buffer.add_char b '?';
+                    pos := !pos + 4
+                | _ -> fail "bad escape");
+                incr pos
+              end;
+              go ()
+          | c ->
+              Buffer.add_char b c;
+              incr pos;
+              go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        incr pos
+      done;
+      if !pos = start then fail "expected number"
+      else
+        match float_of_string_opt (String.sub s start (!pos - start)) with
+        | Some f -> f
+        | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          expect '{';
+          skip_ws ();
+          if peek () = Some '}' then begin
+            expect '}';
+            Obj []
+          end
+          else begin
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  expect ',';
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  expect '}';
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected , or } in object"
+            in
+            Obj (fields [])
+          end
+      | Some '[' ->
+          expect '[';
+          skip_ws ();
+          if peek () = Some ']' then begin
+            expect ']';
+            Arr []
+          end
+          else begin
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  expect ',';
+                  elems (v :: acc)
+              | Some ']' ->
+                  expect ']';
+                  List.rev (v :: acc)
+              | _ -> fail "expected , or ] in array"
+            in
+            Arr (elems [])
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> lit "true" (Bool true)
+      | Some 'f' -> lit "false" (Bool false)
+      | Some 'n' -> lit "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    try
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing garbage at byte %d" !pos)
+      else Ok v
+    with Bad (p, msg) -> Error (Printf.sprintf "%s at byte %d" msg p)
+
+  let member k = function
+    | Obj fields -> List.assoc_opt k fields
+    | _ -> None
+end
+
+(* ---------------- Chrome trace validation ---------------- *)
+
+let validate_chrome text =
+  match Json.parse text with
+  | Error e -> Error ("not valid JSON: " ^ e)
+  | Ok doc -> (
+      match Json.member "traceEvents" doc with
+      | None -> Error "missing traceEvents"
+      | Some (Json.Arr events) -> (
+          if events = [] then Error "traceEvents is empty"
+          else
+            let tbl = Hashtbl.create 64 in
+            let check_event ev =
+              let str k =
+                match Json.member k ev with Some (Json.Str s) -> Some s | _ -> None
+              in
+              let num k =
+                match Json.member k ev with
+                | Some (Json.Num f) -> Some f
+                | _ -> None
+              in
+              let arg k =
+                match Json.member "args" ev with
+                | Some args -> (
+                    match Json.member k args with
+                    | Some (Json.Num f) -> Some (int_of_float f)
+                    | _ -> None)
+                | None -> None
+              in
+              match (str "name", str "ph", num "ts", num "dur") with
+              | Some name, _, _, _ when name = "" -> Error "empty event name"
+              | _, Some ph, _, _ when ph <> "X" ->
+                  Error (Printf.sprintf "unexpected phase %S" ph)
+              | Some _, Some _, Some ts, Some dur ->
+                  if ts < 0. then Error "negative ts"
+                  else if dur < 0. then Error "negative dur"
+                  else begin
+                    (match (arg "sid", arg "parent") with
+                    | Some sid, Some parent ->
+                        Hashtbl.replace tbl sid (ts, dur, parent)
+                    | _ -> ());
+                    Ok ()
+                  end
+              | _ -> Error "event missing name/ph/ts/dur"
+            in
+            let rec all = function
+              | [] -> Ok ()
+              | ev :: rest -> (
+                  match check_event ev with Ok () -> all rest | e -> e)
+            in
+            match all events with
+            | Error e -> Error e
+            | Ok () ->
+                (* Containment: a child's [ts, ts+dur] must sit inside
+                   its parent's (only checkable when the parent is still
+                   in the export — the ring may have evicted it).  Allow
+                   1us slack for clock granularity at the edges. *)
+                let bad = ref None in
+                Hashtbl.iter
+                  (fun sid (ts, dur, parent) ->
+                    if !bad = None && parent <> 0 then
+                      match Hashtbl.find_opt tbl parent with
+                      | None -> ()
+                      | Some (pts, pdur, _) ->
+                          if ts +. 1. < pts || ts +. dur > pts +. pdur +. 1. then
+                            bad :=
+                              Some
+                                (Printf.sprintf
+                                   "span %d not contained in parent %d" sid
+                                   parent))
+                  tbl;
+                (match !bad with
+                | Some e -> Error e
+                | None -> Ok (List.length events)))
+      | Some _ -> Error "traceEvents is not an array")
+
+(* ---------------- Prometheus exposition ---------------- *)
+
+module Prometheus = struct
+  let sanitize name =
+    let b = Buffer.create (String.length name + 3) in
+    Buffer.add_string b "nd_";
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+        | _ -> Buffer.add_char b '_')
+      name;
+    Buffer.contents b
+
+  let escape_label v =
+    let b = Buffer.create (String.length v) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c -> Buffer.add_char b c)
+      v;
+    Buffer.contents b
+
+  (* Explicit bucket upper bounds for the integer histograms: 0 and the
+     powers of two up to the registry clamp.  Values saturate into the
+     clamp bucket at observation time, so le="<clamp>" always equals
+     _count. *)
+  let bucket_bounds =
+    let rec go acc b =
+      if b > Metrics.hist_clamp then List.rev acc else go (b :: acc) (b * 2)
+    in
+    0 :: go [] 1
+
+  let render (s : Metrics.snapshot) =
+    let b = Buffer.create 4096 in
+    let family name typ help =
+      Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" name typ)
+    in
+    (* counters *)
+    List.iter
+      (fun (c : Metrics.counter_snapshot) ->
+        let name = sanitize c.c_name ^ "_total" in
+        family name "counter"
+          (Printf.sprintf "Event counter %s%s." c.c_name
+             (if c.c_ops then " (counts as machine ops)" else ""));
+        Buffer.add_string b (Printf.sprintf "%s %d\n" name c.c_value))
+      s.s_counters;
+    (* the ops clock *)
+    family "nd_ops_total" "counter"
+      "Machine-operation clock: sum of all ops-flagged counters.";
+    Buffer.add_string b (Printf.sprintf "nd_ops_total %d\n" s.s_ops);
+    (* phase timers as one labelled family *)
+    family "nd_phase_seconds_total" "counter"
+      "Cumulative wall-clock seconds per named phase.";
+    List.iter
+      (fun (name, secs) ->
+        Buffer.add_string b
+          (Printf.sprintf "nd_phase_seconds_total{phase=\"%s\"} %.9f\n"
+             (escape_label name) secs))
+      s.s_phases;
+    (* histograms *)
+    List.iter
+      (fun (h : Metrics.hist_snapshot) ->
+        let name = sanitize h.h_name in
+        family name "histogram"
+          (Printf.sprintf "Distribution of %s (integer-valued)." h.h_name);
+        let nb = Array.length h.h_buckets in
+        let cum = ref 0 and next = ref 0 in
+        List.iter
+          (fun le ->
+            while !next < nb && !next <= le do
+              cum := !cum + h.h_buckets.(!next);
+              incr next
+            done;
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name le !cum))
+          bucket_bounds;
+        Buffer.add_string b
+          (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name h.h_count);
+        Buffer.add_string b (Printf.sprintf "%s_sum %d\n" name h.h_sum);
+        Buffer.add_string b (Printf.sprintf "%s_count %d\n" name h.h_count))
+      s.s_hists;
+    Buffer.contents b
+
+  let render_current () = render (Metrics.snapshot ())
+
+  (* ---- validator ---- *)
+
+  let name_ok name =
+    name <> ""
+    && (match name.[0] with
+       | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+       | _ -> false)
+    && String.for_all
+         (fun c ->
+           match c with
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+           | _ -> false)
+         name
+
+  (* A parsed sample line: metric name (with suffix), optional le label,
+     value. *)
+  let parse_sample line =
+    let brace = String.index_opt line '{' in
+    let space =
+      match String.index_opt line ' ' with
+      | Some i -> i
+      | None -> String.length line
+    in
+    match brace with
+    | Some bi when bi < space -> (
+        match String.index_from_opt line bi '}' with
+        | None -> None
+        | Some ei ->
+            let name = String.sub line 0 bi in
+            let labels = String.sub line (bi + 1) (ei - bi - 1) in
+            let rest = String.sub line (ei + 1) (String.length line - ei - 1) in
+            let value = String.trim rest in
+            let le =
+              (* single-label lines only in our output; find le="..." *)
+              let pfx = "le=\"" in
+              match
+                if String.length labels >= String.length pfx
+                   && String.sub labels 0 (String.length pfx) = pfx
+                then Some (String.length pfx)
+                else None
+              with
+              | Some start -> (
+                  match String.index_from_opt labels start '"' with
+                  | Some e -> Some (String.sub labels start (e - start))
+                  | None -> None)
+              | None -> None
+            in
+            Some (name, le, value)
+        | exception _ -> None)
+    | _ ->
+        let name = String.sub line 0 space in
+        if space >= String.length line then None
+        else
+          let value =
+            String.trim (String.sub line space (String.length line - space))
+          in
+          Some (name, None, value)
+
+  type fam_state = {
+    mutable f_type : string;
+    mutable f_has_help : bool;
+    mutable f_last_bucket : float;  (* cumulative check *)
+    mutable f_inf : float option;
+    mutable f_sum : bool;
+    mutable f_cnt : float option;
+  }
+
+  let validate text =
+    let lines = String.split_on_char '\n' text in
+    let fams : (string, fam_state) Hashtbl.t = Hashtbl.create 32 in
+    let fam name =
+      match Hashtbl.find_opt fams name with
+      | Some f -> f
+      | None ->
+          let f =
+            { f_type = ""; f_has_help = false; f_last_bucket = -1.;
+              f_inf = None; f_sum = false; f_cnt = None }
+          in
+          Hashtbl.replace fams name f;
+          f
+    in
+    let err = ref None in
+    let fail msg = if !err = None then err := Some msg in
+    let base_of name =
+      let strip sfx =
+        let ls = String.length sfx and ln = String.length name in
+        if ln > ls && String.sub name (ln - ls) ls = sfx then
+          Some (String.sub name 0 (ln - ls))
+        else None
+      in
+      match strip "_bucket" with
+      | Some b -> (b, `Bucket)
+      | None -> (
+          match strip "_sum" with
+          | Some b when Hashtbl.mem fams b -> (b, `Sum)
+          | _ -> (
+              match strip "_count" with
+              | Some b when Hashtbl.mem fams b -> (b, `Count)
+              | _ -> (name, `Plain)))
+    in
+    List.iter
+      (fun line ->
+        if !err <> None || String.trim line = "" then ()
+        else if String.length line >= 7 && String.sub line 0 7 = "# HELP " then begin
+          let rest = String.sub line 7 (String.length line - 7) in
+          let name =
+            match String.index_opt rest ' ' with
+            | Some i -> String.sub rest 0 i
+            | None -> rest
+          in
+          if not (name_ok name) then fail ("bad metric name in HELP: " ^ name)
+          else (fam name).f_has_help <- true
+        end
+        else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+          let rest = String.sub line 7 (String.length line - 7) in
+          match String.split_on_char ' ' rest with
+          | [ name; typ ] ->
+              if not (name_ok name) then fail ("bad metric name in TYPE: " ^ name)
+              else begin
+                let f = fam name in
+                if not f.f_has_help then fail ("TYPE before HELP for " ^ name)
+                else if f.f_type <> "" then fail ("duplicate TYPE for " ^ name)
+                else if typ <> "counter" && typ <> "gauge" && typ <> "histogram"
+                then fail ("unknown type " ^ typ ^ " for " ^ name)
+                else f.f_type <- typ
+              end
+          | _ -> fail ("malformed TYPE line: " ^ line)
+        end
+        else if line.[0] = '#' then ()
+        else
+          match parse_sample line with
+          | None -> fail ("malformed sample line: " ^ line)
+          | Some (name, le, value) -> (
+              match float_of_string_opt value with
+              | None -> fail ("non-numeric sample value: " ^ line)
+              | Some v -> (
+                  let base, kind = base_of name in
+                  match kind with
+                  | `Plain ->
+                      if not (name_ok name) then fail ("bad metric name: " ^ name)
+                      else if not (Hashtbl.mem fams name) then
+                        fail ("sample without TYPE/HELP: " ^ name)
+                      else if (fam name).f_type = "" then
+                        fail ("sample without TYPE: " ^ name)
+                  | `Bucket -> (
+                      if not (Hashtbl.mem fams base) then
+                        fail ("bucket for undeclared histogram: " ^ base)
+                      else
+                        let f = fam base in
+                        if f.f_type <> "histogram" then
+                          fail (base ^ " has buckets but is not a histogram")
+                        else
+                          match le with
+                          | None -> fail ("bucket without le label: " ^ line)
+                          | Some "+Inf" -> f.f_inf <- Some v
+                          | Some _ ->
+                              if v < f.f_last_bucket then
+                                fail
+                                  ("non-monotone buckets for " ^ base
+                                 ^ ": " ^ value)
+                              else f.f_last_bucket <- v)
+                  | `Sum -> (fam base).f_sum <- true
+                  | `Count -> (fam base).f_cnt <- Some v)))
+      lines;
+    (match !err with
+    | Some _ -> ()
+    | None ->
+        Hashtbl.iter
+          (fun name f ->
+            if !err = None then
+              if f.f_type = "" then fail ("family without TYPE: " ^ name)
+              else if f.f_type = "histogram" then
+                match (f.f_inf, f.f_cnt) with
+                | None, _ -> fail ("histogram without +Inf bucket: " ^ name)
+                | _, None -> fail ("histogram without _count: " ^ name)
+                | Some inf, Some cnt ->
+                    if inf <> cnt then
+                      fail ("+Inf bucket <> _count for " ^ name)
+                    else if not f.f_sum then
+                      fail ("histogram without _sum: " ^ name)
+                    else if f.f_last_bucket > inf then
+                      fail ("finite bucket exceeds +Inf for " ^ name))
+          fams);
+    match !err with
+    | Some e -> Error e
+    | None -> Ok (Hashtbl.length fams)
+end

@@ -143,6 +143,9 @@ let hists () =
 
 (* ---------------- reset ---------------- *)
 
+(* Registrations (names, the ~ops flag, bucket capacity) survive a
+   reset; only the accumulated values are zeroed.  Consumers that need a
+   coherent view across a concurrent reset must go through [snapshot]. *)
 let reset () =
   Hashtbl.iter (fun _ c -> c.v <- 0) all_counters;
   Hashtbl.iter (fun _ r -> r := 0.) all_phases;
@@ -153,3 +156,53 @@ let reset () =
       h.hsum <- 0;
       h.hmax <- 0)
     all_hists
+
+(* ---------------- immutable snapshots ---------------- *)
+
+type counter_snapshot = { c_name : string; c_ops : bool; c_value : int }
+
+type hist_snapshot = {
+  h_name : string;
+  h_buckets : int array;  (* private copy: index = observed value,
+                             last occupied index saturates at [clamp-1] *)
+  h_count : int;
+  h_sum : int;
+  h_max : int;
+}
+
+type snapshot = {
+  s_counters : counter_snapshot list;  (* every registration, zeros too *)
+  s_phases : (string * float) list;
+  s_hists : hist_snapshot list;
+  s_ops : int;
+  s_enabled : bool;
+}
+
+let snapshot () =
+  {
+    s_counters =
+      Hashtbl.fold
+        (fun _ c acc -> { c_name = c.cname; c_ops = c.cops; c_value = c.v } :: acc)
+        all_counters []
+      |> List.sort compare;
+    s_phases =
+      Hashtbl.fold (fun name r acc -> (name, !r) :: acc) all_phases []
+      |> List.sort compare;
+    s_hists =
+      Hashtbl.fold
+        (fun _ h acc ->
+          {
+            h_name = h.hname;
+            h_buckets = Array.copy h.buckets;
+            h_count = h.hcount;
+            h_sum = h.hsum;
+            h_max = h.hmax;
+          }
+          :: acc)
+        all_hists []
+      |> List.sort compare;
+    s_ops = ops ();
+    s_enabled = !on;
+  }
+
+let hist_clamp = clamp

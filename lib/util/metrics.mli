@@ -82,3 +82,44 @@ type hist_stats = {
 val hist_stats : hist -> hist_stats
 val hists : unit -> (string * hist_stats) list
 (** All histograms that observed at least one value, sorted by name. *)
+
+(** {1 Immutable snapshots}
+
+    {!counters}/{!hists} drop zero-valued registrations and hand out
+    views into live cells, which is right for one-shot stats reports but
+    wrong for a monotonic scrape: a long-running [fodb serve] that
+    resets between requests would make series appear and vanish, and an
+    exposition interleaved with a reset could see half-zeroed state.
+    {!snapshot} captures the {e whole} registry — every registration,
+    zeros included, with private copies of the histogram buckets — in
+    one atomic step, so Prometheus exposition and the request tracer
+    always render a coherent point-in-time view. *)
+
+type counter_snapshot = { c_name : string; c_ops : bool; c_value : int }
+
+type hist_snapshot = {
+  h_name : string;
+  h_buckets : int array;
+      (** private copy; index [i] counts observations of value [i]; the
+          last occupied index saturates at [hist_clamp - 1] *)
+  h_count : int;
+  h_sum : int;
+  h_max : int;
+}
+
+type snapshot = {
+  s_counters : counter_snapshot list;  (** sorted by name, zeros kept *)
+  s_phases : (string * float) list;  (** sorted by name, zeros kept *)
+  s_hists : hist_snapshot list;  (** sorted by name, empties kept *)
+  s_ops : int;
+  s_enabled : bool;
+}
+
+val snapshot : unit -> snapshot
+(** Capture the registry.  The result shares no mutable state with the
+    live cells: a later {!reset} or observation cannot tear it. *)
+
+val hist_clamp : int
+(** Values at or above this saturate into the last histogram bucket
+    (max and sum stay exact).  The Prometheus bucket boundaries end
+    here. *)

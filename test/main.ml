@@ -23,4 +23,7 @@ let () =
       ("chaos", Test_chaos.suite);
       ("snapshot persistence", Test_snapshot.suite);
       ("serve loop", Test_server.suite);
+      ("span tracing", Test_trace.suite);
+      ("prometheus exposition", Test_prometheus.suite);
+      ("delay profile", Test_profile.suite);
     ]

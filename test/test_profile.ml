@@ -1,0 +1,100 @@
+(* The empirical constant-delay profiler (Corollary 2.5 as a
+   measurement): the verdict arithmetic, a real run over the zoo, and
+   the machine-readable report. *)
+
+let test_verdict_arithmetic () =
+  Alcotest.(check bool)
+    "flat maxes are invariant" true
+    (Nd_profile.delay_invariant ~tolerance:1.2 [ 15; 15; 15 ]);
+  Alcotest.(check bool)
+    "within tolerance" true
+    (Nd_profile.delay_invariant ~tolerance:1.2 [ 10; 11; 12 ]);
+  Alcotest.(check bool)
+    "growth flagged" false
+    (Nd_profile.delay_invariant ~tolerance:1.2 [ 10; 80 ]);
+  Alcotest.(check bool)
+    "empty list is not invariant" false
+    (Nd_profile.delay_invariant ~tolerance:1.2 []);
+  (* the +0.5 jitter allowance: 1.2 × 4 = 4.8 < 5 alone, but the
+     half-op slack absorbs the off-by-one *)
+  Alcotest.(check bool)
+    "off-by-one at tiny counts tolerated" true
+    (Nd_profile.delay_invariant ~tolerance:1.2 [ 4; 5 ])
+
+let test_run_grid_is_invariant () =
+  let r =
+    Nd_profile.run ~spec:"grid" ~sizes:[ 49; 100 ] ~limit:300 ()
+  in
+  Alcotest.(check int) "one point per size" 2 (List.length r.Nd_profile.points);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        "answers produced" true (p.Nd_profile.answers > 0);
+      Alcotest.(check bool)
+        "percentiles ordered" true
+        (p.Nd_profile.ops_p50 <= p.Nd_profile.ops_p95
+        && p.Nd_profile.ops_p95 <= p.Nd_profile.ops_p99
+        && p.Nd_profile.ops_p99 <= p.Nd_profile.ops_max))
+    r.Nd_profile.points;
+  (* the library's own claim: enumeration delay in ops does not grow
+     with the instance *)
+  Alcotest.(check bool) "delay-invariant on grid" true
+    r.Nd_profile.delay_invariant
+
+let test_json_report () =
+  let r = Nd_profile.run ~spec:"path" ~sizes:[ 40; 80 ] ~limit:200 () in
+  let doc = Nd_profile.to_json r in
+  match Nd_trace.Json.parse doc with
+  | Error e -> Alcotest.failf "report is not JSON: %s" e
+  | Ok j -> (
+      (match Nd_trace.Json.member "schema" j with
+      | Some (Nd_trace.Json.Str "nd-profile/1") -> ()
+      | _ -> Alcotest.fail "schema tag missing");
+      (match Nd_trace.Json.member "spec" j with
+      | Some (Nd_trace.Json.Str "path") -> ()
+      | _ -> Alcotest.fail "spec missing");
+      (match Nd_trace.Json.member "points" j with
+      | Some (Nd_trace.Json.Arr pts) ->
+          Alcotest.(check int) "two points" 2 (List.length pts);
+          List.iter
+            (fun p ->
+              match Nd_trace.Json.member "ops" p with
+              | Some ops -> (
+                  match Nd_trace.Json.member "max" ops with
+                  | Some (Nd_trace.Json.Num v) ->
+                      Alcotest.(check bool) "ops max positive" true (v > 0.)
+                  | _ -> Alcotest.fail "point lacks ops.max")
+              | None -> Alcotest.fail "point lacks ops")
+            pts
+      | _ -> Alcotest.fail "points missing");
+      match Nd_trace.Json.member "delay_invariant" j with
+      | Some (Nd_trace.Json.Bool b) ->
+          Alcotest.(check bool) "verdict serialized" r.Nd_profile.delay_invariant b
+      | _ -> Alcotest.fail "delay_invariant missing")
+
+let test_unknown_family_rejected () =
+  match Nd_profile.run ~spec:"no-such-family" ~sizes:[ 10 ] () with
+  | _ -> Alcotest.fail "unknown family accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_metrics_state_restored () =
+  Nd_util.Metrics.disable ();
+  ignore (Nd_profile.run ~spec:"path" ~sizes:[ 30 ] ~limit:50 ());
+  (* run enables metrics internally but must restore the caller's
+     state — observations after the run must not accumulate *)
+  Nd_util.Metrics.reset ();
+  Nd_util.Metrics.add (Nd_util.Metrics.counter "prof.after") 3;
+  Alcotest.(check int) "metrics still disabled after run" 0
+    (Nd_util.Metrics.value (Nd_util.Metrics.counter "prof.after"))
+
+let suite =
+  [
+    Alcotest.test_case "verdict arithmetic" `Quick test_verdict_arithmetic;
+    Alcotest.test_case "grid run is delay-invariant" `Quick
+      test_run_grid_is_invariant;
+    Alcotest.test_case "JSON report round-trip" `Quick test_json_report;
+    Alcotest.test_case "unknown family rejected" `Quick
+      test_unknown_family_rejected;
+    Alcotest.test_case "caller metrics state restored" `Quick
+      test_metrics_state_restored;
+  ]

@@ -1,0 +1,181 @@
+(* Prometheus text exposition: render/validate round-trip, histogram
+   consistency with the source registry, and snapshot atomicity. *)
+
+open Nd_util
+module P = Nd_trace.Prometheus
+
+let reset () =
+  Metrics.reset ();
+  Metrics.enable ()
+
+let lines text = String.split_on_char '\n' text
+
+let find_sample text prefix =
+  List.find_opt
+    (fun l ->
+      String.length l >= String.length prefix
+      && String.sub l 0 (String.length prefix) = prefix)
+    (lines text)
+
+let sample_value line =
+  match String.rindex_opt line ' ' with
+  | None -> Alcotest.failf "no value on %S" line
+  | Some i ->
+      float_of_string (String.sub line (i + 1) (String.length line - i - 1))
+
+(* --- round-trip ---------------------------------------------------- *)
+
+let test_roundtrip () =
+  reset ();
+  Metrics.add (Metrics.counter "prom.hits") 3;
+  Metrics.add (Metrics.counter ~ops:true "prom.work") 11;
+  let h = Metrics.hist "prom.delay" in
+  List.iter (Metrics.observe h) [ 0; 1; 1; 3; 9; 100_000 ];
+  ignore (Metrics.phase "prom.phase" (fun () -> ()));
+  let text = P.render_current () in
+  (match P.validate text with
+  | Ok n -> Alcotest.(check bool) "several families" true (n > 3)
+  | Error e -> Alcotest.failf "rendered exposition invalid: %s" e);
+  (* counter value survives *)
+  (match find_sample text "nd_prom_hits_total " with
+  | Some l -> Alcotest.(check int) "counter value" 3 (int_of_float (sample_value l))
+  | None -> Alcotest.fail "nd_prom_hits_total missing");
+  (* ops clock aggregates ~ops counters *)
+  (match find_sample text "nd_ops_total " with
+  | Some l -> Alcotest.(check int) "ops clock" 11 (int_of_float (sample_value l))
+  | None -> Alcotest.fail "nd_ops_total missing");
+  Metrics.reset ();
+  Metrics.disable ()
+
+(* --- histogram consistency with the source ------------------------- *)
+
+let test_histogram_consistency () =
+  reset ();
+  let h = Metrics.hist "prom.h" in
+  let values = [ 0; 1; 2; 2; 5; 16; 700; 100_000 ] in
+  List.iter (Metrics.observe h) values;
+  let text = P.render_current () in
+  (match P.validate text with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "invalid: %s" e);
+  let count = List.length values in
+  let sum = List.fold_left ( + ) 0 values in
+  (match find_sample text "nd_prom_h_count " with
+  | Some l -> Alcotest.(check int) "_count" count (int_of_float (sample_value l))
+  | None -> Alcotest.fail "_count missing");
+  (match find_sample text "nd_prom_h_sum " with
+  | Some l -> Alcotest.(check int) "_sum" sum (int_of_float (sample_value l))
+  | None -> Alcotest.fail "_sum missing");
+  (match find_sample text "nd_prom_h_bucket{le=\"+Inf\"} " with
+  | Some l ->
+      Alcotest.(check int) "+Inf = count" count (int_of_float (sample_value l))
+  | None -> Alcotest.fail "+Inf bucket missing");
+  (* cumulative buckets: le="2" counts observations <= 2 *)
+  (match find_sample text "nd_prom_h_bucket{le=\"2\"} " with
+  | Some l -> Alcotest.(check int) "le=2" 4 (int_of_float (sample_value l))
+  | None -> Alcotest.fail "le=2 bucket missing");
+  (* saturation: 100_000 > clamp lands in the last finite bucket *)
+  (match
+     find_sample text
+       (Printf.sprintf "nd_prom_h_bucket{le=\"%d\"} " Metrics.hist_clamp)
+   with
+  | Some l ->
+      Alcotest.(check int) "clamp bucket holds everything" count
+        (int_of_float (sample_value l))
+  | None -> Alcotest.fail "clamp bucket missing");
+  Metrics.reset ();
+  Metrics.disable ()
+
+(* --- validator rejections ------------------------------------------ *)
+
+let test_validator_rejects () =
+  let bad what s =
+    match P.validate s with
+    | Ok _ -> Alcotest.failf "validator accepted %s" what
+    | Error _ -> ()
+  in
+  bad "sample without TYPE/HELP" "nd_x_total 1\n";
+  bad "TYPE before HELP" "# TYPE nd_x counter\n# HELP nd_x x.\nnd_x 1\n";
+  bad "bad metric name"
+    "# HELP nd-bad x.\n# TYPE nd-bad counter\nnd-bad 1\n";
+  bad "non-monotone buckets"
+    "# HELP nd_h h.\n# TYPE nd_h histogram\n\
+     nd_h_bucket{le=\"1\"} 5\nnd_h_bucket{le=\"2\"} 3\n\
+     nd_h_bucket{le=\"+Inf\"} 5\nnd_h_sum 9\nnd_h_count 5\n";
+  bad "+Inf disagrees with _count"
+    "# HELP nd_h h.\n# TYPE nd_h histogram\n\
+     nd_h_bucket{le=\"1\"} 2\nnd_h_bucket{le=\"+Inf\"} 2\n\
+     nd_h_sum 2\nnd_h_count 3\n";
+  bad "histogram without _sum"
+    "# HELP nd_h h.\n# TYPE nd_h histogram\n\
+     nd_h_bucket{le=\"+Inf\"} 1\nnd_h_count 1\n";
+  (* and a well-formed document is accepted *)
+  match
+    P.validate
+      "# HELP nd_ok x.\n# TYPE nd_ok counter\nnd_ok 1\n\
+       # HELP nd_h h.\n# TYPE nd_h histogram\n\
+       nd_h_bucket{le=\"1\"} 2\nnd_h_bucket{le=\"+Inf\"} 2\n\
+       nd_h_sum 2\nnd_h_count 2\n"
+  with
+  | Ok n -> Alcotest.(check int) "two families" 2 n
+  | Error e -> Alcotest.failf "rejected a valid document: %s" e
+
+(* --- snapshots ----------------------------------------------------- *)
+
+let test_snapshot_immutable () =
+  reset ();
+  let c = Metrics.counter "prom.snap" in
+  Metrics.add c 5;
+  let h = Metrics.hist "prom.snap_h" in
+  Metrics.observe h 3;
+  let snap = Metrics.snapshot () in
+  (* mutate and reset the live registry: the snapshot must not move *)
+  Metrics.add c 100;
+  Metrics.observe h 9;
+  Metrics.reset ();
+  let find name =
+    List.find
+      (fun cs -> cs.Metrics.c_name = name)
+      snap.Metrics.s_counters
+  in
+  Alcotest.(check int) "snapshot counter unmoved" 5 (find "prom.snap").Metrics.c_value;
+  let hs =
+    List.find (fun x -> x.Metrics.h_name = "prom.snap_h") snap.Metrics.s_hists
+  in
+  Alcotest.(check int) "snapshot hist count unmoved" 1 hs.Metrics.h_count;
+  Alcotest.(check int) "snapshot hist sum unmoved" 3 hs.Metrics.h_sum;
+  (* rendering the stale snapshot still validates *)
+  (match P.validate (P.render snap) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "stale snapshot render invalid: %s" e);
+  Metrics.reset ();
+  Metrics.disable ()
+
+let test_reset_keeps_registrations () =
+  reset ();
+  Metrics.add (Metrics.counter "prom.keep") 2;
+  Metrics.reset ();
+  (* after a reset, the registration is still visible to snapshots (and
+     hence to scrapes) with value 0 — series never vanish mid-flight *)
+  let snap = Metrics.snapshot () in
+  match
+    List.find_opt
+      (fun cs -> cs.Metrics.c_name = "prom.keep")
+      snap.Metrics.s_counters
+  with
+  | Some cs ->
+      Alcotest.(check int) "zero after reset" 0 cs.Metrics.c_value;
+      Metrics.disable ()
+  | None -> Alcotest.fail "registration lost by reset"
+
+let suite =
+  [
+    Alcotest.test_case "render/validate round-trip" `Quick test_roundtrip;
+    Alcotest.test_case "histogram _sum/_count/bucket consistency" `Quick
+      test_histogram_consistency;
+    Alcotest.test_case "validator rejects malformed text" `Quick
+      test_validator_rejects;
+    Alcotest.test_case "snapshots are immutable" `Quick test_snapshot_immutable;
+    Alcotest.test_case "reset keeps registrations for scrapes" `Quick
+      test_reset_keeps_registrations;
+  ]

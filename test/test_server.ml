@@ -142,6 +142,130 @@ let test_health_and_quit () =
   Alcotest.(check (list string)) "quit" [ "bye" ] (Server.handle srv "quit");
   Alcotest.(check bool) "quitting" true (Server.quitting srv)
 
+(* ---------------- observability ---------------- *)
+
+let test_err_reply_carries_rid_and_span () =
+  let srv, _ = make () in
+  ignore (Server.handle srv "test 0,1");
+  (match Server.handle srv "frobnicate" with
+  | [ line ] ->
+      (* grammar: err <class> rid=<N> span=<N> <message> *)
+      (match String.split_on_char ' ' line with
+      | "err" :: "user" :: rid :: span :: _ :: _ ->
+          Alcotest.(check bool) "rid= prefix" true
+            (String.length rid > 4 && String.sub rid 0 4 = "rid=");
+          Alcotest.(check int) "rid is the request ordinal" 2
+            (int_of_string (String.sub rid 4 (String.length rid - 4)));
+          Alcotest.(check bool) "span= prefix" true
+            (String.length span > 5 && String.sub span 0 5 = "span=");
+          Alcotest.(check bool) "span id parses" true
+            (match
+               int_of_string_opt (String.sub span 5 (String.length span - 5))
+             with
+            | Some n -> n >= 0
+            | None -> false)
+      | _ -> Alcotest.failf "bad error grammar: %s" line);
+      (* the retrying client still reads the class as the first word *)
+      (match Client.status_of_reply [ line ] with
+      | Client.Err_reply ("user", _) -> ()
+      | _ -> Alcotest.fail "client cannot parse the enriched error")
+  | r -> Alcotest.failf "error reply shape: %s" (String.concat "|" r));
+  (* with tracing enabled the span id in the reply is a live span *)
+  Nd_trace.enable ();
+  Nd_trace.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Nd_trace.disable ();
+      Nd_trace.clear ())
+    (fun () ->
+      match Server.handle srv "frobnicate" with
+      | [ line ] -> (
+          match String.split_on_char ' ' line with
+          | "err" :: _ :: _ :: span :: _ ->
+              let sid =
+                int_of_string (String.sub span 5 (String.length span - 5))
+              in
+              Alcotest.(check bool) "nonzero span id under tracing" true
+                (sid > 0);
+              Alcotest.(check bool) "span recorded for the request" true
+                (List.exists
+                   (fun s ->
+                     s.Nd_trace.sid = sid
+                     && s.Nd_trace.name = "server.request")
+                   (Nd_trace.spans ()))
+          | _ -> Alcotest.fail "bad error grammar under tracing")
+      | r -> Alcotest.failf "error reply shape: %s" (String.concat "|" r))
+
+let test_event_log_is_jsonl () =
+  let lines = ref [] in
+  let config =
+    {
+      Server.default_config with
+      Server.event_log = Some (fun l -> lines := l :: !lines);
+    }
+  in
+  let srv, _ = make ~config () in
+  ignore (Server.handle srv "test 0,1");
+  ignore (Server.handle srv "frobnicate");
+  ignore (Server.handle srv "quit");
+  let logged = List.rev !lines in
+  Alcotest.(check int) "one event per request" 3 (List.length logged);
+  let field name j =
+    match Nd_trace.Json.member name j with
+    | Some v -> v
+    | None -> Alcotest.failf "event lacks %s" name
+  in
+  List.iteri
+    (fun i l ->
+      match Nd_trace.Json.parse l with
+      | Error e -> Alcotest.failf "event %d is not JSON: %s" i e
+      | Ok j ->
+          (match field "rid" j with
+          | Nd_trace.Json.Num rid ->
+              Alcotest.(check int) "rids are ordinals" (i + 1)
+                (int_of_float rid)
+          | _ -> Alcotest.fail "rid not a number");
+          (match field "latency_us" j with
+          | Nd_trace.Json.Num v ->
+              Alcotest.(check bool) "latency non-negative" true (v >= 0.)
+          | _ -> Alcotest.fail "latency_us not a number");
+          ignore (field "cmd" j);
+          ignore (field "span" j);
+          ignore (field "status" j))
+    logged;
+  (* statuses line up with the outcomes *)
+  let status l =
+    match Nd_trace.Json.parse l with
+    | Ok j -> (
+        match Nd_trace.Json.member "status" j with
+        | Some (Nd_trace.Json.Str s) -> s
+        | _ -> "?")
+    | Error _ -> "?"
+  in
+  Alcotest.(check (list string)) "statuses" [ "ok"; "user"; "bye" ]
+    (List.map status logged)
+
+let test_metrics_verb_is_prometheus () =
+  Nd_util.Metrics.reset ();
+  Nd_util.Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Nd_util.Metrics.reset ();
+      Nd_util.Metrics.disable ())
+    (fun () ->
+      let srv, _ = make () in
+      ignore (Server.handle srv "test 0,1");
+      match Server.handle srv "metrics" with
+      | [] | [ _ ] -> Alcotest.fail "metrics reply empty"
+      | reply ->
+          check_ok "metrics terminator" reply;
+          let body =
+            List.filter (fun l -> l <> "ok") reply |> String.concat "\n"
+          in
+          (match Nd_trace.Prometheus.validate (body ^ "\n") with
+          | Ok n -> Alcotest.(check bool) "families exposed" true (n > 0)
+          | Error e -> Alcotest.failf "metrics body invalid: %s" e))
+
 (* ---------------- the loop over real channels ---------------- *)
 
 let run_session requests =
@@ -400,6 +524,11 @@ let suite =
     Alcotest.test_case "injected internal errors survive" `Quick
       test_injected_internal_error_survives;
     Alcotest.test_case "health + quit" `Quick test_health_and_quit;
+    Alcotest.test_case "err replies carry rid and span ids" `Quick
+      test_err_reply_carries_rid_and_span;
+    Alcotest.test_case "event log emits JSONL" `Quick test_event_log_is_jsonl;
+    Alcotest.test_case "metrics verb speaks Prometheus" `Quick
+      test_metrics_verb_is_prometheus;
     Alcotest.test_case "serve loop over pipes" `Quick
       test_serve_loop_channels;
     Alcotest.test_case "graceful stop before any request" `Quick
