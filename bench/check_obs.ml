@@ -4,9 +4,10 @@
      check_obs.exe trace   FILE    Chrome trace-event JSON (--trace output)
      check_obs.exe prom    FILE    Prometheus text exposition
      check_obs.exe profile FILE    nd-profile/1 JSON (fodb profile --json)
+     check_obs.exe events  FILE    serve event log (JSONL, one row/request)
 
    Exits 0 when the artifact is well-formed (and, for profile, the
-   delay-invariance verdict holds), 1 otherwise.  CI runs all three. *)
+   delay-invariance verdict holds), 1 otherwise.  CI runs all four. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -44,11 +45,57 @@ let check_profile file =
                 contract regressed" file
       | _ -> fail "%s: missing delay_invariant verdict" file)
 
+(* The serve event log: one JSON object per request.  Since the update
+   pipeline landed, rows also carry the mutation verbs (update,
+   batch-update, epoch) — those must parse under the same schema as
+   query rows, not as a foreign row kind. *)
+let known_status = [ "ok"; "bye"; "user"; "budget"; "internal" ]
+let mutation_verbs = [ "update"; "batch-update"; "epoch" ]
+
+let check_events file =
+  let module J = Nd_trace.Json in
+  let num row field ~min_v j =
+    match J.member field j with
+    | Some (J.Num v) when v >= min_v -> v
+    | Some (J.Num v) -> fail "%s:%d: %s = %g out of range" file row field v
+    | _ -> fail "%s:%d: missing numeric %s" file row field
+  in
+  let lines =
+    String.split_on_char '\n' (read_file file)
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  if lines = [] then fail "%s: empty event log" file;
+  let updates = ref 0 in
+  List.iteri
+    (fun i line ->
+      let row = i + 1 in
+      match J.parse line with
+      | Error e -> fail "%s:%d: not valid JSON: %s" file row e
+      | Ok j ->
+          ignore (num row "ts" ~min_v:0. j);
+          ignore (num row "rid" ~min_v:1. j);
+          ignore (num row "span" ~min_v:0. j);
+          ignore (num row "latency_us" ~min_v:0. j);
+          ignore (num row "lines" ~min_v:0. j);
+          (match J.member "cmd" j with
+          | Some (J.Str c) when c <> "" ->
+              if List.mem c mutation_verbs then incr updates
+          | _ -> fail "%s:%d: missing cmd" file row);
+          (match J.member "status" j with
+          | Some (J.Str s) when List.mem s known_status -> ()
+          | Some (J.Str s) -> fail "%s:%d: unknown status %S" file row s
+          | _ -> fail "%s:%d: missing status" file row))
+    lines;
+  Printf.printf "%s: valid event log, %d rows (%d mutation verbs)\n" file
+    (List.length lines) !updates
+
 let () =
   match Sys.argv with
   | [| _; "trace"; file |] -> check_trace file
   | [| _; "prom"; file |] -> check_prom file
   | [| _; "profile"; file |] -> check_profile file
+  | [| _; "events"; file |] -> check_events file
   | _ ->
-      prerr_endline "usage: check_obs (trace|prom|profile) FILE";
+      prerr_endline "usage: check_obs (trace|prom|profile|events) FILE";
       exit 2

@@ -217,7 +217,7 @@ let check_engine_point i p =
       (match field path stats "degradation" with
       | Some d -> (
           match get_str (path ^ ".stats.degradation") d "mode" with
-          | Some ("none" | "fallback") -> ()
+          | Some ("none" | "fallback" | "stale_rebuild") -> ()
           | Some other ->
               err "%s.stats.degradation.mode: unexpected %S" path other
           | None -> ())
@@ -308,6 +308,59 @@ let check_snapshot_point i p =
         path s
   | _ -> ()
 
+(* the incremental-maintenance gate: absorbing one mutation through
+   Nd_engine.update must get relatively cheaper as n grows (the dirty
+   region is O(1) while prepare is pseudo-linear) — the ratio must fall
+   monotonically and end below 0.2, or updates are just re-prepares *)
+let check_update_points pts =
+  let ratios =
+    List.mapi
+      (fun i p ->
+        let path = Printf.sprintf "update[%d]" i in
+        ignore (get_str path p "spec");
+        (match get_num path p "n" with
+        | Some n when n <= 0. -> err "%s.n: non-positive" path
+        | _ -> ());
+        (match get_num path p "prepare_ops" with
+        | Some f when f <= 0. -> err "%s.prepare_ops: non-positive" path
+        | _ -> ());
+        (match get_num path p "update_ops" with
+        | Some f when f <= 0. -> err "%s.update_ops: non-positive" path
+        | _ -> ());
+        (match get_num path p "mutations" with
+        | Some f when f <= 0. -> err "%s.mutations: no mutations measured" path
+        | _ -> ());
+        match get_num path p "ratio" with
+        | Some r when r <= 0. ->
+            err "%s.ratio: non-positive" path;
+            None
+        | Some r -> Some r
+        | None -> None)
+      pts
+  in
+  match List.filter_map Fun.id ratios with
+  | [] -> err "$.update: no usable ratio values"
+  | rs ->
+      let rec monotone = function
+        | a :: (b :: _ as rest) ->
+            (* 5% slack absorbs timing-free but allocation-dependent
+               op-count jitter between runs *)
+            if b > a *. 1.05 then
+              err
+                "$.update: ratio is not decreasing with n (%g then %g) — \
+                 bounded maintenance is not bounded"
+                a b
+            else monotone rest
+        | _ -> ()
+      in
+      monotone rs;
+      let final = List.nth rs (List.length rs - 1) in
+      if final >= 0.2 then
+        err
+          "$.update: final update/prepare ratio %g >= 0.2 — absorbing a \
+           mutation costs too close to a re-prepare"
+          final
+
 let check_store_point i p =
   let path = Printf.sprintf "store[%d]" i in
   ignore (get_num path p "n");
@@ -373,6 +426,14 @@ let () =
   | Some (Arr pts) -> List.iteri check_snapshot_point pts
   | Some _ -> err "$.snapshot: expected an array"
   | None -> ());
+  (match field "$" j "update" with
+  | Some (Arr []) -> err "$.update: empty"
+  | Some (Arr pts) ->
+      if List.length pts < 2 then
+        err "$.update: need at least two sizes to gate the ratio trend";
+      check_update_points pts
+  | Some _ -> err "$.update: expected an array"
+  | None -> err "$.update: missing (the incremental-maintenance rows)");
   match !errors with
   | [] ->
       Printf.printf "%s: schema nd-engine-bench/1 OK\n" file;

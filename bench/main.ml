@@ -1025,6 +1025,53 @@ let ee_snapshot_specs () =
   else if !quick then [ "grid:30x30" ]
   else [ "grid:30x30"; "grid:56x56" ]
 
+(* One UP row: cost of absorbing one mutation through Nd_engine.update
+   (bounded maintenance — stale_threshold 1.0 pins the maintenance
+   path) vs the from-scratch prepare, in cost-model ops.  The dirty
+   region is O(1) in n while prepare is pseudo-linear, so the ratio
+   must fall as n grows; check_schema gates monotone decrease and a
+   final ratio < 0.2. *)
+let ee_update_point phi side =
+  Nd_engine.reset_metrics ();
+  let g = Gen.randomly_color ~seed:5 ~colors:2 (Gen.grid side side) in
+  let n = Cgraph.n g in
+  let eng, prepare_s =
+    time (fun () -> Nd_engine.prepare ~metrics:true g phi)
+  in
+  let prepare_ops = Nd_util.Metrics.ops () in
+  (* add/remove pairs at scattered sites: diagonal chords a grid lacks,
+     each absorbed then reverted so every update sees the same shape *)
+  let muts =
+    List.concat_map
+      (fun i ->
+        let v = i * n / 7 in
+        let w = v + side + 1 in
+        if w < n && v <> w then
+          [ Cgraph.Add_edge (v, w); Cgraph.Remove_edge (v, w) ]
+        else [])
+      [ 1; 2; 3 ]
+  in
+  let ops0 = Nd_util.Metrics.ops () in
+  let (), update_total_s =
+    time (fun () ->
+        List.iter (fun m -> Nd_engine.update ~stale_threshold:1.0 eng m) muts)
+  in
+  let k = List.length muts in
+  let update_ops = (Nd_util.Metrics.ops () - ops0) / k in
+  let update_s = update_total_s /. float k in
+  let ratio = float update_ops /. float (max prepare_ops 1) in
+  Printf.printf
+    "  grid:%dx%d  n=%d  prepare=%d ops  update=%d ops/mutation  ratio=%.4f\n%!"
+    side side n prepare_ops update_ops ratio;
+  Printf.sprintf
+    "{\"spec\":\"grid:%dx%d\",\"n\":%d,\"prepare_s\":%.9g,\"prepare_ops\":%d,\
+     \"update_s\":%.9g,\"update_ops\":%d,\"mutations\":%d,\"ratio\":%.9g}"
+    side side n prepare_s prepare_ops update_s update_ops k ratio
+
+let up_sides () =
+  if !smoke then [ 12; 32 ] else if !quick then [ 12; 20; 40 ]
+  else [ 12; 20; 40; 64 ]
+
 let ee_engine_json () =
   let qtext = "dist(x,y) <= 2" in
   let phi = Nd_logic.Parse.formula qtext in
@@ -1065,6 +1112,8 @@ let ee_engine_json () =
   (* TR rows ride along for the same reason: the tracing-off overhead
      gate must be on record in every mode *)
   let trace_points = List.map (fun s -> tr_json (tr_point s)) (er_sides ()) in
+  (* UP rows: the incremental-maintenance ratio trajectory *)
+  let update_points = List.map (ee_update_point phi) (up_sides ()) in
   Nd_util.Metrics.disable ();
   (* SN rows: snapshot persistence, measured without instrumentation so
      the prepare-vs-load comparison is what production sees *)
@@ -1074,13 +1123,14 @@ let ee_engine_json () =
     Printf.sprintf
       "{\"schema\":\"nd-engine-bench/1\",\"mode\":\"%s\",\"query\":\"%s\",\
        \"engine\":[%s],\"store\":[%s],\"budget_overhead\":[%s],\
-       \"trace_overhead\":[%s],\"snapshot\":[%s]}"
+       \"trace_overhead\":[%s],\"snapshot\":[%s],\"update\":[%s]}"
       mode qtext
       (String.concat "," engine_points)
       (String.concat "," store_points)
       (String.concat "," budget_points)
       (String.concat "," trace_points)
       (String.concat "," snapshot_points)
+      (String.concat "," update_points)
   in
   let path = "BENCH_engine.json" in
   let oc = open_out path in

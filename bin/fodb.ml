@@ -56,6 +56,22 @@ let load spec ~colors ~seed =
     Gen.randomly_color ~seed ~colors g
   else g
 
+(* a mutation journal: one wire-syntax mutation per line, '#' comments *)
+let read_mutations path =
+  let ic =
+    try open_in path
+    with Sys_error m -> raise (Nd_error.User_error ("mutation journal: " ^ m))
+  in
+  let muts = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         muts := Cgraph.mutation_of_string line :: !muts
+     done
+   with End_of_file -> close_in ic);
+  List.rev !muts
+
 (* ---------------- common options ---------------- *)
 
 let graph_arg =
@@ -140,6 +156,18 @@ let timeout_ms_arg =
           "Wall-clock budget in milliseconds, with the same degradation \
            and exit semantics as $(b,--budget-ops).")
 
+let mutations_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mutations" ] ~docv:"FILE"
+        ~doc:
+          "Mutation journal (one $(b,add-edge U V) / $(b,remove-edge U V) / \
+           $(b,set-color C V on|off) per line, $(b,#) comments) absorbed \
+           through the incremental update pipeline after preparing — the \
+           command then answers over the mutated graph without a \
+           re-prepare.")
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -172,7 +200,7 @@ let run f =
    here.  Returns the handle plus an [emit] closure printing the
    requested stats report after the command body ran. *)
 let with_engine spec query colors seed epsilon stats stats_json prometheus
-    trace budget_ops timeout_ms f =
+    trace budget_ops timeout_ms mutations f =
  run @@ fun () ->
   let g = load spec ~colors ~seed in
   let phi = Nd_logic.Parse.formula query in
@@ -197,9 +225,22 @@ let with_engine spec query colors seed epsilon stats stats_json prometheus
        else "fallback");
     (match Nd_engine.degradation eng with
     | `Fallback reason -> Printf.printf "degraded: %s\n" reason
+    | `Stale_rebuild reason -> Printf.printf "stale rebuild: %s\n" reason
     | `None -> ());
     Printf.printf "preprocessing: %.3fs\n" prep
   end;
+  (match mutations with
+  | None -> ()
+  | Some path ->
+      let muts = read_mutations path in
+      let (), t = time (fun () -> Nd_engine.update_batch eng muts) in
+      if not (stats_json || prometheus) then
+        Printf.printf "updates: %d absorbed in %.3fs (epoch %d%s)\n"
+          (List.length muts) t (Nd_engine.epoch eng)
+          (match Nd_engine.degradation eng with
+          | `None -> ""
+          | `Stale_rebuild _ -> ", stale rebuild"
+          | `Fallback _ -> ", fallback"));
   let emit () =
     if stats_json then
       print_endline (Nd_engine.Stats.to_json (Nd_engine.stats eng))
@@ -236,9 +277,9 @@ let with_engine spec query colors seed epsilon stats stats_json prometheus
 (* ---------------- subcommands ---------------- *)
 
 let enumerate spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms limit =
+    budget_ops timeout_ms mutations limit =
   with_engine spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms (fun eng ->
+    budget_ops timeout_ms mutations (fun eng ->
       let quiet = stats_json || prometheus in
       let printed = ref 0 in
       let _, t =
@@ -254,9 +295,9 @@ let enumerate spec query colors seed epsilon stats stats_json prometheus trace
         Printf.printf "%d solutions in %.3fs\n" !printed t)
 
 let count spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms =
+    budget_ops timeout_ms mutations =
   with_engine spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms (fun eng ->
+    budget_ops timeout_ms mutations (fun eng ->
       let r, t = time (fun () -> Nd_engine.count eng) in
       if not (stats_json || prometheus) then
         Printf.printf "count: %d (%.3fs, %s)\n" r.Nd_core.Count.count t
@@ -277,9 +318,9 @@ let parse_tuple tuple =
        (String.split_on_char ',' tuple))
 
 let test spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms tuple =
+    budget_ops timeout_ms mutations tuple =
   with_engine spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms (fun eng ->
+    budget_ops timeout_ms mutations (fun eng ->
       let tup = parse_tuple tuple in
       let ans, t = time (fun () -> Nd_engine.test eng tup) in
       if not (stats_json || prometheus) then
@@ -287,9 +328,9 @@ let test spec query colors seed epsilon stats stats_json prometheus trace
           (Nd_util.Tuple.to_string tup) ans t)
 
 let next spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms tuple =
+    budget_ops timeout_ms mutations tuple =
   with_engine spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms (fun eng ->
+    budget_ops timeout_ms mutations (fun eng ->
       let tup = parse_tuple tuple in
       let ans, t = time (fun () -> Nd_engine.next eng tup) in
       if not (stats_json || prometheus) then
@@ -299,6 +340,41 @@ let next spec query colors seed epsilon stats stats_json prometheus trace
               (Nd_util.Tuple.to_string tup) (Nd_util.Tuple.to_string s) t
         | None ->
             Printf.printf "no solution ≥ %s\n" (Nd_util.Tuple.to_string tup))
+
+(* absorb mutations one at a time (per-mutation timing and epoch), then
+   enumerate over the final graph — the demonstration that answers track
+   mutations without a re-prepare *)
+let update spec query colors seed epsilon stats stats_json prometheus trace
+    budget_ops timeout_ms mutations mut_strs limit =
+  with_engine spec query colors seed epsilon stats stats_json prometheus trace
+    budget_ops timeout_ms mutations (fun eng ->
+      let quiet = stats_json || prometheus in
+      let muts = List.map Cgraph.mutation_of_string mut_strs in
+      List.iter
+        (fun m ->
+          let (), t = time (fun () -> Nd_engine.update eng m) in
+          if not quiet then
+            Printf.printf "applied %s in %.6fs (epoch %d%s)\n"
+              (Cgraph.mutation_to_string m)
+              t (Nd_engine.epoch eng)
+              (match Nd_engine.degradation eng with
+              | `None -> ""
+              | `Stale_rebuild _ -> ", stale rebuild"
+              | `Fallback _ -> ", fallback"))
+        muts;
+      let printed = ref 0 in
+      let _, t =
+        time (fun () ->
+            Nd_engine.enumerate ?limit
+              (fun sol ->
+                incr printed;
+                if not quiet then
+                  print_endline (Nd_util.Tuple.to_string sol))
+              eng)
+      in
+      if not quiet then
+        Printf.printf "%d solutions in %.3fs at epoch %d\n" !printed t
+          (Nd_engine.epoch eng))
 
 let cover spec colors seed r =
  run @@ fun () ->
@@ -371,7 +447,7 @@ let make_budget budget_ops timeout_ms =
   else Some (Nd_util.Budget.create ?max_ops:budget_ops ?timeout_ms ())
 
 let snapshot_save spec query colors seed epsilon budget_ops timeout_ms warm
-    file =
+    mutations file =
  run @@ fun () ->
   let g = load spec ~colors ~seed in
   let phi = Nd_logic.Parse.formula query in
@@ -379,31 +455,51 @@ let snapshot_save spec query colors seed epsilon budget_ops timeout_ms warm
   let eng, prep =
     time (fun () -> Nd_engine.prepare ~epsilon ?budget g phi)
   in
+  (* mutations first, warm after: the snapshot carries the mutated
+     graph's epoch and a cache consistent with it *)
+  (match mutations with
+  | None -> ()
+  | Some path -> Nd_engine.update_batch eng (read_mutations path));
   if warm > 0 then
     Nd_trace.with_span "engine.cache_warm" (fun () ->
         Nd_engine.enumerate ~limit:warm (fun _ -> ()) eng);
   let bytes, t = time (fun () -> Nd_snapshot.save ~path:file eng) in
   Printf.printf
     "snapshot: %d bytes to %s (prepare %.3fs, save %.3fs, %d cached \
-     solutions)\n"
+     solutions, epoch %d)\n"
     bytes file prep t
     (Nd_engine.cache_size eng)
+    (Nd_engine.epoch eng)
 
-let snapshot_load spec query colors seed epsilon strict file =
+let snapshot_load spec query colors seed epsilon strict mutations journal file
+    =
  run @@ fun () ->
   let g = load spec ~colors ~seed in
+  (* --mutations folds into the *presented* graph before verification
+     (how CI provokes Stale_epoch with a mutate-and-revert pair);
+     --journal replays through the loaded handle after verification *)
+  let g =
+    match mutations with
+    | None -> g
+    | Some path -> List.fold_left Cgraph.apply g (read_mutations path)
+  in
+  let journal =
+    match journal with None -> [] | Some path -> read_mutations path
+  in
   let phi = Nd_logic.Parse.formula query in
   let eng, t =
     if strict then
       match time (fun () -> Nd_snapshot.load ~path:file g phi) with
       | Ok eng, t ->
+          List.iter (fun m -> Nd_engine.update eng m) journal;
           Printf.printf "loaded %s in %.3fs\n" file t;
           (eng, t)
       | Error c, _ ->
           Nd_error.user_errorf "snapshot rejected: %s" (Nd_snapshot.describe c)
     else
       let (eng, outcome), t =
-        time (fun () -> Nd_snapshot.load_or_rebuild ~epsilon ~path:file g phi)
+        time (fun () ->
+            Nd_snapshot.load_or_rebuild ~epsilon ~journal ~path:file g phi)
       in
       (match outcome with
       | Nd_snapshot.Loaded -> Printf.printf "loaded %s in %.3fs\n" file t
@@ -413,9 +509,10 @@ let snapshot_load spec query colors seed epsilon strict file =
       (eng, t)
   in
   ignore t;
-  Printf.printf "cache: %d solutions%s\n"
+  Printf.printf "cache: %d solutions%s (epoch %d)\n"
     (Nd_engine.cache_size eng)
-    (if Nd_engine.cache_complete eng then " (complete)" else "");
+    (if Nd_engine.cache_complete eng then " (complete)" else "")
+    (Nd_engine.epoch eng);
   match Nd_engine.first eng with
   | Some s -> Printf.printf "first solution: %s\n" (Nd_util.Tuple.to_string s)
   | None -> print_endline "no solutions"
@@ -530,7 +627,7 @@ let query_args term =
   Term.(
     term $ graph_arg $ query_arg $ colors_arg $ seed_arg $ epsilon_arg
     $ stats_arg $ stats_json_arg $ prometheus_arg $ trace_arg $ budget_ops_arg
-    $ timeout_ms_arg)
+    $ timeout_ms_arg $ mutations_arg)
 
 let exits =
   Cmd.Exit.info 2 ~doc:"on user errors (bad graph, query or tuple)."
@@ -554,6 +651,25 @@ let cmd_next =
   Cmd.v
     (Cmd.info "next" ~exits ~doc:"Smallest solution ≥ a given tuple (Theorem 2.3)")
     Term.(query_args (const next) $ tuple_arg)
+
+let cmd_update =
+  Cmd.v
+    (Cmd.info "update" ~exits
+       ~doc:
+         "Absorb graph mutations through the incremental update pipeline \
+          (bounded maintenance, no re-prepare) and enumerate over the \
+          mutated graph.  Mutations come from $(b,--mutations) and/or \
+          positional arguments ($(b,\"add-edge 0 5\") …), applied in order \
+          with per-mutation timing.")
+    Term.(
+      query_args (const update)
+      $ Arg.(
+          value & pos_all string []
+          & info [] ~docv:"MUTATION"
+              ~doc:
+                "Mutations in wire syntax: $(b,add-edge U V), \
+                 $(b,remove-edge U V), $(b,set-color C V on|off).")
+      $ limit_arg)
 
 let cmd_cover =
   Cmd.v (Cmd.info "cover" ~doc:"Compute and verify a neighborhood cover")
@@ -638,7 +754,8 @@ let cmd_snapshot =
          ~doc:"Prepare a handle and persist it to a snapshot file")
       Term.(
         const snapshot_save $ graph_arg $ query_arg $ colors_arg $ seed_arg
-        $ epsilon_arg $ budget_ops_arg $ timeout_ms_arg $ warm_arg $ file_arg)
+        $ epsilon_arg $ budget_ops_arg $ timeout_ms_arg $ warm_arg
+        $ mutations_arg $ file_arg)
   in
   let load =
     Cmd.v
@@ -648,7 +765,18 @@ let cmd_snapshot =
             corruption unless $(b,--strict))")
       Term.(
         const snapshot_load $ graph_arg $ query_arg $ colors_arg $ seed_arg
-        $ epsilon_arg $ strict_arg $ file_arg)
+        $ epsilon_arg $ strict_arg $ mutations_arg
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "journal" ] ~docv:"FILE"
+                ~doc:
+                  "Mutation journal recorded since the snapshot was saved: \
+                   replayed through the incremental update pipeline after a \
+                   successful load (or folded into the graph before a \
+                   rebuild).  The $(b,--graph) presented must be the \
+                   snapshotted, pre-journal one.")
+        $ file_arg)
   in
   let info_cmd =
     Cmd.v
@@ -738,6 +866,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "fodb" ~doc)
           [
-            cmd_enumerate; cmd_count; cmd_test; cmd_next; cmd_cover;
-            cmd_splitter; cmd_stats; cmd_profile; cmd_snapshot; cmd_serve;
+            cmd_enumerate; cmd_count; cmd_test; cmd_next; cmd_update;
+            cmd_cover; cmd_splitter; cmd_stats; cmd_profile; cmd_snapshot;
+            cmd_serve;
           ]))

@@ -20,9 +20,12 @@ let m_local = Metrics.counter ~ops:true "answer.local_sats"
 
 (* per-disjunct data for the J = {k} case (Case I) *)
 type unary_data = {
-  l_sorted : int array;  (* the label set L, sorted *)
+  mutable l_sorted : int array;  (* the label set L, sorted *)
   l_flag : Bitset.t;  (* O(1) membership *)
-  skip : Skip.t option;  (* None when k = 1 (no kernels needed) *)
+  mutable skip : Skip.t option;  (* None when k = 1 (no kernels needed) *)
+  mutable skip_stale : bool;
+      (* set by [update]; the SKIP structure is global, so it is rebuilt
+         lazily on the next Case-I use rather than per mutation *)
   mutable kernel_l : (int, int array) Hashtbl.t;
       (* bag id -> sorted (K(X) ∩ L), materialized lazily *)
 }
@@ -33,29 +36,35 @@ type disjunct_data = {
   others : int list list;  (* remaining components *)
   j_local : Fo.t;  (* local formula of J *)
   unary : unary_data option;  (* present iff J is a singleton *)
+  mutable live : bool;
+      (* sentence literals hold in the current graph; mutations can flip
+         this, so dead disjuncts keep their data and are merely masked *)
 }
 
 type compiled_state = {
-  g : Cgraph.t;
+  mutable g : Cgraph.t;
   c : Compile.compiled;
   k : int;
   dist : Dist_index.t option;  (* None when k = 1 *)
-  cover : Cover.t;
-  kernels : int array array option;  (* per bag, when Case I data exists *)
+  mutable cover : Cover.t;
+  mutable kernels : int array array option;
+      (* per bag, when Case I data exists *)
   local : Local.t;
   djs : disjunct_data array;
+  sentences : (Fo.t, bool) Hashtbl.t;
+      (* sentence literal ↦ its truth in the current graph *)
   ball_cache : (int, int array) Hashtbl.t;
       (* anchor vertex ↦ its sorted radius-r ball (Case II candidates) *)
-  searcher : Bfs.searcher;
+  mutable searcher : Bfs.searcher;
   w : work;
   mutable skip_enabled : bool;
 }
 
 type fallback_state = {
-  fg : Cgraph.t;
+  mutable fg : Cgraph.t;
   fquery : Fo.t;
   fvars : Fo.var array;
-  fctx : Nd_eval.Naive.ctx;
+  mutable fctx : Nd_eval.Naive.ctx;
   fw : work;
 }
 
@@ -103,21 +112,21 @@ let build_compiled g (c : Compile.compiled) =
       c.disjuncts;
     tbl
   in
-  let live_disjuncts =
-    List.filter
-      (fun (dj : Compile.disjunct) ->
-        List.for_all
-          (fun (phi, pol) -> Hashtbl.find sentence_vals phi = pol)
-          dj.Compile.sentences)
-      c.disjuncts
+  let is_live (dj : Compile.disjunct) =
+    List.for_all
+      (fun (phi, pol) -> Hashtbl.find sentence_vals phi = pol)
+      dj.Compile.sentences
   in
   let last = k - 1 in
+  (* Build answering data for every disjunct, live or not: mutations can
+     flip a sentence literal, so a disjunct that is dead today may be
+     needed tomorrow — it is masked by its [live] flag, not dropped. *)
   let needs_case1 =
     k >= 2
     && List.exists
          (fun (dj : Compile.disjunct) ->
            Dtype.component_of dj.Compile.tau last = [ last ])
-         live_disjuncts
+         c.disjuncts
   in
   let kernels =
     if needs_case1 then
@@ -170,7 +179,15 @@ let build_compiled g (c : Compile.compiled) =
                     (Skip.build ~kernels:ks ~kernels_of ~l:sorted ~n ~k:(k - 1)))
           | _ -> None
         in
-        let v = { l_sorted = sorted; l_flag = flag; skip; kernel_l = Hashtbl.create 8 } in
+        let v =
+          {
+            l_sorted = sorted;
+            l_flag = flag;
+            skip;
+            skip_stale = false;
+            kernel_l = Hashtbl.create 8;
+          }
+        in
         Hashtbl.replace lsets psi v;
         v
   in
@@ -190,8 +207,8 @@ let build_compiled g (c : Compile.compiled) =
              | None -> Fo.True
            in
            let unary = if j = [ last ] then Some (lset_of j_local) else None in
-           { d = dj; j; others; j_local; unary })
-         live_disjuncts)
+           { d = dj; j; others; j_local; unary; live = is_live dj })
+         c.disjuncts)
   in
   {
     g;
@@ -202,6 +219,7 @@ let build_compiled g (c : Compile.compiled) =
     kernels;
     local;
     djs;
+    sentences = sentence_vals;
     ball_cache = Hashtbl.create 256;
     searcher = Bfs.searcher g;
     w;
@@ -270,6 +288,28 @@ let others_hold s (dd : disjunct_data) prefix =
           local_sat s ~bag phi (comp_env s comp (fun p -> prefix.(p))))
     dd.others
 
+(* Rebuild a stale SKIP structure against the current graph/cover.
+   [update] marks rather than rebuilds because SKIP is a global O(n)
+   structure shared across mutations — one rebuild absorbs any number
+   of preceding mutations, and read-free workloads never pay for it. *)
+let ensure_skip s u =
+  if u.skip_stale then begin
+    (match s.kernels with
+    | Some ks when s.k >= 2 ->
+        let kernels_of v =
+          List.filter
+            (fun x -> Sorted.mem ks.(x) v)
+            (Array.to_list s.cover.Cover.bags_of.(v))
+        in
+        Nd_trace.phase "skip.build" (fun () ->
+            u.skip <-
+              Some
+                (Skip.build ~kernels:ks ~kernels_of ~l:u.l_sorted
+                   ~n:(Cgraph.n s.g) ~k:(s.k - 1)))
+    | _ -> u.skip <- None);
+    u.skip_stale <- false
+  end
+
 (* Case I: J = {last}.  Solutions are the label-set members at distance
    > r from every prefix value. *)
 let case1 s (dd : disjunct_data) prefix from =
@@ -299,6 +339,7 @@ let case1 s (dd : disjunct_data) prefix from =
     (* skip candidate: not in any kernel of the prefix bags ⇒ far *)
     s.w.skip_queries <- s.w.skip_queries + 1;
     Metrics.incr m_skip;
+    ensure_skip s u;
     let skip = match u.skip with Some sk -> sk | None -> assert false in
     let cand0 = Skip.skip skip ~b:from ~bags in
     (* kernel candidates: scan K(X_κ) ∩ L in increasing order, checking
@@ -401,7 +442,8 @@ let next_in_last_compiled s ~prefix ~from =
     let tau' = if s.k = 1 then Dtype.create 0 [] else prefix_type s prefix in
     Array.fold_left
       (fun acc dd ->
-        if not (Dtype.compatible tau' dd.d.Compile.tau) then acc
+        if not dd.live then acc
+        else if not (Dtype.compatible tau' dd.d.Compile.tau) then acc
         else if not (others_hold s dd prefix) then acc
         else begin
           let cand =
@@ -449,3 +491,148 @@ let holds t a =
   match next_in_last t ~prefix ~from:a.(k - 1) with
   | Some b -> b = a.(k - 1)
   | None -> false
+
+(* ---------------------------------------------------------------- *)
+(* Incremental maintenance (the update pipeline's answering layer). *)
+
+let influence_radius t =
+  match t.state with
+  | C s -> Some (cover_radius s.c)
+  | F _ -> None
+
+let has_sentences t =
+  match t.state with
+  | C s -> Hashtbl.length s.sentences > 0
+  | F _ -> false
+
+let m_upd_dirty = Metrics.counter "answer.update_dirty"
+let m_upd_bags = Metrics.counter "answer.update_bags"
+
+let update_compiled s g' ~touched =
+  let old_g = s.g in
+  let rc = cover_radius s.c in
+  (* Dirty region: every vertex whose ≤ rc-ball can differ between the
+     old and new graph — the rc-neighborhood of the touched vertices
+     taken in BOTH graphs (a ≤ rc path through the mutated edge pins
+     its endpoints inside one of these balls). *)
+  let ball_union g =
+    List.concat_map
+      (fun v -> Array.to_list (Bfs.ball g v ~radius:rc))
+      touched
+  in
+  let dirty =
+    Array.of_list (List.sort_uniq compare (ball_union old_g @ ball_union g'))
+  in
+  Metrics.add m_upd_dirty (Array.length dirty);
+  s.g <- g';
+  s.searcher <- Bfs.searcher g';
+  (* 1. distance index: shadow the dirty balls (rc ≥ 2·radius ≥ radius,
+     so [dirty] covers every vertex whose radius-ball changed). *)
+  (match s.dist with Some idx -> Dist_index.patch idx g' ~dirty | None -> ());
+  (* 2. cover repair: re-house dirty vertices whose balls escaped. *)
+  let old_cover = s.cover in
+  let cover', fresh = Cover.patch g' old_cover ~dirty in
+  s.cover <- cover';
+  (* Bags whose induced subgraph changed: those containing a touched
+     vertex (an edge mutation alters G[X] only when both endpoints are
+     in X; a color flip when the vertex is), plus the fresh bags. *)
+  let ctx_bags =
+    List.sort_uniq compare
+      (fresh
+      @ List.concat_map
+          (fun v ->
+            if v < Array.length old_cover.Cover.bags_of then
+              Array.to_list old_cover.Cover.bags_of.(v)
+            else [])
+          touched)
+  in
+  (* Bags whose kernel changed: kernel membership of b ∈ X depends on
+     N_p(b), p = kernel_radius ≤ rc, so exactly the bags meeting the
+     dirty region. *)
+  let kernel_bags =
+    List.sort_uniq compare
+      (fresh
+      @ List.concat_map
+          (fun v -> Array.to_list old_cover.Cover.bags_of.(v))
+          (Array.to_list dirty))
+  in
+  Metrics.add m_upd_bags (List.length kernel_bags);
+  (* 3. per-bag kernels (Case I machinery), only where they changed. *)
+  (match s.kernels with
+  | None -> ()
+  | Some ks ->
+      let nb = Array.length cover'.Cover.bags in
+      let ks' = Array.make nb [||] in
+      Array.blit ks 0 ks' 0 (Array.length ks);
+      let p = kernel_radius s.c in
+      List.iter
+        (fun b ->
+          Budget.poll ();
+          ks'.(b) <- Kernel.compute g' ~bag:cover'.Cover.bags.(b) ~p)
+        kernel_bags;
+      s.kernels <- Some ks');
+  (* 4. bag-local contexts: drop only the changed bags' tables. *)
+  Local.rebind s.local g' cover' ~dirty_bags:ctx_bags;
+  (* 5. label sets: re-evaluate ψ-membership for every vertex whose
+     evaluation context changed — the assigned members of changed bags
+     (covers re-housed vertices: their new bag is fresh). *)
+  let relabel =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun b -> Array.to_list cover'.Cover.assigned_members.(b))
+         ctx_bags)
+  in
+  let unaries =
+    Array.fold_left
+      (fun acc dd ->
+        match dd.unary with
+        | Some u when not (List.exists (fun (_, u') -> u' == u) acc) ->
+            (dd.j_local, u) :: acc
+        | _ -> acc)
+      [] s.djs
+  in
+  List.iter
+    (fun (psi, u) ->
+      let env_of v =
+        match Fo.free_vars psi with
+        | [ x ] -> [ (x, v) ]
+        | [] -> []
+        | _ -> invalid_arg "Answer: non-unary label formula"
+      in
+      List.iter
+        (fun v ->
+          Budget.tick ();
+          let bag = cover'.Cover.assigned.(v) in
+          if Local.sat s.local ~bag psi (env_of v) then Bitset.add u.l_flag v
+          else Bitset.remove u.l_flag v)
+        relabel;
+      u.l_sorted <- Array.of_list (Bitset.to_list u.l_flag);
+      Hashtbl.reset u.kernel_l;
+      u.skip_stale <- true)
+    unaries;
+  (* 6. Case-II candidate balls rooted in the dirty region. *)
+  Array.iter (Hashtbl.remove s.ball_cache) dirty;
+  (* 7. sentence literals are global: re-check them (free when the
+     query has none) and re-mask the disjuncts. *)
+  if Hashtbl.length s.sentences > 0 then begin
+    let ctx = Nd_eval.Naive.ctx g' in
+    Hashtbl.iter
+      (fun phi _ ->
+        Hashtbl.replace s.sentences phi (Nd_eval.Naive.model_check ctx phi))
+      (Hashtbl.copy s.sentences);
+    Array.iter
+      (fun dd ->
+        dd.live <-
+          List.for_all
+            (fun (phi, pol) -> Hashtbl.find s.sentences phi = pol)
+            dd.d.Compile.sentences)
+      s.djs
+  end
+
+let update t g' ~touched =
+  match t.state with
+  | C s -> update_compiled s g' ~touched
+  | F f ->
+      (* the fallback evaluates directly against the graph: swap it *)
+      f.fg <- g';
+      f.fctx <- Nd_eval.Naive.ctx g'

@@ -38,6 +38,33 @@ val next_in_last : t -> prefix:int array -> from:int -> int option
 val holds : t -> int array -> bool
 (** Corollary 2.4 for this query: test a full k-tuple. *)
 
+val update : t -> Nd_graph.Cgraph.t -> touched:int list -> unit
+(** Bounded-scope maintenance after a mutation.  [update t g' ~touched]
+    absorbs the mutation that produced [g'] from the currently indexed
+    graph, where [touched] are the mutation's endpoint vertices
+    ({!Nd_graph.Cgraph.mutation_vertices}).  The dirty region is the
+    cover-radius neighborhood of [touched] in the old and new graphs;
+    only structures rooted there are rebuilt: dist-index overrides,
+    cover re-housing, kernels and label sets of dirty bags, bag-local
+    contexts, Case-II candidate balls.  The global SKIP structure is
+    marked stale and rebuilt lazily on next Case-I use.  Fallback
+    handles swap their evaluation context (trivially exact).
+
+    Must be called once per mutation, with [g'] exactly one
+    {!Nd_graph.Cgraph.apply} step from the graph currently indexed —
+    batching is the caller's loop. *)
+
+val influence_radius : t -> int option
+(** The radius [R] bounding how far a mutation's effect reaches into
+    this structure's index (the cover radius); [None] for fallback
+    handles, whose direct evaluation has global reach. *)
+
+val has_sentences : t -> bool
+(** Whether any disjunct carries sentence literals — their truth is
+    global, so a mutation can flip answers arbitrarily far from its
+    endpoints (callers must not assume bounded influence on cached
+    answers). *)
+
 type work = {
   mutable scan_steps : int;  (** candidates examined in bag/kernel scans *)
   mutable skip_queries : int;

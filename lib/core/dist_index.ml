@@ -18,6 +18,10 @@ and bag_data = {
 type t = {
   r : int;
   root : node;
+  overrides : (int, int array) Hashtbl.t;
+      (* vertex ↦ its current sorted r-ball ∖ {v}, shadowing [root] after
+         a mutation; consulted first by [test] (distance is symmetric, so
+         an override on either endpoint is authoritative) *)
   mutable n_levels : int;
   mutable n_bags : int;
   mutable n_base_pairs : int;
@@ -152,6 +156,7 @@ let build ?(base_threshold = 256) ?(depth_budget = 20) g ~r =
     {
       r;
       root = Base [||];
+      overrides = Hashtbl.create 16;
       n_levels = 0;
       n_bags = 0;
       n_base_pairs = 0;
@@ -201,7 +206,32 @@ let rec test_node node ~r a b =
 let test t a b =
   Budget.tick ();
   Metrics.incr m_tests;
-  test_node t.root ~r:t.r a b
+  if a = b then true
+  else
+    match Hashtbl.find_opt t.overrides a with
+    | Some ball -> Sorted.mem ball b
+    | None -> (
+        match Hashtbl.find_opt t.overrides b with
+        | Some ball -> Sorted.mem ball a
+        | None -> test_node t.root ~r:t.r a b)
+
+let m_overrides = Metrics.counter "dist.overrides"
+
+let patch t g ~dirty =
+  Budget.enter "dist_index";
+  let srch = Bfs.searcher g in
+  Array.iter
+    (fun a ->
+      Budget.tick ();
+      let ball = Bfs.sball srch a ~radius:t.r in
+      let without_self =
+        Array.of_list (List.filter (fun v -> v <> a) (Array.to_list ball))
+      in
+      Hashtbl.replace t.overrides a without_self;
+      Metrics.incr m_overrides)
+    dirty
+
+let override_count t = Hashtbl.length t.overrides
 
 let stats t =
   {

@@ -31,6 +31,23 @@ val radius : t -> int
 val test : t -> int -> int -> bool
 (** [test t a b]: is [dist_G(a,b) ≤ r]? *)
 
+val patch : t -> Nd_graph.Cgraph.t -> dirty:int array -> unit
+(** Incremental maintenance after a graph mutation.  [patch t g ~dirty]
+    recomputes, in the mutated graph [g], the r-ball of every vertex in
+    [dirty] and records it as an override shadowing the recursive
+    structure; {!test} consults overrides on either endpoint first.
+
+    Soundness requires [dirty] to contain every vertex whose r-ball
+    differs between the indexed graph and [g] — i.e. the r-neighborhood
+    of the mutation's endpoints taken in {e both} the old and new graph
+    (a vertex outside both balls cannot gain or lose a ≤ r path through
+    the mutated edge).  Distances between two clean vertices are
+    unchanged, so the frozen recursive structure stays authoritative for
+    them. *)
+
+val override_count : t -> int
+(** Number of patched vertices currently shadowing the base structure. *)
+
 type stats = {
   levels : int;  (** maximum recursion depth reached *)
   bags : int;  (** total bags over all levels *)

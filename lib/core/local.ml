@@ -5,9 +5,9 @@ open Nd_logic
 type bag_ctx = { ctx : Nd_eval.Naive.ctx; to_orig : int array }
 
 type t = {
-  g : Cgraph.t;
-  cover : Cover.t;
-  ctxs : bag_ctx option array;
+  mutable g : Cgraph.t;
+  mutable cover : Cover.t;
+  mutable ctxs : bag_ctx option array;
   memo : (int * Fo.t * (Fo.var * int) list, bool) Hashtbl.t;
   mutable materialized : int;
 }
@@ -20,6 +20,23 @@ let make g cover =
     memo = Hashtbl.create 4096;
     materialized = 0;
   }
+
+let rebind t g cover ~dirty_bags =
+  t.g <- g;
+  t.cover <- cover;
+  let nbags = Array.length cover.Cover.bags in
+  if nbags > Array.length t.ctxs then begin
+    let ctxs = Array.make nbags None in
+    Array.blit t.ctxs 0 ctxs 0 (Array.length t.ctxs);
+    t.ctxs <- ctxs
+  end;
+  List.iter
+    (fun b -> if b < Array.length t.ctxs then t.ctxs.(b) <- None)
+    dirty_bags;
+  let dirty = List.sort_uniq compare dirty_bags in
+  Hashtbl.filter_map_inplace
+    (fun (bag, _, _) v -> if List.mem bag dirty then None else Some v)
+    t.memo
 
 let force t bag =
   match t.ctxs.(bag) with

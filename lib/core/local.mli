@@ -15,6 +15,13 @@ type t
 
 val make : Nd_graph.Cgraph.t -> Nd_nowhere.Cover.t -> t
 
+val rebind : t -> Nd_graph.Cgraph.t -> Nd_nowhere.Cover.t -> dirty_bags:int list -> unit
+(** Incremental maintenance: point the table at the mutated graph and
+    (possibly grown) patched cover, drop the materialized contexts and
+    purge the memo entries of every bag in [dirty_bags] — they will be
+    re-materialized lazily against the new graph on next use.  Clean
+    bags keep their contexts: their induced subgraphs are unchanged. *)
+
 val bag_graph : t -> int -> Nd_graph.Cgraph.t * int array
 (** The induced subgraph of the bag and its [to_orig] map. *)
 

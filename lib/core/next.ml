@@ -6,7 +6,7 @@ let m_next_calls = Metrics.counter "next.calls"
 let m_test_calls = Metrics.counter "test.calls"
 
 type t = {
-  g : Cgraph.t;
+  mutable g : Cgraph.t;
   k : int;
   vars : Fo.var array;
   queries : Fo.t array;  (* queries.(j-1) = φ_j, the arity-j projection *)
@@ -132,3 +132,25 @@ let test t a =
   match next_solution t a with
   | Some b -> Nd_util.Tuple.equal a b
   | None -> false
+
+let update t g' ~touched =
+  t.g <- g';
+  Array.iter
+    (function Some a -> Answer.update a g' ~touched | None -> ())
+    t.answers
+
+let influence_radius t =
+  Array.fold_left
+    (fun acc a ->
+      match (acc, a) with
+      | None, _ | _, None -> acc
+      | Some _, Some a -> (
+          match Answer.influence_radius a with
+          | None -> None
+          | Some r -> Option.map (max r) acc))
+    (Some 0) t.answers
+
+let has_sentences t =
+  Array.exists
+    (function Some a -> Answer.has_sentences a | None -> false)
+    t.answers

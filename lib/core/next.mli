@@ -43,3 +43,18 @@ val first : t -> int array option
 
 val test : t -> int array -> bool
 (** Corollary 2.4. *)
+
+val update : t -> Nd_graph.Cgraph.t -> touched:int list -> unit
+(** Absorb one mutation into every compiled projection level (see
+    {!Answer.update}); [g'] must be exactly one
+    {!Nd_graph.Cgraph.apply} step from the currently indexed graph.
+    Uncompiled levels scan through the level above and need no
+    maintenance. *)
+
+val influence_radius : t -> int option
+(** Max {!Answer.influence_radius} over the compiled levels; [None] if
+    any level answers through the global fallback. *)
+
+val has_sentences : t -> bool
+(** Whether any level's disjuncts carry (globally evaluated) sentence
+    literals; see {!Answer.has_sentences}. *)

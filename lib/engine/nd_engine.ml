@@ -27,16 +27,16 @@ type kind =
       (* degraded k = 0 handle: model checking deferred to first use *)
   | Query of query_state
 
-type degradation = [ `None | `Fallback of string ]
+type degradation = [ `None | `Fallback of string | `Stale_rebuild of string ]
 
 type t = {
-  g : Cgraph.t;
+  mutable g : Cgraph.t;
   phi : Fo.t;
   k : int;
   epsilon : float;
   cache_limit : int;
-  kind : kind;
-  degradation : degradation;
+  mutable kind : kind;
+  mutable degradation : degradation;
   budget : Budget.t option;
   paranoid : bool;
   mutable emitted : int;
@@ -120,7 +120,15 @@ let epsilon t = t.epsilon
 
 let degradation t = t.degradation
 
-let degraded t = match t.degradation with `None -> false | `Fallback _ -> true
+(* A stale-rebuild handle went through a full (possibly budgeted)
+   re-prepare: it is a first-class compiled handle, not a degraded one.
+   The rung records *why* the incremental path was abandoned. *)
+let degraded t =
+  match t.degradation with
+  | `None | `Stale_rebuild _ -> false
+  | `Fallback _ -> true
+
+let epoch t = Cgraph.epoch t.g
 
 let compiled_levels t =
   match t.kind with
@@ -348,12 +356,175 @@ let cache_complete t =
 let reset_metrics () = Metrics.reset ()
 
 (* ---------------------------------------------------------------- *)
+(* Incremental updates: absorb graph mutations without re-prepare.
+
+   The bounded-maintenance argument: the compiled pipeline's answer on
+   a tuple ā depends on the graph only within the cover radius R of
+   ā's coordinates (distance atoms reach ≤ r ≤ R, local formulas are
+   evaluated inside bags, and a bag's influence on any vertex it serves
+   is ≤ R).  So a mutation at vertices T can only change answers on
+   tuples with a coordinate in Reach = N_R(T) (taken in the old and the
+   new graph) — every structure rooted outside Reach stays exact, and
+   every cached solution strictly below the lex-least tuple meeting
+   Reach stays exact too.  Sentence literals are the exception (their
+   truth is global); handles carrying them keep bounded *structure*
+   maintenance but drop the whole cache. *)
+
+let m_updates = Metrics.counter "engine.updates"
+let m_update_dirty = Metrics.counter "engine.update_dirty"
+let m_stale_rebuilds = Metrics.counter "engine.stale_rebuilds"
+let m_cache_evicted = Metrics.counter "engine.cache_evicted"
+
+let default_stale_threshold = 0.3
+
+let validate_mutation t mut =
+  let n = Cgraph.n t.g in
+  let chk v =
+    if v < 0 || v >= n then
+      Nd_error.user_errorf "Nd_engine.update: vertex %d out of range [0, %d)" v
+        n
+  in
+  match mut with
+  | Cgraph.Add_edge (u, v) | Cgraph.Remove_edge (u, v) ->
+      chk u;
+      chk v;
+      if u = v then Nd_error.user_errorf "Nd_engine.update: self-loop %d" u
+  | Cgraph.Set_color { color; vertex; _ } ->
+      chk vertex;
+      if color < 0 || color >= Cgraph.color_count t.g then
+        Nd_error.user_errorf "Nd_engine.update: color %d out of range [0, %d)"
+          color (Cgraph.color_count t.g)
+
+(* Full re-prepare on the already-swapped graph: the stale-rebuild rung
+   of the degradation ladder.  Budgeted like the original prepare; if
+   even that is exhausted we fall one rung further, to `Fallback. *)
+let stale_rebuild t reason =
+  let full_prepare () =
+    Nd_trace.phase "engine.prepare" @@ fun () ->
+    if t.k = 0 then Sentence (Nd_core.Tester.build t.g t.phi)
+    else
+      let nx = Nd_core.Next.build t.g t.phi in
+      Query { nx; cache = make_cache ~cache_limit:t.cache_limit ~epsilon:t.epsilon t.g t.k }
+  in
+  Metrics.incr m_stale_rebuilds;
+  match t.budget with
+  | None ->
+      t.kind <- full_prepare ();
+      t.degradation <- `Stale_rebuild reason
+  | Some b -> (
+      match Budget.with_budget b full_prepare with
+      | Ok kind ->
+          t.kind <- kind;
+          t.degradation <- `Stale_rebuild reason
+      | Error info ->
+          let why = Nd_error.describe_budget info in
+          let kind =
+            unbudgeted @@ fun () ->
+            if t.k = 0 then
+              Lazy_sentence
+                (lazy (Nd_eval.Naive.model_check (Nd_eval.Naive.ctx t.g) t.phi))
+            else
+              let nx = Nd_core.Next.build_fallback t.g t.phi ~reason:why in
+              Query { nx; cache = make_cache ~cache_limit:t.cache_limit ~epsilon:t.epsilon t.g t.k }
+          in
+          t.kind <- kind;
+          t.degradation <- `Fallback why)
+
+(* Drop every cached key ≥ the lex-least tuple with a coordinate in the
+   reach set, and pull the frontier back just below it.  Keys strictly
+   below have no coordinate in reach (any tuple containing one is ≥
+   [0;…;0;min reach]), so their solution status is untouched by the
+   mutation and the frontier invariant survives. *)
+let invalidate_cache t c reach_min =
+  let dirty_first = Array.make t.k 0 in
+  dirty_first.(t.k - 1) <- reach_min;
+  let rec drain () =
+    match Store.succ_geq c.store dirty_first with
+    | Some (key, ()) ->
+        Store.remove c.store key;
+        Metrics.incr m_cache_evicted;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (match c.frontier with
+  | Some f when cmp f dirty_first >= 0 ->
+      c.frontier <- Tuple.pred ~n:(Cgraph.n t.g) dirty_first
+  | _ -> ());
+  (* the mutated region may hold solutions the cache has never seen *)
+  c.complete <- false;
+  c.full <- Store.cardinal c.store >= c.limit
+
+let reset_cache t q =
+  t.kind <-
+    Query
+      {
+        nx = q.nx;
+        cache = make_cache ~cache_limit:t.cache_limit ~epsilon:t.epsilon t.g t.k;
+      }
+
+let update ?(stale_threshold = default_stale_threshold) t mut =
+  validate_mutation t mut;
+  Nd_trace.phase "engine.update" @@ fun () ->
+  Metrics.incr m_updates;
+  let old_g = t.g in
+  let g' = Cgraph.apply old_g mut in
+  t.g <- g';
+  let touched = Cgraph.mutation_vertices mut in
+  match t.kind with
+  | Sentence _ -> t.kind <- Sentence (Nd_core.Tester.build g' t.phi)
+  | Lazy_sentence _ ->
+      t.kind <-
+        Lazy_sentence
+          (lazy (Nd_eval.Naive.model_check (Nd_eval.Naive.ctx g') t.phi))
+  | Query q -> (
+      match Nd_core.Next.influence_radius q.nx with
+      | None ->
+          (* fallback pipeline: direct evaluation has global reach —
+             swap its context and start the cache over *)
+          Nd_core.Next.update q.nx g' ~touched;
+          reset_cache t q
+      | Some rr ->
+          let reach =
+            List.sort_uniq compare
+              (List.concat_map
+                 (fun v ->
+                   Array.to_list (Bfs.ball old_g v ~radius:rr)
+                   @ Array.to_list (Bfs.ball g' v ~radius:rr))
+                 touched)
+          in
+          Metrics.add m_update_dirty (List.length reach);
+          let n = Cgraph.n g' in
+          if n > 0 && float_of_int (List.length reach) > stale_threshold *. float_of_int n
+          then
+            stale_rebuild t
+              (Printf.sprintf
+                 "dirty fraction %.2f exceeds stale threshold %.2f"
+                 (float_of_int (List.length reach) /. float_of_int n)
+                 stale_threshold)
+          else begin
+            Nd_core.Next.update q.nx g' ~touched;
+            if Nd_core.Next.has_sentences q.nx then
+              (* sentence truth is global: no bounded cache region *)
+              reset_cache t q
+            else
+              match (q.cache, reach) with
+              | Some c, w0 :: _ -> invalidate_cache t c w0
+              | _ -> ()
+          end)
+
+let update_batch ?stale_threshold t muts =
+  List.iter (update ?stale_threshold t) muts
+
+(* ---------------------------------------------------------------- *)
 
 module Stats = struct
   type t = {
     n : int;
     m : int;
     colors : int;
+    epoch : int;
+    updates : int;
     query : string;
     arity : int;
     compiled : bool;
@@ -370,6 +541,7 @@ module Stats = struct
     cache_limit : int;
     cache_complete : bool;
     degraded : bool;
+    degradation_mode : string;
     degradation_reason : string option;
     paranoid : bool;
     paranoid_checks : int;
@@ -421,6 +593,8 @@ module Stats = struct
               ("n", string_of_int t.n);
               ("m", string_of_int t.m);
               ("colors", string_of_int t.colors);
+              ("epoch", string_of_int t.epoch);
+              ("updates", string_of_int t.updates);
             ] );
         ( "query",
           jobj
@@ -452,7 +626,7 @@ module Stats = struct
             ] );
         ( "degradation",
           jobj
-            (("mode", if t.degraded then "\"fallback\"" else "\"none\"")
+            (("mode", "\"" ^ escape t.degradation_mode ^ "\"")
             ::
             (match t.degradation_reason with
             | Some r -> [ ("reason", "\"" ^ escape r ^ "\"") ]
@@ -517,7 +691,7 @@ module Stats = struct
       (if t.cache_complete then ", complete" else "")
       t.cache_limit;
     (match t.degradation_reason with
-    | Some r -> fprintf ppf "degradation: fallback (%s)@." r
+    | Some r -> fprintf ppf "degradation: %s (%s)@." t.degradation_mode r
     | None -> ());
     if t.paranoid then
       fprintf ppf "paranoid: %d differential checks passed@." t.paranoid_checks;
@@ -537,6 +711,8 @@ let stats t : Stats.t =
     Stats.n = Cgraph.n t.g;
     m = Cgraph.m t.g;
     colors = Cgraph.color_count t.g;
+    epoch = Cgraph.epoch t.g;
+    updates = Metrics.value m_updates;
     query = Fo.to_string t.phi;
     arity = t.k;
     compiled = compiled t;
@@ -553,8 +729,15 @@ let stats t : Stats.t =
     cache_limit = t.cache_limit;
     cache_complete = cache_complete t;
     degraded = degraded t;
+    degradation_mode =
+      (match t.degradation with
+      | `None -> "none"
+      | `Fallback _ -> "fallback"
+      | `Stale_rebuild _ -> "stale_rebuild");
     degradation_reason =
-      (match t.degradation with `None -> None | `Fallback r -> Some r);
+      (match t.degradation with
+      | `None -> None
+      | `Fallback r | `Stale_rebuild r -> Some r);
     paranoid = t.paranoid;
     paranoid_checks = t.paranoid_checks;
     budget_exhausted = Option.bind t.budget Budget.exhausted;
@@ -597,6 +780,12 @@ module Inspect = struct
     degree_median : int;
     wcol : (int * Wcol.profile) list;
   }
+
+  (* Chaos.Stale_view, provoked: swap the handle's graph without ANY
+     maintenance, so the answering structures keep serving the old
+     world.  Paranoid mode re-checks emitted tuples against the naive
+     evaluator on [t.g] — the now-current graph — and must trip. *)
+  let unsafe_inject_stale_view t mut = t.g <- Cgraph.apply t.g mut
 
   let graph_stats ?(wcol_radii = [ 1; 2 ]) g =
     let n = Cgraph.n g in
@@ -652,7 +841,8 @@ module Persist = struct
           "Nd_engine.Persist.export: refusing to snapshot a degraded handle \
            (%s); it holds no preprocessing product worth persisting"
           r
-    | `None -> ());
+    (* stale-rebuild handles went through a full re-prepare: first class *)
+    | `None | `Stale_rebuild _ -> ());
     let core, cache =
       match t.kind with
       | Sentence ts -> (P_sentence ts, None)

@@ -28,12 +28,16 @@
 
 type t
 
-type degradation = [ `None | `Fallback of string ]
+type degradation = [ `None | `Fallback of string | `Stale_rebuild of string ]
 (** How the handle was built: [`None] means the full Theorem 2.3
     pipeline ran to completion; [`Fallback reason] means preprocessing
     exhausted its resource budget and the handle answers through the
     naive evaluator — {e still exact}, but without the constant-delay
-    guarantee. *)
+    guarantee.  [`Stale_rebuild reason] means a mutation's dirty region
+    exceeded the stale threshold and {!update} fell back to a full
+    (budgeted) re-prepare — the handle is a first-class compiled handle
+    ({!degraded} stays [false]); the rung records why the incremental
+    path was abandoned. *)
 
 val prepare :
   ?epsilon:float ->
@@ -123,6 +127,45 @@ val count : t -> Nd_core.Count.result
 val count_enumerated : t -> int
 (** [|q(G)|] by full enumeration (warms the solution cache). *)
 
+(** {1 Incremental updates}
+
+    The Theorem 3.1 store budgets [O(n^ε)] per update; these entry
+    points extend that spirit to the whole pipeline.  A mutation is
+    absorbed by {e bounded-scope maintenance}: only the structures
+    rooted in the mutation's reach (its cover-radius neighborhood) are
+    rebuilt — dist-index overrides, re-housed cover bags, dirty-bag
+    kernels and label sets, bag-local tables — and only the cached
+    solutions at or beyond the lex-least dirty tuple are evicted (the
+    frontier is pulled back just below it).  When the dirty fraction
+    exceeds [stale_threshold], updating degenerates to a budgeted full
+    re-prepare recorded as [`Stale_rebuild] (see {!degradation}). *)
+
+val update : ?stale_threshold:float -> t -> Nd_graph.Cgraph.mutation -> unit
+(** [update t mut] applies [mut] to the handle's graph
+    ({!Nd_graph.Cgraph.apply} — existing readers of the old view stay
+    valid) and maintains every layer so subsequent {!next}/{!test}/
+    {!seq} answers are identical to a from-scratch [prepare] on the
+    mutated graph.  [stale_threshold] (default 0.3) is the dirty
+    fraction beyond which a full re-prepare is cheaper than patching.
+
+    Sentence handles re-check the sentence; handles whose query carries
+    sentence literals keep bounded structure maintenance but reset the
+    whole solution cache (sentence truth has global reach); fallback
+    (degraded) handles swap their evaluation context and reset the
+    cache.
+
+    @raise Nd_error.User_error on out-of-range vertices/colors or a
+    self-loop. *)
+
+val update_batch : ?stale_threshold:float -> t -> Nd_graph.Cgraph.mutation list -> unit
+(** Absorb a journal of mutations in order (left to right). *)
+
+val epoch : t -> int
+(** The handle's graph epoch ({!Nd_graph.Cgraph.epoch}): number of
+    mutations absorbed since the graph was built. *)
+
+val default_stale_threshold : float
+
 val use_skip : t -> bool -> unit
 (** Ablation hook: with [false], Case I answering falls back to linear
     label-set scans instead of SKIP pointers.  No-op for sentences and
@@ -148,6 +191,8 @@ module Stats : sig
     n : int;
     m : int;
     colors : int;
+    epoch : int;  (** mutations absorbed by the handle's graph *)
+    updates : int;  (** [engine.updates] counter at snapshot time *)
     query : string;
     arity : int;
     compiled : bool;
@@ -167,6 +212,8 @@ module Stats : sig
     cache_limit : int;
     cache_complete : bool;
     degraded : bool;
+    degradation_mode : string;
+        (** ["none"], ["fallback"] or ["stale_rebuild"] *)
     degradation_reason : string option;
     paranoid : bool;
     paranoid_checks : int;  (** differential re-checks performed so far *)
@@ -226,6 +273,16 @@ module Inspect : sig
   val graph_stats :
     ?wcol_radii:int list -> Nd_graph.Cgraph.t -> graph_report
   (** Sparsity statistics ([wcol_radii] defaults to [[1; 2]]). *)
+
+  val unsafe_inject_stale_view : t -> Nd_graph.Cgraph.mutation -> unit
+  (** Fault injection for the {!Nd_ram.Chaos.Stale_view} class
+      (test/CI use only): mutate the handle's graph {e without} running
+      any of {!update}'s maintenance, leaving the answering structures
+      serving a stale view.  The handle is now {e lying}; the point is
+      to prove detection — a [~paranoid:true] handle must raise
+      [Nd_error.Internal_invariant] when an emitted tuple fails the
+      differential re-check against the current graph.  Never call this
+      outside a fault-injection harness. *)
 end
 
 (** {1 Persistence boundary}

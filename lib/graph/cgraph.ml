@@ -1,6 +1,16 @@
 open Nd_util
 
-type t = { adj : int array array; colors : Bitset.t array; m : int }
+type t = {
+  adj : int array array;
+  colors : Bitset.t array;
+  m : int;
+  epoch : int;
+}
+
+type mutation =
+  | Add_edge of int * int
+  | Remove_edge of int * int
+  | Set_color of { color : int; vertex : int; present : bool }
 
 let create ~n ?(colors = [||]) edges =
   if n < 0 then invalid_arg "Cgraph.create: negative n";
@@ -35,7 +45,8 @@ let create ~n ?(colors = [||]) edges =
       fill.(v) <- fill.(v) + 1)
     edges;
   Array.iter (Array.sort compare) adj;
-  { adj; colors = Array.map Bitset.copy colors; m = List.length edges }
+  { adj; colors = Array.map Bitset.copy colors; m = List.length edges;
+    epoch = 0 }
 
 let n g = Array.length g.adj
 let m g = g.m
@@ -87,7 +98,7 @@ let induced g xs =
         b')
       g.colors
   in
-  ({ adj; colors; m }, Array.copy xs)
+  ({ adj; colors; m; epoch = 0 }, Array.copy xs)
 
 let with_extra_colors g extra =
   Array.iter
@@ -107,6 +118,90 @@ let equal a b =
   a.adj = b.adj
   && Array.length a.colors = Array.length b.colors
   && Array.for_all2 Bitset.equal a.colors b.colors
+
+let epoch g = g.epoch
+
+let check_vertex g what v =
+  if v < 0 || v >= n g then
+    invalid_arg (Printf.sprintf "Cgraph.apply: %s vertex %d out of range" what v)
+
+let row_insert row v =
+  let len = Array.length row in
+  let i = Sorted.lower_bound row v in
+  let out = Array.make (len + 1) v in
+  Array.blit row 0 out 0 i;
+  Array.blit row i out (i + 1) (len - i);
+  out
+
+let row_delete row v =
+  let len = Array.length row in
+  let i = Sorted.lower_bound row v in
+  let out = Array.make (len - 1) 0 in
+  Array.blit row 0 out 0 i;
+  Array.blit row (i + 1) out i (len - 1 - i);
+  out
+
+let apply g mut =
+  match mut with
+  | Add_edge (u, v) ->
+      if u = v then invalid_arg "Cgraph.apply: self-loop";
+      check_vertex g "add-edge" u;
+      check_vertex g "add-edge" v;
+      if has_edge g u v then { g with epoch = g.epoch + 1 }
+      else begin
+        let adj = Array.copy g.adj in
+        adj.(u) <- row_insert adj.(u) v;
+        adj.(v) <- row_insert adj.(v) u;
+        { g with adj; m = g.m + 1; epoch = g.epoch + 1 }
+      end
+  | Remove_edge (u, v) ->
+      if u = v then invalid_arg "Cgraph.apply: self-loop";
+      check_vertex g "remove-edge" u;
+      check_vertex g "remove-edge" v;
+      if not (has_edge g u v) then { g with epoch = g.epoch + 1 }
+      else begin
+        let adj = Array.copy g.adj in
+        adj.(u) <- row_delete adj.(u) v;
+        adj.(v) <- row_delete adj.(v) u;
+        { g with adj; m = g.m - 1; epoch = g.epoch + 1 }
+      end
+  | Set_color { color; vertex; present } ->
+      check_vertex g "set-color" vertex;
+      if color < 0 || color >= color_count g then
+        invalid_arg
+          (Printf.sprintf "Cgraph.apply: color %d out of range" color);
+      let colors = Array.copy g.colors in
+      let b = Bitset.copy colors.(color) in
+      if present then Bitset.add b vertex else Bitset.remove b vertex;
+      colors.(color) <- b;
+      { g with colors; epoch = g.epoch + 1 }
+
+let mutation_vertices = function
+  | Add_edge (u, v) | Remove_edge (u, v) -> [ u; v ]
+  | Set_color { vertex; _ } -> [ vertex ]
+
+let mutation_to_string = function
+  | Add_edge (u, v) -> Printf.sprintf "add-edge %d %d" u v
+  | Remove_edge (u, v) -> Printf.sprintf "remove-edge %d %d" u v
+  | Set_color { color; vertex; present } ->
+      Printf.sprintf "set-color %d %d %s" color vertex
+        (if present then "on" else "off")
+
+let mutation_of_string s =
+  let int_of w =
+    match int_of_string_opt w with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Cgraph.mutation_of_string: %S" s)
+  in
+  match
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun w -> w <> "")
+  with
+  | [ "add-edge"; u; v ] -> Add_edge (int_of u, int_of v)
+  | [ "remove-edge"; u; v ] -> Remove_edge (int_of u, int_of v)
+  | [ "set-color"; c; v; ("on" | "off") as fl ] ->
+      Set_color { color = int_of c; vertex = int_of v; present = fl = "on" }
+  | _ -> invalid_arg (Printf.sprintf "Cgraph.mutation_of_string: %S" s)
 
 let pp fmt g =
   Format.fprintf fmt "@[<v>graph: %d vertices, %d edges, %d colors@," (n g)

@@ -61,5 +61,46 @@ val remove_vertex : t -> int -> t * int array
     operation performed on a bag after Splitter's move. *)
 
 val equal : t -> t -> bool
+(** Structural equality on adjacency and colors.  The {!epoch} counter is
+    deliberately excluded: two graphs with identical structure reached
+    through different mutation histories are [equal]. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Mutations}
+
+    The update pipeline's first layer.  A graph value stays immutable —
+    {!apply} is persistent (structure-sharing: only the touched adjacency
+    rows / color bitset are rebuilt), so existing readers of the old view
+    remain valid while the engine absorbs the change.  Each application
+    bumps the {!epoch} counter, which higher layers (engine stats, the
+    snapshot codec's stale-epoch rung) use to detect divergence. *)
+
+type mutation =
+  | Add_edge of int * int  (** add an undirected edge; idempotent *)
+  | Remove_edge of int * int  (** remove an undirected edge; idempotent *)
+  | Set_color of { color : int; vertex : int; present : bool }
+      (** set unary-relation membership [C_color(vertex)] *)
+
+val apply : t -> mutation -> t
+(** [apply g mut] is [g] with [mut] applied and [epoch] incremented.
+    O(deg) for edge mutations, O(n/word) for color mutations; [g] itself
+    is unchanged.  Raises [Invalid_argument] on out-of-range vertices or
+    colors, or on self-loops.  Adding a present edge or removing an
+    absent one is a structural no-op that still bumps the epoch. *)
+
+val epoch : t -> int
+(** Number of mutations this value has absorbed since [create]
+    (0 for freshly built graphs; derived views such as {!induced} reset
+    to 0). *)
+
+val mutation_vertices : mutation -> int list
+(** The vertices a mutation touches — the seed of the dirty region. *)
+
+val mutation_to_string : mutation -> string
+(** Wire syntax: ["add-edge U V"], ["remove-edge U V"],
+    ["set-color C V on|off"].  Inverse of {!mutation_of_string}. *)
+
+val mutation_of_string : string -> mutation
+(** Parse the wire syntax above (whitespace-tolerant).
+    Raises [Invalid_argument] on malformed input. *)

@@ -13,6 +13,37 @@ type t = {
 
 let m_bags = Metrics.counter "cover.bags"
 let m_weight = Metrics.counter "cover.weight"
+let m_patched = Metrics.counter "cover.patched_bags"
+
+(* invert a bag list + assignment into the two per-vertex views *)
+let invert ~n bags assigned =
+  let count = Array.make n 0 in
+  Array.iter (Array.iter (fun v -> count.(v) <- count.(v) + 1)) bags;
+  let bags_of = Array.init n (fun v -> Array.make count.(v) 0) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun id bag ->
+      Array.iter
+        (fun v ->
+          bags_of.(v).(fill.(v)) <- id;
+          fill.(v) <- fill.(v) + 1)
+        bag)
+    bags;
+  (* bag ids arrive in increasing order per vertex: already sorted *)
+  let members_count = Array.make (Array.length bags) 0 in
+  Array.iter
+    (fun id -> members_count.(id) <- members_count.(id) + 1)
+    assigned;
+  let assigned_members =
+    Array.init (Array.length bags) (fun id -> Array.make members_count.(id) 0)
+  in
+  let mfill = Array.make (Array.length bags) 0 in
+  Array.iteri
+    (fun v id ->
+      assigned_members.(id).(mfill.(id)) <- v;
+      mfill.(id) <- mfill.(id) + 1)
+    assigned;
+  (bags_of, assigned_members)
 
 let compute g ~r =
   if r < 0 then invalid_arg "Cover.compute: negative radius";
@@ -74,32 +105,7 @@ let compute g ~r =
   let centers = Array.of_list (List.rev !centers) in
   let radii = Array.of_list (List.rev !radii) in
   (* invert: bags containing each vertex, and vertices assigned per bag *)
-  let count = Array.make n 0 in
-  Array.iter (Array.iter (fun v -> count.(v) <- count.(v) + 1)) bags;
-  let bags_of = Array.init n (fun v -> Array.make count.(v) 0) in
-  let fill = Array.make n 0 in
-  Array.iteri
-    (fun id bag ->
-      Array.iter
-        (fun v ->
-          bags_of.(v).(fill.(v)) <- id;
-          fill.(v) <- fill.(v) + 1)
-        bag)
-    bags;
-  (* bag ids arrive in increasing order per vertex: already sorted *)
-  let members_count = Array.make (Array.length bags) 0 in
-  Array.iter
-    (fun id -> members_count.(id) <- members_count.(id) + 1)
-    assigned;
-  let assigned_members =
-    Array.init (Array.length bags) (fun id -> Array.make members_count.(id) 0)
-  in
-  let mfill = Array.make (Array.length bags) 0 in
-  Array.iteri
-    (fun v id ->
-      assigned_members.(id).(mfill.(id)) <- v;
-      mfill.(id) <- mfill.(id) + 1)
-    assigned;
+  let bags_of, assigned_members = invert ~n bags assigned in
   let t = { r; bags; centers; radii; assigned; bags_of; assigned_members } in
   Metrics.add m_bags (Array.length bags);
   Metrics.add m_weight
@@ -107,6 +113,68 @@ let compute g ~r =
   t
 
 let bag_count t = Array.length t.bags
+
+let patch g t ~dirty =
+  Budget.enter "cover";
+  let srch = Bfs.searcher g in
+  (* A vertex's assignment breaks only when its r-ball (in the mutated
+     graph) escapes its assigned bag — possible only for vertices whose
+     ball changed, i.e. members of [dirty]. *)
+  let broken =
+    List.filter
+      (fun a ->
+        Budget.tick ();
+        let ball = Bfs.sball srch a ~radius:t.r in
+        Array.exists (fun b -> not (Sorted.mem t.bags.(t.assigned.(a)) b)) ball)
+      (Array.to_list dirty)
+  in
+  if broken = [] then (t, [])
+  else begin
+    let assigned = Array.copy t.assigned in
+    let fresh = ref [] (* (id, bag, center) in increasing id order *) in
+    let next_id = ref (Array.length t.bags) in
+    let rec place = function
+      | [] -> ()
+      | a :: rest ->
+          Budget.tick ();
+          let bag = Bfs.sball srch a ~radius:(2 * t.r) in
+          let id = !next_id in
+          incr next_id;
+          fresh := (id, bag, a) :: !fresh;
+          assigned.(a) <- id;
+          (* any later broken vertex whose r-ball fits here rides along *)
+          let rest =
+            List.filter
+              (fun b ->
+                let ball_b = Bfs.sball srch b ~radius:t.r in
+                if Array.for_all (fun v -> Sorted.mem bag v) ball_b then begin
+                  assigned.(b) <- id;
+                  false
+                end
+                else true)
+              rest
+          in
+          place rest
+    in
+    place broken;
+    let fresh = List.rev !fresh in
+    let bags =
+      Array.append t.bags (Array.of_list (List.map (fun (_, b, _) -> b) fresh))
+    in
+    let centers =
+      Array.append t.centers
+        (Array.of_list (List.map (fun (_, _, c) -> c) fresh))
+    in
+    let radii =
+      Array.append t.radii
+        (Array.of_list (List.map (fun _ -> 2 * t.r) fresh))
+    in
+    let n = Array.length t.assigned in
+    let bags_of, assigned_members = invert ~n bags assigned in
+    Metrics.add m_patched (List.length fresh);
+    ( { r = t.r; bags; centers; radii; assigned; bags_of; assigned_members },
+      List.map (fun (id, _, _) -> id) fresh )
+  end
 
 let degree t =
   Array.fold_left (fun acc bs -> max acc (Array.length bs)) 0 t.bags_of

@@ -33,6 +33,21 @@ type t = {
 
 val compute : Nd_graph.Cgraph.t -> r:int -> t
 
+val patch : Nd_graph.Cgraph.t -> t -> dirty:int array -> t * int list
+(** [patch g t ~dirty] repairs the cover after [g] mutated, where
+    [dirty] is a sorted superset of the vertices whose r-balls changed.
+    Every dirty vertex whose r-ball escaped its assigned bag is
+    re-assigned to a fresh bag [N_2r(a)] (bag ids are appended; old bag
+    vertex sets are untouched, so readers of the previous cover stay
+    valid).  Returns the patched cover and the fresh bag ids.
+
+    The containment property — [N_r(a) ⊆ X(a)] for every vertex [a] —
+    is restored exactly, which is what answering correctness (Theorem
+    2.3 via Lemma 5.2) rests on.  The radius bound [X ⊆ N_s(c_X)] holds
+    for fresh bags by construction but can lapse for old bags after
+    edge {e removals} (their centers' balls shrink); that bound only
+    feeds the degree/weight accounting, never answer correctness. *)
+
 val bag_count : t -> int
 
 val degree : t -> int

@@ -6,6 +6,7 @@ type fault =
   | Redirect_child
   | Break_parent
   | Skew_cardinal
+  | Stale_view
 
 let fault_name = function
   | Dropped_add -> "dropped-add"
@@ -15,6 +16,7 @@ let fault_name = function
   | Redirect_child -> "redirect-child"
   | Break_parent -> "break-parent"
   | Skew_cardinal -> "skew-cardinal"
+  | Stale_view -> "stale-view"
 
 let structural_faults =
   [ Clear_cell; Corrupt_next; Redirect_child; Break_parent; Skew_cardinal ]
@@ -78,7 +80,11 @@ let inject c f =
         applied
   in
   match f with
-  | Dropped_add | Dropped_remove -> false
+  (* behavioral classes: dropped updates occur probabilistically, and a
+     stale view lives at the engine layer (a graph that moved on while
+     the answering structures did not) — see
+     Nd_engine.Inspect.unsafe_inject_stale_view *)
+  | Dropped_add | Dropped_remove | Stale_view -> false
   | Clear_cell -> at Store.Fault.clear_register (fun _ -> true)
   | Corrupt_next ->
       at Store.Fault.corrupt_next (function

@@ -23,6 +23,13 @@ type fault =
   | Redirect_child  (** an inner-child pointer re-aimed at the root block *)
   | Break_parent  (** a node back-pointer shifted by one *)
   | Skew_cardinal  (** the stored cardinality incremented *)
+  | Stale_view
+      (** the graph moved on while the answering structures did not — an
+          engine-level behavioral fault (an update pipeline that forgot
+          to invalidate), not a store-register one.  {!inject} always
+          returns [false] for it here; it is provoked with
+          [Nd_engine.Inspect.unsafe_inject_stale_view] and must be
+          caught by paranoid mode's differential re-checks. *)
 
 val fault_name : fault -> string
 
@@ -55,7 +62,9 @@ val inject : 'v t -> fault -> bool
 (** Force one fault of the given class now (target register chosen
     with the seeded RNG).  [false] when no applicable target exists —
     e.g. {!Redirect_child} on a trie with no inner nodes — or for the
-    dropped-update classes, which only occur probabilistically. *)
+    behavioral classes ([Dropped_*], {!Stale_view}), which are not
+    register faults: dropped updates occur probabilistically, and a
+    stale view is injected at the engine layer. *)
 
 (** {1 Accounting} *)
 

@@ -89,7 +89,14 @@ val add : 'v t -> key -> 'v -> unit
 
 val remove : 'v t -> key -> unit
 (** Remove a binding if present (Algorithms 10–12 with the child
-    back-pointer fix).  [O(n^ε)]. *)
+    back-pointer fix).  [O(n^ε)].
+
+    Removing an {e absent} key is a documented no-op: the lookup walk
+    ends at [Null] (or a [Next] redirection) before any register is
+    touched, so the structure is left {e byte-identical} — same
+    registers, same node blocks, same {!dump} — not merely logically
+    equivalent.  Callers replaying mutation journals may therefore
+    issue blind removes without first probing {!mem}. *)
 
 val iter : (key -> 'v -> unit) -> 'v t -> unit
 (** Iterate over bindings in increasing key order. *)

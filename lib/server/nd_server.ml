@@ -8,6 +8,7 @@ let m_ok = Metrics.counter "server.replies_ok"
 let m_err_user = Metrics.counter "server.errors.user"
 let m_err_budget = Metrics.counter "server.errors.budget"
 let m_err_internal = Metrics.counter "server.errors.internal"
+let m_updates = Metrics.counter "server.updates"
 let h_latency = Metrics.hist "server.request_us"
 
 type config = {
@@ -176,6 +177,39 @@ let cmd_enumerate t arg =
         (if exhausted then " complete" else "");
     ]
 
+(* Mutations invalidate the enumeration cursor: the solution order over
+   the new graph need not extend the old page sequence, so a stale
+   cursor could skip or duplicate answers.  Every successful update
+   therefore resets it; clients re-enumerate from the top. *)
+let absorb t muts =
+  with_request_budget t (fun () ->
+      List.iter (fun m -> Nd_engine.update t.eng m) muts);
+  t.cursor <- Unstarted;
+  Metrics.add m_updates (List.length muts);
+  [
+    Printf.sprintf "epoch %d applied %d%s"
+      (Nd_engine.epoch t.eng) (List.length muts)
+      (match Nd_engine.degradation t.eng with
+      | `None -> ""
+      | `Stale_rebuild _ -> " stale_rebuild"
+      | `Fallback _ -> " fallback");
+  ]
+
+let cmd_update t arg =
+  if arg = "" then Nd_error.user_errorf "update: missing mutation"
+  else absorb t [ Nd_graph.Cgraph.mutation_of_string arg ]
+
+let cmd_batch_update t arg =
+  let muts =
+    List.filter_map
+      (fun s ->
+        let s = String.trim s in
+        if s = "" then None else Some (Nd_graph.Cgraph.mutation_of_string s))
+      (String.split_on_char ';' arg)
+  in
+  if muts = [] then Nd_error.user_errorf "batch-update: no mutations given"
+  else absorb t muts
+
 let cmd_health t =
   let c = counts t in
   [
@@ -205,6 +239,9 @@ let dispatch t line =
       let r = with_request_budget t (fun () -> Nd_engine.test t.eng tup) in
       `Ok [ string_of_bool r ]
   | "enumerate" -> `Ok (cmd_enumerate t arg)
+  | "update" -> `Ok (cmd_update t arg)
+  | "batch-update" -> `Ok (cmd_batch_update t arg)
+  | "epoch" -> `Ok [ Printf.sprintf "epoch %d" (Nd_engine.epoch t.eng) ]
   | "reset" ->
       t.cursor <- Unstarted;
       `Ok []
@@ -229,7 +266,7 @@ let dispatch t line =
       | "crash" -> raise Not_found (* an untyped failure, for the catch-all *)
       | other -> Nd_error.user_errorf "inject: unknown fault class %S" other)
   | _ ->
-      Nd_error.user_errorf "unknown command %S (try next/test/enumerate/reset/stats/metrics/health/quit)"
+      Nd_error.user_errorf "unknown command %S (try next/test/enumerate/update/batch-update/epoch/reset/stats/metrics/health/quit)"
         cmd
 
 let json_escape s =

@@ -20,6 +20,9 @@
     next [T]          -> sol T' | none                 then ok
     test [T]          -> true | false                  then ok
     enumerate [k]     -> sol T (xk) , end N [complete] then ok
+    update M          -> epoch N applied 1 [mode]      then ok
+    batch-update M;M… -> epoch N applied k [mode]      then ok
+    epoch             -> epoch N                       then ok
     reset             -> (rewind the enumeration cursor) ok
     stats             -> the nd-engine-stats/1 JSON line, then ok
     metrics           -> Prometheus text exposition lines, then ok
@@ -34,6 +37,20 @@
     marks exhaustion, and [reset] rewinds.  The cursor only advances
     when a page is fully produced, so a client whose page died on a
     budget error can retry it verbatim without losing solutions.
+
+    [M] is a mutation in the {!Nd_graph.Cgraph.mutation_of_string} wire
+    syntax — [add-edge U V], [remove-edge U V], [set-color C V on|off];
+    [batch-update] takes several separated by [;].  Both verbs absorb
+    the mutation(s) through {!Nd_engine.update} (bounded maintenance,
+    falling back to a budgeted full re-prepare past the staleness
+    threshold), run under the same per-request budget as answering
+    verbs, and {e reset the enumeration cursor} — the solution order
+    over the mutated graph need not extend the old page sequence.  The
+    reply reports the new graph epoch, the number of mutations applied,
+    and, when the handle is no longer the bounded-maintenance one, a
+    trailing mode word ([stale_rebuild] — full quality, rebuilt; or
+    [fallback] — degraded).  [epoch] reads the current epoch without
+    mutating.
 
     Error classes mirror the taxonomy: [err user …] (malformed request,
     bad tuple — fix and resend), [err budget …] (the per-request budget

@@ -3,7 +3,7 @@ open Nd_graph
 open Nd_logic
 
 let magic = "FODBSNAP"
-let format_version = 1
+let format_version = 2
 let tags = [ "META"; "ENGN"; "CACH" ]
 
 let m_loads = Metrics.counter "snapshot.loads"
@@ -17,6 +17,7 @@ type corruption =
   | Bad_layout of string
   | Checksum of { section : string }
   | Mismatch of string
+  | Stale_epoch of { snapshot : int; current : int }
   | Decode of string
 
 let describe = function
@@ -31,6 +32,11 @@ let describe = function
   | Checksum { section } ->
       Printf.sprintf "checksum mismatch in section %s" section
   | Mismatch m -> "instance mismatch: " ^ m
+  | Stale_epoch { snapshot; current } ->
+      Printf.sprintf
+        "stale epoch: snapshot was taken at graph epoch %d, presented graph \
+         is at epoch %d (same structure, different mutation history)"
+        snapshot current
   | Decode m -> "decode failure: " ^ m
 
 exception C of corruption
@@ -122,6 +128,7 @@ type info = {
   graph_m : int;
   graph_colors : int;
   graph_fingerprint : int;
+  graph_epoch : int;
   cached_solutions : int;
   created : float;
   sections : section list;
@@ -203,6 +210,7 @@ let encode_meta eng =
   put_u32 b (Cgraph.m g);
   put_u32 b (Cgraph.color_count g);
   put_u32 b (fingerprint g);
+  put_u32 b (Cgraph.epoch g);
   put_f64 b (Unix.gettimeofday ());
   put_u32 b (Nd_engine.cache_size eng);
   Buffer.contents b
@@ -218,6 +226,7 @@ let decode_meta s sec ~version ~sections =
   let graph_m = get_u32 cur "meta" in
   let graph_colors = get_u32 cur "meta" in
   let graph_fingerprint = get_u32 cur "meta" in
+  let graph_epoch = get_u32 cur "meta" in
   let created = get_f64 cur "meta" in
   let cached_solutions = get_u32 cur "meta" in
   if cur.pos <> cur.stop then corrupt (Decode "meta: trailing bytes in section");
@@ -234,6 +243,7 @@ let decode_meta s sec ~version ~sections =
     graph_m;
     graph_colors;
     graph_fingerprint;
+    graph_epoch;
     cached_solutions;
     created;
     sections;
@@ -265,7 +275,16 @@ let check_meta meta ~graph ~query =
             "snapshot graph (n=%d, m=%d, fp=%08x) is not the presented graph \
              (n=%d, m=%d, fp=%08x)"
             meta.graph_n meta.graph_m meta.graph_fingerprint (Cgraph.n graph)
-            (Cgraph.m graph) (fingerprint graph)))
+            (Cgraph.m graph) (fingerprint graph)));
+  (* ABA detection: a mutate-and-revert history produces a graph that is
+     structurally identical to the snapshotted one (fingerprint and the
+     exact [Persist.import] comparison both pass) yet whose cached
+     solutions may have been observed against intermediate states.  The
+     epoch counter is the only witness, so a skew here is corruption,
+     not a match. *)
+  if meta.graph_epoch <> Cgraph.epoch graph then
+    corrupt
+      (Stale_epoch { snapshot = meta.graph_epoch; current = Cgraph.epoch graph })
 
 (* ---------------- file I/O ---------------- *)
 
@@ -391,14 +410,23 @@ let load ~path graph query =
 
 type outcome = Loaded | Rebuilt of corruption
 
-let load_or_rebuild ?epsilon ?metrics ?cache_limit ?budget ?paranoid ~path
-    graph query =
+let m_replayed = Metrics.counter "snapshot.journal_replayed"
+
+let load_or_rebuild ?epsilon ?metrics ?cache_limit ?budget ?paranoid
+    ?(journal = []) ~path graph query =
   match load ~path graph query with
-  | Ok eng -> (eng, Loaded)
+  | Ok eng ->
+      (* revive at the snapshotted state, then absorb the journal through
+         the incremental pipeline — mutations recorded since the save
+         cost bounded maintenance each, not a re-prepare *)
+      List.iter (fun m -> Nd_engine.update eng m) journal;
+      Metrics.add m_replayed (List.length journal);
+      (eng, Loaded)
   | Error c ->
       Metrics.incr m_fallbacks;
+      let g = List.fold_left Cgraph.apply graph journal in
       let eng =
-        Nd_engine.prepare ?epsilon ?metrics ?cache_limit ?budget ?paranoid
-          graph query
+        Nd_engine.prepare ?epsilon ?metrics ?cache_limit ?budget ?paranoid g
+          query
       in
       (eng, Rebuilt c)

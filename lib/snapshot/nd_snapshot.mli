@@ -9,12 +9,12 @@
     binary file, so a fresh process {!load}s in milliseconds what
     {!Nd_engine.prepare} computes in seconds.
 
-    {2 File format (version 1)}
+    {2 File format (version 2)}
 
     {v
     +----------------------+
     | magic    "FODBSNAP"  |  8 bytes
-    | version  u32 LE      |  4 bytes  (= 1)
+    | version  u32 LE      |  4 bytes  (= 2)
     | sections u32 LE      |  4 bytes  (= 3)
     +----------------------+
     | tag "META" | len u32 | crc32 u32 | payload …
@@ -25,9 +25,10 @@
 
     [META] is a hand-rolled, version-stable record: builder OCaml
     version, query text + hash, arity, epsilon, graph fingerprint
-    (n, m, colors, order-insensitive edge/color hash), creation time,
-    cached-solution count.  [ENGN] and [CACH] are marshaled
-    {!Nd_engine.Persist} values.
+    (n, m, colors, order-insensitive edge/color hash), the graph's
+    {e mutation epoch} ({!Nd_graph.Cgraph.epoch} — new in version 2),
+    creation time, cached-solution count.  [ENGN] and [CACH] are
+    marshaled {!Nd_engine.Persist} values.
 
     {2 The corruption → fallback ladder}
 
@@ -57,6 +58,12 @@ type corruption =
   | Mismatch of string
       (** Valid snapshot of the {e wrong instance}: graph fingerprint
           or query differs from what the caller presented. *)
+  | Stale_epoch of { snapshot : int; current : int }
+      (** ABA detection: the presented graph is structurally identical
+          to the snapshotted one but its mutation epoch differs — it
+          was mutated and reverted since the save, so the snapshot's
+          cached state belongs to a different history.  Structure
+          checks cannot see this; only the epoch counter can. *)
   | Decode of string
       (** A checksummed section failed to decode or cross-check. *)
 
@@ -95,6 +102,7 @@ val load_or_rebuild :
   ?cache_limit:int ->
   ?budget:Nd_util.Budget.t ->
   ?paranoid:bool ->
+  ?journal:Nd_graph.Cgraph.mutation list ->
   path:string ->
   Nd_graph.Cgraph.t ->
   Nd_logic.Fo.t ->
@@ -103,7 +111,16 @@ val load_or_rebuild :
     corruption to a fresh budgeted {!Nd_engine.prepare} (which itself
     degrades further to the naive-backed handle if the budget trips).
     The optional parameters govern only the rebuild path; a successful
-    load keeps the snapshot's own epsilon and cache. *)
+    load keeps the snapshot's own epsilon and cache.
+
+    [journal] (default [[]]) is the mutation log recorded since the
+    snapshot was saved, in application order.  The presented [graph]
+    must be the {e snapshotted} (pre-journal) one.  On a successful
+    load the journal is replayed through {!Nd_engine.update} — bounded
+    maintenance per entry instead of a re-prepare; on a rebuild the
+    journal is folded into the graph first and the handle is prepared
+    on the final state directly.  Either way the returned handle
+    answers for the post-journal graph. *)
 
 (** {1 Introspection} *)
 
@@ -125,6 +142,7 @@ type info = {
   graph_m : int;
   graph_colors : int;
   graph_fingerprint : int;
+  graph_epoch : int;  (** {!Nd_graph.Cgraph.epoch} at save time *)
   cached_solutions : int;
   created : float;  (** unix time at save *)
   sections : section list;

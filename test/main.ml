@@ -17,6 +17,7 @@ let () =
       ("paper examples", Test_paper_examples.suite);
       ("counting (GS companion result)", Test_count.suite);
       ("engine facade", Test_engine.suite);
+      ("incremental updates", Test_update.suite);
       ("metrics + cost model", Test_metrics.suite);
       ("graph spec parsing", Test_gen_spec.suite);
       ("budget", Test_budget.suite);

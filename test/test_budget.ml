@@ -24,7 +24,7 @@ let test_one_op_budget_degrades_but_stays_exact () =
   | `Fallback reason ->
       Alcotest.(check bool) "reason names a phase" true
         (String.length reason > 0)
-  | `None -> Alcotest.fail "degradation accessor says `None");
+  | `None | `Stale_rebuild _ -> Alcotest.fail "degradation accessor not `Fallback");
   (match Budget.exhausted b with
   | Some info ->
       Alcotest.(check bool) "exhausted phase recorded" true

@@ -153,10 +153,40 @@ let test_cardinal_skew_detected () =
   | Error _ -> ()
   | Ok () -> Alcotest.fail "cardinality skew passed validate"
 
+(* -------- the Stale_view class -------- *)
+
+let test_stale_view_detected () =
+  (* not a register fault: inject must decline at the store level *)
+  let c = C.create ~seed:3 (populated_store 3) in
+  Alcotest.(check bool) "store-level inject declines" false
+    (C.inject c C.Stale_view);
+  Alcotest.(check string) "named" "stale-view" (C.fault_name C.Stale_view);
+  (* engine level: a paranoid handle whose graph moved on without
+     maintenance must catch itself lying on the first stale emission *)
+  let open Nd_graph in
+  let g = Gen.randomly_color ~seed:5 ~colors:2 (Gen.grid 5 5) in
+  let phi = Nd_logic.Parse.formula "E(x,y)" in
+  let eng = Nd_engine.prepare ~paranoid:true g phi in
+  (* (0,1) is an early solution; remove that edge behind the engine's
+     back, so the stale pipeline still emits it *)
+  Nd_engine.Inspect.unsafe_inject_stale_view eng (Cgraph.Remove_edge (0, 1));
+  (match Nd_engine.to_list eng with
+  | _ -> Alcotest.fail "stale view served without paranoid detection"
+  | exception Nd_error.Internal_invariant _ -> ());
+  (* the same injection absorbed through the real update pipeline is
+     fine: paranoid stays quiet and answers are exact *)
+  let eng2 = Nd_engine.prepare ~paranoid:true g phi in
+  Nd_engine.update eng2 (Cgraph.Remove_edge (0, 1));
+  let g' = Cgraph.apply g (Cgraph.Remove_edge (0, 1)) in
+  Alcotest.(check bool) "maintained update passes paranoid" true
+    (Nd_engine.to_list eng2 = Nd_engine.to_list (Nd_engine.prepare g' phi))
+
 let suite =
   [
     Alcotest.test_case "validate on 1k random update/lookup schedule" `Quick
       test_validate_random_schedules;
+    Alcotest.test_case "stale view declined by store, caught by paranoid"
+      `Quick test_stale_view_detected;
     Alcotest.test_case "each structural fault class detected" `Quick
       test_each_fault_class_detected;
     QCheck_alcotest.to_alcotest prop_faults_detected;

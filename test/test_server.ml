@@ -512,9 +512,80 @@ let test_status_of_reply () =
       Alcotest.(check string) "message" "ops exhausted" msg
   | _ -> Alcotest.fail "err parse"
 
+(* ---------------- mutation verbs ---------------- *)
+
+let test_update_verbs () =
+  let srv, eng = make () in
+  Alcotest.(check (list string)) "epoch verb" [ "epoch 0"; "ok" ]
+    (Server.handle srv "epoch");
+  (* a mutation absorbed mid-session: epoch advances, answers track *)
+  (match Server.handle srv "update add-edge 0 24" with
+  | [ line; "ok" ] ->
+      Alcotest.(check bool) ("update reply: " ^ line) true
+        (String.length line >= 17
+        && String.sub line 0 17 = "epoch 1 applied 1")
+  | r -> Alcotest.failf "update reply: %s" (String.concat "|" r));
+  Alcotest.(check (list string)) "mutated edge now a solution"
+    [ "true"; "ok" ] (Server.handle srv "test 0,24");
+  (* batch: several mutations, one reply, epoch counts each *)
+  (match
+     Server.handle srv "batch-update remove-edge 0 24; set-color 0 3 on"
+   with
+  | [ line; "ok" ] ->
+      Alcotest.(check bool) ("batch reply: " ^ line) true
+        (String.length line >= 17
+        && String.sub line 0 17 = "epoch 3 applied 2")
+  | r -> Alcotest.failf "batch reply: %s" (String.concat "|" r));
+  Alcotest.(check (list string)) "reverted edge gone" [ "false"; "ok" ]
+    (Server.handle srv "test 0,24");
+  (* malformed mutations are user errors; the session survives *)
+  check_err "bad mutation" "user" (Server.handle srv "update frobnicate 1 2");
+  check_err "empty update" "user" (Server.handle srv "update");
+  check_err "empty batch" "user" (Server.handle srv "batch-update ;;");
+  Alcotest.(check int) "epoch unchanged by failures" 3 (Nd_engine.epoch eng);
+  check_ok "still serving" (Server.handle srv "next 0,0")
+
+let test_update_resets_cursor () =
+  let srv, eng = make () in
+  (* draw one page, mutate, then re-enumerate: the full solution set of
+     the mutated graph must come out — no skipped/duplicated answers
+     from a stale cursor *)
+  check_ok "first page" (Server.handle srv "enumerate 5");
+  check_ok "update" (Server.handle srv "update add-edge 0 24");
+  let collected = ref [] in
+  let complete = ref false in
+  while not !complete do
+    let reply = Server.handle srv "enumerate 50" in
+    check_ok "page" reply;
+    List.iter
+      (fun l ->
+        if String.length l > 4 && String.sub l 0 4 = "sol " then
+          collected := String.sub l 4 (String.length l - 4) :: !collected
+        else if
+          String.length l >= 12
+          && String.sub l 0 4 = "end "
+          && String.sub l (String.length l - 8) 8 = "complete"
+        then complete := true)
+      reply
+  done;
+  let g' =
+    Nd_graph.Cgraph.apply (graph ()) (Nd_graph.Cgraph.Add_edge (0, 24))
+  in
+  let expected =
+    List.map
+      (fun t ->
+        String.concat "," (List.map string_of_int (Array.to_list t)))
+      (Nd_engine.to_list (Nd_engine.prepare g' (Nd_engine.query eng)))
+  in
+  Alcotest.(check (list string)) "post-update enumeration complete" expected
+    (List.rev !collected)
+
 let suite =
   [
     Alcotest.test_case "basic protocol" `Quick test_basic_protocol;
+    Alcotest.test_case "update + batch-update verbs" `Quick test_update_verbs;
+    Alcotest.test_case "update resets the cursor" `Quick
+      test_update_resets_cursor;
     Alcotest.test_case "enumerate cursor pages exactly" `Quick
       test_enumerate_cursor;
     Alcotest.test_case "malformed requests survive" `Quick

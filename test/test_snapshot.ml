@@ -342,7 +342,8 @@ let test_info_and_layout () =
   match Snap.info ~path with
   | Error c -> Alcotest.failf "info: %s" (Snap.describe c)
   | Ok i ->
-      Alcotest.(check int) "version" 1 i.Snap.version;
+      Alcotest.(check int) "version" 2 i.Snap.version;
+      Alcotest.(check int) "epoch" (Cgraph.epoch g) i.Snap.graph_epoch;
       Alcotest.(check string) "query text" (Nd_logic.Fo.to_string phi) i.Snap.query;
       Alcotest.(check int) "graph n" (Cgraph.n g) i.Snap.graph_n;
       Alcotest.(check int) "graph fingerprint" (Snap.fingerprint g)
@@ -375,6 +376,78 @@ let test_atomic_overwrite () =
   Alcotest.(check int) "fingerprint ignores edge order" (Snap.fingerprint g)
     (Snap.fingerprint g_rev)
 
+(* ABA: mutate-and-revert yields a structurally identical graph with a
+   different epoch — every structural check passes, only the epoch
+   counter can reject the stale snapshot *)
+let test_stale_epoch_detected () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  ignore (Snap.save ~path eng);
+  let g' =
+    List.fold_left Cgraph.apply g
+      [ Cgraph.Add_edge (0, 24); Cgraph.Remove_edge (0, 24) ]
+  in
+  Alcotest.(check bool) "ABA structure equal" true (Cgraph.equal g g');
+  Alcotest.(check int) "ABA fingerprint equal" (Snap.fingerprint g)
+    (Snap.fingerprint g');
+  (match expect_rejected "stale epoch" path g' phi with
+  | Snap.Stale_epoch { snapshot = 0; current = 2 } -> ()
+  | c -> Alcotest.failf "expected Stale_epoch 0/2, got %s" (Snap.describe c));
+  (* same-history reload still works *)
+  match Snap.load ~path g phi with
+  | Ok _ -> ()
+  | Error c -> Alcotest.failf "same-epoch load rejected: %s" (Snap.describe c)
+
+(* a snapshot of a mutated engine records the mutated epoch, and a
+   matching mutated graph revives it *)
+let test_epoch_roundtrip_after_update () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  let mut = Cgraph.Add_edge (0, 24) in
+  Nd_engine.update eng mut;
+  let g' = Cgraph.apply g mut in
+  ignore (Snap.save ~path eng);
+  (match Snap.info ~path with
+  | Ok i -> Alcotest.(check int) "saved epoch" 1 i.Snap.graph_epoch
+  | Error c -> Alcotest.failf "info: %s" (Snap.describe c));
+  match Snap.load ~path g' phi with
+  | Error c -> Alcotest.failf "mutated-state load rejected: %s" (Snap.describe c)
+  | Ok loaded ->
+      Alcotest.(check bool) "answers match" true
+        (Nd_engine.to_list loaded = Nd_engine.to_list (Nd_engine.prepare g' phi))
+
+let test_journal_replay () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  ignore (Snap.save ~path eng);
+  let journal =
+    [
+      Cgraph.Add_edge (0, 24);
+      Cgraph.Remove_edge (0, 1);
+      Cgraph.Set_color { color = 0; vertex = 5; present = true };
+    ]
+  in
+  let g' = List.fold_left Cgraph.apply g journal in
+  (* clean load: snapshot revives at the base state, journal replays
+     through the incremental pipeline *)
+  let eng1, outcome = Snap.load_or_rebuild ~journal ~path g phi in
+  (match outcome with
+  | Snap.Loaded -> ()
+  | Snap.Rebuilt c -> Alcotest.failf "clean snapshot rebuilt: %s" (Snap.describe c));
+  Alcotest.(check int) "replayed epoch" (List.length journal)
+    (Nd_engine.epoch eng1);
+  Alcotest.(check bool) "replayed answers" true
+    (Nd_engine.to_list eng1 = Nd_engine.to_list (Nd_engine.prepare g' phi));
+  (* corrupt the file: the rebuild path must fold the journal into the
+     graph before preparing *)
+  Disk.flip_bit path ~byte:20 ~bit:0;
+  let eng2, outcome = Snap.load_or_rebuild ~journal ~path g phi in
+  (match outcome with
+  | Snap.Rebuilt _ -> ()
+  | Snap.Loaded -> Alcotest.fail "corrupt snapshot loaded");
+  Alcotest.(check bool) "rebuilt answers" true
+    (Nd_engine.to_list eng2 = Nd_engine.to_list (Nd_engine.prepare g' phi))
+
 let suite =
   [
     Alcotest.test_case "zoo round-trips (differential)" `Slow
@@ -403,6 +476,12 @@ let suite =
       test_load_or_rebuild_fallback;
     Alcotest.test_case "degraded handle refused" `Quick
       test_degraded_handle_refused;
+    Alcotest.test_case "stale epoch (ABA) detected" `Quick
+      test_stale_epoch_detected;
+    Alcotest.test_case "epoch round-trips after update" `Quick
+      test_epoch_roundtrip_after_update;
+    Alcotest.test_case "journal replay on load_or_rebuild" `Quick
+      test_journal_replay;
     Alcotest.test_case "info + layout introspection" `Quick
       test_info_and_layout;
     Alcotest.test_case "atomic overwrite + fingerprint" `Quick

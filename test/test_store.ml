@@ -146,6 +146,46 @@ let prop_differential k n epsilon =
       | Error e -> QCheck.Test.fail_report ("invariants: " ^ e));
       S.to_list t = R.to_list !r)
 
+(* the documented no-op: removing an absent key anywhere in an
+   interleaved add/remove history leaves the structure byte-identical
+   (same dump), and the surviving bindings still match the model *)
+let prop_absent_remove_noop =
+  QCheck.Test.make ~name:"remove of absent key is a byte-identical no-op"
+    ~count:80
+    QCheck.(
+      list
+        (pair (int_bound 4) (list_of_size (Gen.return 2) (int_bound 15))))
+    (fun ops ->
+      let pp_value = Format.pp_print_int in
+      let t = S.create ~n:16 ~k:2 ~epsilon:0.4 in
+      let r = ref (R.empty ~n:16 ~k:2) in
+      let step = ref 0 in
+      List.iter
+        (fun (op, key) ->
+          incr step;
+          let key = Array.of_list key in
+          match op with
+          | 0 | 1 ->
+              S.add t key !step;
+              r := R.add !r key !step
+          | 2 ->
+              S.remove t key;
+              r := R.remove !r key
+          | _ ->
+              (* blind remove, but only when the model says absent *)
+              if R.find !r key = S.Null then begin
+                let before = S.dump ~pp_value t in
+                S.remove t key;
+                if S.dump ~pp_value t <> before then
+                  QCheck.Test.fail_report
+                    "absent-key remove changed the register state"
+              end)
+        ops;
+      (match S.check_invariants t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report ("invariants: " ^ e));
+      S.to_list t = R.to_list !r)
+
 let prop_canonicalize_preserves =
   QCheck.Test.make ~name:"canonicalize preserves contents" ~count:50
     QCheck.(list (int_bound 63))
@@ -186,6 +226,7 @@ let suite =
     QCheck_alcotest.to_alcotest (prop_differential 2 16 0.5);
     QCheck_alcotest.to_alcotest (prop_differential 3 8 0.4);
     QCheck_alcotest.to_alcotest (prop_differential 2 100 0.25);
+    QCheck_alcotest.to_alcotest prop_absent_remove_noop;
     QCheck_alcotest.to_alcotest prop_canonicalize_preserves;
     QCheck_alcotest.to_alcotest prop_succ_pred;
   ]
