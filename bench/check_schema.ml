@@ -361,6 +361,90 @@ let check_update_points pts =
            mutation costs too close to a re-prepare"
           final
 
+(* the parallelism gate (DESIGN S14): field presence is enforced
+   everywhere, but the scaling assertions — prepare speedup >= 1.3 at
+   jobs=4, and 4-client serve throughput above 1-client — only bind
+   when the recording host actually had >= 4 domains to scale over.
+   On a 1-core host the worker domains merely time-share, so those
+   numbers carry no signal and the gate is vacuous by design. *)
+let check_parallel par =
+  let host =
+    match get_num "$.parallel" par "host_domains" with
+    | Some h when h >= 1. -> h
+    | Some h ->
+        err "$.parallel.host_domains: %g is not a positive count" h;
+        1.
+    | None -> 1.
+  in
+  let gate = host >= 4. in
+  (match field "$.parallel" par "prepare" with
+  | Some (Arr pts) ->
+      if List.length pts < 3 then
+        err "$.parallel.prepare: expected rows for jobs in {1,2,4}";
+      let speedups =
+        List.filter_map
+          (fun p ->
+            let path = "$.parallel.prepare[]" in
+            ignore (get_str path p "spec");
+            ignore (get_num path p "host_domains");
+            (match get_num path p "prepare_s" with
+            | Some f when f <= 0. -> err "%s.prepare_s: non-positive" path
+            | _ -> ());
+            match (get_num path p "jobs", get_num path p "speedup") with
+            | Some j, Some s -> Some (j, s)
+            | _ -> None)
+          pts
+      in
+      (match List.assoc_opt 1. speedups with
+      | Some s when Float.abs (s -. 1.) > 1e-6 ->
+          err "$.parallel.prepare: jobs=1 speedup must be 1.0, got %g" s
+      | None -> err "$.parallel.prepare: missing the jobs=1 baseline row"
+      | Some _ -> ());
+      (match List.assoc_opt 4. speedups with
+      | Some s when gate && s < 1.3 ->
+          err
+            "$.parallel.prepare: jobs=4 speedup %g < 1.3 on a %g-domain \
+             host — the bag-job fan-out is not scaling"
+            s host
+      | None -> err "$.parallel.prepare: missing the jobs=4 row"
+      | Some _ -> ())
+  | Some _ -> err "$.parallel.prepare: expected an array"
+  | None -> ());
+  match field "$.parallel" par "serve" with
+  | Some (Arr pts) ->
+      if List.length pts < 3 then
+        err "$.parallel.serve: expected rows for 1/4/16 clients";
+      let rps =
+        List.filter_map
+          (fun p ->
+            let path = "$.parallel.serve[]" in
+            ignore (get_num path p "jobs");
+            ignore (get_num path p "host_domains");
+            (match get_num path p "requests" with
+            | Some r when r <= 0. -> err "%s.requests: no requests served" path
+            | _ -> ());
+            (match get_num path p "elapsed_s" with
+            | Some f when f <= 0. -> err "%s.elapsed_s: non-positive" path
+            | _ -> ());
+            match (get_num path p "clients", get_num path p "rps") with
+            | Some c, Some r ->
+                if r <= 0. then err "%s.rps: non-positive" path;
+                Some (c, r)
+            | _ -> None)
+          pts
+      in
+      (match (List.assoc_opt 1. rps, List.assoc_opt 4. rps) with
+      | Some r1, Some r4 when gate && r4 <= r1 ->
+          err
+            "$.parallel.serve: 4-client throughput %g req/s does not beat \
+             1-client %g req/s on a %g-domain host"
+            r4 r1 host
+      | None, _ -> err "$.parallel.serve: missing the 1-client row"
+      | _, None -> err "$.parallel.serve: missing the 4-client row"
+      | Some _, Some _ -> ())
+  | Some _ -> err "$.parallel.serve: expected an array"
+  | None -> ()
+
 let check_store_point i p =
   let path = Printf.sprintf "store[%d]" i in
   ignore (get_num path p "n");
@@ -434,6 +518,10 @@ let () =
       check_update_points pts
   | Some _ -> err "$.update: expected an array"
   | None -> err "$.update: missing (the incremental-maintenance rows)");
+  (match field "$" j "parallel" with
+  | Some (Obj _ as par) -> check_parallel par
+  | Some _ -> err "$.parallel: expected an object"
+  | None -> err "$.parallel: missing (the parallelism rows)");
   match !errors with
   | [] ->
       Printf.printf "%s: schema nd-engine-bench/1 OK\n" file;

@@ -950,6 +950,143 @@ let micro_rows () =
     (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* PAR — domain-parallel prepare and the concurrent serve loop
+   (DESIGN S14).  Two trajectories, both riding along into
+   BENCH_engine.json in every mode:
+
+   - prepare wall time at jobs ∈ {1,2,4} on the mode's largest zoo
+     grid, with speedup vs jobs=1.  The prepared structure is
+     bit-identical for every job count (the test suite's differential
+     gate), so this is a pure wall-clock comparison.
+   - serve throughput (requests/s) at 1/4/16 concurrent socket
+     clients against one jobs=4 handle.
+
+   Every row records [host_domains] (Domain.recommended_domain_count):
+   on a single-core host the speedup and scaling gates are vacuous —
+   worker domains just time-share — so check_schema only enforces
+   them when host_domains >= 4. *)
+
+let host_domains = Domain.recommended_domain_count ()
+
+let par_prepare_spec () =
+  if !smoke then "grid:20x20" else if !quick then "grid:30x30"
+  else "grid:56x56"
+
+let par_prepare_points () =
+  let spec = par_prepare_spec () in
+  let g = Gen.randomly_color ~seed:5 ~colors:2 (Gen.of_spec ~seed:5 spec) in
+  let phi = Nd_logic.Parse.formula "dist(x,y) <= 2" in
+  let measure jobs =
+    let _, s = time (fun () -> Nd_engine.prepare ~jobs g phi) in
+    s
+  in
+  (* one warm-up build keeps allocator/code warm-up out of the jobs=1
+     baseline *)
+  ignore (measure 1);
+  let base = measure 1 in
+  List.map
+    (fun jobs ->
+      let s = if jobs = 1 then base else measure jobs in
+      let speedup = base /. Float.max s 1e-9 in
+      Printf.printf "  %s  jobs=%d  prepare=%s  speedup=%.2fx\n%!" spec jobs
+        (ns s) speedup;
+      Printf.sprintf
+        "{\"spec\":%S,\"jobs\":%d,\"host_domains\":%d,\"prepare_s\":%.9g,\
+         \"speedup\":%.9g}"
+        spec jobs host_domains s speedup)
+    [ 1; 2; 4 ]
+
+(* Throughput of the thread-per-connection socket loop: [clients]
+   concurrent connections each firing [per_client] point requests.
+   Request processing is serialized by the shared engine lock, so the
+   scaling under test is the connection I/O overlap. *)
+let par_serve_point ~clients eng =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nd_bench_par_%d_%d.sock" (Unix.getpid ()) clients)
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  let srv = Nd_server.create eng in
+  let th =
+    Thread.create
+      (fun () -> try Nd_server.serve_socket srv ~path with _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Nd_server.request_stop srv;
+      Thread.join th;
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let rec wait tries =
+    if Sys.file_exists path then ()
+    else if tries = 0 then failwith "bench: server socket never appeared"
+    else begin
+      Unix.sleepf 0.02;
+      wait (tries - 1)
+    end
+  in
+  wait 250;
+  let per_client = if !smoke then 50 else 300 in
+  let client () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let transport = Nd_server.Client.channel_transport ic oc in
+    for _ = 1 to per_client do
+      ignore (transport "test 0,1")
+    done;
+    ignore (transport "quit")
+  in
+  let (), elapsed =
+    time (fun () ->
+        let ths = List.init clients (fun _ -> Thread.create client ()) in
+        List.iter Thread.join ths)
+  in
+  let requests = clients * per_client in
+  let rps = float requests /. Float.max elapsed 1e-9 in
+  Printf.printf "  clients=%-2d  %d requests in %s  (%.0f req/s)\n%!" clients
+    requests (ns elapsed) rps;
+  Printf.sprintf
+    "{\"clients\":%d,\"jobs\":%d,\"host_domains\":%d,\"requests\":%d,\
+     \"elapsed_s\":%.9g,\"rps\":%.9g}"
+    clients (Nd_engine.jobs eng) host_domains requests elapsed rps
+
+let par_serve_points () =
+  let g =
+    Gen.randomly_color ~seed:5 ~colors:2
+      (Gen.of_spec ~seed:5 (if !smoke then "grid:12x12" else "grid:20x20"))
+  in
+  let phi = Nd_logic.Parse.formula "dist(x,y) <= 2" in
+  let eng = Nd_engine.prepare ~jobs:4 g phi in
+  List.map (fun clients -> par_serve_point ~clients eng) [ 1; 4; 16 ]
+
+let par_json () =
+  let prepare = String.concat "," (par_prepare_points ()) in
+  let serve = String.concat "," (par_serve_points ()) in
+  Printf.sprintf "{\"host_domains\":%d,\"prepare\":[%s],\"serve\":[%s]}"
+    host_domains prepare serve
+
+let par_rows = ref None
+
+(* memoized: the PAR experiment and the EE document share one run *)
+let par_rows_json () =
+  match !par_rows with
+  | Some j -> j
+  | None ->
+      let j = par_json () in
+      par_rows := Some j;
+      j
+
+let par_parallel () =
+  Printf.printf "  host domains detected: %d\n%!" host_domains;
+  ignore (par_rows_json ())
+
+(* ------------------------------------------------------------------ *)
 (* EE — engine trajectories: run the whole pipeline through the
    Nd_engine façade with metrics on, and serialize the cost-model
    numbers (delay/op-count trajectories, store register-touch
@@ -1118,12 +1255,16 @@ let ee_engine_json () =
   (* SN rows: snapshot persistence, measured without instrumentation so
      the prepare-vs-load comparison is what production sees *)
   let snapshot_points = List.map ee_snapshot_point (ee_snapshot_specs ()) in
+  (* PAR rows ride along in every mode: parallel prepare speedup and
+     concurrent-serve throughput, gated host-aware by check_schema *)
+  let parallel_doc = par_rows_json () in
   let mode = if !smoke then "smoke" else if !quick then "quick" else "full" in
   let doc =
     Printf.sprintf
       "{\"schema\":\"nd-engine-bench/1\",\"mode\":\"%s\",\"query\":\"%s\",\
        \"engine\":[%s],\"store\":[%s],\"budget_overhead\":[%s],\
-       \"trace_overhead\":[%s],\"snapshot\":[%s],\"update\":[%s]}"
+       \"trace_overhead\":[%s],\"snapshot\":[%s],\"update\":[%s],\
+       \"parallel\":%s}"
       mode qtext
       (String.concat "," engine_points)
       (String.concat "," store_points)
@@ -1131,6 +1272,7 @@ let ee_engine_json () =
       (String.concat "," trace_points)
       (String.concat "," snapshot_points)
       (String.concat "," update_points)
+      parallel_doc
   in
   let path = "BENCH_engine.json" in
   let oc = open_out path in
@@ -1157,6 +1299,7 @@ let experiments =
     ("A2", "ablation: index space", a2_ablation_dist);
     ("ER", "robustness: budget-probe overhead", er_budget_overhead);
     ("TR", "observability: span-tracer overhead", tr_trace_overhead);
+    ("PAR", "parallel prepare + concurrent serve", par_parallel);
     ("EE", "engine cost-model trajectories", ee_engine_json);
   ]
 
@@ -1184,9 +1327,10 @@ let () =
     else List.filter (fun (id, _, _) -> List.mem id !only) experiments
   in
   Printf.printf
-    "nowhere-enum experiment harness (%s mode) — see DESIGN.md section 3 and \
-     EXPERIMENTS.md\n"
-    (if !smoke then "smoke" else if !quick then "quick" else "full");
+    "nowhere-enum experiment harness (%s mode, %d host domains) — see \
+     DESIGN.md section 3 and EXPERIMENTS.md\n"
+    (if !smoke then "smoke" else if !quick then "quick" else "full")
+    host_domains;
   List.iter
     (fun (id, descr, fn) ->
       Printf.printf "\n########## %s — %s ##########\n%!" id descr;

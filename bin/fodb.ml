@@ -168,6 +168,23 @@ let mutations_arg =
            command then answers over the mutated graph without a \
            re-prepare.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains to fan the preprocessing bag-jobs over ($(b,0), the \
+           default, auto-detects the machine's core count).  Parallelism \
+           never changes results: the prepared structure, its answers, its \
+           cost-model ops counters and its snapshot bytes are identical \
+           for every N — only wall time varies.")
+
+let resolve_jobs jobs =
+  if jobs < 0 then
+    invalid_arg "--jobs must be >= 0 (0 auto-detects the core count)"
+  else if jobs = 0 then Domain.recommended_domain_count ()
+  else jobs
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
@@ -200,10 +217,11 @@ let run f =
    here.  Returns the handle plus an [emit] closure printing the
    requested stats report after the command body ran. *)
 let with_engine spec query colors seed epsilon stats stats_json prometheus
-    trace budget_ops timeout_ms mutations f =
+    trace budget_ops timeout_ms mutations jobs f =
  run @@ fun () ->
   let g = load spec ~colors ~seed in
   let phi = Nd_logic.Parse.formula query in
+  let jobs = resolve_jobs jobs in
   let metrics = stats || stats_json || prometheus in
   if metrics then Nd_engine.reset_metrics ();
   (match trace with Some _ -> Nd_trace.enable () | None -> ());
@@ -212,7 +230,7 @@ let with_engine spec query colors seed epsilon stats stats_json prometheus
     else Some (Nd_util.Budget.create ?max_ops:budget_ops ?timeout_ms ())
   in
   let eng, prep =
-    time (fun () -> Nd_engine.prepare ~epsilon ~metrics ?budget g phi)
+    time (fun () -> Nd_engine.prepare ~epsilon ~metrics ?budget ~jobs g phi)
   in
   if not (stats_json || prometheus) then begin
     Printf.printf "graph: %d vertices, %d edges, %d colors\n" (Cgraph.n g)
@@ -277,9 +295,9 @@ let with_engine spec query colors seed epsilon stats stats_json prometheus
 (* ---------------- subcommands ---------------- *)
 
 let enumerate spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms mutations limit =
+    budget_ops timeout_ms mutations jobs limit =
   with_engine spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms mutations (fun eng ->
+    budget_ops timeout_ms mutations jobs (fun eng ->
       let quiet = stats_json || prometheus in
       let printed = ref 0 in
       let _, t =
@@ -295,9 +313,9 @@ let enumerate spec query colors seed epsilon stats stats_json prometheus trace
         Printf.printf "%d solutions in %.3fs\n" !printed t)
 
 let count spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms mutations =
+    budget_ops timeout_ms mutations jobs =
   with_engine spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms mutations (fun eng ->
+    budget_ops timeout_ms mutations jobs (fun eng ->
       let r, t = time (fun () -> Nd_engine.count eng) in
       if not (stats_json || prometheus) then
         Printf.printf "count: %d (%.3fs, %s)\n" r.Nd_core.Count.count t
@@ -318,9 +336,9 @@ let parse_tuple tuple =
        (String.split_on_char ',' tuple))
 
 let test spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms mutations tuple =
+    budget_ops timeout_ms mutations jobs tuple =
   with_engine spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms mutations (fun eng ->
+    budget_ops timeout_ms mutations jobs (fun eng ->
       let tup = parse_tuple tuple in
       let ans, t = time (fun () -> Nd_engine.test eng tup) in
       if not (stats_json || prometheus) then
@@ -328,9 +346,9 @@ let test spec query colors seed epsilon stats stats_json prometheus trace
           (Nd_util.Tuple.to_string tup) ans t)
 
 let next spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms mutations tuple =
+    budget_ops timeout_ms mutations jobs tuple =
   with_engine spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms mutations (fun eng ->
+    budget_ops timeout_ms mutations jobs (fun eng ->
       let tup = parse_tuple tuple in
       let ans, t = time (fun () -> Nd_engine.next eng tup) in
       if not (stats_json || prometheus) then
@@ -345,9 +363,9 @@ let next spec query colors seed epsilon stats stats_json prometheus trace
    enumerate over the final graph — the demonstration that answers track
    mutations without a re-prepare *)
 let update spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms mutations mut_strs limit =
+    budget_ops timeout_ms mutations jobs mut_strs limit =
   with_engine spec query colors seed epsilon stats stats_json prometheus trace
-    budget_ops timeout_ms mutations (fun eng ->
+    budget_ops timeout_ms mutations jobs (fun eng ->
       let quiet = stats_json || prometheus in
       let muts = List.map Cgraph.mutation_of_string mut_strs in
       List.iter
@@ -447,13 +465,14 @@ let make_budget budget_ops timeout_ms =
   else Some (Nd_util.Budget.create ?max_ops:budget_ops ?timeout_ms ())
 
 let snapshot_save spec query colors seed epsilon budget_ops timeout_ms warm
-    mutations file =
+    mutations jobs file =
  run @@ fun () ->
   let g = load spec ~colors ~seed in
   let phi = Nd_logic.Parse.formula query in
   let budget = make_budget budget_ops timeout_ms in
+  let jobs = resolve_jobs jobs in
   let eng, prep =
-    time (fun () -> Nd_engine.prepare ~epsilon ?budget g phi)
+    time (fun () -> Nd_engine.prepare ~epsilon ?budget ~jobs g phi)
   in
   (* mutations first, warm after: the snapshot carries the mutated
      graph's epoch and a cache consistent with it *)
@@ -542,9 +561,9 @@ let snapshot_info file =
 
 (* ---------------- serve ---------------- *)
 
-let serve spec query colors seed epsilon snapshot_file socket
+let serve spec query colors seed epsilon snapshot_file socket backlog
     request_budget_ops request_timeout_ms max_enumerate chaos event_log_file
-    no_metrics trace =
+    no_metrics trace jobs =
  run @@ fun () ->
   (* metrics default ON in serve so the `metrics` scrape verb has
      something to report over a long session *)
@@ -564,7 +583,7 @@ let serve spec query colors seed epsilon snapshot_file socket
             Printf.eprintf "fodb serve: snapshot rejected (%s); rebuilt\n%!"
               (Nd_snapshot.describe c));
         eng
-    | None -> Nd_engine.prepare ~epsilon g phi
+    | None -> Nd_engine.prepare ~epsilon ~jobs:(resolve_jobs jobs) g phi
   in
   let event_log_oc =
     Option.map
@@ -595,7 +614,7 @@ let serve spec query colors seed epsilon snapshot_file socket
      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
    with Invalid_argument _ | Sys_error _ -> ());
   (match socket with
-  | Some path -> Nd_server.serve_socket srv ~path
+  | Some path -> Nd_server.serve_socket ~backlog srv ~path
   | None -> Nd_server.serve srv stdin stdout);
   Option.iter close_out_noerr event_log_oc;
   (match trace with
@@ -608,6 +627,45 @@ let serve spec query colors seed epsilon snapshot_file socket
     "fodb serve: %d requests (%d ok, %d user, %d budget, %d internal)\n%!"
     c.Nd_server.requests c.Nd_server.ok c.Nd_server.user_errors
     c.Nd_server.budget_errors c.Nd_server.internal_errors
+
+(* ---------------- client ---------------- *)
+
+(* The CI-facing counterpart of serve --socket: connect, send request
+   lines (positional args, else stdin), print every reply line.  Budget
+   errors retry through Nd_server.Client.call's backoff policy; a [bye]
+   terminator (quit, or a server-side stop) ends the session. *)
+let client socket requests =
+ run @@ fun () ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with Unix.Unix_error (e, _, _) ->
+     Nd_error.user_errorf "client: connect %s: %s" socket
+       (Unix.error_message e));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let transport = Nd_server.Client.channel_transport ic oc in
+  let send line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then ()
+    else
+      let r = Nd_server.Client.call transport line in
+      List.iter print_endline r.Nd_server.Client.reply;
+      flush stdout;
+      match r.Nd_server.Client.status with
+      | Nd_server.Client.Closed -> raise Exit
+      | _ -> ()
+  in
+  (try
+     match requests with
+     | _ :: _ -> List.iter send requests
+     | [] -> (
+         try
+           while true do
+             send (input_line stdin)
+           done
+         with End_of_file -> ())
+   with Exit -> ());
+  close_in_noerr ic
 
 (* ---------------- command wiring ---------------- *)
 
@@ -627,7 +685,7 @@ let query_args term =
   Term.(
     term $ graph_arg $ query_arg $ colors_arg $ seed_arg $ epsilon_arg
     $ stats_arg $ stats_json_arg $ prometheus_arg $ trace_arg $ budget_ops_arg
-    $ timeout_ms_arg $ mutations_arg)
+    $ timeout_ms_arg $ mutations_arg $ jobs_arg)
 
 let exits =
   Cmd.Exit.info 2 ~doc:"on user errors (bad graph, query or tuple)."
@@ -755,7 +813,7 @@ let cmd_snapshot =
       Term.(
         const snapshot_save $ graph_arg $ query_arg $ colors_arg $ seed_arg
         $ epsilon_arg $ budget_ops_arg $ timeout_ms_arg $ warm_arg
-        $ mutations_arg $ file_arg)
+        $ mutations_arg $ jobs_arg $ file_arg)
   in
   let load =
     Cmd.v
@@ -827,6 +885,16 @@ let chaos_arg =
           "Accept the $(b,inject) fault command (test/CI use: prove the \
            loop survives internal failures).")
 
+let backlog_arg =
+  Arg.(
+    value
+    & opt int Nd_server.default_backlog
+    & info [ "backlog" ] ~docv:"N"
+        ~doc:
+          "Kernel listen-queue depth for $(b,--socket) mode (default 64): \
+           connection bursts up to this size are queued by the kernel \
+           instead of refused.")
+
 let cmd_serve =
   Cmd.v
     (Cmd.info "serve" ~exits
@@ -843,8 +911,8 @@ let cmd_serve =
               ~doc:
                 "Load the prepared handle from this snapshot (rebuilding on \
                  any corruption) instead of preparing from scratch.")
-      $ socket_arg $ request_budget_ops_arg $ request_timeout_ms_arg
-      $ max_enumerate_arg $ chaos_arg
+      $ socket_arg $ backlog_arg $ request_budget_ops_arg
+      $ request_timeout_ms_arg $ max_enumerate_arg $ chaos_arg
       $ Arg.(
           value
           & opt (some string) None
@@ -858,7 +926,31 @@ let cmd_serve =
               ~doc:
                 "Do not enable cost-model instrumentation (the `metrics` \
                  verb then reports zeros).")
-      $ trace_arg)
+      $ trace_arg $ jobs_arg)
+
+let cmd_client =
+  Cmd.v
+    (Cmd.info "client" ~exits
+       ~doc:
+         "Connect to a running $(b,fodb serve --socket) server, send \
+          requests and print the replies.  Requests come from the \
+          positional arguments (one request line each, sent in order) or, \
+          when none are given, one per line from stdin.  Transient \
+          $(b,err budget) replies are retried with exponential backoff; \
+          a $(b,bye) terminator ends the session.")
+    Term.(
+      const client
+      $ Arg.(
+          required
+          & opt (some string) None
+          & info [ "socket" ] ~docv:"PATH"
+              ~doc:"Unix-domain socket path the server listens on.")
+      $ Arg.(
+          value & pos_all string []
+          & info [] ~docv:"REQUEST"
+              ~doc:
+                "Request lines in the serve protocol ($(b,\"next 0,0\"), \
+                 $(b,enumerate 5), $(b,epoch), $(b,quit) …)."))
 
 let () =
   let doc = "FO query enumeration over nowhere dense graphs" in
@@ -868,5 +960,5 @@ let () =
           [
             cmd_enumerate; cmd_count; cmd_test; cmd_next; cmd_update;
             cmd_cover; cmd_splitter; cmd_stats; cmd_profile; cmd_snapshot;
-            cmd_serve;
+            cmd_serve; cmd_client;
           ]))

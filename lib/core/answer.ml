@@ -81,21 +81,32 @@ let kernel_radius c = cover_radius c - c.radius
 
 (* ---------------------------------------------------------------- *)
 
-let build_compiled g (c : Compile.compiled) =
+let build_compiled ?pool g (c : Compile.compiled) =
   let k = Array.length c.vars in
   let w = { scan_steps = 0; skip_queries = 0; dist_tests = 0; local_sats = 0 } in
-  let dist = if k >= 2 then Some (Dist_index.build g ~r:c.radius) else None in
+  let dist =
+    if k >= 2 then Some (Dist_index.build ?pool g ~r:c.radius) else None
+  in
   let cover = Cover.compute g ~r:(cover_radius c) in
   let local = Local.make g cover in
   (* Materialize every bag context now: this work belongs to the
      preprocessing phase (the paper's Step 4), not to the first
-     answering calls that happen to touch a bag. *)
+     answering calls that happen to touch a bag.  Each bag's
+     materialization is an independent bag-job (it writes only that
+     bag's slot in the Local table), so a pool fans them out. *)
   Nd_trace.phase "answer.local_eval" (fun () ->
       Budget.enter "local_eval";
-      for bag = 0 to Array.length cover.Cover.bags - 1 do
+      let nb = Array.length cover.Cover.bags in
+      let mat bag =
         Budget.poll ();
         ignore (Local.bag_graph local bag)
-      done);
+      in
+      match pool with
+      | Some p when Pool.jobs p > 1 && nb > 1 -> Pool.run p ~n:nb mat
+      | _ ->
+          for bag = 0 to nb - 1 do
+            mat bag
+          done);
   (* Step 5: evaluate the sentence literals once, globally. *)
   let sentence_vals =
     Nd_trace.phase "answer.sentences" @@ fun () ->
@@ -132,10 +143,12 @@ let build_compiled g (c : Compile.compiled) =
     if needs_case1 then
       Nd_trace.phase "answer.kernels" @@ fun () ->
       Budget.enter "kernels";
+      let compute bag = Kernel.compute g ~bag ~p:(kernel_radius c) in
       Some
-        (Array.map
-           (fun bag -> Kernel.compute g ~bag ~p:(kernel_radius c))
-           cover.Cover.bags)
+        (match pool with
+        | Some p when Pool.jobs p > 1 ->
+            Pool.map_array p compute cover.Cover.bags
+        | _ -> Array.map compute cover.Cover.bags)
     else None
   in
   let kernels_of v =
@@ -154,22 +167,35 @@ let build_compiled g (c : Compile.compiled) =
     | None ->
         let n = Cgraph.n g in
         let flag = Bitset.create n in
+        let env_of v =
+          match Fo.free_vars psi with
+          | [ x ] -> [ (x, v) ]
+          | [] -> []
+          | _ -> invalid_arg "Answer: non-unary label formula"
+        in
         Nd_trace.phase "answer.labels" (fun () ->
             Budget.enter "labels";
-            Array.iteri
-              (fun bag_id members ->
-                Budget.poll ();
-                Array.iter
-                  (fun v ->
-                    if
-                      Local.sat local ~bag:bag_id psi
-                        (match Fo.free_vars psi with
-                        | [ x ] -> [ (x, v) ]
-                        | [] -> []
-                        | _ -> invalid_arg "Answer: non-unary label formula")
-                    then Bitset.add flag v)
-                  members)
-              cover.Cover.assigned_members);
+            (* Per-bag hit lists are independent bag-jobs (each touches
+               only its own bag's context and memo); the Bitset merge
+               shares words across bags, so it stays sequential, in
+               canonical bag order. *)
+            let nb = Array.length cover.Cover.assigned_members in
+            let bag_hits bag_id =
+              Budget.poll ();
+              Array.of_list
+                (List.filter
+                   (fun v -> Local.sat local ~bag:bag_id psi (env_of v))
+                   (Array.to_list cover.Cover.assigned_members.(bag_id)))
+            in
+            let hits =
+              match pool with
+              | Some p when Pool.jobs p > 1 && nb > 1 ->
+                  let out = Array.make nb [||] in
+                  Pool.run p ~n:nb (fun b -> out.(b) <- bag_hits b);
+                  out
+              | _ -> Array.init nb bag_hits
+            in
+            Array.iter (Array.iter (fun v -> Bitset.add flag v)) hits);
         let sorted = Array.of_list (Bitset.to_list flag) in
         let skip =
           match kernels with
@@ -226,9 +252,9 @@ let build_compiled g (c : Compile.compiled) =
     skip_enabled = true;
   }
 
-let build g comp =
+let build ?pool g comp =
   match comp with
-  | Compile.Compiled c -> { comp; state = C (build_compiled g c) }
+  | Compile.Compiled c -> { comp; state = C (build_compiled ?pool g c) }
   | Compile.Fallback f ->
       {
         comp;
@@ -508,7 +534,7 @@ let has_sentences t =
 let m_upd_dirty = Metrics.counter "answer.update_dirty"
 let m_upd_bags = Metrics.counter "answer.update_bags"
 
-let update_compiled s g' ~touched =
+let update_compiled ?pool s g' ~touched =
   let old_g = s.g in
   let rc = cover_radius s.c in
   (* Dirty region: every vertex whose ≤ rc-ball can differ between the
@@ -565,14 +591,37 @@ let update_compiled s g' ~touched =
       let ks' = Array.make nb [||] in
       Array.blit ks 0 ks' 0 (Array.length ks);
       let p = kernel_radius s.c in
-      List.iter
-        (fun b ->
-          Budget.poll ();
-          ks'.(b) <- Kernel.compute g' ~bag:cover'.Cover.bags.(b) ~p)
-        kernel_bags;
+      let kb = Array.of_list kernel_bags in
+      let rebuild i =
+        Budget.poll ();
+        let b = kb.(i) in
+        ks'.(b) <- Kernel.compute g' ~bag:cover'.Cover.bags.(b) ~p
+      in
+      (match pool with
+      | Some pl when Pool.jobs pl > 1 && Array.length kb > 1 ->
+          Pool.run pl ~n:(Array.length kb) rebuild
+      | _ ->
+          for i = 0 to Array.length kb - 1 do
+            rebuild i
+          done);
       s.kernels <- Some ks');
-  (* 4. bag-local contexts: drop only the changed bags' tables. *)
+  (* 4. bag-local contexts: drop only the changed bags' tables, then
+     re-materialize them eagerly through the same bag-job seam the
+     prepare phase uses — eager rather than first-use so the work (and
+     the sharded ops counters) is identical across job counts. *)
   Local.rebind s.local g' cover' ~dirty_bags:ctx_bags;
+  (let cb = Array.of_list ctx_bags in
+   let mat i =
+     Budget.poll ();
+     ignore (Local.bag_graph s.local cb.(i))
+   in
+   match pool with
+   | Some pl when Pool.jobs pl > 1 && Array.length cb > 1 ->
+       Pool.run pl ~n:(Array.length cb) mat
+   | _ ->
+       for i = 0 to Array.length cb - 1 do
+         mat i
+       done);
   (* 5. label sets: re-evaluate ψ-membership for every vertex whose
      evaluation context changed — the assigned members of changed bags
      (covers re-housed vertices: their new bag is fresh). *)
@@ -629,9 +678,9 @@ let update_compiled s g' ~touched =
       s.djs
   end
 
-let update t g' ~touched =
+let update ?pool t g' ~touched =
   match t.state with
-  | C s -> update_compiled s g' ~touched
+  | C s -> update_compiled ?pool s g' ~touched
   | F f ->
       (* the fallback evaluates directly against the graph: swap it *)
       f.fg <- g';

@@ -23,7 +23,12 @@
 
 type t
 
-val build : Nd_graph.Cgraph.t -> Compile.t -> t
+val build : ?pool:Nd_util.Pool.t -> Nd_graph.Cgraph.t -> Compile.t -> t
+(** [pool] runs the preprocessing's independent per-bag jobs (context
+    materialization, kernels, label sets) and the distance index build
+    on the pool's domains; the resulting structure — and the ops
+    counters it charges — is identical for every job count (DESIGN
+    S14). *)
 
 val graph : t -> Nd_graph.Cgraph.t
 
@@ -38,7 +43,8 @@ val next_in_last : t -> prefix:int array -> from:int -> int option
 val holds : t -> int array -> bool
 (** Corollary 2.4 for this query: test a full k-tuple. *)
 
-val update : t -> Nd_graph.Cgraph.t -> touched:int list -> unit
+val update :
+  ?pool:Nd_util.Pool.t -> t -> Nd_graph.Cgraph.t -> touched:int list -> unit
 (** Bounded-scope maintenance after a mutation.  [update t g' ~touched]
     absorbs the mutation that produced [g'] from the currently indexed
     graph, where [touched] are the mutation's endpoint vertices

@@ -30,27 +30,66 @@ type t = {
 
 type stats = { levels : int; bags : int; base_pairs : int; budget_hits : int }
 
-let build_base t g ~r =
+(* Per-job stats accumulator: parallel bag-jobs each fill their own and
+   the caller merges (sum / max — commutative, so the merged totals are
+   independent of job count and interleaving).  Kept apart from [t] so
+   no job ever writes a shared mutable field. *)
+type acc = {
+  mutable a_levels : int;
+  mutable a_bags : int;
+  mutable a_base_pairs : int;
+  mutable a_budget_hits : int;
+}
+
+let fresh_acc () =
+  { a_levels = 0; a_bags = 0; a_base_pairs = 0; a_budget_hits = 0 }
+
+let merge_acc into a =
+  into.a_levels <- max into.a_levels a.a_levels;
+  into.a_bags <- into.a_bags + a.a_bags;
+  into.a_base_pairs <- into.a_base_pairs + a.a_base_pairs;
+  into.a_budget_hits <- into.a_budget_hits + a.a_budget_hits
+
+let build_base ?pool acc g ~r =
   let n = Cgraph.n g in
-  let srch = Bfs.searcher g in
-  let balls =
-    Array.init n (fun a ->
-        let ball = Bfs.sball srch a ~radius:r in
-        let without_self =
-          Array.of_list (List.filter (fun v -> v <> a) (Array.to_list ball))
-        in
-        t.n_base_pairs <- t.n_base_pairs + Array.length without_self;
-        without_self)
+  let ball_of srch a =
+    let ball = Bfs.sball srch a ~radius:r in
+    Array.of_list (List.filter (fun v -> v <> a) (Array.to_list ball))
   in
+  let balls =
+    match pool with
+    | Some p when Pool.jobs p > 1 && n > 1 ->
+        (* block-wise rather than per-vertex so each participant
+           amortizes one BFS scratch searcher over its block; the ops
+           counted per ball do not depend on searcher reuse, so the
+           shard-summed totals match the sequential walk exactly *)
+        let out = Array.make n [||] in
+        let blocks = min n (4 * Pool.jobs p) in
+        Pool.run p ~n:blocks (fun b ->
+            let lo = b * n / blocks and hi = (b + 1) * n / blocks in
+            if lo < hi then begin
+              let srch = Bfs.searcher g in
+              for a = lo to hi - 1 do
+                out.(a) <- ball_of srch a
+              done
+            end);
+        out
+    | _ ->
+        let srch = Bfs.searcher g in
+        Array.init n (fun a -> ball_of srch a)
+  in
+  Array.iter
+    (fun b -> acc.a_base_pairs <- acc.a_base_pairs + Array.length b)
+    balls;
   Base balls
 
-let rec build_node t g ~r ~threshold ~budget ~level ~hint =
+let rec build_node ?pool acc g ~r ~threshold ~budget ~level ~hint =
   Budget.poll ();
-  t.n_levels <- max t.n_levels level;
+  acc.a_levels <- max acc.a_levels level;
   if Cgraph.n g <= threshold || budget = 0 then begin
     if budget = 0 && Cgraph.n g > threshold then
-      t.n_budget_hits <- t.n_budget_hits + 1;
-    build_base t g ~r
+      acc.a_budget_hits <- acc.a_budget_hits + 1;
+    build_base ?pool acc g ~r
   end
   else if
     (* Cost guards, from sampled ball sizes.  The explicit table costs
@@ -87,59 +126,74 @@ let rec build_node t g ~r ~threshold ~budget ~level ~hint =
     !sum_r <= max threshold (n / 32) * nprobes
     || !sum_2r > 8 * !sum_r
     || ((not !huge_r) && !huge_2r)
-  then build_base t g ~r
+  then build_base ?pool acc g ~r
   else begin
     let cover = Cover.compute g ~r in
-    t.n_bags <- t.n_bags + Cover.bag_count cover;
+    acc.a_bags <- acc.a_bags + Cover.bag_count cover;
+    (* The pure per-bag build job: reads only the (immutable) cover and
+       graph, writes only its own result and stats accumulator.  The
+       recursion below a bag stays inside the bag's job — the pool is
+       never passed down (Pool.run is not reentrant), only the top
+       level fans out. *)
+    let build_bag acc id bag =
+      let center = cover.Cover.centers.(id) in
+      let sub, to_orig = Cgraph.induced g bag in
+      let c_local =
+        match Cgraph.local_of_orig bag center with
+        | Some i -> i
+        | None -> assert false
+      in
+      (* Splitter's answer when Connector plays the bag's center *)
+      let s_local =
+        Splitter.splitter_center
+          { Splitter.graph = sub; to_orig }
+          ~connector:c_local
+      in
+      let s = to_orig.(s_local) in
+      (* rings: distance to s_X inside G[X] *)
+      let ring = Bfs.dist_upto sub s_local ~radius:r in
+      let child_vertices =
+        Array.of_list (List.filter (fun v -> v <> s) (Array.to_list bag))
+      in
+      let child_graph, _ = Cgraph.induced g child_vertices in
+      let child =
+        (* second shrinkage guard, per bag: only recurse into a
+           child at most half the current graph, so the depth is
+           logarithmic and the per-level duplication cannot
+           compound (the regime beyond this is where the paper's
+           λ-bound hides non-elementary constants) — otherwise
+           table it *)
+        if 2 * Array.length child_vertices >= Cgraph.n g then
+          build_base acc child_graph ~r
+        else begin
+          let hint =
+            if center = s then None
+            else
+              let i = Sorted.lower_bound child_vertices center in
+              if
+                i < Array.length child_vertices
+                && child_vertices.(i) = center
+              then Some i
+              else None
+          in
+          build_node acc child_graph ~r ~threshold ~budget:(budget - 1)
+            ~level:(level + 1) ~hint
+        end
+      in
+      { s; ring; child_vertices; child }
+    in
     let per_bag =
-      Array.mapi
-        (fun id bag ->
-          let center = cover.Cover.centers.(id) in
-          let sub, to_orig = Cgraph.induced g bag in
-          let c_local =
-            match Cgraph.local_of_orig bag center with
-            | Some i -> i
-            | None -> assert false
-          in
-          (* Splitter's answer when Connector plays the bag's center *)
-          let s_local =
-            Splitter.splitter_center
-              { Splitter.graph = sub; to_orig }
-              ~connector:c_local
-          in
-          let s = to_orig.(s_local) in
-          (* rings: distance to s_X inside G[X] *)
-          let ring = Bfs.dist_upto sub s_local ~radius:r in
-          let child_vertices =
-            Array.of_list (List.filter (fun v -> v <> s) (Array.to_list bag))
-          in
-          let child_graph, _ = Cgraph.induced g child_vertices in
-          let child =
-            (* second shrinkage guard, per bag: only recurse into a
-               child at most half the current graph, so the depth is
-               logarithmic and the per-level duplication cannot
-               compound (the regime beyond this is where the paper's
-               λ-bound hides non-elementary constants) — otherwise
-               table it *)
-            if 2 * Array.length child_vertices >= Cgraph.n g then
-              build_base t child_graph ~r
-            else begin
-              let hint =
-                if center = s then None
-                else
-                  let i = Sorted.lower_bound child_vertices center in
-                  if
-                    i < Array.length child_vertices
-                    && child_vertices.(i) = center
-                  then Some i
-                  else None
-              in
-              build_node t child_graph ~r ~threshold ~budget:(budget - 1)
-                ~level:(level + 1) ~hint
-            end
-          in
-          { s; ring; child_vertices; child })
-        cover.Cover.bags
+      let nb = Array.length cover.Cover.bags in
+      match pool with
+      | Some p when Pool.jobs p > 1 && nb > 1 ->
+          let out = Array.make nb None in
+          let accs = Array.init nb (fun _ -> fresh_acc ()) in
+          Pool.run p ~n:nb (fun id ->
+              out.(id) <- Some (build_bag accs.(id) id cover.Cover.bags.(id)));
+          (* merge per-bag stats in canonical bag order *)
+          Array.iter (fun a -> merge_acc acc a) accs;
+          Array.map (function Some bd -> bd | None -> assert false) out
+      | _ -> Array.mapi (fun id bag -> build_bag acc id bag) cover.Cover.bags
     in
     Rec { cover; per_bag }
   end
@@ -148,28 +202,26 @@ let m_base_pairs = Metrics.counter "dist.base_pairs"
 let m_levels = Metrics.counter "dist.levels"
 let m_tests = Metrics.counter ~ops:true "dist.tests"
 
-let build ?(base_threshold = 256) ?(depth_budget = 20) g ~r =
+let build ?pool ?(base_threshold = 256) ?(depth_budget = 20) g ~r =
   if r < 0 then invalid_arg "Dist_index.build: negative radius";
   Nd_trace.phase "dist_index.build" @@ fun () ->
   Budget.enter "dist_index";
-  let t =
-    {
-      r;
-      root = Base [||];
-      overrides = Hashtbl.create 16;
-      n_levels = 0;
-      n_bags = 0;
-      n_base_pairs = 0;
-      n_budget_hits = 0;
-    }
-  in
+  let acc = fresh_acc () in
   let root =
-    build_node t g ~r ~threshold:base_threshold ~budget:depth_budget ~level:0
-      ~hint:None
+    build_node ?pool acc g ~r ~threshold:base_threshold ~budget:depth_budget
+      ~level:0 ~hint:None
   in
-  Metrics.add m_base_pairs t.n_base_pairs;
-  Metrics.add m_levels t.n_levels;
-  { t with root }
+  Metrics.add m_base_pairs acc.a_base_pairs;
+  Metrics.add m_levels acc.a_levels;
+  {
+    r;
+    root;
+    overrides = Hashtbl.create 16;
+    n_levels = acc.a_levels;
+    n_bags = acc.a_bags;
+    n_base_pairs = acc.a_base_pairs;
+    n_budget_hits = acc.a_budget_hits;
+  }
 
 let radius t = t.r
 

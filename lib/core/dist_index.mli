@@ -23,8 +23,19 @@
 
 type t
 
-val build : ?base_threshold:int -> ?depth_budget:int -> Nd_graph.Cgraph.t -> r:int -> t
-(** Defaults: [base_threshold = 256], [depth_budget = 20]. *)
+val build :
+  ?pool:Nd_util.Pool.t ->
+  ?base_threshold:int ->
+  ?depth_budget:int ->
+  Nd_graph.Cgraph.t ->
+  r:int ->
+  t
+(** Defaults: [base_threshold = 256], [depth_budget = 20].
+
+    [pool] parallelizes the construction over bags (at the top recursion
+    level) and over base-table blocks; per-bag work and the merged stats
+    are identical to the sequential build regardless of job count (see
+    DESIGN S14). *)
 
 val radius : t -> int
 

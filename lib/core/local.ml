@@ -2,24 +2,26 @@ open Nd_graph
 open Nd_nowhere
 open Nd_logic
 
-type bag_ctx = { ctx : Nd_eval.Naive.ctx; to_orig : int array }
+(* The memo is per bag (not one table over all bags): bag contexts are
+   materialized by parallel bag-jobs, and per-bag tables mean two
+   domains working distinct bags never share a mutable structure.  It
+   also makes the per-bag work — and hence the sharded ops counters —
+   independent of which domain ran the bag, which the determinism gate
+   relies on. *)
+type bag_ctx = {
+  ctx : Nd_eval.Naive.ctx;
+  to_orig : int array;
+  memo : (Fo.t * (Fo.var * int) list, bool) Hashtbl.t;
+}
 
 type t = {
   mutable g : Cgraph.t;
   mutable cover : Cover.t;
   mutable ctxs : bag_ctx option array;
-  memo : (int * Fo.t * (Fo.var * int) list, bool) Hashtbl.t;
-  mutable materialized : int;
 }
 
 let make g cover =
-  {
-    g;
-    cover;
-    ctxs = Array.make (Array.length cover.Cover.bags) None;
-    memo = Hashtbl.create 4096;
-    materialized = 0;
-  }
+  { g; cover; ctxs = Array.make (Array.length cover.Cover.bags) None }
 
 let rebind t g cover ~dirty_bags =
   t.g <- g;
@@ -30,22 +32,24 @@ let rebind t g cover ~dirty_bags =
     Array.blit t.ctxs 0 ctxs 0 (Array.length t.ctxs);
     t.ctxs <- ctxs
   end;
+  (* dropping a bag's context drops its memo with it *)
   List.iter
     (fun b -> if b < Array.length t.ctxs then t.ctxs.(b) <- None)
-    dirty_bags;
-  let dirty = List.sort_uniq compare dirty_bags in
-  Hashtbl.filter_map_inplace
-    (fun (bag, _, _) v -> if List.mem bag dirty then None else Some v)
-    t.memo
+    dirty_bags
 
 let force t bag =
   match t.ctxs.(bag) with
   | Some c -> c
   | None ->
       let sub, to_orig = Cgraph.induced t.g t.cover.Cover.bags.(bag) in
-      let c = { ctx = Nd_eval.Naive.ctx ~cache:true sub; to_orig } in
+      let c =
+        {
+          ctx = Nd_eval.Naive.ctx ~cache:true sub;
+          to_orig;
+          memo = Hashtbl.create 64;
+        }
+      in
       t.ctxs.(bag) <- Some c;
-      t.materialized <- t.materialized + 1;
       c
 
 let bag_graph t bag =
@@ -53,11 +57,11 @@ let bag_graph t bag =
   (Nd_eval.Naive.graph c.ctx, c.to_orig)
 
 let sat t ~bag phi env =
-  let key = (bag, phi, env) in
-  match Hashtbl.find_opt t.memo key with
+  let c = force t bag in
+  let key = (phi, env) in
+  match Hashtbl.find_opt c.memo key with
   | Some b -> b
   | None ->
-      let c = force t bag in
       let local_env =
         List.map
           (fun (x, v) ->
@@ -69,7 +73,13 @@ let sat t ~bag phi env =
           env
       in
       let b = Nd_eval.Naive.sat c.ctx ~env:local_env phi in
-      Hashtbl.replace t.memo key b;
+      Hashtbl.replace c.memo key b;
       b
 
-let stats t = (t.materialized, Hashtbl.length t.memo)
+let stats t =
+  Array.fold_left
+    (fun (mat, entries) c ->
+      match c with
+      | Some c -> (mat + 1, entries + Hashtbl.length c.memo)
+      | None -> (mat, entries))
+    (0, 0) t.ctxs

@@ -4,7 +4,8 @@
     inside induced subgraphs [G★[X]] for bags [X] of a neighborhood
     cover.  This module materializes the induced subgraphs lazily, keeps
     a distance-cached {!Nd_eval.Naive} context per bag, and memoizes
-    satisfaction checks.
+    satisfaction checks in a per-bag table — parallel bag-jobs working
+    distinct bags share no mutable state (see DESIGN S14).
 
     This is the implementation substitute for the paper's per-bag
     λ-recursion (Steps 9–11 of the preprocessing) whose constants are

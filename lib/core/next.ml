@@ -25,14 +25,14 @@ let skeleton g phi =
   done;
   (g, k, vars, queries)
 
-let build g phi =
+let build ?pool g phi =
   let g, k, vars, queries = skeleton g phi in
   let answers =
     Array.init k (fun idx ->
         let q = queries.(idx) in
         let comp = Nd_trace.phase "compile" (fun () -> Compile.compile q) in
         let build () =
-          Nd_trace.phase "answer.build" (fun () -> Answer.build g comp)
+          Nd_trace.phase "answer.build" (fun () -> Answer.build ?pool g comp)
         in
         match comp with
         | Compile.Compiled _ -> Some (build ())
@@ -133,10 +133,10 @@ let test t a =
   | Some b -> Nd_util.Tuple.equal a b
   | None -> false
 
-let update t g' ~touched =
+let update ?pool t g' ~touched =
   t.g <- g';
   Array.iter
-    (function Some a -> Answer.update a g' ~touched | None -> ())
+    (function Some a -> Answer.update ?pool a g' ~touched | None -> ())
     t.answers
 
 let influence_radius t =

@@ -14,8 +14,10 @@
 
 type t
 
-val build : Nd_graph.Cgraph.t -> Nd_logic.Fo.t -> t
-(** The query must have arity ≥ 1. *)
+val build : ?pool:Nd_util.Pool.t -> Nd_graph.Cgraph.t -> Nd_logic.Fo.t -> t
+(** The query must have arity ≥ 1.  [pool] parallelizes each level's
+    preprocessing over its independent bag-jobs (see {!Answer.build});
+    the built structure is identical for every job count. *)
 
 val build_fallback : Nd_graph.Cgraph.t -> Nd_logic.Fo.t -> reason:string -> t
 (** A handle over the same interface that skips all preprocessing and
@@ -44,7 +46,8 @@ val first : t -> int array option
 val test : t -> int array -> bool
 (** Corollary 2.4. *)
 
-val update : t -> Nd_graph.Cgraph.t -> touched:int list -> unit
+val update :
+  ?pool:Nd_util.Pool.t -> t -> Nd_graph.Cgraph.t -> touched:int list -> unit
 (** Absorb one mutation into every compiled projection level (see
     {!Answer.update}); [g'] must be exactly one
     {!Nd_graph.Cgraph.apply} step from the currently indexed graph.

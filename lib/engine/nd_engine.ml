@@ -35,6 +35,7 @@ type t = {
   k : int;
   epsilon : float;
   cache_limit : int;
+  jobs : int;
   mutable kind : kind;
   mutable degradation : degradation;
   budget : Budget.t option;
@@ -44,6 +45,13 @@ type t = {
 }
 
 let default_cache_limit = 100_000
+
+(* Pools are with-scoped, never stored on the handle: a handle's
+   lifetime is unbounded and domains are a scarce resource (the runtime
+   caps them around 128), so each prepare/update spins its workers up
+   and joins them before returning. *)
+let with_jobs jobs f =
+  if jobs > 1 then Pool.with_pool ~jobs (fun p -> f (Some p)) else f None
 
 (* Run [f] with the ambient budget masked: paranoid cross-checks and
    degraded-handle construction are correctness machinery, not work the
@@ -66,22 +74,24 @@ let make_cache ~cache_limit ~epsilon g k =
   else None
 
 let prepare ?(epsilon = 0.5) ?(metrics = false) ?(cache_limit = default_cache_limit)
-    ?budget ?(paranoid = false) g phi =
+    ?budget ?(paranoid = false) ?(jobs = 1) g phi =
   if metrics then Metrics.enable ();
   if cache_limit < 0 then invalid_arg "Nd_engine.prepare: negative cache_limit";
+  if jobs < 1 then invalid_arg "Nd_engine.prepare: jobs must be >= 1";
   let k = Fo.arity phi in
-  let full_prepare () =
+  let full_prepare pool () =
     Nd_trace.phase "engine.prepare" @@ fun () ->
     if k = 0 then Sentence (Nd_core.Tester.build g phi)
     else
-      let nx = Nd_core.Next.build g phi in
+      let nx = Nd_core.Next.build ?pool g phi in
       Query { nx; cache = make_cache ~cache_limit ~epsilon g k }
   in
   let kind, degradation =
+    with_jobs jobs @@ fun pool ->
     match budget with
-    | None -> (full_prepare (), `None)
+    | None -> (full_prepare pool (), `None)
     | Some b -> (
-        match Budget.with_budget b full_prepare with
+        match Budget.with_budget b (full_prepare pool) with
         | Ok kind -> (kind, `None)
         | Error info ->
             (* Preprocessing ran out of resources: degrade to an exact
@@ -105,6 +115,7 @@ let prepare ?(epsilon = 0.5) ?(metrics = false) ?(cache_limit = default_cache_li
     k;
     epsilon;
     cache_limit;
+    jobs;
     kind;
     degradation;
     budget;
@@ -117,6 +128,7 @@ let graph t = t.g
 let query t = t.phi
 let arity t = t.k
 let epsilon t = t.epsilon
+let jobs t = t.jobs
 
 let degradation t = t.degradation
 
@@ -399,20 +411,21 @@ let validate_mutation t mut =
    of the degradation ladder.  Budgeted like the original prepare; if
    even that is exhausted we fall one rung further, to `Fallback. *)
 let stale_rebuild t reason =
-  let full_prepare () =
+  let full_prepare pool () =
     Nd_trace.phase "engine.prepare" @@ fun () ->
     if t.k = 0 then Sentence (Nd_core.Tester.build t.g t.phi)
     else
-      let nx = Nd_core.Next.build t.g t.phi in
+      let nx = Nd_core.Next.build ?pool t.g t.phi in
       Query { nx; cache = make_cache ~cache_limit:t.cache_limit ~epsilon:t.epsilon t.g t.k }
   in
   Metrics.incr m_stale_rebuilds;
+  with_jobs t.jobs @@ fun pool ->
   match t.budget with
   | None ->
-      t.kind <- full_prepare ();
+      t.kind <- full_prepare pool ();
       t.degradation <- `Stale_rebuild reason
   | Some b -> (
-      match Budget.with_budget b full_prepare with
+      match Budget.with_budget b (full_prepare pool) with
       | Ok kind ->
           t.kind <- kind;
           t.degradation <- `Stale_rebuild reason
@@ -503,7 +516,10 @@ let update ?(stale_threshold = default_stale_threshold) t mut =
                  (float_of_int (List.length reach) /. float_of_int n)
                  stale_threshold)
           else begin
-            Nd_core.Next.update q.nx g' ~touched;
+            (* a short-lived pool per update: the dirty set re-runs the
+               same bag-jobs the prepare phase fanned out *)
+            with_jobs t.jobs (fun pool ->
+                Nd_core.Next.update ?pool q.nx g' ~touched);
             if Nd_core.Next.has_sentences q.nx then
               (* sentence truth is global: no bounded cache region *)
               reset_cache t q
@@ -932,6 +948,7 @@ module Persist = struct
               k = 0;
               epsilon = p.p_epsilon;
               cache_limit = p.p_cache_limit;
+              jobs = 1;
               kind = Sentence ts;
               degradation = `None;
               budget = None;
@@ -948,6 +965,7 @@ module Persist = struct
               k;
               epsilon = p.p_epsilon;
               cache_limit = p.p_cache_limit;
+              jobs = 1;
               kind = Query { nx; cache };
               degradation = `None;
               budget = None;

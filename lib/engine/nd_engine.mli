@@ -45,11 +45,20 @@ val prepare :
   ?cache_limit:int ->
   ?budget:Nd_util.Budget.t ->
   ?paranoid:bool ->
+  ?jobs:int ->
   Nd_graph.Cgraph.t ->
   Nd_logic.Fo.t ->
   t
 (** [prepare g phi] preprocesses [g] for [phi] (any arity; sentences
     are handled by model checking, as in Theorem 5.3).
+
+    [jobs] (default 1) fans the preprocessing's independent per-bag
+    jobs out over that many domains ({!Nd_util.Pool}); the prepared
+    structure, every answer it gives, and the deterministic ops
+    counters are identical for every job count (DESIGN S14).  The
+    worker domains live only for the duration of the build; later
+    {!update} calls re-spawn them for their dirty set.
+    @raise Invalid_argument when [jobs < 1].
 
     [epsilon] (default 0.5) sizes the solution store ([d = ⌈n^ε⌉]).
     [metrics] (default false) enables the global {!Nd_util.Metrics}
@@ -84,6 +93,10 @@ val graph : t -> Nd_graph.Cgraph.t
 val query : t -> Nd_logic.Fo.t
 val arity : t -> int
 val epsilon : t -> float
+
+val jobs : t -> int
+(** The job count the handle was prepared with (1 for loaded
+    snapshots); {!update} reuses it for its dirty-set bag-jobs. *)
 
 val compiled : t -> bool
 (** Whether the top-level query lies in the compiled (guarded-local)

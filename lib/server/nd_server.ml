@@ -38,17 +38,28 @@ type counts = {
   internal_errors : int;
 }
 
-type t = {
-  eng : Nd_engine.t;
-  config : config;
-  mutable cursor : cursor;
-  mutable quit : bool;
-  mutable stop : bool;
+(* State shared by every session over one engine handle: the lock
+   serializing request processing (one prepared handle, many
+   connections — answering mutates the solution cache, so requests are
+   dispatched one at a time while connection I/O overlaps freely), the
+   process-wide stop flag, and the request accounting.  All fields
+   besides [stop] are touched only under [lock]. *)
+type shared = {
+  lock : Mutex.t;
+  stop : bool ref;
   mutable c_requests : int;
   mutable c_ok : int;
   mutable c_user : int;
   mutable c_budget : int;
   mutable c_internal : int;
+}
+
+type t = {
+  eng : Nd_engine.t;
+  config : config;
+  sh : shared;
+  mutable cursor : cursor;
+  mutable quit : bool;
 }
 
 let create ?(config = default_config) eng =
@@ -57,28 +68,37 @@ let create ?(config = default_config) eng =
   {
     eng;
     config;
+    sh =
+      {
+        lock = Mutex.create ();
+        stop = ref false;
+        c_requests = 0;
+        c_ok = 0;
+        c_user = 0;
+        c_budget = 0;
+        c_internal = 0;
+      };
     cursor = Unstarted;
     quit = false;
-    stop = false;
-    c_requests = 0;
-    c_ok = 0;
-    c_user = 0;
-    c_budget = 0;
-    c_internal = 0;
   }
+
+(* A per-connection session: own enumeration cursor and quit flag,
+   everything else (engine, config, lock, stop, counters) shared with
+   the parent. *)
+let session t = { t with cursor = Unstarted; quit = false }
 
 let counts t =
   {
-    requests = t.c_requests;
-    ok = t.c_ok;
-    user_errors = t.c_user;
-    budget_errors = t.c_budget;
-    internal_errors = t.c_internal;
+    requests = t.sh.c_requests;
+    ok = t.sh.c_ok;
+    user_errors = t.sh.c_user;
+    budget_errors = t.sh.c_budget;
+    internal_errors = t.sh.c_internal;
   }
 
 let quitting t = t.quit
 
-let request_stop t = t.stop <- true
+let request_stop t = t.sh.stop := true
 
 (* ---------------- request parsing / formatting ---------------- *)
 
@@ -287,9 +307,14 @@ let handle t line =
   let line = String.trim line in
   if line = "" then []
   else begin
-    t.c_requests <- t.c_requests + 1;
+    (* the lock spans parsing through reply construction: the engine
+       handle, the shared counters, the global budget slot and the
+       tracer's span stack are all single-writer under it; only the
+       connection I/O runs outside *)
+    Mutex.protect t.sh.lock @@ fun () ->
+    t.sh.c_requests <- t.sh.c_requests + 1;
     Metrics.incr m_requests;
-    let rid = t.c_requests in
+    let rid = t.sh.c_requests in
     let cmd, _ = split_command line in
     (* span = the tracer's id for this request (0 with tracing off);
        stamped with rid into every error terminator and event-log line
@@ -312,30 +337,30 @@ let handle t line =
          to an error reply, never to a dead loop. *)
       match dispatch t line with
       | `Ok lines ->
-          t.c_ok <- t.c_ok + 1;
+          t.sh.c_ok <- t.sh.c_ok + 1;
           Metrics.incr m_ok;
           lines @ [ "ok" ]
       | `Bye ->
           status := "bye";
           [ "bye" ]
       | exception (Nd_error.User_error m | Invalid_argument m | Failure m) ->
-          t.c_user <- t.c_user + 1;
+          t.sh.c_user <- t.sh.c_user + 1;
           Metrics.incr m_err_user;
           [ err "user" m ]
       | exception Nd_error.Budget_exceeded info ->
-          t.c_budget <- t.c_budget + 1;
+          t.sh.c_budget <- t.sh.c_budget + 1;
           Metrics.incr m_err_budget;
           [ err "budget" (Nd_error.describe_budget info) ]
       | exception Nd_error.Internal_invariant m ->
-          t.c_internal <- t.c_internal + 1;
+          t.sh.c_internal <- t.sh.c_internal + 1;
           Metrics.incr m_err_internal;
           [ err "internal" m ]
       | exception Stack_overflow ->
-          t.c_internal <- t.c_internal + 1;
+          t.sh.c_internal <- t.sh.c_internal + 1;
           Metrics.incr m_err_internal;
           [ err "internal" "stack overflow in request handler" ]
       | exception e ->
-          t.c_internal <- t.c_internal + 1;
+          t.sh.c_internal <- t.sh.c_internal + 1;
           Metrics.incr m_err_internal;
           [ err "internal" ("uncaught exception: " ^ Printexc.to_string e) ]
     in
@@ -364,7 +389,7 @@ let serve t ic oc =
     flush oc
   in
   let rec loop () =
-    if t.stop then emit [ "bye" ]
+    if !(t.sh.stop) then emit [ "bye" ]
     else
       match input_line ic with
       | exception End_of_file -> ()
@@ -372,11 +397,22 @@ let serve t ic oc =
           (* the reply is written and flushed in full before the stop
              flag is consulted: that is the drain guarantee *)
           emit (handle t line);
-          if t.quit then () else if t.stop then emit [ "bye" ] else loop ()
+          if t.quit then ()
+          else if !(t.sh.stop) then emit [ "bye" ]
+          else loop ()
   in
   loop ()
 
-let serve_socket t ~path =
+let default_backlog = 64
+
+(* Thread-per-connection accept loop.  Sys-threads (one domain) are the
+   right tool here: requests serialize on the engine lock anyway, so
+   the concurrency win is connection I/O overlap, and threads keep
+   blocking channel reads simple.  [quit] is connection-scoped in
+   socket mode (it closes that client's session); {!request_stop} is
+   what ends the server. *)
+let serve_socket ?(backlog = default_backlog) t ~path =
+  if backlog < 1 then invalid_arg "Nd_server.serve_socket: backlog must be >= 1";
   (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -385,21 +421,49 @@ let serve_socket t ~path =
       try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
   @@ fun () ->
   Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 8;
+  Unix.listen sock backlog;
+  (* live_fds: connections still open, so a stopping server can unblock
+     their readers; threads: every connection thread ever spawned,
+     joined before returning (joining a finished thread is free).  Both
+     under [reg_m]; a connection thread removes its own fd before
+     closing it, so the shutdown sweep never touches a recycled
+     descriptor. *)
+  let reg_m = Mutex.create () in
+  let live_fds = ref [] in
+  let threads = ref [] in
+  let conn fd =
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (try serve (session t) ic oc with Sys_error _ -> ());
+    (try flush oc with Sys_error _ -> ());
+    Mutex.protect reg_m (fun () ->
+        live_fds := List.filter (fun fd' -> fd' != fd) !live_fds);
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
   let rec accept_loop () =
-    if t.stop || t.quit then ()
+    if !(t.sh.stop) then ()
     else
-      match Unix.accept sock with
+      (* wake periodically so request_stop is honored even while no
+         client is connecting *)
+      match Unix.select [ sock ] [] [] 0.2 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-      | fd, _ ->
-          let ic = Unix.in_channel_of_descr fd in
-          let oc = Unix.out_channel_of_descr fd in
-          (try serve t ic oc with Sys_error _ -> ());
-          (try flush oc with Sys_error _ -> ());
-          (try Unix.close fd with Unix.Unix_error _ -> ());
+      | [], _, _ -> accept_loop ()
+      | _ ->
+          (match Unix.accept sock with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | fd, _ ->
+              Mutex.protect reg_m (fun () -> live_fds := fd :: !live_fds);
+              threads := Thread.create conn fd :: !threads);
           accept_loop ()
   in
-  accept_loop ()
+  accept_loop ();
+  (* drain: unblock every connection still waiting on a request line
+     (their loops emit a final [bye]), then wait for them to finish *)
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    (Mutex.protect reg_m (fun () -> !live_fds));
+  List.iter Thread.join !threads
 
 (* ---------------- client ---------------- *)
 

@@ -103,9 +103,18 @@ type config = {
 val default_config : config
 
 type t
-(** A serving session: engine handle + config + counters + cursor. *)
+(** A serving session: engine handle + config + shared counters +
+    per-session enumeration cursor.  Sessions over the same engine
+    (see {!session}) share one request lock: request processing is
+    serialized against the (single, immutable-prepared) handle, while
+    each connection's I/O proceeds concurrently. *)
 
 val create : ?config:config -> Nd_engine.t -> t
+
+val session : t -> t
+(** A new session sharing [t]'s engine, config, request lock, stop flag
+    and counters, with a fresh enumeration cursor and quit state —
+    one per client connection ({!serve_socket} makes these itself). *)
 
 val handle : t -> string -> string list
 (** Process one request line; never raises.  Empty/blank lines yield
@@ -121,26 +130,41 @@ type counts = {
 }
 
 val counts : t -> counts
-(** Served-request accounting (independent of {!Nd_util.Metrics}, which
-    mirrors these as counters plus a latency histogram when enabled). *)
+(** Served-request accounting, aggregated over every session sharing
+    this engine (independent of {!Nd_util.Metrics}, which mirrors these
+    as counters plus a latency histogram when enabled). *)
 
 val quitting : t -> bool
 (** A [quit] was served (the loop should end after its reply). *)
 
 val request_stop : t -> unit
-(** Ask the loop to stop gracefully: the in-flight request finishes and
-    its reply is fully written (the drain guarantee), then the loop
-    closes with [bye] instead of reading further requests.  Safe to
-    call from a signal handler. *)
+(** Ask every loop sharing this engine to stop gracefully: in-flight
+    requests finish and their replies are fully written (the drain
+    guarantee), then each loop closes with [bye] instead of reading
+    further requests.  Safe to call from a signal handler. *)
 
 val serve : t -> in_channel -> out_channel -> unit
 (** Run the loop until [quit], EOF, or {!request_stop}.  Replies are
     flushed after every request. *)
 
-val serve_socket : t -> path:string -> unit
-(** Serve over a Unix-domain socket (clients sequentially, one at a
-    time).  [quit] or {!request_stop} ends the server; the socket file
-    is removed on the way out. *)
+val default_backlog : int
+(** Default [backlog] for {!serve_socket} (64). *)
+
+val serve_socket : ?backlog:int -> t -> path:string -> unit
+(** Serve over a Unix-domain socket, {e one thread per connection}:
+    every accepted client gets its own {!session} (own enumeration
+    cursor), and all sessions answer through the shared request lock
+    against the one prepared handle, so concurrent clients are safe and
+    their connection I/O overlaps.  [backlog] (default
+    {!default_backlog}) is the kernel listen queue — connection bursts
+    up to that size are queued instead of refused.
+
+    In socket mode [quit] is {e connection-scoped}: it closes that
+    client's session and leaves the server (and other clients) running.
+    {!request_stop} ends the server: it stops accepting, drains every
+    connection, joins their threads, and removes the socket file on the
+    way out.
+    @raise Invalid_argument when [backlog < 1]. *)
 
 (** {1 Client harness}
 

@@ -8,6 +8,7 @@ type span = {
   ts_us : int;
   dur_us : int;
   ops : int;
+  dom : int;
 }
 
 (* ---------------- state ---------------- *)
@@ -17,15 +18,23 @@ let default_capacity = 4096
 let on = ref false
 
 (* Ring of completed spans: [ring.(head)] is the oldest slot when full;
-   [count] <= capacity, [head] is the next write position. *)
+   [count] <= capacity, [head] is the next write position.  Guarded by
+   [rm]: spans complete on whichever domain opened them (parallel
+   bag-jobs trace cover construction, for instance), and sys-threads of
+   a concurrent serve loop record too. *)
+let rm = Mutex.create ()
 let ring : span array ref = ref [||]
 let head = ref 0
 let count = ref 0
 let dropped_n = ref 0
 
-let next_sid = ref 0
+let next_sid = Atomic.make 0
 
-(* Open-span stack (innermost first). *)
+(* Open-span stack (innermost first), per domain: nesting follows the
+   dynamic call structure *of that domain*, so a bag-job's spans parent
+   onto each other, never across domains (the fan-out span on the main
+   domain is closed only after the join, so cross-domain parenting
+   would be ill-founded anyway). *)
 type open_span = {
   o_sid : int;
   o_parent : int;
@@ -35,7 +44,10 @@ type open_span = {
   o_ops0 : int;
 }
 
-let stack : open_span list ref = ref []
+let stack_key : open_span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 (* Losses are mirrored into the shared registry so a scrape sees them;
    the counter never carries ~ops (tracer bookkeeping is not machine
@@ -45,10 +57,13 @@ let c_dropped = Metrics.counter "trace.dropped"
 (* ---------------- monotonic microsecond clock ---------------- *)
 
 (* No monotonic clock in the stdlib/unix we link against; clamp wall
-   time so ts never steps backwards (trace viewers require it). *)
-let last_us = ref 0
+   time so ts never steps backwards (trace viewers require it).  The
+   clamp is per domain — each domain is its own timeline lane in the
+   Chrome export, and lanes only need to be monotonic individually. *)
+let last_us_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let now_us () =
+  let last_us = Domain.DLS.get last_us_key in
   let t = int_of_float (Unix.gettimeofday () *. 1e6) in
   let t = if t < !last_us then !last_us else t in
   last_us := t;
@@ -58,32 +73,35 @@ let now_us () =
 
 let reset_ring cap =
   ring := Array.make cap { sid = 0; parent = 0; name = ""; attrs = [];
-                           ts_us = 0; dur_us = 0; ops = 0 };
+                           ts_us = 0; dur_us = 0; ops = 0; dom = 0 };
   head := 0;
   count := 0;
   dropped_n := 0
 
 let enable ?(capacity = default_capacity) () =
   if capacity <= 0 then invalid_arg "Nd_trace.enable: capacity must be positive";
-  if Array.length !ring <> capacity then reset_ring capacity;
+  Mutex.protect rm (fun () ->
+      if Array.length !ring <> capacity then reset_ring capacity);
   on := true
 
 let disable () =
   on := false;
-  stack := []
+  stack () := []
 
 let enabled () = !on
 
 let clear () =
-  let cap =
-    if Array.length !ring = 0 then default_capacity else Array.length !ring
-  in
-  reset_ring cap;
-  stack := []
+  Mutex.protect rm (fun () ->
+      let cap =
+        if Array.length !ring = 0 then default_capacity else Array.length !ring
+      in
+      reset_ring cap);
+  stack () := []
 
 let dropped () = !dropped_n
 
 let record sp =
+  Mutex.protect rm @@ fun () ->
   let cap = Array.length !ring in
   if cap = 0 then ()
   else begin
@@ -97,6 +115,7 @@ let record sp =
   end
 
 let spans () =
+  Mutex.protect rm @@ fun () ->
   let n = !count in
   if n = 0 then []
   else begin
@@ -108,16 +127,16 @@ let spans () =
 (* ---------------- spans ---------------- *)
 
 let current_span_id () =
-  match !stack with [] -> 0 | o :: _ -> o.o_sid
+  match !(stack ()) with [] -> 0 | o :: _ -> o.o_sid
 
 let with_span name ?(attrs = []) f =
   if not !on then f ()
   else begin
-    incr next_sid;
+    let stack = stack () in
     let o =
       {
-        o_sid = !next_sid;
-        o_parent = current_span_id ();
+        o_sid = Atomic.fetch_and_add next_sid 1 + 1;
+        o_parent = (match !stack with [] -> 0 | o :: _ -> o.o_sid);
         o_name = name;
         o_attrs = attrs;
         o_ts = now_us ();
@@ -141,6 +160,7 @@ let with_span name ?(attrs = []) f =
               ts_us = o.o_ts;
               dur_us = max 0 (t1 - o.o_ts);
               ops = max 0 (Metrics.ops () - o.o_ops0);
+              dom = (Domain.self () :> int);
             })
       f
   end
@@ -173,7 +193,9 @@ let export_chrome () =
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b "{\"name\":\"";
       buf_escape b sp.name;
-      Buffer.add_string b "\",\"cat\":\"fodb\",\"ph\":\"X\",\"pid\":1,\"tid\":1";
+      Buffer.add_string b
+        (Printf.sprintf "\",\"cat\":\"fodb\",\"ph\":\"X\",\"pid\":1,\"tid\":%d"
+           (sp.dom + 1));
       Buffer.add_string b (Printf.sprintf ",\"ts\":%d,\"dur\":%d" sp.ts_us sp.dur_us);
       Buffer.add_string b
         (Printf.sprintf ",\"args\":{\"sid\":%d,\"parent\":%d,\"ops\":%d" sp.sid

@@ -28,8 +28,15 @@
     long session keeps the recent past at a fixed memory ceiling.
 
     Timestamps are microseconds on a clock forced to be monotonically
-    non-decreasing within the process (wall readings that step
-    backwards are clamped), which is what the trace viewers require. *)
+    non-decreasing within each domain (wall readings that step
+    backwards are clamped), which is what the trace viewers require.
+
+    The tracer is domain-safe: open-span stacks are per domain (nesting
+    follows each domain's own dynamic call structure — a parallel
+    bag-job's spans parent onto each other, never across domains), span
+    ids come from one process-wide atomic, and the completed-span ring
+    is lock-protected.  Each span records the domain it ran on, which
+    becomes its timeline lane ([tid]) in the Chrome export. *)
 
 (** {1 The tracer} *)
 
@@ -43,6 +50,7 @@ type span = {
   ops : int;
       (** {!Nd_util.Metrics.ops} advance during the span — the span's
           cost in the machine model (0 when metrics are disabled) *)
+  dom : int;  (** id of the domain the span ran on (0 = main) *)
 }
 
 val enable : ?capacity:int -> unit -> unit

@@ -111,7 +111,12 @@ let enter p =
 
 let probe_period = 32
 
-let ticks = ref 0
+(* Per-domain tick counters: worker domains running bag-jobs probe the
+   shared installed budget on their own cadence without contending (or
+   racing) on a global counter.  The ops clock they check against is
+   the shard-summed [Metrics.ops], so a budget watches the *total* work
+   of all domains, just as it watched the single domain before. *)
+let ticks_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let tick () =
   match !slot with
@@ -121,6 +126,7 @@ let tick () =
          after exhaustion no cooperative work may proceed *)
       if b.exhausted <> None then check b
       else begin
+        let ticks = Domain.DLS.get ticks_key in
         incr ticks;
         if !ticks land (probe_period - 1) = 0 then check b
       end
@@ -132,8 +138,9 @@ let with_budget b f =
     slot := prev;
     (* the scope may have died anywhere in the amortization window;
        realign so the next scope's first probe_period ticks are not
-       silently inherited from this one *)
-    ticks := 0
+       silently inherited from this one (worker domains keep their own
+       counters — misalignment there only shifts probe cadence) *)
+    Domain.DLS.get ticks_key := 0
   in
   match f () with
   | v ->

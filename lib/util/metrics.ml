@@ -4,60 +4,120 @@ let enable () = on := true
 let disable () = on := false
 let enabled () = !on
 
+(* ---------------- domain shards ---------------- *)
+
+(* Every counter and phase timer is an array of [max_slots] cells; a
+   domain only ever writes the cell of its own slot (slot 0 for the main
+   domain, assigned by Pool for workers), and reported values are the
+   cell sums.  Integer sums commute, so as long as the same multiset of
+   increments happens — which the pure bag-job decomposition guarantees —
+   the totals are bit-identical regardless of how many domains ran the
+   work or how their chunks interleaved. *)
+let max_slots = 64
+
+let slot_key = Domain.DLS.new_key (fun () -> 0)
+
+let set_slot s =
+  if s < 0 || s >= max_slots then
+    invalid_arg (Printf.sprintf "Metrics.set_slot: slot %d out of [0, %d)" s max_slots);
+  Domain.DLS.set slot_key s
+
+let slot () = Domain.DLS.get slot_key
+
+(* One lock guards registry structure (the find-or-create tables),
+   histogram cells, reset and snapshot.  Counter/phase *increments* stay
+   lock-free — they touch only the caller's own shard cell. *)
+let m = Mutex.create ()
+
+let locked f = Mutex.protect m f
+
 (* ---------------- counters ---------------- *)
 
-type counter = { cname : string; mutable v : int; cops : bool }
+type counter = { cname : string; cells : int array; cops : bool }
 
 let all_counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 
+(* The ~ops counters, snapshotted as an immutable list so [ops ()] can
+   run lock-free (budget probes call it from worker domains; a stale
+   read only misses a counter registered this very instant, necessarily
+   still zero). *)
+let ops_counters : counter list ref = ref []
+
 let counter ?(ops = false) name =
+  locked @@ fun () ->
   match Hashtbl.find_opt all_counters name with
   | Some c -> c
   | None ->
-      let c = { cname = name; v = 0; cops = ops } in
+      let c = { cname = name; cells = Array.make max_slots 0; cops = ops } in
       Hashtbl.replace all_counters name c;
+      if ops then ops_counters := c :: !ops_counters;
       c
 
-let[@inline] incr c = if !on then c.v <- c.v + 1
-let[@inline] add c k = if !on then c.v <- c.v + k
-let value c = c.v
+let[@inline] incr c =
+  if !on then begin
+    let s = Domain.DLS.get slot_key in
+    c.cells.(s) <- c.cells.(s) + 1
+  end
 
-let ops () =
-  Hashtbl.fold (fun _ c acc -> if c.cops then acc + c.v else acc) all_counters 0
+let[@inline] add c k =
+  if !on then begin
+    let s = Domain.DLS.get slot_key in
+    c.cells.(s) <- c.cells.(s) + k
+  end
+
+let value c = Array.fold_left ( + ) 0 c.cells
+
+let ops () = List.fold_left (fun acc c -> acc + value c) 0 !ops_counters
 
 let counters () =
-  Hashtbl.fold (fun _ c acc -> if c.v <> 0 then (c.cname, c.v) :: acc else acc)
+  locked @@ fun () ->
+  Hashtbl.fold
+    (fun _ c acc ->
+      let v = value c in
+      if v <> 0 then (c.cname, v) :: acc else acc)
     all_counters []
   |> List.sort compare
 
 (* ---------------- phase timers ---------------- *)
 
-let all_phases : (string, float ref) Hashtbl.t = Hashtbl.create 16
+let all_phases : (string, float array) Hashtbl.t = Hashtbl.create 16
+
+let phase_cells name =
+  locked @@ fun () ->
+  match Hashtbl.find_opt all_phases name with
+  | Some a -> a
+  | None ->
+      let a = Array.make max_slots 0. in
+      Hashtbl.replace all_phases name a;
+      a
 
 let phase name f =
   if not !on then f ()
   else begin
-    let cell =
-      match Hashtbl.find_opt all_phases name with
-      | Some r -> r
-      | None ->
-          let r = ref 0. in
-          Hashtbl.replace all_phases name r;
-          r
-    in
+    let cells = phase_cells name in
     let t0 = Unix.gettimeofday () in
-    Fun.protect ~finally:(fun () -> cell := !cell +. Unix.gettimeofday () -. t0) f
+    Fun.protect
+      ~finally:(fun () ->
+        let s = Domain.DLS.get slot_key in
+        cells.(s) <- cells.(s) +. (Unix.gettimeofday () -. t0))
+      f
   end
 
+let phase_sum a = Array.fold_left ( +. ) 0. a
+
 let phases () =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) all_phases []
+  locked @@ fun () ->
+  Hashtbl.fold (fun name a acc -> (name, phase_sum a) :: acc) all_phases []
   |> List.sort compare
 
 (* ---------------- histograms ---------------- *)
 
 (* Bucket-per-value up to [clamp]; larger observations land in the last
    bucket (max and mean stay exact, high percentiles saturate at clamp —
-   fine for the "is the delay bounded by a constant" question). *)
+   fine for the "is the delay bounded by a constant" question).
+   Histograms are observed on the answering/serving paths, never inside
+   parallel bag-jobs, so one lock per observation is cheap enough and
+   buys torn-free growth + coherent snapshots. *)
 let clamp = 1 lsl 16
 
 type hist = {
@@ -71,6 +131,7 @@ type hist = {
 let all_hists : (string, hist) Hashtbl.t = Hashtbl.create 16
 
 let hist name =
+  locked @@ fun () ->
   match Hashtbl.find_opt all_hists name with
   | Some h -> h
   | None ->
@@ -81,7 +142,8 @@ let hist name =
       h
 
 let observe h x =
-  if !on then begin
+  if !on then
+    locked @@ fun () ->
     let x = max 0 x in
     let b = min x (clamp - 1) in
     if b >= Array.length h.buckets then begin
@@ -97,7 +159,6 @@ let observe h x =
     h.hcount <- h.hcount + 1;
     h.hsum <- h.hsum + x;
     if x > h.hmax then h.hmax <- x
-  end
 
 type hist_stats = {
   count : int;
@@ -125,7 +186,7 @@ let percentile_of h p =
     !res
   end
 
-let hist_stats h =
+let hist_stats_unlocked h =
   {
     count = h.hcount;
     max = h.hmax;
@@ -135,20 +196,30 @@ let hist_stats h =
     p99 = percentile_of h 99.;
   }
 
+let hist_stats h = locked (fun () -> hist_stats_unlocked h)
+
 let hists () =
+  locked @@ fun () ->
   Hashtbl.fold
-    (fun name h acc -> if h.hcount > 0 then (name, hist_stats h) :: acc else acc)
+    (fun name h acc ->
+      if h.hcount > 0 then (name, hist_stats_unlocked h) :: acc else acc)
     all_hists []
   |> List.sort compare
 
 (* ---------------- reset ---------------- *)
 
 (* Registrations (names, the ~ops flag, bucket capacity) survive a
-   reset; only the accumulated values are zeroed.  Consumers that need a
-   coherent view across a concurrent reset must go through [snapshot]. *)
+   reset; only the accumulated values are zeroed.  The registry lock
+   keeps a reset from tearing phase tables or histograms under a
+   concurrent serve loop; a counter increment racing the zeroing of its
+   own cell can still land on either side of the reset (that is the
+   inherent semantics of resetting a live registry), but it can never
+   corrupt structure.  Consumers that need a coherent view across a
+   concurrent reset must go through [snapshot]. *)
 let reset () =
-  Hashtbl.iter (fun _ c -> c.v <- 0) all_counters;
-  Hashtbl.iter (fun _ r -> r := 0.) all_phases;
+  locked @@ fun () ->
+  Hashtbl.iter (fun _ c -> Array.fill c.cells 0 max_slots 0) all_counters;
+  Hashtbl.iter (fun _ a -> Array.fill a 0 max_slots 0.) all_phases;
   Hashtbl.iter
     (fun _ h ->
       Array.fill h.buckets 0 (Array.length h.buckets) 0;
@@ -179,14 +250,18 @@ type snapshot = {
 }
 
 let snapshot () =
+  locked @@ fun () ->
+  let counters =
+    Hashtbl.fold
+      (fun _ c acc ->
+        { c_name = c.cname; c_ops = c.cops; c_value = value c } :: acc)
+      all_counters []
+    |> List.sort compare
+  in
   {
-    s_counters =
-      Hashtbl.fold
-        (fun _ c acc -> { c_name = c.cname; c_ops = c.cops; c_value = c.v } :: acc)
-        all_counters []
-      |> List.sort compare;
+    s_counters = counters;
     s_phases =
-      Hashtbl.fold (fun name r acc -> (name, !r) :: acc) all_phases []
+      Hashtbl.fold (fun name a acc -> (name, phase_sum a) :: acc) all_phases []
       |> List.sort compare;
     s_hists =
       Hashtbl.fold
@@ -201,7 +276,11 @@ let snapshot () =
           :: acc)
         all_hists []
       |> List.sort compare;
-    s_ops = ops ();
+    s_ops =
+      List.fold_left
+        (fun acc (c : counter_snapshot) ->
+          if c.c_ops then acc + c.c_value else acc)
+        0 counters;
     s_enabled = !on;
   }
 

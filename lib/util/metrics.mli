@@ -19,7 +19,19 @@
     load-and-branch when disabled, so the hot paths pay essentially
     nothing.  Enabling is global (the probes live inside shared library
     code), which is the right granularity for the CLI / bench / test
-    consumers; concurrent measured engines would share the registry. *)
+    consumers; concurrent measured engines would share the registry.
+
+    {b Concurrency.}  Counters and phase timers are sharded per domain:
+    each cell is an array of {!max_slots} slots and a domain only writes
+    its own slot (assigned with {!set_slot}; {!Nd_util.Pool} workers pin
+    theirs at spawn).  Reported values are the slot sums — integer sums
+    commute, so [~ops] totals are bit-identical regardless of how many
+    domains ran the instrumented work.  Registration, histograms,
+    {!reset} and {!snapshot} serialize on an internal registry lock, so
+    a reset racing a concurrent serve loop can no longer tear phase
+    tables or histogram buckets (an individual counter increment racing
+    a reset may land on either side of it; structure is never
+    corrupted). *)
 
 val enable : unit -> unit
 val disable : unit -> unit
@@ -27,7 +39,22 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Zero every counter, timer and histogram (registrations survive). *)
+(** Zero every counter, timer and histogram (registrations survive).
+    Safe against concurrent increments and observations. *)
+
+(** {1 Domain shards} *)
+
+val max_slots : int
+(** Number of per-domain shard slots (bounds usable pool jobs). *)
+
+val set_slot : int -> unit
+(** Pin the calling domain to shard slot [s ∈ [0, max_slots)].  The
+    main domain defaults to slot 0; {!Nd_util.Pool} workers call this
+    at spawn.  Two concurrently-running domains must not share a slot,
+    or increments can be lost. *)
+
+val slot : unit -> int
+(** The calling domain's shard slot. *)
 
 (** {1 Counters} *)
 

@@ -1,0 +1,165 @@
+(* A generation-stamped barrier pool: [run] publishes a parallel-for
+   body under the mutex and bumps [generation]; parked workers wake,
+   claim contiguous index chunks until the range is drained, then report
+   in.  [run] returns only after every worker has reported for the
+   current generation, so a worker can never straggle into the next
+   run's range and all job effects are ordered before the caller's
+   continuation (the mutex hand-off is the happens-before edge). *)
+
+type t = {
+  jobs : int;
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable body : (int -> unit) option;
+  mutable hi : int;  (* exclusive upper bound of the current range *)
+  mutable next : int;  (* next unclaimed index, guarded by [m] *)
+  mutable chunk : int;
+  mutable finished : int;  (* workers done with the current generation *)
+  mutable generation : int;
+  mutable stop : bool;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+}
+
+(* Claim-and-run until the range is drained or a job has failed.  The
+   failure check makes cancellation prompt at chunk granularity: after
+   one job raises, the other participants stop claiming. *)
+let claim_chunks t f =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.m;
+    let lo = t.next in
+    let hi = min t.hi (lo + t.chunk) in
+    t.next <- hi;
+    let cancelled = t.failure <> None in
+    Mutex.unlock t.m;
+    if cancelled || lo >= hi then continue := false
+    else
+      try
+        for i = lo to hi - 1 do
+          f i
+        done
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Mutex.lock t.m;
+        if t.failure = None then t.failure <- Some (e, bt);
+        Mutex.unlock t.m;
+        continue := false
+  done
+
+let worker t i () =
+  (* Pin this domain's metrics shard: slot 0 is the spawning domain's,
+     worker [i] owns slot [i + 1].  This is what keeps ~ops counter
+     totals bit-identical across job counts — each domain only ever
+     touches its own cells, so no increment can be lost. *)
+  Metrics.set_slot (i + 1);
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.m;
+    while (not t.stop) && t.generation = !seen do
+      Condition.wait t.work_ready t.m
+    done;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      running := false
+    end
+    else begin
+      seen := t.generation;
+      let f = match t.body with Some f -> f | None -> fun _ -> () in
+      Mutex.unlock t.m;
+      claim_chunks t f;
+      Mutex.lock t.m;
+      t.finished <- t.finished + 1;
+      if t.finished = t.jobs - 1 then Condition.signal t.work_done;
+      Mutex.unlock t.m
+    end
+  done
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let jobs = min jobs (Metrics.max_slots - 1) in
+  let t =
+    {
+      jobs;
+      workers = [||];
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      body = None;
+      hi = 0;
+      next = 0;
+      chunk = 1;
+      finished = 0;
+      generation = 0;
+      stop = false;
+      failure = None;
+    }
+  in
+  if jobs > 1 then
+    t.workers <- Array.init (jobs - 1) (fun i -> Domain.spawn (worker t i));
+  t
+
+let jobs t = t.jobs
+
+let run t ~n f =
+  if n > 0 then
+    if t.jobs = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      Mutex.lock t.m;
+      if t.stop then begin
+        Mutex.unlock t.m;
+        invalid_arg "Pool.run: pool is shut down"
+      end;
+      t.body <- Some f;
+      t.hi <- n;
+      t.next <- 0;
+      t.chunk <- max 1 (n / (4 * t.jobs));
+      t.finished <- 0;
+      t.failure <- None;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.m;
+      claim_chunks t f;
+      Mutex.lock t.m;
+      while t.finished < t.jobs - 1 do
+        Condition.wait t.work_done t.m
+      done;
+      t.body <- None;
+      let fail = t.failure in
+      t.failure <- None;
+      Mutex.unlock t.m;
+      match fail with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+let map_array t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    run t ~n (fun i -> out.(i) <- Some (f xs.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map t f l = Array.to_list (map_array t f (Array.of_list l))
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.stop then Mutex.unlock t.m
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

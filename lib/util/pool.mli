@@ -1,0 +1,60 @@
+(** A small chunked work pool over stdlib domains.
+
+    Preprocessing is embarrassingly parallel along per-bag / per-vertex
+    axes, so all the pool offers is a parallel for-loop: [run t ~n f]
+    evaluates [f i] for every [i] in [0, n), partitioned into contiguous
+    index chunks claimed by [jobs] participants ([jobs - 1] worker
+    domains plus the calling domain).  Workers are spawned once at
+    {!create} and parked on a condition variable between runs, so a
+    prepare pipeline can fan out many times without re-spawning.
+
+    Determinism contract: the pool guarantees nothing about {e which}
+    participant runs which index, only that every index runs exactly
+    once and that all effects of [f] are visible to the caller when
+    [run] returns (the join synchronizes).  Deterministic results are
+    the {e caller's} job: jobs must write to disjoint cells (e.g.
+    [out.(i) <- ...]) and any shared accounting must shard per domain —
+    {!Nd_util.Metrics} counters do exactly that, each worker being
+    pinned to its own metrics slot (see {!Nd_util.Metrics.set_slot}), so
+    [~ops]-flagged totals are bit-identical regardless of the job count.
+
+    A pool with [jobs = 1] spawns no domains and runs everything inline
+    in the caller; it is the sequential baseline the differential tests
+    compare against.
+
+    [run] is {e not} reentrant: calling it from inside a job body (or
+    from two threads at once) is a programming error. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains (none when
+    [jobs = 1]).  [jobs] must be ≥ 1; it is clamped to the metrics slot
+    budget ({!Nd_util.Metrics.max_slots}[ - 1]).  Worker domain [i] pins
+    metrics slot [i + 1]; the caller keeps slot 0. *)
+
+val jobs : t -> int
+(** The participant count (workers + the calling domain). *)
+
+val run : t -> n:int -> (int -> unit) -> unit
+(** [run t ~n f] evaluates [f i] for every [0 ≤ i < n], in parallel
+    chunks.  If any job raises, remaining unclaimed chunks are skipped
+    and the first exception (by completion order) is re-raised in the
+    caller after all participants have stopped — a
+    [Nd_error.Budget_exceeded] escaping a worker therefore reaches the
+    caller's {!Nd_util.Budget.with_budget} scope exactly like in the
+    sequential code. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array t f xs]: like [Array.map f xs] with the applications of
+    [f] run through {!run}; element order is preserved. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f l]: like [List.map f l] (same order), parallel. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  A shut-down pool
+    rejects further {!run} calls with [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f]: {!create}, run [f], always {!shutdown}. *)

@@ -19,6 +19,8 @@ let () =
       ("engine facade", Test_engine.suite);
       ("incremental updates", Test_update.suite);
       ("metrics + cost model", Test_metrics.suite);
+      ("domain pool", Test_pool.suite);
+      ("parallel prepare (DESIGN S14)", Test_parallel.suite);
       ("graph spec parsing", Test_gen_spec.suite);
       ("budget", Test_budget.suite);
       ("chaos", Test_chaos.suite);

@@ -112,9 +112,77 @@ let test_store_touch_scaling () =
   Alcotest.(check bool) "update touches sublinear" true
     (big.update_max < big.tn / 10)
 
+(* --- concurrency regression (DESIGN S14) --------------------------- *)
+
+(* Domains hammering their own shards must never lose an increment:
+   with no concurrent reset, the merged totals are exact. *)
+let test_sharded_counts_exact () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let c = Metrics.counter ~ops:true "par.exact" in
+  let per_domain = 50_000 and domains = 4 in
+  let worker i () =
+    Metrics.set_slot (i + 1);
+    for _ = 1 to per_domain do
+      Metrics.incr c
+    done
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (worker i)) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost increments" (domains * per_domain)
+    (Metrics.value c);
+  Alcotest.(check int) "ops sees every shard" (domains * per_domain)
+    (Metrics.ops ());
+  Metrics.disable ()
+
+(* reset/snapshot racing live increments, phases and observations must
+   neither crash nor corrupt the registry: afterwards the cells still
+   work and a final reset really zeroes every shard (not just the
+   spawning domain's slot 0 — worker-shard residue must not resurface
+   in later snapshots). *)
+let test_reset_snapshot_under_fire () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let c = Metrics.counter ~ops:true "par.fire" in
+  let h = Metrics.hist "par.fire_h" in
+  let stop = Atomic.make false in
+  let worker i () =
+    Metrics.set_slot (i + 1);
+    while not (Atomic.get stop) do
+      Metrics.incr c;
+      Metrics.observe h 3;
+      ignore (Metrics.phase "par.fire_p" (fun () -> ()))
+    done
+  in
+  let ds = List.init 3 (fun i -> Domain.spawn (worker i)) in
+  for _ = 1 to 200 do
+    let s = Metrics.snapshot () in
+    (* a snapshot is internally consistent: every counter it reports
+       is one it named *)
+    List.iter
+      (fun cs ->
+        if String.length cs.Metrics.c_name = 0 then
+          Alcotest.fail "snapshot tore a counter name")
+      s.Metrics.s_counters;
+    Metrics.reset ()
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join ds;
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes every shard" 0 (Metrics.value c);
+  Alcotest.(check int) "reset zeroes ops across shards" 0 (Metrics.ops ());
+  (* the registry still functions after the storm *)
+  Metrics.incr c;
+  Alcotest.(check int) "registry alive after race" 1 (Metrics.value c);
+  Metrics.disable ()
+
 let suite =
   [
     Alcotest.test_case "registry basics" `Quick test_registry_basics;
     Alcotest.test_case "Theorem 3.1 register-touch scaling" `Slow
       test_store_touch_scaling;
+    Alcotest.test_case "sharded counters lose nothing" `Quick
+      test_sharded_counts_exact;
+    Alcotest.test_case "reset/snapshot safe under concurrent fire" `Quick
+      test_reset_snapshot_under_fire;
   ]

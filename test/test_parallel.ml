@@ -1,0 +1,124 @@
+(* The parallel-prepare determinism gate (DESIGN S14): for every job
+   count the prepared handle must give the same answers as the naive
+   evaluator AND be indistinguishable from the sequential build —
+   identical enumeration output, identical cost-model ops counters
+   (the Metrics shard merge is exact, not approximate), and an
+   identical persistence payload (marshalled bytes).  Also the
+   incremental-update differential: a jobs=4 handle absorbing
+   mutations stays equal, answer- and ops-wise, to a jobs=1 one. *)
+
+open Nd_graph
+open Nd_logic
+
+let zoo =
+  [
+    ("grid:6x6", "dist(x,y) <= 2");
+    ("tree:40", "E(x,y) & C0(y)");
+    ("bdeg:48:4", "C0(x) & (exists z. E(x,z) & C1(z))");
+    ("gnp:40:0.06", "E(x,y) & dist(y,z) <= 1 & C0(z)");
+  ]
+
+let graph spec = Gen.randomly_color ~seed:9 ~colors:2 (Gen.of_spec ~seed:5 spec)
+
+(* Prepare with metrics from a clean slate; return the handle plus the
+   deterministic parts of its stats record (ops total and the sorted
+   ~ops counter list; wall-clock phases excluded by construction). *)
+let prepared ~jobs g phi =
+  Nd_engine.reset_metrics ();
+  let eng = Nd_engine.prepare ~metrics:true ~jobs g phi in
+  let st = Nd_engine.stats eng in
+  (eng, (st.Nd_engine.Stats.ops, List.sort compare st.Nd_engine.Stats.counters))
+
+let payload_bytes eng = Marshal.to_string (Nd_engine.Persist.export eng) []
+
+let test_prepare_differential () =
+  List.iter
+    (fun (spec, q) ->
+      let g = graph spec in
+      let phi = Parse.formula q in
+      let naive =
+        let ctx = Nd_eval.Naive.ctx g in
+        Nd_eval.Naive.eval_all ctx ~vars:(Fo.free_vars phi) phi
+      in
+      let seq, seq_ops = prepared ~jobs:1 g phi in
+      let seq_sols = Nd_engine.to_list seq in
+      let seq_payload = payload_bytes seq in
+      Alcotest.(check bool) (spec ^ " jobs=1 = naive") true (seq_sols = naive);
+      List.iter
+        (fun jobs ->
+          let par, par_ops = prepared ~jobs g phi in
+          let name what = Printf.sprintf "%s jobs=%d %s" spec jobs what in
+          Alcotest.(check bool)
+            (name "enumeration identical")
+            true
+            (Nd_engine.to_list par = seq_sols);
+          Alcotest.(check bool)
+            (name "ops counters identical")
+            true (par_ops = seq_ops);
+          Alcotest.(check bool)
+            (name "persist payload identical")
+            true
+            (payload_bytes par = seq_payload);
+          Alcotest.(check int) (name "jobs recorded") jobs
+            (Nd_engine.jobs par))
+        [ 2; 4 ])
+    zoo
+
+(* Updates reuse the handle's job count for the dirty-set bag-jobs;
+   answers and ops charged must not depend on it. *)
+let test_update_differential () =
+  let g = graph "grid:6x6" in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  let muts =
+    [
+      Cgraph.mutation_of_string "add-edge 0 14";
+      Cgraph.mutation_of_string "remove-edge 0 14";
+      Cgraph.mutation_of_string "set-color 1 7 on";
+      Cgraph.mutation_of_string "add-edge 3 22";
+    ]
+  in
+  let run jobs =
+    Nd_engine.reset_metrics ();
+    let eng = Nd_engine.prepare ~metrics:true ~jobs g phi in
+    List.iter (Nd_engine.update eng) muts;
+    let st = Nd_engine.stats eng in
+    ( Nd_engine.to_list eng,
+      st.Nd_engine.Stats.ops,
+      List.sort compare st.Nd_engine.Stats.counters,
+      Nd_engine.epoch eng )
+  in
+  let sols1, ops1, ctr1, ep1 = run 1 in
+  let sols4, ops4, ctr4, ep4 = run 4 in
+  Alcotest.(check bool) "solutions identical after updates" true
+    (sols4 = sols1);
+  Alcotest.(check int) "epochs agree" ep1 ep4;
+  Alcotest.(check int) "ops identical after updates" ops1 ops4;
+  Alcotest.(check bool) "counters identical after updates" true (ctr4 = ctr1)
+
+(* jobs beyond the bag count (and beyond the core count) must be
+   harmless: the pool just idles the excess workers. *)
+let test_oversubscription () =
+  let g = graph "path:12" in
+  let phi = Parse.formula "E(x,y)" in
+  let seq, _ = prepared ~jobs:1 g phi in
+  let par, _ = prepared ~jobs:8 g phi in
+  Alcotest.(check bool) "jobs=8 on a tiny graph" true
+    (Nd_engine.to_list par = Nd_engine.to_list seq)
+
+let test_jobs_validation () =
+  let g = graph "path:4" in
+  let phi = Parse.formula "E(x,y)" in
+  match Nd_engine.prepare ~jobs:0 g phi with
+  | _ -> Alcotest.fail "jobs=0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "prepare jobs=4 = jobs=1 = naive (zoo)" `Quick
+      test_prepare_differential;
+    Alcotest.test_case "update differential across job counts" `Quick
+      test_update_differential;
+    Alcotest.test_case "oversubscribed pool is harmless" `Quick
+      test_oversubscription;
+    Alcotest.test_case "jobs validation" `Quick test_jobs_validation;
+  ]

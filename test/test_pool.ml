@@ -1,0 +1,98 @@
+(* The domain work pool (DESIGN S14): qcheck equivalence with the
+   sequential maps across job counts, exception transparency, and
+   reuse across many runs — the properties the parallel prepare path
+   leans on. *)
+
+open Nd_util
+
+(* --- map ≡ List.map across job counts ------------------------------ *)
+
+let prop_map_model =
+  QCheck.Test.make ~name:"Pool.map = List.map for every job count"
+    ~count:100
+    QCheck.(pair (int_range 1 8) (list (int_bound 1000)))
+    (fun (jobs, xs) ->
+      let f x = (x * 2654435761) lxor (x lsr 3) in
+      let expected = List.map f xs in
+      Pool.with_pool ~jobs (fun p -> Pool.map p f xs) = expected)
+
+let prop_map_array_model =
+  QCheck.Test.make ~name:"Pool.map_array = Array.map for every job count"
+    ~count:100
+    QCheck.(pair (int_range 1 8) (array (int_bound 1000)))
+    (fun (jobs, xs) ->
+      let f x = string_of_int (x + 1) in
+      let expected = Array.map f xs in
+      Pool.with_pool ~jobs (fun p -> Pool.map_array p f xs) = expected)
+
+(* --- run covers every index exactly once --------------------------- *)
+
+let test_run_covers_all () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          List.iter
+            (fun n ->
+              let hits = Array.make (max n 1) 0 in
+              Pool.run p ~n (fun i -> hits.(i) <- hits.(i) + 1);
+              for i = 0 to n - 1 do
+                if hits.(i) <> 1 then
+                  Alcotest.failf "jobs=%d n=%d: index %d ran %d times" jobs n
+                    i hits.(i)
+              done)
+            [ 0; 1; 2; 7; 64; 257 ]))
+    [ 1; 2; 3; 8 ]
+
+(* --- exceptions cross the domain boundary -------------------------- *)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun p ->
+          (match Pool.run p ~n:16 (fun i -> if i = 11 then raise (Boom i)) with
+          | () -> Alcotest.fail "expected Boom to propagate"
+          | exception Boom 11 -> ());
+          (* the pool survives a failed run: the next run is clean *)
+          let sum = Atomic.make 0 in
+          Pool.run p ~n:16 (fun i -> ignore (Atomic.fetch_and_add sum i));
+          Alcotest.(check int)
+            (Printf.sprintf "jobs=%d pool usable after exception" jobs)
+            120 (Atomic.get sum)))
+    [ 1; 4 ]
+
+(* --- reuse: many runs on one pool ---------------------------------- *)
+
+let test_reuse () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      Alcotest.(check int) "jobs accessor" 4 (Pool.jobs p);
+      for round = 1 to 50 do
+        let got = Pool.map p (fun x -> x * round) [ 1; 2; 3; 4; 5 ] in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" round)
+          (List.map (fun x -> x * round) [ 1; 2; 3; 4; 5 ])
+          got
+      done)
+
+let test_validation () =
+  (match Pool.create ~jobs:0 with
+  | _ -> Alcotest.fail "jobs=0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  let p = Pool.create ~jobs:2 in
+  Pool.shutdown p;
+  (* shutdown is idempotent *)
+  Pool.shutdown p
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_map_model;
+    QCheck_alcotest.to_alcotest prop_map_array_model;
+    Alcotest.test_case "run covers every index once" `Quick
+      test_run_covers_all;
+    Alcotest.test_case "exceptions propagate, pool survives" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "pool reuse across runs" `Quick test_reuse;
+    Alcotest.test_case "create validation + idempotent shutdown" `Quick
+      test_validation;
+  ]

@@ -372,51 +372,130 @@ let test_stop_after_inflight_request () =
   Alcotest.(check int) "only the drained request served" 1
     (Server.counts srv).Server.requests
 
-let test_serve_socket () =
+(* Host a socket server on an in-process thread (fork is off the table
+   once domains have been spawned elsewhere in the binary), run [f]
+   against the live socket, then stop gracefully — which also
+   exercises the request_stop drain + thread-join path on every run. *)
+let with_socket_server ?backlog ?srv f =
   let path =
     Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "nd_server_test_%d.sock" (Unix.getpid ()))
+      (Printf.sprintf "nd_server_test_%d_%d.sock" (Unix.getpid ())
+         (int_of_float (Unix.gettimeofday () *. 1000.) land 0xffffff))
   in
-  match Unix.fork () with
-  | 0 ->
-      (* child: serve until quit *)
-      let srv, _ = make () in
-      (try Server.serve_socket srv ~path with _ -> ());
-      Unix._exit 0
-  | pid ->
-      Fun.protect
-        ~finally:(fun () ->
-          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-          ignore (Unix.waitpid [] pid);
-          try Sys.remove path with Sys_error _ -> ())
-      @@ fun () ->
-      (* wait for the socket to appear *)
-      let rec wait tries =
-        if Sys.file_exists path then ()
-        else if tries = 0 then Alcotest.fail "server socket never appeared"
-        else begin
-          Unix.sleepf 0.05;
-          wait (tries - 1)
-        end
-      in
-      wait 100;
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Unix.connect fd (Unix.ADDR_UNIX path);
-      let ic = Unix.in_channel_of_descr fd in
-      let oc = Unix.out_channel_of_descr fd in
-      let transport = Client.channel_transport ic oc in
-      let r = Client.call transport "test 0,1" in
-      Alcotest.(check bool) "socket round-trip ok" true
-        (r.Client.status = Client.Ok_reply);
-      Alcotest.(check (list string)) "socket reply" [ "true"; "ok" ]
-        r.Client.reply;
-      let r = Client.call transport "frobnicate" in
-      (match r.Client.status with
-      | Client.Err_reply ("user", _) -> ()
-      | _ -> Alcotest.fail "socket error reply");
-      Alcotest.(check (list string)) "quit over socket" [ "bye" ]
-        (transport "quit");
-      Unix.close fd
+  let srv = match srv with Some s -> s | None -> fst (make ()) in
+  let th =
+    Thread.create
+      (fun () -> try Server.serve_socket ?backlog srv ~path with _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop srv;
+      Thread.join th;
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let rec wait tries =
+    if Sys.file_exists path then ()
+    else if tries = 0 then Alcotest.fail "server socket never appeared"
+    else begin
+      Unix.sleepf 0.05;
+      wait (tries - 1)
+    end
+  in
+  wait 100;
+  f path srv
+
+let with_socket_client path f =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  f (Client.channel_transport ic oc)
+
+let test_serve_socket () =
+  with_socket_server @@ fun path _srv ->
+  with_socket_client path @@ fun transport ->
+  let r = Client.call transport "test 0,1" in
+  Alcotest.(check bool) "socket round-trip ok" true
+    (r.Client.status = Client.Ok_reply);
+  Alcotest.(check (list string)) "socket reply" [ "true"; "ok" ] r.Client.reply;
+  let r = Client.call transport "frobnicate" in
+  (match r.Client.status with
+  | Client.Err_reply ("user", _) -> ()
+  | _ -> Alcotest.fail "socket error reply");
+  Alcotest.(check (list string)) "quit over socket" [ "bye" ]
+    (transport "quit")
+
+(* ---------------- concurrent sessions ---------------- *)
+
+(* [session] gives each connection its own enumeration cursor over the
+   shared engine; the request counters stay shared. *)
+let test_session_cursor_isolated () =
+  let srv, _ = make () in
+  let p1 = Server.handle srv "enumerate 3" in
+  let s2 = Server.session srv in
+  Alcotest.(check (list string)) "fresh session restarts the cursor" p1
+    (Server.handle s2 "enumerate 3");
+  (* the original session's cursor was not disturbed: its next page
+     continues where it left off, which is also the fresh session's *)
+  let p2 = Server.handle srv "enumerate 3" in
+  Alcotest.(check (list string)) "cursors advance independently" p2
+    (Server.handle s2 "enumerate 3");
+  Alcotest.(check bool) "pages differ" true (p1 <> p2);
+  Alcotest.(check int) "counters are shared" 4
+    (Server.counts s2).Server.requests;
+  Alcotest.(check int) "both handles see the same counts" 4
+    (Server.counts srv).Server.requests
+
+let test_backlog_validation () =
+  let srv, _ = make () in
+  match Server.serve_socket ~backlog:0 srv ~path:"/tmp/nd_never.sock" with
+  | () -> Alcotest.fail "backlog=0 must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* Four clients hammer one socket server concurrently, each over its
+   own connection.  Every client must observe the exact same fresh
+   page sequence regardless of interleaving — per-connection cursors —
+   and every request must be answered (thread-per-connection, shared
+   request lock). *)
+let test_concurrent_socket_clients () =
+  with_socket_server ~backlog:16 @@ fun path srv ->
+  (* the expected per-session page sequence, from an in-process twin
+     of the served engine *)
+  let ref_srv, _ = make () in
+  let page1 = Server.handle ref_srv "enumerate 3" in
+  let page2 = Server.handle ref_srv "enumerate 3" in
+  Alcotest.(check bool) "reference pages sane" true (page1 <> page2);
+  let failures = ref [] in
+  let fail_m = Mutex.create () in
+  let record msg =
+    Mutex.protect fail_m (fun () -> failures := msg :: !failures)
+  in
+  let client i () =
+    try
+      with_socket_client path @@ fun t ->
+      if t "enumerate 3" <> page1 then
+        record (Printf.sprintf "client %d: page 1 diverged" i);
+      let r = Client.call t "test 0,1" in
+      if r.Client.reply <> [ "true"; "ok" ] then
+        record (Printf.sprintf "client %d: test reply diverged" i);
+      if t "enumerate 3" <> page2 then
+        record (Printf.sprintf "client %d: page 2 diverged" i);
+      if t "quit" <> [ "bye" ] then
+        record (Printf.sprintf "client %d: quit not acknowledged" i)
+    with e ->
+      record (Printf.sprintf "client %d: %s" i (Printexc.to_string e))
+  in
+  let ths = List.init 4 (fun i -> Thread.create (client i) ()) in
+  List.iter Thread.join ths;
+  (match !failures with
+  | [] -> ()
+  | msgs -> Alcotest.fail (String.concat "; " msgs));
+  (* every request hit the shared counters: 4 clients x 4 requests *)
+  Alcotest.(check int) "all requests accounted" 16
+    (Server.counts srv).Server.requests
 
 (* ---------------- the retrying client ---------------- *)
 
@@ -607,6 +686,11 @@ let suite =
     Alcotest.test_case "graceful stop drains in-flight request" `Quick
       test_stop_after_inflight_request;
     Alcotest.test_case "serve over a unix socket" `Quick test_serve_socket;
+    Alcotest.test_case "session cursors are per-connection" `Quick
+      test_session_cursor_isolated;
+    Alcotest.test_case "backlog validation" `Quick test_backlog_validation;
+    Alcotest.test_case "4 concurrent socket clients" `Quick
+      test_concurrent_socket_clients;
     Alcotest.test_case "client retries transient errors only" `Quick
       test_client_retries_transient_only;
     Alcotest.test_case "client bounded retries + backoff" `Quick
