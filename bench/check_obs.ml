@@ -48,8 +48,12 @@ let check_profile file =
 (* The serve event log: one JSON object per request.  Since the update
    pipeline landed, rows also carry the mutation verbs (update,
    batch-update, epoch) — those must parse under the same schema as
-   query rows, not as a foreign row kind. *)
-let known_status = [ "ok"; "bye"; "user"; "budget"; "internal" ]
+   query rows, not as a foreign row kind.  The overload-safe serve loop
+   added two more statuses: "overloaded" (admission-control shed) and
+   "shutting-down" (request raced a drain).  Connection-level refusals
+   (rid=0) are deliberately NOT event-logged, so rid >= 1 still holds. *)
+let known_status =
+  [ "ok"; "bye"; "user"; "budget"; "internal"; "overloaded"; "shutting-down" ]
 let mutation_verbs = [ "update"; "batch-update"; "epoch" ]
 
 let check_events file =

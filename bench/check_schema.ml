@@ -445,6 +445,76 @@ let check_parallel par =
   | Some _ -> err "$.parallel.serve: expected an array"
   | None -> ()
 
+(* the overload gate (DESIGN S15): under the 8-client stampede against
+   max_inflight=2 the gated arm must have actually shed (the stampede
+   really was an overload) while still doing useful work (shedding is
+   load shedding, not an outage); and arming every hygiene gate at
+   non-triggering thresholds on the unloaded serve row must be free on
+   the deterministic ops cost model — the gates live in the transport
+   layer and may never advance an engine counter (<= 2%, mirroring the
+   ER and TR overhead gates) *)
+let check_overload ov =
+  ignore (get_num "$.overload" ov "host_domains");
+  (match field "$.overload" ov "gated" with
+  | Some g ->
+      let path = "$.overload.gated" in
+      (match get_num path g "requests" with
+      | Some r when r <= 0. -> err "%s.requests: no requests fired" path
+      | _ -> ());
+      (match get_num path g "ok" with
+      | Some k when k <= 0. ->
+          err "%s.ok: the gated server did no useful work under overload" path
+      | _ -> ());
+      (match get_num path g "shed" with
+      | Some s when s <= 0. ->
+          err
+            "%s.shed: the stampede shed nothing — admission control never \
+             engaged"
+            path
+      | _ -> ());
+      (match (get_num path g "shed", get_num path g "server_shed") with
+      | Some c, Some s when c > s ->
+          err
+            "%s: clients observed %g shed replies but the server counted \
+             only %g"
+            path c s
+      | _ -> ());
+      (match get_num path g "goodput_rps" with
+      | Some r when r <= 0. -> err "%s.goodput_rps: non-positive" path
+      | _ -> ());
+      (match get_num path g "shed_p99_us" with
+      | Some p when p <= 0. -> err "%s.shed_p99_us: non-positive" path
+      | _ -> ());
+      ignore (get_num path g "elapsed_s");
+      ignore (get_num path g "retry_after_ms")
+  | None -> ());
+  (match field "$.overload" ov "nogate" with
+  | Some ng ->
+      let path = "$.overload.nogate" in
+      (match get_num path ng "ok" with
+      | Some k when k <= 0. -> err "%s.ok: no-gate arm served nothing" path
+      | _ -> ());
+      (match get_num path ng "rps" with
+      | Some r when r <= 0. -> err "%s.rps: non-positive" path
+      | _ -> ())
+  | None -> ());
+  match field "$.overload" ov "hygiene" with
+  | Some h -> (
+      let path = "$.overload.hygiene" in
+      (match get_num path h "ops_off" with
+      | Some f when f <= 0. -> err "%s.ops_off: workload recorded no ops" path
+      | _ -> ());
+      ignore (get_num path h "ops_on");
+      ignore (get_num path h "rps_off");
+      ignore (get_num path h "rps_on");
+      match get_num path h "ops_delta_pct" with
+      | Some d when Float.abs d > 2.0 ->
+          err
+            "%s.ops_delta_pct: |%g| exceeds the 2%% hygiene-overhead budget"
+            path d
+      | _ -> ())
+  | None -> ()
+
 let check_store_point i p =
   let path = Printf.sprintf "store[%d]" i in
   ignore (get_num path p "n");
@@ -522,6 +592,10 @@ let () =
   | Some (Obj _ as par) -> check_parallel par
   | Some _ -> err "$.parallel: expected an object"
   | None -> err "$.parallel: missing (the parallelism rows)");
+  (match field "$" j "overload" with
+  | Some (Obj _ as ov) -> check_overload ov
+  | Some _ -> err "$.overload: expected an object"
+  | None -> err "$.overload: missing (the overload-shedding rows)");
   match !errors with
   | [] ->
       Printf.printf "%s: schema nd-engine-bench/1 OK\n" file;

@@ -1087,6 +1087,261 @@ let par_parallel () =
   ignore (par_rows_json ())
 
 (* ------------------------------------------------------------------ *)
+(* RB — overload-safe serving (DESIGN S15).  Three arms, all riding
+   into BENCH_engine.json in every mode:
+
+   - gated: 8 concurrent clients against max_inflight=2 — a 2x-plus
+     overload by construction.  Point requests are microseconds, so an
+     overlap-dependent stampede would be scheduler luck; instead each
+     request is the chaos verb `inject sleep 2`, a deterministic 2ms
+     heavy-query surrogate that holds the engine lock exactly like an
+     expensive enumerate.  While one request sleeps under the lock and
+     one waits, the other six clients' requests must be shed — so
+     shed > 0 is structural, on any host.  Records goodput (ok
+     replies/s against the 500/s service ceiling) and the
+     client-observed p99 of the shed replies: shedding must stay cheap
+     precisely when the server is saturated, because the shed path
+     never touches the engine lock.
+   - nogate: the same stampede with admission control off.  Everything
+     is eventually served at the same 500/s ceiling, but every request
+     waits its turn in the lock queue — the ok p99 comparison against
+     the gated arm is the case for shedding.
+   - hygiene: the unloaded PAR serve row (1 client, sequential
+     requests) with every hygiene gate off vs armed at non-triggering
+     thresholds.  The gates live in the transport layer and must
+     never advance a cost-model counter, so the ops delta is gated at
+     2% exactly like the ER budget-probe and TR tracer gates. *)
+
+let rb_clients = 8
+let rb_sleep_ms = 2
+
+let rb_per_client () = if !smoke then 25 else 100
+
+let rb_graph () =
+  Gen.randomly_color ~seed:5 ~colors:2
+    (Gen.of_spec ~seed:5 (if !smoke then "grid:12x12" else "grid:20x20"))
+
+let rb_percentile_us lat p =
+  let a = Array.copy lat in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then 0.
+  else a.(min (n - 1) (int_of_float (ceil (p /. 100. *. float n)) - 1))
+
+let rb_with_server ~config eng f =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nd_bench_rb_%d_%d.sock" (Unix.getpid ()) (Random.bits ()))
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  let srv = Nd_server.create ~config eng in
+  let th =
+    Thread.create
+      (fun () -> try Nd_server.serve_socket srv ~path with _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Nd_server.request_stop srv;
+      Thread.join th;
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let rec wait tries =
+    if Sys.file_exists path then ()
+    else if tries = 0 then failwith "bench: rb server socket never appeared"
+    else begin
+      Unix.sleepf 0.02;
+      wait (tries - 1)
+    end
+  in
+  wait 250;
+  f srv path
+
+(* One stampede: [rb_clients] plain transports (no retry policy — the
+   raw shed replies are the measurement) each firing [per_client]
+   2ms heavy-query surrogates.  Returns per-request latencies split by
+   outcome. *)
+let rb_stampede ~config eng =
+  rb_with_server ~config eng @@ fun srv path ->
+  let per_client = rb_per_client () in
+  let ok_lat = Array.make (rb_clients * per_client) 0. in
+  let shed_lat = Array.make (rb_clients * per_client) 0. in
+  let ok = ref 0 and shed = ref 0 and other = ref 0 in
+  let m = Mutex.create () in
+  let client () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    let transport =
+      Nd_server.Client.channel_transport
+        (Unix.in_channel_of_descr fd)
+        (Unix.out_channel_of_descr fd)
+    in
+    let request = Printf.sprintf "inject sleep %d" rb_sleep_ms in
+    for _ = 1 to per_client do
+      let reply, s = time (fun () -> transport request) in
+      let us = s *. 1e6 in
+      Mutex.lock m;
+      (match Nd_server.Client.status_of_reply reply with
+      | Nd_server.Client.Ok_reply ->
+          ok_lat.(!ok) <- us;
+          incr ok
+      | Nd_server.Client.Err_reply ("overloaded", _) ->
+          shed_lat.(!shed) <- us;
+          incr shed
+      | _ -> incr other);
+      Mutex.unlock m
+    done;
+    ignore (transport "quit")
+  in
+  let (), elapsed =
+    time (fun () ->
+        let ths = List.init rb_clients (fun _ -> Thread.create client ()) in
+        List.iter Thread.join ths)
+  in
+  let server_shed = (Nd_server.counts srv).Nd_server.overloaded in
+  ( Array.sub ok_lat 0 !ok,
+    Array.sub shed_lat 0 !shed,
+    !other,
+    elapsed,
+    server_shed )
+
+let rb_overload_json eng =
+  let retry_after_ms = 25 in
+  (* chaos unlocks the `inject sleep` heavy-query surrogate *)
+  let base = { Nd_server.default_config with Nd_server.chaos = true } in
+  let gated_cfg =
+    { base with Nd_server.max_inflight = Some 2; retry_after_ms }
+  in
+  let ok_lat, shed_lat, other, elapsed, server_shed =
+    rb_stampede ~config:gated_cfg eng
+  in
+  let requests = rb_clients * rb_per_client () in
+  let ok = Array.length ok_lat and shed = Array.length shed_lat in
+  let goodput = float ok /. Float.max elapsed 1e-9 in
+  let shed_p99 = rb_percentile_us shed_lat 99. in
+  Printf.printf
+    "  gated(max_inflight=2)  clients=%d  %d requests: %d ok, %d shed  \
+     goodput=%.0f ok/s  shed p99=%.0fus\n%!"
+    rb_clients requests ok shed goodput shed_p99;
+  let gated =
+    Printf.sprintf
+      "{\"clients\":%d,\"requests\":%d,\"sleep_ms\":%d,\"ok\":%d,\
+       \"shed\":%d,\"server_shed\":%d,\"other\":%d,\"elapsed_s\":%.9g,\
+       \"goodput_rps\":%.9g,\"ok_p99_us\":%.9g,\"shed_p99_us\":%.9g,\
+       \"retry_after_ms\":%d}"
+      rb_clients requests rb_sleep_ms ok shed server_shed other elapsed
+      goodput
+      (rb_percentile_us ok_lat 99.)
+      shed_p99 retry_after_ms
+  in
+  let ok_lat, shed_lat, other, elapsed, _ = rb_stampede ~config:base eng in
+  let ok = Array.length ok_lat in
+  let rps = float ok /. Float.max elapsed 1e-9 in
+  Printf.printf
+    "  nogate                 clients=%d  %d requests: %d ok  %.0f req/s  \
+     ok p99=%.0fus\n%!"
+    rb_clients requests ok rps
+    (rb_percentile_us ok_lat 99.);
+  let nogate =
+    Printf.sprintf
+      "{\"clients\":%d,\"requests\":%d,\"sleep_ms\":%d,\"ok\":%d,\
+       \"shed\":%d,\"other\":%d,\"elapsed_s\":%.9g,\"rps\":%.9g,\
+       \"ok_p99_us\":%.9g}"
+      rb_clients requests rb_sleep_ms ok (Array.length shed_lat) other
+      elapsed rps
+      (rb_percentile_us ok_lat 99.)
+  in
+  (gated, nogate)
+
+(* The hygiene arm: one sequential client (the unloaded PAR serve
+   row), gates off vs gates armed at thresholds this workload can
+   never trip.  Cost-model ops must be bit-identical. *)
+let rb_hygiene_json eng =
+  let requests = if !smoke then 200 else 800 in
+  let run config =
+    rb_with_server ~config eng @@ fun _srv path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    let transport =
+      Nd_server.Client.channel_transport
+        (Unix.in_channel_of_descr fd)
+        (Unix.out_channel_of_descr fd)
+    in
+    Nd_util.Metrics.reset ();
+    Nd_util.Metrics.enable ();
+    let o0 = Nd_util.Metrics.ops () in
+    let (), s =
+      time (fun () ->
+          for _ = 1 to requests do
+            ignore (transport "test 0,1")
+          done)
+    in
+    ignore (transport "quit");
+    Nd_util.Metrics.disable ();
+    (Nd_util.Metrics.ops () - o0, s)
+  in
+  let armed =
+    {
+      Nd_server.default_config with
+      Nd_server.max_inflight = Some 1_000;
+      max_conns = Some 64;
+      io_timeout_ms = Some 30_000;
+      idle_timeout_ms = Some 30_000;
+    }
+  in
+  (* warm once so lazily-built index nodes don't skew the off arm *)
+  ignore (run Nd_server.default_config);
+  let ops_off, wall_off = run Nd_server.default_config in
+  let ops_on, wall_on = run armed in
+  let delta_pct =
+    if ops_off = 0 then 0.
+    else float_of_int (ops_on - ops_off) /. float_of_int ops_off *. 100.
+  in
+  Printf.printf
+    "  hygiene overhead       %d sequential requests: ops off=%d on=%d  \
+     delta=%.2f%%  wall %s -> %s\n%!"
+    requests ops_off ops_on delta_pct (ns wall_off) (ns wall_on);
+  Printf.sprintf
+    "{\"requests\":%d,\"ops_off\":%d,\"ops_on\":%d,\"ops_delta_pct\":%.9g,\
+     \"wall_off_s\":%.9g,\"wall_on_s\":%.9g,\"rps_off\":%.9g,\
+     \"rps_on\":%.9g}"
+    requests ops_off ops_on delta_pct wall_off wall_on
+    (float requests /. Float.max wall_off 1e-9)
+    (float requests /. Float.max wall_on 1e-9)
+
+let rb_json () =
+  let phi = Nd_logic.Parse.formula "dist(x,y) <= 2" in
+  let g = rb_graph () in
+  (* cache_limit:0 keeps the two hygiene arms bit-identical in ops;
+     metrics stay disabled for the stampede arms (wall-clock only) *)
+  let eng = Nd_engine.prepare ~metrics:true ~cache_limit:0 g phi in
+  Nd_util.Metrics.disable ();
+  let gated, nogate = rb_overload_json eng in
+  let hygiene = rb_hygiene_json eng in
+  Printf.sprintf
+    "{\"host_domains\":%d,\"gated\":%s,\"nogate\":%s,\"hygiene\":%s}"
+    host_domains gated nogate hygiene
+
+let rb_rows = ref None
+
+(* memoized: the RB experiment and the EE document share one run *)
+let rb_rows_json () =
+  match !rb_rows with
+  | Some j -> j
+  | None ->
+      let j = rb_json () in
+      rb_rows := Some j;
+      j
+
+let rb_overload () = ignore (rb_rows_json ())
+
+(* ------------------------------------------------------------------ *)
 (* EE — engine trajectories: run the whole pipeline through the
    Nd_engine façade with metrics on, and serialize the cost-model
    numbers (delay/op-count trajectories, store register-touch
@@ -1258,13 +1513,16 @@ let ee_engine_json () =
   (* PAR rows ride along in every mode: parallel prepare speedup and
      concurrent-serve throughput, gated host-aware by check_schema *)
   let parallel_doc = par_rows_json () in
+  (* RB rows ride along in every mode: overload shedding under a 2x
+     stampede and the hygiene-gate ops overhead, gated by check_schema *)
+  let overload_doc = rb_rows_json () in
   let mode = if !smoke then "smoke" else if !quick then "quick" else "full" in
   let doc =
     Printf.sprintf
       "{\"schema\":\"nd-engine-bench/1\",\"mode\":\"%s\",\"query\":\"%s\",\
        \"engine\":[%s],\"store\":[%s],\"budget_overhead\":[%s],\
        \"trace_overhead\":[%s],\"snapshot\":[%s],\"update\":[%s],\
-       \"parallel\":%s}"
+       \"parallel\":%s,\"overload\":%s}"
       mode qtext
       (String.concat "," engine_points)
       (String.concat "," store_points)
@@ -1272,7 +1530,7 @@ let ee_engine_json () =
       (String.concat "," trace_points)
       (String.concat "," snapshot_points)
       (String.concat "," update_points)
-      parallel_doc
+      parallel_doc overload_doc
   in
   let path = "BENCH_engine.json" in
   let oc = open_out path in
@@ -1300,6 +1558,7 @@ let experiments =
     ("ER", "robustness: budget-probe overhead", er_budget_overhead);
     ("TR", "observability: span-tracer overhead", tr_trace_overhead);
     ("PAR", "parallel prepare + concurrent serve", par_parallel);
+    ("RB", "robustness: overload shedding + hygiene overhead", rb_overload);
     ("EE", "engine cost-model trajectories", ee_engine_json);
   ]
 

@@ -561,21 +561,38 @@ let snapshot_info file =
 
 (* ---------------- serve ---------------- *)
 
-let serve spec query colors seed epsilon snapshot_file socket backlog
+(* One worker lifetime: prepare (or revive + replay the journal),
+   serve until quit/EOF/signal, report.  Under --supervise this runs in
+   a forked child; the fork happens before this function, because it
+   spawns domains (--jobs) and OCaml 5 forbids forking after the first
+   Domain.spawn. *)
+let serve_worker spec query colors seed epsilon snapshot_file socket backlog
     request_budget_ops request_timeout_ms max_enumerate chaos event_log_file
-    no_metrics trace jobs =
- run @@ fun () ->
+    no_metrics trace jobs max_inflight max_conns io_timeout_ms idle_timeout_ms
+    max_line_bytes retry_after_ms journal_file =
   (* metrics default ON in serve so the `metrics` scrape verb has
      something to report over a long session *)
   if not no_metrics then Nd_util.Metrics.enable ();
   (match trace with Some _ -> Nd_trace.enable () | None -> ());
   let g = load spec ~colors ~seed in
   let phi = Nd_logic.Parse.formula query in
+  (* the recovery journal: every mutation applied in a previous worker
+     lifetime, replayed before serving so a restarted (or kill -9'd)
+     worker resumes at the pre-crash epoch *)
+  let journal_muts =
+    match journal_file with
+    | Some path when Sys.file_exists path -> read_mutations path
+    | _ -> []
+  in
   (* diagnostics go to stderr; stdout carries only protocol replies *)
   let eng =
     match snapshot_file with
     | Some path ->
-        let eng, outcome = Nd_snapshot.load_or_rebuild ~epsilon ~path g phi in
+        let eng, outcome =
+          Nd_snapshot.load_or_rebuild ~epsilon
+            ?journal:(if journal_muts = [] then None else Some journal_muts)
+            ~path g phi
+        in
         (match outcome with
         | Nd_snapshot.Loaded ->
             Printf.eprintf "fodb serve: loaded snapshot %s\n%!" path
@@ -583,8 +600,14 @@ let serve spec query colors seed epsilon snapshot_file socket backlog
             Printf.eprintf "fodb serve: snapshot rejected (%s); rebuilt\n%!"
               (Nd_snapshot.describe c));
         eng
-    | None -> Nd_engine.prepare ~epsilon ~jobs:(resolve_jobs jobs) g phi
+    | None ->
+        let eng = Nd_engine.prepare ~epsilon ~jobs:(resolve_jobs jobs) g phi in
+        if journal_muts <> [] then Nd_engine.update_batch eng journal_muts;
+        eng
   in
+  if journal_muts <> [] then
+    Printf.eprintf "fodb serve: replayed %d journal mutations (epoch %d)\n%!"
+      (List.length journal_muts) (Nd_engine.epoch eng);
   let event_log_oc =
     Option.map
       (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
@@ -598,6 +621,21 @@ let serve spec query colors seed epsilon snapshot_file socket backlog
         flush oc)
       event_log_oc
   in
+  (* the journal is append-only and flushed per mutation: a crash right
+     after an update still finds the mutation on disk at replay time *)
+  let journal_oc =
+    Option.map
+      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      journal_file
+  in
+  let journal =
+    Option.map
+      (fun oc line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+      journal_oc
+  in
   let config =
     {
       Nd_server.request_budget_ops;
@@ -605,6 +643,13 @@ let serve spec query colors seed epsilon snapshot_file socket backlog
       max_enumerate;
       chaos;
       event_log;
+      max_inflight;
+      max_conns;
+      io_timeout_ms;
+      idle_timeout_ms;
+      max_line_bytes;
+      retry_after_ms;
+      journal;
     }
   in
   let srv = Nd_server.create ~config eng in
@@ -617,6 +662,7 @@ let serve spec query colors seed epsilon snapshot_file socket backlog
   | Some path -> Nd_server.serve_socket ~backlog srv ~path
   | None -> Nd_server.serve srv stdin stdout);
   Option.iter close_out_noerr event_log_oc;
+  Option.iter close_out_noerr journal_oc;
   (match trace with
   | Some path ->
       let n = Nd_trace.save_chrome ~path in
@@ -626,7 +672,119 @@ let serve spec query colors seed epsilon snapshot_file socket backlog
   Printf.eprintf
     "fodb serve: %d requests (%d ok, %d user, %d budget, %d internal)\n%!"
     c.Nd_server.requests c.Nd_server.ok c.Nd_server.user_errors
-    c.Nd_server.budget_errors c.Nd_server.internal_errors
+    c.Nd_server.budget_errors c.Nd_server.internal_errors;
+  if c.Nd_server.overloaded > 0 || c.Nd_server.shutting_down > 0 then
+    Printf.eprintf "fodb serve: shed %d (overloaded), refused %d \
+                    (shutting-down)\n%!"
+      c.Nd_server.overloaded c.Nd_server.shutting_down
+
+let serve spec query colors seed epsilon snapshot_file socket backlog
+    request_budget_ops request_timeout_ms max_enumerate chaos event_log_file
+    no_metrics trace jobs max_inflight max_conns io_timeout_ms idle_timeout_ms
+    max_line_bytes retry_after_ms journal_file supervise max_crashes
+    restart_backoff_ms restart_window_ms =
+ run @@ fun () ->
+  let worker () =
+    serve_worker spec query colors seed epsilon snapshot_file socket backlog
+      request_budget_ops request_timeout_ms max_enumerate chaos event_log_file
+      no_metrics trace jobs max_inflight max_conns io_timeout_ms
+      idle_timeout_ms max_line_bytes retry_after_ms journal_file
+  in
+  if not supervise then worker ()
+  else begin
+    (* The supervising parent never prepares an engine (never spawns a
+       domain), so forking workers stays legal for its whole lifetime.
+       Each worker re-derives its state from snapshot + journal, which
+       is exactly the crash-recovery path. *)
+    let module Sup = Nd_server.Supervisor in
+    let child = ref None in
+    let forward signal =
+      match !child with
+      | Some pid -> ( try Unix.kill pid signal with Unix.Unix_error _ -> ())
+      | None -> ()
+    in
+    (try
+       Sys.set_signal Sys.sigint
+         (Sys.Signal_handle (fun _ -> forward Sys.sigint));
+       Sys.set_signal Sys.sigterm
+         (Sys.Signal_handle (fun _ -> forward Sys.sigterm))
+     with Invalid_argument _ | Sys_error _ -> ());
+    let spawn () =
+      match Unix.fork () with
+      | 0 -> (
+          (* the worker: run one serve lifetime, fold failures into the
+             exit code the supervisor classifies *)
+          try
+            worker ();
+            exit 0
+          with e ->
+            Printf.eprintf "fodb serve: worker failed: %s\n%!"
+              (Printexc.to_string e);
+            exit 1)
+      | pid ->
+          child := Some pid;
+          Printf.eprintf "fodb serve: supervisor: worker pid=%d\n%!" pid;
+          pid
+    in
+    let wait pid =
+      let rec w () =
+        match Unix.waitpid [] pid with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> w ()
+        | _, Unix.WEXITED c -> Sup.Exited c
+        | _, (Unix.WSIGNALED s | Unix.WSTOPPED s) -> Sup.Signaled s
+      in
+      let o = w () in
+      child := None;
+      o
+    in
+    let policy =
+      {
+        Sup.backoff = Nd_util.Backoff.schedule ~max_ms:5_000 restart_backoff_ms;
+        max_crashes;
+        window_ms = restart_window_ms;
+      }
+    in
+    let log m = Printf.eprintf "fodb serve: supervisor: %s\n%!" m in
+    match Sup.run ~policy ~log ~spawn ~wait () with
+    | Ok () -> ()
+    | Error reason ->
+        Printf.eprintf "fodb serve: supervisor: circuit breaker open: %s\n%!"
+          reason;
+        exit 1
+  end
+
+(* ---------------- chaos-proxy ---------------- *)
+
+(* The socket-level member of the fault-injection family: a
+   deterministic adversary between a real client and a real server.
+   Runs until SIGINT/SIGTERM. *)
+let chaos_proxy listen upstream chunk delay_ms garbage cut_after
+    cut_reply_after =
+ run @@ fun () ->
+  let profile =
+    {
+      Nd_ram.Chaos.Net.chunk = Option.value ~default:max_int chunk;
+      delay_ms;
+      garbage;
+      cut_after;
+      cut_reply_after;
+    }
+  in
+  let proxy = Nd_ram.Chaos.Net.start profile ~listen ~upstream in
+  Printf.eprintf "fodb chaos-proxy: %s -> %s\n%!" listen upstream;
+  let stop = ref false in
+  (try
+     Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+   with Invalid_argument _ | Sys_error _ -> ());
+  while not !stop do
+    (* the stop signal interrupts the nap — that is its job, not an error *)
+    try ignore (Unix.select [] [] [] 0.2)
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  let n = Nd_ram.Chaos.Net.connections proxy in
+  Nd_ram.Chaos.Net.stop proxy;
+  Printf.eprintf "fodb chaos-proxy: %d connections proxied\n%!" n
 
 (* ---------------- client ---------------- *)
 
@@ -900,7 +1058,8 @@ let cmd_serve =
     (Cmd.info "serve" ~exits
        ~doc:
          "Answer next/test/enumerate requests over a line protocol with \
-          per-request budgets and full request isolation")
+          per-request budgets, full request isolation, admission control \
+          and connection hygiene")
     Term.(
       const serve $ graph_arg $ query_arg $ colors_arg $ seed_arg
       $ epsilon_arg
@@ -926,7 +1085,142 @@ let cmd_serve =
               ~doc:
                 "Do not enable cost-model instrumentation (the `metrics` \
                  verb then reports zeros).")
-      $ trace_arg $ jobs_arg)
+      $ trace_arg $ jobs_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-inflight" ] ~docv:"N"
+              ~doc:
+                "Admission gate: requests past the gate at once; further \
+                 requests are shed with $(b,err overloaded) instead of \
+                 queueing unboundedly.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-conns" ] ~docv:"N"
+              ~doc:
+                "Connection gate: live connections at once; accepted \
+                 connections over the limit are refused with \
+                 $(b,err overloaded) + $(b,bye).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "io-timeout-ms" ] ~docv:"N"
+              ~doc:
+                "Hygiene: max milliseconds a started request line may take \
+                 to arrive (slow-loris guard) and the write deadline per \
+                 reply; violation yields $(b,err user) and the connection \
+                 closes.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "idle-timeout-ms" ] ~docv:"N"
+              ~doc:
+                "Hygiene: max milliseconds a connection may sit idle between \
+                 requests before the reaper closes it with $(b,bye).")
+      $ Arg.(
+          value & opt int 65536
+          & info [ "max-line-bytes" ] ~docv:"N"
+              ~doc:
+                "Hygiene: longest accepted request line (default 65536); \
+                 longer lines get $(b,err user) and the connection closes.")
+      $ Arg.(
+          value & opt int 100
+          & info [ "retry-after-ms" ] ~docv:"N"
+              ~doc:
+                "Floor advertised in $(b,err overloaded) replies \
+                 (default 100).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "journal" ] ~docv:"FILE"
+              ~doc:
+                "Recovery journal: append every applied mutation in wire \
+                 syntax, and replay the file before serving — a restarted \
+                 worker (see $(b,--supervise)) resumes at the pre-crash \
+                 epoch.")
+      $ Arg.(
+          value & flag
+          & info [ "supervise" ]
+              ~doc:
+                "Run the serve loop in a worker process under a \
+                 restart-on-crash supervisor with exponential backoff and a \
+                 crash-count circuit breaker.  Pair with $(b,--snapshot) \
+                 and/or $(b,--journal) so restarted workers recover their \
+                 epoch.")
+      $ Arg.(
+          value & opt int 5
+          & info [ "max-crashes" ] ~docv:"N"
+              ~doc:
+                "Supervisor circuit breaker: give up after this many crashes \
+                 within the restart window (default 5).")
+      $ Arg.(
+          value & opt int 100
+          & info [ "restart-backoff-ms" ] ~docv:"N"
+              ~doc:
+                "Supervisor: backoff cap before the first restart, doubling \
+                 per crash up to 5s (default 100).")
+      $ Arg.(
+          value & opt int 30000
+          & info [ "restart-window-ms" ] ~docv:"N"
+              ~doc:
+                "Supervisor: sliding window for the circuit breaker \
+                 (default 30000); crashes older than this are forgiven."))
+
+let cmd_chaos_proxy =
+  Cmd.v
+    (Cmd.info "chaos-proxy" ~exits
+       ~doc:
+         "Deterministic socket-level fault injection between a client and a \
+          $(b,fodb serve --socket) server: slow-loris byte trickle, partial \
+          writes, injected garbage, and mid-request/mid-reply disconnects.  \
+          Runs until SIGINT/SIGTERM.")
+    Term.(
+      const chaos_proxy
+      $ Arg.(
+          required
+          & opt (some string) None
+          & info [ "listen" ] ~docv:"PATH"
+              ~doc:"Unix-domain socket to listen on (clients connect here).")
+      $ Arg.(
+          required
+          & opt (some string) None
+          & info [ "upstream" ] ~docv:"PATH"
+              ~doc:"The real server's Unix-domain socket.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "chunk" ] ~docv:"N"
+              ~doc:
+                "Forward client bytes at most N at a time (1 = \
+                 byte-at-a-time partial writes).")
+      $ Arg.(
+          value & opt int 0
+          & info [ "delay-ms" ] ~docv:"N"
+              ~doc:
+                "Sleep N ms before each forwarded client chunk (with \
+                 $(b,--chunk 1): slow-loris).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "garbage" ] ~docv:"BYTES"
+              ~doc:
+                "Inject these bytes toward the server before the client's \
+                 first real byte.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "cut-after" ] ~docv:"N"
+              ~doc:
+                "Hard-close both directions after forwarding N \
+                 client-to-server bytes (mid-request disconnect).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "cut-reply-after" ] ~docv:"N"
+              ~doc:
+                "Hard-close after N server-to-client bytes (mid-reply \
+                 disconnect)."))
 
 let cmd_client =
   Cmd.v
@@ -960,5 +1254,5 @@ let () =
           [
             cmd_enumerate; cmd_count; cmd_test; cmd_next; cmd_update;
             cmd_cover; cmd_splitter; cmd_stats; cmd_profile; cmd_snapshot;
-            cmd_serve; cmd_client;
+            cmd_serve; cmd_client; cmd_chaos_proxy;
           ]))

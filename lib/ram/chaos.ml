@@ -208,3 +208,180 @@ module Disk = struct
     in
     write path out
 end
+
+(* ---------------- socket-level fault injection ---------------- *)
+
+module Net = struct
+  type profile = {
+    chunk : int;
+    delay_ms : int;
+    garbage : string option;
+    cut_after : int option;
+    cut_reply_after : int option;
+  }
+
+  let default_profile =
+    {
+      chunk = max_int;
+      delay_ms = 0;
+      garbage = None;
+      cut_after = None;
+      cut_reply_after = None;
+    }
+
+  type t = {
+    listen_path : string;
+    sock : Unix.file_descr;
+    stop : bool ref;
+    reg : Mutex.t;
+    mutable live : Unix.file_descr list;  (* both sides of live pairs *)
+    mutable threads : Thread.t list;
+    mutable accepted : int;
+    accept_thread : Thread.t;
+  }
+
+  let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+  let shutdown_noerr fd =
+    try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+  (* Forward [src] → [dst] applying the per-direction fault knobs.
+     [budget] is the cut_* byte allowance (None = unbounded); when it
+     runs out, both sides are hard-closed mid-stream.  A send-side
+     failure (the victim hung up) just ends the pump: the proxy's job
+     is delivering faults, not surviving them. *)
+  let pump ?(chunk = max_int) ?(delay_ms = 0) ?budget ~src ~dst ~kill () =
+    let chunk = max 1 chunk in
+    let buf = Bytes.create 4096 in
+    let budget = ref budget in
+    let rec write_all off len =
+      if len > 0 then begin
+        if delay_ms > 0 then Thread.delay (float delay_ms /. 1000.);
+        let n = min len chunk in
+        let n =
+          match !budget with
+          | None -> n
+          | Some b ->
+              if b <= 0 then raise Exit
+              else begin
+                budget := Some (b - min n b);
+                min n b
+              end
+        in
+        let written = Unix.write dst buf off n in
+        (match !budget with Some 0 -> raise Exit | _ -> ());
+        write_all (off + written) (len - written)
+      end
+    in
+    let rec loop () =
+      match Unix.read src buf 0 (Bytes.length buf) with
+      | 0 | (exception Unix.Unix_error _) | (exception Sys_error _) ->
+          (* EOF: half-close toward the receiver so line readers see it *)
+          (try Unix.shutdown dst Unix.SHUTDOWN_SEND
+           with Unix.Unix_error _ -> ())
+      | n -> (
+          match write_all 0 n with
+          | () -> loop ()
+          | exception Exit -> kill ()  (* cut_* budget exhausted *)
+          | exception (Unix.Unix_error _ | Sys_error _) -> ())
+    in
+    loop ()
+
+  let start ?(backlog = 16) profile ~listen ~upstream =
+    if profile.chunk < 1 then invalid_arg "Chaos.Net.start: chunk must be >= 1";
+    if profile.delay_ms < 0 then
+      invalid_arg "Chaos.Net.start: delay_ms must be >= 0";
+    (try Unix.unlink listen with Unix.Unix_error _ | Sys_error _ -> ());
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind sock (Unix.ADDR_UNIX listen);
+       Unix.listen sock backlog
+     with e ->
+       close_noerr sock;
+       raise e);
+    let stop = ref false in
+    let reg = Mutex.create () in
+    let t_ref = ref None in
+    let conn t cfd =
+      match
+        let up = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect up (Unix.ADDR_UNIX upstream)
+         with e ->
+           close_noerr up;
+           raise e);
+        up
+      with
+      | exception (Unix.Unix_error _ | Sys_error _) -> close_noerr cfd
+      | up ->
+          Mutex.protect reg (fun () -> t.live <- cfd :: up :: t.live);
+          let kill () =
+            shutdown_noerr cfd;
+            shutdown_noerr up
+          in
+          (match profile.garbage with
+          | Some g when g <> "" -> (
+              try
+                ignore (Unix.write_substring up g 0 (String.length g))
+              with Unix.Unix_error _ -> ())
+          | _ -> ());
+          let down =
+            Thread.create
+              (fun () ->
+                pump ?budget:profile.cut_reply_after ~src:up ~dst:cfd ~kill ())
+              ()
+          in
+          pump ~chunk:profile.chunk ~delay_ms:profile.delay_ms
+            ?budget:profile.cut_after ~src:cfd ~dst:up ~kill ();
+          Thread.join down;
+          Mutex.protect reg (fun () ->
+              t.live <- List.filter (fun fd -> fd != cfd && fd != up) t.live);
+          close_noerr cfd;
+          close_noerr up
+    in
+    let rec accept_loop () =
+      if not !stop then
+        match Unix.select [ sock ] [] [] 0.1 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+        | [], _, _ -> accept_loop ()
+        | _ ->
+            (match Unix.accept sock with
+            | exception Unix.Unix_error _ -> ()
+            | cfd, _ -> (
+                match !t_ref with
+                | None -> close_noerr cfd
+                | Some t ->
+                    t.accepted <- t.accepted + 1;
+                    let th = Thread.create (fun () -> conn t cfd) () in
+                    Mutex.protect reg (fun () ->
+                        t.threads <- th :: t.threads)));
+            accept_loop ()
+    in
+    let accept_thread = Thread.create accept_loop () in
+    let t =
+      {
+        listen_path = listen;
+        sock;
+        stop;
+        reg;
+        live = [];
+        threads = [];
+        accepted = 0;
+        accept_thread;
+      }
+    in
+    t_ref := Some t;
+    t
+
+  let stop t =
+    if not !(t.stop) then begin
+      t.stop := true;
+      Thread.join t.accept_thread;
+      close_noerr t.sock;
+      List.iter shutdown_noerr (Mutex.protect t.reg (fun () -> t.live));
+      List.iter Thread.join (Mutex.protect t.reg (fun () -> t.threads));
+      try Unix.unlink t.listen_path with Unix.Unix_error _ | Sys_error _ -> ()
+    end
+
+  let connections t = t.accepted
+end

@@ -118,3 +118,66 @@ module Disk : sig
       ranges may differ in length).
       @raise Invalid_argument on overlap or overrun. *)
 end
+
+(** {1 Socket-level fault injection}
+
+    The third member of the fault-injection family: {!t} corrupts the
+    store's registers, {!Disk} corrupts snapshot bytes, and [Net] sits
+    {e between a real client and a real server} as a Unix-domain socket
+    proxy, corrupting the transport.  It gives the serve loop's
+    connection-hygiene mechanisms (io/idle deadlines, bounded request
+    lines, EPIPE tolerance — see [Nd_server]) a {e deterministic}
+    adversary: every fault is parameter-driven (byte counts, fixed
+    delays), never probabilistic, so a failing schedule replays
+    exactly.
+
+    Fault classes, all composable in one {!Net.profile}:
+    - {e slow-loris}: forward the client's bytes in [chunk]-sized
+      pieces with [delay_ms] between them, so a request line trickles
+      in slower than the server's io deadline;
+    - {e partial writes}: [chunk = 1] degenerates every write into
+      byte-at-a-time delivery;
+    - {e garbage}: inject [garbage] bytes toward the server before the
+      client's first real byte;
+    - {e mid-request disconnect}: hard-close both sides after
+      [cut_after] client→server bytes;
+    - {e mid-reply disconnect}: hard-close after [cut_reply_after]
+      server→client bytes, killing a reply in flight.
+
+    Exposed on the CLI as [fodb chaos-proxy]. *)
+module Net : sig
+  type profile = {
+    chunk : int;  (** max client→server bytes forwarded per write (≥1) *)
+    delay_ms : int;  (** sleep before each forwarded client→server chunk *)
+    garbage : string option;
+        (** bytes injected toward the server before the first real byte *)
+    cut_after : int option;
+        (** hard-close both directions after this many client→server
+            bytes have been forwarded *)
+    cut_reply_after : int option;
+        (** hard-close after this many server→client bytes *)
+  }
+
+  val default_profile : profile
+  (** Transparent: unbounded chunk, no delay, no garbage, no cuts. *)
+
+  type t
+
+  val start : ?backlog:int -> profile -> listen:string -> upstream:string -> t
+  (** Bind a Unix-domain socket at [listen] (unlinking any stale file)
+      and proxy every accepted connection to the server at [upstream],
+      applying [profile] per connection.  Each client→server and
+      server→client direction is pumped by its own thread; the
+      upstream connection is opened lazily when the client connects.
+      Returns immediately; faults run until {!stop}.
+      @raise Unix.Unix_error when the listen socket cannot be bound. *)
+
+  val stop : t -> unit
+  (** Stop accepting, tear down every live connection (both sides),
+      join the pump threads, and remove the listen socket file.
+      Idempotent. *)
+
+  val connections : t -> int
+  (** Connections accepted so far (for tests asserting the adversary
+      actually ran). *)
+end

@@ -8,6 +8,17 @@ let m_ok = Metrics.counter "server.replies_ok"
 let m_err_user = Metrics.counter "server.errors.user"
 let m_err_budget = Metrics.counter "server.errors.budget"
 let m_err_internal = Metrics.counter "server.errors.internal"
+
+(* overload-safety counters: requests shed at the admission gate,
+   requests refused because the server is draining, whole connections
+   refused at the connection cap, and hygiene enforcement events *)
+let m_err_overloaded = Metrics.counter "server.errors.overloaded"
+let m_err_shutting_down = Metrics.counter "server.errors.shutting_down"
+let m_conns_rejected = Metrics.counter "server.conns_rejected"
+let m_io_timeouts = Metrics.counter "server.io_timeouts"
+let m_oversized_lines = Metrics.counter "server.oversized_lines"
+let m_idle_reaped = Metrics.counter "server.idle_reaped"
+let m_backlog_drained = Metrics.counter "server.backlog_drained"
 let m_updates = Metrics.counter "server.updates"
 let h_latency = Metrics.hist "server.request_us"
 
@@ -17,6 +28,13 @@ type config = {
   max_enumerate : int;
   chaos : bool;
   event_log : (string -> unit) option;
+  max_inflight : int option;
+  max_conns : int option;
+  io_timeout_ms : int option;
+  idle_timeout_ms : int option;
+  max_line_bytes : int;
+  retry_after_ms : int;
+  journal : (string -> unit) option;
 }
 
 let default_config =
@@ -26,6 +44,13 @@ let default_config =
     max_enumerate = 1000;
     chaos = false;
     event_log = None;
+    max_inflight = None;
+    max_conns = None;
+    io_timeout_ms = None;
+    idle_timeout_ms = None;
+    max_line_bytes = 65536;
+    retry_after_ms = 100;
+    journal = None;
   }
 
 type cursor = Unstarted | At of int array | Exhausted
@@ -36,22 +61,31 @@ type counts = {
   user_errors : int;
   budget_errors : int;
   internal_errors : int;
+  overloaded : int;
+  shutting_down : int;
 }
 
-(* State shared by every session over one engine handle: the lock
-   serializing request processing (one prepared handle, many
-   connections — answering mutates the solution cache, so requests are
-   dispatched one at a time while connection I/O overlaps freely), the
-   process-wide stop flag, and the request accounting.  All fields
-   besides [stop] are touched only under [lock]. *)
+(* State shared by every session over one engine handle.  Two locks
+   with distinct jobs: [lock] serializes request *processing* (one
+   prepared handle, many connections — answering mutates the solution
+   cache, so requests are dispatched one at a time while connection I/O
+   overlaps freely); [adm] protects only the admission state (counters
+   and the in-flight gauge) so an overloaded request can be shed in
+   O(1) without ever waiting on the engine.  [adm] is never taken while
+   holding [lock]'s critical work — its sections are a few loads and
+   stores. *)
 type shared = {
   lock : Mutex.t;
+  adm : Mutex.t;
   stop : bool ref;
+  mutable inflight : int;
   mutable c_requests : int;
   mutable c_ok : int;
   mutable c_user : int;
   mutable c_budget : int;
   mutable c_internal : int;
+  mutable c_overloaded : int;
+  mutable c_shutting_down : int;
 }
 
 type t = {
@@ -65,25 +99,42 @@ type t = {
 let create ?(config = default_config) eng =
   if config.max_enumerate <= 0 then
     invalid_arg "Nd_server.create: max_enumerate must be positive";
+  if config.max_line_bytes <= 0 then
+    invalid_arg "Nd_server.create: max_line_bytes must be positive";
+  if config.retry_after_ms < 0 then
+    invalid_arg "Nd_server.create: retry_after_ms must be >= 0";
+  let pos_opt name = function
+    | Some v when v <= 0 ->
+        invalid_arg (Printf.sprintf "Nd_server.create: %s must be positive" name)
+    | _ -> ()
+  in
+  pos_opt "max_inflight" config.max_inflight;
+  pos_opt "max_conns" config.max_conns;
+  pos_opt "io_timeout_ms" config.io_timeout_ms;
+  pos_opt "idle_timeout_ms" config.idle_timeout_ms;
   {
     eng;
     config;
     sh =
       {
         lock = Mutex.create ();
+        adm = Mutex.create ();
         stop = ref false;
+        inflight = 0;
         c_requests = 0;
         c_ok = 0;
         c_user = 0;
         c_budget = 0;
         c_internal = 0;
+        c_overloaded = 0;
+        c_shutting_down = 0;
       };
     cursor = Unstarted;
     quit = false;
   }
 
 (* A per-connection session: own enumeration cursor and quit flag,
-   everything else (engine, config, lock, stop, counters) shared with
+   everything else (engine, config, locks, stop, counters) shared with
    the parent. *)
 let session t = { t with cursor = Unstarted; quit = false }
 
@@ -94,6 +145,8 @@ let counts t =
     user_errors = t.sh.c_user;
     budget_errors = t.sh.c_budget;
     internal_errors = t.sh.c_internal;
+    overloaded = t.sh.c_overloaded;
+    shutting_down = t.sh.c_shutting_down;
   }
 
 let quitting t = t.quit
@@ -200,10 +253,20 @@ let cmd_enumerate t arg =
 (* Mutations invalidate the enumeration cursor: the solution order over
    the new graph need not extend the old page sequence, so a stale
    cursor could skip or duplicate answers.  Every successful update
-   therefore resets it; clients re-enumerate from the top. *)
+   therefore resets it; clients re-enumerate from the top.
+
+   Journaling is per-mutation, after the engine has applied it: a batch
+   that dies on a budget error mid-list journals exactly the applied
+   prefix, so replay reconstructs the true epoch. *)
 let absorb t muts =
   with_request_budget t (fun () ->
-      List.iter (fun m -> Nd_engine.update t.eng m) muts);
+      List.iter
+        (fun m ->
+          Nd_engine.update t.eng m;
+          match t.config.journal with
+          | None -> ()
+          | Some sink -> sink (Nd_graph.Cgraph.mutation_to_string m))
+        muts);
   t.cursor <- Unstarted;
   Metrics.add m_updates (List.length muts);
   [
@@ -234,9 +297,10 @@ let cmd_health t =
   let c = counts t in
   [
     Printf.sprintf
-      "health ok requests=%d ok=%d user=%d budget=%d internal=%d degraded=%b \
-       cache=%d"
+      "health ok requests=%d ok=%d user=%d budget=%d internal=%d shed=%d \
+       degraded=%b cache=%d"
       c.requests c.ok c.user_errors c.budget_errors c.internal_errors
+      c.overloaded
       (Nd_engine.degraded t.eng)
       (Nd_engine.cache_size t.eng);
   ]
@@ -284,7 +348,19 @@ let dispatch t line =
       | "internal" -> Nd_error.invariantf "injected internal fault (chaos)"
       | "user" -> Nd_error.user_errorf "injected user fault (chaos)"
       | "crash" -> raise Not_found (* an untyped failure, for the catch-all *)
-      | other -> Nd_error.user_errorf "inject: unknown fault class %S" other)
+      | other -> (
+          match split_command other with
+          | "sleep", ms_s -> (
+              (* hold the engine lock for a while: the deterministic way
+                 to pin the server so overload tests can fill the
+                 in-flight gate without timing races *)
+              match int_of_string_opt ms_s with
+              | Some ms when ms >= 0 ->
+                  (try ignore (Unix.select [] [] [] (float_of_int ms /. 1000.))
+                   with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                  `Ok [ Printf.sprintf "slept %d" ms ]
+              | _ -> Nd_error.user_errorf "inject sleep: bad duration %S" ms_s)
+          | _ -> Nd_error.user_errorf "inject: unknown fault class %S" other))
   | _ ->
       Nd_error.user_errorf "unknown command %S (try next/test/enumerate/update/batch-update/epoch/reset/stats/metrics/health/quit)"
         cmd
@@ -303,78 +379,120 @@ let json_escape s =
     s;
   Buffer.contents b
 
+let log_event t ~t0 ~rid ~span ~cmd ~status ~latency_us ~lines =
+  match t.config.event_log with
+  | None -> ()
+  | Some sink ->
+      sink
+        (Printf.sprintf
+           "{\"ts\":%.6f,\"rid\":%d,\"span\":%d,\"cmd\":\"%s\",\"status\":\"%s\",\"latency_us\":%d,\"lines\":%d}"
+           t0 rid span (json_escape cmd) status latency_us lines)
+
+(* Admission: decided under [adm] only, never the engine lock — a shed
+   verdict must stay O(1) even while the engine is pinned by a slow
+   request.  The in-flight gauge counts requests admitted past the gate
+   (processing or queued on the engine lock); it is released in the
+   [Fun.protect] finalizer of {!handle}. *)
+let admit t =
+  Mutex.protect t.sh.adm @@ fun () ->
+  t.sh.c_requests <- t.sh.c_requests + 1;
+  Metrics.incr m_requests;
+  let rid = t.sh.c_requests in
+  if !(t.sh.stop) then begin
+    t.sh.c_shutting_down <- t.sh.c_shutting_down + 1;
+    Metrics.incr m_err_shutting_down;
+    `Reject (rid, "shutting-down", "server is draining")
+  end
+  else
+    match t.config.max_inflight with
+    | Some m when t.sh.inflight >= m ->
+        t.sh.c_overloaded <- t.sh.c_overloaded + 1;
+        Metrics.incr m_err_overloaded;
+        `Reject
+          ( rid,
+            "overloaded",
+            Printf.sprintf "retry-after-ms=%d in-flight limit %d reached"
+              t.config.retry_after_ms m )
+    | _ ->
+        t.sh.inflight <- t.sh.inflight + 1;
+        `Admit rid
+
+let tally t f = Mutex.protect t.sh.adm f
+
 let handle t line =
   let line = String.trim line in
   if line = "" then []
   else begin
-    (* the lock spans parsing through reply construction: the engine
-       handle, the shared counters, the global budget slot and the
-       tracer's span stack are all single-writer under it; only the
-       connection I/O runs outside *)
-    Mutex.protect t.sh.lock @@ fun () ->
-    t.sh.c_requests <- t.sh.c_requests + 1;
-    Metrics.incr m_requests;
-    let rid = t.sh.c_requests in
     let cmd, _ = split_command line in
-    (* span = the tracer's id for this request (0 with tracing off);
-       stamped with rid into every error terminator and event-log line
-       so a failing request joins to its trace. *)
-    let span = ref 0 in
-    let status = ref "ok" in
-    let err cls m =
-      status := cls;
-      Printf.sprintf "err %s rid=%d span=%d %s" cls rid !span m
-    in
     let t0 = Unix.gettimeofday () in
-    let reply =
-      Nd_trace.with_span "server.request"
-        ~attrs:[ ("rid", string_of_int rid); ("cmd", cmd) ]
-      @@ fun () ->
-      span := Nd_trace.current_span_id ();
-      (* Request isolation: every failure class an answering call can
-         produce becomes a structured terminator line.  The final
-         catch-all exists because an unexpected exception must degrade
-         to an error reply, never to a dead loop. *)
-      match dispatch t line with
-      | `Ok lines ->
-          t.sh.c_ok <- t.sh.c_ok + 1;
-          Metrics.incr m_ok;
-          lines @ [ "ok" ]
-      | `Bye ->
-          status := "bye";
-          [ "bye" ]
-      | exception (Nd_error.User_error m | Invalid_argument m | Failure m) ->
-          t.sh.c_user <- t.sh.c_user + 1;
-          Metrics.incr m_err_user;
-          [ err "user" m ]
-      | exception Nd_error.Budget_exceeded info ->
-          t.sh.c_budget <- t.sh.c_budget + 1;
-          Metrics.incr m_err_budget;
-          [ err "budget" (Nd_error.describe_budget info) ]
-      | exception Nd_error.Internal_invariant m ->
-          t.sh.c_internal <- t.sh.c_internal + 1;
-          Metrics.incr m_err_internal;
-          [ err "internal" m ]
-      | exception Stack_overflow ->
-          t.sh.c_internal <- t.sh.c_internal + 1;
-          Metrics.incr m_err_internal;
-          [ err "internal" "stack overflow in request handler" ]
-      | exception e ->
-          t.sh.c_internal <- t.sh.c_internal + 1;
-          Metrics.incr m_err_internal;
-          [ err "internal" ("uncaught exception: " ^ Printexc.to_string e) ]
-    in
-    let latency_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
-    Metrics.observe h_latency latency_us;
-    (match t.config.event_log with
-    | None -> ()
-    | Some sink ->
-        sink
-          (Printf.sprintf
-             "{\"ts\":%.6f,\"rid\":%d,\"span\":%d,\"cmd\":\"%s\",\"status\":\"%s\",\"latency_us\":%d,\"lines\":%d}"
-             t0 rid !span (json_escape cmd) !status latency_us
-             (List.length reply)));
-    reply
+    match admit t with
+    | `Reject (rid, cls, msg) ->
+        let reply = [ Printf.sprintf "err %s rid=%d span=0 %s" cls rid msg ] in
+        let latency_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+        Metrics.observe h_latency latency_us;
+        log_event t ~t0 ~rid ~span:0 ~cmd ~status:cls ~latency_us ~lines:1;
+        reply
+    | `Admit rid ->
+        Fun.protect
+          ~finally:(fun () -> tally t (fun () -> t.sh.inflight <- t.sh.inflight - 1))
+        @@ fun () ->
+        (* the engine lock spans parsing through reply construction: the
+           engine handle, the global budget slot and the tracer's span
+           stack are all single-writer under it; only the connection I/O
+           and the admission gate run outside *)
+        Mutex.protect t.sh.lock @@ fun () ->
+        (* span = the tracer's id for this request (0 with tracing off);
+           stamped with rid into every error terminator and event-log line
+           so a failing request joins to its trace. *)
+        let span = ref 0 in
+        let status = ref "ok" in
+        let err cls m =
+          status := cls;
+          Printf.sprintf "err %s rid=%d span=%d %s" cls rid !span m
+        in
+        let reply =
+          Nd_trace.with_span "server.request"
+            ~attrs:[ ("rid", string_of_int rid); ("cmd", cmd) ]
+          @@ fun () ->
+          span := Nd_trace.current_span_id ();
+          (* Request isolation: every failure class an answering call can
+             produce becomes a structured terminator line.  The final
+             catch-all exists because an unexpected exception must degrade
+             to an error reply, never to a dead loop. *)
+          match dispatch t line with
+          | `Ok lines ->
+              tally t (fun () -> t.sh.c_ok <- t.sh.c_ok + 1);
+              Metrics.incr m_ok;
+              lines @ [ "ok" ]
+          | `Bye ->
+              status := "bye";
+              [ "bye" ]
+          | exception (Nd_error.User_error m | Invalid_argument m | Failure m) ->
+              tally t (fun () -> t.sh.c_user <- t.sh.c_user + 1);
+              Metrics.incr m_err_user;
+              [ err "user" m ]
+          | exception Nd_error.Budget_exceeded info ->
+              tally t (fun () -> t.sh.c_budget <- t.sh.c_budget + 1);
+              Metrics.incr m_err_budget;
+              [ err "budget" (Nd_error.describe_budget info) ]
+          | exception Nd_error.Internal_invariant m ->
+              tally t (fun () -> t.sh.c_internal <- t.sh.c_internal + 1);
+              Metrics.incr m_err_internal;
+              [ err "internal" m ]
+          | exception Stack_overflow ->
+              tally t (fun () -> t.sh.c_internal <- t.sh.c_internal + 1);
+              Metrics.incr m_err_internal;
+              [ err "internal" "stack overflow in request handler" ]
+          | exception e ->
+              tally t (fun () -> t.sh.c_internal <- t.sh.c_internal + 1);
+              Metrics.incr m_err_internal;
+              [ err "internal" ("uncaught exception: " ^ Printexc.to_string e) ]
+        in
+        let latency_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+        Metrics.observe h_latency latency_us;
+        log_event t ~t0 ~rid ~span:!span ~cmd ~status:!status ~latency_us
+          ~lines:(List.length reply);
+        reply
   end
 
 (* ---------------- the loop ---------------- *)
@@ -395,7 +513,9 @@ let serve t ic oc =
       | exception End_of_file -> ()
       | line ->
           (* the reply is written and flushed in full before the stop
-             flag is consulted: that is the drain guarantee *)
+             flag is consulted: that is the drain guarantee (a request
+             racing the flag itself gets [err shutting-down] from the
+             admission gate rather than a dropped line) *)
           emit (handle t line);
           if t.quit then ()
           else if !(t.sh.stop) then emit [ "bye" ]
@@ -405,14 +525,175 @@ let serve t ic oc =
 
 let default_backlog = 64
 
+(* ---------------- hygiene-bounded socket I/O ---------------- *)
+
+(* Bounded write: select-gated so a peer that stops reading cannot
+   wedge the connection thread past [deadline]. *)
+let send_all ?deadline fd s =
+  let len = String.length s in
+  let rec go off =
+    if off >= len then `Sent
+    else
+      let now = Unix.gettimeofday () in
+      match deadline with
+      | Some dl when now >= dl -> `Timeout
+      | _ -> (
+          let wait =
+            match deadline with
+            | None -> 0.5
+            | Some dl -> Float.min 0.5 (Float.max 0.0 (dl -. now))
+          in
+          match Unix.select [] [ fd ] [] wait with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+          | exception Unix.Unix_error (Unix.EBADF, _, _) -> `Closed
+          | _, [], _ -> go off
+          | _ -> (
+              match Unix.write_substring fd s off (len - off) with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+              | exception Unix.Unix_error _ -> `Closed
+              | n -> go (off + n)))
+  in
+  go 0
+
+let emit_lines ?deadline fd lines =
+  if lines = [] then `Sent
+  else send_all ?deadline fd (String.concat "" (List.map (fun l -> l ^ "\n") lines))
+
+(* First complete line out of the receive buffer ('\n'-terminated,
+   optional '\r' stripped); the remainder stays buffered for pipelined
+   requests. *)
+let take_line buf =
+  let s = Buffer.contents buf in
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i ->
+      Buffer.clear buf;
+      Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+      let last = if i > 0 && s.[i - 1] = '\r' then i - 1 else i in
+      Some (String.sub s 0 last)
+
+(* The bounded request-line reader — every connection-hygiene deadline
+   lives here.  Select ticks at most 0.2s so the stop flag is honored
+   promptly; [io_timeout_ms] bounds how long a *started* line may
+   trickle in (slow-loris), [idle_timeout_ms] bounds the quiet gap
+   between requests (the idle reaper), [max_line_bytes] bounds the
+   line buffer (memory hygiene).  A complete buffered line is returned
+   even when the stop flag is already up: the admission gate turns it
+   into [err shutting-down] instead of dropping it silently. *)
+let recv_request t fd buf =
+  let chunk = Bytes.create 4096 in
+  let start = Unix.gettimeofday () in
+  let first_byte = ref (if Buffer.length buf > 0 then Some start else None) in
+  let to_s ms = float_of_int ms /. 1000. in
+  let rec loop () =
+    match take_line buf with
+    | Some line ->
+        if String.length line > t.config.max_line_bytes then `Too_long
+        else `Line line
+    | None ->
+        if Buffer.length buf > t.config.max_line_bytes then `Too_long
+        else if !(t.sh.stop) then `Stopped
+        else begin
+          let now = Unix.gettimeofday () in
+          let deadline =
+            match !first_byte with
+            | Some tb ->
+                Option.map (fun ms -> tb +. to_s ms) t.config.io_timeout_ms
+            | None ->
+                Option.map (fun ms -> start +. to_s ms) t.config.idle_timeout_ms
+          in
+          match deadline with
+          | Some dl when now >= dl ->
+              if !first_byte = None then `Idle else `Timeout
+          | _ -> (
+              let wait =
+                match deadline with
+                | None -> 0.2
+                | Some dl -> Float.min 0.2 (Float.max 0.0 (dl -. now))
+              in
+              match Unix.select [ fd ] [] [] wait with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+              | exception Unix.Unix_error (Unix.EBADF, _, _) -> `Eof
+              | [], _, _ -> loop ()
+              | _ -> (
+                  match Unix.read fd chunk 0 (Bytes.length chunk) with
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+                  | exception Unix.Unix_error _ -> `Eof
+                  | 0 ->
+                      (* EOF with a trailing unterminated line: serve it,
+                         like [input_line] would; the next read sees a
+                         clean EOF *)
+                      if Buffer.length buf > 0 then begin
+                        let line = Buffer.contents buf in
+                        Buffer.clear buf;
+                        if String.length line > t.config.max_line_bytes then
+                          `Too_long
+                        else `Line line
+                      end
+                      else `Eof
+                  | n ->
+                      if !first_byte = None then
+                        first_byte := Some (Unix.gettimeofday ());
+                      Buffer.add_subbytes buf chunk 0 n;
+                      loop ()))
+        end
+  in
+  loop ()
+
+(* A transport-hygiene violation becomes a synthesized request: it gets
+   a real rid, lands in the user-error counters and the event log, and
+   is answered with a structured [err user] line before the connection
+   closes. *)
+let hygiene_error t ~cmd msg =
+  let t0 = Unix.gettimeofday () in
+  let rid =
+    Mutex.protect t.sh.adm (fun () ->
+        t.sh.c_requests <- t.sh.c_requests + 1;
+        Metrics.incr m_requests;
+        t.sh.c_user <- t.sh.c_user + 1;
+        Metrics.incr m_err_user;
+        t.sh.c_requests)
+  in
+  log_event t ~t0 ~rid ~span:0 ~cmd ~status:"user" ~latency_us:0 ~lines:1;
+  Printf.sprintf "err user rid=%d span=0 %s" rid msg
+
+(* Drain connections parked in the kernel accept backlog at stop time:
+   each completed-but-unaccepted connection gets a structured refusal
+   and a clean close instead of the silent reset it would see when the
+   listen socket is unlinked.  Non-blocking; returns the number
+   drained. *)
+let drain_backlog sock =
+  let refusal = "err shutting-down rid=0 span=0 server is draining\nbye\n" in
+  let rec go n =
+    match Unix.select [ sock ] [] [] 0.0 with
+    | exception Unix.Unix_error _ -> n
+    | [], _, _ -> n
+    | _ -> (
+        match Unix.accept sock with
+        | exception Unix.Unix_error _ -> n
+        | fd, _ ->
+            Metrics.incr m_backlog_drained;
+            ignore
+              (send_all
+                 ~deadline:(Unix.gettimeofday () +. 1.0)
+                 fd refusal);
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            go (n + 1))
+  in
+  go 0
+
 (* Thread-per-connection accept loop.  Sys-threads (one domain) are the
    right tool here: requests serialize on the engine lock anyway, so
-   the concurrency win is connection I/O overlap, and threads keep
-   blocking channel reads simple.  [quit] is connection-scoped in
-   socket mode (it closes that client's session); {!request_stop} is
-   what ends the server. *)
+   the concurrency win is connection I/O overlap, and the select-based
+   reader keeps every blocking point deadline-bounded.  [quit] is
+   connection-scoped in socket mode (it closes that client's session);
+   {!request_stop} is what ends the server. *)
 let serve_socket ?(backlog = default_backlog) t ~path =
   if backlog < 1 then invalid_arg "Nd_server.serve_socket: backlog must be >= 1";
+  (* a peer closing mid-write must surface as EPIPE on the write, never
+     as a process-killing signal *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ | Sys_error _ -> ());
   (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -431,11 +712,51 @@ let serve_socket ?(backlog = default_backlog) t ~path =
   let reg_m = Mutex.create () in
   let live_fds = ref [] in
   let threads = ref [] in
+  let io_deadline () =
+    Option.map
+      (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+      t.config.io_timeout_ms
+  in
   let conn fd =
-    let ic = Unix.in_channel_of_descr fd in
-    let oc = Unix.out_channel_of_descr fd in
-    (try serve (session t) ic oc with Sys_error _ -> ());
-    (try flush oc with Sys_error _ -> ());
+    let s = session t in
+    let buf = Buffer.create 256 in
+    let emit lines = emit_lines ?deadline:(io_deadline ()) fd lines in
+    let rec loop () =
+      match recv_request s fd buf with
+      | `Eof -> ()
+      | `Stopped -> ignore (emit [ "bye" ])
+      | `Idle ->
+          (* the idle reaper: a polite bye, then the connection closes *)
+          Metrics.incr m_idle_reaped;
+          ignore (emit [ "bye" ])
+      | `Timeout ->
+          Metrics.incr m_io_timeouts;
+          ignore
+            (emit
+               [
+                 hygiene_error s ~cmd:"(transport)"
+                   (Printf.sprintf
+                      "request line stalled past io-timeout-ms=%d"
+                      (Option.value ~default:0 t.config.io_timeout_ms));
+               ])
+      | `Too_long ->
+          Metrics.incr m_oversized_lines;
+          ignore
+            (emit
+               [
+                 hygiene_error s ~cmd:"(transport)"
+                   (Printf.sprintf "request line exceeds max-line-bytes=%d"
+                      t.config.max_line_bytes);
+               ])
+      | `Line line -> (
+          match emit (handle s line) with
+          | `Timeout | `Closed -> ()
+          | `Sent ->
+              if s.quit then ()
+              else if !(s.sh.stop) then ignore (emit [ "bye" ])
+              else loop ())
+    in
+    (try loop () with Sys_error _ -> ());
     Mutex.protect reg_m (fun () ->
         live_fds := List.filter (fun fd' -> fd' != fd) !live_fds);
     try Unix.close fd with Unix.Unix_error _ -> ()
@@ -451,19 +772,122 @@ let serve_socket ?(backlog = default_backlog) t ~path =
       | _ ->
           (match Unix.accept sock with
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-          | fd, _ ->
-              Mutex.protect reg_m (fun () -> live_fds := fd :: !live_fds);
-              threads := Thread.create conn fd :: !threads);
+          | fd, _ -> (
+              let over =
+                match t.config.max_conns with
+                | Some m ->
+                    Mutex.protect reg_m (fun () -> List.length !live_fds) >= m
+                | None -> false
+              in
+              if over then begin
+                (* connection-level shedding: a structured refusal, then
+                   close — never an unbounded accept queue *)
+                Metrics.incr m_conns_rejected;
+                ignore
+                  (send_all
+                     ~deadline:(Unix.gettimeofday () +. 1.0)
+                     fd
+                     (Printf.sprintf
+                        "err overloaded rid=0 span=0 retry-after-ms=%d \
+                         connection limit %d reached\nbye\n"
+                        t.config.retry_after_ms
+                        (Option.value ~default:0 t.config.max_conns)));
+                try Unix.close fd with Unix.Unix_error _ -> ()
+              end
+              else begin
+                Mutex.protect reg_m (fun () -> live_fds := fd :: !live_fds);
+                threads := Thread.create conn fd :: !threads
+              end));
           accept_loop ()
   in
   accept_loop ();
-  (* drain: unblock every connection still waiting on a request line
-     (their loops emit a final [bye]), then wait for them to finish *)
+  (* drain, in dependency order: first the connections parked in the
+     kernel backlog (refused with [err shutting-down]), then the live
+     readers are unblocked (their loops emit a final [bye]), then every
+     connection thread is joined *)
+  ignore (drain_backlog sock);
   List.iter
     (fun fd ->
       try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
     (Mutex.protect reg_m (fun () -> !live_fds));
   List.iter Thread.join !threads
+
+(* ---------------- supervisor ---------------- *)
+
+module Supervisor = struct
+  type policy = {
+    backoff : Backoff.schedule;
+    max_crashes : int;
+    window_ms : int;
+  }
+
+  let default_policy =
+    {
+      backoff = Backoff.schedule ~max_ms:5_000 100;
+      max_crashes = 5;
+      window_ms = 30_000;
+    }
+
+  type outcome = Exited of int | Signaled of int
+
+  let describe_outcome = function
+    | Exited c -> Printf.sprintf "exit %d" c
+    | Signaled s -> Printf.sprintf "signal %d" s
+
+  type decision = Restart_after_ms of int | Give_up of string
+
+  type state = { mutable crash_times : int list (* newest first, ms *) }
+
+  let init () = { crash_times = [] }
+
+  let crashes_in_window p st ~now_ms =
+    st.crash_times <-
+      List.filter (fun ts -> now_ms - ts < p.window_ms) st.crash_times;
+    List.length st.crash_times
+
+  (* The circuit breaker: crashes outside the sliding window are
+     forgiven (the worker was healthy long enough to reset the
+     breaker); [max_crashes] within it trips Give_up.  The backoff
+     attempt number is the crash count inside the window, so a worker
+     that recovers for a while restarts fast again. *)
+  let decide ?(jitter = Backoff.none) p st ~now_ms outcome =
+    if p.max_crashes < 1 then invalid_arg "Supervisor.decide: max_crashes < 1";
+    ignore (crashes_in_window p st ~now_ms);
+    st.crash_times <- now_ms :: st.crash_times;
+    let n = List.length st.crash_times in
+    if n >= p.max_crashes then
+      Give_up
+        (Printf.sprintf "%d crashes within %dms (last: %s)" n p.window_ms
+           (describe_outcome outcome))
+    else Restart_after_ms (Backoff.delay_ms ~jitter p.backoff ~attempt:n)
+
+  let run ?(policy = default_policy) ?(jitter = Backoff.none)
+      ?(sleep_ms =
+        fun ms ->
+          try ignore (Unix.select [] [] [] (float_of_int ms /. 1000.))
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      ?(now_ms = fun () -> int_of_float (Unix.gettimeofday () *. 1000.))
+      ?(log = fun (_ : string) -> ()) ~spawn ~wait () =
+    let st = init () in
+    let rec loop () =
+      let w = spawn () in
+      match wait w with
+      | Exited 0 ->
+          log "worker exited cleanly";
+          Ok ()
+      | outcome -> (
+          log (Printf.sprintf "worker died (%s)" (describe_outcome outcome));
+          match decide ~jitter policy st ~now_ms:(now_ms ()) outcome with
+          | Give_up reason ->
+              log ("giving up: " ^ reason);
+              Error reason
+          | Restart_after_ms d ->
+              log (Printf.sprintf "restarting in %dms" d);
+              sleep_ms d;
+              loop ())
+    in
+    loop ()
+end
 
 (* ---------------- client ---------------- *)
 
@@ -474,6 +898,7 @@ module Client = struct
     retries : int;
     backoff_ms : int;
     multiplier : float;
+    jitter : int -> int;
     sleep_ms : int -> unit;
   }
 
@@ -482,10 +907,18 @@ module Client = struct
       retries = 3;
       backoff_ms = 50;
       multiplier = 2.0;
-      sleep_ms = (fun ms -> ignore (Unix.select [] [] [] (float ms /. 1000.)));
+      jitter = Backoff.full_jitter ();
+      sleep_ms =
+        (fun ms ->
+          try ignore (Unix.select [] [] [] (float ms /. 1000.))
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ());
     }
 
-  type status = Ok_reply | Err_reply of string * string | Closed
+  type status =
+    | Ok_reply
+    | Err_reply of string * string
+    | Transport_error of string
+    | Closed
 
   let starts_with prefix s =
     String.length s >= String.length prefix
@@ -505,24 +938,78 @@ module Client = struct
               Err_reply
                 ( String.sub rest 0 i,
                   String.sub rest (i + 1) (String.length rest - i - 1) )
-        else Err_reply ("protocol", "unterminated reply: " ^ last)
+        else
+          (* lines arrived but no terminator: the connection died
+             mid-reply — a transport failure, not a protocol verdict *)
+          Transport_error ("unterminated reply: " ^ last)
+
+  (* The server's shed reply names its own floor: retry-after-ms=N
+     inside the err message.  Absent or malformed → 0. *)
+  let retry_after_of_msg msg =
+    List.fold_left
+      (fun acc tok ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            if starts_with "retry-after-ms=" tok then
+              int_of_string_opt
+                (String.sub tok 15 (String.length tok - 15))
+            else None)
+      None
+      (String.split_on_char ' ' msg)
+    |> Option.value ~default:0
 
   type result = { reply : string list; attempts : int; status : status }
 
   let call ?(policy = default_policy) transport req =
-    let rec go attempt delay =
-      let reply = transport req in
-      match status_of_reply reply with
+    let sched =
+      Backoff.schedule ~multiplier:policy.multiplier policy.backoff_ms
+    in
+    let rec go attempt =
+      let reply =
+        (* transport failures below the protocol (reset, broken pipe,
+           refused/missing socket during a supervisor restart) are
+           transient by classification *)
+        match transport req with
+        | reply -> `Reply reply
+        | exception End_of_file -> `Transport "eof"
+        | exception Sys_error m -> `Transport m
+        | exception
+            Unix.Unix_error
+              ( ( Unix.ECONNRESET | Unix.EPIPE | Unix.ECONNREFUSED
+                | Unix.ECONNABORTED | Unix.ENOENT ),
+                fn,
+                _ ) ->
+            `Transport ("unix error in " ^ fn)
+      in
+      let reply, status =
+        match reply with
+        | `Reply r -> (r, status_of_reply r)
+        | `Transport m -> ([], Transport_error m)
+      in
+      let retry ~floor_ms =
+        let d =
+          Backoff.delay_after_ms ~jitter:policy.jitter ~at_least_ms:floor_ms
+            sched ~attempt
+        in
+        policy.sleep_ms d;
+        go (attempt + 1)
+      in
+      match status with
+      (* transient: the budget may pass on a quieter machine (wall
+         deadlines) or after the client simplifies; bounded
+         exponential backoff, then give up with the last reply *)
       | Err_reply ("budget", _) when attempt <= policy.retries ->
-          (* transient: the budget may pass on a quieter machine (wall
-             deadlines) or after the client simplifies; bounded
-             exponential backoff, then give up with the last reply *)
-          policy.sleep_ms delay;
-          go (attempt + 1)
-            (int_of_float (float delay *. policy.multiplier))
+          retry ~floor_ms:0
+      (* shed at the admission gate: honor the server's floor, with
+         full jitter on top so a shed cohort does not return in
+         lockstep *)
+      | Err_reply ("overloaded", msg) when attempt <= policy.retries ->
+          retry ~floor_ms:(retry_after_of_msg msg)
+      | Transport_error _ when attempt <= policy.retries -> retry ~floor_ms:0
       | status -> { reply; attempts = attempt; status }
     in
-    go 1 policy.backoff_ms
+    go 1
 
   let channel_transport ic oc req =
     output_string oc req;

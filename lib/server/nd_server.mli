@@ -28,6 +28,7 @@
     metrics           -> Prometheus text exposition lines, then ok
     health            -> health <summary line>,        then ok
     inject <class>    -> (chaos builds only) raise inside the handler
+    inject sleep MS   -> (chaos builds only) hold the engine lock MS ms
     quit              -> bye
     v}
 
@@ -50,13 +51,31 @@
     and, when the handle is no longer the bounded-maintenance one, a
     trailing mode word ([stale_rebuild] — full quality, rebuilt; or
     [fallback] — degraded).  [epoch] reads the current epoch without
-    mutating.
+    mutating.  When {!config.journal} is set, every {e applied} mutation
+    is also appended to the sink in wire syntax — the write-ahead record
+    a supervisor-restarted worker replays to recover its epoch.
 
-    Error classes mirror the taxonomy: [err user …] (malformed request,
-    bad tuple — fix and resend), [err budget …] (the per-request budget
-    tripped — transient, retry or simplify), [err internal …] (the
-    engine caught itself lying; never retry).  The session survives all
-    three.
+    {2 Error classes}
+
+    Error classes mirror the taxonomy, extended with the two
+    overload-safety classes:
+
+    - [err user …] — malformed request, bad tuple, or a transport-
+      hygiene violation (oversized or stalled request line); fix and
+      resend.
+    - [err budget …] — the per-request budget tripped; transient, retry
+      or simplify.
+    - [err internal …] — the engine caught itself lying; never retry.
+    - [err overloaded … retry-after-ms=R …] — shed at the admission
+      gate ({!config.max_inflight} or [max_conns]); the request was
+      {e never started}.  Transient by construction: retry after at
+      least [R] ms (jittered — see {!Client}).
+    - [err shutting-down …] — the request raced {!request_stop}; the
+      server is draining and the connection will close.  Reconnect
+      elsewhere; retrying this connection cannot succeed.
+
+    The session survives [user]/[budget]/[internal]; [overloaded] and
+    [shutting-down] are emitted without touching the engine at all.
 
     {2 Error-reply grammar and the event log}
 
@@ -69,23 +88,45 @@
 
     [RID] is the request's 1-based sequence number in this session;
     [SPAN] is the id of its [server.request] span in {!Nd_trace} ([0]
-    when tracing is off).  {!Client.status_of_reply} still parses the
-    class as the first word after [err ], so existing clients keep
-    working — the keys simply prefix the human message.
+    when tracing is off, and for shed/hygiene replies, which never
+    enter the traced handler).  {!Client.status_of_reply} still parses
+    the class as the first word after [err ], so existing clients keep
+    working — the keys simply prefix the human message.  The two
+    connection-level refusals written outside any session (accept-time
+    connection shedding and backlog draining) use [rid=0].
 
     When {!config.event_log} is set, every handled request additionally
     appends one JSON line to the sink (the structured event log):
 
     {v
     {"ts":<epoch seconds>,"rid":N,"span":N,"cmd":"<verb>",
-     "status":"ok|bye|user|budget|internal","latency_us":N,"lines":N}
+     "status":"ok|bye|user|budget|internal|overloaded|shutting-down",
+     "latency_us":N,"lines":N}
     v}
+
+    Transport-hygiene violations log with [cmd:"(transport)"] and
+    status [user].
 
     [metrics] replies with the whole {!Nd_util.Metrics} registry in the
     Prometheus text format (rendered from an atomic
     {!Nd_util.Metrics.snapshot}, so a concurrent reset can never tear
     the scrape); exposition lines all start with [#] or [nd_] and so
-    can never collide with a terminator. *)
+    can never collide with a terminator.  The overload-safety counters
+    (shed requests, rejected connections, io timeouts, oversized lines,
+    idle reaps, drained backlog connections) are part of the registry
+    and so appear in every scrape.
+
+    {2 Overload model}
+
+    Admission control is decided under its own lock, never the engine
+    lock: when {!config.max_inflight} requests are already past the
+    gate (processing, or queued on the engine lock), further requests
+    are {e shed} in O(1) with [err overloaded] — the server's latency
+    for saying "no" stays flat no matter how slow the engine is.
+    [max_conns] bounds whole connections the same way at accept time,
+    and the kernel [backlog] bounds the unaccepted queue below that.
+    Under overload the server therefore degrades by shedding loudly,
+    never by queueing silently. *)
 
 type config = {
   request_budget_ops : int option;
@@ -98,6 +139,30 @@ type config = {
   event_log : (string -> unit) option;
       (** sink for the per-request JSONL event log (one line per handled
           request, see the grammar above); [None] disables it *)
+  max_inflight : int option;
+      (** admission gate: requests past the gate at once; over it,
+          [err overloaded].  [None] (default) disables shedding. *)
+  max_conns : int option;
+      (** connection gate: live connections at once; over it, accepted
+          connections are refused with [err overloaded] + [bye].
+          [None] (default) disables it. *)
+  io_timeout_ms : int option;
+      (** hygiene: max ms a {e started} request line may take to
+          arrive (slow-loris guard), and the write deadline for each
+          reply.  [None] (default) disables it. *)
+  idle_timeout_ms : int option;
+      (** hygiene: max ms a connection may sit idle between requests
+          before the reaper closes it with [bye].  [None] (default)
+          disables it. *)
+  max_line_bytes : int;
+      (** hygiene: longest accepted request line (default 65536);
+          longer lines get [err user] and the connection closes *)
+  retry_after_ms : int;
+      (** the floor advertised in [err overloaded] replies
+          (default 100) *)
+  journal : (string -> unit) option;
+      (** sink appended one wire-syntax mutation per {e applied}
+          mutation — the recovery journal; [None] disables it *)
 }
 
 val default_config : config
@@ -110,16 +175,22 @@ type t
     each connection's I/O proceeds concurrently. *)
 
 val create : ?config:config -> Nd_engine.t -> t
+(** @raise Invalid_argument on a non-positive [max_enumerate],
+    [max_line_bytes], [max_inflight], [max_conns], [io_timeout_ms] or
+    [idle_timeout_ms], or a negative [retry_after_ms]. *)
 
 val session : t -> t
-(** A new session sharing [t]'s engine, config, request lock, stop flag
+(** A new session sharing [t]'s engine, config, locks, stop flag
     and counters, with a fresh enumeration cursor and quit state —
     one per client connection ({!serve_socket} makes these itself). *)
 
 val handle : t -> string -> string list
 (** Process one request line; never raises.  Empty/blank lines yield
     [[]] (no reply).  The terminator of a non-empty reply is always
-    [ok], [err …] or [bye]. *)
+    [ok], [err …] or [bye].  The admission gate runs here: a request
+    over {!config.max_inflight} returns [err overloaded] without
+    touching the engine, and a request racing {!request_stop} returns
+    [err shutting-down]. *)
 
 type counts = {
   requests : int;
@@ -127,6 +198,8 @@ type counts = {
   user_errors : int;
   budget_errors : int;
   internal_errors : int;
+  overloaded : int;  (** requests shed at the admission gate *)
+  shutting_down : int;  (** requests refused while draining *)
 }
 
 val counts : t -> counts
@@ -140,8 +213,9 @@ val quitting : t -> bool
 val request_stop : t -> unit
 (** Ask every loop sharing this engine to stop gracefully: in-flight
     requests finish and their replies are fully written (the drain
-    guarantee), then each loop closes with [bye] instead of reading
-    further requests.  Safe to call from a signal handler. *)
+    guarantee), requests racing the flag get [err shutting-down], then
+    each loop closes with [bye] instead of reading further requests.
+    Safe to call from a signal handler. *)
 
 val serve : t -> in_channel -> out_channel -> unit
 (** Run the loop until [quit], EOF, or {!request_stop}.  Replies are
@@ -149,6 +223,15 @@ val serve : t -> in_channel -> out_channel -> unit
 
 val default_backlog : int
 (** Default [backlog] for {!serve_socket} (64). *)
+
+val drain_backlog : Unix.file_descr -> int
+(** Accept every connection already parked in [sock]'s kernel backlog
+    (non-blocking) and refuse each with
+    [err shutting-down rid=0 span=0 …] + [bye] before closing it —
+    a structured refusal instead of the silent reset those clients
+    would otherwise see when the listen socket is unlinked.  Returns
+    the number drained.  {!serve_socket} calls this on the way out;
+    exposed for deterministic tests. *)
 
 val serve_socket : ?backlog:int -> t -> path:string -> unit
 (** Serve over a Unix-domain socket, {e one thread per connection}:
@@ -159,21 +242,126 @@ val serve_socket : ?backlog:int -> t -> path:string -> unit
     {!default_backlog}) is the kernel listen queue — connection bursts
     up to that size are queued instead of refused.
 
+    Connection hygiene (all select-based; no [Thread.kill] anywhere):
+    request lines are read through a bounded reader that enforces
+    {!config.max_line_bytes} ([err user], close) and
+    {!config.io_timeout_ms} against slow-loris trickle ([err user],
+    close); {!config.idle_timeout_ms} reaps quiet connections with
+    [bye]; reply writes respect the same io deadline so a peer that
+    stops reading cannot wedge its connection thread.  SIGPIPE is
+    ignored (best-effort) so a peer closing mid-write surfaces as a
+    write error on that connection only.
+
     In socket mode [quit] is {e connection-scoped}: it closes that
     client's session and leaves the server (and other clients) running.
-    {!request_stop} ends the server: it stops accepting, drains every
-    connection, joins their threads, and removes the socket file on the
-    way out.
+    {!request_stop} ends the server: it stops accepting, refuses the
+    connections parked in the accept backlog ({!drain_backlog}),
+    drains every live connection, joins their threads, and removes the
+    socket file on the way out.
     @raise Invalid_argument when [backlog < 1]. *)
+
+(** {1 Crash-recovery supervisor}
+
+    Restart-on-crash with exponential backoff and a crash-count
+    circuit breaker — the state machine behind [fodb serve
+    --supervise]:
+
+    {v
+              spawn
+    RUNNING ────────► wait
+       │ Exited 0                    ▲
+       ▼                             │ sleep(backoff)
+     DONE     crash ──► decide ──► RESTARTING
+                          │
+                          │ ≥ max_crashes within window_ms
+                          ▼
+                       GIVEN-UP
+    v}
+
+    Crashes older than [window_ms] are forgiven (the worker was healthy
+    long enough to reset the breaker); the backoff attempt number is
+    the crash count inside the window, so a worker that recovers for a
+    while restarts fast again.  Everything time- and process-shaped is
+    injectable ([spawn]/[wait]/[sleep_ms]/[now_ms]/[jitter]), so the
+    full machine is testable without forking — the real fork/waitpid
+    pair lives in [fodb]. *)
+module Supervisor : sig
+  type policy = {
+    backoff : Nd_util.Backoff.schedule;  (** restart pacing *)
+    max_crashes : int;  (** breaker threshold (>= 1) *)
+    window_ms : int;  (** sliding breaker window *)
+  }
+
+  val default_policy : policy
+  (** 100ms base doubling to a 5s cap; breaker at 5 crashes in 30s. *)
+
+  type outcome = Exited of int | Signaled of int
+
+  val describe_outcome : outcome -> string
+
+  type decision = Restart_after_ms of int | Give_up of string
+
+  type state
+  (** The breaker's crash-timestamp window. *)
+
+  val init : unit -> state
+
+  val crashes_in_window : policy -> state -> now_ms:int -> int
+  (** Prune timestamps older than the window, return how many remain. *)
+
+  val decide :
+    ?jitter:(int -> int) -> policy -> state -> now_ms:int -> outcome -> decision
+  (** Record a crash at [now_ms] and decide: [Give_up] when the breaker
+      trips, else [Restart_after_ms] with the (jittered) backoff delay
+      for this attempt.
+      @raise Invalid_argument when [policy.max_crashes < 1]. *)
+
+  val run :
+    ?policy:policy ->
+    ?jitter:(int -> int) ->
+    ?sleep_ms:(int -> unit) ->
+    ?now_ms:(unit -> int) ->
+    ?log:(string -> unit) ->
+    spawn:(unit -> 'worker) ->
+    wait:('worker -> outcome) ->
+    unit ->
+    (unit, string) Stdlib.result
+  (** The supervision loop: spawn, wait, and on a crash consult
+      {!decide} — sleeping then respawning, or giving up with the
+      breaker's reason.  [Exited 0] is a clean shutdown ([Ok ()]).
+      [log] receives one human line per transition. *)
+end
 
 (** {1 Client harness}
 
     The retrying client used by the integration tests and CI: a
     {!Client.transport} abstracts {e how} a request line reaches a
     server (direct {!handle} call in-process, or channels over a pipe /
-    socket), and {!Client.call} layers bounded retries with exponential
-    backoff on top — transient ([err budget]) replies are retried,
-    anything else is returned as-is. *)
+    socket), and {!Client.call} layers bounded retries with full-jitter
+    exponential backoff on top.
+
+    {2 Retry policy}
+
+    Retried (transient), up to [policy.retries] extra attempts:
+    - [err budget] — the per-request budget may pass on a quieter
+      machine or after backoff;
+    - [err overloaded] — shed before any work started; the delay is
+      floored at the server's advertised [retry-after-ms] and jittered
+      above it, so a shed cohort does not return in lockstep;
+    - transport failures — EOF / reset / broken pipe mid-reply, a
+      refused or missing socket (a supervisor mid-restart), or an
+      unterminated reply: the request may not have executed, and the
+      verbs' retry story covers the ambiguity (queries are pure;
+      [update] replay is visible in the epoch).
+
+    Never retried (fail fast):
+    - [err user] — resending the same malformed line cannot succeed;
+    - [err internal] — the engine's own invariants failed; retrying
+      hides bugs;
+    - [err shutting-down] — this connection is draining; reconnecting
+      is a caller decision, not a transport retry;
+    - [bye] / empty reply ([Closed]) — the server ended the session on
+      purpose. *)
 module Client : sig
   type transport = string -> string list
   (** Send one request line, return the full reply (data lines +
@@ -181,20 +369,32 @@ module Client : sig
 
   type policy = {
     retries : int;  (** extra attempts after the first *)
-    backoff_ms : int;  (** delay before the first retry *)
+    backoff_ms : int;  (** backoff cap before the first retry *)
     multiplier : float;  (** backoff growth per retry *)
+    jitter : int -> int;
+        (** maps each attempt's cap to the actual delay —
+            {!Nd_util.Backoff.full_jitter} in production,
+            {!Nd_util.Backoff.none} for deterministic tests *)
     sleep_ms : int -> unit;  (** injectable for tests *)
   }
 
   val default_policy : policy
-  (** 3 retries, 50ms initial backoff, doubling, real sleep. *)
+  (** 3 retries, 50ms initial cap, doubling, full jitter, real sleep. *)
 
   type status =
     | Ok_reply
     | Err_reply of string * string  (** class, message *)
+    | Transport_error of string
+        (** the connection failed below the protocol: EOF/reset/broken
+            pipe mid-reply, refused or missing socket, or an
+            unterminated reply *)
     | Closed  (** terminator was [bye] (or the reply was empty) *)
 
   val status_of_reply : string list -> status
+
+  val retry_after_of_msg : string -> int
+  (** The [retry-after-ms=R] floor inside an [err overloaded] message
+      (0 when absent or malformed). *)
 
   type result = {
     reply : string list;  (** the final attempt's reply *)
@@ -203,8 +403,13 @@ module Client : sig
   }
 
   val call : ?policy:policy -> transport -> string -> result
+  (** Run one request through the retry policy above.  On a transport
+      exception the attempt's [reply] is [[]] and the status is
+      {!Transport_error}. *)
 
   val channel_transport : in_channel -> out_channel -> transport
-  (** Write the request, read lines until a terminator.  EOF mid-reply
-      yields what was read (its status will be [Closed]). *)
+  (** Write the request, read lines until a terminator.  EOF before any
+      line yields [[]] (status [Closed]); EOF mid-reply yields the
+      partial reply (status {!Transport_error}, hence retried by
+      {!call} on a fresh transport). *)
 end

@@ -1,0 +1,32 @@
+type schedule = { base_ms : int; multiplier : float; max_ms : int }
+
+let schedule ?(multiplier = 2.0) ?(max_ms = 30_000) base_ms =
+  if base_ms <= 0 then invalid_arg "Backoff.schedule: base_ms must be positive";
+  if max_ms <= 0 then invalid_arg "Backoff.schedule: max_ms must be positive";
+  if multiplier < 1.0 then
+    invalid_arg "Backoff.schedule: multiplier must be >= 1";
+  { base_ms; multiplier; max_ms }
+
+let cap_ms s ~attempt =
+  if attempt < 1 then invalid_arg "Backoff.cap_ms: attempt is 1-based";
+  (* float arithmetic saturates to the ceiling long before the int
+     range could overflow *)
+  let cap =
+    float_of_int s.base_ms *. (s.multiplier ** float_of_int (attempt - 1))
+  in
+  if Float.is_nan cap then s.max_ms
+  else min s.max_ms (int_of_float (Float.min cap (float_of_int s.max_ms)))
+
+let full_jitter ?(seed = 0x0ff5e7) () =
+  let st = Random.State.make [| seed; 0xbac0ff |] in
+  fun cap -> if cap <= 0 then 0 else Random.State.int st (cap + 1)
+
+let none cap = cap
+
+let delay_ms ~jitter s ~attempt =
+  let cap = cap_ms s ~attempt in
+  let d = jitter cap in
+  if d < 0 then 0 else min d cap
+
+let delay_after_ms ~jitter ?(at_least_ms = 0) s ~attempt =
+  max at_least_ms (delay_ms ~jitter s ~attempt)

@@ -1,0 +1,53 @@
+(** Exponential backoff schedules with full jitter.
+
+    Every retry loop in the system — the serve-protocol client backing
+    off on [err budget] / [err overloaded], the crash-recovery
+    supervisor pacing worker restarts — wants the same schedule: a cap
+    that grows geometrically with the attempt number, clipped at a
+    ceiling, with {e full jitter} (the actual delay drawn uniformly
+    from [[0, cap]]) so a fleet of clients shed at the same instant does
+    not return in lockstep and shed again (the classic retry-storm
+    failure mode; cf. the AWS architecture blog's "exponential backoff
+    and jitter" analysis).
+
+    The jitter source is injectable so tests can pin the schedule:
+    {!none} makes [delay_ms] return the cap itself, reproducing a plain
+    exponential schedule deterministically. *)
+
+type schedule = {
+  base_ms : int;  (** cap for the first retry (attempt 1) *)
+  multiplier : float;  (** geometric growth of the cap per attempt *)
+  max_ms : int;  (** ceiling the cap is clipped to *)
+}
+
+val schedule : ?multiplier:float -> ?max_ms:int -> int -> schedule
+(** [schedule base_ms] with multiplier 2.0 and a 30s ceiling by
+    default.
+    @raise Invalid_argument on a non-positive [base_ms]/[max_ms] or a
+    multiplier < 1. *)
+
+val cap_ms : schedule -> attempt:int -> int
+(** The un-jittered cap for 1-based [attempt]:
+    [min max_ms (base_ms * multiplier^(attempt-1))], computed in float
+    and saturating (never overflows, never below [base_ms] clipped to
+    [max_ms]).
+    @raise Invalid_argument when [attempt < 1]. *)
+
+val full_jitter : ?seed:int -> unit -> int -> int
+(** A fresh jitter function: [cap ↦ uniform in [0, cap]], from a
+    private seeded PRNG (default seed fixed) — callers that want
+    cross-process decorrelation pass e.g. a pid-derived seed. *)
+
+val none : int -> int
+(** The identity — no jitter; [delay_ms] returns the cap itself. *)
+
+val delay_ms : jitter:(int -> int) -> schedule -> attempt:int -> int
+(** [delay_ms ~jitter s ~attempt] = [jitter (cap_ms s ~attempt)],
+    clipped back into [[0, cap]] in case a caller-supplied [jitter]
+    misbehaves. *)
+
+val delay_after_ms :
+  jitter:(int -> int) -> ?at_least_ms:int -> schedule -> attempt:int -> int
+(** {!delay_ms} with a server-imposed floor: an [err overloaded] reply
+    carrying [retry-after-ms=R] means "do not come back before R", so
+    the jittered delay is raised to at least [R] (default floor 0). *)

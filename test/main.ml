@@ -26,6 +26,8 @@ let () =
       ("chaos", Test_chaos.suite);
       ("snapshot persistence", Test_snapshot.suite);
       ("serve loop", Test_server.suite);
+      ("chaos proxy (socket faults)", Test_chaos_net.suite);
+      ("supervisor (crash recovery)", Test_supervisor.suite);
       ("span tracing", Test_trace.suite);
       ("prometheus exposition", Test_prometheus.suite);
       ("delay profile", Test_profile.suite);

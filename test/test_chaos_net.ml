@@ -1,0 +1,212 @@
+(* The socket chaos proxy driving the serve loop's connection hygiene:
+   a real server and a real client with a deterministic adversary
+   between them.  Every fault class in Chaos.Net.profile is exercised
+   against the hygiene mechanism built to survive it, and after every
+   fault the server must still answer a clean follow-up connection —
+   no crash, no wedged thread, no leaked in-flight slot. *)
+
+open Nd_graph
+open Nd_logic
+module Server = Nd_server
+module Client = Nd_server.Client
+module Net = Nd_ram.Chaos.Net
+
+let graph () = Gen.randomly_color ~seed:5 ~colors:3 (Gen.grid 5 5)
+
+let make_server config =
+  let g = graph () in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  Server.create ~config (Nd_engine.prepare g phi)
+
+let tmp_path tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "nd_chaos_%s_%d_%d.sock" tag (Unix.getpid ())
+       (int_of_float (Unix.gettimeofday () *. 1000.) land 0xffffff))
+
+(* Host server + proxy, hand [f] the proxy's listen path (what clients
+   should connect to) and the upstream path (for clean follow-up
+   connections that bypass the adversary). *)
+let with_proxied_server ~config ~profile f =
+  let upstream = tmp_path "up" and listen = tmp_path "px" in
+  let srv = make_server config in
+  let th =
+    Thread.create
+      (fun () -> try Server.serve_socket srv ~path:upstream with _ -> ())
+      ()
+  in
+  let rec wait tries =
+    if Sys.file_exists upstream then ()
+    else if tries = 0 then Alcotest.fail "server socket never appeared"
+    else begin
+      Unix.sleepf 0.05;
+      wait (tries - 1)
+    end
+  in
+  wait 100;
+  let proxy = Net.start profile ~listen ~upstream in
+  Fun.protect
+    ~finally:(fun () ->
+      Net.stop proxy;
+      Server.request_stop srv;
+      Thread.join th;
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ upstream; listen ])
+  @@ fun () -> f ~listen ~upstream ~srv ~proxy
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let with_conn path f =
+  let fd = connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  f (Client.channel_transport
+       (Unix.in_channel_of_descr fd)
+       (Unix.out_channel_of_descr fd))
+
+(* the post-fault invariant: a clean connection straight to the server
+   still answers *)
+let check_still_serving upstream =
+  with_conn upstream @@ fun t ->
+  Alcotest.(check (list string)) "clean follow-up connection answers"
+    [ "true"; "ok" ] (t "test 0,1")
+
+let hygiene_config =
+  {
+    Server.default_config with
+    Server.io_timeout_ms = Some 150;
+    idle_timeout_ms = Some 2_000;
+    max_line_bytes = 128;
+  }
+
+let test_transparent_roundtrip () =
+  with_proxied_server ~config:hygiene_config ~profile:Net.default_profile
+  @@ fun ~listen ~upstream:_ ~srv:_ ~proxy ->
+  with_conn listen (fun t ->
+      Alcotest.(check (list string)) "proxied round-trip" [ "true"; "ok" ]
+        (t "test 0,1");
+      Alcotest.(check (list string)) "proxied quit" [ "bye" ] (t "quit"));
+  Alcotest.(check int) "adversary saw the connection" 1 (Net.connections proxy)
+
+let test_slow_loris_hits_io_timeout () =
+  (* byte-at-a-time with 40ms gaps: the request line arrives slower
+     than io_timeout_ms=150, so the bounded reader must cut it off
+     with err user instead of waiting forever *)
+  let profile = { Net.default_profile with Net.chunk = 1; delay_ms = 40 } in
+  with_proxied_server ~config:hygiene_config ~profile
+  @@ fun ~listen ~upstream ~srv:_ ~proxy:_ ->
+  with_conn listen (fun t ->
+      let reply = t "enumerate 3" in
+      match Client.status_of_reply reply with
+      | Client.Err_reply ("user", msg) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "names the deadline: %s" msg)
+            true
+            (String.length msg > 0)
+      | _ ->
+          Alcotest.failf "expected err user, got: %s" (String.concat "|" reply));
+  check_still_serving upstream
+
+let test_garbage_bytes_get_structured_error () =
+  let profile =
+    { Net.default_profile with Net.garbage = Some "\xff\xfe\x00garbage\n" }
+  in
+  with_proxied_server ~config:hygiene_config ~profile
+  @@ fun ~listen ~upstream ~srv:_ ~proxy:_ ->
+  with_conn listen (fun t ->
+      (* the injected garbage line is answered first — as a structured
+         user error, not a crash — then the real request *)
+      match Client.status_of_reply (t "test 0,1") with
+      | Client.Err_reply ("user", _) ->
+          Alcotest.(check (list string)) "real request still answered"
+            [ "true"; "ok" ] (t "")
+      | s ->
+          Alcotest.failf "garbage line did not yield err user (%s)"
+            (match s with
+            | Client.Ok_reply -> "ok"
+            | Client.Closed -> "closed"
+            | Client.Transport_error m -> "transport: " ^ m
+            | Client.Err_reply (c, _) -> "err " ^ c));
+  check_still_serving upstream
+
+let test_oversized_line_rejected () =
+  with_proxied_server ~config:hygiene_config ~profile:Net.default_profile
+  @@ fun ~listen ~upstream ~srv:_ ~proxy:_ ->
+  with_conn listen (fun t ->
+      let huge = "test " ^ String.make 300 '1' in
+      let reply = t huge in
+      match Client.status_of_reply reply with
+      | Client.Err_reply ("user", msg) ->
+          Alcotest.(check bool) "names max-line-bytes" true
+            (String.length msg >= 14)
+      | _ ->
+          Alcotest.failf "expected err user, got: %s" (String.concat "|" reply));
+  check_still_serving upstream
+
+(* Disconnect mid-enumerate, with max_inflight=1: if the dying request
+   leaked its in-flight slot, every later request would be shed — the
+   strongest observable form of "the cursor/slot must not leak". *)
+let test_disconnect_mid_reply_releases_slot () =
+  let config =
+    { hygiene_config with Server.max_inflight = Some 1; retry_after_ms = 10 }
+  in
+  let profile = { Net.default_profile with Net.cut_reply_after = Some 10 } in
+  with_proxied_server ~config ~profile
+  @@ fun ~listen ~upstream ~srv ~proxy:_ ->
+  (match
+     with_conn listen (fun t -> Client.status_of_reply (t "enumerate 5"))
+   with
+  | Client.Transport_error _ | Client.Closed -> ()
+  | s ->
+      Alcotest.failf "reply survived the cut (%s)"
+        (match s with
+        | Client.Ok_reply -> "ok"
+        | Client.Err_reply (c, _) -> "err " ^ c
+        | _ -> assert false));
+  (* several clean requests through the gate: all must be admitted *)
+  for _ = 1 to 3 do
+    check_still_serving upstream
+  done;
+  Alcotest.(check int) "nothing was shed" 0 (Server.counts srv).Server.overloaded
+
+let test_disconnect_mid_request_survives () =
+  let profile = { Net.default_profile with Net.cut_after = Some 5 } in
+  with_proxied_server ~config:hygiene_config ~profile
+  @@ fun ~listen ~upstream ~srv:_ ~proxy:_ ->
+  (match
+     with_conn listen (fun t -> Client.status_of_reply (t "enumerate 3"))
+   with
+  | Client.Transport_error _ | Client.Closed | Client.Err_reply _ -> ()
+  | Client.Ok_reply -> Alcotest.fail "truncated request somehow succeeded");
+  check_still_serving upstream
+
+let test_proxy_stop_is_idempotent () =
+  let upstream = tmp_path "idem_up" and listen = tmp_path "idem_px" in
+  (* no live upstream needed: the proxy connects lazily *)
+  let proxy = Net.start Net.default_profile ~listen ~upstream in
+  Alcotest.(check bool) "listen socket exists" true (Sys.file_exists listen);
+  Net.stop proxy;
+  Net.stop proxy;
+  Alcotest.(check bool) "listen socket removed" false (Sys.file_exists listen)
+
+let suite =
+  [
+    Alcotest.test_case "transparent proxy round-trip" `Quick
+      test_transparent_roundtrip;
+    Alcotest.test_case "slow-loris trips io-timeout" `Quick
+      test_slow_loris_hits_io_timeout;
+    Alcotest.test_case "garbage bytes get err user" `Quick
+      test_garbage_bytes_get_structured_error;
+    Alcotest.test_case "oversized line rejected" `Quick
+      test_oversized_line_rejected;
+    Alcotest.test_case "disconnect mid-reply releases the slot" `Quick
+      test_disconnect_mid_reply_releases_slot;
+    Alcotest.test_case "disconnect mid-request survives" `Quick
+      test_disconnect_mid_request_survives;
+    Alcotest.test_case "proxy stop is idempotent" `Quick
+      test_proxy_stop_is_idempotent;
+  ]

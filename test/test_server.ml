@@ -513,6 +513,7 @@ let test_client_retries_transient_only () =
       Client.retries = 3;
       backoff_ms = 10;
       multiplier = 2.0;
+      jitter = Nd_util.Backoff.none;
       sleep_ms = (fun ms -> sleeps := ms :: !sleeps);
     }
   in
@@ -547,6 +548,7 @@ let test_client_gives_up_after_bounded_retries () =
       Client.retries = 3;
       backoff_ms = 5;
       multiplier = 3.0;
+      jitter = Nd_util.Backoff.none;
       sleep_ms = (fun ms -> sleeps := ms :: !sleeps);
     }
   in
@@ -659,6 +661,247 @@ let test_update_resets_cursor () =
   Alcotest.(check (list string)) "post-update enumeration complete" expected
     (List.rev !collected)
 
+(* ---------------- overload safety ---------------- *)
+
+(* Deterministic overload: one request pins the engine lock via the
+   chaos-only `inject sleep`, a second fills the in-flight gate, and
+   every further request must be shed immediately with err overloaded —
+   the shed path never touches the engine lock, so the 6 shed calls
+   return while the engine is still pinned. *)
+let test_admission_shedding () =
+  let config =
+    {
+      Server.default_config with
+      Server.chaos = true;
+      max_inflight = Some 2;
+      retry_after_ms = 25;
+    }
+  in
+  let srv, _ = make ~config () in
+  let pinner =
+    Thread.create (fun () -> Server.handle (Server.session srv) "inject sleep 600") ()
+  in
+  Unix.sleepf 0.1;
+  let second =
+    Thread.create (fun () -> Server.handle (Server.session srv) "test 0,1") ()
+  in
+  Unix.sleepf 0.1;
+  (* 6 more clients while the gate is full: all shed, all fast *)
+  let t0 = Unix.gettimeofday () in
+  let shed_replies =
+    List.init 6 (fun _ -> Server.handle (Server.session srv) "test 0,1")
+  in
+  let shed_elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "shedding is O(1), not engine-bound" true
+    (shed_elapsed < 0.35);
+  List.iter
+    (fun reply ->
+      match Client.status_of_reply reply with
+      | Client.Err_reply ("overloaded", msg) ->
+          Alcotest.(check int) "advertises the configured floor" 25
+            (Client.retry_after_of_msg msg)
+      | _ -> Alcotest.failf "expected err overloaded: %s" (String.concat "|" reply))
+    shed_replies;
+  Thread.join pinner;
+  Thread.join second;
+  let c = Server.counts srv in
+  Alcotest.(check int) "shed count" 6 c.Server.overloaded;
+  Alcotest.(check int) "admitted requests all served" 2 c.Server.ok;
+  (* the gate drains: the next request is admitted again *)
+  check_ok "gate released" (Server.handle srv "test 0,1")
+
+let test_shutting_down_race () =
+  let srv, _ = make () in
+  check_ok "pre-stop request served" (Server.handle srv "test 0,1");
+  Server.request_stop srv;
+  (* a request racing the stop flag gets a structured refusal, not a
+     silent drop *)
+  (match Client.status_of_reply (Server.handle srv "test 0,1") with
+  | Client.Err_reply ("shutting-down", _) -> ()
+  | _ -> Alcotest.fail "expected err shutting-down");
+  let c = Server.counts srv in
+  Alcotest.(check int) "refusal counted" 1 c.Server.shutting_down;
+  Alcotest.(check int) "served before stop" 1 c.Server.ok
+
+let test_drain_backlog_refuses_parked_connections () =
+  (* a bare listener nobody accepts from: connections park in the
+     kernel backlog, exactly the population drain_backlog must flush *)
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nd_drain_%d.sock" (Unix.getpid ()))
+  in
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let parked =
+    List.init 2 (fun _ ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd)
+  in
+  Alcotest.(check int) "both parked connections drained" 2
+    (Server.drain_backlog sock);
+  List.iter
+    (fun fd ->
+      let ic = Unix.in_channel_of_descr fd in
+      let refusal = input_line ic in
+      (match Client.status_of_reply [ refusal ] with
+      | Client.Err_reply ("shutting-down", _) -> ()
+      | _ -> Alcotest.failf "parked connection got: %s" refusal);
+      Alcotest.(check string) "then bye" "bye" (input_line ic);
+      Unix.close fd)
+    parked;
+  Alcotest.(check int) "backlog empty afterwards" 0 (Server.drain_backlog sock)
+
+let test_idle_reaper () =
+  let config =
+    { Server.default_config with Server.idle_timeout_ms = Some 120 }
+  in
+  let srv = fst (make ~config ()) in
+  with_socket_server ~srv @@ fun path _ ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let t0 = Unix.gettimeofday () in
+  (* send nothing: the reaper must close this connection with bye *)
+  let ic = Unix.in_channel_of_descr fd in
+  Alcotest.(check string) "reaped with bye" "bye" (input_line ic);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "reaped after the idle deadline (%.0fms)" (elapsed *. 1000.))
+    true
+    (elapsed >= 0.1 && elapsed < 2.0);
+  (match input_line ic with
+  | exception End_of_file -> ()
+  | l -> Alcotest.failf "connection stayed open: %s" l);
+  (* a fresh, active connection is unaffected *)
+  with_socket_client path @@ fun t ->
+  Alcotest.(check (list string)) "fresh connection still served"
+    [ "true"; "ok" ] (t "test 0,1")
+
+let test_max_conns_gate () =
+  let config =
+    {
+      Server.default_config with
+      Server.max_conns = Some 1;
+      retry_after_ms = 40;
+    }
+  in
+  let srv = fst (make ~config ()) in
+  with_socket_server ~srv @@ fun path _ ->
+  with_socket_client path @@ fun t ->
+  (* the first connection is established and registered *)
+  Alcotest.(check (list string)) "first connection served" [ "true"; "ok" ]
+    (t "test 0,1");
+  (* the second is refused at accept time with a structured reply *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  (match Client.status_of_reply [ input_line ic ] with
+  | Client.Err_reply ("overloaded", msg) ->
+      Alcotest.(check int) "refusal advertises the floor" 40
+        (Client.retry_after_of_msg msg)
+  | _ -> Alcotest.fail "second connection was not refused");
+  Alcotest.(check string) "refusal ends with bye" "bye" (input_line ic);
+  (* the registered connection keeps serving *)
+  Alcotest.(check (list string)) "survivor unaffected" [ "true"; "ok" ]
+    (t "test 0,1")
+
+(* ---------------- retry policy extensions ---------------- *)
+
+let shed_then_ok_transport calls =
+  fun _req ->
+    incr calls;
+    if !calls <= 2 then
+      [ "err overloaded rid=7 span=0 retry-after-ms=70 in-flight limit 2 \
+         reached" ]
+    else [ "true"; "ok" ]
+
+let test_client_retries_overloaded_with_floor () =
+  let calls = ref 0 in
+  let sleeps = ref [] in
+  let policy =
+    {
+      Client.retries = 3;
+      backoff_ms = 10;
+      multiplier = 2.0;
+      jitter = Nd_util.Backoff.none;
+      sleep_ms = (fun ms -> sleeps := ms :: !sleeps);
+    }
+  in
+  let r = Client.call ~policy (shed_then_ok_transport calls) "test 0,1" in
+  Alcotest.(check int) "third attempt lands" 3 r.Client.attempts;
+  Alcotest.(check bool) "final ok" true (r.Client.status = Client.Ok_reply);
+  (* the server's floor (70) dominates the small jittered caps (10, 20) *)
+  Alcotest.(check (list int)) "delays floored at retry-after-ms" [ 70; 70 ]
+    (List.rev !sleeps)
+
+let test_client_retries_transport_errors () =
+  let calls = ref 0 in
+  let policy =
+    {
+      Client.retries = 3;
+      backoff_ms = 1;
+      multiplier = 2.0;
+      jitter = Nd_util.Backoff.none;
+      sleep_ms = ignore;
+    }
+  in
+  (* EOF mid-reply twice (connection reset by a restarting worker),
+     then a clean reply *)
+  let transport _req =
+    incr calls;
+    if !calls <= 2 then raise End_of_file else [ "true"; "ok" ]
+  in
+  let r = Client.call ~policy transport "test 0,1" in
+  Alcotest.(check int) "retried through transport failures" 3 r.Client.attempts;
+  Alcotest.(check bool) "final ok" true (r.Client.status = Client.Ok_reply);
+  (* an unterminated reply is a transport failure too *)
+  calls := 0;
+  let transport _req =
+    incr calls;
+    if !calls = 1 then [ "sol 0,0"; "sol 0," ] else [ "sol 0,0"; "end 1"; "ok" ]
+  in
+  let r = Client.call ~policy transport "enumerate 2" in
+  Alcotest.(check int) "unterminated reply retried" 2 r.Client.attempts;
+  Alcotest.(check bool) "recovered" true (r.Client.status = Client.Ok_reply)
+
+let test_client_fails_fast_on_shutting_down () =
+  let calls = ref 0 in
+  let transport _req =
+    incr calls;
+    [ "err shutting-down rid=3 span=0 server is draining" ]
+  in
+  let r = Client.call (* default policy *) transport "test 0,1" in
+  Alcotest.(check int) "no retry against a draining server" 1
+    r.Client.attempts;
+  Alcotest.(check int) "single transport call" 1 !calls;
+  match r.Client.status with
+  | Client.Err_reply ("shutting-down", _) -> ()
+  | _ -> Alcotest.fail "status should be the refusal"
+
+let test_config_validation () =
+  let eng = snd (make ()) in
+  let bad cfg =
+    match Server.create ~config:cfg eng with
+    | _ -> Alcotest.fail "invalid config accepted"
+    | exception Invalid_argument _ -> ()
+  in
+  bad { Server.default_config with Server.max_inflight = Some 0 };
+  bad { Server.default_config with Server.max_conns = Some (-1) };
+  bad { Server.default_config with Server.io_timeout_ms = Some 0 };
+  bad { Server.default_config with Server.idle_timeout_ms = Some 0 };
+  bad { Server.default_config with Server.max_line_bytes = 0 };
+  bad { Server.default_config with Server.retry_after_ms = -1 }
+
 let suite =
   [
     Alcotest.test_case "basic protocol" `Quick test_basic_protocol;
@@ -698,4 +941,22 @@ let suite =
     Alcotest.test_case "client end-to-end in process" `Quick
       test_client_end_to_end_in_process;
     Alcotest.test_case "status_of_reply" `Quick test_status_of_reply;
+    Alcotest.test_case "admission gate sheds with err overloaded" `Quick
+      test_admission_shedding;
+    Alcotest.test_case "requests racing stop get err shutting-down" `Quick
+      test_shutting_down_race;
+    Alcotest.test_case "drain_backlog refuses parked connections" `Quick
+      test_drain_backlog_refuses_parked_connections;
+    Alcotest.test_case "idle reaper closes quiet connections" `Quick
+      test_idle_reaper;
+    Alcotest.test_case "max-conns gate refuses at accept" `Quick
+      test_max_conns_gate;
+    Alcotest.test_case "client honors retry-after-ms on overloaded" `Quick
+      test_client_retries_overloaded_with_floor;
+    Alcotest.test_case "client retries transport errors" `Quick
+      test_client_retries_transport_errors;
+    Alcotest.test_case "client fails fast on shutting-down" `Quick
+      test_client_fails_fast_on_shutting_down;
+    Alcotest.test_case "overload config validation" `Quick
+      test_config_validation;
   ]

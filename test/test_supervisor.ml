@@ -1,0 +1,165 @@
+(* The crash-recovery supervisor: decision machine (backoff growth,
+   circuit breaker, window forgiveness) driven with a fake clock, the
+   run loop driven with fake spawn/wait (no fork — domains may already
+   be live in this binary), and epoch continuity across simulated
+   worker lifetimes via the snapshot + journal recovery path. *)
+
+open Nd_graph
+open Nd_logic
+module Sup = Nd_server.Supervisor
+module Server = Nd_server
+
+let policy ?(max_crashes = 4) ?(window_ms = 10_000) () =
+  {
+    Sup.backoff = Nd_util.Backoff.schedule ~max_ms:5_000 100;
+    max_crashes;
+    window_ms;
+  }
+
+let test_decide_backoff_grows () =
+  let p = policy () in
+  let st = Sup.init () in
+  (match Sup.decide p st ~now_ms:0 (Sup.Signaled 9) with
+  | Sup.Restart_after_ms d -> Alcotest.(check int) "first crash: base" 100 d
+  | Sup.Give_up r -> Alcotest.failf "gave up on first crash: %s" r);
+  (match Sup.decide p st ~now_ms:100 (Sup.Signaled 9) with
+  | Sup.Restart_after_ms d -> Alcotest.(check int) "second: doubled" 200 d
+  | Sup.Give_up r -> Alcotest.failf "gave up: %s" r);
+  (match Sup.decide p st ~now_ms:300 (Sup.Exited 1) with
+  | Sup.Restart_after_ms d -> Alcotest.(check int) "third: doubled again" 400 d
+  | Sup.Give_up r -> Alcotest.failf "gave up: %s" r);
+  (* fourth crash in the window trips the breaker (max_crashes = 4) *)
+  match Sup.decide p st ~now_ms:700 (Sup.Signaled 11) with
+  | Sup.Give_up reason ->
+      Alcotest.(check bool) "reason names the signal" true
+        (String.length reason > 0)
+  | Sup.Restart_after_ms _ -> Alcotest.fail "breaker did not trip"
+
+let test_decide_window_forgives () =
+  let p = policy ~max_crashes:3 ~window_ms:1_000 () in
+  let st = Sup.init () in
+  (match Sup.decide p st ~now_ms:0 (Sup.Exited 1) with
+  | Sup.Restart_after_ms d -> Alcotest.(check int) "crash 1" 100 d
+  | Sup.Give_up r -> Alcotest.failf "gave up: %s" r);
+  (match Sup.decide p st ~now_ms:100 (Sup.Exited 1) with
+  | Sup.Restart_after_ms d -> Alcotest.(check int) "crash 2" 200 d
+  | Sup.Give_up r -> Alcotest.failf "gave up: %s" r);
+  (* a long healthy stretch: both crashes age out of the window, so the
+     next one restarts at the base delay instead of tripping *)
+  (match Sup.decide p st ~now_ms:5_000 (Sup.Exited 1) with
+  | Sup.Restart_after_ms d -> Alcotest.(check int) "window reset" 100 d
+  | Sup.Give_up r -> Alcotest.failf "breaker remembered forgiven crashes: %s" r);
+  Alcotest.(check int) "window population" 1
+    (Sup.crashes_in_window p st ~now_ms:5_000)
+
+let test_run_restarts_then_clean_exit () =
+  let spawns = ref 0 in
+  let sleeps = ref [] in
+  let clock = ref 0 in
+  let spawn () =
+    incr spawns;
+    !spawns
+  in
+  (* two crashes, then a clean exit *)
+  let wait n = if n <= 2 then Sup.Signaled 9 else Sup.Exited 0 in
+  let r =
+    Sup.run ~policy:(policy ())
+      ~sleep_ms:(fun ms ->
+        sleeps := ms :: !sleeps;
+        clock := !clock + ms)
+      ~now_ms:(fun () -> !clock)
+      ~spawn ~wait ()
+  in
+  Alcotest.(check bool) "clean shutdown" true (r = Ok ());
+  Alcotest.(check int) "three worker lifetimes" 3 !spawns;
+  Alcotest.(check (list int)) "backoff between restarts" [ 100; 200 ]
+    (List.rev !sleeps)
+
+let test_run_breaker_gives_up () =
+  let spawns = ref 0 in
+  let clock = ref 0 in
+  let spawn () =
+    incr spawns;
+    !spawns
+  in
+  let wait _ = Sup.Exited 1 in
+  let r =
+    Sup.run
+      ~policy:(policy ~max_crashes:3 ())
+      ~sleep_ms:(fun ms -> clock := !clock + ms)
+      ~now_ms:(fun () -> !clock)
+      ~spawn ~wait ()
+  in
+  (match r with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "always-crashing worker reported clean exit");
+  Alcotest.(check int) "exactly max_crashes lifetimes" 3 !spawns
+
+(* Epoch continuity through the snapshot + journal path — the recovery
+   a supervised worker performs after kill -9, simulated in-process:
+   each "lifetime" revives the same snapshot and replays the journal
+   the previous lifetime appended. *)
+let test_epoch_continuity_via_journal () =
+  let tmp =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nd_sup_%d.snap" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+  @@ fun () ->
+  let g = Gen.randomly_color ~seed:5 ~colors:3 (Gen.grid 5 5) in
+  let phi = Parse.formula "dist(x,y) <= 2" in
+  ignore (Nd_snapshot.save ~path:tmp (Nd_engine.prepare g phi));
+  let journal = ref [] in
+  let sink line = journal := line :: !journal in
+  (* lifetime 1: revive, absorb two mutations, then "crash" (drop the
+     handle without any orderly shutdown) *)
+  let eng1, _ = Nd_snapshot.load_or_rebuild ~path:tmp g phi in
+  let srv1 =
+    Server.create
+      ~config:{ Server.default_config with Server.journal = Some sink }
+      eng1
+  in
+  (match Server.handle srv1 "update add-edge 0 24" with
+  | [ _; "ok" ] -> ()
+  | r -> Alcotest.failf "update failed: %s" (String.concat "|" r));
+  (match Server.handle srv1 "update remove-edge 0 24" with
+  | [ _; "ok" ] -> ()
+  | r -> Alcotest.failf "update failed: %s" (String.concat "|" r));
+  Alcotest.(check int) "journal recorded each applied mutation" 2
+    (List.length !journal);
+  Alcotest.(check int) "pre-crash epoch" 2 (Nd_engine.epoch eng1);
+  (* lifetime 2: revive the same snapshot, replay the journal *)
+  let muts = List.rev_map Cgraph.mutation_of_string !journal in
+  let eng2, outcome = Nd_snapshot.load_or_rebuild ~journal:muts ~path:tmp g phi in
+  (match outcome with
+  | Nd_snapshot.Loaded -> ()
+  | Nd_snapshot.Rebuilt c ->
+      Alcotest.failf "snapshot rejected: %s" (Nd_snapshot.describe c));
+  let srv2 = Server.create eng2 in
+  Alcotest.(check (list string)) "post-restart epoch continues" [ "epoch 2"; "ok" ]
+    (Server.handle srv2 "epoch");
+  (* and the replayed answers match a fresh prepare over the same
+     mutation history *)
+  let g' =
+    List.fold_left Cgraph.apply g
+      [ Cgraph.Add_edge (0, 24); Cgraph.Remove_edge (0, 24) ]
+  in
+  Alcotest.(check (list (array int)))
+    "replayed solutions match fresh prepare"
+    (Nd_engine.to_list (Nd_engine.prepare g' phi))
+    (Nd_engine.to_list eng2)
+
+let suite =
+  [
+    Alcotest.test_case "backoff grows until the breaker trips" `Quick
+      test_decide_backoff_grows;
+    Alcotest.test_case "window forgives old crashes" `Quick
+      test_decide_window_forgives;
+    Alcotest.test_case "run: restart twice, then clean exit" `Quick
+      test_run_restarts_then_clean_exit;
+    Alcotest.test_case "run: breaker gives up" `Quick
+      test_run_breaker_gives_up;
+    Alcotest.test_case "epoch continuity via snapshot + journal" `Quick
+      test_epoch_continuity_via_journal;
+  ]
