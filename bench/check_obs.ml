@@ -50,11 +50,26 @@ let check_profile file =
    batch-update, epoch) — those must parse under the same schema as
    query rows, not as a foreign row kind.  The overload-safe serve loop
    added two more statuses: "overloaded" (admission-control shed) and
-   "shutting-down" (request raced a drain).  Connection-level refusals
-   (rid=0) are deliberately NOT event-logged, so rid >= 1 still holds. *)
+   "shutting-down" (request raced a drain).
+
+   The cluster router writes the same shape, with three extensions:
+   shard-scoped rows carry a numeric "shard" attribute, new statuses
+   cover replica trouble ("unavailable": no live replica in a group;
+   "fenced": an epoch fence tripped; "transport": a link died), and
+   replica-lifecycle transitions appear as rid=0 rows with a
+   parenthesised pseudo-verb — "(fence)", "(catchup)", "(failover)",
+   "(readmit)", "(probe)".  Request rows still use rid >= 1; rid=0 is
+   reserved for lifecycle rows, so rid >= 1 is enforced exactly when
+   the cmd is a real verb. *)
 let known_status =
-  [ "ok"; "bye"; "user"; "budget"; "internal"; "overloaded"; "shutting-down" ]
+  [
+    "ok"; "bye"; "user"; "budget"; "internal"; "overloaded"; "shutting-down";
+    "unavailable"; "fenced"; "transport";
+  ]
 let mutation_verbs = [ "update"; "batch-update"; "epoch" ]
+
+let lifecycle_verbs =
+  [ "(fence)"; "(catchup)"; "(failover)"; "(readmit)"; "(probe)" ]
 
 let check_events file =
   let module J = Nd_trace.Json in
@@ -70,29 +85,42 @@ let check_events file =
     |> List.filter (fun l -> l <> "")
   in
   if lines = [] then fail "%s: empty event log" file;
-  let updates = ref 0 in
+  let updates = ref 0 and lifecycle = ref 0 and sharded = ref 0 in
   List.iteri
     (fun i line ->
       let row = i + 1 in
       match J.parse line with
       | Error e -> fail "%s:%d: not valid JSON: %s" file row e
       | Ok j ->
+          let cmd =
+            match J.member "cmd" j with
+            | Some (J.Str c) when c <> "" -> c
+            | _ -> fail "%s:%d: missing cmd" file row
+          in
+          let is_lifecycle = List.mem cmd lifecycle_verbs in
+          if (not is_lifecycle) && String.length cmd > 0 && cmd.[0] = '(' then
+            fail "%s:%d: unknown lifecycle verb %S" file row cmd;
           ignore (num row "ts" ~min_v:0. j);
-          ignore (num row "rid" ~min_v:1. j);
+          ignore (num row "rid" ~min_v:(if is_lifecycle then 0. else 1.) j);
           ignore (num row "span" ~min_v:0. j);
           ignore (num row "latency_us" ~min_v:0. j);
           ignore (num row "lines" ~min_v:0. j);
-          (match J.member "cmd" j with
-          | Some (J.Str c) when c <> "" ->
-              if List.mem c mutation_verbs then incr updates
-          | _ -> fail "%s:%d: missing cmd" file row);
+          if List.mem cmd mutation_verbs then incr updates;
+          if is_lifecycle then incr lifecycle;
+          (match J.member "shard" j with
+          | None -> ()
+          | Some _ ->
+              ignore (num row "shard" ~min_v:0. j);
+              incr sharded);
           (match J.member "status" j with
           | Some (J.Str s) when List.mem s known_status -> ()
           | Some (J.Str s) -> fail "%s:%d: unknown status %S" file row s
           | _ -> fail "%s:%d: missing status" file row))
     lines;
-  Printf.printf "%s: valid event log, %d rows (%d mutation verbs)\n" file
-    (List.length lines) !updates
+  Printf.printf
+    "%s: valid event log, %d rows (%d mutation verbs, %d lifecycle, %d \
+     shard-scoped)\n"
+    file (List.length lines) !updates !lifecycle !sharded
 
 let () =
   match Sys.argv with

@@ -515,6 +515,92 @@ let check_overload ov =
       | _ -> ())
   | None -> ()
 
+(* the cluster gates (DESIGN S16): the router's k-way merge must be
+   byte-identical to single-node enumeration; the failover arm must
+   have answered every request (a dead replica is a blip, not an
+   outage) and actually failed over; every catch-up row must have
+   readmitted its laggard; and epoch fencing must be free on the
+   deterministic ops cost model (<= 2%, mirroring the ER/TR/RB
+   gates) *)
+let check_cluster cl =
+  (match get_num "$.cluster" cl "shards" with
+  | Some s when s < 2. ->
+      err "$.cluster.shards: %g is not a cluster — need >= 2 shards" s
+  | _ -> ());
+  (match field "$.cluster" cl "merge" with
+  | Some m ->
+      let path = "$.cluster.merge" in
+      (match get_num path m "solutions" with
+      | Some s when s <= 0. -> err "%s.solutions: merged nothing" path
+      | _ -> ());
+      (match get_num path m "mismatches" with
+      | Some d when d <> 0. ->
+          err
+            "%s.mismatches: the merged stream diverged from single-node \
+             enumeration"
+            path
+      | _ -> ());
+      (match get_num path m "router_sps" with
+      | Some r when r <= 0. -> err "%s.router_sps: non-positive" path
+      | _ -> ());
+      ignore (get_num path m "single_sps")
+  | None -> err "$.cluster.merge: missing");
+  (match field "$.cluster" cl "failover" with
+  | Some f ->
+      let path = "$.cluster.failover" in
+      (match (get_num path f "requests", get_num path f "ok") with
+      | Some r, _ when r <= 0. -> err "%s.requests: none fired" path
+      | Some r, Some k when k < r ->
+          err
+            "%s: only %g of %g requests answered — a replica death must \
+             be a blip, not an outage"
+            path k r
+      | _ -> ());
+      (match get_num path f "failovers" with
+      | Some v when v < 1. ->
+          err "%s.failovers: the dead replica never triggered a failover"
+            path
+      | _ -> ());
+      (match get_num path f "blip_p99_us" with
+      | Some p when p <= 0. -> err "%s.blip_p99_us: non-positive" path
+      | _ -> ())
+  | None -> err "$.cluster.failover: missing");
+  (match field "$.cluster" cl "catchup" with
+  | Some (Arr []) -> err "$.cluster.catchup: empty"
+  | Some (Arr pts) ->
+      List.iteri
+        (fun i p ->
+          let path = Printf.sprintf "$.cluster.catchup[%d]" i in
+          (match get_num path p "journal_len" with
+          | Some l when l <= 0. -> err "%s.journal_len: non-positive" path
+          | _ -> ());
+          (match get_num path p "catchup_ms" with
+          | Some m when m < 0. -> err "%s.catchup_ms: negative" path
+          | _ -> ());
+          match get_num path p "readmitted" with
+          | Some 1. -> ()
+          | Some _ ->
+              err "%s.readmitted: the laggard was never readmitted" path
+          | None -> err "%s.readmitted: missing" path)
+        pts
+  | Some _ -> err "$.cluster.catchup: expected an array"
+  | None -> err "$.cluster.catchup: missing");
+  match field "$.cluster" cl "probe_overhead" with
+  | Some p -> (
+      let path = "$.cluster.probe_overhead" in
+      (match get_num path p "ops_off" with
+      | Some f when f <= 0. -> err "%s.ops_off: workload recorded no ops" path
+      | _ -> ());
+      ignore (get_num path p "ops_on");
+      match get_num path p "ops_delta_pct" with
+      | Some d when Float.abs d > 2.0 ->
+          err
+            "%s.ops_delta_pct: |%g| exceeds the 2%% probe/fence-overhead \
+             budget"
+            path d
+      | _ -> ())
+  | None -> err "$.cluster.probe_overhead: missing"
+
 let check_store_point i p =
   let path = Printf.sprintf "store[%d]" i in
   ignore (get_num path p "n");
@@ -596,6 +682,10 @@ let () =
   | Some (Obj _ as ov) -> check_overload ov
   | Some _ -> err "$.overload: expected an object"
   | None -> err "$.overload: missing (the overload-shedding rows)");
+  (match field "$" j "cluster" with
+  | Some (Obj _ as cl) -> check_cluster cl
+  | Some _ -> err "$.cluster: expected an object"
+  | None -> err "$.cluster: missing (the cluster-router rows)");
   match !errors with
   | [] ->
       Printf.printf "%s: schema nd-engine-bench/1 OK\n" file;

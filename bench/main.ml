@@ -1342,6 +1342,307 @@ let rb_rows_json () =
 let rb_overload () = ignore (rb_rows_json ())
 
 (* ------------------------------------------------------------------ *)
+(* CB — cluster serving (DESIGN S16).  An in-process 3-shard fleet:
+   shard servers behind the epoch-fencing router, driven over local
+   endpoints so the rows measure the router itself, not the socket
+   stack (the socket path is what the RB rows already price).  Four
+   arms, riding into BENCH_engine.json in every mode:
+
+   - merge: the duplicate-free k-way enumeration through the router vs
+     the same query on one single-node server.  The solution streams
+     must be byte-identical; the merged and single-node rates go on
+     record.
+   - failover: the preferred replica of one shard dies mid-run
+     (transport EOF); every request must still be answered — the blip
+     is one failover dial, priced as the all-requests p99.
+   - catchup: a replica misses a journal suffix of length L and is
+     fenced; one probe round replays the suffix over batch-update and
+     readmits it at the fleet epoch.  Records catch-up wall time per
+     journal length.
+   - probe_overhead: epoch fencing checks each replica once per
+     request serial.  On the deterministic ops cost model this must be
+     free — the epoch verb reads a counter, it never touches the
+     index — so ops_delta_pct is gated at 2% exactly like the ER, TR
+     and RB hygiene gates. *)
+
+module CRouter = Nd_cluster.Router
+module COwn = Nd_cluster.Ownership
+
+let cb_shards = 3
+let cb_requests () = if !smoke then 200 else 800
+
+let cb_config ?(fence = true) () =
+  {
+    CRouter.fence;
+    probe_interval_ms = 0;
+    retries = 1;
+    backoff_ms = 1;
+    jitter = Nd_util.Backoff.none;
+    sleep_ms = ignore;
+    retry_after_ms = 25;
+    max_enumerate = 512;
+    event_log = None;
+  }
+
+let cb_shard_server ~metrics own g phi ~shard =
+  let eng =
+    if metrics then Nd_engine.prepare ~metrics:true ~cache_limit:0 g phi
+    else Nd_engine.prepare g phi
+  in
+  let config =
+    {
+      Nd_server.default_config with
+      Nd_server.owner = Some (COwn.owner own ~shard);
+    }
+  in
+  Nd_server.create ~config eng
+
+(* drain a full enumeration through a router; returns the sol lines *)
+let cb_drive rt =
+  let sols = ref [] and finished = ref false in
+  while not !finished do
+    List.iter
+      (fun l ->
+        if String.length l > 4 && String.sub l 0 4 = "sol " then
+          sols := l :: !sols
+        else if String.length l >= 4 && String.sub l 0 4 = "err " then
+          failwith ("bench: cluster enumerate: " ^ l)
+        else if
+          String.length l > 9
+          && String.sub l 0 4 = "end "
+          && String.sub l (String.length l - 8) 8 = "complete"
+        then finished := true)
+      (CRouter.handle rt "enumerate 128")
+  done;
+  List.rev !sols
+
+let cb_merge_json g phi =
+  let own = COwn.compute g ~shards:cb_shards in
+  let eps =
+    List.init cb_shards (fun s ->
+        CRouter.local_endpoint ~shard:s
+          ~label:(Printf.sprintf "s%d" s)
+          (cb_shard_server ~metrics:false own g phi ~shard:s))
+  in
+  let rt =
+    CRouter.create ~config:(cb_config ()) ~ownership:own ~arity:2 eps
+  in
+  let merged, router_s = time (fun () -> cb_drive rt) in
+  (* the single-node baseline: same protocol, one unsharded server *)
+  let single =
+    Nd_server.session (Nd_server.create (Nd_engine.prepare g phi))
+  in
+  let single_sols = ref [] and finished = ref false in
+  let (), single_s =
+    time (fun () ->
+        while not !finished do
+          List.iter
+            (fun l ->
+              if String.length l > 4 && String.sub l 0 4 = "sol " then
+                single_sols := l :: !single_sols
+              else if
+                String.length l > 9
+                && String.sub l 0 4 = "end "
+                && String.sub l (String.length l - 8) 8 = "complete"
+              then finished := true)
+            (Nd_server.handle single "enumerate 128")
+        done)
+  in
+  let single_sols = List.rev !single_sols in
+  let mismatches = if merged = single_sols then 0 else 1 in
+  let sols = List.length merged in
+  Printf.printf
+    "  merge                  %d shards: %d solutions  router=%s  \
+     single=%s  identical=%b\n%!"
+    cb_shards sols (ns router_s) (ns single_s) (mismatches = 0);
+  Printf.sprintf
+    "{\"shards\":%d,\"solutions\":%d,\"mismatches\":%d,\
+     \"router_s\":%.9g,\"single_s\":%.9g,\"router_sps\":%.9g,\
+     \"single_sps\":%.9g}"
+    cb_shards sols mismatches router_s single_s
+    (float sols /. Float.max router_s 1e-9)
+    (float sols /. Float.max single_s 1e-9)
+
+let cb_failover_json g phi =
+  let own = COwn.compute g ~shards:cb_shards in
+  let dead = ref false in
+  let eps =
+    List.concat
+      (List.init cb_shards (fun s ->
+           let primary =
+             if s = 0 then
+               (* shard 0's preferred replica dies when [dead] flips *)
+               let srv = cb_shard_server ~metrics:false own g phi ~shard:0 in
+               CRouter.endpoint ~shard:0 ~label:"s0/mortal" (fun () ->
+                   let session = Nd_server.session srv in
+                   Ok
+                     {
+                       CRouter.transport =
+                         (fun line ->
+                           if !dead then raise End_of_file
+                           else Nd_server.handle session line);
+                       read_reply = (fun _ -> None);
+                       close = ignore;
+                     })
+             else
+               CRouter.local_endpoint ~shard:s
+                 ~label:(Printf.sprintf "s%d/a" s)
+                 (cb_shard_server ~metrics:false own g phi ~shard:s)
+           in
+           [
+             primary;
+             CRouter.local_endpoint ~shard:s
+               ~label:(Printf.sprintf "s%d/b" s)
+               (cb_shard_server ~metrics:false own g phi ~shard:s);
+           ]))
+  in
+  let rt =
+    CRouter.create ~config:(cb_config ()) ~ownership:own ~arity:2 eps
+  in
+  let requests = cb_requests () in
+  let n = Cgraph.n g in
+  let lat = Array.make requests 0. in
+  let ok = ref 0 in
+  for i = 0 to requests - 1 do
+    if i = requests / 2 then dead := true;
+    let req = Printf.sprintf "test %d,%d" (i mod n) ((i + 1) mod n) in
+    let reply, s = time (fun () -> CRouter.handle rt req) in
+    lat.(i) <- s *. 1e6;
+    match List.rev reply with "ok" :: _ -> incr ok | _ -> ()
+  done;
+  let st = CRouter.stats rt in
+  let p99 = rb_percentile_us lat 99. in
+  Printf.printf
+    "  failover               %d requests, replica killed at %d: %d ok  \
+     failovers=%d  p99=%.0fus\n%!"
+    requests (requests / 2) !ok st.CRouter.failovers p99;
+  Printf.sprintf
+    "{\"requests\":%d,\"ok\":%d,\"blip_p99_us\":%.9g,\"failovers\":%d}"
+    requests !ok p99 st.CRouter.failovers
+
+let cb_catchup_json g phi journal_len =
+  (* one shard, two replicas; the laggard misses every update fan-out
+     but hears the batch-update replay *)
+  let own = COwn.compute g ~shards:1 in
+  let leader = cb_shard_server ~metrics:false own g phi ~shard:0 in
+  let laggard = cb_shard_server ~metrics:false own g phi ~shard:0 in
+  let dropping =
+    CRouter.endpoint ~shard:0 ~label:"laggard" (fun () ->
+        let session = Nd_server.session laggard in
+        Ok
+          {
+            CRouter.transport =
+              (fun line ->
+                if
+                  String.length line >= 7 && String.sub line 0 7 = "update "
+                then raise End_of_file
+                else Nd_server.handle session line);
+            read_reply = (fun _ -> None);
+            close = ignore;
+          })
+  in
+  let rt =
+    CRouter.create ~config:(cb_config ()) ~ownership:own ~arity:2
+      [ CRouter.local_endpoint ~shard:0 ~label:"leader" leader; dropping ]
+  in
+  for i = 0 to journal_len - 1 do
+    (* fresh diagonal edges: never grid-adjacent, pairwise distinct *)
+    let wire = Printf.sprintf "update add-edge %d %d" (2 * i) ((2 * i) + 5) in
+    match List.rev (CRouter.handle rt wire) with
+    | "ok" :: _ -> ()
+    | r -> failwith ("bench: cluster update: " ^ String.concat "|" r)
+  done;
+  let before = CRouter.stats rt in
+  let (), catchup_s = time (fun () -> CRouter.probe rt) in
+  let after = CRouter.stats rt in
+  let readmitted =
+    if after.CRouter.fenced = 0 && after.CRouter.catchups > before.CRouter.catchups
+    then 1
+    else 0
+  in
+  Printf.printf
+    "  catchup                journal len %d: replay=%.2fms  readmitted=%b\n%!"
+    journal_len (catchup_s *. 1e3) (readmitted = 1);
+  Printf.sprintf
+    "{\"journal_len\":%d,\"catchup_ms\":%.9g,\"readmitted\":%d}" journal_len
+    (catchup_s *. 1e3) readmitted
+
+let cb_probe_overhead_json g phi =
+  let requests = cb_requests () in
+  let n = Cgraph.n g in
+  let run fence =
+    let own = COwn.compute g ~shards:cb_shards in
+    let eps =
+      List.init cb_shards (fun s ->
+          CRouter.local_endpoint ~shard:s
+            ~label:(Printf.sprintf "s%d" s)
+            (cb_shard_server ~metrics:true own g phi ~shard:s))
+    in
+    let rt =
+      CRouter.create ~config:(cb_config ~fence ()) ~ownership:own ~arity:2 eps
+    in
+    (* warm lazily-built index nodes out of the measurement *)
+    ignore (CRouter.handle rt "test 0,1");
+    Nd_util.Metrics.reset ();
+    Nd_util.Metrics.enable ();
+    let o0 = Nd_util.Metrics.ops () in
+    let (), s =
+      time (fun () ->
+          for i = 1 to requests do
+            ignore
+              (CRouter.handle rt
+                 (Printf.sprintf "test %d,%d" (i mod n) ((i + 1) mod n)))
+          done)
+    in
+    Nd_util.Metrics.disable ();
+    (Nd_util.Metrics.ops () - o0, s)
+  in
+  let ops_off, wall_off = run false in
+  let ops_on, wall_on = run true in
+  let delta_pct =
+    if ops_off = 0 then 0.
+    else float_of_int (ops_on - ops_off) /. float_of_int ops_off *. 100.
+  in
+  Printf.printf
+    "  probe/fence overhead   %d requests: ops off=%d on=%d  delta=%.2f%%  \
+     wall %s -> %s\n%!"
+    requests ops_off ops_on delta_pct (ns wall_off) (ns wall_on);
+  Printf.sprintf
+    "{\"requests\":%d,\"ops_off\":%d,\"ops_on\":%d,\"ops_delta_pct\":%.9g,\
+     \"wall_off_s\":%.9g,\"wall_on_s\":%.9g}"
+    requests ops_off ops_on delta_pct wall_off wall_on
+
+let cb_json () =
+  let phi = Nd_logic.Parse.formula "dist(x,y) <= 2" in
+  let g = rb_graph () in
+  Nd_util.Metrics.disable ();
+  let merge = cb_merge_json g phi in
+  let failover = cb_failover_json g phi in
+  let catchup =
+    List.map (cb_catchup_json g phi) (if !smoke then [ 4 ] else [ 4; 16 ])
+  in
+  let probe = cb_probe_overhead_json g phi in
+  Printf.sprintf
+    "{\"shards\":%d,\"merge\":%s,\"failover\":%s,\"catchup\":[%s],\
+     \"probe_overhead\":%s}"
+    cb_shards merge failover
+    (String.concat "," catchup)
+    probe
+
+let cb_rows = ref None
+
+(* memoized: the CB experiment and the EE document share one run *)
+let cb_rows_json () =
+  match !cb_rows with
+  | Some j -> j
+  | None ->
+      let j = cb_json () in
+      cb_rows := Some j;
+      j
+
+let cb_cluster () = ignore (cb_rows_json ())
+
+(* ------------------------------------------------------------------ *)
 (* EE — engine trajectories: run the whole pipeline through the
    Nd_engine façade with metrics on, and serialize the cost-model
    numbers (delay/op-count trajectories, store register-touch
@@ -1516,13 +1817,17 @@ let ee_engine_json () =
   (* RB rows ride along in every mode: overload shedding under a 2x
      stampede and the hygiene-gate ops overhead, gated by check_schema *)
   let overload_doc = rb_rows_json () in
+  (* CB rows ride along in every mode: the cluster router's merge
+     differential, failover blip, catch-up replay and probe-overhead
+     gate, all checked by check_schema *)
+  let cluster_doc = cb_rows_json () in
   let mode = if !smoke then "smoke" else if !quick then "quick" else "full" in
   let doc =
     Printf.sprintf
       "{\"schema\":\"nd-engine-bench/1\",\"mode\":\"%s\",\"query\":\"%s\",\
        \"engine\":[%s],\"store\":[%s],\"budget_overhead\":[%s],\
        \"trace_overhead\":[%s],\"snapshot\":[%s],\"update\":[%s],\
-       \"parallel\":%s,\"overload\":%s}"
+       \"parallel\":%s,\"overload\":%s,\"cluster\":%s}"
       mode qtext
       (String.concat "," engine_points)
       (String.concat "," store_points)
@@ -1530,7 +1835,7 @@ let ee_engine_json () =
       (String.concat "," trace_points)
       (String.concat "," snapshot_points)
       (String.concat "," update_points)
-      parallel_doc overload_doc
+      parallel_doc overload_doc cluster_doc
   in
   let path = "BENCH_engine.json" in
   let oc = open_out path in
@@ -1559,6 +1864,7 @@ let experiments =
     ("TR", "observability: span-tracer overhead", tr_trace_overhead);
     ("PAR", "parallel prepare + concurrent serve", par_parallel);
     ("RB", "robustness: overload shedding + hygiene overhead", rb_overload);
+    ("CB", "cluster router: merge, failover, catch-up", cb_cluster);
     ("EE", "engine cost-model trajectories", ee_engine_json);
   ]
 

@@ -569,13 +569,27 @@ let snapshot_info file =
 let serve_worker spec query colors seed epsilon snapshot_file socket backlog
     request_budget_ops request_timeout_ms max_enumerate chaos event_log_file
     no_metrics trace jobs max_inflight max_conns io_timeout_ms idle_timeout_ms
-    max_line_bytes retry_after_ms journal_file =
+    max_line_bytes retry_after_ms journal_file shard_index shard_count =
   (* metrics default ON in serve so the `metrics` scrape verb has
      something to report over a long session *)
   if not no_metrics then Nd_util.Metrics.enable ();
   (match trace with Some _ -> Nd_trace.enable () | None -> ());
   let g = load spec ~colors ~seed in
   let phi = Nd_logic.Parse.formula query in
+  (* cluster mode: the ownership map comes from the BOOT graph — before
+     journal replay or any mutation — so every worker and the router
+     derive the identical partition no matter when they (re)started *)
+  let owner =
+    if shard_count <= 1 then None
+    else begin
+      if shard_index < 0 || shard_index >= shard_count then
+        Nd_error.user_errorf "serve: --shard-index %d out of range for \
+                              --shard-count %d" shard_index shard_count;
+      let own = Nd_cluster.Ownership.compute g ~shards:shard_count in
+      Printf.eprintf "fodb serve: shard %d/%d\n%!" shard_index shard_count;
+      Some (Nd_cluster.Ownership.owner own ~shard:shard_index)
+    end
+  in
   (* the recovery journal: every mutation applied in a previous worker
      lifetime, replayed before serving so a restarted (or kill -9'd)
      worker resumes at the pre-crash epoch *)
@@ -650,6 +664,7 @@ let serve_worker spec query colors seed epsilon snapshot_file socket backlog
       max_line_bytes;
       retry_after_ms;
       journal;
+      owner;
     }
   in
   let srv = Nd_server.create ~config eng in
@@ -681,14 +696,15 @@ let serve_worker spec query colors seed epsilon snapshot_file socket backlog
 let serve spec query colors seed epsilon snapshot_file socket backlog
     request_budget_ops request_timeout_ms max_enumerate chaos event_log_file
     no_metrics trace jobs max_inflight max_conns io_timeout_ms idle_timeout_ms
-    max_line_bytes retry_after_ms journal_file supervise max_crashes
-    restart_backoff_ms restart_window_ms =
+    max_line_bytes retry_after_ms journal_file shard_index shard_count
+    supervise max_crashes restart_backoff_ms restart_window_ms =
  run @@ fun () ->
   let worker () =
     serve_worker spec query colors seed epsilon snapshot_file socket backlog
       request_budget_ops request_timeout_ms max_enumerate chaos event_log_file
       no_metrics trace jobs max_inflight max_conns io_timeout_ms
-      idle_timeout_ms max_line_bytes retry_after_ms journal_file
+      idle_timeout_ms max_line_bytes retry_after_ms journal_file shard_index
+      shard_count
   in
   if not supervise then worker ()
   else begin
@@ -698,7 +714,13 @@ let serve spec query colors seed epsilon snapshot_file socket backlog
        is exactly the crash-recovery path. *)
     let module Sup = Nd_server.Supervisor in
     let child = ref None in
+    (* a stop signal can land during the restart backoff, when there is
+       no worker to forward to; remember it and pass it to the next
+       spawn, or the supervisor would restart into a fleet that is
+       shutting down and wait on that worker forever *)
+    let stopping = ref false in
     let forward signal =
+      stopping := true;
       match !child with
       | Some pid -> ( try Unix.kill pid signal with Unix.Unix_error _ -> ())
       | None -> ()
@@ -723,6 +745,8 @@ let serve spec query colors seed epsilon snapshot_file socket backlog
             exit 1)
       | pid ->
           child := Some pid;
+          if !stopping then (
+            try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
           Printf.eprintf "fodb serve: supervisor: worker pid=%d\n%!" pid;
           pid
     in
@@ -824,6 +848,481 @@ let client socket requests =
          with End_of_file -> ())
    with Exit -> ());
   close_in_noerr ic
+
+(* ---------------- router ---------------- *)
+
+(* "S:X" — a shard id plus a payload (socket path, replica index). *)
+let parse_shard_colon what s =
+  match String.index_opt s ':' with
+  | Some i -> (
+      match int_of_string_opt (String.sub s 0 i) with
+      | Some sh when sh >= 0 ->
+          (sh, String.sub s (i + 1) (String.length s - i - 1))
+      | _ -> Nd_error.user_errorf "%s: bad shard id in %S" what s)
+  | None -> Nd_error.user_errorf "%s: expected SHARD:..., got %S" what s
+
+let parse_replica_pair what s =
+  let sh, rest = parse_shard_colon what s in
+  match int_of_string_opt rest with
+  | Some r when r >= 0 -> (sh, r)
+  | _ -> Nd_error.user_errorf "%s: bad replica index in %S" what s
+
+(* event-log plumbing shared by serve/router/cluster: an append-only
+   JSONL sink, flushed per row *)
+let event_sink file =
+  let oc =
+    Option.map
+      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      file
+  in
+  let sink =
+    Option.map
+      (fun oc line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc)
+      oc
+  in
+  (sink, fun () -> Option.iter close_out_noerr oc)
+
+let router_config ~no_fence ~probe_interval_ms ~retry_after_ms ~max_enumerate
+    ~event_log =
+  {
+    Nd_cluster.Router.default_config with
+    fence = not no_fence;
+    probe_interval_ms;
+    retry_after_ms;
+    max_enumerate;
+    event_log;
+  }
+
+let print_router_stats tag rt =
+  let s = Nd_cluster.Router.stats rt in
+  Printf.eprintf
+    "%s: %d requests (%d ok, %d user, %d unavailable), %d failovers, %d \
+     fence refusals, %d catchups, %d probes, epoch %d, %d live, %d fenced\n\
+     %!"
+    tag s.Nd_cluster.Router.requests s.Nd_cluster.Router.ok
+    s.Nd_cluster.Router.user_errors s.Nd_cluster.Router.unavailable
+    s.Nd_cluster.Router.failovers s.Nd_cluster.Router.fence_refusals
+    s.Nd_cluster.Router.catchups s.Nd_cluster.Router.probes
+    s.Nd_cluster.Router.fleet_epoch s.Nd_cluster.Router.live
+    s.Nd_cluster.Router.fenced
+
+(* The fleet front-end over already-running shard workers: same line
+   protocol as serve, answers reconstituted by the epoch-fenced k-way
+   merge.  The ownership map is re-derived from the boot graph, which
+   is why the router takes -g/-q at all. *)
+let router spec query colors seed shards endpoints socket backlog
+    probe_interval_ms no_fence retry_after_ms max_enumerate event_log_file =
+ run @@ fun () ->
+  if shards < 1 then Nd_error.user_errorf "router: --shards must be >= 1";
+  if endpoints = [] then
+    Nd_error.user_errorf "router: at least one --endpoint SHARD:PATH required";
+  Nd_util.Metrics.enable ();
+  let g = load spec ~colors ~seed in
+  let phi = Nd_logic.Parse.formula query in
+  let arity = Nd_logic.Fo.arity phi in
+  let own = Nd_cluster.Ownership.compute g ~shards in
+  let eps =
+    List.map
+      (fun s ->
+        let sh, path = parse_shard_colon "--endpoint" s in
+        if sh >= shards then
+          Nd_error.user_errorf "--endpoint %S: shard out of range (%d shards)"
+            s shards;
+        Nd_cluster.Router.socket_endpoint ~shard:sh path)
+      endpoints
+  in
+  let event_log, close_events = event_sink event_log_file in
+  let config =
+    router_config ~no_fence ~probe_interval_ms ~retry_after_ms ~max_enumerate
+      ~event_log
+  in
+  let rt = Nd_cluster.Router.create ~config ~ownership:own ~arity eps in
+  (try
+     let stop _ = Nd_cluster.Router.request_stop rt in
+     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+   with Invalid_argument _ | Sys_error _ -> ());
+  let prober = Nd_cluster.Router.start_probes rt in
+  (match socket with
+  | Some path -> Nd_cluster.Router.serve_socket ~backlog rt ~path
+  | None -> Nd_cluster.Router.serve rt stdin stdout);
+  Nd_cluster.Router.request_stop rt;
+  ignore (Nd_cluster.Router.drain rt);
+  Option.iter Thread.join prober;
+  close_events ();
+  print_router_stats "fodb router" rt
+
+(* ---------------- cluster ---------------- *)
+
+(* The whole fleet in one command: snapshot the boot engine, spawn
+   shards x replicas worker processes (fodb serve --shard-index ...),
+   optionally interpose chaos proxies, run the router over them.  The
+   parent prepares with jobs=1 — no domain is ever spawned before the
+   forks, which OCaml 5 requires. *)
+let cluster spec query colors seed epsilon shards replicas dir socket backlog
+    supervise differential mutations kill_replica probe_interval_ms no_fence
+    chaos_links chaos_chunk chaos_delay_ms chaos_garbage chaos_cut_reply_after
+    event_log_file =
+ run @@ fun () ->
+  if shards < 1 then Nd_error.user_errorf "cluster: --shards must be >= 1";
+  if replicas < 1 then Nd_error.user_errorf "cluster: --replicas must be >= 1";
+  let dir =
+    let d =
+      match dir with
+      | Some d -> d
+      | None ->
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "fodb-cluster-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let chaos_links =
+    List.map (parse_replica_pair "--chaos-link") chaos_links
+  in
+  let kill_replica =
+    Option.map (parse_replica_pair "--kill-replica") kill_replica
+  in
+  Printf.eprintf "fodb cluster: %d shards x %d replicas in %s\n%!" shards
+    replicas dir;
+  let g = load spec ~colors ~seed in
+  let phi = Nd_logic.Parse.formula query in
+  let arity = Nd_logic.Fo.arity phi in
+  let own = Nd_cluster.Ownership.compute g ~shards in
+  (* the boot snapshot every worker revives from (kill -9 recovery is
+     exactly this snapshot plus the worker's own journal) *)
+  let snap = Filename.concat dir "boot.snap" in
+  let single = Nd_engine.prepare ~epsilon ~jobs:1 g phi in
+  ignore (Nd_snapshot.save ~path:snap single);
+  let sock_path s r = Filename.concat dir (Printf.sprintf "w-%d-%d.sock" s r) in
+  let chaos_path s r =
+    Filename.concat dir (Printf.sprintf "chaos-%d-%d.sock" s r)
+  in
+  let journal_path s r =
+    Filename.concat dir (Printf.sprintf "w-%d-%d.journal" s r)
+  in
+  let log_path s r = Filename.concat dir (Printf.sprintf "w-%d-%d.log" s r) in
+  let pids = ref [] in
+  let proxies = ref [] in
+  let spawn_worker s r =
+    let log_fd =
+      Unix.openfile (log_path s r)
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+        0o644
+    in
+    let args =
+      [
+        Sys.executable_name; "serve"; "-g"; spec; "-q"; query; "--colors";
+        string_of_int colors; "--seed"; string_of_int seed; "--epsilon";
+        Printf.sprintf "%.17g" epsilon; "--socket"; sock_path s r;
+        "--shard-index"; string_of_int s; "--shard-count";
+        string_of_int shards; "--snapshot"; snap; "--journal";
+        journal_path s r; "--jobs"; "1";
+      ]
+      @ (if supervise then [ "--supervise" ] else [])
+    in
+    let pid =
+      Unix.create_process Sys.executable_name (Array.of_list args) Unix.stdin
+        log_fd log_fd
+    in
+    Unix.close log_fd;
+    pids := ((s, r), pid) :: !pids
+  in
+  let shutdown () =
+    let signal s (_, pid) =
+      try Unix.kill pid s with Unix.Unix_error _ -> ()
+    in
+    let reaped (_, pid) =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ -> false
+      | _ -> true
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (* SIGTERM, then escalate: a second SIGTERM (a supervisor mid
+       restart-backoff forwards nothing), finally SIGKILL *)
+    List.iter (signal Sys.sigterm) !pids;
+    let rec wait remaining rounds =
+      let remaining = List.filter (fun p -> not (reaped p)) remaining in
+      if remaining = [] then ()
+      else if rounds = 100 || rounds = 200 then begin
+        List.iter (signal Sys.sigterm) remaining;
+        wait remaining (rounds + 1)
+      end
+      else if rounds >= 300 then begin
+        List.iter (signal Sys.sigkill) remaining;
+        List.iter
+          (fun (_, pid) ->
+            let rec w () =
+              match Unix.waitpid [] pid with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> w ()
+              | exception Unix.Unix_error _ -> ()
+              | _ -> ()
+            in
+            w ())
+          remaining
+      end
+      else begin
+        (try ignore (Unix.select [] [] [] 0.05)
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        wait remaining (rounds + 1)
+      end
+    in
+    wait !pids 0;
+    List.iter Nd_ram.Chaos.Net.stop !proxies
+  in
+  Fun.protect ~finally:shutdown @@ fun () ->
+  for s = 0 to shards - 1 do
+    for r = 0 to replicas - 1 do
+      spawn_worker s r
+    done
+  done;
+  (* workers are forked; threads (chaos pumps, probe timer) are safe
+     from here on.  Wait for every worker socket before interposing
+     proxies, so a proxy's lazy upstream dial cannot race a slow boot. *)
+  let ready_policy =
+    {
+      Nd_server.Client.default_connect_policy with
+      connect_retries = 600;
+      connect_deadline_ms = 120_000;
+    }
+  in
+  let wait_ready s r =
+    match Nd_server.Client.connect ~policy:ready_policy (sock_path s r) with
+    | Ok fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | Error m -> Nd_error.user_errorf "cluster: worker %d:%d not ready: %s" s r m
+  in
+  for s = 0 to shards - 1 do
+    for r = 0 to replicas - 1 do
+      wait_ready s r
+    done
+  done;
+  let chaos_profile =
+    {
+      Nd_ram.Chaos.Net.chunk = Option.value ~default:max_int chaos_chunk;
+      delay_ms = chaos_delay_ms;
+      garbage = chaos_garbage;
+      cut_after = None;
+      cut_reply_after = chaos_cut_reply_after;
+    }
+  in
+  List.iter
+    (fun (s, r) ->
+      if s >= shards || r >= replicas then
+        Nd_error.user_errorf "--chaos-link %d:%d: no such replica" s r;
+      proxies :=
+        Nd_ram.Chaos.Net.start chaos_profile ~listen:(chaos_path s r)
+          ~upstream:(sock_path s r)
+        :: !proxies;
+      Printf.eprintf "fodb cluster: chaos link on %d:%d\n%!" s r)
+    chaos_links;
+  let endpoint s r =
+    let path =
+      if List.mem (s, r) chaos_links then chaos_path s r else sock_path s r
+    in
+    let connect =
+      {
+        Nd_server.Client.default_connect_policy with
+        connect_retries = 40;
+        connect_deadline_ms = 10_000;
+      }
+    in
+    Nd_cluster.Router.socket_endpoint ~connect ~shard:s path
+  in
+  let eps =
+    List.concat_map
+      (fun s -> List.init replicas (fun r -> endpoint s r))
+      (List.init shards (fun s -> s))
+  in
+  let event_log, close_events = event_sink event_log_file in
+  let config =
+    let c =
+      router_config ~no_fence ~probe_interval_ms ~retry_after_ms:100
+        ~max_enumerate:(Nd_cluster.Router.default_config.max_enumerate)
+        ~event_log
+    in
+    (* killed workers take a supervisor restart to come back: give the
+       failover ladder enough passes to ride that out *)
+    { c with retries = 8; backoff_ms = 100 }
+  in
+  let rt = Nd_cluster.Router.create ~config ~ownership:own ~arity eps in
+  let prober = Nd_cluster.Router.start_probes rt in
+  let finish () =
+    Nd_cluster.Router.request_stop rt;
+    ignore (Nd_cluster.Router.drain rt);
+    Option.iter Thread.join prober;
+    close_events ();
+    print_router_stats "fodb cluster" rt
+  in
+  if not differential then begin
+    (try
+       let stop _ = Nd_cluster.Router.request_stop rt in
+       Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+       Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+     with Invalid_argument _ | Sys_error _ -> ());
+    (match socket with
+    | Some path -> Nd_cluster.Router.serve_socket ~backlog rt ~path
+    | None -> Nd_cluster.Router.serve rt stdin stdout);
+    finish ()
+  end
+  else begin
+    (* differential mode: replicate scripted mutations through the
+       router, optionally kill -9 a worker after the first merged page,
+       enumerate everything, and compare byte-for-byte against the
+       single-node engine on the same mutated graph *)
+    let n = Nd_graph.Cgraph.n g in
+    let muts =
+      if mutations > 0 && n < 2 then
+        Nd_error.user_errorf "cluster: --mutations needs >= 2 vertices"
+      else
+        List.init mutations (fun i ->
+            let u = 2 * i mod n in
+            let v = (u + 1 + (i mod (n - 1))) mod n in
+            let u, v = if u < v then (u, v) else (v, u) in
+            if i mod 2 = 0 then Nd_graph.Cgraph.Add_edge (u, v)
+            else Nd_graph.Cgraph.Remove_edge (u, v))
+    in
+    List.iter
+      (fun m ->
+        let wire = Nd_graph.Cgraph.mutation_to_string m in
+        let reply = Nd_cluster.Router.handle rt ("update " ^ wire) in
+        (match reply with
+        | l :: _ when String.starts_with ~prefix:"err " l ->
+            Nd_error.user_errorf "cluster: update %s refused: %s" wire l
+        | _ -> ());
+        Nd_engine.update single m)
+      muts;
+    if muts <> [] then
+      Printf.eprintf "fodb cluster: replicated %d mutations (fleet epoch %d)\n%!"
+        (List.length muts)
+        (Nd_cluster.Router.stats rt).Nd_cluster.Router.fleet_epoch;
+    let kill_worker s r =
+      if s >= shards || r >= replicas then
+        Nd_error.user_errorf "--kill-replica %d:%d: no such replica" s r;
+      (* under --supervise the spawned pid is the supervisor; the worker
+         to kill -9 announces itself in the replica's log *)
+      let pid =
+        if not supervise then List.assoc (s, r) !pids
+        else begin
+          let tag = "worker pid=" in
+          let tlen = String.length tag in
+          let pid_of line =
+            let len = String.length line in
+            let rec find i =
+              if i + tlen > len then None
+              else if String.sub line i tlen = tag then
+                int_of_string_opt
+                  (String.trim (String.sub line (i + tlen) (len - i - tlen)))
+              else find (i + 1)
+            in
+            find 0
+          in
+          let last = ref None in
+          let ic = open_in (log_path s r) in
+          (try
+             while true do
+               match pid_of (input_line ic) with
+               | Some p -> last := Some p
+               | None -> ()
+             done
+           with End_of_file -> close_in ic);
+          match !last with
+          | Some p -> p
+          | None ->
+              Nd_error.user_errorf
+                "cluster: no worker pid in %s (is --supervise on?)"
+                (log_path s r)
+        end
+      in
+      Printf.eprintf "fodb cluster: kill -9 replica %d:%d (pid %d)\n%!" s r
+        pid;
+      try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()
+    in
+    (* collect every sol line through a handle, retrying unavailable
+       pages (the cursor only advances on successful pages, so a retry
+       can neither skip nor duplicate) *)
+    let collect label handle =
+      let sols = ref [] and stalls = ref 0 and pages = ref 0 in
+      let rec go () =
+        let reply = handle "enumerate 128" in
+        let unavailable =
+          List.exists (String.starts_with ~prefix:"err unavailable") reply
+        in
+        if unavailable then begin
+          incr stalls;
+          if !stalls > 200 then
+            Nd_error.user_errorf "cluster: %s enumeration stalled: %s" label
+              (String.concat " | " reply);
+          Unix.sleepf 0.1;
+          go ()
+        end
+        else begin
+          List.iter
+            (fun l ->
+              if String.starts_with ~prefix:"err " l then
+                Nd_error.user_errorf "cluster: %s enumeration failed: %s"
+                  label l;
+              if String.starts_with ~prefix:"sol " l then sols := l :: !sols)
+            reply;
+          incr pages;
+          let complete =
+            List.exists
+              (fun l ->
+                String.starts_with ~prefix:"end " l
+                && String.length l >= 9
+                && String.sub l (String.length l - 9) 9 = " complete")
+              reply
+          in
+          if not complete then begin
+            (match (kill_replica, !pages) with
+            | Some (s, r), 1 when label = "router" -> kill_worker s r
+            | _ -> ());
+            go ()
+          end
+        end
+      in
+      go ();
+      List.rev !sols
+    in
+    let router_sols =
+      collect "router" (Nd_cluster.Router.handle rt)
+    in
+    let srv = Nd_server.create single in
+    let single_sols =
+      collect "single-node" (Nd_server.handle (Nd_server.session srv))
+    in
+    let same = router_sols = single_sols in
+    finish ();
+    Printf.printf
+      "cluster differential: %s — %d solutions via %d shards x %d replicas \
+       vs %d single-node%s%s%s\n"
+      (if same then "OK" else "MISMATCH")
+      (List.length router_sols) shards replicas (List.length single_sols)
+      (if muts = [] then ""
+       else Printf.sprintf ", %d mutations" (List.length muts))
+      (match kill_replica with
+      | Some (s, r) -> Printf.sprintf ", killed %d:%d" s r
+      | None -> "")
+      (if chaos_links = [] then ""
+       else Printf.sprintf ", %d chaos links" (List.length chaos_links));
+    if not same then begin
+      let rec diverge i = function
+        | a :: xs, b :: ys ->
+            if a = b then diverge (i + 1) (xs, ys)
+            else Printf.printf "first divergence at %d: %S vs %S\n" i a b
+        | a :: _, [] -> Printf.printf "single-node ends at %d; router has %S\n" i a
+        | [], b :: _ -> Printf.printf "router ends at %d; single-node has %S\n" i b
+        | [], [] -> ()
+      in
+      diverge 0 (router_sols, single_sols);
+      exit 1
+    end
+  end
 
 (* ---------------- command wiring ---------------- *)
 
@@ -1140,6 +1639,19 @@ let cmd_serve =
                  worker (see $(b,--supervise)) resumes at the pre-crash \
                  epoch.")
       $ Arg.(
+          value & opt int 0
+          & info [ "shard-index" ] ~docv:"S"
+              ~doc:
+                "Cluster mode: serve only the solutions shard $(docv) \
+                 owns under the boot graph's cover-bag partition (see \
+                 $(b,fodb router)).  Requires $(b,--shard-count).")
+      $ Arg.(
+          value & opt int 1
+          & info [ "shard-count" ] ~docv:"N"
+              ~doc:
+                "Cluster mode: total shards in the fleet (default 1 = \
+                 serve everything).")
+      $ Arg.(
           value & flag
           & info [ "supervise" ]
               ~doc:
@@ -1222,6 +1734,166 @@ let cmd_chaos_proxy =
                 "Hard-close after N server-to-client bytes (mid-reply \
                  disconnect)."))
 
+let shards_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shards in the fleet.  The partition is derived from the \
+           $(i,boot) graph's neighborhood cover (home bags dealt \
+           round-robin), so every process computes the same map.")
+
+let probe_interval_arg default =
+  Arg.(
+    value & opt int default
+    & info [ "probe-interval-ms" ] ~docv:"N"
+        ~doc:
+          "Background health/epoch probe period; fences lagging \
+           replicas, replays them the missing journal suffix and \
+           readmits them at the fleet epoch.  0 disables the timer.")
+
+let no_fence_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fence" ]
+        ~doc:
+          "Disable per-request epoch fencing (the probe-overhead bench \
+           arm; unsafe under mutation).")
+
+let cmd_router =
+  Cmd.v
+    (Cmd.info "router" ~exits
+       ~doc:
+         "Serve the merged line protocol over already-running shard \
+          workers: duplicate-free ascending k-way merge of the \
+          per-shard streams, epoch fencing (mixed-epoch merges are \
+          refused; lagging replicas are fenced, caught up by journal \
+          replay and readmitted), failover with full-jitter backoff, \
+          and structured $(b,err unavailable) degradation.")
+    Term.(
+      const router $ graph_arg $ query_arg $ colors_arg $ seed_arg
+      $ shards_arg
+      $ Arg.(
+          value
+          & opt_all string []
+          & info [ "endpoint" ] ~docv:"S:PATH"
+              ~doc:
+                "A replica: shard id and the Unix-domain socket path of \
+                 a $(b,fodb serve --shard-index S) worker.  Repeatable; \
+                 every shard needs at least one.")
+      $ socket_arg $ backlog_arg $ probe_interval_arg 1000 $ no_fence_arg
+      $ Arg.(
+          value & opt int 100
+          & info [ "retry-after-ms" ] ~docv:"N"
+              ~doc:
+                "Floor advertised in $(b,err unavailable) replies \
+                 (default 100).")
+      $ max_enumerate_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "event-log" ] ~docv:"FILE"
+              ~doc:
+                "Append one structured JSON line per handled request \
+                 plus fence/catch-up/failover/probe lifecycle rows."))
+
+let cmd_cluster =
+  Cmd.v
+    (Cmd.info "cluster" ~exits
+       ~doc:
+         "Launch a whole fleet locally — shards x replicas worker \
+          processes bootstrapped from a shared snapshot with per-worker \
+          journals, optional supervisors and chaos-proxied links — and \
+          run the router over it; with $(b,--differential), enumerate \
+          through the router (replicating mutations, optionally \
+          $(b,kill -9)-ing a worker mid-enumeration) and compare \
+          byte-for-byte against a single-node engine.")
+    Term.(
+      const cluster $ graph_arg $ query_arg $ colors_arg $ seed_arg
+      $ epsilon_arg $ shards_arg
+      $ Arg.(
+          value & opt int 1
+          & info [ "replicas" ] ~docv:"R"
+              ~doc:"Replicas per shard (default 1).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "dir" ] ~docv:"D"
+              ~doc:
+                "Working directory for sockets, snapshot, journals and \
+                 worker logs (default: a fresh directory under the \
+                 system temp dir, printed on stderr).")
+      $ socket_arg $ backlog_arg
+      $ Arg.(
+          value & flag
+          & info [ "supervise" ]
+              ~doc:
+                "Run each worker under the restart-on-crash supervisor, \
+                 so a $(b,kill -9)'d worker revives from the snapshot \
+                 plus its journal.")
+      $ Arg.(
+          value & flag
+          & info [ "differential" ]
+              ~doc:
+                "Enumerate the whole answer set through the router, \
+                 compare against a single-node engine on the same \
+                 graph, print a verdict and exit 1 on mismatch.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "mutations" ] ~docv:"M"
+              ~doc:
+                "Differential mode: replicate this many scripted \
+                 mutations through the router first; the single-node \
+                 reference gets the same mutations.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "kill-replica" ] ~docv:"S:R"
+              ~doc:
+                "Differential mode: $(b,kill -9) this replica's worker \
+                 after the first merged page; with $(b,--supervise) the \
+                 restarted worker recovers via snapshot + journal and \
+                 is readmitted at the fleet epoch.")
+      $ probe_interval_arg 200 $ no_fence_arg
+      $ Arg.(
+          value
+          & opt_all string []
+          & info [ "chaos-link" ] ~docv:"S:R"
+              ~doc:
+                "Interpose a chaos proxy on this router-to-replica \
+                 link (repeatable); profile from the $(b,--chaos-*) \
+                 flags.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "chaos-chunk" ] ~docv:"N"
+              ~doc:"Chaos links: forward at most N bytes at a time.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "chaos-delay-ms" ] ~docv:"N"
+              ~doc:"Chaos links: sleep N ms before each forwarded chunk.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "chaos-garbage" ] ~docv:"BYTES"
+              ~doc:
+                "Chaos links: inject these bytes toward the worker \
+                 before the first real byte of each connection.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "chaos-cut-reply-after" ] ~docv:"N"
+              ~doc:
+                "Chaos links: hard-close each connection after N \
+                 worker-to-router bytes.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "event-log" ] ~docv:"FILE"
+              ~doc:
+                "Append the router's structured JSON event rows here."))
+
 let cmd_client =
   Cmd.v
     (Cmd.info "client" ~exits
@@ -1254,5 +1926,5 @@ let () =
           [
             cmd_enumerate; cmd_count; cmd_test; cmd_next; cmd_update;
             cmd_cover; cmd_splitter; cmd_stats; cmd_profile; cmd_snapshot;
-            cmd_serve; cmd_client; cmd_chaos_proxy;
+            cmd_serve; cmd_router; cmd_cluster; cmd_client; cmd_chaos_proxy;
           ]))

@@ -1,0 +1,1283 @@
+open Nd_util
+
+(* Router-side mirror counters; the authoritative counts live on the
+   router's shared record so `health` works with instrumentation off. *)
+let m_requests = Metrics.counter "router.requests"
+let m_ok = Metrics.counter "router.replies_ok"
+let m_err_user = Metrics.counter "router.errors.user"
+let m_unavailable = Metrics.counter "router.errors.unavailable"
+let m_failovers = Metrics.counter "router.failovers"
+let m_fence_refusals = Metrics.counter "router.fence_refusals"
+let m_catchups = Metrics.counter "router.catchups"
+let m_probes = Metrics.counter "router.probes"
+let h_latency = Metrics.hist "router.request_us"
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let fmt_tuple a =
+  String.concat "," (Array.to_list (Array.map string_of_int a))
+
+let parse_tuple s =
+  if String.trim s = "" then [||]
+  else
+    Array.of_list
+      (List.map
+         (fun field ->
+           match int_of_string_opt (String.trim field) with
+           | Some v -> v
+           | None ->
+               Nd_error.user_errorf
+                 "bad tuple %S (expected comma-separated integers)" s)
+         (String.split_on_char ',' s))
+
+(* ---------------- Ownership ---------------- *)
+
+module Ownership = struct
+  type t = { shards : int; n : int; shard_of : int array }
+
+  (* Home bags dealt round-robin: deterministic given the boot graph,
+     so every fleet process derives the identical partition.  Totality
+     and disjointness hold for any bag assignment, so mutations (which
+     never add vertices) cannot break the partition — only erode its
+     locality, which is a performance property, not a correctness
+     one. *)
+  let compute ?(r = 1) g ~shards =
+    if shards < 1 then invalid_arg "Ownership.compute: shards must be >= 1";
+    if r < 1 then invalid_arg "Ownership.compute: r must be >= 1";
+    let n = Nd_graph.Cgraph.n g in
+    let shard_of =
+      if n = 0 then [||]
+      else
+        let cov = Nd_nowhere.Cover.compute g ~r in
+        Array.map (fun bag -> bag mod shards) cov.Nd_nowhere.Cover.assigned
+    in
+    { shards; n; shard_of }
+
+  let shards t = t.shards
+  let n t = t.n
+
+  let shard_of_vertex t v =
+    if v < 0 || v >= t.n then
+      invalid_arg (Printf.sprintf "Ownership.shard_of_vertex: %d out of range" v)
+    else t.shard_of.(v)
+
+  let shard_of_tuple t tup =
+    if Array.length tup = 0 then 0 else shard_of_vertex t tup.(0)
+
+  let owner t ~shard tup =
+    if Array.length tup = 0 then shard = 0
+    else
+      let v = tup.(0) in
+      v >= 0 && v < t.n && t.shard_of.(v) = shard
+end
+
+(* ---------------- Merge ---------------- *)
+
+module Merge = struct
+  (* Pull-driven k-way merge.  Heads are cached between emissions: a
+     head strictly above the current bound is still valid, so each
+     emission re-pulls only the streams whose head was consumed (or
+     duplicated) — about one pull per emitted element for disjoint
+     streams.  [pull sh lb] being memoryless given [lb] is what makes
+     failover resumption free: the caller may answer a re-pull from a
+     different replica. *)
+  let merge_pull ~n ~k ~start ~shards ~pull =
+    match start with
+    | None -> ([], None)
+    | Some lb0 ->
+        let heads = Array.make shards None in
+        let exhausted = Array.make shards false in
+        let acc = ref [] in
+        let count = ref 0 in
+        let lb = ref (Some lb0) in
+        let continue = ref true in
+        while !continue && !count < k do
+          match !lb with
+          | None -> continue := false
+          | Some l ->
+              for sh = 0 to shards - 1 do
+                if not exhausted.(sh) then
+                  match heads.(sh) with
+                  | Some h when Tuple.compare h l >= 0 -> ()
+                  | _ -> (
+                      match pull sh l with
+                      | Some h -> heads.(sh) <- Some h
+                      | None ->
+                          heads.(sh) <- None;
+                          exhausted.(sh) <- true)
+              done;
+              let best = ref None in
+              for sh = 0 to shards - 1 do
+                match (heads.(sh), !best) with
+                | Some h, None -> best := Some h
+                | Some h, Some b when Tuple.compare h b < 0 -> best := Some h
+                | _ -> ()
+              done;
+              (match !best with
+              | None ->
+                  lb := None;
+                  continue := false
+              | Some b ->
+                  acc := b :: !acc;
+                  incr count;
+                  (* duplicates across streams are emitted once: every
+                     head equal to the winner is consumed *)
+                  for sh = 0 to shards - 1 do
+                    match heads.(sh) with
+                    | Some h when Tuple.equal h b -> heads.(sh) <- None
+                    | _ -> ()
+                  done;
+                  lb := Tuple.succ ~n b;
+                  if !lb = None then continue := false)
+        done;
+        (List.rev !acc, !lb)
+end
+
+(* ---------------- Router ---------------- *)
+
+module Router = struct
+  module Client = Nd_server.Client
+
+  type conn = {
+    transport : Client.transport;
+    read_reply : float -> string list option;
+    close : unit -> unit;
+  }
+
+  type endpoint = {
+    ep_shard : int;
+    ep_label : string;
+    ep_dial : unit -> (conn, string) result;
+  }
+
+  let endpoint ~shard ~label dial =
+    { ep_shard = shard; ep_label = label; ep_dial = dial }
+
+  (* Buffered fd transport with a read-one-reply primitive.  Channels
+     would hide buffered bytes from select, which the handshake's
+     resync probe needs; this reader owns its buffer. *)
+  let fd_conn fd =
+    let buf = Buffer.create 256 in
+    let chunk = Bytes.create 4096 in
+    let take_line () =
+      let s = Buffer.contents buf in
+      match String.index_opt s '\n' with
+      | None -> None
+      | Some i ->
+          Buffer.clear buf;
+          Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+          let last = if i > 0 && s.[i - 1] = '\r' then i - 1 else i in
+          Some (String.sub s 0 last)
+    in
+    (* `Line / `Timeout / raises on EOF and hard errors so the caller's
+       transport classification fires *)
+    let recv_line ~deadline =
+      let rec loop () =
+        match take_line () with
+        | Some l -> `Line l
+        | None -> (
+            let now = Unix.gettimeofday () in
+            if now >= deadline then `Timeout
+            else
+              match Unix.select [ fd ] [] [] (Float.min 0.5 (deadline -. now)) with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+              | [], _, _ -> loop ()
+              | _ -> (
+                  match Unix.read fd chunk 0 (Bytes.length chunk) with
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+                  | 0 -> raise End_of_file
+                  | n ->
+                      Buffer.add_subbytes buf chunk 0 n;
+                      loop ()))
+      in
+      loop ()
+    in
+    let is_terminator l = l = "ok" || l = "bye" || starts_with "err " l in
+    let read_rest first =
+      (* the rest of a started reply gets a generous fixed deadline *)
+      let deadline = Unix.gettimeofday () +. 600. in
+      let rec go acc =
+        let l =
+          match recv_line ~deadline with
+          | `Line l -> l
+          | `Timeout -> raise (Sys_error "reply stalled")
+        in
+        let acc = l :: acc in
+        if is_terminator l then List.rev acc else go acc
+      in
+      if is_terminator first then [ first ] else go [ first ]
+    in
+    let send_line s =
+      let msg = s ^ "\n" in
+      let len = String.length msg in
+      let rec go off =
+        if off < len then
+          match Unix.write_substring fd msg off (len - off) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+          | n -> go (off + n)
+      in
+      go 0
+    in
+    {
+      transport =
+        (fun req ->
+          send_line req;
+          match recv_line ~deadline:(Unix.gettimeofday () +. 600.) with
+          | `Line l -> read_rest l
+          | `Timeout -> raise (Sys_error "reply stalled"));
+      read_reply =
+        (fun wait ->
+          match recv_line ~deadline:(Unix.gettimeofday () +. wait) with
+          | `Line l -> Some (read_rest l)
+          | `Timeout -> None);
+      close = (fun () -> try Unix.close fd with Unix.Unix_error _ -> ());
+    }
+
+  let socket_endpoint ?connect ~shard path =
+    endpoint ~shard ~label:path (fun () ->
+        match Client.connect ?policy:connect path with
+        | Error m -> Error m
+        | Ok fd -> Ok (fd_conn fd))
+
+  let local_endpoint ~shard ~label srv =
+    endpoint ~shard ~label (fun () ->
+        let s = Nd_server.session srv in
+        Ok
+          {
+            transport = (fun req -> Nd_server.handle s req);
+            read_reply = (fun _ -> None);
+            close = ignore;
+          })
+
+  type config = {
+    fence : bool;
+    probe_interval_ms : int;
+    retries : int;
+    backoff_ms : int;
+    jitter : int -> int;
+    sleep_ms : int -> unit;
+    retry_after_ms : int;
+    max_enumerate : int;
+    event_log : (string -> unit) option;
+  }
+
+  let default_config =
+    {
+      fence = true;
+      probe_interval_ms = 0;
+      retries = 1;
+      backoff_ms = 20;
+      jitter = Backoff.full_jitter ();
+      sleep_ms =
+        (fun ms ->
+          try ignore (Unix.select [] [] [] (float ms /. 1000.))
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      retry_after_ms = 100;
+      max_enumerate = 1000;
+      event_log = None;
+    }
+
+  type rstate = Live | Fenced of string
+
+  type replica = {
+    r_shard : int;
+    r_label : string;
+    r_dial : unit -> (conn, string) result;
+    mutable r_conn : conn option;
+    mutable r_epoch : int;  (* last observed; -1 unknown *)
+    mutable r_state : rstate;
+    mutable r_checked : int;  (* request serial of the last fence check *)
+    mutable r_usable : bool;  (* fence verdict cached under r_checked *)
+  }
+
+  type group = { reps : replica array; mutable pref : int }
+
+  (* The journal is the catch-up log: (epoch-after, wire syntax) per
+     mutation the router has replicated, newest first, capped — a
+     replica lagging past the horizon stays fenced rather than being
+     fed a hole. *)
+  let journal_cap = 4096
+
+  type shared = {
+    own : Ownership.t;
+    arity : int;
+    cfg : config;
+    groups : group array;
+    lock : Mutex.t;
+    adm : Mutex.t;
+    stop : bool ref;
+    mutable inflight : int;
+    mutable serial : int;
+    mutable fleet_epoch : int;  (* -1 until first contact *)
+    mutable journal : (int * string) list;
+    mutable c_requests : int;
+    mutable c_ok : int;
+    mutable c_user : int;
+    mutable c_unavailable : int;
+    mutable c_failovers : int;
+    mutable c_fence_refusals : int;
+    mutable c_catchups : int;
+    mutable c_probes : int;
+  }
+
+  type cursor = Unstarted | At of int array | Exhausted
+
+  type t = { rs : shared; mutable cursor : cursor; mutable quit : bool }
+
+  type stats = {
+    requests : int;
+    ok : int;
+    user_errors : int;
+    unavailable : int;
+    failovers : int;
+    fence_refusals : int;
+    catchups : int;
+    probes : int;
+    fleet_epoch : int;
+    live : int;
+    fenced : int;
+  }
+
+  exception Unavailable of int
+  exception Shard_error of string * string
+
+  let create ?(config = default_config) ~ownership ~arity endpoints =
+    (* the router writes to upstream sockets whose worker may die at
+       any moment; a broken pipe must surface as EPIPE (a transport
+       error → failover), never as a fatal signal — and that holds for
+       in-process use (tests, the differential harness) too, not just
+       for serve_socket *)
+    (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+     with Invalid_argument _ | Sys_error _ -> ());
+    if arity < 0 then invalid_arg "Router.create: arity must be >= 0";
+    if config.max_enumerate <= 0 then
+      invalid_arg "Router.create: max_enumerate must be positive";
+    if config.retry_after_ms < 0 then
+      invalid_arg "Router.create: retry_after_ms must be >= 0";
+    let shards = Ownership.shards ownership in
+    List.iter
+      (fun ep ->
+        if ep.ep_shard < 0 || ep.ep_shard >= shards then
+          invalid_arg
+            (Printf.sprintf "Router.create: endpoint %s names shard %d of %d"
+               ep.ep_label ep.ep_shard shards))
+      endpoints;
+    let groups =
+      Array.init shards (fun sh ->
+          let reps =
+            List.filter_map
+              (fun ep ->
+                if ep.ep_shard = sh then
+                  Some
+                    {
+                      r_shard = sh;
+                      r_label = ep.ep_label;
+                      r_dial = ep.ep_dial;
+                      r_conn = None;
+                      r_epoch = -1;
+                      r_state = Live;
+                      r_checked = -1;
+                      r_usable = true;
+                    }
+                else None)
+              endpoints
+          in
+          if reps = [] then
+            invalid_arg
+              (Printf.sprintf "Router.create: shard %d has no endpoint" sh);
+          { reps = Array.of_list reps; pref = 0 })
+    in
+    {
+      rs =
+        {
+          own = ownership;
+          arity;
+          cfg = config;
+          groups;
+          lock = Mutex.create ();
+          adm = Mutex.create ();
+          stop = ref false;
+          inflight = 0;
+          serial = 0;
+          fleet_epoch = -1;
+          journal = [];
+          c_requests = 0;
+          c_ok = 0;
+          c_user = 0;
+          c_unavailable = 0;
+          c_failovers = 0;
+          c_fence_refusals = 0;
+          c_catchups = 0;
+          c_probes = 0;
+        };
+      cursor = Unstarted;
+      quit = false;
+    }
+
+  let session t = { t with cursor = Unstarted; quit = false }
+  let quitting t = t.quit
+  let request_stop t = t.rs.stop := true
+
+  (* ---------------- event log ---------------- *)
+
+  let json_escape s =
+    let b = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let ev (rs : shared) ?shard ~rid ~cmd ~status ~latency_us ~lines () =
+    match rs.cfg.event_log with
+    | None -> ()
+    | Some sink ->
+        sink
+          (Printf.sprintf
+             "{\"ts\":%.6f,\"rid\":%d,\"span\":0,\"cmd\":\"%s\",\"status\":\"%s\",\"latency_us\":%d,\"lines\":%d%s}"
+             (Unix.gettimeofday ()) rid (json_escape cmd) status latency_us
+             lines
+             (match shard with
+             | None -> ""
+             | Some s -> Printf.sprintf ",\"shard\":%d" s))
+
+  (* ---------------- replica plumbing ---------------- *)
+
+  let epoch_of_line l =
+    match String.split_on_char ' ' l with
+    | "epoch" :: n :: _ -> int_of_string_opt n
+    | _ -> None
+
+  let parse_epoch_reply = function
+    | first :: _ -> epoch_of_line first
+    | [] -> None
+
+  let drop_conn rep =
+    match rep.r_conn with
+    | Some c ->
+        rep.r_conn <- None;
+        (try c.close () with _ -> ())
+    | None -> ()
+
+  let fence (rs : shared) rep reason =
+    (match rep.r_state with
+    | Fenced _ -> ()
+    | Live ->
+        ev rs ~shard:rep.r_shard ~rid:0 ~cmd:"(fence)" ~status:"fenced"
+          ~latency_us:0 ~lines:0 ());
+    rep.r_state <- Fenced reason
+
+  let readmit (rs : shared) rep =
+    match rep.r_state with
+    | Live -> ()
+    | Fenced _ ->
+        rep.r_state <- Live;
+        ev rs ~shard:rep.r_shard ~rid:0 ~cmd:"(readmit)" ~status:"ok"
+          ~latency_us:0 ~lines:0 ()
+
+  (* The connect handshake doubles as the epoch read and as the resync
+     against injected garbage: garbage merged into our first line (or
+     sent as its own line) makes the worker emit one extra [err user]
+     reply; reading the queued true reply — or cleanly resending when
+     the lines merged and no reply is pending — restores the
+     one-reply-per-request discipline before the connection is used. *)
+  let handshake (c : conn) =
+    match c.transport "epoch" with
+    | exception End_of_file -> Error "eof in handshake"
+    | exception Sys_error m -> Error m
+    | exception Unix.Unix_error (e, fn, _) ->
+        Error (Unix.error_message e ^ " in " ^ fn)
+    | r -> (
+        match parse_epoch_reply r with
+        | Some e -> Ok e
+        | None -> (
+            match Client.status_of_reply r with
+            | Client.Err_reply ("user", _) -> (
+                match
+                  try `R (c.read_reply 0.3) with
+                  | End_of_file -> `T "eof in handshake"
+                  | Sys_error m -> `T m
+                with
+                | `T m -> Error m
+                | `R (Some r2) -> (
+                    match parse_epoch_reply r2 with
+                    | Some e -> Ok e
+                    | None -> Error "handshake desync")
+                | `R None -> (
+                    (* merged-line shape: the garbage swallowed our
+                       probe; a clean resend gets a clean reply *)
+                    match c.transport "epoch" with
+                    | exception End_of_file -> Error "eof in handshake"
+                    | exception Sys_error m -> Error m
+                    | exception Unix.Unix_error (e, fn, _) ->
+                        Error (Unix.error_message e ^ " in " ^ fn)
+                    | r3 -> (
+                        match parse_epoch_reply r3 with
+                        | Some e -> Ok e
+                        | None -> Error "handshake desync")))
+            | _ -> Error "unexpected handshake reply"))
+
+  let connected rep =
+    match rep.r_conn with
+    | Some c -> Ok c
+    | None -> (
+        match rep.r_dial () with
+        | Error m -> Error m
+        | Ok c -> (
+            match handshake c with
+            | Ok e ->
+                rep.r_epoch <- e;
+                rep.r_conn <- Some c;
+                Ok c
+            | Error m ->
+                (try c.close () with _ -> ());
+                Error m))
+
+  let raw_call rep req =
+    match connected rep with
+    | Error m -> `Transport m
+    | Ok c -> (
+        match c.transport req with
+        | exception End_of_file ->
+            drop_conn rep;
+            `Transport "eof"
+        | exception Sys_error m ->
+            drop_conn rep;
+            `Transport m
+        | exception Unix.Unix_error (e, fn, _) ->
+            drop_conn rep;
+            `Transport (Unix.error_message e ^ " in " ^ fn)
+        | reply -> (
+            match Client.status_of_reply reply with
+            | Client.Transport_error m ->
+                drop_conn rep;
+                `Transport m
+            | st -> `Reply (reply, st)))
+
+  let body lines =
+    match List.rev lines with _terminator :: rev -> List.rev rev | [] -> []
+
+  (* strip the shard's own rid=/span= join keys off a relayed error
+     message: the router re-stamps its own *)
+  let strip_keys msg =
+    let rec go = function
+      | tok :: rest
+        when starts_with "rid=" tok || starts_with "span=" tok ->
+          go rest
+      | toks -> String.concat " " toks
+    in
+    go (String.split_on_char ' ' msg)
+
+  let update_reply_epoch lines =
+    match lines with first :: _ -> epoch_of_line first | [] -> None
+
+  (* journal-suffix replay: exact by epoch arithmetic — the replica's
+     probed epoch says precisely how many entries it is missing, so a
+     transport-ambiguous mutation is never double-applied *)
+  let catch_up (rs : shared) rep =
+    if rs.fleet_epoch < 0 || rep.r_epoch < 0 then false
+    else
+      let missing =
+        List.rev (List.filter (fun (e, _) -> e > rep.r_epoch) rs.journal)
+      in
+      let len = List.length missing in
+      let contiguous =
+        len > 0
+        && rep.r_epoch + len = rs.fleet_epoch
+        && fst (List.hd missing) = rep.r_epoch + 1
+      in
+      if not contiguous then false
+      else
+        let wire = String.concat ";" (List.map snd missing) in
+        match raw_call rep ("batch-update " ^ wire) with
+        | `Reply (r, Client.Ok_reply) -> (
+            match update_reply_epoch (body r) with
+            | Some e when e = rs.fleet_epoch ->
+                rep.r_epoch <- e;
+                rs.c_catchups <- rs.c_catchups + 1;
+                Metrics.incr m_catchups;
+                ev rs ~shard:rep.r_shard ~rid:0 ~cmd:"(catchup)" ~status:"ok"
+                  ~latency_us:0 ~lines:len ();
+                readmit rs rep;
+                true
+            | _ -> false)
+        | _ -> false
+
+  (* First contact: learn every reachable replica's epoch and adopt the
+     maximum as the fleet epoch.  Run as its own round before any merge
+     so adoption can never change the fence mid-request. *)
+  let init_fleet (rs : shared) =
+    let best = ref (-1) in
+    Array.iter
+      (fun g ->
+        Array.iter
+          (fun rep ->
+            match connected rep with
+            | Ok _ -> if rep.r_epoch > !best then best := rep.r_epoch
+            | Error _ -> ())
+          g.reps)
+      rs.groups;
+    if !best >= 0 then rs.fleet_epoch <- !best
+
+  (* The fence: one epoch probe per replica per request (requests are
+     serialized under the router lock, so the fleet epoch cannot move
+     under a request).  [`Usable] is the only verdict that lets a
+     replica contribute to a merge. *)
+  let fence_check (rs : shared) rep =
+    if not rs.cfg.fence then `Usable
+    else begin
+      if rs.fleet_epoch < 0 then init_fleet rs;
+      if rep.r_checked = rs.serial then
+        if rep.r_usable then `Usable else `Refused "fenced this request"
+      else begin
+        rep.r_checked <- rs.serial;
+        rep.r_usable <- false;
+        match raw_call rep "epoch" with
+        | `Transport m -> `Transport m
+        | `Reply (r, _) -> (
+            match parse_epoch_reply r with
+            | None -> `Refused "unparseable epoch reply"
+            | Some e ->
+                rep.r_epoch <- e;
+                if rs.fleet_epoch < 0 then rs.fleet_epoch <- e;
+                if e = rs.fleet_epoch then begin
+                  readmit rs rep;
+                  rep.r_usable <- true;
+                  `Usable
+                end
+                else begin
+                  rs.c_fence_refusals <- rs.c_fence_refusals + 1;
+                  Metrics.incr m_fence_refusals;
+                  if e < rs.fleet_epoch then begin
+                    fence rs rep
+                      (Printf.sprintf "lagging: epoch %d < fleet %d" e
+                         rs.fleet_epoch);
+                    if catch_up rs rep then begin
+                      rep.r_usable <- true;
+                      `Usable
+                    end
+                    else `Refused "lagging behind fleet epoch"
+                  end
+                  else begin
+                    (* mutated behind the router's back; no safe way to
+                       roll it back — permanent fence *)
+                    fence rs rep
+                      (Printf.sprintf "ahead of fleet: epoch %d > %d" e
+                         rs.fleet_epoch);
+                    `Refused "ahead of fleet epoch"
+                  end
+                end)
+      end
+    end
+
+  let use_replica (rs : shared) rep req =
+    match fence_check rs rep with
+    | `Refused r -> `Refused r
+    | `Transport m ->
+        fence rs rep ("transport: " ^ m);
+        `Transport m
+    | `Usable -> (
+        match raw_call rep req with
+        | `Transport m ->
+            fence rs rep ("transport: " ^ m);
+            `Transport m
+        | `Reply (r, st) ->
+            if not rs.cfg.fence then readmit rs rep;
+            `Reply (r, st))
+
+  (* The failover ladder: replicas in rotation order starting from the
+     last one that worked, fenced ones last (they get a revival chance
+     through [fence_check] once the live ones are exhausted).  Transport
+     failures move on immediately; [err overloaded] sleeps the
+     advertised floor (jittered) first; deterministic verdicts pass
+     through.  The ladder runs [1 + retries] passes, then the group is
+     declared unavailable. *)
+  let group_call (rs : shared) sh req =
+    let g = rs.groups.(sh) in
+    let nreps = Array.length g.reps in
+    let order =
+      let rot = Array.init nreps (fun i -> (g.pref + i) mod nreps) in
+      let live, fenced =
+        Array.fold_right
+          (fun i (l, f) ->
+            match g.reps.(i).r_state with
+            | Live -> (i :: l, f)
+            | Fenced _ -> (l, i :: f))
+          rot ([], [])
+      in
+      Array.of_list (live @ fenced)
+    in
+    let sched = Backoff.schedule ~max_ms:1_000 rs.cfg.backoff_ms in
+    let total = nreps * (1 + rs.cfg.retries) in
+    let rec go attempt =
+      if attempt > total then begin
+        rs.c_unavailable <- rs.c_unavailable + 1;
+        Metrics.incr m_unavailable;
+        raise (Unavailable sh)
+      end
+      else begin
+        let idx = order.((attempt - 1) mod nreps) in
+        let rep = g.reps.(idx) in
+        let wrap = attempt mod nreps = 0 in
+        let move ~slept =
+          if wrap && not slept then
+            rs.cfg.sleep_ms
+              (Backoff.delay_ms ~jitter:rs.cfg.jitter sched
+                 ~attempt:(attempt / nreps));
+          go (attempt + 1)
+        in
+        match use_replica rs rep req with
+        | `Refused _ -> go (attempt + 1)
+        | `Transport _ ->
+            rs.c_failovers <- rs.c_failovers + 1;
+            Metrics.incr m_failovers;
+            ev rs ~shard:sh ~rid:0 ~cmd:"(failover)" ~status:"transport"
+              ~latency_us:0 ~lines:0 ();
+            move ~slept:false
+        | `Reply (lines, st) -> (
+            match st with
+            | Client.Ok_reply ->
+                g.pref <- idx;
+                body lines
+            | Client.Err_reply ("overloaded", msg) ->
+                rs.cfg.sleep_ms
+                  (Backoff.delay_after_ms ~jitter:rs.cfg.jitter
+                     ~at_least_ms:(Client.retry_after_of_msg msg)
+                     sched
+                     ~attempt:(1 + ((attempt - 1) / nreps)));
+                move ~slept:true
+            | Client.Err_reply ("shutting-down", _) | Client.Closed ->
+                (* the replica is draining (or ended the session): its
+                   sibling should answer *)
+                drop_conn rep;
+                rs.c_failovers <- rs.c_failovers + 1;
+                Metrics.incr m_failovers;
+                ev rs ~shard:sh ~rid:0 ~cmd:"(failover)" ~status:"transport"
+                  ~latency_us:0 ~lines:0 ();
+                move ~slept:false
+            | Client.Err_reply (cls, msg) ->
+                (* user/budget/internal: a deterministic verdict — the
+                   same graph gives the same answer everywhere *)
+                raise (Shard_error (cls, strip_keys msg))
+            | Client.Transport_error _ -> assert false)
+      end
+    in
+    go 1
+
+  (* ---------------- verbs ---------------- *)
+
+  let group_next t sh lb =
+    match group_call t.rs sh ("next " ^ fmt_tuple lb) with
+    | [ one ] when one = "none" -> None
+    | [ one ] when starts_with "sol " one ->
+        Some (parse_tuple (String.sub one 4 (String.length one - 4)))
+    | other ->
+        Nd_error.invariantf "shard %d: bad next reply %S" sh
+          (String.concat "/" other)
+
+  let fan_next t tup =
+    let rs = t.rs in
+    let best = ref None in
+    for sh = 0 to Ownership.shards rs.own - 1 do
+      match group_next t sh tup with
+      | None -> ()
+      | Some sol -> (
+          match !best with
+          | None -> best := Some sol
+          | Some b -> if Tuple.compare sol b < 0 then best := Some sol)
+    done;
+    !best
+
+  let page t k =
+    let rs = t.rs in
+    let arity = rs.arity in
+    let n = Ownership.n rs.own in
+    let start =
+      match t.cursor with
+      | Exhausted -> None
+      | At a -> Some a
+      | Unstarted -> if arity > 0 && n = 0 then None else Some (Tuple.min arity)
+    in
+    let sols, next =
+      Merge.merge_pull ~n ~k ~start
+        ~shards:(Ownership.shards rs.own)
+        ~pull:(fun sh lb -> group_next t sh lb)
+    in
+    t.cursor <- (match next with Some a -> At a | None -> Exhausted);
+    (sols, next = None)
+
+  let cmd_enumerate t arg =
+    let k =
+      if arg = "" then t.rs.cfg.max_enumerate
+      else
+        match int_of_string_opt arg with
+        | Some k when k > 0 -> min k t.rs.cfg.max_enumerate
+        | _ -> Nd_error.user_errorf "enumerate: bad page size %S" arg
+    in
+    let sols, exhausted = page t k in
+    List.map (fun s -> "sol " ^ fmt_tuple s) sols
+    @ [
+        Printf.sprintf "end %d%s" (List.length sols)
+          (if exhausted then " complete" else "");
+      ]
+
+  (* Replication: leader-first.  The mutation list is validated locally,
+     then offered to replicas in order; the first acceptance is the
+     leader's and fixes the new fleet epoch, after which the fan-out to
+     the rest is best-effort — a replica that misses it is fenced by its
+     next epoch probe and caught up from the journal.  A deterministic
+     rejection before any acceptance aborts with nothing applied
+     anywhere (engine mutations validate before applying, so a replica
+     that died mid-call can only have applied a *valid* mutation, which
+     epoch arithmetic reconciles — see {!catch_up}). *)
+  let cmd_update t line muts =
+    let rs = t.rs in
+    let k = List.length muts in
+    let wires = List.map Nd_graph.Cgraph.mutation_to_string muts in
+    let leader = ref None in
+    let failed_groups = ref [] in
+    Array.iteri
+      (fun sh g ->
+        let applied_here = ref false in
+        Array.iter
+          (fun rep ->
+            match use_replica rs rep line with
+            | `Reply (r, Client.Ok_reply) ->
+                applied_here := true;
+                (match update_reply_epoch (body r) with
+                | Some e -> rep.r_epoch <- e
+                | None -> ());
+                if !leader = None then leader := Some (body r)
+            | `Reply (_, Client.Err_reply (cls, msg)) ->
+                if !leader = None then raise (Shard_error (cls, strip_keys msg))
+                else
+                  (* post-acceptance divergence: the same mutation was
+                     rejected here but applied elsewhere — never trust
+                     this replica again without a catch-up *)
+                  fence rs rep ("rejected replicated mutation: " ^ cls)
+            | `Reply (_, _) | `Refused _ -> ()
+            | `Transport _ ->
+                rs.c_failovers <- rs.c_failovers + 1;
+                Metrics.incr m_failovers)
+          g.reps;
+        if not !applied_here then failed_groups := sh :: !failed_groups)
+      rs.groups;
+    match !leader with
+    | None ->
+        rs.c_unavailable <- rs.c_unavailable + 1;
+        Metrics.incr m_unavailable;
+        raise (Unavailable (match !failed_groups with s :: _ -> s | [] -> 0))
+    | Some reply_body ->
+        let new_fleet =
+          match update_reply_epoch reply_body with
+          | Some e -> e
+          | None -> Nd_error.invariantf "unparseable update reply from leader"
+        in
+        let base = new_fleet - k in
+        List.iteri
+          (fun i wire ->
+            rs.journal <- (base + i + 1, wire) :: rs.journal)
+          wires;
+        (match
+           List.filteri (fun i _ -> i < journal_cap) rs.journal
+         with
+        | capped -> rs.journal <- capped);
+        rs.fleet_epoch <- new_fleet;
+        t.cursor <- Unstarted;
+        reply_body
+
+  let parse_muts verb arg =
+    if String.trim arg = "" then
+      Nd_error.user_errorf "%s: missing mutation" verb
+    else
+      let muts =
+        List.filter_map
+          (fun s ->
+            let s = String.trim s in
+            if s = "" then None else Some (Nd_graph.Cgraph.mutation_of_string s))
+          (String.split_on_char ';' arg)
+      in
+      if muts = [] then Nd_error.user_errorf "%s: no mutations given" verb
+      else muts
+
+  let live_fenced (rs : shared) =
+    let live = ref 0 and fenced = ref 0 in
+    Array.iter
+      (fun g ->
+        Array.iter
+          (fun rep ->
+            match rep.r_state with
+            | Live -> incr live
+            | Fenced _ -> incr fenced)
+          g.reps)
+      rs.groups;
+    (!live, !fenced)
+
+  let stats t =
+    let rs = t.rs in
+    let live, fenced = live_fenced rs in
+    {
+      requests = rs.c_requests;
+      ok = rs.c_ok;
+      user_errors = rs.c_user;
+      unavailable = rs.c_unavailable;
+      failovers = rs.c_failovers;
+      fence_refusals = rs.c_fence_refusals;
+      catchups = rs.c_catchups;
+      probes = rs.c_probes;
+      fleet_epoch = rs.fleet_epoch;
+      live;
+      fenced;
+    }
+
+  let stats_json t =
+    let s = stats t in
+    Printf.sprintf
+      "{\"schema\":\"nd-router-stats/1\",\"requests\":%d,\"ok\":%d,\"user_errors\":%d,\"unavailable\":%d,\"failovers\":%d,\"fence_refusals\":%d,\"catchups\":%d,\"probes\":%d,\"fleet_epoch\":%d,\"live\":%d,\"fenced\":%d}"
+      s.requests s.ok s.user_errors s.unavailable s.failovers s.fence_refusals
+      s.catchups s.probes s.fleet_epoch s.live s.fenced
+
+  let cmd_health t =
+    let rs = t.rs in
+    let s = stats t in
+    [
+      Printf.sprintf
+        "health ok shards=%d replicas=%d live=%d fenced=%d epoch=%d \
+         requests=%d ok=%d user=%d unavailable=%d failovers=%d \
+         fence_refusals=%d catchups=%d probes=%d"
+        (Array.length rs.groups)
+        (Array.fold_left (fun acc g -> acc + Array.length g.reps) 0 rs.groups)
+        s.live s.fenced s.fleet_epoch s.requests s.ok s.user_errors
+        s.unavailable s.failovers s.fence_refusals s.catchups s.probes;
+    ]
+
+  let replica_states t =
+    let acc = ref [] in
+    Array.iter
+      (fun g ->
+        Array.iter
+          (fun rep ->
+            let state =
+              match rep.r_state with
+              | Live -> "live"
+              | Fenced reason -> "fenced: " ^ reason
+            in
+            acc := (rep.r_shard, rep.r_label, state) :: !acc)
+          g.reps)
+      t.rs.groups;
+    List.rev !acc
+
+  let split_command line =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+        ( String.sub line 0 i,
+          String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+  let dispatch t line =
+    let rs = t.rs in
+    let cmd, arg = split_command line in
+    match cmd with
+    | "quit" ->
+        t.quit <- true;
+        `Bye
+    | "next" ->
+        let tup = parse_tuple arg in
+        `Ok
+          [
+            (match fan_next t tup with
+            | Some sol -> "sol " ^ fmt_tuple sol
+            | None -> "none");
+          ]
+    | "test" ->
+        let tup = parse_tuple arg in
+        let sh = Ownership.shard_of_tuple rs.own tup in
+        `Ok (group_call rs sh ("test " ^ fmt_tuple tup))
+    | "enumerate" -> `Ok (cmd_enumerate t arg)
+    | "update" -> `Ok (cmd_update t line (parse_muts "update" arg))
+    | "batch-update" -> `Ok (cmd_update t line (parse_muts "batch-update" arg))
+    | "epoch" ->
+        if rs.fleet_epoch < 0 then init_fleet rs;
+        if rs.fleet_epoch < 0 then begin
+          rs.c_unavailable <- rs.c_unavailable + 1;
+          Metrics.incr m_unavailable;
+          raise (Unavailable 0)
+        end
+        else `Ok [ Printf.sprintf "epoch %d" rs.fleet_epoch ]
+    | "reset" ->
+        t.cursor <- Unstarted;
+        `Ok []
+    | "stats" -> `Ok [ stats_json t ]
+    | "metrics" ->
+        `Ok
+          (List.filter
+             (fun l -> l <> "")
+             (String.split_on_char '\n' (Nd_trace.Prometheus.render_current ())))
+    | "health" -> `Ok (cmd_health t)
+    | _ ->
+        Nd_error.user_errorf
+          "unknown command %S (try next/test/enumerate/update/batch-update/epoch/reset/stats/metrics/health/quit)"
+          cmd
+
+  let handle t line =
+    let rs = t.rs in
+    let line = String.trim line in
+    if line = "" then []
+    else begin
+      let cmd, _ = split_command line in
+      let t0 = Unix.gettimeofday () in
+      let rid, stopped =
+        Mutex.protect rs.adm (fun () ->
+            rs.c_requests <- rs.c_requests + 1;
+            Metrics.incr m_requests;
+            if !(rs.stop) then (rs.c_requests, true)
+            else begin
+              rs.inflight <- rs.inflight + 1;
+              (rs.c_requests, false)
+            end)
+      in
+      if stopped then begin
+        let reply =
+          [
+            Printf.sprintf "err shutting-down rid=%d span=0 router is draining"
+              rid;
+          ]
+        in
+        ev rs ~rid ~cmd ~status:"shutting-down" ~latency_us:0 ~lines:1 ();
+        reply
+      end
+      else
+        Fun.protect
+          ~finally:(fun () ->
+            Mutex.protect rs.adm (fun () -> rs.inflight <- rs.inflight - 1))
+        @@ fun () ->
+        Mutex.protect rs.lock
+        @@ fun () ->
+        rs.serial <- rs.serial + 1;
+        let status = ref "ok" in
+        let shard_attr = ref None in
+        let err cls m =
+          status := cls;
+          Printf.sprintf "err %s rid=%d span=0 %s" cls rid m
+        in
+        let reply =
+          match dispatch t line with
+          | `Ok lines ->
+              rs.c_ok <- rs.c_ok + 1;
+              Metrics.incr m_ok;
+              lines @ [ "ok" ]
+          | `Bye ->
+              status := "bye";
+              [ "bye" ]
+          | exception Unavailable sh ->
+              shard_attr := Some sh;
+              [
+                err "unavailable"
+                  (Printf.sprintf
+                     "shard=%d retry-after-ms=%d no live replica at fleet \
+                      epoch"
+                     sh rs.cfg.retry_after_ms);
+              ]
+          | exception Shard_error (cls, msg) ->
+              (match cls with
+              | "user" ->
+                  rs.c_user <- rs.c_user + 1;
+                  Metrics.incr m_err_user
+              | _ -> ());
+              [ err cls msg ]
+          | exception (Nd_error.User_error m | Invalid_argument m | Failure m)
+            ->
+              rs.c_user <- rs.c_user + 1;
+              Metrics.incr m_err_user;
+              [ err "user" m ]
+          | exception Nd_error.Internal_invariant m -> [ err "internal" m ]
+          | exception e ->
+              [ err "internal" ("uncaught exception: " ^ Printexc.to_string e) ]
+        in
+        let latency_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+        Metrics.observe h_latency latency_us;
+        ev rs ?shard:!shard_attr ~rid ~cmd ~status:!status ~latency_us
+          ~lines:(List.length reply) ();
+        reply
+    end
+
+  (* ---------------- probing ---------------- *)
+
+  let health_tokens line =
+    List.fold_left
+      (fun (e, m) tok ->
+        if starts_with "epoch=" tok then
+          (int_of_string_opt (String.sub tok 6 (String.length tok - 6)), m)
+        else if starts_with "mode=" tok then
+          (e, Some (String.sub tok 5 (String.length tok - 5)))
+        else (e, m))
+      (None, None)
+      (String.split_on_char ' ' line)
+
+  let probe_locked (rs : shared) =
+    rs.serial <- rs.serial + 1;
+    if rs.cfg.fence && rs.fleet_epoch < 0 then init_fleet rs;
+    Array.iter
+      (fun g ->
+        Array.iter
+          (fun rep ->
+            rs.c_probes <- rs.c_probes + 1;
+            Metrics.incr m_probes;
+            match raw_call rep "health" with
+            | `Transport m -> fence rs rep ("transport: " ^ m)
+            | `Reply (r, Client.Ok_reply) -> (
+                let epoch, _mode =
+                  match body r with
+                  | first :: _ -> health_tokens first
+                  | [] -> (None, None)
+                in
+                match epoch with
+                | None -> fence rs rep "health reply without epoch"
+                | Some e ->
+                    rep.r_epoch <- e;
+                    if not rs.cfg.fence then readmit rs rep
+                    else if rs.fleet_epoch < 0 then rs.fleet_epoch <- e;
+                    if rs.cfg.fence then
+                      if e = rs.fleet_epoch then readmit rs rep
+                      else if e < rs.fleet_epoch then begin
+                        fence rs rep
+                          (Printf.sprintf "lagging: epoch %d < fleet %d" e
+                             rs.fleet_epoch);
+                        ignore (catch_up rs rep)
+                      end
+                      else
+                        fence rs rep
+                          (Printf.sprintf "ahead of fleet: epoch %d > %d" e
+                             rs.fleet_epoch))
+            | `Reply _ -> fence rs rep "unhealthy reply to probe")
+          g.reps)
+      rs.groups
+
+  let probe t = Mutex.protect t.rs.lock (fun () -> probe_locked t.rs)
+
+  let start_probes t =
+    let rs = t.rs in
+    if rs.cfg.probe_interval_ms <= 0 then None
+    else
+      Some
+        (Thread.create
+           (fun () ->
+             let slice = 0.05 in
+             let rec sleep_until dl =
+               if (not !(rs.stop)) && Unix.gettimeofday () < dl then begin
+                 (try ignore (Unix.select [] [] [] slice)
+                  with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+                 sleep_until dl
+               end
+             in
+             let rec loop () =
+               if !(rs.stop) then ()
+               else begin
+                 sleep_until
+                   (Unix.gettimeofday ()
+                   +. (float_of_int rs.cfg.probe_interval_ms /. 1000.));
+                 if not !(rs.stop) then begin
+                   (try probe t with _ -> ());
+                   loop ()
+                 end
+               end
+             in
+             loop ())
+           ())
+
+  (* ---------------- drain / serving ---------------- *)
+
+  let drain ?(timeout_ms = 5_000) t =
+    let rs = t.rs in
+    let dl = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.) in
+    let rec wait () =
+      let idle = Mutex.protect rs.adm (fun () -> rs.inflight = 0) in
+      if idle then true
+      else if Unix.gettimeofday () >= dl then false
+      else begin
+        (try ignore (Unix.select [] [] [] 0.01)
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        wait ()
+      end
+    in
+    wait ()
+
+  let serve t ic oc =
+    let emit lines =
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        lines;
+      flush oc
+    in
+    let rec loop () =
+      if !(t.rs.stop) then emit [ "bye" ]
+      else
+        match input_line ic with
+        | exception End_of_file -> ()
+        | line ->
+            emit (handle t line);
+            if t.quit then ()
+            else if !(t.rs.stop) then emit [ "bye" ]
+            else loop ()
+    in
+    loop ()
+
+  let serve_socket ?(backlog = 64) t ~path =
+    if backlog < 1 then
+      invalid_arg "Router.serve_socket: backlog must be >= 1";
+    (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    @@ fun () ->
+    Unix.bind sock (Unix.ADDR_UNIX path);
+    Unix.listen sock backlog;
+    let reg_m = Mutex.create () in
+    let live_fds = ref [] in
+    let threads = ref [] in
+    let conn fd =
+      let s = session t in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      (try serve s ic oc with Sys_error _ | End_of_file -> ());
+      Mutex.protect reg_m (fun () ->
+          live_fds := List.filter (fun fd' -> fd' != fd) !live_fds);
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    in
+    let rec accept_loop () =
+      if !(t.rs.stop) then ()
+      else
+        match Unix.select [ sock ] [] [] 0.2 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+        | [], _, _ -> accept_loop ()
+        | _ ->
+            (match Unix.accept sock with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | fd, _ ->
+                Mutex.protect reg_m (fun () -> live_fds := fd :: !live_fds);
+                threads := Thread.create conn fd :: !threads);
+            accept_loop ()
+    in
+    accept_loop ();
+    (* quiesce in-flight merges before unblocking the readers *)
+    ignore (drain t);
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      (Mutex.protect reg_m (fun () -> !live_fds));
+    List.iter Thread.join !threads
+end

@@ -35,6 +35,7 @@ type config = {
   max_line_bytes : int;
   retry_after_ms : int;
   journal : (string -> unit) option;
+  owner : (int array -> bool) option;
 }
 
 let default_config =
@@ -51,6 +52,7 @@ let default_config =
     max_line_bytes = 65536;
     retry_after_ms = 100;
     journal = None;
+    owner = None;
   }
 
 type cursor = Unstarted | At of int array | Exhausted
@@ -195,6 +197,31 @@ let with_request_budget t f =
 
 (* ---------------- commands ---------------- *)
 
+(* Shard-mode answering: with [config.owner] set, only solutions the
+   predicate owns are reported.  [next]/[enumerate] skip past foreign
+   solutions by advancing through the full lexicographic order, so each
+   shard's stream is the owned sub-stream of the global one — strictly
+   ascending and duplicate-free by construction, which is what lets the
+   router's k-way merge reconstitute the exact single-node order.
+   Mutations are unaffected: every shard absorbs the full journal and
+   tracks the whole graph; ownership only filters answering. *)
+let owns t sol =
+  match t.config.owner with None -> true | Some own -> own sol
+
+let owned_next t a =
+  match t.config.owner with
+  | None -> Nd_engine.next t.eng a
+  | Some own ->
+      let n = Nd_graph.Cgraph.n (Nd_engine.graph t.eng) in
+      let rec go a =
+        match Nd_engine.next t.eng a with
+        | None -> None
+        | Some sol when own sol -> Some sol
+        | Some sol -> (
+            match Tuple.succ ~n sol with None -> None | Some a' -> go a')
+      in
+      go a
+
 (* The enumeration cursor: each page continues from where the last one
    ended, but the cursor is only advanced once the whole page has been
    produced — a page that dies on a budget error can be retried
@@ -206,7 +233,9 @@ let page t k =
     match t.cursor with
     | Exhausted -> ([], true)
     | Unstarted | At _ ->
-        let sols = if Nd_engine.holds eng then [ [||] ] else [] in
+        let sols =
+          if Nd_engine.holds eng && owns t [||] then [ [||] ] else []
+        in
         t.cursor <- Exhausted;
         (sols, true))
   else
@@ -224,7 +253,7 @@ let page t k =
       | None -> (Exhausted, true)
       | Some a when !count >= k -> (At a, false)
       | Some a -> (
-          match Nd_engine.next eng a with
+          match owned_next t a with
           | None -> (Exhausted, true)
           | Some sol ->
               acc := sol :: !acc;
@@ -293,16 +322,25 @@ let cmd_batch_update t arg =
   if muts = [] then Nd_error.user_errorf "batch-update: no mutations given"
   else absorb t muts
 
+let mode_word t =
+  match Nd_engine.degradation t.eng with
+  | `None -> "none"
+  | `Stale_rebuild _ -> "stale_rebuild"
+  | `Fallback _ -> "fallback"
+
+(* epoch + mode ride on the health line so a router's lag/degradation
+   probe is one round-trip, not two *)
 let cmd_health t =
   let c = counts t in
   [
     Printf.sprintf
       "health ok requests=%d ok=%d user=%d budget=%d internal=%d shed=%d \
-       degraded=%b cache=%d"
+       degraded=%b cache=%d epoch=%d mode=%s"
       c.requests c.ok c.user_errors c.budget_errors c.internal_errors
       c.overloaded
       (Nd_engine.degraded t.eng)
-      (Nd_engine.cache_size t.eng);
+      (Nd_engine.cache_size t.eng)
+      (Nd_engine.epoch t.eng) (mode_word t);
   ]
 
 let dispatch t line =
@@ -313,14 +351,18 @@ let dispatch t line =
       `Bye
   | "next" ->
       let tup = parse_tuple arg in
-      let r = with_request_budget t (fun () -> Nd_engine.next t.eng tup) in
+      let r = with_request_budget t (fun () -> owned_next t tup) in
       `Ok
         [
           (match r with Some sol -> "sol " ^ fmt_tuple sol | None -> "none");
         ]
   | "test" ->
       let tup = parse_tuple arg in
-      let r = with_request_budget t (fun () -> Nd_engine.test t.eng tup) in
+      (* engine validation first, ownership second: a malformed tuple is
+         [err user] on every shard, never a silent [false] *)
+      let r =
+        with_request_budget t (fun () -> Nd_engine.test t.eng tup && owns t tup)
+      in
       `Ok [ string_of_bool r ]
   | "enumerate" -> `Ok (cmd_enumerate t arg)
   | "update" -> `Ok (cmd_update t arg)
@@ -1001,10 +1043,11 @@ module Client = struct
          exponential backoff, then give up with the last reply *)
       | Err_reply ("budget", _) when attempt <= policy.retries ->
           retry ~floor_ms:0
-      (* shed at the admission gate: honor the server's floor, with
-         full jitter on top so a shed cohort does not return in
-         lockstep *)
-      | Err_reply ("overloaded", msg) when attempt <= policy.retries ->
+      (* shed at the admission gate, or a router bag group with no live
+         replica: honor the server's floor, with full jitter on top so
+         a shed cohort does not return in lockstep *)
+      | Err_reply (("overloaded" | "unavailable"), msg)
+        when attempt <= policy.retries ->
           retry ~floor_ms:(retry_after_of_msg msg)
       | Transport_error _ when attempt <= policy.retries -> retry ~floor_ms:0
       | status -> { reply; attempts = attempt; status }
@@ -1024,4 +1067,56 @@ module Client = struct
           else read acc
     in
     read []
+
+  type connect_policy = {
+    connect_retries : int;
+    connect_backoff_ms : int;
+    connect_deadline_ms : int;
+    connect_jitter : int -> int;
+    connect_sleep_ms : int -> unit;
+    connect_now_ms : unit -> int;
+  }
+
+  let default_connect_policy =
+    {
+      connect_retries = 8;
+      connect_backoff_ms = 20;
+      connect_deadline_ms = 2_000;
+      connect_jitter = Backoff.full_jitter ();
+      connect_sleep_ms =
+        (fun ms ->
+          try ignore (Unix.select [] [] [] (float ms /. 1000.))
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      connect_now_ms = (fun () -> int_of_float (Unix.gettimeofday () *. 1000.));
+    }
+
+  (* Bounded connect: a shard mid-restart (supervisor backoff window)
+     leaves its socket missing or refusing for a little while; retrying
+     with backoff under a hard deadline turns that into either a live
+     connection or an [Error] the caller classifies as
+     {!Transport_error} — never an indefinite block in connect(2). *)
+  let connect ?(policy = default_connect_policy) path =
+    let sched = Backoff.schedule ~max_ms:1_000 policy.connect_backoff_ms in
+    let t0 = policy.connect_now_ms () in
+    let rec go attempt =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          let elapsed = policy.connect_now_ms () - t0 in
+          if
+            attempt > policy.connect_retries
+            || elapsed >= policy.connect_deadline_ms
+          then
+            Error
+              (Printf.sprintf "connect %s: %s after %d attempts in %dms" path
+                 (Unix.error_message e) attempt elapsed)
+          else begin
+            policy.connect_sleep_ms
+              (Backoff.delay_ms ~jitter:policy.connect_jitter sched ~attempt);
+            go (attempt + 1)
+          end
+    in
+    go 1
 end

@@ -26,7 +26,10 @@
     reset             -> (rewind the enumeration cursor) ok
     stats             -> the nd-engine-stats/1 JSON line, then ok
     metrics           -> Prometheus text exposition lines, then ok
-    health            -> health <summary line>,        then ok
+    health            -> health ok requests=N ok=N user=N budget=N
+                         internal=N shed=N degraded=B cache=N
+                         epoch=N mode=none|stale_rebuild|fallback
+                                                       then ok
     inject <class>    -> (chaos builds only) raise inside the handler
     inject sleep MS   -> (chaos builds only) hold the engine lock MS ms
     quit              -> bye
@@ -54,6 +57,10 @@
     mutating.  When {!config.journal} is set, every {e applied} mutation
     is also appended to the sink in wire syntax — the write-ahead record
     a supervisor-restarted worker replays to recover its epoch.
+
+    [health] ends with [epoch=<N> mode=<word>] — the graph epoch and
+    the degradation mode ([none], [stale_rebuild] or [fallback]) — so a
+    router detects replica lag {e and} degradation with one probe.
 
     {2 Error classes}
 
@@ -163,6 +170,15 @@ type config = {
   journal : (string -> unit) option;
       (** sink appended one wire-syntax mutation per {e applied}
           mutation — the recovery journal; [None] disables it *)
+  owner : (int array -> bool) option;
+      (** shard mode: when set, [next]/[enumerate] report only solutions
+          the predicate owns (skipping foreign ones through the full
+          lexicographic order, so the owned stream stays strictly
+          ascending and duplicate-free), and [test] answers [false] for
+          a valid tuple this shard does not own.  Mutations and the
+          journal are unaffected — every shard tracks the whole graph.
+          [None] (default): serve everything.  See {!Nd_cluster} for the
+          partition this hosts. *)
 }
 
 val default_config : config
@@ -348,6 +364,9 @@ end
     - [err overloaded] — shed before any work started; the delay is
       floored at the server's advertised [retry-after-ms] and jittered
       above it, so a shed cohort does not return in lockstep;
+    - [err unavailable] — a router bag group with no live replica
+      ({!Nd_cluster}); same floored-and-jittered treatment, since the
+      router is probing the group back to life in the background;
     - transport failures — EOF / reset / broken pipe mid-reply, a
       refused or missing socket (a supervisor mid-restart), or an
       unterminated reply: the request may not have executed, and the
@@ -412,4 +431,32 @@ module Client : sig
       line yields [[]] (status [Closed]); EOF mid-reply yields the
       partial reply (status {!Transport_error}, hence retried by
       {!call} on a fresh transport). *)
+
+  type connect_policy = {
+    connect_retries : int;  (** extra connect attempts after the first *)
+    connect_backoff_ms : int;  (** backoff cap before the first retry *)
+    connect_deadline_ms : int;  (** hard wall-clock bound on the whole dance *)
+    connect_jitter : int -> int;
+        (** {!Nd_util.Backoff.full_jitter} in production,
+            {!Nd_util.Backoff.none} for deterministic tests *)
+    connect_sleep_ms : int -> unit;  (** injectable for tests *)
+    connect_now_ms : unit -> int;  (** injectable clock for tests *)
+  }
+
+  val default_connect_policy : connect_policy
+  (** 8 retries, 20ms initial cap doubling to 1s, full jitter, 2s
+      deadline, real sleep/clock. *)
+
+  val connect :
+    ?policy:connect_policy ->
+    string ->
+    (Unix.file_descr, string) Stdlib.result
+  (** Connect to a Unix-domain server socket with bounded,
+      backoff-scheduled retries under a deadline: a shard mid-restart
+      (missing or refusing socket during a supervisor backoff window)
+      is retried instead of failed instantly — and a shard that never
+      comes up yields [Error] once the retry budget {e or} the deadline
+      is exhausted, never an indefinite block.  Callers classify the
+      [Error] as {!Transport_error} (the router does exactly that and
+      moves on to the next replica). *)
 end

@@ -28,6 +28,7 @@ let () =
       ("serve loop", Test_server.suite);
       ("chaos proxy (socket faults)", Test_chaos_net.suite);
       ("supervisor (crash recovery)", Test_supervisor.suite);
+      ("cluster (DESIGN S16)", Test_cluster.suite);
       ("span tracing", Test_trace.suite);
       ("prometheus exposition", Test_prometheus.suite);
       ("delay profile", Test_profile.suite);

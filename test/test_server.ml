@@ -128,6 +128,11 @@ let test_injected_internal_error_survives () =
   Alcotest.(check int) "internal errors counted" 2 c.Server.internal_errors;
   Alcotest.(check int) "requests counted" 4 c.Server.requests
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let test_health_and_quit () =
   let srv, _ = make () in
   ignore (Server.handle srv "test 0,1");
@@ -136,8 +141,18 @@ let test_health_and_quit () =
   | [ line; "ok" ] ->
       Alcotest.(check bool) "health summarises" true
         (String.length line > 10
-        && String.sub line 0 9 = "health ok")
+        && String.sub line 0 9 = "health ok");
+      (* the router's fence probe reads the tail fields: a fresh engine
+         is at epoch 0 with no degradation *)
+      Alcotest.(check bool) "epoch field" true (contains line " epoch=0");
+      Alcotest.(check bool) "mode field" true (contains line " mode=none")
   | r -> Alcotest.failf "health reply: %s" (String.concat "|" r));
+  check_ok "mutate" (Server.handle srv "update add-edge 0 7");
+  (match Server.handle srv "health" with
+  | [ line; "ok" ] ->
+      Alcotest.(check bool) "epoch advances with mutations" true
+        (contains line " epoch=1")
+  | r -> Alcotest.failf "health after update: %s" (String.concat "|" r));
   Alcotest.(check bool) "not quitting" false (Server.quitting srv);
   Alcotest.(check (list string)) "quit" [ "bye" ] (Server.handle srv "quit");
   Alcotest.(check bool) "quitting" true (Server.quitting srv)
@@ -888,6 +903,102 @@ let test_client_fails_fast_on_shutting_down () =
   | Client.Err_reply ("shutting-down", _) -> ()
   | _ -> Alcotest.fail "status should be the refusal"
 
+(* ---------------- bounded connect ---------------- *)
+
+(* Client.connect against a path nobody listens on: bounded attempts,
+   backoff-scheduled sleeps between them, and a structured Error — the
+   raw material of the router's Transport_error rung. *)
+let test_client_connect_bounded_retries () =
+  let sleeps = ref [] in
+  let clock = ref 0 in
+  let policy =
+    {
+      Client.connect_retries = 3;
+      connect_backoff_ms = 8;
+      connect_deadline_ms = 1_000_000;
+      connect_jitter = Nd_util.Backoff.none;
+      connect_sleep_ms =
+        (fun ms ->
+          sleeps := ms :: !sleeps;
+          clock := !clock + ms);
+      connect_now_ms = (fun () -> !clock);
+    }
+  in
+  (* nonexistent path: connect(2) fails with ENOENT immediately *)
+  (match Client.connect ~policy "/nonexistent/fodb-test.sock" with
+  | Ok fd ->
+      Unix.close fd;
+      Alcotest.fail "connected to a nonexistent path"
+  | Error msg ->
+      Alcotest.(check bool) "message names the path" true
+        (contains msg "fodb-test.sock");
+      Alcotest.(check int) "retries exhausted" 3 (List.length !sleeps);
+      (* deterministic doubling under the no-jitter policy: 8, 16, 32 *)
+      Alcotest.(check (list int)) "backoff schedule" [ 8; 16; 32 ]
+        (List.rev !sleeps));
+  (* bound but never listening: connect(2) gets ECONNREFUSED, same
+     bounded ladder *)
+  let path = Filename.temp_file "nd_connect" ".sock" in
+  Sys.remove path;
+  let srv_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv_fd (Unix.ADDR_UNIX path);
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close srv_fd;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      sleeps := [];
+      match Client.connect ~policy path with
+      | Ok fd ->
+          Unix.close fd;
+          Alcotest.fail "connected to a non-listening socket"
+      | Error _ ->
+          Alcotest.(check int) "refused connects also retry" 3
+            (List.length !sleeps))
+
+let test_client_connect_deadline () =
+  (* the wall-clock deadline cuts the ladder short even when plenty of
+     retry attempts remain *)
+  let clock = ref 0 in
+  let sleeps = ref 0 in
+  let policy =
+    {
+      Client.connect_retries = 1_000;
+      connect_backoff_ms = 50;
+      connect_deadline_ms = 120;
+      connect_jitter = Nd_util.Backoff.none;
+      connect_sleep_ms =
+        (fun ms ->
+          incr sleeps;
+          clock := !clock + ms);
+      connect_now_ms = (fun () -> !clock);
+    }
+  in
+  match Client.connect ~policy "/nonexistent/fodb-test.sock" with
+  | Ok fd ->
+      Unix.close fd;
+      Alcotest.fail "connected to a nonexistent path"
+  | Error msg ->
+      (* 50 + 100 past the 120ms deadline: exactly two sleeps *)
+      Alcotest.(check int) "deadline bounds the ladder" 2 !sleeps;
+      Alcotest.(check bool) "error reports attempts" true
+        (contains msg "attempts")
+
+let test_client_connect_succeeds () =
+  let path = Filename.temp_file "nd_connect" ".sock" in
+  Sys.remove path;
+  let srv_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv_fd (Unix.ADDR_UNIX path);
+  Unix.listen srv_fd 1;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close srv_fd;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      match Client.connect path with
+      | Ok fd -> Unix.close fd
+      | Error msg -> Alcotest.failf "connect to live listener failed: %s" msg)
+
 let test_config_validation () =
   let eng = snd (make ()) in
   let bad cfg =
@@ -957,6 +1068,12 @@ let suite =
       test_client_retries_transport_errors;
     Alcotest.test_case "client fails fast on shutting-down" `Quick
       test_client_fails_fast_on_shutting_down;
+    Alcotest.test_case "connect: bounded retries vs never-listening" `Quick
+      test_client_connect_bounded_retries;
+    Alcotest.test_case "connect: deadline cuts the ladder" `Quick
+      test_client_connect_deadline;
+    Alcotest.test_case "connect: live listener" `Quick
+      test_client_connect_succeeds;
     Alcotest.test_case "overload config validation" `Quick
       test_config_validation;
   ]
