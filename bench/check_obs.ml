@@ -1,13 +1,20 @@
 (* Validate observability artifacts with the library's own validators.
 
    Usage:
-     check_obs.exe trace   FILE    Chrome trace-event JSON (--trace output)
-     check_obs.exe prom    FILE    Prometheus text exposition
-     check_obs.exe profile FILE    nd-profile/1 JSON (fodb profile --json)
-     check_obs.exe events  FILE    serve event log (JSONL, one row/request)
+     check_obs.exe trace    FILE   Chrome trace-event JSON (--trace output)
+     check_obs.exe merged   FILE   merged cross-process trace
+                                   (fodb obs merge-trace output)
+     check_obs.exe prom     FILE   Prometheus text exposition
+     check_obs.exe profile  FILE   nd-profile/1 JSON (fodb profile --json)
+     check_obs.exe events   FILE   serve event log (JSONL, one row/request)
+     check_obs.exe blackbox DIR    --blackbox directory: post-mortems plus
+                                   the restarted workers' boot rows
 
    Exits 0 when the artifact is well-formed (and, for profile, the
-   delay-invariance verdict holds), 1 otherwise.  CI runs all four. *)
+   delay-invariance verdict holds; for merged, every propagated
+   server.request span reaches a router.request ancestor; for blackbox,
+   each post-mortem's last recorded epoch equals the restarted worker's
+   boot epoch), 1 otherwise.  CI runs all of them. *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -69,7 +76,7 @@ let known_status =
 let mutation_verbs = [ "update"; "batch-update"; "epoch" ]
 
 let lifecycle_verbs =
-  [ "(fence)"; "(catchup)"; "(failover)"; "(readmit)"; "(probe)" ]
+  [ "(fence)"; "(catchup)"; "(failover)"; "(readmit)"; "(probe)"; "(boot)" ]
 
 let check_events file =
   let module J = Nd_trace.Json in
@@ -100,7 +107,7 @@ let check_events file =
           let is_lifecycle = List.mem cmd lifecycle_verbs in
           if (not is_lifecycle) && String.length cmd > 0 && cmd.[0] = '(' then
             fail "%s:%d: unknown lifecycle verb %S" file row cmd;
-          ignore (num row "ts" ~min_v:0. j);
+          ignore (num row "ts_us" ~min_v:0. j);
           ignore (num row "rid" ~min_v:(if is_lifecycle then 0. else 1.) j);
           ignore (num row "span" ~min_v:0. j);
           ignore (num row "latency_us" ~min_v:0. j);
@@ -122,12 +129,148 @@ let check_events file =
      shard-scoped)\n"
     file (List.length lines) !updates !lifecycle !sharded
 
+(* The merged cross-process timeline: structural validity plus the
+   fleet acceptance rule — every server.request span that carries a
+   propagated context must reach a router.request ancestor. *)
+let check_merged file =
+  match Nd_obs.Merge.validate (read_file file) with
+  | Error e -> fail "%s: invalid merged trace: %s" file e
+  | Ok v ->
+      if v.Nd_obs.Merge.v_server_requests = 0 then
+        fail
+          "%s: no propagated server.request spans — nothing was traced end \
+           to end"
+          file;
+      Printf.printf
+        "%s: valid merged trace, %d processes, %d events, %d/%d propagated \
+         server.request spans router-contained, %d orphans\n"
+        file v.Nd_obs.Merge.v_processes v.Nd_obs.Merge.v_events
+        v.Nd_obs.Merge.v_contained v.Nd_obs.Merge.v_server_requests
+        v.Nd_obs.Merge.v_orphans
+
+(* A --blackbox directory after a supervised crash: for each worker's
+   newest NAME.postmortem-K.jsonl, the header must carry cause,
+   decision, a numeric last_epoch and a matching event count — and the
+   restarted incarnation's flight file must open with a (boot) row
+   whose epoch equals that last_epoch (recovery lost nothing). *)
+let check_blackbox dir =
+  let module J = Nd_trace.Json in
+  let read path =
+    try read_file path with Sys_error m -> fail "%s: %s" path m
+  in
+  let entries =
+    match Sys.readdir dir with
+    | a -> Array.to_list a
+    | exception Sys_error m -> fail "%s: %s" dir m
+  in
+  let pm_of f =
+    if not (Filename.check_suffix f ".jsonl") then None
+    else
+      let stem = Filename.chop_suffix f ".jsonl" in
+      let tag = ".postmortem-" in
+      let tlen = String.length tag in
+      let len = String.length stem in
+      let rec find i =
+        if i + tlen > len then None
+        else if String.sub stem i tlen = tag then
+          Option.map
+            (fun k -> (String.sub stem 0 i, k))
+            (int_of_string_opt (String.sub stem (i + tlen) (len - i - tlen)))
+        else find (i + 1)
+      in
+      find 0
+  in
+  let latest = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      match pm_of f with
+      | None -> ()
+      | Some (name, k) -> (
+          match Hashtbl.find_opt latest name with
+          | Some (k', _) when k' >= k -> ()
+          | _ -> Hashtbl.replace latest name (k, f)))
+    entries;
+  if Hashtbl.length latest = 0 then fail "%s: no post-mortem files" dir;
+  let nonempty text =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  Hashtbl.iter
+    (fun name (k, f) ->
+      let path = Filename.concat dir f in
+      let header, rows =
+        match nonempty (read path) with
+        | h :: t -> (h, t)
+        | [] -> fail "%s: empty post-mortem" path
+      in
+      let j =
+        match J.parse header with
+        | Ok j -> j
+        | Error e -> fail "%s: bad header: %s" path e
+      in
+      (match J.member "kind" j with
+      | Some (J.Str "postmortem") -> ()
+      | _ -> fail "%s: header kind is not \"postmortem\"" path);
+      (match (J.member "cause" j, J.member "decision" j) with
+      | Some (J.Str _), Some (J.Str _) -> ()
+      | _ -> fail "%s: header missing cause/decision" path);
+      let last_epoch =
+        match J.member "last_epoch" j with
+        | Some (J.Num e) -> int_of_float e
+        | _ ->
+            fail
+              "%s: last_epoch is not numeric — the dead worker left no epoch \
+               to reconcile"
+              path
+      in
+      (match J.member "events" j with
+      | Some (J.Num n) when rows <> [] && int_of_float n = List.length rows ->
+          ()
+      | Some (J.Num n) ->
+          fail "%s: header says %d events, found %d" path (int_of_float n)
+            (List.length rows)
+      | _ -> fail "%s: header missing events count" path);
+      let fl = Filename.concat dir (name ^ ".flight.jsonl") in
+      let boot =
+        match nonempty (read fl) with
+        | b :: _ -> b
+        | [] -> fail "%s: flight file empty after restart (no boot row)" fl
+      in
+      let bj =
+        match J.parse boot with
+        | Ok j -> j
+        | Error e -> fail "%s: bad boot row: %s" fl e
+      in
+      (match J.member "cmd" bj with
+      | Some (J.Str "(boot)") -> ()
+      | _ -> fail "%s: first flight row is not (boot)" fl);
+      (match J.member "epoch" bj with
+      | Some (J.Num e) when int_of_float e = last_epoch -> ()
+      | Some (J.Num e) ->
+          fail
+            "%s: boot epoch %d != post-mortem last epoch %d — recovery lost \
+             mutations"
+            fl (int_of_float e) last_epoch
+      | _ -> fail "%s: boot row missing epoch" fl);
+      Printf.printf
+        "%s: post-mortem %d ok — %d events, last epoch %d, restarted boot \
+         epoch matches\n"
+        path k (List.length rows) last_epoch)
+    latest;
+  Printf.printf "%s: %d worker post-mortem(s) validated\n" dir
+    (Hashtbl.length latest)
+
 let () =
   match Sys.argv with
   | [| _; "trace"; file |] -> check_trace file
+  | [| _; "merged"; file |] -> check_merged file
   | [| _; "prom"; file |] -> check_prom file
   | [| _; "profile"; file |] -> check_profile file
   | [| _; "events"; file |] -> check_events file
+  | [| _; "blackbox"; dir |] -> check_blackbox dir
   | _ ->
-      prerr_endline "usage: check_obs (trace|prom|profile|events) FILE";
+      prerr_endline
+        "usage: check_obs (trace|merged|prom|profile|events) FILE | check_obs \
+         blackbox DIR";
       exit 2

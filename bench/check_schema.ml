@@ -601,6 +601,37 @@ let check_cluster cl =
       | _ -> ())
   | None -> err "$.cluster.probe_overhead: missing"
 
+(* the fleet-observability gate (DESIGN S17): arming the whole stack —
+   span tracing, trace-context propagation, event logs and the flight
+   ring — over the in-process fleet must be free on the deterministic
+   ops cost model (<= 2%), and the armed arm must have actually
+   recorded spans and ring events (no vacuous pass) *)
+let check_observability ob =
+  let path = "$.observability" in
+  (match get_num path ob "requests" with
+  | Some r when r <= 0. -> err "%s.requests: none fired" path
+  | _ -> ());
+  (match get_num path ob "ops_off" with
+  | Some f when f <= 0. -> err "%s.ops_off: workload recorded no ops" path
+  | _ -> ());
+  ignore (get_num path ob "ops_on");
+  ignore (get_num path ob "wall_off_s");
+  ignore (get_num path ob "wall_on_s");
+  (match get_num path ob "spans" with
+  | Some s when s < 1. -> err "%s.spans: armed arm recorded no spans" path
+  | _ -> ());
+  (match get_num path ob "ring_events" with
+  | Some s when s < 1. ->
+      err "%s.ring_events: armed arm recorded no flight-ring events" path
+  | _ -> ());
+  match get_num path ob "ops_delta_pct" with
+  | Some d when Float.abs d > 2.0 ->
+      err
+        "%s.ops_delta_pct: |%g| exceeds the 2%% fleet-observability \
+         overhead budget"
+        path d
+  | _ -> ()
+
 let check_store_point i p =
   let path = Printf.sprintf "store[%d]" i in
   ignore (get_num path p "n");
@@ -686,6 +717,10 @@ let () =
   | Some (Obj _ as cl) -> check_cluster cl
   | Some _ -> err "$.cluster: expected an object"
   | None -> err "$.cluster: missing (the cluster-router rows)");
+  (match field "$" j "observability" with
+  | Some (Obj _ as ob) -> check_observability ob
+  | Some _ -> err "$.observability: expected an object"
+  | None -> err "$.observability: missing (the fleet-observability rows)");
   match !errors with
   | [] ->
       Printf.printf "%s: schema nd-engine-bench/1 OK\n" file;

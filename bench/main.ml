@@ -1643,6 +1643,119 @@ let cb_rows_json () =
 let cb_cluster () = ignore (cb_rows_json ())
 
 (* ------------------------------------------------------------------ *)
+(* OB — fleet observability overhead: the same in-process 3-shard
+   fleet as CB, driven with the full observability stack armed (span
+   tracing, trace-context propagation on every request, router + worker
+   event logs, and the per-worker flight ring) versus everything off.
+   The deterministic cost model must not notice: span bookkeeping,
+   context stamping and ring appends never advance an engine counter,
+   so check_schema gates the ops delta at <= 2%. *)
+
+let ob_json () =
+  let phi = Nd_logic.Parse.formula "dist(x,y) <= 2" in
+  let g = rb_graph () in
+  let requests = cb_requests () in
+  let n = Cgraph.n g in
+  let run armed =
+    let own = COwn.compute g ~shards:cb_shards in
+    let rings = ref [] in
+    let shard_server shard =
+      let eng = Nd_engine.prepare ~metrics:true ~cache_limit:0 g phi in
+      let flight =
+        if not armed then None
+        else begin
+          let fl = Nd_obs.Flight.create ~capacity:256 () in
+          rings := fl :: !rings;
+          Some (fun line -> Nd_obs.Flight.record fl line)
+        end
+      in
+      let config =
+        {
+          Nd_server.default_config with
+          Nd_server.owner = Some (COwn.owner own ~shard);
+          event_log = (if armed then Some ignore else None);
+          flight;
+        }
+      in
+      Nd_server.create ~config eng
+    in
+    let eps =
+      List.init cb_shards (fun s ->
+          CRouter.local_endpoint ~shard:s
+            ~label:(Printf.sprintf "s%d" s)
+            (shard_server s))
+    in
+    let config =
+      {
+        (cb_config ()) with
+        CRouter.event_log = (if armed then Some ignore else None);
+      }
+    in
+    let rt = CRouter.create ~config ~ownership:own ~arity:2 eps in
+    if armed then begin
+      Nd_trace.enable ();
+      Nd_trace.clear ()
+    end;
+    (* warm lazily-built index nodes out of the measurement *)
+    ignore (CRouter.handle rt "test 0,1");
+    Nd_util.Metrics.reset ();
+    Nd_util.Metrics.enable ();
+    let o0 = Nd_util.Metrics.ops () in
+    let (), s =
+      time (fun () ->
+          for i = 1 to requests do
+            let req =
+              Printf.sprintf "test %d,%d" (i mod n) ((i + 1) mod n)
+            in
+            ignore
+              (CRouter.handle rt
+                 (if armed then Printf.sprintf "%s trace=bench:%d" req i
+                  else req))
+          done)
+    in
+    Nd_util.Metrics.disable ();
+    let spans = if armed then List.length (Nd_trace.spans ()) else 0 in
+    if armed then begin
+      Nd_trace.disable ();
+      Nd_trace.clear ()
+    end;
+    let ring_events =
+      List.fold_left
+        (fun acc fl -> acc + List.length (Nd_obs.Flight.events fl))
+        0 !rings
+    in
+    List.iter Nd_obs.Flight.close !rings;
+    (Nd_util.Metrics.ops () - o0, s, spans, ring_events)
+  in
+  let ops_off, wall_off, _, _ = run false in
+  let ops_on, wall_on, spans, ring_events = run true in
+  let delta_pct =
+    if ops_off = 0 then 0.
+    else float_of_int (ops_on - ops_off) /. float_of_int ops_off *. 100.
+  in
+  Printf.printf
+    "  obs overhead           %d requests: ops off=%d on=%d  delta=%.2f%%  \
+     spans=%d ring=%d  wall %s -> %s\n%!"
+    requests ops_off ops_on delta_pct spans ring_events (ns wall_off)
+    (ns wall_on);
+  Printf.sprintf
+    "{\"requests\":%d,\"ops_off\":%d,\"ops_on\":%d,\"ops_delta_pct\":%.9g,\
+     \"spans\":%d,\"ring_events\":%d,\"wall_off_s\":%.9g,\"wall_on_s\":%.9g}"
+    requests ops_off ops_on delta_pct spans ring_events wall_off wall_on
+
+let ob_rows = ref None
+
+let ob_rows_json () =
+  match !ob_rows with
+  | Some j -> j
+  | None ->
+      let j = ob_json () in
+      ob_rows := Some j;
+      j
+
+let ob_fleet_obs () = ignore (ob_rows_json ())
+
+(* ------------------------------------------------------------------ *)
 (* EE — engine trajectories: run the whole pipeline through the
    Nd_engine façade with metrics on, and serialize the cost-model
    numbers (delay/op-count trajectories, store register-touch
@@ -1821,13 +1934,17 @@ let ee_engine_json () =
      differential, failover blip, catch-up replay and probe-overhead
      gate, all checked by check_schema *)
   let cluster_doc = cb_rows_json () in
+  (* OB rows ride along in every mode: the fleet observability stack
+     (tracing + propagation + event ring) armed vs off, gated <= 2%
+     ops delta by check_schema *)
+  let obs_doc = ob_rows_json () in
   let mode = if !smoke then "smoke" else if !quick then "quick" else "full" in
   let doc =
     Printf.sprintf
       "{\"schema\":\"nd-engine-bench/1\",\"mode\":\"%s\",\"query\":\"%s\",\
        \"engine\":[%s],\"store\":[%s],\"budget_overhead\":[%s],\
        \"trace_overhead\":[%s],\"snapshot\":[%s],\"update\":[%s],\
-       \"parallel\":%s,\"overload\":%s,\"cluster\":%s}"
+       \"parallel\":%s,\"overload\":%s,\"cluster\":%s,\"observability\":%s}"
       mode qtext
       (String.concat "," engine_points)
       (String.concat "," store_points)
@@ -1835,7 +1952,7 @@ let ee_engine_json () =
       (String.concat "," trace_points)
       (String.concat "," snapshot_points)
       (String.concat "," update_points)
-      parallel_doc overload_doc cluster_doc
+      parallel_doc overload_doc cluster_doc obs_doc
   in
   let path = "BENCH_engine.json" in
   let oc = open_out path in
@@ -1865,6 +1982,7 @@ let experiments =
     ("PAR", "parallel prepare + concurrent serve", par_parallel);
     ("RB", "robustness: overload shedding + hygiene overhead", rb_overload);
     ("CB", "cluster router: merge, failover, catch-up", cb_cluster);
+    ("OB", "fleet observability: armed-vs-off overhead", ob_fleet_obs);
     ("EE", "engine cost-model trajectories", ee_engine_json);
   ]
 

@@ -566,10 +566,24 @@ let snapshot_info file =
    a forked child; the fork happens before this function, because it
    spawns domains (--jobs) and OCaml 5 forbids forking after the first
    Domain.spawn. *)
+(* black-box naming: one flight file per worker, derived from the
+   socket path so shards x replicas sharing one --blackbox DIR cannot
+   collide *)
+let worker_name socket =
+  match socket with
+  | Some p -> Filename.remove_extension (Filename.basename p)
+  | None -> "worker"
+
+let ensure_dir d =
+  try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let flight_path dir name = Filename.concat dir (name ^ ".flight.jsonl")
+
 let serve_worker spec query colors seed epsilon snapshot_file socket backlog
     request_budget_ops request_timeout_ms max_enumerate chaos event_log_file
     no_metrics trace jobs max_inflight max_conns io_timeout_ms idle_timeout_ms
-    max_line_bytes retry_after_ms journal_file shard_index shard_count =
+    max_line_bytes retry_after_ms journal_file blackbox shard_index shard_count
+    =
   (* metrics default ON in serve so the `metrics` scrape verb has
      something to report over a long session *)
   if not no_metrics then Nd_util.Metrics.enable ();
@@ -650,6 +664,23 @@ let serve_worker spec query colors seed epsilon snapshot_file socket backlog
         flush oc)
       journal_oc
   in
+  let flight_rec =
+    Option.map
+      (fun dir ->
+        ensure_dir dir;
+        Nd_obs.Flight.create ~path:(flight_path dir (worker_name socket)) ())
+      blackbox
+  in
+  (* the (boot) row pins the post-replay epoch: a supervisor's
+     post-mortem matches the previous incarnation's last recorded
+     epoch against it *)
+  Option.iter
+    (fun fl ->
+      Nd_obs.Flight.record fl
+        (Printf.sprintf
+           "{\"ts_us\":%d,\"rid\":0,\"span\":0,\"cmd\":\"(boot)\",\"status\":\"ok\",\"epoch\":%d,\"latency_us\":0,\"lines\":0}"
+           (Nd_obs.now_us ()) (Nd_engine.epoch eng)))
+    flight_rec;
   let config =
     {
       Nd_server.request_budget_ops;
@@ -665,6 +696,7 @@ let serve_worker spec query colors seed epsilon snapshot_file socket backlog
       retry_after_ms;
       journal;
       owner;
+      flight = Option.map (fun fl line -> Nd_obs.Flight.record fl line) flight_rec;
     }
   in
   let srv = Nd_server.create ~config eng in
@@ -678,6 +710,7 @@ let serve_worker spec query colors seed epsilon snapshot_file socket backlog
   | None -> Nd_server.serve srv stdin stdout);
   Option.iter close_out_noerr event_log_oc;
   Option.iter close_out_noerr journal_oc;
+  Option.iter Nd_obs.Flight.close flight_rec;
   (match trace with
   | Some path ->
       let n = Nd_trace.save_chrome ~path in
@@ -696,15 +729,15 @@ let serve_worker spec query colors seed epsilon snapshot_file socket backlog
 let serve spec query colors seed epsilon snapshot_file socket backlog
     request_budget_ops request_timeout_ms max_enumerate chaos event_log_file
     no_metrics trace jobs max_inflight max_conns io_timeout_ms idle_timeout_ms
-    max_line_bytes retry_after_ms journal_file shard_index shard_count
+    max_line_bytes retry_after_ms journal_file blackbox shard_index shard_count
     supervise max_crashes restart_backoff_ms restart_window_ms =
  run @@ fun () ->
   let worker () =
     serve_worker spec query colors seed epsilon snapshot_file socket backlog
       request_budget_ops request_timeout_ms max_enumerate chaos event_log_file
       no_metrics trace jobs max_inflight max_conns io_timeout_ms
-      idle_timeout_ms max_line_bytes retry_after_ms journal_file shard_index
-      shard_count
+      idle_timeout_ms max_line_bytes retry_after_ms journal_file blackbox
+      shard_index shard_count
   in
   if not supervise then worker ()
   else begin
@@ -769,7 +802,39 @@ let serve spec query colors seed epsilon snapshot_file socket backlog
       }
     in
     let log m = Printf.eprintf "fodb serve: supervisor: %s\n%!" m in
-    match Sup.run ~policy ~log ~spawn ~wait () with
+    (* crash harvest: between the wait and the restart sleep neither
+       incarnation can touch the flight file, so reading + truncating
+       it here is race-free *)
+    let pm_count = ref 0 in
+    let on_crash outcome d =
+      Option.iter
+        (fun dir ->
+          let name = worker_name socket in
+          let src = flight_path dir name in
+          let events =
+            Nd_obs.Flight.harvest ~src
+              ~capacity:Nd_obs.Flight.default_capacity
+          in
+          incr pm_count;
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "%s.postmortem-%d.jsonl" name !pm_count)
+          in
+          Nd_obs.Flight.write_postmortem ~path
+            ~cause:(Sup.describe_outcome outcome)
+            ~decision:
+              (match d with
+              | Sup.Restart_after_ms ms -> Printf.sprintf "restart in %dms" ms
+              | Sup.Give_up r -> "give up: " ^ r)
+            ~last_epoch:(Nd_obs.Flight.last_epoch events)
+            ~events;
+          Nd_obs.Flight.truncate src;
+          log
+            (Printf.sprintf "post-mortem %s (%d events)" path
+               (List.length events)))
+        blackbox
+    in
+    match Sup.run ~policy ~log ~on_crash ~spawn ~wait () with
     | Ok () -> ()
     | Error reason ->
         Printf.eprintf "fodb serve: supervisor: circuit breaker open: %s\n%!"
@@ -909,17 +974,52 @@ let print_router_stats tag rt =
     s.Nd_cluster.Router.fleet_epoch s.Nd_cluster.Router.live
     s.Nd_cluster.Router.fenced
 
+(* The sidecar metrics listener: each connection receives one
+   aggregated fleet scrape and is closed — curl-over-UDS semantics
+   without an HTTP stack.  [fodb obs scrape] is the matching reader. *)
+let metrics_listener rt ~path ~stop =
+  (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  Thread.create
+    (fun () ->
+      let rec loop () =
+        if !stop then ()
+        else
+          match Unix.select [ sock ] [] [] 0.2 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | [], _, _ -> loop ()
+          | _ ->
+              (match Unix.accept sock with
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              | fd, _ ->
+                  let oc = Unix.out_channel_of_descr fd in
+                  (try
+                     output_string oc (Nd_cluster.Router.scrape_metrics rt);
+                     flush oc
+                   with Sys_error _ -> ());
+                  close_out_noerr oc);
+              loop ()
+      in
+      loop ();
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    ()
+
 (* The fleet front-end over already-running shard workers: same line
    protocol as serve, answers reconstituted by the epoch-fenced k-way
    merge.  The ownership map is re-derived from the boot graph, which
    is why the router takes -g/-q at all. *)
 let router spec query colors seed shards endpoints socket backlog
-    probe_interval_ms no_fence retry_after_ms max_enumerate event_log_file =
+    probe_interval_ms no_fence retry_after_ms max_enumerate event_log_file
+    metrics_socket trace =
  run @@ fun () ->
   if shards < 1 then Nd_error.user_errorf "router: --shards must be >= 1";
   if endpoints = [] then
     Nd_error.user_errorf "router: at least one --endpoint SHARD:PATH required";
   Nd_util.Metrics.enable ();
+  (match trace with Some _ -> Nd_trace.enable () | None -> ());
   let g = load spec ~colors ~seed in
   let phi = Nd_logic.Parse.formula query in
   let arity = Nd_logic.Fo.arity phi in
@@ -946,13 +1046,25 @@ let router spec query colors seed shards endpoints socket backlog
      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
    with Invalid_argument _ | Sys_error _ -> ());
   let prober = Nd_cluster.Router.start_probes rt in
+  let mstop = ref false in
+  let mthread =
+    Option.map (fun path -> metrics_listener rt ~path ~stop:mstop)
+      metrics_socket
+  in
   (match socket with
   | Some path -> Nd_cluster.Router.serve_socket ~backlog rt ~path
   | None -> Nd_cluster.Router.serve rt stdin stdout);
   Nd_cluster.Router.request_stop rt;
   ignore (Nd_cluster.Router.drain rt);
   Option.iter Thread.join prober;
+  mstop := true;
+  Option.iter Thread.join mthread;
   close_events ();
+  (match trace with
+  | Some path ->
+      let n = Nd_trace.save_chrome ~path in
+      Printf.eprintf "fodb router: wrote %d spans to %s\n%!" n path
+  | None -> ());
   print_router_stats "fodb router" rt
 
 (* ---------------- cluster ---------------- *)
@@ -965,8 +1077,9 @@ let router spec query colors seed shards endpoints socket backlog
 let cluster spec query colors seed epsilon shards replicas dir socket backlog
     supervise differential mutations kill_replica probe_interval_ms no_fence
     chaos_links chaos_chunk chaos_delay_ms chaos_garbage chaos_cut_reply_after
-    event_log_file =
+    event_log_file trace blackbox metrics_socket =
  run @@ fun () ->
+  if trace then Nd_trace.enable ();
   if shards < 1 then Nd_error.user_errorf "cluster: --shards must be >= 1";
   if replicas < 1 then Nd_error.user_errorf "cluster: --replicas must be >= 1";
   let dir =
@@ -1025,6 +1138,13 @@ let cluster spec query colors seed epsilon shards replicas dir socket backlog
         journal_path s r; "--jobs"; "1";
       ]
       @ (if supervise then [ "--supervise" ] else [])
+      @ (if trace then
+           [
+             "--trace";
+             Filename.concat dir (Printf.sprintf "w-%d-%d.trace.json" s r);
+           ]
+         else [])
+      @ (if blackbox then [ "--blackbox"; dir ] else [])
     in
     let pid =
       Unix.create_process Sys.executable_name (Array.of_list args) Unix.stdin
@@ -1152,11 +1272,23 @@ let cluster spec query colors seed epsilon shards replicas dir socket backlog
   in
   let rt = Nd_cluster.Router.create ~config ~ownership:own ~arity eps in
   let prober = Nd_cluster.Router.start_probes rt in
+  let mstop = ref false in
+  let mthread =
+    Option.map (fun path -> metrics_listener rt ~path ~stop:mstop)
+      metrics_socket
+  in
   let finish () =
     Nd_cluster.Router.request_stop rt;
     ignore (Nd_cluster.Router.drain rt);
     Option.iter Thread.join prober;
+    mstop := true;
+    Option.iter Thread.join mthread;
     close_events ();
+    if trace then begin
+      let path = Filename.concat dir "router.trace.json" in
+      let n = Nd_trace.save_chrome ~path in
+      Printf.eprintf "fodb cluster: wrote %d router spans to %s\n%!" n path
+    end;
     print_router_stats "fodb cluster" rt
   in
   if not differential then begin
@@ -1323,6 +1455,63 @@ let cluster spec query colors seed epsilon shards replicas dir socket backlog
       exit 1
     end
   end
+
+(* ---------------- obs ---------------- *)
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let obs_merge_trace out files =
+ run @@ fun () ->
+  if files = [] then Nd_error.user_errorf "merge-trace: no trace shards given";
+  let docs =
+    List.map
+      (fun f ->
+        try read_whole f
+        with Sys_error m -> Nd_error.user_errorf "merge-trace: %s" m)
+      files
+  in
+  match Nd_obs.Merge.merge docs with
+  | Error m -> Nd_error.user_errorf "merge-trace: %s" m
+  | Ok (doc, rep) ->
+      let oc = open_out out in
+      output_string oc doc;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf
+        "merged %d processes, %d events (%d cross-process links, %d orphans) \
+         -> %s\n"
+        rep.Nd_obs.Merge.r_processes rep.Nd_obs.Merge.r_events
+        rep.Nd_obs.Merge.r_linked rep.Nd_obs.Merge.r_orphans out
+
+let obs_scrape socket validate =
+ run @@ fun () ->
+  let fd =
+    match Nd_server.Client.connect socket with
+    | Ok fd -> fd
+    | Error m -> Nd_error.user_errorf "scrape: %s: %s" socket m
+  in
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let rec drain_fd () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain_fd ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain_fd ()
+  in
+  drain_fd ();
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let text = Buffer.contents buf in
+  print_string text;
+  if validate then
+    match Nd_trace.Prometheus.validate text with
+    | Ok n -> Printf.eprintf "fodb obs scrape: %d samples, valid\n%!" n
+    | Error m -> Nd_error.user_errorf "scrape: invalid exposition: %s" m
 
 (* ---------------- command wiring ---------------- *)
 
@@ -1639,6 +1828,17 @@ let cmd_serve =
                  worker (see $(b,--supervise)) resumes at the pre-crash \
                  epoch.")
       $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "blackbox" ] ~docv:"DIR"
+              ~doc:
+                "Crash flight recorder: mirror the last 256 request events \
+                 to $(docv)/NAME.flight.jsonl (NAME from the socket path); \
+                 under $(b,--supervise), an abnormal worker exit is \
+                 harvested into $(docv)/NAME.postmortem-K.jsonl carrying \
+                 the crash cause, the restart decision and the last \
+                 recorded epoch.")
+      $ Arg.(
           value & opt int 0
           & info [ "shard-index" ] ~docv:"S"
               ~doc:
@@ -1796,7 +1996,19 @@ let cmd_router =
           & info [ "event-log" ] ~docv:"FILE"
               ~doc:
                 "Append one structured JSON line per handled request \
-                 plus fence/catch-up/failover/probe lifecycle rows."))
+                 plus fence/catch-up/failover/probe lifecycle rows.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "metrics-socket" ] ~docv:"PATH"
+              ~doc:
+                "Serve the aggregated fleet Prometheus exposition on this \
+                 Unix-domain socket: each connection receives one merged \
+                 scrape (router registry, fleet gauges, per-shard pull \
+                 histograms, every live replica re-labelled with \
+                 shard/replica) and is closed.  Read it with \
+                 $(b,fodb obs scrape).")
+      $ trace_arg)
 
 let cmd_cluster =
   Cmd.v
@@ -1892,7 +2104,77 @@ let cmd_cluster =
           & opt (some string) None
           & info [ "event-log" ] ~docv:"FILE"
               ~doc:
-                "Append the router's structured JSON event rows here."))
+                "Append the router's structured JSON event rows here.")
+      $ Arg.(
+          value & flag
+          & info [ "trace" ]
+              ~doc:
+                "Enable span tracing fleet-wide: every worker writes \
+                 $(b,DIR/w-S-R.trace.json) on clean shutdown and the \
+                 router writes $(b,DIR/router.trace.json); stitch them \
+                 with $(b,fodb obs merge-trace).")
+      $ Arg.(
+          value & flag
+          & info [ "blackbox" ]
+              ~doc:
+                "Give every worker a crash flight recorder in the cluster \
+                 directory (see $(b,fodb serve --blackbox)); pair with \
+                 $(b,--supervise) for post-mortems.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "metrics-socket" ] ~docv:"PATH"
+              ~doc:
+                "Serve the aggregated fleet Prometheus exposition on this \
+                 Unix-domain socket (see $(b,fodb router \
+                 --metrics-socket))."))
+
+let cmd_obs =
+  let merge =
+    Cmd.v
+      (Cmd.info "merge-trace" ~exits
+         ~doc:
+           "Stitch per-process Chrome trace shards (router + workers) into \
+            one cross-process timeline: span ids are remapped into a global \
+            namespace and every propagated $(b,trace=) context is resolved \
+            into a parent edge across its process boundary (unresolved \
+            references are flagged $(b,ctx.orphan), never dropped).")
+      Term.(
+        const obs_merge_trace
+        $ Arg.(
+            required
+            & opt (some string) None
+            & info [ "o"; "out" ] ~docv:"FILE"
+                ~doc:"Merged trace output file.")
+        $ Arg.(
+            value & pos_all string []
+            & info [] ~docv:"SHARD" ~doc:"Per-process trace shard files."))
+  in
+  let scrape =
+    Cmd.v
+      (Cmd.info "scrape" ~exits
+         ~doc:
+           "Read one aggregated Prometheus exposition from a \
+            $(b,--metrics-socket) listener ($(b,fodb router) or \
+            $(b,fodb cluster)) and print it.")
+      Term.(
+        const obs_scrape
+        $ Arg.(
+            required
+            & opt (some string) None
+            & info [ "socket" ] ~docv:"PATH" ~doc:"Metrics socket path.")
+        $ Arg.(
+            value & flag
+            & info [ "validate" ]
+                ~doc:
+                  "Validate the exposition format (exit 2 when invalid)."))
+  in
+  Cmd.group
+    (Cmd.info "obs" ~exits
+       ~doc:
+         "Fleet observability: merged cross-process traces and aggregated \
+          metrics")
+    [ merge; scrape ]
 
 let cmd_client =
   Cmd.v
@@ -1927,4 +2209,5 @@ let () =
             cmd_enumerate; cmd_count; cmd_test; cmd_next; cmd_update;
             cmd_cover; cmd_splitter; cmd_stats; cmd_profile; cmd_snapshot;
             cmd_serve; cmd_router; cmd_cluster; cmd_client; cmd_chaos_proxy;
+            cmd_obs;
           ]))

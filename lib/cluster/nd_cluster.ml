@@ -320,6 +320,7 @@ module Router = struct
     mutable c_fence_refusals : int;
     mutable c_catchups : int;
     mutable c_probes : int;
+    pull_hist : Nd_obs.Lhist.t;
   }
 
   type cursor = Unstarted | At of int array | Exhausted
@@ -411,6 +412,10 @@ module Router = struct
           c_fence_refusals = 0;
           c_catchups = 0;
           c_probes = 0;
+          pull_hist =
+            Nd_obs.Lhist.create ~name:"nd_router_pull_us"
+              ~help:"Per-shard merge-pull latency (microseconds)." ~label:"shard"
+              ();
         };
       cursor = Unstarted;
       quit = false;
@@ -436,14 +441,15 @@ module Router = struct
       s;
     Buffer.contents b
 
-  let ev (rs : shared) ?shard ~rid ~cmd ~status ~latency_us ~lines () =
+  let ev (rs : shared) ?shard ?(span = 0) ~rid ~cmd ~status ~latency_us ~lines
+      () =
     match rs.cfg.event_log with
     | None -> ()
     | Some sink ->
         sink
           (Printf.sprintf
-             "{\"ts\":%.6f,\"rid\":%d,\"span\":0,\"cmd\":\"%s\",\"status\":\"%s\",\"latency_us\":%d,\"lines\":%d%s}"
-             (Unix.gettimeofday ()) rid (json_escape cmd) status latency_us
+             "{\"ts_us\":%d,\"rid\":%d,\"span\":%d,\"cmd\":\"%s\",\"status\":\"%s\",\"latency_us\":%d,\"lines\":%d%s}"
+             (Nd_obs.now_us ()) rid span (json_escape cmd) status latency_us
              lines
              (match shard with
              | None -> ""
@@ -541,7 +547,33 @@ module Router = struct
                 (try c.close () with _ -> ());
                 Error m))
 
+  (* Every upstream call is a [router.call] span, and — when tracing is
+     on — the outgoing request is stamped with the router's trace
+     context so the worker's [server.request] span becomes its child in
+     the merged timeline (DESIGN S17). *)
   let raw_call rep req =
+    let verb =
+      match String.index_opt req ' ' with
+      | None -> req
+      | Some i -> String.sub req 0 i
+    in
+    Nd_trace.with_span "router.call"
+      ~attrs:
+        [
+          ("shard", string_of_int rep.r_shard);
+          ("replica", rep.r_label);
+          ("verb", verb);
+        ]
+    @@ fun () ->
+    let req =
+      if Nd_trace.enabled () then
+        Nd_obs.Ctx.stamp req
+          {
+            Nd_obs.Ctx.trace_id = Nd_trace.trace_id ();
+            span = Nd_trace.current_span_id ();
+          }
+      else req
+    in
     match connected rep with
     | Error m -> `Transport m
     | Ok c -> (
@@ -596,6 +628,13 @@ module Router = struct
       in
       if not contiguous then false
       else
+        Nd_trace.with_span "router.catchup"
+          ~attrs:
+            [
+              ("shard", string_of_int rep.r_shard);
+              ("entries", string_of_int len);
+            ]
+        @@ fun () ->
         let wire = String.concat ";" (List.map snd missing) in
         match raw_call rep ("batch-update " ^ wire) with
         | `Reply (r, Client.Ok_reply) -> (
@@ -775,7 +814,11 @@ module Router = struct
   (* ---------------- verbs ---------------- *)
 
   let group_next t sh lb =
-    match group_call t.rs sh ("next " ^ fmt_tuple lb) with
+    let t0 = Unix.gettimeofday () in
+    let reply = group_call t.rs sh ("next " ^ fmt_tuple lb) in
+    Nd_obs.Lhist.observe t.rs.pull_hist ~label:(string_of_int sh)
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+    match reply with
     | [ one ] when one = "none" -> None
     | [ one ] when starts_with "sol " one ->
         Some (parse_tuple (String.sub one 4 (String.length one - 4)))
@@ -975,6 +1018,58 @@ module Router = struct
       t.rs.groups;
     List.rev !acc
 
+  (* One merged exposition for the whole fleet: the router's own
+     process metrics, the fleet-derived gauges, the per-shard pull
+     histogram, and every live replica's scrape re-labelled with its
+     shard/replica identity.  Fenced replicas are skipped (their staleness
+     is already visible through [nd_fleet_fenced_replicas]); a replica
+     whose scrape fails transport-wise is silently omitted — the scrape
+     must never take the fleet down. *)
+  let scrape_metrics_locked t =
+    let rs = t.rs in
+    let live, fenced = live_fenced rs in
+    let gauges =
+      [
+        Nd_obs.Prom.gauge ~name:"nd_fleet_epoch"
+          ~help:"Fleet epoch adopted by the router (-1 before first contact)."
+          rs.fleet_epoch;
+        Nd_obs.Prom.gauge ~name:"nd_fleet_live_replicas"
+          ~help:"Replicas currently admitted to merges." live;
+        Nd_obs.Prom.gauge ~name:"nd_fleet_fenced_replicas"
+          ~help:"Replicas currently fenced." fenced;
+      ]
+    in
+    let hist = Nd_obs.Lhist.render rs.pull_hist in
+    let shards = ref [] in
+    Array.iter
+      (fun g ->
+        Array.iteri
+          (fun idx rep ->
+            match rep.r_state with
+            | Fenced _ -> ()
+            | Live -> (
+                match raw_call rep "metrics" with
+                | `Reply (r, Client.Ok_reply) ->
+                    shards :=
+                      Nd_obs.Prom.relabel
+                        ~labels:
+                          [
+                            ("shard", string_of_int rep.r_shard);
+                            ("replica", string_of_int idx);
+                          ]
+                        (String.concat "\n" (body r))
+                      :: !shards
+                | `Reply _ | `Transport _ -> ()))
+          g.reps)
+      rs.groups;
+    Nd_obs.Prom.merge
+      ((Nd_trace.Prometheus.render_current () :: gauges)
+      @ (if hist = "" then [] else [ hist ])
+      @ List.rev !shards)
+
+  let scrape_metrics t =
+    Mutex.protect t.rs.lock (fun () -> scrape_metrics_locked t)
+
   let split_command line =
     match String.index_opt line ' ' with
     | None -> (line, "")
@@ -1020,7 +1115,7 @@ module Router = struct
         `Ok
           (List.filter
              (fun l -> l <> "")
-             (String.split_on_char '\n' (Nd_trace.Prometheus.render_current ())))
+             (String.split_on_char '\n' (scrape_metrics_locked t)))
     | "health" -> `Ok (cmd_health t)
     | _ ->
         Nd_error.user_errorf
@@ -1032,7 +1127,8 @@ module Router = struct
     let line = String.trim line in
     if line = "" then []
     else begin
-      let cmd, _ = split_command line in
+      let base, ctx = Nd_obs.Ctx.split_line line in
+      let cmd, _ = split_command base in
       let t0 = Unix.gettimeofday () in
       let rid, stopped =
         Mutex.protect rs.adm (fun () ->
@@ -1064,12 +1160,26 @@ module Router = struct
         rs.serial <- rs.serial + 1;
         let status = ref "ok" in
         let shard_attr = ref None in
+        let span = ref 0 in
         let err cls m =
           status := cls;
-          Printf.sprintf "err %s rid=%d span=0 %s" cls rid m
+          Printf.sprintf "err %s rid=%d span=%d %s" cls rid !span m
+        in
+        let ctx_attrs =
+          match ctx with Some (Ok c) -> Nd_obs.Ctx.attrs c | _ -> []
         in
         let reply =
-          match dispatch t line with
+          Nd_trace.with_span "router.request"
+            ~attrs:(("rid", string_of_int rid) :: ("cmd", cmd) :: ctx_attrs)
+          @@ fun () ->
+          span := Nd_trace.current_span_id ();
+          match
+            (match ctx with
+            | Some (Error m) ->
+                Nd_error.user_errorf "bad trace= attribute: %s" m
+            | _ -> ());
+            dispatch t base
+          with
           | `Ok lines ->
               rs.c_ok <- rs.c_ok + 1;
               Metrics.incr m_ok;
@@ -1104,8 +1214,8 @@ module Router = struct
         in
         let latency_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
         Metrics.observe h_latency latency_us;
-        ev rs ?shard:!shard_attr ~rid ~cmd ~status:!status ~latency_us
-          ~lines:(List.length reply) ();
+        ev rs ?shard:!shard_attr ~span:!span ~rid ~cmd ~status:!status
+          ~latency_us ~lines:(List.length reply) ();
         reply
     end
 
@@ -1123,6 +1233,7 @@ module Router = struct
       (String.split_on_char ' ' line)
 
   let probe_locked (rs : shared) =
+    Nd_trace.with_span "router.probe" @@ fun () ->
     rs.serial <- rs.serial + 1;
     if rs.cfg.fence && rs.fleet_epoch < 0 then init_fleet rs;
     Array.iter

@@ -150,7 +150,7 @@ end
     a client cannot tell a router from a shard except through [health]
     and [stats].  Two differences:
 
-    - [err unavailable rid=<n> span=0 shard=<id> retry-after-ms=<n> …]
+    - [err unavailable rid=<n> span=<s> shard=<id> retry-after-ms=<n> …]
       is the degradation rung: the request needed shard [<id>] and no
       replica of it could be used at the fleet epoch.  Loud, structured
       and retry-able — never a silently partial answer.
@@ -160,8 +160,23 @@ end
       fence_refusals=N catchups=N probes=N].
 
     [stats] replies with one [nd-router-stats/1] JSON line mirroring
-    {!stats}; [metrics] scrapes the process {!Nd_util.Metrics} registry
-    (the [router_*] counters included) in Prometheus text format.
+    {!stats}; [metrics] replies with the {e aggregated fleet
+    exposition} (see {!scrape_metrics}) rather than just the router's
+    own registry.
+
+    {2 Trace propagation}
+
+    Request lines accept the same optional trailing
+    [trace=<trace_id>:<parent_span>] attribute as {!Nd_server} (same
+    grammar, same [err user] on a malformed token).  Each request runs
+    inside a [router.request] span; every upstream call (fan-out pulls,
+    fence probes, catch-up replays, failover retries, metric scrapes)
+    is a [router.call] child span, and when tracing is enabled the
+    outgoing request is stamped with the router's own trace context —
+    so a worker's [server.request] span re-parents under the router's
+    [router.call] in the merged timeline ({!Nd_obs.Merge}).  Error
+    replies and event-log rows carry the [router.request] span id as
+    their [span] join key.
 
     {2 Epoch fencing}
 
@@ -251,11 +266,12 @@ module Router : sig
     retry_after_ms : int;  (** floor advertised in [err unavailable] *)
     max_enumerate : int;  (** page-size cap/default, as in {!Nd_server} *)
     event_log : (string -> unit) option;
-        (** JSONL sink; same row shape as {!Nd_server}'s, plus a
-            ["shard"] attribute on shard-scoped rows and the router-only
-            statuses ["unavailable"]/["fenced"], and lifecycle rows with
-            [cmd] ["(fence)"], ["(catchup)"], ["(failover)"],
-            ["(probe)"] *)
+        (** JSONL sink; same row shape as {!Nd_server}'s ([ts_us]
+            microsecond timestamps, [span] carrying the
+            [router.request] span id), plus a ["shard"] attribute on
+            shard-scoped rows and the router-only statuses
+            ["unavailable"]/["fenced"], and lifecycle rows with [cmd]
+            ["(fence)"], ["(catchup)"], ["(failover)"], ["(probe)"] *)
   }
 
   val default_config : config
@@ -296,6 +312,16 @@ module Router : sig
 
   val serve : t -> in_channel -> out_channel -> unit
   val serve_socket : ?backlog:int -> t -> path:string -> unit
+
+  val scrape_metrics : t -> string
+  (** The aggregated fleet exposition: the router's own process
+      registry, fleet-derived gauges ([nd_fleet_epoch],
+      [nd_fleet_live_replicas], [nd_fleet_fenced_replicas]), the
+      per-shard merge-pull latency histogram ([nd_router_pull_us]) and
+      every live replica's scrape re-labelled with [shard]/[replica],
+      merged into one valid document ({!Nd_obs.Prom.merge}).  Takes
+      the router lock; the [metrics] protocol verb replies with the
+      same document.  Fenced or unreachable replicas are omitted. *)
 
   type stats = {
     requests : int;

@@ -36,6 +36,7 @@ type config = {
   retry_after_ms : int;
   journal : (string -> unit) option;
   owner : (int array -> bool) option;
+  flight : (string -> unit) option;
 }
 
 let default_config =
@@ -53,6 +54,7 @@ let default_config =
     retry_after_ms = 100;
     journal = None;
     owner = None;
+    flight = None;
   }
 
 type cursor = Unstarted | At of int array | Exhausted
@@ -421,14 +423,27 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* One JSONL row per handled request: the event log gets the plain row,
+   the flight recorder (when armed) the same row extended with the
+   engine epoch — the join key a post-mortem needs against the
+   restarted worker's journal-replayed boot epoch.  ts_us is integer
+   wall-clock microseconds: whole seconds were too coarse to order
+   events across fleet processes. *)
 let log_event t ~t0 ~rid ~span ~cmd ~status ~latency_us ~lines =
-  match t.config.event_log with
+  let row ?epoch () =
+    Printf.sprintf
+      "{\"ts_us\":%d,\"rid\":%d,\"span\":%d,\"cmd\":\"%s\",\"status\":\"%s\"%s,\"latency_us\":%d,\"lines\":%d}"
+      (int_of_float (t0 *. 1e6))
+      rid span (json_escape cmd) status
+      (match epoch with
+      | None -> ""
+      | Some e -> Printf.sprintf ",\"epoch\":%d" e)
+      latency_us lines
+  in
+  (match t.config.event_log with None -> () | Some sink -> sink (row ()));
+  match t.config.flight with
   | None -> ()
-  | Some sink ->
-      sink
-        (Printf.sprintf
-           "{\"ts\":%.6f,\"rid\":%d,\"span\":%d,\"cmd\":\"%s\",\"status\":\"%s\",\"latency_us\":%d,\"lines\":%d}"
-           t0 rid span (json_escape cmd) status latency_us lines)
+  | Some sink -> sink (row ~epoch:(Nd_engine.epoch t.eng) ())
 
 (* Admission: decided under [adm] only, never the engine lock — a shed
    verdict must stay O(1) even while the engine is pinned by a slow
@@ -492,16 +507,31 @@ let handle t line =
           status := cls;
           Printf.sprintf "err %s rid=%d span=%d %s" cls rid !span m
         in
+        (* the optional trailing trace=<id>:<span> request attribute:
+           stripped before dispatch; a valid context re-parents this
+           request's span across the process boundary (the merge
+           resolves the ctx.* attrs), a malformed one is a structured
+           user error naming the attribute — never a protocol desync *)
+        let base, ctx = Nd_obs.Ctx.split_line line in
+        let ctx_attrs =
+          match ctx with Some (Ok c) -> Nd_obs.Ctx.attrs c | _ -> []
+        in
         let reply =
           Nd_trace.with_span "server.request"
-            ~attrs:[ ("rid", string_of_int rid); ("cmd", cmd) ]
+            ~attrs:(("rid", string_of_int rid) :: ("cmd", cmd) :: ctx_attrs)
           @@ fun () ->
           span := Nd_trace.current_span_id ();
           (* Request isolation: every failure class an answering call can
              produce becomes a structured terminator line.  The final
              catch-all exists because an unexpected exception must degrade
              to an error reply, never to a dead loop. *)
-          match dispatch t line with
+          match
+            (match ctx with
+            | Some (Error m) ->
+                Nd_error.user_errorf "bad trace= attribute: %s" m
+            | _ -> ());
+            dispatch t base
+          with
           | `Ok lines ->
               tally t (fun () -> t.sh.c_ok <- t.sh.c_ok + 1);
               Metrics.incr m_ok;
@@ -909,7 +939,8 @@ module Supervisor = struct
           try ignore (Unix.select [] [] [] (float_of_int ms /. 1000.))
           with Unix.Unix_error (Unix.EINTR, _, _) -> ())
       ?(now_ms = fun () -> int_of_float (Unix.gettimeofday () *. 1000.))
-      ?(log = fun (_ : string) -> ()) ~spawn ~wait () =
+      ?(log = fun (_ : string) -> ())
+      ?(on_crash = fun (_ : outcome) (_ : decision) -> ()) ~spawn ~wait () =
     let st = init () in
     let rec loop () =
       let w = spawn () in
@@ -919,7 +950,12 @@ module Supervisor = struct
           Ok ()
       | outcome -> (
           log (Printf.sprintf "worker died (%s)" (describe_outcome outcome));
-          match decide ~jitter policy st ~now_ms:(now_ms ()) outcome with
+          let d = decide ~jitter policy st ~now_ms:(now_ms ()) outcome in
+          (* the black-box hook: the worker is dead and its replacement
+             not yet spawned, so a harvester reads the flight file
+             without racing either incarnation *)
+          on_crash outcome d;
+          match d with
           | Give_up reason ->
               log ("giving up: " ^ reason);
               Error reason

@@ -62,6 +62,28 @@
     the degradation mode ([none], [stale_rebuild] or [fallback]) — so a
     router detects replica lag {e and} degradation with one probe.
 
+    {2 Inline request attributes}
+
+    Any request line may carry one optional trailing attribute token:
+
+    {v
+    <request> [trace=<trace_id>:<parent_span>]
+    v}
+
+    [trace_id] is a non-empty string over [A-Za-z0-9._-] naming the
+    originating process (see {!Nd_trace.trace_id}); [parent_span] is a
+    non-negative decimal span id in that process.  The token is
+    stripped before dispatch; when tracing is enabled the request's
+    [server.request] span records the context as [ctx.trace]/
+    [ctx.span] attrs, which [fodb obs merge-trace] resolves into a
+    cross-process parent edge ({!Nd_obs.Merge}).  The router stamps
+    this attribute on every fan-out it makes.
+
+    A {e malformed} token (bad id charset, missing [:], negative or
+    non-numeric span) answers [err user bad trace= attribute: …] —
+    a structured reply naming the attribute, after which the session
+    continues in sync; it never desyncs the line protocol.
+
     {2 Error classes}
 
     Error classes mirror the taxonomy, extended with the two
@@ -80,6 +102,9 @@
     - [err shutting-down …] — the request raced {!request_stop}; the
       server is draining and the connection will close.  Reconnect
       elsewhere; retrying this connection cannot succeed.
+
+    Attribute-parse failures (the [trace=] grammar above) are [user]
+    errors: [err user … bad trace= attribute: <reason>].
 
     The session survives [user]/[budget]/[internal]; [overloaded] and
     [shutting-down] are emitted without touching the engine at all.
@@ -106,13 +131,19 @@
     appends one JSON line to the sink (the structured event log):
 
     {v
-    {"ts":<epoch seconds>,"rid":N,"span":N,"cmd":"<verb>",
+    {"ts_us":<epoch microseconds>,"rid":N,"span":N,"cmd":"<verb>",
      "status":"ok|bye|user|budget|internal|overloaded|shutting-down",
      "latency_us":N,"lines":N}
     v}
 
-    Transport-hygiene violations log with [cmd:"(transport)"] and
-    status [user].
+    [ts_us] is integer wall-clock microseconds (whole seconds were too
+    coarse to order events across fleet processes).  Transport-hygiene
+    violations log with [cmd:"(transport)"] and status [user].
+
+    {!config.flight} receives the same row per request, extended with
+    an integer ["epoch"] field (the engine's graph epoch at the time) —
+    the crash flight recorder's feed; see {!Nd_obs.Flight} for the ring
+    + post-mortem lifecycle behind [fodb serve --blackbox].
 
     [metrics] replies with the whole {!Nd_util.Metrics} registry in the
     Prometheus text format (rendered from an atomic
@@ -179,6 +210,11 @@ type config = {
           journal are unaffected — every shard tracks the whole graph.
           [None] (default): serve everything.  See {!Nd_cluster} for the
           partition this hosts. *)
+  flight : (string -> unit) option;
+      (** the crash flight recorder's sink: one event-log row per
+          handled request, extended with the engine epoch (grammar
+          above).  Wired to {!Nd_obs.Flight.record} by [fodb serve
+          --blackbox]; [None] (default) disables it. *)
 }
 
 val default_config : config
@@ -338,6 +374,7 @@ module Supervisor : sig
     ?sleep_ms:(int -> unit) ->
     ?now_ms:(unit -> int) ->
     ?log:(string -> unit) ->
+    ?on_crash:(outcome -> decision -> unit) ->
     spawn:(unit -> 'worker) ->
     wait:('worker -> outcome) ->
     unit ->
@@ -345,7 +382,12 @@ module Supervisor : sig
   (** The supervision loop: spawn, wait, and on a crash consult
       {!decide} — sleeping then respawning, or giving up with the
       breaker's reason.  [Exited 0] is a clean shutdown ([Ok ()]).
-      [log] receives one human line per transition. *)
+      [log] receives one human line per transition.  [on_crash] fires
+      after each {!decide}, before the backoff sleep (or the give-up
+      return) — the window where the dead worker's flight file can be
+      harvested into a post-mortem without racing either incarnation
+      ([fodb serve --blackbox] does exactly that; see
+      {!Nd_obs.Flight}). *)
 end
 
 (** {1 Client harness}

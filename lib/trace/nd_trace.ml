@@ -167,6 +167,32 @@ let with_span name ?(attrs = []) f =
 
 let phase name ?attrs f = with_span name ?attrs (fun () -> Metrics.phase name f)
 
+(* ---------------- process trace identity ---------------- *)
+
+(* One id per process, stamped into every exported shard and every
+   propagated [trace=<id>:<span>] token, so a cross-process merge can
+   resolve a remote parent reference back to the process that owns the
+   span.  The default is derived from pid + start time; harnesses that
+   want readable merged timelines ([fodb cluster]) set explicit ids. *)
+
+let id_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> true
+  | _ -> false
+
+let trace_id_ref = ref ""
+
+let trace_id () =
+  if !trace_id_ref = "" then
+    trace_id_ref :=
+      Printf.sprintf "p%d-%06x" (Unix.getpid ())
+        (int_of_float (Unix.gettimeofday () *. 1e6) land 0xffffff);
+  !trace_id_ref
+
+let set_trace_id id =
+  if id = "" || not (String.for_all id_char id) then
+    invalid_arg "Nd_trace.set_trace_id: id must be non-empty [A-Za-z0-9._-]+";
+  trace_id_ref := id
+
 (* ---------------- JSON writing helpers ---------------- *)
 
 let buf_escape b s =
@@ -187,7 +213,10 @@ let buf_escape b s =
 
 let export_chrome () =
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"traceEvents\":[";
+  Buffer.add_string b "{\"process\":{\"trace_id\":\"";
+  buf_escape b (trace_id ());
+  Buffer.add_string b
+    (Printf.sprintf "\",\"pid\":%d},\"traceEvents\":[" (Unix.getpid ()));
   List.iteri
     (fun i sp ->
       if i > 0 then Buffer.add_char b ',';
@@ -574,7 +603,76 @@ module Prometheus = struct
            | _ -> false)
          name
 
-  (* A parsed sample line: metric name (with suffix), optional le label,
+  (* A full label list: [k1="v1",k2="v2"] with the exposition format's
+     escapes inside values.  [None] on malformed syntax.  The aggregated
+     fleet exposition carries several labels per sample
+     ([shard="0",replica="1",le="4"]), so the validator must parse the
+     whole list, not just a leading [le]. *)
+  let parse_labels s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let ok = ref true in
+    let out = ref [] in
+    let ident () =
+      let start = !pos in
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+        | _ -> false
+      do
+        incr pos
+      done;
+      if !pos = start then (
+        ok := false;
+        "")
+      else String.sub s start (!pos - start)
+    in
+    while !ok && !pos < n do
+      let k = ident () in
+      if !ok then
+        if !pos < n && s.[!pos] = '=' then incr pos else ok := false;
+      if !ok then
+        if !pos < n && s.[!pos] = '"' then incr pos else ok := false;
+      if !ok then begin
+        let b = Buffer.create 8 in
+        let fin = ref false in
+        while !ok && not !fin do
+          if !pos >= n then ok := false
+          else
+            match s.[!pos] with
+            | '"' ->
+                incr pos;
+                fin := true
+            | '\\' ->
+                if !pos + 1 >= n then ok := false
+                else begin
+                  (match s.[!pos + 1] with
+                  | '"' -> Buffer.add_char b '"'
+                  | '\\' -> Buffer.add_char b '\\'
+                  | 'n' -> Buffer.add_char b '\n'
+                  | _ -> ok := false);
+                  pos := !pos + 2
+                end
+            | c ->
+                Buffer.add_char b c;
+                incr pos
+        done;
+        if !ok then begin
+          out := (k, Buffer.contents b) :: !out;
+          if !pos < n then
+            if s.[!pos] = ',' then begin
+              incr pos;
+              if !pos >= n then ok := false
+            end
+            else ok := false
+        end
+      end
+    done;
+    if !ok then Some (List.rev !out) else None
+
+  (* A parsed sample line: metric name (with suffix), label list,
      value. *)
   let parse_sample line =
     let brace = String.index_opt line '{' in
@@ -585,30 +683,18 @@ module Prometheus = struct
     in
     match brace with
     | Some bi when bi < space -> (
-        match String.index_from_opt line bi '}' with
+        match String.rindex_opt line '}' with
         | None -> None
-        | Some ei ->
+        | Some ei when ei < bi -> None
+        | Some ei -> (
             let name = String.sub line 0 bi in
-            let labels = String.sub line (bi + 1) (ei - bi - 1) in
-            let rest = String.sub line (ei + 1) (String.length line - ei - 1) in
-            let value = String.trim rest in
-            let le =
-              (* single-label lines only in our output; find le="..." *)
-              let pfx = "le=\"" in
-              match
-                if String.length labels >= String.length pfx
-                   && String.sub labels 0 (String.length pfx) = pfx
-                then Some (String.length pfx)
-                else None
-              with
-              | Some start -> (
-                  match String.index_from_opt labels start '"' with
-                  | Some e -> Some (String.sub labels start (e - start))
-                  | None -> None)
-              | None -> None
+            let labels_s = String.sub line (bi + 1) (ei - bi - 1) in
+            let value =
+              String.trim (String.sub line (ei + 1) (String.length line - ei - 1))
             in
-            Some (name, le, value)
-        | exception _ -> None)
+            match parse_labels labels_s with
+            | None -> None
+            | Some labels -> if value = "" then None else Some (name, labels, value)))
     | _ ->
         let name = String.sub line 0 space in
         if space >= String.length line then None
@@ -616,15 +702,19 @@ module Prometheus = struct
           let value =
             String.trim (String.sub line space (String.length line - space))
           in
-          Some (name, None, value)
+          Some (name, [], value)
 
-  type fam_state = {
-    mutable f_type : string;
-    mutable f_has_help : bool;
-    mutable f_last_bucket : float;  (* cumulative check *)
-    mutable f_inf : float option;
-    mutable f_sum : bool;
-    mutable f_cnt : float option;
+  type fam_state = { mutable f_type : string; mutable f_has_help : bool }
+
+  (* Histogram invariants are per *series* — one (family, labels minus
+     [le]) combination — not per family: the aggregated exposition holds
+     one bucket ladder per shard/replica under the same family name. *)
+  type ser_state = {
+    s_base : string;
+    mutable s_last_bucket : float;  (* cumulative check *)
+    mutable s_inf : float option;
+    mutable s_sum : bool;
+    mutable s_cnt : float option;
   }
 
   let validate text =
@@ -634,12 +724,29 @@ module Prometheus = struct
       match Hashtbl.find_opt fams name with
       | Some f -> f
       | None ->
-          let f =
-            { f_type = ""; f_has_help = false; f_last_bucket = -1.;
-              f_inf = None; f_sum = false; f_cnt = None }
-          in
+          let f = { f_type = ""; f_has_help = false } in
           Hashtbl.replace fams name f;
           f
+    in
+    let series : (string, ser_state) Hashtbl.t = Hashtbl.create 32 in
+    let series_key base labels =
+      let rest = List.filter (fun (k, _) -> k <> "le") labels in
+      let rest = List.sort compare rest in
+      base ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) rest)
+      ^ "}"
+    in
+    let ser base labels =
+      let key = series_key base labels in
+      match Hashtbl.find_opt series key with
+      | Some s -> s
+      | None ->
+          let s =
+            { s_base = base; s_last_bucket = -1.; s_inf = None; s_sum = false;
+              s_cnt = None }
+          in
+          Hashtbl.replace series key s;
+          s
     in
     let err = ref None in
     let fail msg = if !err = None then err := Some msg in
@@ -692,7 +799,7 @@ module Prometheus = struct
         else
           match parse_sample line with
           | None -> fail ("malformed sample line: " ^ line)
-          | Some (name, le, value) -> (
+          | Some (name, labels, value) -> (
               match float_of_string_opt value with
               | None -> fail ("non-numeric sample value: " ^ line)
               | Some v -> (
@@ -707,41 +814,51 @@ module Prometheus = struct
                   | `Bucket -> (
                       if not (Hashtbl.mem fams base) then
                         fail ("bucket for undeclared histogram: " ^ base)
+                      else if (fam base).f_type <> "histogram" then
+                        fail (base ^ " has buckets but is not a histogram")
                       else
-                        let f = fam base in
-                        if f.f_type <> "histogram" then
-                          fail (base ^ " has buckets but is not a histogram")
-                        else
-                          match le with
-                          | None -> fail ("bucket without le label: " ^ line)
-                          | Some "+Inf" -> f.f_inf <- Some v
-                          | Some _ ->
-                              if v < f.f_last_bucket then
-                                fail
-                                  ("non-monotone buckets for " ^ base
-                                 ^ ": " ^ value)
-                              else f.f_last_bucket <- v)
-                  | `Sum -> (fam base).f_sum <- true
-                  | `Count -> (fam base).f_cnt <- Some v)))
+                        match List.assoc_opt "le" labels with
+                        | None -> fail ("bucket without le label: " ^ line)
+                        | Some "+Inf" -> (ser base labels).s_inf <- Some v
+                        | Some _ ->
+                            let s = ser base labels in
+                            if v < s.s_last_bucket then
+                              fail
+                                ("non-monotone buckets for "
+                               ^ series_key base labels ^ ": " ^ value)
+                            else s.s_last_bucket <- v)
+                  | `Sum -> (ser base labels).s_sum <- true
+                  | `Count -> (ser base labels).s_cnt <- Some v)))
       lines;
     (match !err with
     | Some _ -> ()
     | None ->
         Hashtbl.iter
           (fun name f ->
-            if !err = None then
-              if f.f_type = "" then fail ("family without TYPE: " ^ name)
-              else if f.f_type = "histogram" then
-                match (f.f_inf, f.f_cnt) with
-                | None, _ -> fail ("histogram without +Inf bucket: " ^ name)
-                | _, None -> fail ("histogram without _count: " ^ name)
-                | Some inf, Some cnt ->
-                    if inf <> cnt then
-                      fail ("+Inf bucket <> _count for " ^ name)
-                    else if not f.f_sum then
-                      fail ("histogram without _sum: " ^ name)
-                    else if f.f_last_bucket > inf then
-                      fail ("finite bucket exceeds +Inf for " ^ name))
+            if !err = None && f.f_type = "" then
+              fail ("family without TYPE: " ^ name))
+          fams;
+        let hist_sampled : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+        Hashtbl.iter
+          (fun key s ->
+            if !err = None && (fam s.s_base).f_type = "histogram" then begin
+              Hashtbl.replace hist_sampled s.s_base ();
+              match (s.s_inf, s.s_cnt) with
+              | None, _ -> fail ("histogram series without +Inf bucket: " ^ key)
+              | _, None -> fail ("histogram series without _count: " ^ key)
+              | Some inf, Some cnt ->
+                  if inf <> cnt then fail ("+Inf bucket <> _count for " ^ key)
+                  else if not s.s_sum then
+                    fail ("histogram series without _sum: " ^ key)
+                  else if s.s_last_bucket > inf then
+                    fail ("finite bucket exceeds +Inf for " ^ key)
+            end)
+          series;
+        Hashtbl.iter
+          (fun name f ->
+            if !err = None && f.f_type = "histogram"
+               && not (Hashtbl.mem hist_sampled name)
+            then fail ("histogram without samples: " ^ name))
           fams);
     match !err with
     | Some e -> Error e

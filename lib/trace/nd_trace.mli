@@ -96,13 +96,35 @@ val dropped : unit -> int
 val spans : unit -> span list
 (** Completed spans still in the ring, oldest first. *)
 
+(** {1 Process trace identity}
+
+    Cross-process correlation needs a stable name for "the span ids of
+    this process": every exported shard carries the process's {e trace
+    id}, and every propagated [trace=<id>:<span>] request attribute
+    (see {!Nd_server}) names the originating process by it, so
+    [fodb obs merge-trace] can resolve a remote parent reference back
+    to the shard that owns the span. *)
+
+val trace_id : unit -> string
+(** This process's trace id.  Defaults to a pid+start-time derived
+    string on first use; stable for the life of the process. *)
+
+val set_trace_id : string -> unit
+(** Override the trace id (harnesses give fleet members readable names
+    like [router] or [w-0-1]).
+    @raise Invalid_argument unless the id is non-empty [A-Za-z0-9._-]+
+    (the charset the [trace=] request attribute admits). *)
+
 (** {1 Chrome trace-event export} *)
 
 val export_chrome : unit -> string
 (** The recorded spans as a Chrome trace-event JSON document
     ([{"traceEvents": [...]}], complete ["X"] events carrying [sid],
-    [parent], [ops] and the user attrs in [args]).  Loadable in
-    Perfetto. *)
+    [parent], [ops] and the user attrs in [args]).  The top level also
+    carries a [process] member ([{"trace_id": ..., "pid": ...}]) naming
+    the exporting process — the join key [fodb obs merge-trace] uses to
+    stitch per-process shards; viewers and {!validate_chrome} ignore
+    it.  Loadable in Perfetto. *)
 
 val save_chrome : path:string -> int
 (** Write {!export_chrome} to [path] (atomically via temp + rename);
@@ -153,8 +175,13 @@ module Prometheus : sig
 
   val validate : string -> (int, string) result
   (** Line-format validator used by tests and CI: HELP/TYPE lines
-      precede their samples, metric names are well-formed, histogram
-      buckets are cumulative (monotone non-decreasing), end in a
-      [+Inf] bucket equal to [_count], and every histogram carries
-      [_sum] and [_count].  Returns the number of metric families. *)
+      precede their samples, metric names are well-formed, label lists
+      parse as [k="v",…] (escapes included), histogram buckets are
+      cumulative (monotone non-decreasing), end in a [+Inf] bucket
+      equal to [_count], and every histogram carries [_sum] and
+      [_count] — all checked {e per series} (one (family, labels minus
+      [le]) combination), so the fleet-aggregated exposition with its
+      [shard]/[replica] labels (see {!Nd_obs}) validates under the same
+      rules as a single process's scrape.  Returns the number of metric
+      families. *)
 end

@@ -32,4 +32,5 @@ let () =
       ("span tracing", Test_trace.suite);
       ("prometheus exposition", Test_prometheus.suite);
       ("delay profile", Test_profile.suite);
+      ("fleet observability (DESIGN S17)", Test_obs.suite);
     ]

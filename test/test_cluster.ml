@@ -585,7 +585,7 @@ let test_event_rows_shape () =
             (fun name ->
               if Nd_trace.Json.member name j = None then
                 Alcotest.failf "row %d lacks %s" i name)
-            [ "ts"; "rid"; "span"; "cmd"; "status"; "latency_us"; "lines" ])
+            [ "ts_us"; "rid"; "span"; "cmd"; "status"; "latency_us"; "lines" ])
     rows;
   let statuses =
     List.filter_map
