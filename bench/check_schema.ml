@@ -632,6 +632,71 @@ let check_observability ob =
         path d
   | _ -> ()
 
+(* the storage gates (DESIGN S18): the flat-bank store must beat the
+   boxed implementation it replaced on the same op script, and the warm
+   (STOR bank adoption) load rung must beat replaying the CACH key list
+   through Store.add — both wall-clock, both strictly > 1, or the
+   refactor bought nothing *)
+let check_storage st =
+  (match field "$.storage" st "flat" with
+  | Some f -> (
+      let path = "$.storage.flat" in
+      (match get_num path f "ops" with
+      | Some o when o <= 0. -> err "%s.ops: the script replayed nothing" path
+      | _ -> ());
+      (match get_num path f "keys" with
+      | Some k when k <= 0. -> err "%s.keys: the store ended empty" path
+      | _ -> ());
+      (match get_num path f "wall_flat_s" with
+      | Some w when w <= 0. -> err "%s.wall_flat_s: non-positive" path
+      | _ -> ());
+      (match get_num path f "wall_boxed_s" with
+      | Some w when w <= 0. -> err "%s.wall_boxed_s: non-positive" path
+      | _ -> ());
+      match get_num path f "speedup_flat" with
+      | Some s when s <= 1.0 ->
+          err
+            "%s.speedup_flat: %g — the flat banks are not faster than the \
+             boxed cells they replaced"
+            path s
+      | _ -> ())
+  | None -> err "$.storage.flat: missing");
+  match field "$.storage" st "warm" with
+  | Some w -> (
+      let path = "$.storage.warm" in
+      ignore (get_str path w "spec");
+      (match get_num path w "solutions" with
+      | Some s when s <= 0. ->
+          err "%s.solutions: nothing cached, the replay arm is vacuous" path
+      | _ -> ());
+      (match get_num path w "bytes" with
+      | Some b when b <= 0. -> err "%s.bytes: empty snapshot" path
+      | _ -> ());
+      (match field path w "warm" with
+      | Some (Bool true) -> ()
+      | Some (Bool false) ->
+          err "%s.warm: the default load never took the warm route" path
+      | Some _ -> err "%s.warm: expected a bool" path
+      | None -> err "%s.warm: missing" path);
+      (match field path w "mapped" with
+      | Some (Bool _) -> ()
+      | Some _ -> err "%s.mapped: expected a bool" path
+      | None -> err "%s.mapped: missing" path);
+      (match get_num path w "wall_warm_s" with
+      | Some f when f <= 0. -> err "%s.wall_warm_s: non-positive" path
+      | _ -> ());
+      (match get_num path w "wall_replay_s" with
+      | Some f when f <= 0. -> err "%s.wall_replay_s: non-positive" path
+      | _ -> ());
+      match get_num path w "speedup_warm" with
+      | Some s when s <= 1.0 ->
+          err
+            "%s.speedup_warm: %g — adopting the STOR banks is not faster \
+             than replaying the key list"
+            path s
+      | _ -> ())
+  | None -> err "$.storage.warm: missing"
+
 let check_store_point i p =
   let path = Printf.sprintf "store[%d]" i in
   ignore (get_num path p "n");
@@ -697,6 +762,10 @@ let () =
   | Some (Arr pts) -> List.iteri check_snapshot_point pts
   | Some _ -> err "$.snapshot: expected an array"
   | None -> ());
+  (match field "$" j "storage" with
+  | Some (Obj _ as st) -> check_storage st
+  | Some _ -> err "$.storage: expected an object"
+  | None -> err "$.storage: missing (the flat-bank + warm-load rows)");
   (match field "$" j "update" with
   | Some (Arr []) -> err "$.update: empty"
   | Some (Arr pts) ->

@@ -1831,6 +1831,159 @@ let ee_snapshot_specs () =
   else if !quick then [ "grid:30x30" ]
   else [ "grid:30x30"; "grid:56x56" ]
 
+(* ------------------------------------------------------------------ *)
+(* ST — the storage refactor's two wall-clock claims (DESIGN S18),
+   measured with metrics OFF so the clock sees the data layout alone:
+
+   - flat vs boxed: one deterministic op script replayed on
+     Nd_ram.Store (flat banks) and on Nd_ram.Boxed_store (the boxed
+     implementation it replaced, kept in-tree as the oracle).  The
+     register-for-register probe differential is machine-checked in
+     test_flat.ml; this row is the payoff — the flat layout must also
+     be faster, or the refactor bought nothing.
+   - warm vs replay load: the same v3 snapshot revived through the
+     STOR bank adoption path (mmap where the host allows) and through
+     the portable CACH rung that replays every cached key through
+     Store.add.  Both rungs unmarshal ENGN, so the differential
+     isolates exactly the solution-cache revival.
+
+   check_schema gates both speedups > 1. *)
+
+let st_flat_json () =
+  let n = 4_096 and k = 2 and epsilon = 0.5 in
+  let nops = if !smoke then 200_000 else 1_000_000 in
+  let st = Random.State.make [| 97; nops; n; k |] in
+  let keys =
+    Array.init nops (fun _ ->
+        [| Random.State.int st n; Random.State.int st n |])
+  in
+  let verbs = Array.init nops (fun _ -> Random.State.int st 4) in
+  Nd_util.Metrics.disable ();
+  let module S = Nd_ram.Store in
+  let module B = Nd_ram.Boxed_store in
+  let run_flat () =
+    let t = S.create ~n ~k ~epsilon in
+    for i = 0 to nops - 1 do
+      match verbs.(i) with
+      | 0 | 1 -> S.add t keys.(i) i
+      | 2 -> ignore (S.find t keys.(i))
+      | _ -> ignore (S.succ_geq t keys.(i))
+    done;
+    S.cardinal t
+  in
+  let run_boxed () =
+    let t = B.create ~n ~k ~epsilon in
+    for i = 0 to nops - 1 do
+      match verbs.(i) with
+      | 0 | 1 -> B.add t keys.(i) i
+      | 2 -> ignore (B.find t keys.(i))
+      | _ -> ignore (B.succ_geq t keys.(i))
+    done;
+    B.cardinal t
+  in
+  let best f =
+    let m = ref infinity in
+    for _ = 1 to 3 do
+      Gc.compact ();
+      let _, s = time f in
+      if s < !m then m := s
+    done;
+    !m
+  in
+  let card = run_flat () in
+  let card_b = run_boxed () in
+  assert (card = card_b);
+  let wall_flat = best run_flat in
+  let wall_boxed = best run_boxed in
+  let speedup = wall_boxed /. Float.max wall_flat 1e-9 in
+  Printf.printf
+    "  flat vs boxed          %d ops (n=%d, k=%d): flat=%s boxed=%s  \
+     speedup=%.2fx  keys=%d\n%!"
+    nops n k (ns wall_flat) (ns wall_boxed) speedup card;
+  Printf.sprintf
+    "{\"n\":%d,\"k\":%d,\"epsilon\":%.9g,\"ops\":%d,\"keys\":%d,\
+     \"wall_flat_s\":%.9g,\"wall_boxed_s\":%.9g,\"speedup_flat\":%.9g}"
+    n k epsilon nops card wall_flat wall_boxed speedup
+
+let st_warm_json () =
+  let spec = if !smoke then "grid:24x24" else "grid:44x44" in
+  let phi = Nd_logic.Parse.formula "dist(x,y) <= 2" in
+  let g = Gen.randomly_color ~seed:5 ~colors:2 (Gen.of_spec ~seed:5 spec) in
+  let eng = Nd_engine.prepare g phi in
+  (* fill the solution cache so CACH replay has real work to redo *)
+  let sols = Nd_engine.count_enumerated eng in
+  let path = Filename.temp_file "nd_bench" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let bytes = Nd_snapshot.save ~path eng in
+  let load warm () =
+    match Nd_snapshot.load_routed ~warm ~path g phi with
+    | Ok (e, r) ->
+        ignore e;
+        r
+    | Error c -> failwith ("snapshot rejected: " ^ Nd_snapshot.describe c)
+  in
+  let route = load true () in
+  (match load false () with
+  | Nd_snapshot.Replayed -> ()
+  | Nd_snapshot.Warm _ -> failwith "~warm:false took the warm route");
+  let reps = 5 in
+  let timed warm =
+    let m = ref infinity in
+    for _ = 1 to 3 do
+      Gc.compact ();
+      let (), s =
+        time (fun () ->
+            for _ = 1 to reps do
+              ignore (load warm ())
+            done)
+      in
+      let per = s /. float reps in
+      if per < !m then m := per
+    done;
+    !m
+  in
+  let wall_warm = timed true in
+  let wall_replay = timed false in
+  let mapped =
+    match route with
+    | Nd_snapshot.Warm { mapped } -> mapped
+    | Nd_snapshot.Replayed -> false
+  in
+  let warm_engaged =
+    match route with Nd_snapshot.Warm _ -> true | _ -> false
+  in
+  let speedup = wall_replay /. Float.max wall_warm 1e-9 in
+  Printf.printf
+    "  warm vs replay load    %s  %d cached solutions, %d bytes: warm=%s \
+     (%s) replay=%s  speedup=%.2fx\n%!"
+    spec sols bytes (ns wall_warm)
+    (Nd_snapshot.describe_route route)
+    (ns wall_replay) speedup;
+  Printf.sprintf
+    "{\"spec\":%S,\"solutions\":%d,\"bytes\":%d,\"warm\":%b,\"mapped\":%b,\
+     \"route\":%S,\"wall_warm_s\":%.9g,\"wall_replay_s\":%.9g,\
+     \"speedup_warm\":%.9g}"
+    spec sols bytes warm_engaged mapped
+    (Nd_snapshot.describe_route route)
+    wall_warm wall_replay speedup
+
+let st_rows = ref None
+
+let st_rows_json () =
+  match !st_rows with
+  | Some j -> j
+  | None ->
+      let j =
+        Printf.sprintf "{\"flat\":%s,\"warm\":%s}" (st_flat_json ())
+          (st_warm_json ())
+      in
+      st_rows := Some j;
+      j
+
+let st_storage () = ignore (st_rows_json ())
+
 (* One UP row: cost of absorbing one mutation through Nd_engine.update
    (bounded maintenance — stale_threshold 1.0 pins the maintenance
    path) vs the from-scratch prepare, in cost-model ops.  The dirty
@@ -1924,6 +2077,9 @@ let ee_engine_json () =
   (* SN rows: snapshot persistence, measured without instrumentation so
      the prepare-vs-load comparison is what production sees *)
   let snapshot_points = List.map ee_snapshot_point (ee_snapshot_specs ()) in
+  (* ST rows ride along in every mode: the flat-bank wall-clock gate and
+     the warm (mmap) vs replay load gate, checked by check_schema *)
+  let storage_doc = st_rows_json () in
   (* PAR rows ride along in every mode: parallel prepare speedup and
      concurrent-serve throughput, gated host-aware by check_schema *)
   let parallel_doc = par_rows_json () in
@@ -1943,14 +2099,16 @@ let ee_engine_json () =
     Printf.sprintf
       "{\"schema\":\"nd-engine-bench/1\",\"mode\":\"%s\",\"query\":\"%s\",\
        \"engine\":[%s],\"store\":[%s],\"budget_overhead\":[%s],\
-       \"trace_overhead\":[%s],\"snapshot\":[%s],\"update\":[%s],\
-       \"parallel\":%s,\"overload\":%s,\"cluster\":%s,\"observability\":%s}"
+       \"trace_overhead\":[%s],\"snapshot\":[%s],\"storage\":%s,\
+       \"update\":[%s],\"parallel\":%s,\"overload\":%s,\"cluster\":%s,\
+       \"observability\":%s}"
       mode qtext
       (String.concat "," engine_points)
       (String.concat "," store_points)
       (String.concat "," budget_points)
       (String.concat "," trace_points)
       (String.concat "," snapshot_points)
+      storage_doc
       (String.concat "," update_points)
       parallel_doc overload_doc cluster_doc obs_doc
   in
@@ -1983,6 +2141,7 @@ let experiments =
     ("RB", "robustness: overload shedding + hygiene overhead", rb_overload);
     ("CB", "cluster router: merge, failover, catch-up", cb_cluster);
     ("OB", "fleet observability: armed-vs-off overhead", ob_fleet_obs);
+    ("ST", "storage: flat banks vs boxed, warm vs replay load", st_storage);
     ("EE", "engine cost-model trajectories", ee_engine_json);
   ]
 

@@ -490,8 +490,8 @@ let snapshot_save spec query colors seed epsilon budget_ops timeout_ms warm
     (Nd_engine.cache_size eng)
     (Nd_engine.epoch eng)
 
-let snapshot_load spec query colors seed epsilon strict mutations journal file
-    =
+let snapshot_load spec query colors seed epsilon strict cold mutations journal
+    file =
  run @@ fun () ->
   let g = load spec ~colors ~seed in
   (* --mutations folds into the *presented* graph before verification
@@ -506,19 +506,22 @@ let snapshot_load spec query colors seed epsilon strict mutations journal file
     match journal with None -> [] | Some path -> read_mutations path
   in
   let phi = Nd_logic.Parse.formula query in
+  let warm = not cold in
   let eng, t =
     if strict then
-      match time (fun () -> Nd_snapshot.load ~path:file g phi) with
-      | Ok eng, t ->
+      match time (fun () -> Nd_snapshot.load_routed ~warm ~path:file g phi) with
+      | Ok (eng, route), t ->
           List.iter (fun m -> Nd_engine.update eng m) journal;
-          Printf.printf "loaded %s in %.3fs\n" file t;
+          Printf.printf "loaded %s in %.3fs (%s)\n" file t
+            (Nd_snapshot.describe_route route);
           (eng, t)
       | Error c, _ ->
           Nd_error.user_errorf "snapshot rejected: %s" (Nd_snapshot.describe c)
     else
       let (eng, outcome), t =
         time (fun () ->
-            Nd_snapshot.load_or_rebuild ~epsilon ~journal ~path:file g phi)
+            Nd_snapshot.load_or_rebuild ~epsilon ~warm ~journal ~path:file g
+              phi)
       in
       (match outcome with
       | Nd_snapshot.Loaded -> Printf.printf "loaded %s in %.3fs\n" file t
@@ -544,6 +547,10 @@ let snapshot_info file =
   | Ok i ->
       Printf.printf "format version: %d (built by OCaml %s)\n"
         i.Nd_snapshot.version i.Nd_snapshot.ocaml_version;
+      Printf.printf "warm store: %s\n"
+        (if i.Nd_snapshot.warmable then "yes (bank pages mmap-ready)"
+         else if i.Nd_snapshot.version >= 3 then "no (no store image)"
+         else "no (format 2 carries only the replay cache)");
       Printf.printf "query: %s (arity %d, hash %08x)\n" i.Nd_snapshot.query
         i.Nd_snapshot.arity i.Nd_snapshot.query_hash;
       Printf.printf "graph: %d vertices, %d edges, %d colors (fingerprint \
@@ -1669,7 +1676,14 @@ let cmd_snapshot =
             corruption unless $(b,--strict))")
       Term.(
         const snapshot_load $ graph_arg $ query_arg $ colors_arg $ seed_arg
-        $ epsilon_arg $ strict_arg $ mutations_arg
+        $ epsilon_arg $ strict_arg
+        $ Arg.(
+            value & flag
+            & info [ "cold" ]
+                ~doc:
+                  "Skip the warm (memory-mapped store) path and replay the \
+                   cache key list instead — same handle, portable speed.")
+        $ mutations_arg
         $ Arg.(
             value
             & opt (some string) None

@@ -11,7 +11,21 @@ type t = {
   vars : Fo.var array;
   queries : Fo.t array;  (* queries.(j-1) = φ_j, the arity-j projection *)
   answers : Answer.t option array;  (* answers.(j-1); always Some at j = k *)
+  (* Per-level scratch buffers so steady-state [next_solution] allocates
+     only its final (caller-owned) copy.  Indexed by arity level j in
+     [1, k]; each level owns its own buffers and the recursion only ever
+     descends level-by-level, so no call ever aliases a buffer it is
+     still reading.  [Answer.next_in_last] treats its prefix as
+     read-only, which is what makes lending these out safe. *)
+  pbuf : int array array;  (* pbuf.(j): (j-1)-prefix scratch *)
+  sbuf : int array array;  (* sbuf.(j): the level-j solution being built *)
+  ebuf : int array array;  (* ebuf.(j): extendability-scan candidate *)
 }
+
+let scratch k =
+  ( Array.init (k + 1) (fun j -> Array.make (max 0 (j - 1)) 0),
+    Array.init (k + 1) (fun j -> Array.make j 0),
+    Array.init (k + 1) (fun j -> Array.make j 0) )
 
 let skeleton g phi =
   let fvs = Fo.free_vars phi in
@@ -38,7 +52,8 @@ let build ?pool g phi =
         | Compile.Compiled _ -> Some (build ())
         | Compile.Fallback _ -> if idx = k - 1 then Some (build ()) else None)
   in
-  { g; k; vars; queries; answers }
+  let pbuf, sbuf, ebuf = scratch k in
+  { g; k; vars; queries; answers; pbuf; sbuf; ebuf }
 
 let build_fallback g phi ~reason =
   let g, k, vars, queries = skeleton g phi in
@@ -53,7 +68,8 @@ let build_fallback g phi ~reason =
           Some (Answer.build g (Compile.Fallback { query = phi; vars; reason }))
         else None)
   in
-  { g; k; vars; queries; answers }
+  let pbuf, sbuf, ebuf = scratch k in
+  { g; k; vars; queries; answers; pbuf; sbuf; ebuf }
 
 let graph t = t.g
 let arity t = t.k
@@ -81,47 +97,64 @@ let rec next_c t j prefix from =
     match t.answers.(j - 1) with
     | Some a -> Answer.next_in_last a ~prefix ~from
     | None ->
-        (* extendability scan through the level above *)
+        (* extendability scan through the level above; the candidate
+           lives in this level's scratch buffer — the prefix is blitted
+           once and only the last coordinate varies over the scan *)
+        let cand = t.ebuf.(j) in
+        Array.blit prefix 0 cand 0 (j - 1);
         let rec go c =
           Budget.tick ();
           if c >= n then None
-          else if extendable t j (Array.append prefix [| c |]) then Some c
-          else go (c + 1)
+          else begin
+            cand.(j - 1) <- c;
+            if extendable t j cand then Some c else go (c + 1)
+          end
         in
         go (max 0 from)
 
 and extendable t j p = next_c t (j + 1) p 0 <> None
 
-(* smallest solution of φ_j that is ≥ t̄ (arity j) *)
-let rec next_full t j (tup : int array) =
-  let prefix = Array.sub tup 0 (j - 1) in
+(* smallest solution of φ_j that is ≥ t̄ (arity j), written into
+   sbuf.(j); [false] when none exists.  [tup] is read-only here and
+   only its first j coordinates are inspected. *)
+let rec next_full_into t j (tup : int array) =
+  let prefix = t.pbuf.(j) in
+  Array.blit tup 0 prefix 0 (j - 1);
   match next_c t j prefix tup.(j - 1) with
-  | Some b -> Some (Array.append prefix [| b |])
+  | Some b ->
+      let out = t.sbuf.(j) in
+      Array.blit prefix 0 out 0 (j - 1);
+      out.(j - 1) <- b;
+      true
   | None ->
-      if j = 1 then None
+      if j = 1 then false
+      else if not (Nd_util.Tuple.incr ~n:(Cgraph.n t.g) prefix) then false
+      else if not (next_full_into t (j - 1) prefix) then false
       else begin
-        match Nd_util.Tuple.succ ~n:(Cgraph.n t.g) prefix with
-        | None -> None
-        | Some p1 -> (
-            match next_full t (j - 1) p1 with
-            | None -> None
-            | Some p' -> (
-                match next_c t j p' 0 with
-                | Some b -> Some (Array.append p' [| b |])
-                | None ->
-                    (* p' solves ∃x_j φ_j, so an extension must exist *)
-                    assert false))
+        let p' = t.sbuf.(j - 1) in
+        match next_c t j p' 0 with
+        | Some b ->
+            let out = t.sbuf.(j) in
+            Array.blit p' 0 out 0 (j - 1);
+            out.(j - 1) <- b;
+            true
+        | None ->
+            (* p' solves ∃x_j φ_j, so an extension must exist *)
+            assert false
       end
 
-let next_solution t a =
+let validate_input t a =
   if Array.length a <> t.k then invalid_arg "Next.next_solution: arity";
   Array.iter
     (fun x ->
       if x < 0 || x >= Cgraph.n t.g then
         invalid_arg "Next.next_solution: vertex out of range")
-    a;
+    a
+
+let next_solution t a =
+  validate_input t a;
   Metrics.incr m_next_calls;
-  next_full t t.k a
+  if next_full_into t t.k a then Some (Array.copy t.sbuf.(t.k)) else None
 
 let first t =
   if Cgraph.n t.g = 0 then None
@@ -129,9 +162,9 @@ let first t =
 
 let test t a =
   Metrics.incr m_test_calls;
-  match next_solution t a with
-  | Some b -> Nd_util.Tuple.equal a b
-  | None -> false
+  validate_input t a;
+  Metrics.incr m_next_calls;
+  next_full_into t t.k a && Nd_util.Tuple.equal a t.sbuf.(t.k)
 
 let update ?pool t g' ~touched =
   t.g <- g';

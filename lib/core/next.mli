@@ -39,7 +39,10 @@ val compiled_levels : t -> bool array
 
 val next_solution : t -> int array -> int array option
 (** [next_solution t ā]: the smallest solution [≥ ā] (Theorem 2.3).
-    [ā] must have arity k with entries in [0, n). *)
+    [ā] must have arity k with entries in [0, n).  The returned array
+    is freshly allocated and owned by the caller; all intermediate
+    work runs in per-level scratch buffers pooled on [t], so the call
+    performs no other steady-state allocation. *)
 
 val first : t -> int array option
 

@@ -13,8 +13,11 @@ let m_cache_inserts = Metrics.counter "engine.cache_inserts"
 type cache = {
   store : unit Store.t;
   limit : int;
-  mutable frontier : Tuple.t option;
-      (* invariant: every solution ≤ frontier is stored *)
+  frontier : Tuple.t;
+      (* a fixed k-buffer, meaningful only when [frontier_set]; updated
+         by blit so steady-state enumeration allocates nothing here.
+         Invariant: every solution ≤ frontier is stored. *)
+  mutable frontier_set : bool;
   mutable full : bool;  (* limit reached: stop inserting, freeze frontier *)
   mutable complete : bool;  (* every solution is stored *)
 }
@@ -67,7 +70,8 @@ let make_cache ~cache_limit ~epsilon g k =
       {
         store = Store.create ~n:(Cgraph.n g) ~k ~epsilon;
         limit = cache_limit;
-        frontier = None;
+        frontier = Array.make k 0;
+        frontier_set = false;
         full = false;
         complete = false;
       }
@@ -170,14 +174,15 @@ let compiled t =
 let cmp = Tuple.compare
 
 let within_frontier c a =
-  c.complete || (match c.frontier with Some f -> cmp a f <= 0 | None -> false)
+  c.complete || (c.frontier_set && cmp a c.frontier <= 0)
 
 let contiguous t c a =
   (not c.full) && (not c.complete)
   &&
-  match c.frontier with
-  | None -> cmp a (Tuple.min t.k) = 0
-  | Some f -> (
+  if not c.frontier_set then cmp a (Tuple.min t.k) = 0
+  else
+    let f = c.frontier in
+    (
       cmp a f <= 0
       ||
       match Tuple.succ ~n:(Cgraph.n t.g) f with
@@ -193,12 +198,12 @@ let cache_record t c a r =
     | Some sol ->
         Store.add c.store sol ();
         Metrics.incr m_cache_inserts;
-        (match c.frontier with
-        | Some f when cmp sol f <= 0 -> ()
-        | _ ->
-            c.frontier <- Some sol;
-            (* a frontier at the maximum tuple covers the whole domain *)
-            if Tuple.succ ~n:(Cgraph.n t.g) sol = None then c.complete <- true);
+        if not (c.frontier_set && cmp sol c.frontier <= 0) then begin
+          Array.blit sol 0 c.frontier 0 t.k;
+          c.frontier_set <- true;
+          (* a frontier at the maximum tuple covers the whole domain *)
+          if Tuple.is_max ~n:(Cgraph.n t.g) sol then c.complete <- true
+        end;
         if Store.cardinal c.store >= c.limit then c.full <- true
     | None -> c.complete <- true
 
@@ -208,15 +213,16 @@ let next_query t q a =
   match q.cache with
   | Some c when within_frontier c a -> (
       match Store.succ_geq c.store a with
-      | Some (key, ()) when c.complete || cmp key (Option.get c.frontier) <= 0
-        ->
+      | Some (key, ()) when c.complete || cmp key c.frontier <= 0 ->
           Metrics.incr m_cache_hits;
           (Some key, None)
       | _ ->
           if c.complete then (None, None)
           else (
-            (* no cached solution in [a, frontier]: resume live past it *)
-            match Tuple.succ ~n:(Cgraph.n t.g) (Option.get c.frontier) with
+            (* no cached solution in [a, frontier]: resume live past it;
+               [within_frontier] without [complete] implies the frontier
+               buffer is set *)
+            match Tuple.succ ~n:(Cgraph.n t.g) c.frontier with
             | None -> (None, None)
             | Some sf -> (Nd_core.Next.next_solution q.nx sf, Some sf)))
   | _ -> (Nd_core.Next.next_solution q.nx a, Some a)
@@ -460,10 +466,10 @@ let invalidate_cache t c reach_min =
     | None -> ()
   in
   drain ();
-  (match c.frontier with
-  | Some f when cmp f dirty_first >= 0 ->
-      c.frontier <- Tuple.pred ~n:(Cgraph.n t.g) dirty_first
-  | _ -> ());
+  (if c.frontier_set && cmp c.frontier dirty_first >= 0 then
+     match Tuple.pred ~n:(Cgraph.n t.g) dirty_first with
+     | Some p -> Array.blit p 0 c.frontier 0 t.k
+     | None -> c.frontier_set <- false);
   (* the mutated region may hold solutions the cache has never seen *)
   c.complete <- false;
   c.full <- Store.cardinal c.store >= c.limit
@@ -874,7 +880,9 @@ module Persist = struct
                 Store.iter (fun key () -> keys := key :: !keys) c.store;
                 {
                   c_keys = Array.of_list (List.rev !keys);
-                  c_frontier = c.frontier;
+                  c_frontier =
+                    (if c.frontier_set then Some (Array.copy c.frontier)
+                     else None);
                   c_full = c.full;
                   c_complete = c.complete;
                 })
@@ -897,8 +905,9 @@ module Persist = struct
      these reject *coherent* wrong data — a section transplanted from a
      different (internally valid) snapshot, or a snapshot presented
      with the wrong graph or query. *)
-  let import ~graph ~query p cache_p =
-    let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+  let check_payload ~graph ~query p =
     if Fo.to_string p.p_phi <> Fo.to_string query then
       err "payload query %s does not match requested %s"
         (Fo.to_string p.p_phi) (Fo.to_string query)
@@ -909,7 +918,32 @@ module Persist = struct
         (Cgraph.n p.p_g) (Cgraph.m p.p_g)
     else if p.p_cache_limit < 0 || p.p_epsilon <= 0. then
       err "payload carries nonsensical parameters"
-    else if
+    else Ok ()
+
+  (* The one way a decoded payload becomes a live handle: no budget,
+     paranoid mode off, single-job — install either around subsequent
+     calls as usual. *)
+  let handle p kind =
+    {
+      g = p.p_g;
+      phi = p.p_phi;
+      k = p.p_k;
+      epsilon = p.p_epsilon;
+      cache_limit = p.p_cache_limit;
+      jobs = 1;
+      kind;
+      degradation = `None;
+      budget = None;
+      paranoid = false;
+      emitted = 0;
+      paranoid_checks = 0;
+    }
+
+  let import ~graph ~query p cache_p =
+    match check_payload ~graph ~query p with
+    | Error _ as e -> e
+    | Ok () ->
+    if
       (* cache keys are replayed through the live Store.add below, so
          they must be vetted first: a key of the wrong arity or with an
          out-of-range vertex (a cache section transplanted from another
@@ -934,44 +968,93 @@ module Persist = struct
         | None -> None
         | Some c ->
             Array.iter (fun key -> Store.add c.store key ()) cp.c_keys;
-            c.frontier <- cp.c_frontier;
+            (match cp.c_frontier with
+            | Some f ->
+                Array.blit f 0 c.frontier 0 p.p_k;
+                c.frontier_set <- true
+            | None -> ());
             c.full <- cp.c_full;
             c.complete <- cp.c_complete;
             Some c
       in
       match (p.p_core, p.p_k) with
-      | P_sentence ts, 0 ->
-          Ok
-            {
-              g = p.p_g;
-              phi = p.p_phi;
-              k = 0;
-              epsilon = p.p_epsilon;
-              cache_limit = p.p_cache_limit;
-              jobs = 1;
-              kind = Sentence ts;
-              degradation = `None;
-              budget = None;
-              paranoid = false;
-              emitted = 0;
-              paranoid_checks = 0;
-            }
+      | P_sentence ts, 0 -> Ok (handle p (Sentence ts))
       | P_query nx, k when k > 0 ->
           let cache = Option.bind cache_p mk_cache in
-          Ok
-            {
-              g = p.p_g;
-              phi = p.p_phi;
-              k;
-              epsilon = p.p_epsilon;
-              cache_limit = p.p_cache_limit;
-              jobs = 1;
-              kind = Query { nx; cache };
-              degradation = `None;
-              budget = None;
-              paranoid = false;
-              emitted = 0;
-              paranoid_checks = 0;
-            }
+          Ok (handle p (Query { nx; cache }))
       | _ -> err "payload core does not match its arity"
+
+  (* ------------------------------------------------------------ *)
+  (* Warm path: adopt an already-materialized Theorem 3.1 store
+     instead of replaying its keys through [Store.add].  The snapshot
+     codec is responsible for the *internal* validity of the store
+     (it rebuilds one through [Store.Raw.import_unit], which vets
+     every register); the checks here reject a structurally sound
+     store that belongs to a different payload. *)
+
+  type store_image = {
+    si_store : unit Store.t;
+    si_frontier : Tuple.t option;
+    si_full : bool;
+    si_complete : bool;
+    si_limit : int;
+  }
+
+  let export_image t =
+    match t.kind with
+    | Query { cache = Some c; _ } ->
+        Some
+          {
+            si_store = c.store;
+            si_frontier =
+              (if c.frontier_set then Some (Array.copy c.frontier) else None);
+            si_full = c.full;
+            si_complete = c.complete;
+            si_limit = c.limit;
+          }
+    | _ -> None
+
+  let import_with_image ~graph ~query p img =
+    match check_payload ~graph ~query p with
+    | Error _ as e -> e
+    | Ok () -> (
+        let sn, sk, _, _, _, scard, _, _ = Store.Raw.dims img.si_store in
+        let n = Cgraph.n p.p_g in
+        if sn <> n || sk <> p.p_k then
+          err "store image geometry (n=%d, k=%d) does not match the payload"
+            sn sk
+        else if p.p_cache_limit <= 0 then
+          err "store image present but the payload has caching disabled"
+        else if img.si_limit <> p.p_cache_limit then
+          err "store image cache limit %d differs from the payload's %d"
+            img.si_limit p.p_cache_limit
+        else if img.si_full <> (scard >= img.si_limit) then
+          err "store image full flag inconsistent with its cardinality"
+        else if
+          match img.si_frontier with
+          | None -> false
+          | Some f ->
+              Array.length f <> p.p_k
+              || Array.exists (fun v -> v < 0 || v >= n) f
+        then err "store image frontier outside the graph's vertex range"
+        else
+          match p.p_core with
+          | P_sentence _ -> err "store image attached to a sentence payload"
+          | P_query nx ->
+              let c =
+                {
+                  store = img.si_store;
+                  limit = img.si_limit;
+                  frontier = Array.make p.p_k 0;
+                  frontier_set = false;
+                  full = img.si_full;
+                  complete = img.si_complete;
+                }
+              in
+              (match img.si_frontier with
+              | Some f ->
+                  Array.blit f 0 c.frontier 0 p.p_k;
+                  c.frontier_set <- true
+              | None -> ());
+              Ok (handle p (Query { nx; cache = Some c })))
 end

@@ -340,4 +340,41 @@ module Persist : sig
       install either around subsequent calls as usual. *)
 
   val cache_entries : cache_payload -> int
+
+  (** {2 Warm store images}
+
+      The flat Theorem 3.1 store serializes as raw register banks (see
+      {!Nd_ram.Store.Raw}), which a snapshot codec can rebuild — or
+      memory-map — without replaying [Store.add] per key.  A
+      [store_image] is that adopted store plus the cache's frontier
+      state; {!import_with_image} is the warm-path counterpart of
+      {!import}. *)
+
+  type store_image = {
+    si_store : unit Nd_ram.Store.t;
+    si_frontier : Nd_util.Tuple.t option;
+    si_full : bool;
+    si_complete : bool;
+    si_limit : int;
+  }
+
+  val export_image : t -> store_image option
+  (** The live cache state, for codecs that serialize the store's
+      register banks directly.  [None] for sentences, cache-disabled
+      handles, or handles whose cache was never created.  The store in
+      the image is the handle's live store — read-only use only. *)
+
+  val import_with_image :
+    graph:Nd_graph.Cgraph.t ->
+    query:Nd_logic.Fo.t ->
+    payload ->
+    store_image ->
+    (t, string) result
+  (** Rebuild a live handle adopting [img]'s store wholesale.  The
+      caller (the snapshot codec) vouches for the store's internal
+      validity — {!Nd_ram.Store.Raw.import_unit} vets every register —
+      while this function rejects images that don't belong to the
+      payload: geometry or cache-limit mismatch, out-of-range frontier,
+      a full flag inconsistent with the store's cardinality, or a
+      sentence payload. *)
 end

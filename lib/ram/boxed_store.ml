@@ -1,0 +1,722 @@
+(* The original boxed representation of the Theorem 3.1 store, kept
+   verbatim as (a) the differential oracle for the probe-discipline
+   tests — it registers the same Metrics counters/histograms by name as
+   the flat [Store], so running the same operation sequence against
+   both must produce bit-identical counter values — and (b) the
+   baseline for the ST bench row (flat-vs-boxed wall clock).  Not used
+   on any production path. *)
+
+open Nd_util
+
+type key = Tuple.t
+
+type 'v lookup = Value of 'v | Next of key | Null
+
+(* A register holds a pair (δ, r) with δ ∈ {-1,0,1} (Section 3.1).  We
+   model the pair as a variant; the correspondence is:
+     CChild l    = (1, l)      — inner child, node starts at register l
+     CValue v    = (1, v)      — leaf of a stored key, image v
+     CNext b     = (0, b)      — no key below; b = smallest key beyond
+     CNextNull   = (0, Null)
+     CParent q   = (-1, q)     — last register of a node; q = register in
+                                 the parent pointing at this node (-1: root)
+     CFree       — register beyond R_0 / freed (never reachable) *)
+type 'v cell =
+  | CFree
+  | CChild of int
+  | CValue of 'v
+  | CNext of key
+  | CNextNull
+  | CParent of int
+
+type 'v t = {
+  n : int;
+  k : int;
+  d : int;
+  h : int;
+  kh : int;
+  mutable regs : 'v cell array;
+  mutable free : int; (* the paper's R_0: next unused register *)
+  mutable card : int;
+}
+
+let root = 1
+
+(* Cost-model probes (Theorem 3.1 is a statement about register
+   touches): every register read/write on the operational paths goes
+   through [rd]/[wr], so [store.reg_reads]/[store.reg_writes] count
+   exactly the RAM-model work of lookups and updates.  The per-call
+   histograms witness the bounds: lookup touches are a function of
+   (k, ε) only, update touches are O(n^ε). *)
+let m_reads = Metrics.counter ~ops:true "store.reg_reads"
+let m_writes = Metrics.counter ~ops:true "store.reg_writes"
+let m_lookups = Metrics.counter "store.lookups"
+let m_updates = Metrics.counter "store.updates"
+let h_lookup = Metrics.hist "store.lookup_touches"
+let h_update = Metrics.hist "store.update_touches"
+
+let[@inline] rd t i =
+  Metrics.incr m_reads;
+  t.regs.(i)
+
+let[@inline] wr t i c =
+  Metrics.incr m_writes;
+  t.regs.(i) <- c
+
+let touches () = Metrics.value m_reads + Metrics.value m_writes
+
+let create ~n ~k ~epsilon =
+  if n < 1 then invalid_arg "Store.create: n must be >= 1";
+  if k < 1 then invalid_arg "Store.create: k must be >= 1";
+  if epsilon <= 0. then invalid_arg "Store.create: epsilon must be > 0";
+  let d = max 1 (int_of_float (ceil (float_of_int n ** epsilon))) in
+  let h = max 1 (int_of_float (ceil (1. /. epsilon))) in
+  (* Guard against float rounding: we need d^h >= n so every coordinate
+     has a base-d decomposition of length h. *)
+  let d =
+    let rec fits d =
+      let rec pow acc i = if i = 0 then acc >= n else pow (acc * d) (i - 1) in
+      if pow 1 h then d else fits (d + 1)
+    in
+    fits d
+  in
+  let t =
+    {
+      n;
+      k;
+      d;
+      h;
+      kh = k * h;
+      regs = Array.make (max 16 (2 * (d + 2))) CFree;
+      free = 1;
+      card = 0;
+    }
+  in
+  (* Algorithm 3 (Init): build the root, everything pointing to Null. *)
+  for j = 0 to d - 1 do
+    wr t (root + j) CNextNull
+  done;
+  wr t (root + d) (CParent (-1));
+  t.free <- root + d + 1;
+  t
+
+let n t = t.n
+let arity t = t.k
+let degree t = t.d
+let depth t = t.kh
+let cardinal t = t.card
+let space t = t.free - 1
+
+(* Algorithm 1 (Decomposition): base-d digits, most significant first. *)
+let digits t (a : key) : int array =
+  if Array.length a <> t.k then invalid_arg "Store: key arity mismatch";
+  let s = Array.make t.kh 0 in
+  for i = 0 to t.k - 1 do
+    if a.(i) < 0 || a.(i) >= t.n then invalid_arg "Store: key out of range";
+    let x = ref a.(i) in
+    for j = t.h - 1 downto 0 do
+      s.((i * t.h) + j) <- !x mod t.d;
+      x := !x / t.d
+    done
+  done;
+  s
+
+let key_of_digits t (s : int array) : key =
+  let a = Array.make t.k 0 in
+  for i = 0 to t.k - 1 do
+    let v = ref 0 in
+    for j = 0 to t.h - 1 do
+      v := (!v * t.d) + s.((i * t.h) + j)
+    done;
+    a.(i) <- !v
+  done;
+  a
+
+(* Algorithm 2 (Access). *)
+let find_raw t a =
+  let s = digits t a in
+  let rec go l i =
+    match rd t (l + s.(i)) with
+    | CChild l' -> go l' (i + 1)
+    | CValue v -> Value v
+    | CNext b -> Next (Array.copy b)
+    | CNextNull -> Null
+    | CFree | CParent _ -> assert false
+  in
+  go root 0
+
+let find t a =
+  Budget.tick ();
+  if Metrics.enabled () then begin
+    Metrics.incr m_lookups;
+    let t0 = touches () in
+    let r = find_raw t a in
+    Metrics.observe h_lookup (touches () - t0);
+    r
+  end
+  else find_raw t a
+
+let get_opt t a = match find t a with Value v -> Some v | Next _ | Null -> None
+let mem t a = match find t a with Value _ -> true | Next _ | Null -> false
+
+let succ_geq t a =
+  match find t a with
+  | Value v -> Some (Array.copy a, v)
+  | Next b -> (
+      match find t b with
+      | Value v -> Some (b, v)
+      | Next _ | Null -> assert false)
+  | Null -> None
+
+let succ_gt t a =
+  match Tuple.succ ~n:t.n a with None -> None | Some a1 -> succ_geq t a1
+
+let min_key t = succ_geq t (Tuple.min t.k)
+
+let nonempty_cell = function CChild _ | CValue _ -> true | _ -> false
+
+(* Largest key strictly below [a], by a single downward walk that records
+   the deepest branch point to the left of [a]'s search path. *)
+let pred_lt t a =
+  let s = digits t a in
+  let best = ref None in
+  let rec walk l i =
+    let j = ref (s.(i) - 1) in
+    let found = ref (-1) in
+    while !found < 0 && !j >= 0 do
+      if nonempty_cell (rd t (l + !j)) then found := !j;
+      decr j
+    done;
+    if !found >= 0 then best := Some (l, !found, i);
+    if i < t.kh - 1 then
+      match rd t (l + s.(i)) with CChild l' -> walk l' (i + 1) | _ -> ()
+  in
+  walk root 0;
+  match !best with
+  | None -> None
+  | Some (l, j, i) ->
+      let prefix = Array.make t.kh 0 in
+      Array.blit s 0 prefix 0 i;
+      prefix.(i) <- j;
+      (* descend to the maximal key below (l, j) *)
+      let rec desc l i =
+        if i < t.kh then begin
+          let j = ref (t.d - 1) in
+          while not (nonempty_cell (rd t (l + !j))) do
+            decr j
+          done;
+          prefix.(i) <- !j;
+          match rd t (l + !j) with
+          | CChild l' -> desc l' (i + 1)
+          | CValue _ -> ()
+          | _ -> assert false
+        end
+      in
+      (match rd t (l + j) with
+      | CValue _ -> ()
+      | CChild l' -> desc l' (i + 1)
+      | _ -> assert false);
+      Some (key_of_digits t prefix)
+
+(* --- Clean (Algorithms 6-9): re-point the (0,·) cells lying strictly
+   between two search paths. --- *)
+
+let set_empty t reg repl =
+  match rd t reg with
+  | CNext _ | CNextNull -> wr t reg repl
+  | CChild _ | CValue _ | CFree | CParent _ ->
+      assert false (* Clean only ever visits empty slots; see Section 7.3 *)
+
+(* Fill_Right: node at depth i on the left path; repaint everything to the
+   right of the path, from this depth down. *)
+let rec fill_right t node i sL repl =
+  for j = sL.(i) + 1 to t.d - 1 do
+    set_empty t (node + j) repl
+  done;
+  if i < t.kh - 1 then
+    match rd t (node + sL.(i)) with
+    | CChild l' -> fill_right t l' (i + 1) sL repl
+    | _ -> assert false
+
+(* Fill_Left: symmetric, along the right path. *)
+let rec fill_left t node i sR repl =
+  for j = 0 to sR.(i) - 1 do
+    set_empty t (node + j) repl
+  done;
+  if i < t.kh - 1 then
+    match rd t (node + sR.(i)) with
+    | CChild l' -> fill_left t l' (i + 1) sR repl
+    | _ -> assert false
+
+(* Clean(left, right): [None] stands for -∞ / +∞. *)
+let fill_between t left right repl =
+  match (left, right) with
+  | None, None ->
+      (* the domain is empty: only the root remains *)
+      for j = 0 to t.d - 1 do
+        set_empty t (root + j) repl
+      done
+  | None, Some sR -> fill_left t root 0 sR repl
+  | Some sL, None -> fill_right t root 0 sL repl
+  | Some sL, Some sR ->
+      let rec go node i =
+        if sL.(i) = sR.(i) then
+          match rd t (node + sL.(i)) with
+          | CChild l' -> go l' (i + 1)
+          | _ -> assert false (* distinct keys diverge before the leaves *)
+        else begin
+          for j = sL.(i) + 1 to sR.(i) - 1 do
+            set_empty t (node + j) repl
+          done;
+          if i < t.kh - 1 then begin
+            (match rd t (node + sL.(i)) with
+            | CChild l' -> fill_right t l' (i + 1) sL repl
+            | _ -> assert false);
+            match rd t (node + sR.(i)) with
+            | CChild l' -> fill_left t l' (i + 1) sR repl
+            | _ -> assert false
+          end
+        end
+      in
+      go root 0
+
+(* --- Insertion (Algorithms 4-5). --- *)
+
+let grow_to t cap =
+  if cap > Array.length t.regs then begin
+    let cap' = max cap (2 * Array.length t.regs) in
+    let regs' = Array.make cap' CFree in
+    Array.blit t.regs 0 regs' 0 t.free;
+    t.regs <- regs'
+  end
+
+(* Allocate a node of d+1 registers at R_0; children provisionally point
+   to Null (they are repainted by the Clean passes). *)
+let alloc_node t parent_reg =
+  grow_to t (t.free + t.d + 1);
+  let l = t.free in
+  for j = 0 to t.d - 1 do
+    wr t (l + j) CNextNull
+  done;
+  wr t (l + t.d) (CParent parent_reg);
+  t.free <- t.free + t.d + 1;
+  l
+
+(* updates use [find_raw] internally: their register touches belong to
+   the surrounding update window, not to the lookup histogram *)
+let add_raw t a v =
+  match find_raw t a with
+  | Value _ ->
+      (* already present: overwrite the image in place *)
+      let s = digits t a in
+      let rec go l i =
+        match rd t (l + s.(i)) with
+        | CChild l' -> go l' (i + 1)
+        | CValue _ -> wr t (l + s.(i)) (CValue v)
+        | _ -> assert false
+      in
+      go root 0
+  | not_found ->
+      let next = match not_found with Next b -> Some b | _ -> None in
+      let prev = pred_lt t a in
+      let a = Array.copy a in
+      let s = digits t a in
+      (* Insert (Algorithm 5): create the search path top-down. *)
+      let rec go l i =
+        if i = t.kh - 1 then wr t (l + s.(i)) (CValue v)
+        else
+          match rd t (l + s.(i)) with
+          | CChild l' -> go l' (i + 1)
+          | CNext _ | CNextNull ->
+              let l' = alloc_node t (l + s.(i)) in
+              wr t (l + s.(i)) (CChild l');
+              go l' (i + 1)
+          | _ -> assert false
+      in
+      go root 0;
+      (* Clean(ā<, ā) and Clean(ā, ā>). *)
+      fill_between t (Option.map (digits t) prev) (Some s) (CNext a);
+      fill_between t (Some s) (Option.map (digits t) next)
+        (match next with Some b -> CNext b | None -> CNextNull);
+      t.card <- t.card + 1
+
+let add t a v =
+  Budget.tick ();
+  Nd_trace.with_span "store.add" @@ fun () ->
+  if Metrics.enabled () then begin
+    Metrics.incr m_updates;
+    let t0 = touches () in
+    add_raw t a v;
+    Metrics.observe h_update (touches () - t0)
+  end
+  else add_raw t a v
+
+(* --- Removal (Algorithms 10-12). --- *)
+
+let node_is_empty t node =
+  let empty = ref true in
+  for j = 0 to t.d - 1 do
+    if nonempty_cell (rd t (node + j)) then empty := false
+  done;
+  !empty
+
+(* Free the block of [node]: move the last allocated block into its place
+   (Algorithm 12), fixing (a) the register of the parent of the moved
+   block, (b) — a step the paper's pseudo-code omits — the parent
+   back-pointers of the moved block's children, and (c) the recorded
+   search path when the moved block lies on it. *)
+let free_node t node path =
+  let src = t.free - (t.d + 1) in
+  if src <> node then begin
+    Array.blit t.regs src t.regs node (t.d + 1);
+    Metrics.add m_reads (t.d + 1);
+    Metrics.add m_writes (t.d + 1);
+    (match rd t (node + t.d) with
+    | CParent q -> wr t q (CChild node)
+    | _ -> assert false);
+    for j = 0 to t.d - 1 do
+      match rd t (node + j) with
+      | CChild c -> wr t (c + t.d) (CParent (node + j))
+      | _ -> ()
+    done;
+    for i = 0 to Array.length path - 1 do
+      if path.(i) = src then path.(i) <- node
+    done
+  end;
+  Array.fill t.regs (t.free - (t.d + 1)) (t.d + 1) CFree;
+  t.free <- t.free - (t.d + 1)
+
+let remove_raw t a =
+  match find_raw t a with
+  | Next _ | Null -> ()
+  | Value _ ->
+      let prev = pred_lt t a in
+      let next =
+        match Tuple.succ ~n:t.n a with
+        | None -> None
+        | Some a1 -> (
+            match find_raw t a1 with
+            | Value _ -> Some a1
+            | Next b -> Some b
+            | Null -> None)
+      in
+      let s = digits t a in
+      let path = Array.make t.kh 0 in
+      let l = ref root in
+      for i = 0 to t.kh - 1 do
+        path.(i) <- !l;
+        if i < t.kh - 1 then
+          match rd t (!l + s.(i)) with
+          | CChild l' -> l := l'
+          | _ -> assert false
+      done;
+      let placeholder =
+        match next with Some b -> CNext b | None -> CNextNull
+      in
+      wr t (path.(t.kh - 1) + s.(t.kh - 1)) placeholder;
+      (* Cut: free now-empty nodes bottom-up (never the root). *)
+      let rec cut i =
+        if i >= 1 && node_is_empty t path.(i) then begin
+          let parent_reg =
+            match rd t (path.(i) + t.d) with
+            | CParent q -> q
+            | _ -> assert false
+          in
+          wr t parent_reg placeholder;
+          free_node t path.(i) path;
+          cut (i - 1)
+        end
+      in
+      cut (t.kh - 1);
+      fill_between t
+        (Option.map (digits t) prev)
+        (Option.map (digits t) next)
+        placeholder;
+      t.card <- t.card - 1
+
+let remove t a =
+  Budget.tick ();
+  Nd_trace.with_span "store.remove" @@ fun () ->
+  if Metrics.enabled () then begin
+    Metrics.incr m_updates;
+    let t0 = touches () in
+    remove_raw t a;
+    Metrics.observe h_update (touches () - t0)
+  end
+  else remove_raw t a
+
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some (key, v) ->
+        f key v;
+        go (succ_gt t key)
+  in
+  go (min_key t)
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun k v -> acc := (k, v) :: !acc) t;
+  List.rev !acc
+
+let canonicalize t =
+  (* BFS over the trie, assigning new block positions in visit order. *)
+  let order = Queue.create () in
+  let bfs = Queue.create () in
+  Queue.push root bfs;
+  let olds = ref [] in
+  while not (Queue.is_empty bfs) do
+    let node = Queue.pop bfs in
+    olds := node :: !olds;
+    Queue.push node order;
+    for j = 0 to t.d - 1 do
+      match t.regs.(node + j) with
+      | CChild l -> Queue.push l bfs
+      | _ -> ()
+    done
+  done;
+  let old_nodes = Array.of_list (List.rev !olds) in
+  let new_of = Hashtbl.create 64 in
+  Array.iteri
+    (fun idx old -> Hashtbl.replace new_of old (1 + (idx * (t.d + 1))))
+    old_nodes;
+  let free = 1 + (Array.length old_nodes * (t.d + 1)) in
+  let regs = Array.make (max 16 free) CFree in
+  Array.iter
+    (fun old ->
+      let nw = Hashtbl.find new_of old in
+      for j = 0 to t.d - 1 do
+        regs.(nw + j) <-
+          (match t.regs.(old + j) with
+          | CChild l -> CChild (Hashtbl.find new_of l)
+          | c -> c)
+      done;
+      regs.(nw + t.d) <-
+        (match t.regs.(old + t.d) with
+        | CParent -1 -> CParent (-1)
+        | CParent q ->
+            (* Blocks are always allocated in units of d+1 starting at
+               register 1, so the block containing q is recoverable
+               arithmetically. *)
+            let parent_old = 1 + ((q - 1) / (t.d + 1) * (t.d + 1)) in
+            CParent (Hashtbl.find new_of parent_old + (q - parent_old))
+        | _ -> assert false))
+    old_nodes;
+  { t with regs; free }
+
+let dump ~pp_value t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "R_0: %d (next free register)\n" t.free);
+  for i = 1 to t.free - 1 do
+    let line =
+      match t.regs.(i) with
+      | CChild l -> Printf.sprintf "(1, %d)" l
+      | CValue v -> Format.asprintf "(1, %a)" pp_value v
+      | CNext b -> Printf.sprintf "(0, %s)" (Tuple.to_string b)
+      | CNextNull -> "(0, Null)"
+      | CParent -1 -> "(-1, Null)"
+      | CParent q -> Printf.sprintf "(-1, %d)" q
+      | CFree -> "free"
+    in
+    Buffer.add_string buf (Printf.sprintf "R_%d: %s\n" i line)
+  done;
+  Buffer.contents buf
+
+(* --- Internal validation, used heavily by the test-suite. --- *)
+
+let check_invariants t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let exception Bad of string in
+  try
+    (* collect reachable nodes and keys by DFS *)
+    let nodes = ref [] in
+    let keys = ref [] in
+    let prefix = Array.make t.kh 0 in
+    let rec dfs node depth pointed_from =
+      if node < 1 || node + t.d >= t.free then
+        raise (Bad (Printf.sprintf "node %d out of bounds (free=%d)" node t.free));
+      nodes := node :: !nodes;
+      (match t.regs.(node + t.d) with
+      | CParent q when q = pointed_from -> ()
+      | CParent q ->
+          raise
+            (Bad
+               (Printf.sprintf "node %d: parent register says %d, expected %d"
+                  node q pointed_from))
+      | _ -> raise (Bad (Printf.sprintf "node %d: missing parent register" node)));
+      for j = 0 to t.d - 1 do
+        prefix.(depth) <- j;
+        match t.regs.(node + j) with
+        | CChild l ->
+            if depth = t.kh - 1 then
+              raise (Bad (Printf.sprintf "reg %d: child at leaf depth" (node + j)));
+            dfs l (depth + 1) (node + j)
+        | CValue _ ->
+            if depth <> t.kh - 1 then
+              raise (Bad (Printf.sprintf "reg %d: value above leaf depth" (node + j)));
+            keys := key_of_digits t prefix :: !keys
+        | CNext _ | CNextNull -> ()
+        | CFree | CParent _ ->
+            raise (Bad (Printf.sprintf "reg %d: unexpected cell" (node + j)))
+      done
+    in
+    dfs root 0 (-1);
+    let keys = List.rev !keys in
+    if List.length keys <> t.card then
+      raise (Bad (Printf.sprintf "cardinal: stored %d, found %d" t.card
+                    (List.length keys)));
+    let sorted = List.sort Tuple.compare keys in
+    if sorted <> keys then raise (Bad "keys not discovered in increasing order");
+    (* space accounting: every register in [1, free) belongs to a node *)
+    let nnodes = List.length !nodes in
+    if t.free <> 1 + (nnodes * (t.d + 1)) then
+      raise
+        (Bad (Printf.sprintf "space leak: free=%d, %d nodes of size %d" t.free
+                nnodes (t.d + 1)));
+    (* no all-empty non-root node *)
+    List.iter
+      (fun node ->
+        if node <> root && node_is_empty t node then
+          raise (Bad (Printf.sprintf "node %d is empty but was not cut" node)))
+      !nodes;
+    (* every (0,·) cell points to the smallest key beyond its prefix *)
+    let key_digit_list = List.map (fun k -> (digits t k, k)) sorted in
+    let prefix_gt p plen dg =
+      (* digits dg exceed prefix p of length plen *)
+      let rec go i =
+        if i = plen then false
+        else if dg.(i) > p.(i) then true
+        else if dg.(i) < p.(i) then false
+        else go (i + 1)
+      in
+      go 0
+    in
+    let rec dfs2 node depth =
+      for j = 0 to t.d - 1 do
+        prefix.(depth) <- j;
+        match t.regs.(node + j) with
+        | CChild l -> dfs2 l (depth + 1)
+        | CNext b ->
+            let expected =
+              List.find_opt
+                (fun (dg, _) -> prefix_gt prefix (depth + 1) dg)
+                key_digit_list
+            in
+            (match expected with
+            | Some (_, k) when Tuple.equal k b -> ()
+            | Some (_, k) ->
+                raise
+                  (Bad
+                     (Printf.sprintf "reg %d: next says %s, expected %s"
+                        (node + j) (Tuple.to_string b) (Tuple.to_string k)))
+            | None ->
+                raise
+                  (Bad
+                     (Printf.sprintf "reg %d: next says %s, expected Null"
+                        (node + j) (Tuple.to_string b))))
+        | CNextNull ->
+            if
+              List.exists
+                (fun (dg, _) -> prefix_gt prefix (depth + 1) dg)
+                key_digit_list
+            then
+              raise
+                (Bad (Printf.sprintf "reg %d: says Null but a successor exists"
+                        (node + j)))
+        | _ -> ()
+      done
+    in
+    dfs2 root 0;
+    Ok ()
+  with Bad msg -> err "%s" msg
+
+(* The operational half of validation: walking the structure through
+   its own successor pointers must visit exactly the stored keys in
+   strictly increasing order.  Run only after [check_invariants]
+   passed, so the walk cannot hit malformed cells; the step bound
+   still guards against pointer cycles. *)
+let check_successor_walk t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec walk prev seen cur =
+    if seen > t.card then err "successor walk visits more keys than stored"
+    else
+      match cur with
+      | None ->
+          if seen = t.card then Ok ()
+          else err "successor walk found %d keys, cardinal says %d" seen t.card
+      | Some (key, _) -> (
+          match prev with
+          | Some p when Tuple.compare p key >= 0 ->
+              err "successor walk not strictly increasing at %s"
+                (Tuple.to_string key)
+          | _ -> walk (Some key) (seen + 1) (succ_gt t key))
+  in
+  walk None 0 (min_key t)
+
+let validate t =
+  match check_invariants t with
+  | Error _ as e -> e
+  | Ok () -> check_successor_walk t
+
+(* --- Fault injection hooks (Chaos harness; see the .mli warning). --- *)
+
+module Fault = struct
+  let registers t = space t
+
+  let in_range t i = i >= 1 && i < t.free
+
+  let cell_kind t i =
+    if not (in_range t i) then `Free
+    else
+      match t.regs.(i) with
+      | CFree -> `Free
+      | CChild _ -> `Child
+      | CValue _ -> `Value
+      | CNext _ -> `Next
+      | CNextNull -> `Next_null
+      | CParent _ -> `Parent
+
+  let clear_register t i =
+    in_range t i
+    && begin
+         t.regs.(i) <- CFree;
+         true
+       end
+
+  let corrupt_next t i =
+    in_range t i
+    &&
+    match t.regs.(i) with
+    | CNext b ->
+        let wrong =
+          if Tuple.compare b (Tuple.max ~n:t.n t.k) = 0 then Tuple.min t.k
+          else Tuple.max ~n:t.n t.k
+        in
+        t.regs.(i) <- CNext wrong;
+        true
+    | CNextNull ->
+        (* phantom successor where the structure promised none *)
+        t.regs.(i) <- CNext (Tuple.max ~n:t.n t.k);
+        true
+    | _ -> false
+
+  let redirect_child t i =
+    in_range t i
+    &&
+    match t.regs.(i) with
+    | CChild _ ->
+        t.regs.(i) <- CChild root;
+        true
+    | _ -> false
+
+  let break_parent t i =
+    in_range t i
+    &&
+    match t.regs.(i) with
+    | CParent q ->
+        t.regs.(i) <- CParent (q + 1);
+        true
+    | _ -> false
+
+  let skew_cardinal t delta = t.card <- t.card + delta
+end

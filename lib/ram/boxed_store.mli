@@ -1,4 +1,14 @@
-(** The Storing Theorem data structure (Theorem 3.1 of Schweikardt,
+(** The {e boxed} reference implementation of the Storing Theorem data
+    structure — the representation {!Store} used before it was lowered
+    onto flat unboxed banks.  Kept as the differential oracle for the
+    probe-discipline tests (same operation sequence ⇒ bit-identical
+    [store.reg_reads]/[store.reg_writes] and touch histograms; the two
+    modules share the metrics registry entries by name) and as the
+    baseline arm of the ST bench row.  Identical API and semantics to
+    {!Store}, modulo the [Raw] bank accessors, which only the flat
+    layout has.
+
+    The Storing Theorem data structure (Theorem 3.1 of Schweikardt,
     Segoufin & Vigny, and its appendix, Section 7).
 
     A [t] stores a partial k-ary function [f : [n]^k ⇀ 'v] with
@@ -172,61 +182,4 @@ module Fault : sig
 
   val skew_cardinal : 'v t -> int -> unit
   (** Add [delta] to the stored cardinality without touching keys. *)
-end
-
-(** {1 Raw bank access}
-
-    The store's representation is two flat banks — a tag byte and an
-    unboxed int payload word per register — plus two side arenas (key
-    words, stored values).  [Raw] exposes that layout {e read-only} to
-    the snapshot codec, which writes the banks as raw little-endian
-    pages and revives them by memory-mapping ([Nd_snapshot], format
-    v3).  None of these entry points touch the Theorem 3.1 probe
-    counters.  Never use them to answer queries. *)
-module Raw : sig
-  type bank = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
-  (** One OCaml-int word per element, C layout — the exact shape
-      [Unix.map_file] yields on a little-endian 64-bit host. *)
-
-  val compact : 'v t -> unit
-  (** Drop dead arena slots (same remapping the automatic compaction
-      performs), so a subsequent serialization writes only live data.
-      Observable layout ({!dump}, register numbering) is unchanged. *)
-
-  val dims : 'v t -> int * int * int * int * int * int * int * int
-  (** [(n, k, d, h, free, card, klen, vlen)] — the scalar header a
-      serialized image needs. *)
-
-  val tags_blob : 'v t -> string
-  (** The tag bank for registers [[0, free)], one byte each. *)
-
-  val payload_word : 'v t -> int -> int
-  (** Payload word of register [i] ([0 ≤ i < free]). *)
-
-  val key_word : 'v t -> int -> int
-  (** Word [i] of the key arena ([0 ≤ i < klen·k]). *)
-
-  val import_unit :
-    n:int ->
-    k:int ->
-    epsilon:float ->
-    d:int ->
-    h:int ->
-    free:int ->
-    card:int ->
-    klen:int ->
-    vlen:int ->
-    tags:Bytes.t ->
-    pay:bank ->
-    karena:bank ->
-    (unit t, string) result
-  (** Adopt deserialized banks as a live [unit t] — after a full
-      structural vetting pass (block tiling, per-position tag legality,
-      every pointer/index/arena word range-checked, cardinality
-      accounting, and [(d, h)] recomputed from [(n, epsilon)]), because
-      the banks may come straight off a memory-mapped file and coherent
-      garbage must land in [Error], never in a store that could walk a
-      wild pointer.  The banks are adopted by reference (a private
-      [map_file] mapping is copy-on-write: later {!add}s never write
-      back to the file). *)
 end

@@ -1,25 +1,35 @@
 open Nd_util
+module A1 = Bigarray.Array1
 
 type key = Tuple.t
 
 type 'v lookup = Value of 'v | Next of key | Null
 
-(* A register holds a pair (δ, r) with δ ∈ {-1,0,1} (Section 3.1).  We
-   model the pair as a variant; the correspondence is:
-     CChild l    = (1, l)      — inner child, node starts at register l
-     CValue v    = (1, v)      — leaf of a stored key, image v
-     CNext b     = (0, b)      — no key below; b = smallest key beyond
-     CNextNull   = (0, Null)
-     CParent q   = (-1, q)     — last register of a node; q = register in
-                                 the parent pointing at this node (-1: root)
-     CFree       — register beyond R_0 / freed (never reachable) *)
-type 'v cell =
-  | CFree
-  | CChild of int
-  | CValue of 'v
-  | CNext of key
-  | CNextNull
-  | CParent of int
+(* A register holds a pair (δ, r) with δ ∈ {-1,0,1} (Section 3.1).  The
+   boxed representation (see Boxed_store, the retained reference) models
+   the pair as a variant; here a register is lowered to two flat banks —
+   a tag byte and an unboxed int payload word — so a register touch is a
+   cache-friendly array access instead of a pointer chase:
+
+     tag_child     pay = l      — (1, l): inner child, node starts at l
+     tag_value     pay = idx    — (1, v): leaf; v lives at varena.(idx)
+     tag_next      pay = slot   — (0, b̄): b̄ interned at karena slot
+     tag_next_null pay = 0      — (0, Null)
+     tag_parent    pay = q      — (-1, q); q = -1 for the root
+     tag_free                   — beyond R_0 / freed (never reachable)
+
+   Keys and stored values are interned into side arenas so the register
+   banks hold only immediates; a repaint pass (Clean) shares one arena
+   slot across every register it touches, exactly as the boxed store
+   shared one [CNext b] cell. *)
+let tag_free = 0
+let tag_child = 1
+let tag_value = 2
+let tag_next = 3
+let tag_next_null = 4
+let tag_parent = 5
+
+type bank = (int, Bigarray.int_elt, Bigarray.c_layout) A1.t
 
 type 'v t = {
   n : int;
@@ -27,19 +37,27 @@ type 'v t = {
   d : int;
   h : int;
   kh : int;
-  mutable regs : 'v cell array;
+  mutable tags : Bytes.t;
+  mutable pay : bank;
   mutable free : int; (* the paper's R_0: next unused register *)
   mutable card : int;
+  (* key arena: k words per slot; [klen] slots in use *)
+  mutable karena : bank;
+  mutable klen : int;
+  (* value arena: ['v option] so dead entries release their value *)
+  mutable varena : 'v option array;
+  mutable vlen : int;
 }
 
 let root = 1
 
 (* Cost-model probes (Theorem 3.1 is a statement about register
    touches): every register read/write on the operational paths goes
-   through [rd]/[wr], so [store.reg_reads]/[store.reg_writes] count
-   exactly the RAM-model work of lookups and updates.  The per-call
-   histograms witness the bounds: lookup touches are a function of
-   (k, ε) only, update touches are O(n^ε). *)
+   through [rd_tag]/[wr], so [store.reg_reads]/[store.reg_writes] count
+   exactly the RAM-model work of lookups and updates — one increment
+   per register touched, the payload word of a touched register riding
+   along for free (it is the same register).  The counters and per-call
+   histograms are bit-identical to the boxed store's. *)
 let m_reads = Metrics.counter ~ops:true "store.reg_reads"
 let m_writes = Metrics.counter ~ops:true "store.reg_writes"
 let m_lookups = Metrics.counter "store.lookups"
@@ -47,15 +65,129 @@ let m_updates = Metrics.counter "store.updates"
 let h_lookup = Metrics.hist "store.lookup_touches"
 let h_update = Metrics.hist "store.update_touches"
 
-let[@inline] rd t i =
+(* Bounds-checked accessors on purpose: the Chaos/Fault harness plants
+   wild pointers, and a corrupted payload must raise like the boxed
+   array did, never read out of the bank. *)
+let[@inline] rd_tag t i =
   Metrics.incr m_reads;
-  t.regs.(i)
+  Char.code (Bytes.get t.tags i)
 
-let[@inline] wr t i c =
+(* the payload word of a register whose tag was just read — same
+   register, same touch, not a second probe *)
+let[@inline] payload t i = A1.get t.pay i
+
+let[@inline] wr t i tag p =
   Metrics.incr m_writes;
-  t.regs.(i) <- c
+  Bytes.set t.tags i (Char.unsafe_chr tag);
+  A1.set t.pay i p
 
 let touches () = Metrics.value m_reads + Metrics.value m_writes
+
+(* probe-free bank reads for the validation / maintenance paths (the
+   boxed store read [t.regs.(i)] directly there) *)
+let[@inline] tag_at t i = Char.code (Bytes.get t.tags i)
+let[@inline] pay_at t i = A1.get t.pay i
+
+let int_bank len =
+  let a = A1.create Bigarray.int Bigarray.c_layout (max 1 len) in
+  A1.fill a 0;
+  a
+
+(* --- side arenas --- *)
+
+(* Arena maintenance is representation bookkeeping, not Theorem 3.1
+   register work: compaction scans the banks directly (no probes) and
+   is amortized O(1) per intern by the doubling triggers below. *)
+
+let compact_karena t =
+  let map = Array.make (max 1 t.klen) (-1) in
+  let fresh = int_bank (A1.dim t.karena) in
+  let live = ref 0 in
+  for i = 1 to t.free - 1 do
+    if tag_at t i = tag_next then begin
+      let s = pay_at t i in
+      let s' =
+        if map.(s) >= 0 then map.(s)
+        else begin
+          let d = !live in
+          incr live;
+          map.(s) <- d;
+          for j = 0 to t.k - 1 do
+            A1.set fresh ((d * t.k) + j) (A1.get t.karena ((s * t.k) + j))
+          done;
+          d
+        end
+      in
+      A1.set t.pay i s'
+    end
+  done;
+  t.karena <- fresh;
+  t.klen <- !live
+
+let intern_key t (a : key) =
+  (* live (0,·) slots never exceed the register count, so this keeps
+     the arena within a constant factor of the live set *)
+  if t.klen >= (2 * t.free) + 16 then compact_karena t;
+  let need = (t.klen + 1) * t.k in
+  if need > A1.dim t.karena then begin
+    let fresh = int_bank (max need (2 * A1.dim t.karena)) in
+    A1.blit (A1.sub t.karena 0 (t.klen * t.k)) (A1.sub fresh 0 (t.klen * t.k));
+    t.karena <- fresh
+  end;
+  let s = t.klen in
+  for j = 0 to t.k - 1 do
+    A1.set t.karena ((s * t.k) + j) a.(j)
+  done;
+  t.klen <- s + 1;
+  s
+
+let key_at t s =
+  let a = Array.make t.k 0 in
+  for j = 0 to t.k - 1 do
+    a.(j) <- A1.get t.karena ((s * t.k) + j)
+  done;
+  a
+
+let compact_varena t =
+  let map = Array.make (max 1 t.vlen) (-1) in
+  let fresh = Array.make (Array.length t.varena) None in
+  let live = ref 0 in
+  for i = 1 to t.free - 1 do
+    if tag_at t i = tag_value then begin
+      let s = pay_at t i in
+      let s' =
+        if map.(s) >= 0 then map.(s)
+        else begin
+          let d = !live in
+          incr live;
+          map.(s) <- d;
+          fresh.(d) <- t.varena.(s);
+          d
+        end
+      in
+      A1.set t.pay i s'
+    end
+  done;
+  t.varena <- fresh;
+  t.vlen <- !live
+
+let intern_value t v =
+  (* exactly one value register per stored key, so [card] bounds the
+     live set *)
+  if t.vlen >= (2 * t.card) + 16 then compact_varena t;
+  if t.vlen >= Array.length t.varena then begin
+    let fresh = Array.make (max 16 (2 * Array.length t.varena)) None in
+    Array.blit t.varena 0 fresh 0 t.vlen;
+    t.varena <- fresh
+  end;
+  t.varena.(t.vlen) <- Some v;
+  t.vlen <- t.vlen + 1;
+  t.vlen - 1
+
+let value_at t i =
+  match t.varena.(i) with Some v -> v | None -> assert false
+
+(* --- construction --- *)
 
 let create ~n ~k ~epsilon =
   if n < 1 then invalid_arg "Store.create: n must be >= 1";
@@ -72,6 +204,7 @@ let create ~n ~k ~epsilon =
     in
     fits d
   in
+  let cap = max 16 (2 * (d + 2)) in
   let t =
     {
       n;
@@ -79,18 +212,38 @@ let create ~n ~k ~epsilon =
       d;
       h;
       kh = k * h;
-      regs = Array.make (max 16 (2 * (d + 2))) CFree;
+      tags = Bytes.make cap (Char.chr tag_free);
+      pay = int_bank cap;
       free = 1;
       card = 0;
+      karena = int_bank (16 * k);
+      klen = 0;
+      varena = Array.make 16 None;
+      vlen = 0;
     }
   in
   (* Algorithm 3 (Init): build the root, everything pointing to Null. *)
   for j = 0 to d - 1 do
-    wr t (root + j) CNextNull
+    wr t (root + j) tag_next_null 0
   done;
-  wr t (root + d) (CParent (-1));
+  wr t (root + d) tag_parent (-1);
   t.free <- root + d + 1;
   t
+
+(* the geometry [create] derives from (n, epsilon) — shared with
+   [Raw.import_unit] so a deserialized store is vetted against the
+   parameters it claims *)
+let geometry ~n ~epsilon =
+  let d = max 1 (int_of_float (ceil (float_of_int n ** epsilon))) in
+  let h = max 1 (int_of_float (ceil (1. /. epsilon))) in
+  let d =
+    let rec fits d =
+      let rec pow acc i = if i = 0 then acc >= n else pow (acc * d) (i - 1) in
+      if pow 1 h then d else fits (d + 1)
+    in
+    fits d
+  in
+  (d, h)
 
 let n t = t.n
 let arity t = t.k
@@ -128,12 +281,13 @@ let key_of_digits t (s : int array) : key =
 let find_raw t a =
   let s = digits t a in
   let rec go l i =
-    match rd t (l + s.(i)) with
-    | CChild l' -> go l' (i + 1)
-    | CValue v -> Value v
-    | CNext b -> Next (Array.copy b)
-    | CNextNull -> Null
-    | CFree | CParent _ -> assert false
+    let r = l + s.(i) in
+    let tg = rd_tag t r in
+    if tg = tag_child then go (payload t r) (i + 1)
+    else if tg = tag_value then Value (value_at t (payload t r))
+    else if tg = tag_next then Next (key_at t (payload t r))
+    else if tg = tag_next_null then Null
+    else assert false
   in
   go root 0
 
@@ -165,7 +319,7 @@ let succ_gt t a =
 
 let min_key t = succ_geq t (Tuple.min t.k)
 
-let nonempty_cell = function CChild _ | CValue _ -> true | _ -> false
+let nonempty_tag tg = tg = tag_child || tg = tag_value
 
 (* Largest key strictly below [a], by a single downward walk that records
    the deepest branch point to the left of [a]'s search path. *)
@@ -176,12 +330,15 @@ let pred_lt t a =
     let j = ref (s.(i) - 1) in
     let found = ref (-1) in
     while !found < 0 && !j >= 0 do
-      if nonempty_cell (rd t (l + !j)) then found := !j;
+      if nonempty_tag (rd_tag t (l + !j)) then found := !j;
       decr j
     done;
     if !found >= 0 then best := Some (l, !found, i);
-    if i < t.kh - 1 then
-      match rd t (l + s.(i)) with CChild l' -> walk l' (i + 1) | _ -> ()
+    if i < t.kh - 1 then begin
+      let r = l + s.(i) in
+      let tg = rd_tag t r in
+      if tg = tag_child then walk (payload t r) (i + 1)
+    end
   in
   walk root 0;
   match !best with
@@ -194,79 +351,90 @@ let pred_lt t a =
       let rec desc l i =
         if i < t.kh then begin
           let j = ref (t.d - 1) in
-          while not (nonempty_cell (rd t (l + !j))) do
+          while not (nonempty_tag (rd_tag t (l + !j))) do
             decr j
           done;
           prefix.(i) <- !j;
-          match rd t (l + !j) with
-          | CChild l' -> desc l' (i + 1)
-          | CValue _ -> ()
-          | _ -> assert false
+          let r = l + !j in
+          let tg = rd_tag t r in
+          if tg = tag_child then desc (payload t r) (i + 1)
+          else if tg = tag_value then ()
+          else assert false
         end
       in
-      (match rd t (l + j) with
-      | CValue _ -> ()
-      | CChild l' -> desc l' (i + 1)
-      | _ -> assert false);
+      (let r = l + j in
+       let tg = rd_tag t r in
+       if tg = tag_value then ()
+       else if tg = tag_child then desc (payload t r) (i + 1)
+       else assert false);
       Some (key_of_digits t prefix)
 
 (* --- Clean (Algorithms 6-9): re-point the (0,·) cells lying strictly
-   between two search paths. --- *)
+   between two search paths.  The replacement travels as a (tag,
+   payload) pair — one interned arena slot shared by every register the
+   pass repaints, as the boxed store shared one [CNext b] cell. --- *)
 
-let set_empty t reg repl =
-  match rd t reg with
-  | CNext _ | CNextNull -> wr t reg repl
-  | CChild _ | CValue _ | CFree | CParent _ ->
-      assert false (* Clean only ever visits empty slots; see Section 7.3 *)
+let set_empty t reg rtag rpay =
+  let tg = rd_tag t reg in
+  if tg = tag_next || tg = tag_next_null then wr t reg rtag rpay
+  else assert false (* Clean only ever visits empty slots; see Section 7.3 *)
 
 (* Fill_Right: node at depth i on the left path; repaint everything to the
    right of the path, from this depth down. *)
-let rec fill_right t node i sL repl =
+let rec fill_right t node i sL rtag rpay =
   for j = sL.(i) + 1 to t.d - 1 do
-    set_empty t (node + j) repl
+    set_empty t (node + j) rtag rpay
   done;
-  if i < t.kh - 1 then
-    match rd t (node + sL.(i)) with
-    | CChild l' -> fill_right t l' (i + 1) sL repl
-    | _ -> assert false
+  if i < t.kh - 1 then begin
+    let r = node + sL.(i) in
+    let tg = rd_tag t r in
+    if tg = tag_child then fill_right t (payload t r) (i + 1) sL rtag rpay
+    else assert false
+  end
 
 (* Fill_Left: symmetric, along the right path. *)
-let rec fill_left t node i sR repl =
+let rec fill_left t node i sR rtag rpay =
   for j = 0 to sR.(i) - 1 do
-    set_empty t (node + j) repl
+    set_empty t (node + j) rtag rpay
   done;
-  if i < t.kh - 1 then
-    match rd t (node + sR.(i)) with
-    | CChild l' -> fill_left t l' (i + 1) sR repl
-    | _ -> assert false
+  if i < t.kh - 1 then begin
+    let r = node + sR.(i) in
+    let tg = rd_tag t r in
+    if tg = tag_child then fill_left t (payload t r) (i + 1) sR rtag rpay
+    else assert false
+  end
 
 (* Clean(left, right): [None] stands for -∞ / +∞. *)
-let fill_between t left right repl =
+let fill_between t left right rtag rpay =
   match (left, right) with
   | None, None ->
       (* the domain is empty: only the root remains *)
       for j = 0 to t.d - 1 do
-        set_empty t (root + j) repl
+        set_empty t (root + j) rtag rpay
       done
-  | None, Some sR -> fill_left t root 0 sR repl
-  | Some sL, None -> fill_right t root 0 sL repl
+  | None, Some sR -> fill_left t root 0 sR rtag rpay
+  | Some sL, None -> fill_right t root 0 sL rtag rpay
   | Some sL, Some sR ->
       let rec go node i =
-        if sL.(i) = sR.(i) then
-          match rd t (node + sL.(i)) with
-          | CChild l' -> go l' (i + 1)
-          | _ -> assert false (* distinct keys diverge before the leaves *)
+        if sL.(i) = sR.(i) then begin
+          let r = node + sL.(i) in
+          let tg = rd_tag t r in
+          if tg = tag_child then go (payload t r) (i + 1)
+          else assert false (* distinct keys diverge before the leaves *)
+        end
         else begin
           for j = sL.(i) + 1 to sR.(i) - 1 do
-            set_empty t (node + j) repl
+            set_empty t (node + j) rtag rpay
           done;
           if i < t.kh - 1 then begin
-            (match rd t (node + sL.(i)) with
-            | CChild l' -> fill_right t l' (i + 1) sL repl
-            | _ -> assert false);
-            match rd t (node + sR.(i)) with
-            | CChild l' -> fill_left t l' (i + 1) sR repl
-            | _ -> assert false
+            (let r = node + sL.(i) in
+             let tg = rd_tag t r in
+             if tg = tag_child then fill_right t (payload t r) (i + 1) sL rtag rpay
+             else assert false);
+            let r = node + sR.(i) in
+            let tg = rd_tag t r in
+            if tg = tag_child then fill_left t (payload t r) (i + 1) sR rtag rpay
+            else assert false
           end
         end
       in
@@ -275,11 +443,14 @@ let fill_between t left right repl =
 (* --- Insertion (Algorithms 4-5). --- *)
 
 let grow_to t cap =
-  if cap > Array.length t.regs then begin
-    let cap' = max cap (2 * Array.length t.regs) in
-    let regs' = Array.make cap' CFree in
-    Array.blit t.regs 0 regs' 0 t.free;
-    t.regs <- regs'
+  if cap > Bytes.length t.tags || cap > A1.dim t.pay then begin
+    let cap' = max cap (2 * min (Bytes.length t.tags) (A1.dim t.pay)) in
+    let tags' = Bytes.make cap' (Char.chr tag_free) in
+    Bytes.blit t.tags 0 tags' 0 t.free;
+    let pay' = int_bank cap' in
+    A1.blit (A1.sub t.pay 0 t.free) (A1.sub pay' 0 t.free);
+    t.tags <- tags';
+    t.pay <- pay'
   end
 
 (* Allocate a node of d+1 registers at R_0; children provisionally point
@@ -288,9 +459,9 @@ let alloc_node t parent_reg =
   grow_to t (t.free + t.d + 1);
   let l = t.free in
   for j = 0 to t.d - 1 do
-    wr t (l + j) CNextNull
+    wr t (l + j) tag_next_null 0
   done;
-  wr t (l + t.d) (CParent parent_reg);
+  wr t (l + t.d) tag_parent parent_reg;
   t.free <- t.free + t.d + 1;
   l
 
@@ -299,37 +470,49 @@ let alloc_node t parent_reg =
 let add_raw t a v =
   match find_raw t a with
   | Value _ ->
-      (* already present: overwrite the image in place *)
+      (* already present: overwrite the image in place, reusing the
+         existing arena slot — zero arena garbage *)
       let s = digits t a in
       let rec go l i =
-        match rd t (l + s.(i)) with
-        | CChild l' -> go l' (i + 1)
-        | CValue _ -> wr t (l + s.(i)) (CValue v)
-        | _ -> assert false
+        let r = l + s.(i) in
+        let tg = rd_tag t r in
+        if tg = tag_child then go (payload t r) (i + 1)
+        else if tg = tag_value then begin
+          let idx = payload t r in
+          t.varena.(idx) <- Some v;
+          wr t r tag_value idx
+        end
+        else assert false
       in
       go root 0
   | not_found ->
       let next = match not_found with Next b -> Some b | _ -> None in
       let prev = pred_lt t a in
-      let a = Array.copy a in
       let s = digits t a in
       (* Insert (Algorithm 5): create the search path top-down. *)
       let rec go l i =
-        if i = t.kh - 1 then wr t (l + s.(i)) (CValue v)
-        else
-          match rd t (l + s.(i)) with
-          | CChild l' -> go l' (i + 1)
-          | CNext _ | CNextNull ->
-              let l' = alloc_node t (l + s.(i)) in
-              wr t (l + s.(i)) (CChild l');
-              go l' (i + 1)
-          | _ -> assert false
+        if i = t.kh - 1 then wr t (l + s.(i)) tag_value (intern_value t v)
+        else begin
+          let r = l + s.(i) in
+          let tg = rd_tag t r in
+          if tg = tag_child then go (payload t r) (i + 1)
+          else if tg = tag_next || tg = tag_next_null then begin
+            let l' = alloc_node t r in
+            wr t r tag_child l';
+            go l' (i + 1)
+          end
+          else assert false
+        end
       in
       go root 0;
       (* Clean(ā<, ā) and Clean(ā, ā>). *)
-      fill_between t (Option.map (digits t) prev) (Some s) (CNext a);
-      fill_between t (Some s) (Option.map (digits t) next)
-        (match next with Some b -> CNext b | None -> CNextNull);
+      let slot_a = intern_key t a in
+      fill_between t (Option.map (digits t) prev) (Some s) tag_next slot_a;
+      (match next with
+      | Some b ->
+          let slot_b = intern_key t b in
+          fill_between t (Some s) (Some (digits t b)) tag_next slot_b
+      | None -> fill_between t (Some s) None tag_next_null 0);
       t.card <- t.card + 1
 
 let add t a v =
@@ -348,7 +531,7 @@ let add t a v =
 let node_is_empty t node =
   let empty = ref true in
   for j = 0 to t.d - 1 do
-    if nonempty_cell (rd t (node + j)) then empty := false
+    if nonempty_tag (rd_tag t (node + j)) then empty := false
   done;
   !empty
 
@@ -360,22 +543,29 @@ let node_is_empty t node =
 let free_node t node path =
   let src = t.free - (t.d + 1) in
   if src <> node then begin
-    Array.blit t.regs src t.regs node (t.d + 1);
+    Bytes.blit t.tags src t.tags node (t.d + 1);
+    for j = 0 to t.d do
+      A1.set t.pay (node + j) (A1.get t.pay (src + j))
+    done;
     Metrics.add m_reads (t.d + 1);
     Metrics.add m_writes (t.d + 1);
-    (match rd t (node + t.d) with
-    | CParent q -> wr t q (CChild node)
-    | _ -> assert false);
+    (let r = node + t.d in
+     let tg = rd_tag t r in
+     if tg = tag_parent then wr t (payload t r) tag_child node
+     else assert false);
     for j = 0 to t.d - 1 do
-      match rd t (node + j) with
-      | CChild c -> wr t (c + t.d) (CParent (node + j))
-      | _ -> ()
+      let r = node + j in
+      let tg = rd_tag t r in
+      if tg = tag_child then wr t (payload t r + t.d) tag_parent r
     done;
     for i = 0 to Array.length path - 1 do
       if path.(i) = src then path.(i) <- node
     done
   end;
-  Array.fill t.regs (t.free - (t.d + 1)) (t.d + 1) CFree;
+  Bytes.fill t.tags (t.free - (t.d + 1)) (t.d + 1) (Char.chr tag_free);
+  for j = t.free - (t.d + 1) to t.free - 1 do
+    A1.set t.pay j 0
+  done;
   t.free <- t.free - (t.d + 1)
 
 let remove_raw t a =
@@ -397,24 +587,27 @@ let remove_raw t a =
       let l = ref root in
       for i = 0 to t.kh - 1 do
         path.(i) <- !l;
-        if i < t.kh - 1 then
-          match rd t (!l + s.(i)) with
-          | CChild l' -> l := l'
-          | _ -> assert false
+        if i < t.kh - 1 then begin
+          let r = !l + s.(i) in
+          let tg = rd_tag t r in
+          if tg = tag_child then l := payload t r else assert false
+        end
       done;
-      let placeholder =
-        match next with Some b -> CNext b | None -> CNextNull
+      let ptag, ppay =
+        match next with
+        | Some b -> (tag_next, intern_key t b)
+        | None -> (tag_next_null, 0)
       in
-      wr t (path.(t.kh - 1) + s.(t.kh - 1)) placeholder;
+      wr t (path.(t.kh - 1) + s.(t.kh - 1)) ptag ppay;
       (* Cut: free now-empty nodes bottom-up (never the root). *)
       let rec cut i =
         if i >= 1 && node_is_empty t path.(i) then begin
           let parent_reg =
-            match rd t (path.(i) + t.d) with
-            | CParent q -> q
-            | _ -> assert false
+            let r = path.(i) + t.d in
+            let tg = rd_tag t r in
+            if tg = tag_parent then payload t r else assert false
           in
-          wr t parent_reg placeholder;
+          wr t parent_reg ptag ppay;
           free_node t path.(i) path;
           cut (i - 1)
         end
@@ -423,7 +616,7 @@ let remove_raw t a =
       fill_between t
         (Option.map (digits t) prev)
         (Option.map (digits t) next)
-        placeholder;
+        ptag ppay;
       t.card <- t.card - 1
 
 let remove t a =
@@ -452,63 +645,101 @@ let to_list t =
   List.rev !acc
 
 let canonicalize t =
-  (* BFS over the trie, assigning new block positions in visit order. *)
-  let order = Queue.create () in
+  (* BFS over the trie, assigning new block positions in visit order.
+     Pure maintenance: direct bank reads, no probes.  The old→new
+     renumbering is a flat int array indexed by old block start (blocks
+     tile [1, free), so the array is dense — no hashing). *)
   let bfs = Queue.create () in
   Queue.push root bfs;
   let olds = ref [] in
+  let count = ref 0 in
+  let new_of = Array.make (max 2 t.free) (-1) in
   while not (Queue.is_empty bfs) do
     let node = Queue.pop bfs in
     olds := node :: !olds;
-    Queue.push node order;
+    new_of.(node) <- 1 + (!count * (t.d + 1));
+    incr count;
     for j = 0 to t.d - 1 do
-      match t.regs.(node + j) with
-      | CChild l -> Queue.push l bfs
-      | _ -> ()
+      if tag_at t (node + j) = tag_child then Queue.push (pay_at t (node + j)) bfs
     done
   done;
   let old_nodes = Array.of_list (List.rev !olds) in
-  let new_of = Hashtbl.create 64 in
-  Array.iteri
-    (fun idx old -> Hashtbl.replace new_of old (1 + (idx * (t.d + 1))))
-    old_nodes;
   let free = 1 + (Array.length old_nodes * (t.d + 1)) in
-  let regs = Array.make (max 16 free) CFree in
+  let cap = max 16 free in
+  let tags = Bytes.make cap (Char.chr tag_free) in
+  let pay = int_bank cap in
+  (* fresh arenas in canonical first-reference order; registers that
+     shared a slot keep sharing via the memo arrays *)
+  let karena = int_bank (max (16 * t.k) (t.klen * t.k)) in
+  let kmap = Array.make (max 1 t.klen) (-1) in
+  let klen = ref 0 in
+  let varena = Array.make (max 16 t.vlen) None in
+  let vmap = Array.make (max 1 t.vlen) (-1) in
+  let vlen = ref 0 in
   Array.iter
     (fun old ->
-      let nw = Hashtbl.find new_of old in
+      let nw = new_of.(old) in
       for j = 0 to t.d - 1 do
-        regs.(nw + j) <-
-          (match t.regs.(old + j) with
-          | CChild l -> CChild (Hashtbl.find new_of l)
-          | c -> c)
+        let tg = tag_at t (old + j) in
+        let p = pay_at t (old + j) in
+        let p' =
+          if tg = tag_child then new_of.(p)
+          else if tg = tag_next then begin
+            if kmap.(p) < 0 then begin
+              kmap.(p) <- !klen;
+              for q = 0 to t.k - 1 do
+                A1.set karena ((!klen * t.k) + q) (A1.get t.karena ((p * t.k) + q))
+              done;
+              incr klen
+            end;
+            kmap.(p)
+          end
+          else if tg = tag_value then begin
+            if vmap.(p) < 0 then begin
+              vmap.(p) <- !vlen;
+              varena.(!vlen) <- t.varena.(p);
+              incr vlen
+            end;
+            vmap.(p)
+          end
+          else p
+        in
+        Bytes.set tags (nw + j) (Char.chr tg);
+        A1.set pay (nw + j) p'
       done;
-      regs.(nw + t.d) <-
-        (match t.regs.(old + t.d) with
-        | CParent -1 -> CParent (-1)
-        | CParent q ->
-            (* Blocks are always allocated in units of d+1 starting at
-               register 1, so the block containing q is recoverable
-               arithmetically. *)
-            let parent_old = 1 + ((q - 1) / (t.d + 1) * (t.d + 1)) in
-            CParent (Hashtbl.find new_of parent_old + (q - parent_old))
-        | _ -> assert false))
+      if tag_at t (old + t.d) <> tag_parent then assert false;
+      let q = pay_at t (old + t.d) in
+      let q' =
+        if q = -1 then -1
+        else begin
+          (* Blocks are always allocated in units of d+1 starting at
+             register 1, so the block containing q is recoverable
+             arithmetically. *)
+          let parent_old = 1 + ((q - 1) / (t.d + 1) * (t.d + 1)) in
+          new_of.(parent_old) + (q - parent_old)
+        end
+      in
+      Bytes.set tags (nw + t.d) (Char.chr tag_parent);
+      A1.set pay (nw + t.d) q')
     old_nodes;
-  { t with regs; free }
+  { t with tags; pay; free; karena; klen = !klen; varena; vlen = !vlen }
 
 let dump ~pp_value t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "R_0: %d (next free register)\n" t.free);
   for i = 1 to t.free - 1 do
+    let tg = tag_at t i in
+    let p = pay_at t i in
     let line =
-      match t.regs.(i) with
-      | CChild l -> Printf.sprintf "(1, %d)" l
-      | CValue v -> Format.asprintf "(1, %a)" pp_value v
-      | CNext b -> Printf.sprintf "(0, %s)" (Tuple.to_string b)
-      | CNextNull -> "(0, Null)"
-      | CParent -1 -> "(-1, Null)"
-      | CParent q -> Printf.sprintf "(-1, %d)" q
-      | CFree -> "free"
+      if tg = tag_child then Printf.sprintf "(1, %d)" p
+      else if tg = tag_value then
+        Format.asprintf "(1, %a)" pp_value (value_at t p)
+      else if tg = tag_next then
+        Printf.sprintf "(0, %s)" (Tuple.to_string (key_at t p))
+      else if tg = tag_next_null then "(0, Null)"
+      else if tg = tag_parent then
+        if p = -1 then "(-1, Null)" else Printf.sprintf "(-1, %d)" p
+      else "free"
     in
     Buffer.add_string buf (Printf.sprintf "R_%d: %s\n" i line)
   done;
@@ -528,28 +759,44 @@ let check_invariants t =
       if node < 1 || node + t.d >= t.free then
         raise (Bad (Printf.sprintf "node %d out of bounds (free=%d)" node t.free));
       nodes := node :: !nodes;
-      (match t.regs.(node + t.d) with
-      | CParent q when q = pointed_from -> ()
-      | CParent q ->
-          raise
-            (Bad
-               (Printf.sprintf "node %d: parent register says %d, expected %d"
-                  node q pointed_from))
-      | _ -> raise (Bad (Printf.sprintf "node %d: missing parent register" node)));
+      (if tag_at t (node + t.d) = tag_parent then begin
+         let q = pay_at t (node + t.d) in
+         if q <> pointed_from then
+           raise
+             (Bad
+                (Printf.sprintf "node %d: parent register says %d, expected %d"
+                   node q pointed_from))
+       end
+       else raise (Bad (Printf.sprintf "node %d: missing parent register" node)));
       for j = 0 to t.d - 1 do
         prefix.(depth) <- j;
-        match t.regs.(node + j) with
-        | CChild l ->
-            if depth = t.kh - 1 then
-              raise (Bad (Printf.sprintf "reg %d: child at leaf depth" (node + j)));
-            dfs l (depth + 1) (node + j)
-        | CValue _ ->
-            if depth <> t.kh - 1 then
-              raise (Bad (Printf.sprintf "reg %d: value above leaf depth" (node + j)));
-            keys := key_of_digits t prefix :: !keys
-        | CNext _ | CNextNull -> ()
-        | CFree | CParent _ ->
-            raise (Bad (Printf.sprintf "reg %d: unexpected cell" (node + j)))
+        let tg = tag_at t (node + j) in
+        if tg = tag_child then begin
+          if depth = t.kh - 1 then
+            raise (Bad (Printf.sprintf "reg %d: child at leaf depth" (node + j)));
+          dfs (pay_at t (node + j)) (depth + 1) (node + j)
+        end
+        else if tg = tag_value then begin
+          if depth <> t.kh - 1 then
+            raise (Bad (Printf.sprintf "reg %d: value above leaf depth" (node + j)));
+          let idx = pay_at t (node + j) in
+          if idx < 0 || idx >= t.vlen || t.varena.(idx) = None then
+            raise
+              (Bad
+                 (Printf.sprintf "reg %d: value index %d outside the arena"
+                    (node + j) idx));
+          keys := key_of_digits t prefix :: !keys
+        end
+        else if tg = tag_next then begin
+          let slot = pay_at t (node + j) in
+          if slot < 0 || slot >= t.klen then
+            raise
+              (Bad
+                 (Printf.sprintf "reg %d: next slot %d outside the arena"
+                    (node + j) slot))
+        end
+        else if tg = tag_next_null then ()
+        else raise (Bad (Printf.sprintf "reg %d: unexpected cell" (node + j)))
       done
     in
     dfs root 0 (-1);
@@ -586,41 +833,47 @@ let check_invariants t =
     let rec dfs2 node depth =
       for j = 0 to t.d - 1 do
         prefix.(depth) <- j;
-        match t.regs.(node + j) with
-        | CChild l -> dfs2 l (depth + 1)
-        | CNext b ->
-            let expected =
-              List.find_opt
-                (fun (dg, _) -> prefix_gt prefix (depth + 1) dg)
-                key_digit_list
-            in
-            (match expected with
-            | Some (_, k) when Tuple.equal k b -> ()
-            | Some (_, k) ->
-                raise
-                  (Bad
-                     (Printf.sprintf "reg %d: next says %s, expected %s"
-                        (node + j) (Tuple.to_string b) (Tuple.to_string k)))
-            | None ->
-                raise
-                  (Bad
-                     (Printf.sprintf "reg %d: next says %s, expected Null"
-                        (node + j) (Tuple.to_string b))))
-        | CNextNull ->
-            if
-              List.exists
-                (fun (dg, _) -> prefix_gt prefix (depth + 1) dg)
-                key_digit_list
-            then
+        let tg = tag_at t (node + j) in
+        if tg = tag_child then dfs2 (pay_at t (node + j)) (depth + 1)
+        else if tg = tag_next then begin
+          let b = key_at t (pay_at t (node + j)) in
+          let expected =
+            List.find_opt
+              (fun (dg, _) -> prefix_gt prefix (depth + 1) dg)
+              key_digit_list
+          in
+          match expected with
+          | Some (_, k) when Tuple.equal k b -> ()
+          | Some (_, k) ->
               raise
-                (Bad (Printf.sprintf "reg %d: says Null but a successor exists"
-                        (node + j)))
-        | _ -> ()
+                (Bad
+                   (Printf.sprintf "reg %d: next says %s, expected %s"
+                      (node + j) (Tuple.to_string b) (Tuple.to_string k)))
+          | None ->
+              raise
+                (Bad
+                   (Printf.sprintf "reg %d: next says %s, expected Null"
+                      (node + j) (Tuple.to_string b)))
+        end
+        else if tg = tag_next_null then begin
+          if
+            List.exists
+              (fun (dg, _) -> prefix_gt prefix (depth + 1) dg)
+              key_digit_list
+          then
+            raise
+              (Bad (Printf.sprintf "reg %d: says Null but a successor exists"
+                      (node + j)))
+        end
       done
     in
     dfs2 root 0;
     Ok ()
-  with Bad msg -> err "%s" msg
+  with
+  | Bad msg -> err "%s" msg
+  | Invalid_argument msg ->
+      (* a corrupted payload walked a bank out of bounds *)
+      err "corrupted register payload: %s" msg
 
 (* The operational half of validation: walking the structure through
    its own successor pointers must visit exactly the stored keys in
@@ -660,55 +913,160 @@ module Fault = struct
   let cell_kind t i =
     if not (in_range t i) then `Free
     else
-      match t.regs.(i) with
-      | CFree -> `Free
-      | CChild _ -> `Child
-      | CValue _ -> `Value
-      | CNext _ -> `Next
-      | CNextNull -> `Next_null
-      | CParent _ -> `Parent
+      let tg = tag_at t i in
+      if tg = tag_free then `Free
+      else if tg = tag_child then `Child
+      else if tg = tag_value then `Value
+      else if tg = tag_next then `Next
+      else if tg = tag_next_null then `Next_null
+      else `Parent
 
   let clear_register t i =
     in_range t i
     && begin
-         t.regs.(i) <- CFree;
+         Bytes.set t.tags i (Char.chr tag_free);
          true
        end
 
   let corrupt_next t i =
     in_range t i
     &&
-    match t.regs.(i) with
-    | CNext b ->
-        let wrong =
-          if Tuple.compare b (Tuple.max ~n:t.n t.k) = 0 then Tuple.min t.k
-          else Tuple.max ~n:t.n t.k
-        in
-        t.regs.(i) <- CNext wrong;
-        true
-    | CNextNull ->
-        (* phantom successor where the structure promised none *)
-        t.regs.(i) <- CNext (Tuple.max ~n:t.n t.k);
-        true
-    | _ -> false
+    let tg = tag_at t i in
+    if tg = tag_next then begin
+      let b = key_at t (pay_at t i) in
+      let wrong =
+        if Tuple.compare b (Tuple.max ~n:t.n t.k) = 0 then Tuple.min t.k
+        else Tuple.max ~n:t.n t.k
+      in
+      A1.set t.pay i (intern_key t wrong);
+      true
+    end
+    else if tg = tag_next_null then begin
+      (* phantom successor where the structure promised none *)
+      let slot = intern_key t (Tuple.max ~n:t.n t.k) in
+      Bytes.set t.tags i (Char.chr tag_next);
+      A1.set t.pay i slot;
+      true
+    end
+    else false
 
   let redirect_child t i =
     in_range t i
     &&
-    match t.regs.(i) with
-    | CChild _ ->
-        t.regs.(i) <- CChild root;
-        true
-    | _ -> false
+    if tag_at t i = tag_child then begin
+      A1.set t.pay i root;
+      true
+    end
+    else false
 
   let break_parent t i =
     in_range t i
     &&
-    match t.regs.(i) with
-    | CParent q ->
-        t.regs.(i) <- CParent (q + 1);
-        true
-    | _ -> false
+    if tag_at t i = tag_parent then begin
+      A1.set t.pay i (pay_at t i + 1);
+      true
+    end
+    else false
 
   let skew_cardinal t delta = t.card <- t.card + delta
+end
+
+(* --- Raw bank access (snapshot codec; see the .mli warning). --- *)
+
+module Raw = struct
+  type nonrec bank = bank
+
+  let compact t =
+    compact_karena t;
+    compact_varena t
+
+  let dims t = (t.n, t.k, t.d, t.h, t.free, t.card, t.klen, t.vlen)
+  let payload_word t i = pay_at t i
+  let key_word t i = A1.get t.karena i
+  let tags_blob t = Bytes.sub_string t.tags 0 t.free
+
+  (* Vet a deserialized flat image structurally before it becomes a
+     live store: the banks may come straight off a memory-mapped file,
+     so every word is range-checked — coherent garbage that survived
+     the CRC ladder (or raced past it) must land in [Error], never in a
+     store that could walk a wild pointer.  O(free + klen·k). *)
+  let import_unit ~n ~k ~epsilon ~d ~h ~free ~card ~klen ~vlen ~tags ~pay
+      ~karena : (unit t, string) result =
+    let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+    if n < 1 || k < 1 || epsilon <= 0. then err "stor: bad parameters"
+    else if geometry ~n ~epsilon <> (d, h) then
+      err "stor: geometry (d=%d, h=%d) does not match n=%d, epsilon=%g" d h n
+        epsilon
+    else if free < 1 + (d + 1) || (free - 1) mod (d + 1) <> 0 then
+      err "stor: free=%d does not tile into %d-register blocks" free (d + 1)
+    else if card < 0 || klen < 0 || vlen < 0 then err "stor: negative counts"
+    else if Bytes.length tags < free then err "stor: tag bank too short"
+    else if A1.dim pay < free then err "stor: payload bank too short"
+    else if A1.dim karena < klen * k then err "stor: key arena too short"
+    else begin
+      let exception Bad of string in
+      try
+        let values = ref 0 in
+        for i = 1 to free - 1 do
+          let tg = Char.code (Bytes.get tags i) in
+          let p = A1.get pay i in
+          let last_of_block = (i - 1) mod (d + 1) = d in
+          if last_of_block then begin
+            if tg <> tag_parent then
+              raise (Bad (Printf.sprintf "reg %d: expected a parent register" i));
+            if i = root + d then begin
+              if p <> -1 then
+                raise (Bad "root parent register must hold -1")
+            end
+            else if p < 1 || p >= free then
+              raise (Bad (Printf.sprintf "reg %d: parent %d out of range" i p))
+          end
+          else if tg = tag_child then begin
+            if p < 1 || p >= free || (p - 1) mod (d + 1) <> 0 then
+              raise
+                (Bad (Printf.sprintf "reg %d: child %d is not a block start" i p))
+          end
+          else if tg = tag_value then begin
+            if p < 0 || p >= vlen then
+              raise (Bad (Printf.sprintf "reg %d: value index %d out of arena" i p));
+            incr values
+          end
+          else if tg = tag_next then begin
+            if p < 0 || p >= klen then
+              raise (Bad (Printf.sprintf "reg %d: next slot %d out of arena" i p))
+          end
+          else if tg <> tag_next_null then
+            raise (Bad (Printf.sprintf "reg %d: unknown tag %d" i tg))
+        done;
+        if !values <> card then
+          raise
+            (Bad
+               (Printf.sprintf "cardinal %d but %d value registers" card !values));
+        for i = 0 to (klen * k) - 1 do
+          let w = A1.get karena i in
+          if w < 0 || w >= n then
+            raise (Bad (Printf.sprintf "key arena word %d out of [0,%d)" i n))
+        done;
+        let varena = Array.make (max 16 vlen) None in
+        for i = 0 to vlen - 1 do
+          varena.(i) <- Some ()
+        done;
+        Ok
+          {
+            n;
+            k;
+            d;
+            h;
+            kh = k * h;
+            tags;
+            pay;
+            free;
+            card;
+            karena;
+            klen;
+            varena;
+            vlen;
+          }
+      with Bad msg -> err "stor: %s" msg
+    end
 end

@@ -3,12 +3,24 @@ open Nd_graph
 open Nd_logic
 
 let magic = "FODBSNAP"
-let format_version = 2
-let tags = [ "META"; "ENGN"; "CACH" ]
+let format_version = 3
+
+(* v2 files carry the cache only as a Marshal'd key list; v3 appends the
+   STOR section with the flat store's raw register banks.  Both are
+   readable; [save ~format:2] still writes the old layout. *)
+let tags_of = function
+  | 2 -> [ "META"; "ENGN"; "CACH" ]
+  | _ -> [ "META"; "ENGN"; "CACH"; "STOR" ]
 
 let m_loads = Metrics.counter "snapshot.loads"
 let m_fallbacks = Metrics.counter "snapshot.load_fallbacks"
 let m_bytes = Metrics.counter "snapshot.bytes_written"
+let m_warm = Metrics.counter "snapshot.warm_loads"
+let m_mapped = Metrics.counter "snapshot.mapped_loads"
+
+(* The bank pages are meaningful to map only when an OCAML int spans the
+   full 64-bit word and the host agrees with the little-endian pages. *)
+let mappable = Sys.int_size = 63 && not Sys.big_endian
 
 type corruption =
   | Truncated of { expected : int; actual : int }
@@ -81,6 +93,12 @@ let put_f64 b f =
       (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF))
   done
 
+(* bank words: OCaml ints sign-extended to 8 little-endian bytes *)
+let put_i64 b v =
+  for i = 0 to 7 do
+    Buffer.add_char b (Char.unsafe_chr ((v asr (8 * i)) land 0xFF))
+  done
+
 type cursor = { cs : string; mutable pos : int; stop : int }
 
 let need cur n what =
@@ -119,6 +137,7 @@ type section = { tag : string; off : int; len : int; crc : int }
 
 type info = {
   version : int;
+  warmable : bool;
   ocaml_version : string;
   query : string;
   query_hash : int;
@@ -149,13 +168,14 @@ let parse_structure s =
   if total < 16 then corrupt (Truncated { expected = 16; actual = total });
   if String.sub s 0 8 <> magic then corrupt Bad_magic;
   let v = hdr_u32 s 8 total in
-  if v <> format_version then
+  if v <> 2 && v <> format_version then
     corrupt
       (Version_skew
          {
            found = "format " ^ string_of_int v;
-           expected = "format " ^ string_of_int format_version;
+           expected = Printf.sprintf "format 2 or %d" format_version;
          });
+  let tags = tags_of v in
   let nsect = hdr_u32 s 12 total in
   if nsect <> List.length tags then
     corrupt
@@ -184,7 +204,7 @@ let parse_structure s =
   in
   if !pos <> total then
     corrupt (Bad_layout (Printf.sprintf "%d trailing bytes" (total - !pos)));
-  sections
+  (v, sections)
 
 let verify_crcs s sections =
   List.iter
@@ -215,7 +235,7 @@ let encode_meta eng =
   put_u32 b (Nd_engine.cache_size eng);
   Buffer.contents b
 
-let decode_meta s sec ~version ~sections =
+let decode_meta s sec ~version ~warmable ~sections =
   let cur = { cs = s; pos = sec.off; stop = sec.off + sec.len } in
   let ocaml_version = get_str cur "meta" in
   let query = get_str cur "meta" in
@@ -234,6 +254,7 @@ let decode_meta s sec ~version ~sections =
     corrupt (Decode "meta: query hash inconsistent with query text");
   {
     version;
+    warmable;
     ocaml_version;
     query;
     query_hash;
@@ -286,6 +307,177 @@ let check_meta meta ~graph ~query =
     corrupt
       (Stale_epoch { snapshot = meta.graph_epoch; current = Cgraph.epoch graph })
 
+(* ---------------- STOR codec ---------------- *)
+
+(* The flat store's register banks as raw little-endian pages:
+
+     u32 present | u32 n,k,d,h | f64 epsilon
+   | u32 free,card,klen,vlen,limit | u32 full,complete,frontier_set
+   | k × u32 frontier | free tag bytes
+   | u32 padlen | padlen zero bytes      (pads banks to 8-byte file offset)
+   | free × i64 payload bank | klen·k × i64 key arena
+
+   [payload_off] is the absolute file offset of this section's payload;
+   the pad is computed against it so the i64 region is 8-aligned in the
+   *file*, which is what lets a warm load hand the pages to
+   [Unix.map_file] untranslated. *)
+
+let encode_stor ~payload_off ~epsilon img =
+  let b = Buffer.create 256 in
+  (match img with
+  | None -> put_u32 b 0
+  | Some (img : Nd_engine.Persist.store_image) ->
+      let st = img.si_store in
+      (* canonical minimal banks: no dead arena slots in the file *)
+      Nd_ram.Store.Raw.compact st;
+      let n, k, d, h, free, card, klen, vlen = Nd_ram.Store.Raw.dims st in
+      put_u32 b 1;
+      put_u32 b n;
+      put_u32 b k;
+      put_u32 b d;
+      put_u32 b h;
+      put_f64 b epsilon;
+      put_u32 b free;
+      put_u32 b card;
+      put_u32 b klen;
+      put_u32 b vlen;
+      put_u32 b img.si_limit;
+      put_u32 b (Bool.to_int img.si_full);
+      put_u32 b (Bool.to_int img.si_complete);
+      (match img.si_frontier with
+      | Some f ->
+          put_u32 b 1;
+          Array.iter (fun v -> put_u32 b v) f
+      | None ->
+          put_u32 b 0;
+          for _ = 1 to k do
+            put_u32 b 0
+          done);
+      Buffer.add_string b (Nd_ram.Store.Raw.tags_blob st);
+      let off = payload_off + Buffer.length b + 4 in
+      let pad = (8 - (off mod 8)) mod 8 in
+      put_u32 b pad;
+      for _ = 1 to pad do
+        Buffer.add_char b '\000'
+      done;
+      for i = 0 to free - 1 do
+        put_i64 b (Nd_ram.Store.Raw.payload_word st i)
+      done;
+      for i = 0 to (klen * k) - 1 do
+        put_i64 b (Nd_ram.Store.Raw.key_word st i)
+      done);
+  Buffer.contents b
+
+let get_i64_at s pos =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v :=
+      Int64.logor !v
+        (Int64.shift_left (Int64.of_int (Char.code s.[pos + i])) (8 * i))
+  done;
+  (* bank words are OCaml ints: the 64th bit is pure sign extension *)
+  Int64.to_int !v
+
+let get_flag cur what =
+  match get_u32 cur what with
+  | 0 -> false
+  | 1 -> true
+  | v -> corrupt (Decode (Printf.sprintf "%s: flag byte holds %d" what v))
+
+(* Decode the STOR section into a vetted store image.  [map_fd], when
+   the host qualifies, memory-maps the bank pages (private, copy-on-
+   write) instead of copying them; any mapping failure falls back to
+   the byte-copy silently — the bytes are the same either way. *)
+let decode_stor s sec ~meta ~map_fd =
+  let cur = { cs = s; pos = sec.off; stop = sec.off + sec.len } in
+  if not (get_flag cur "stor") then begin
+    if cur.pos <> cur.stop then corrupt (Decode "stor: trailing bytes");
+    None
+  end
+  else begin
+    let n = get_u32 cur "stor" in
+    let k = get_u32 cur "stor" in
+    let d = get_u32 cur "stor" in
+    let h = get_u32 cur "stor" in
+    let epsilon = get_f64 cur "stor" in
+    let free = get_u32 cur "stor" in
+    let card = get_u32 cur "stor" in
+    let klen = get_u32 cur "stor" in
+    let vlen = get_u32 cur "stor" in
+    let limit = get_u32 cur "stor" in
+    let full = get_flag cur "stor" in
+    let complete = get_flag cur "stor" in
+    let frontier_set = get_flag cur "stor" in
+    if epsilon <> meta.epsilon then
+      corrupt (Decode "stor: epsilon differs from the META section");
+    if k <> meta.arity && meta.arity > 0 then
+      corrupt (Decode "stor: arity differs from the META section");
+    let frontier = Array.make (max 1 k) 0 in
+    for i = 0 to k - 1 do
+      frontier.(i) <- get_u32 cur "stor"
+    done;
+    need cur free "stor";
+    let tags = Bytes.create free in
+    Bytes.blit_string s cur.pos tags 0 free;
+    cur.pos <- cur.pos + free;
+    let pad = get_u32 cur "stor" in
+    if pad > 7 then corrupt (Decode "stor: oversized alignment pad");
+    need cur pad "stor";
+    cur.pos <- cur.pos + pad;
+    let bank_off = cur.pos in
+    if bank_off mod 8 <> 0 then
+      corrupt (Decode "stor: bank pages not 8-byte aligned");
+    let words = free + (klen * k) in
+    need cur (words * 8) "stor";
+    cur.pos <- cur.pos + (words * 8);
+    if cur.pos <> cur.stop then corrupt (Decode "stor: trailing bytes");
+    let mapped_banks =
+      match map_fd with
+      | Some fd when mappable && words > 0 -> (
+          try
+            let g =
+              Unix.map_file fd ~pos:(Int64.of_int bank_off) Bigarray.int
+                Bigarray.c_layout false [| words |]
+            in
+            let a = Bigarray.array1_of_genarray g in
+            Some (Bigarray.Array1.sub a 0 free, Bigarray.Array1.sub a free (klen * k))
+          with Unix.Unix_error _ | Sys_error _ -> None)
+      | _ -> None
+    in
+    let mapped = mapped_banks <> None in
+    let pay, karena =
+      match mapped_banks with
+      | Some banks -> banks
+      | None ->
+          let mk len off =
+            let a =
+              Bigarray.Array1.create Bigarray.int Bigarray.c_layout (max 1 len)
+            in
+            Bigarray.Array1.fill a 0;
+            for i = 0 to len - 1 do
+              Bigarray.Array1.set a i (get_i64_at s (off + (i * 8)))
+            done;
+            a
+          in
+          (mk free bank_off, mk (klen * k) (bank_off + (free * 8)))
+    in
+    match
+      Nd_ram.Store.Raw.import_unit ~n ~k ~epsilon ~d ~h ~free ~card ~klen
+        ~vlen ~tags ~pay ~karena
+    with
+    | Error m -> corrupt (Decode m)
+    | Ok st ->
+        Some
+          ( {
+              Nd_engine.Persist.si_store = st;
+              si_frontier = (if frontier_set then Some frontier else None);
+              si_full = full;
+              si_complete = complete;
+              si_limit = limit;
+            },
+            mapped )
+  end
+
 (* ---------------- file I/O ---------------- *)
 
 let read_file path =
@@ -296,9 +488,36 @@ let read_file path =
       (fun () -> really_input_string ic (in_channel_length ic))
   with Sys_error _ -> corrupt (Truncated { expected = 16; actual = 0 })
 
+(* A warm load must read the bytes it verifies and map the pages it
+   adopts from the SAME open file description: saves publish by atomic
+   rename, so holding one fd pins one inode — no window where the CRCs
+   were checked against one file and the mapping serves another. *)
+let with_snapshot_fd path f =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ ->
+      corrupt (Truncated { expected = 16; actual = 0 })
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let len = (Unix.fstat fd).Unix.st_size in
+          let buf = Bytes.create len in
+          let pos = ref 0 in
+          (try
+             while !pos < len do
+               let r = Unix.read fd buf !pos (len - !pos) in
+               if r = 0 then raise Exit;
+               pos := !pos + r
+             done
+           with Exit | Unix.Unix_error _ -> ());
+          if !pos < len then corrupt (Truncated { expected = len; actual = !pos });
+          f fd (Bytes.unsafe_to_string buf))
+
 (* ---------------- save ---------------- *)
 
-let save ~path eng =
+let save ?(format = format_version) ~path eng =
+  if format <> 2 && format <> format_version then
+    invalid_arg "Nd_snapshot.save: unsupported format";
   Nd_trace.phase "snapshot.save" @@ fun () ->
   let payload, cache = Nd_engine.Persist.export eng in
   let marshal what v =
@@ -313,19 +532,39 @@ let save ~path eng =
     (marshal "engine" payload, marshal "cache" cache)
   in
   let meta = encode_meta eng in
+  let sections = [ ("META", meta); ("ENGN", engn); ("CACH", cach) ] in
+  let sections =
+    if format < 3 then sections
+    else begin
+      (* STOR is last so its absolute payload offset — which fixes the
+         bank alignment pad — is known before encoding it *)
+      let payload_off =
+        List.fold_left (fun o (_, p) -> o + 12 + String.length p) 16 sections
+        + 12
+      in
+      let stor =
+        Nd_trace.with_span "snapshot.stor" @@ fun () ->
+        encode_stor ~payload_off
+          ~epsilon:(Nd_engine.epsilon eng)
+          (Nd_engine.Persist.export_image eng)
+      in
+      sections @ [ ("STOR", stor) ]
+    end
+  in
   let b =
-    Buffer.create (String.length engn + String.length cach + String.length meta + 64)
+    Buffer.create
+      (List.fold_left (fun a (_, p) -> a + String.length p) 64 sections)
   in
   Buffer.add_string b magic;
-  put_u32 b format_version;
-  put_u32 b (List.length tags);
+  put_u32 b format;
+  put_u32 b (List.length sections);
   List.iter
     (fun (tag, payload) ->
       Buffer.add_string b tag;
       put_u32 b (String.length payload);
       put_u32 b (Crc32.string payload);
       Buffer.add_string b payload)
-    [ ("META", meta); ("ENGN", engn); ("CACH", cach) ];
+    sections;
   let doc = Buffer.contents b in
   (* atomic publish: a crash mid-write leaves the old snapshot (or
      nothing) at [path], never a torn file *)
@@ -347,32 +586,49 @@ let save ~path eng =
 
 let layout ~path =
   match parse_structure (read_file path) with
-  | sections -> Ok sections
+  | _, sections -> Ok sections
   | exception C c -> Error c
+
+(* Whether a parsed file offers the warm path: a v3 STOR section whose
+   present flag is set, on a host whose ints can adopt the pages. *)
+let stor_present s sections =
+  match List.find_opt (fun sec -> sec.tag = "STOR") sections with
+  | Some sec -> sec.len >= 4 && hdr_u32 s sec.off (sec.off + sec.len) = 1
+  | None -> false
 
 let info ~path =
   match
     let s = read_file path in
-    let sections = parse_structure s in
+    let version, sections = parse_structure s in
     verify_crcs s sections;
-    decode_meta s (find_section sections "META") ~version:format_version
-      ~sections
+    let warmable = mappable && stor_present s sections in
+    decode_meta s (find_section sections "META") ~version ~warmable ~sections
   with
   | i -> Ok i
   | exception C c -> Error c
 
-let load ~path graph query =
+type route = Replayed | Warm of { mapped : bool }
+
+let describe_route = function
+  | Replayed -> "cache replayed through Store.add"
+  | Warm { mapped = true } -> "store banks memory-mapped"
+  | Warm { mapped = false } -> "store banks copied"
+
+let load_routed ?(warm = true) ~path graph query =
   Nd_trace.phase "snapshot.load" @@ fun () ->
   match
-    let s = read_file path in
-    let sections =
+    with_snapshot_fd path @@ fun fd s ->
+    let version, sections =
       Nd_trace.with_span "snapshot.verify" @@ fun () ->
-      let sections = parse_structure s in
+      let version, sections = parse_structure s in
       verify_crcs s sections;
-      sections
+      (version, sections)
     in
     let meta =
-      decode_meta s (find_section sections "META") ~version:format_version
+      decode_meta s
+        (find_section sections "META")
+        ~version
+        ~warmable:(mappable && stor_present s sections)
         ~sections
     in
     check_meta meta ~graph ~query;
@@ -392,29 +648,55 @@ let load ~path graph query =
       Nd_trace.with_span "snapshot.unmarshal" (fun () ->
           unmarshal (find_section sections "ENGN"))
     in
-    let cache : Nd_engine.Persist.cache_payload option =
-      Nd_trace.with_span "snapshot.unmarshal" (fun () ->
-          unmarshal (find_section sections "CACH"))
+    let image =
+      if not (warm && version >= 3) then None
+      else
+        Nd_trace.with_span "snapshot.stor" (fun () ->
+            decode_stor s
+              (find_section sections "STOR")
+              ~meta
+              ~map_fd:(if mappable then Some fd else None))
     in
-    match
-      Nd_trace.with_span "snapshot.import" (fun () ->
-          Nd_engine.Persist.import ~graph ~query payload cache)
-    with
-    | Ok eng ->
-        Metrics.incr m_loads;
-        eng
-    | Error m -> corrupt (Decode ("import rejected payload: " ^ m))
+    match image with
+    | Some (img, mapped) -> (
+        (* the STOR banks carry the whole cache: CACH stays untouched *)
+        match
+          Nd_trace.with_span "snapshot.import" (fun () ->
+              Nd_engine.Persist.import_with_image ~graph ~query payload img)
+        with
+        | Ok eng ->
+            Metrics.incr m_loads;
+            Metrics.incr m_warm;
+            if mapped then Metrics.incr m_mapped;
+            (eng, Warm { mapped })
+        | Error m -> corrupt (Decode ("import rejected store image: " ^ m)))
+    | None -> (
+        let cache : Nd_engine.Persist.cache_payload option =
+          Nd_trace.with_span "snapshot.unmarshal" (fun () ->
+              unmarshal (find_section sections "CACH"))
+        in
+        match
+          Nd_trace.with_span "snapshot.import" (fun () ->
+              Nd_engine.Persist.import ~graph ~query payload cache)
+        with
+        | Ok eng ->
+            Metrics.incr m_loads;
+            (eng, Replayed)
+        | Error m -> corrupt (Decode ("import rejected payload: " ^ m)))
   with
-  | eng -> Ok eng
+  | result -> Ok result
   | exception C c -> Error c
+
+let load ?warm ~path graph query =
+  Result.map fst (load_routed ?warm ~path graph query)
 
 type outcome = Loaded | Rebuilt of corruption
 
 let m_replayed = Metrics.counter "snapshot.journal_replayed"
 
-let load_or_rebuild ?epsilon ?metrics ?cache_limit ?budget ?paranoid
+let load_or_rebuild ?epsilon ?metrics ?cache_limit ?budget ?paranoid ?warm
     ?(journal = []) ~path graph query =
-  match load ~path graph query with
+  match load ?warm ~path graph query with
   | Ok eng ->
       (* revive at the snapshotted state, then absorb the journal through
          the incremental pipeline — mutations recorded since the save

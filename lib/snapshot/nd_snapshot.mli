@@ -9,17 +9,18 @@
     binary file, so a fresh process {!load}s in milliseconds what
     {!Nd_engine.prepare} computes in seconds.
 
-    {2 File format (version 2)}
+    {2 File format (version 3)}
 
     {v
     +----------------------+
     | magic    "FODBSNAP"  |  8 bytes
-    | version  u32 LE      |  4 bytes  (= 2)
-    | sections u32 LE      |  4 bytes  (= 3)
+    | version  u32 LE      |  4 bytes  (= 3; 2 still readable)
+    | sections u32 LE      |  4 bytes  (= 4; 3 in version 2)
     +----------------------+
     | tag "META" | len u32 | crc32 u32 | payload …
     | tag "ENGN" | len u32 | crc32 u32 | payload …
     | tag "CACH" | len u32 | crc32 u32 | payload …
+    | tag "STOR" | len u32 | crc32 u32 | payload …   (version ≥ 3)
     +----------------------+  exact EOF — trailing bytes are corruption
     v}
 
@@ -29,6 +30,20 @@
     {e mutation epoch} ({!Nd_graph.Cgraph.epoch} — new in version 2),
     creation time, cached-solution count.  [ENGN] and [CACH] are
     marshaled {!Nd_engine.Persist} values.
+
+    [STOR] (new in version 3) is the flat Theorem 3.1 store dumped as
+    raw register banks: a hand-rolled header (geometry, cardinality,
+    cache limit, frontier state), the tag bytes, then the payload bank
+    and key arena as little-endian 8-byte words, padded so the word
+    region sits 8-byte-aligned {e in the file}.  A warm load adopts
+    those pages directly — on a 64-bit little-endian host by
+    [Unix.map_file] (private copy-on-write mapping, so the live store
+    never writes back), elsewhere by a straight byte copy — and in
+    either case the image is re-vetted register by register
+    ({!Nd_ram.Store.Raw.import_unit}) before it becomes a live store.
+    [CACH] is retained as the portable fallback rung: [load ~warm:false],
+    version-2 files, and store-less snapshots all replay it through
+    [Store.add].
 
     {2 The corruption → fallback ladder}
 
@@ -74,21 +89,47 @@ val fingerprint : Nd_graph.Cgraph.t -> int
     (32-bit).  Cheap pre-filter; {!load} additionally performs an exact
     graph comparison before returning a handle. *)
 
-val save : path:string -> Nd_engine.t -> int
+val save : ?format:int -> path:string -> Nd_engine.t -> int
 (** Serialize a prepared handle; returns the bytes written.  The write
     is atomic (temp file + rename), so a crash mid-save leaves either
     the old snapshot or none — never a torn file at [path].
+    [format] (default 3) selects the file format; [~format:2] writes
+    the previous layout without the STOR section, for readers of that
+    vintage.
+    @raise Invalid_argument on an unsupported format.
     @raise Nd_error.User_error on a degraded handle ({!Nd_engine.Persist.export}).
     @raise Sys_error on I/O failure. *)
 
 val load :
+  ?warm:bool ->
   path:string ->
   Nd_graph.Cgraph.t ->
   Nd_logic.Fo.t ->
   (Nd_engine.t, corruption) result
 (** Verify and revive a snapshot for exactly this graph and query.  On
     [Error], nothing was deserialized into a live handle.  [Sys_error]
-    (unreadable file) is folded into [Truncated]. *)
+    (unreadable file) is folded into [Truncated].
+
+    [warm] (default [true]) permits the STOR fast path: the store is
+    adopted from its serialized banks (memory-mapped when the host
+    allows) instead of replaying the CACH key list.  [~warm:false]
+    forces the replay rung — same resulting handle, portable speed. *)
+
+type route =
+  | Replayed  (** CACH key list replayed through [Store.add]. *)
+  | Warm of { mapped : bool }
+      (** STOR banks adopted; [mapped] tells pages were memory-mapped
+          rather than copied. *)
+
+val describe_route : route -> string
+
+val load_routed :
+  ?warm:bool ->
+  path:string ->
+  Nd_graph.Cgraph.t ->
+  Nd_logic.Fo.t ->
+  (Nd_engine.t * route, corruption) result
+(** {!load}, also reporting which rung revived the solution cache. *)
 
 type outcome =
   | Loaded  (** The snapshot verified end-to-end. *)
@@ -102,6 +143,7 @@ val load_or_rebuild :
   ?cache_limit:int ->
   ?budget:Nd_util.Budget.t ->
   ?paranoid:bool ->
+  ?warm:bool ->
   ?journal:Nd_graph.Cgraph.mutation list ->
   path:string ->
   Nd_graph.Cgraph.t ->
@@ -133,6 +175,9 @@ type section = {
 
 type info = {
   version : int;
+  warmable : bool;
+      (** A STOR section is present with a store image and this host
+          can memory-map its bank pages. *)
   ocaml_version : string;
   query : string;
   query_hash : int;

@@ -33,6 +33,24 @@ let succ ~n (a : t) =
   in
   go (k - 1)
 
+let is_max ~n (a : t) =
+  let rec go i = i < 0 || (a.(i) = n - 1 && go (i - 1)) in
+  go (Array.length a - 1)
+
+let incr ~n (a : t) =
+  let rec go i =
+    if i < 0 then false
+    else if a.(i) + 1 < n then begin
+      a.(i) <- a.(i) + 1;
+      true
+    end
+    else begin
+      a.(i) <- 0;
+      go (i - 1)
+    end
+  in
+  go (Array.length a - 1)
+
 let pred ~n (a : t) =
   let k = Array.length a in
   let b = Array.copy a in

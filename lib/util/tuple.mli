@@ -26,6 +26,16 @@ val succ : n:int -> t -> t option
 val pred : n:int -> t -> t option
 (** Inverse of {!succ}. *)
 
+val is_max : n:int -> t -> bool
+(** [is_max ~n ā] iff [ā] is the largest k-tuple over [0,n) — the
+    allocation-free form of [succ ~n ā = None]. *)
+
+val incr : n:int -> t -> bool
+(** In-place successor for pooled buffers: advance [ā] to the next
+    tuple in lexicographic order, returning [false] (with [ā] wrapped
+    to all zeroes) when [ā] was already the largest.  The allocating
+    {!succ} is the immutable form. *)
+
 val to_string : t -> string
 (** E.g. ["(3,0,7)"]. *)
 

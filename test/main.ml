@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("store (Theorem 3.1)", Test_store.suite);
+      ("flat store vs boxed oracle", Test_flat.suite);
       ("graph", Test_graph.suite);
       ("logic", Test_logic.suite);
       ("eval + Lemma 2.2", Test_eval.suite);

@@ -1,0 +1,252 @@
+(* The flat-bank register store (DESIGN S18) against two oracles:
+
+   - [Nd_ram.Boxed_store], the boxed implementation it replaced, kept
+     verbatim in-tree.  Both register their probes under the same
+     Metrics names, so identical operation histories must produce
+     bit-identical counters AND touch histograms — the Theorem 3.1
+     cost-model contract of the refactor.
+   - [Nd_ram.Ref_store], the functional model, for contents.
+
+   Plus the flat-only seams: arena compaction must preserve the dump
+   byte-for-byte, and the Raw bank codec must round-trip. *)
+
+module S = Nd_ram.Store
+module B = Nd_ram.Boxed_store
+module R = Nd_ram.Ref_store
+module Metrics = Nd_util.Metrics
+
+let pp_value = Format.pp_print_int
+
+(* one op script replayed verbatim on every implementation *)
+type op = Add of int array * int | Remove of int array | Probe of int array
+
+let script ~seed ~nops ~n ~k =
+  let st = Random.State.make [| seed; nops; n; k |] in
+  List.init nops (fun i ->
+      let key = Array.init k (fun _ -> Random.State.int st n) in
+      match Random.State.int st 6 with
+      | 0 | 1 | 2 -> Add (key, i)
+      | 3 -> Remove key
+      | _ -> Probe key)
+
+(* -------- dump differential: flat = boxed, register for register ---- *)
+
+let replay_flat ~n ~k ~epsilon ops =
+  let t = S.create ~n ~k ~epsilon in
+  List.iter
+    (function
+      | Add (key, v) -> S.add t key v
+      | Remove key -> S.remove t key
+      | Probe key ->
+          ignore (S.find t key);
+          ignore (S.succ_geq t key);
+          ignore (S.succ_gt t key);
+          ignore (S.pred_lt t key))
+    ops;
+  t
+
+let replay_boxed ~n ~k ~epsilon ops =
+  let t = B.create ~n ~k ~epsilon in
+  List.iter
+    (function
+      | Add (key, v) -> B.add t key v
+      | Remove key -> B.remove t key
+      | Probe key ->
+          ignore (B.find t key);
+          ignore (B.succ_geq t key);
+          ignore (B.succ_gt t key);
+          ignore (B.pred_lt t key))
+    ops;
+  t
+
+let replay_model ~n ~k ops =
+  List.fold_left
+    (fun r op ->
+      match op with
+      | Add (key, v) -> R.add r key v
+      | Remove key -> R.remove r key
+      | Probe _ -> r)
+    (R.empty ~n ~k) ops
+
+let prop_flat_equals_boxed k n epsilon =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "flat = boxed dumps (k=%d, n=%d, eps=%.2f)" k n epsilon)
+    ~count:40
+    QCheck.(pair small_nat (int_bound 120))
+    (fun (seed, nops) ->
+      let ops = script ~seed ~nops ~n ~k in
+      let f = replay_flat ~n ~k ~epsilon ops in
+      let b = replay_boxed ~n ~k ~epsilon ops in
+      (match S.check_invariants f with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report ("flat invariants: " ^ e));
+      if S.dump ~pp_value f <> B.dump ~pp_value b then
+        QCheck.Test.fail_report "flat and boxed register dumps differ";
+      let r = replay_model ~n ~k ops in
+      if S.to_list f <> R.to_list r then
+        QCheck.Test.fail_report "flat contents differ from the model";
+      if S.cardinal f <> B.cardinal b || S.space f <> B.space b then
+        QCheck.Test.fail_report "cardinal/space differ";
+      true)
+
+(* -------- probe-count differential: bit-identical cost model -------- *)
+
+let store_counters snap =
+  List.filter_map
+    (fun c ->
+      if String.length c.Metrics.c_name >= 6
+         && String.sub c.Metrics.c_name 0 6 = "store."
+      then Some (c.Metrics.c_name, c.Metrics.c_value)
+      else None)
+    snap.Metrics.s_counters
+
+let store_hists snap =
+  List.filter_map
+    (fun h ->
+      if String.length h.Metrics.h_name >= 6
+         && String.sub h.Metrics.h_name 0 6 = "store."
+      then Some (h.Metrics.h_name, Array.copy h.Metrics.h_buckets)
+      else None)
+    snap.Metrics.s_hists
+
+let measured f =
+  let was = Metrics.enabled () in
+  Metrics.enable ();
+  Metrics.reset ();
+  ignore (f ());
+  let snap = Metrics.snapshot () in
+  Metrics.reset ();
+  if not was then Metrics.disable ();
+  snap
+
+let test_probe_differential () =
+  List.iter
+    (fun (seed, nops, n, k, epsilon) ->
+      let ops = script ~seed ~nops ~n ~k in
+      let sb = measured (fun () -> replay_boxed ~n ~k ~epsilon ops) in
+      let sf = measured (fun () -> replay_flat ~n ~k ~epsilon ops) in
+      let label = Printf.sprintf "seed=%d n=%d k=%d" seed n k in
+      List.iter2
+        (fun (name_b, v_b) (name_f, v_f) ->
+          Alcotest.(check string) (label ^ ": counter names") name_b name_f;
+          Alcotest.(check int) (label ^ ": " ^ name_b) v_b v_f)
+        (store_counters sb) (store_counters sf);
+      Alcotest.(check int) (label ^ ": ops clock") sb.Metrics.s_ops
+        sf.Metrics.s_ops;
+      List.iter2
+        (fun (name_b, buck_b) (name_f, buck_f) ->
+          Alcotest.(check string) (label ^ ": hist names") name_b name_f;
+          Alcotest.(check bool)
+            (label ^ ": " ^ name_b ^ " buckets bit-identical")
+            true
+            (buck_b = buck_f))
+        (store_hists sb) (store_hists sf))
+    [
+      (11, 300, 27, 1, 0.34);
+      (23, 200, 16, 2, 0.5);
+      (37, 120, 8, 3, 0.4);
+      (53, 400, 100, 2, 0.25);
+      (71, 500, 64, 1, 1.0);
+    ]
+
+(* -------- flat-only seams -------------------------------------- *)
+
+(* arena compaction moves interned keys/values between slots but never
+   touches register numbering: the dump must be byte-identical *)
+let prop_compact_preserves_dump =
+  QCheck.Test.make ~name:"arena compaction preserves the dump" ~count:60
+    QCheck.(pair small_nat (int_bound 150))
+    (fun (seed, nops) ->
+      let n = 16 and k = 2 and epsilon = 0.4 in
+      let ops = script ~seed ~nops ~n ~k in
+      let t = replay_flat ~n ~k ~epsilon ops in
+      let before = S.dump ~pp_value t in
+      S.Raw.compact t;
+      (match S.check_invariants t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report ("post-compact invariants: " ^ e));
+      if S.dump ~pp_value t <> before then
+        QCheck.Test.fail_report "compaction changed the register dump";
+      true)
+
+(* canonicalize on the flat layout: contents and space preserved,
+   result idempotent under a second canonicalize *)
+let prop_canonicalize_flat =
+  QCheck.Test.make ~name:"flat canonicalize preserves contents" ~count:60
+    QCheck.(pair small_nat (int_bound 150))
+    (fun (seed, nops) ->
+      let n = 27 and k = 2 and epsilon = 0.34 in
+      let ops = script ~seed ~nops ~n ~k in
+      let t = replay_flat ~n ~k ~epsilon ops in
+      let c = S.canonicalize t in
+      (match S.check_invariants c with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report ("canon invariants: " ^ e));
+      if S.to_list c <> S.to_list t then
+        QCheck.Test.fail_report "canonicalize changed contents";
+      if S.space c <> S.space t then
+        QCheck.Test.fail_report "canonicalize changed space";
+      if S.dump ~pp_value (S.canonicalize c) <> S.dump ~pp_value c then
+        QCheck.Test.fail_report "canonicalize is not idempotent";
+      true)
+
+(* the snapshot seam: export the banks word by word, reimport through
+   the vetting gate, and the unit store must answer identically *)
+let prop_raw_roundtrip =
+  QCheck.Test.make ~name:"Raw bank codec round-trips" ~count:60
+    QCheck.(pair small_nat (int_bound 150))
+    (fun (seed, nops) ->
+      let n = 25 and k = 2 and epsilon = 0.5 in
+      let ops = script ~seed ~nops ~n ~k in
+      let t = S.create ~n ~k ~epsilon in
+      List.iter
+        (function
+          | Add (key, _) -> S.add t key ()
+          | Remove key -> S.remove t key
+          | Probe _ -> ())
+        ops;
+      S.Raw.compact t;
+      let n', k', d, h, free, card, klen, vlen = S.Raw.dims t in
+      let mk len get =
+        let a =
+          Bigarray.Array1.create Bigarray.int Bigarray.c_layout (max 1 len)
+        in
+        Bigarray.Array1.fill a 0;
+        for i = 0 to len - 1 do
+          Bigarray.Array1.set a i (get t i)
+        done;
+        a
+      in
+      let pay = mk free S.Raw.payload_word in
+      let karena = mk (klen * k) S.Raw.key_word in
+      let tags = Bytes.of_string (S.Raw.tags_blob t) in
+      match
+        S.Raw.import_unit ~n:n' ~k:k' ~epsilon ~d ~h ~free ~card ~klen ~vlen
+          ~tags ~pay ~karena
+      with
+      | Error e -> QCheck.Test.fail_report ("import_unit rejected: " ^ e)
+      | Ok t' ->
+          (match S.check_invariants t' with
+          | Ok () -> ()
+          | Error e ->
+              QCheck.Test.fail_report ("reimported invariants: " ^ e));
+          if S.to_list t' <> S.to_list t then
+            QCheck.Test.fail_report "reimported contents differ";
+          if S.dump ~pp_value:(fun fmt () -> Format.pp_print_string fmt "()") t'
+             <> S.dump ~pp_value:(fun fmt () -> Format.pp_print_string fmt "()") t
+          then QCheck.Test.fail_report "reimported dump differs";
+          true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest (prop_flat_equals_boxed 1 27 0.34);
+    QCheck_alcotest.to_alcotest (prop_flat_equals_boxed 2 16 0.5);
+    QCheck_alcotest.to_alcotest (prop_flat_equals_boxed 3 8 0.4);
+    QCheck_alcotest.to_alcotest (prop_flat_equals_boxed 2 100 0.25);
+    Alcotest.test_case "probe counters + histograms bit-identical" `Quick
+      test_probe_differential;
+    QCheck_alcotest.to_alcotest prop_compact_preserves_dump;
+    QCheck_alcotest.to_alcotest prop_canonicalize_flat;
+    QCheck_alcotest.to_alcotest prop_raw_roundtrip;
+  ]

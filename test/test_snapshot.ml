@@ -333,16 +333,19 @@ let test_info_and_layout () =
   (match Snap.layout ~path with
   | Ok sections ->
       Alcotest.(check (list string)) "section order"
-        [ "META"; "ENGN"; "CACH" ]
+        [ "META"; "ENGN"; "CACH"; "STOR" ]
         (List.map (fun s -> s.Snap.tag) sections);
-      let last = List.nth sections 2 in
+      let last = List.nth sections 3 in
       Alcotest.(check int) "sections tile the file" bytes
         (last.Snap.off + last.Snap.len)
   | Error c -> Alcotest.failf "layout: %s" (Snap.describe c));
   match Snap.info ~path with
   | Error c -> Alcotest.failf "info: %s" (Snap.describe c)
   | Ok i ->
-      Alcotest.(check int) "version" 2 i.Snap.version;
+      Alcotest.(check int) "version" 3 i.Snap.version;
+      Alcotest.(check bool) "warmable on this host"
+        (Sys.int_size = 63 && not Sys.big_endian)
+        i.Snap.warmable;
       Alcotest.(check int) "epoch" (Cgraph.epoch g) i.Snap.graph_epoch;
       Alcotest.(check string) "query text" (Nd_logic.Fo.to_string phi) i.Snap.query;
       Alcotest.(check int) "graph n" (Cgraph.n g) i.Snap.graph_n;
@@ -448,6 +451,199 @@ let test_journal_replay () =
   Alcotest.(check bool) "rebuilt answers" true
     (Nd_engine.to_list eng2 = Nd_engine.to_list (Nd_engine.prepare g' phi))
 
+(* ---------------- version-3 warm store (STOR section) ---------------- *)
+
+let host_mappable = Sys.int_size = 63 && not Sys.big_endian
+
+let test_warm_routes () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  ignore (Snap.save ~path eng);
+  (* default load goes warm; on a 64-bit little-endian host it maps *)
+  match Snap.load_routed ~path g phi with
+  | Error c -> Alcotest.failf "warm load rejected: %s" (Snap.describe c)
+  | Ok (warm_eng, route) -> (
+      (match route with
+      | Snap.Warm { mapped } ->
+          if host_mappable then
+            Alcotest.(check bool) "banks memory-mapped" true mapped
+      | Snap.Replayed -> Alcotest.fail "v3 snapshot took the replay rung");
+      (* the warm handle and the replay handle answer identically *)
+      match Snap.load_routed ~warm:false ~path g phi with
+      | Error c -> Alcotest.failf "replay load rejected: %s" (Snap.describe c)
+      | Ok (cold_eng, cold_route) ->
+          Alcotest.(check bool) "warm:false replays" true
+            (cold_route = Snap.Replayed);
+          Alcotest.(check int) "cache sizes agree"
+            (Nd_engine.cache_size cold_eng)
+            (Nd_engine.cache_size warm_eng);
+          Alcotest.(check bool) "answers agree" true
+            (Nd_engine.to_list warm_eng = Nd_engine.to_list cold_eng))
+
+let test_warm_store_stays_live () =
+  (* an adopted (possibly mapped) store must stay fully live — cache
+     growth and invalidation write to private pages, never the file *)
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  ignore (Snap.save ~path eng);
+  let before = Disk.read path in
+  let loaded =
+    match Snap.load ~path g phi with
+    | Ok e -> e
+    | Error c -> Alcotest.failf "load: %s" (Snap.describe c)
+  in
+  (* enumerate everything: grows the revived store well past the
+     snapshotted prefix *)
+  let all = Nd_engine.to_list loaded in
+  Alcotest.(check bool) "serves after revival" true (List.length all > 0);
+  Alcotest.(check bool) "complete after full sweep" true
+    (Nd_engine.cache_complete loaded);
+  (* mutate: invalidation + maintenance on the adopted store *)
+  let mut = Cgraph.Add_edge (0, 24) in
+  Nd_engine.update loaded mut;
+  let g' = Cgraph.apply g mut in
+  Alcotest.(check bool) "post-update answers" true
+    (Nd_engine.to_list loaded = Nd_engine.to_list (Nd_engine.prepare g' phi));
+  Alcotest.(check bool) "snapshot file untouched" true
+    (Disk.read path = before)
+
+let test_v2_format_compat () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  let bytes = Snap.save ~format:2 ~path eng in
+  (match Snap.layout ~path with
+  | Ok sections ->
+      Alcotest.(check (list string)) "v2 section order"
+        [ "META"; "ENGN"; "CACH" ]
+        (List.map (fun s -> s.Snap.tag) sections);
+      let last = List.nth sections 2 in
+      Alcotest.(check int) "v2 sections tile the file" bytes
+        (last.Snap.off + last.Snap.len)
+  | Error c -> Alcotest.failf "v2 layout: %s" (Snap.describe c));
+  (match Snap.info ~path with
+  | Ok i ->
+      Alcotest.(check int) "v2 version" 2 i.Snap.version;
+      Alcotest.(check bool) "v2 never warmable" false i.Snap.warmable
+  | Error c -> Alcotest.failf "v2 info: %s" (Snap.describe c));
+  match Snap.load_routed ~path g phi with
+  | Error c -> Alcotest.failf "v2 load rejected: %s" (Snap.describe c)
+  | Ok (loaded, route) ->
+      Alcotest.(check bool) "v2 loads via replay" true
+        (route = Snap.Replayed);
+      Alcotest.(check int) "v2 cache revived"
+        (Nd_engine.cache_size eng)
+        (Nd_engine.cache_size loaded);
+      Alcotest.(check bool) "v2 answers" true
+        (Nd_engine.to_list loaded = Nd_engine.to_list eng)
+
+(* STOR payload layout (see nd_snapshot.mli): present(4) n,k,d,h(16)
+   epsilon(8) free,card,klen,vlen,limit(20) full,complete,fset(12) —
+   60 fixed bytes — then k×u32 frontier, free tag bytes, u32 pad,
+   pad zeros, then the 8-aligned i64 banks. *)
+
+let u32_at s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+let put_u32_bytes b pos v =
+  for i = 0 to 3 do
+    Bytes.set b (pos + i) (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let stor_section path =
+  match Snap.layout ~path with
+  | Ok sections -> List.find (fun s -> s.Snap.tag = "STOR") sections
+  | Error c -> Alcotest.failf "layout: %s" (Snap.describe c)
+
+(* after a deliberate payload edit, restore the section CRC so the
+   corruption is "coherent" — it must then be caught by semantic
+   vetting, not the checksum *)
+let recrc path sec =
+  let s = Disk.read path in
+  let crc = Nd_util.Crc32.string ~off:sec.Snap.off ~len:sec.Snap.len s in
+  let b = Bytes.of_string s in
+  put_u32_bytes b (sec.Snap.off - 4) crc;
+  Disk.write path (Bytes.to_string b)
+
+let test_stor_corruption_ladder () =
+  with_tmp @@ fun path ->
+  let g, phi, eng = make_reference () in
+  let expected = Nd_engine.to_list eng in
+  ignore (Snap.save ~path eng);
+  let original = Disk.read path in
+  let sec = stor_section path in
+  let off = sec.Snap.off in
+  let k = u32_at original (off + 8) in
+  let d = u32_at original (off + 12) in
+  let free = u32_at original (off + 28) in
+  let klen = u32_at original (off + 36) in
+  Alcotest.(check bool) "store image present" true (u32_at original off = 1);
+  Alcotest.(check bool) "frontier recorded" true
+    (u32_at original (off + 56) = 1);
+  Alcotest.(check bool) "keys interned" true (klen > 0);
+  let tags_off = off + 60 + (4 * k) in
+  let pad_off = tags_off + free in
+  let bank_off = pad_off + 4 + u32_at original pad_off in
+  Alcotest.(check int) "banks 8-aligned in the file" 0 (bank_off mod 8);
+  (* rung 1: raw bit damage inside STOR → the checksum refuses *)
+  Disk.flip_bit path ~byte:(tags_off + 1) ~bit:2;
+  (match expect_rejected "stor bit flip" path g phi with
+  | Snap.Checksum { section = "STOR" } -> ()
+  | c -> Alcotest.failf "expected STOR checksum, got %s" (Snap.describe c));
+  (* rung 2: truncation mid-bank → the structural parse refuses *)
+  Disk.write path original;
+  Disk.truncate_at path (bank_off + 4);
+  (match expect_rejected "stor truncation" path g phi with
+  | Snap.Truncated _ -> ()
+  | c -> Alcotest.failf "expected Truncated, got %s" (Snap.describe c));
+  (* rung 3: coherent damage (CRC recomputed) → register vetting refuses *)
+  Disk.write path original;
+  let b = Bytes.of_string original in
+  Bytes.set b (tags_off + 1) '\009' (* unknown tag on register 1 *);
+  Disk.write path (Bytes.to_string b);
+  recrc path sec;
+  (match expect_rejected "unknown tag" path g phi with
+  | Snap.Decode _ -> ()
+  | c -> Alcotest.failf "expected Decode, got %s" (Snap.describe c));
+  (* ...but the replay rung ignores STOR entirely and still serves *)
+  (match Snap.load_routed ~warm:false ~path g phi with
+  | Ok (e, Snap.Replayed) ->
+      Alcotest.(check bool) "replay rung unaffected" true
+        (Nd_engine.to_list e = expected)
+  | Ok (_, _) -> Alcotest.fail "expected the replay route"
+  | Error c ->
+      Alcotest.failf "replay rung rejected: %s" (Snap.describe c));
+  (* rung 4: swapped banks — the root's parent word (-1) lands in the
+     key arena and a vertex lands where -1 belongs; CRC recomputed,
+     arena vetting refuses *)
+  Disk.write path original;
+  let karena_off = bank_off + (free * 8) in
+  let root_parent_word = bank_off + ((1 + d) * 8) in
+  Disk.swap_ranges path (root_parent_word, 8) (karena_off, 8);
+  recrc path sec;
+  (match expect_rejected "swapped banks" path g phi with
+  | Snap.Decode _ -> ()
+  | c -> Alcotest.failf "expected Decode, got %s" (Snap.describe c));
+  (* rung 5: frontier outside the graph, CRC recomputed → the engine's
+     image cross-checks refuse *)
+  Disk.write path original;
+  let b = Bytes.of_string original in
+  put_u32_bytes b (off + 60) (Cgraph.n g + 7);
+  Disk.write path (Bytes.to_string b);
+  recrc path sec;
+  (match expect_rejected "wild frontier" path g phi with
+  | Snap.Decode _ -> ()
+  | c -> Alcotest.failf "expected Decode, got %s" (Snap.describe c));
+  (* every rung above lands load_or_rebuild on an exact rebuild *)
+  let rebuilt, outcome = Snap.load_or_rebuild ~path g phi in
+  (match outcome with
+  | Snap.Rebuilt _ -> ()
+  | Snap.Loaded -> Alcotest.fail "corrupt STOR loaded");
+  Alcotest.(check bool) "rebuilt handle exact" true
+    (Nd_engine.to_list rebuilt = expected)
+
 let suite =
   [
     Alcotest.test_case "zoo round-trips (differential)" `Slow
@@ -486,4 +682,11 @@ let suite =
       test_info_and_layout;
     Alcotest.test_case "atomic overwrite + fingerprint" `Quick
       test_atomic_overwrite;
+    Alcotest.test_case "warm load routes (v3 STOR)" `Quick test_warm_routes;
+    Alcotest.test_case "warm store stays live" `Quick
+      test_warm_store_stays_live;
+    Alcotest.test_case "v2 format still readable" `Quick
+      test_v2_format_compat;
+    Alcotest.test_case "STOR corruption ladder" `Quick
+      test_stor_corruption_ladder;
   ]
